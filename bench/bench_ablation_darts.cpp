@@ -1,0 +1,73 @@
+// Ablation A1: first-order vs second-order DARTS (paper Algorithm 1 uses
+// the second-order Hessian correction; DARTS itself showed first-order is
+// cheaper but noisier).  Reports search quality at equal step counts and
+// benchmarks the per-step cost of both.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace bu = pasnet::benchutil;
+namespace core = pasnet::core;
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+
+namespace {
+
+core::Batch draw(const pasnet::data::Dataset& ds, pc::Prng& rng) {
+  auto [x, y] = ds.sample_batch(rng, 8);
+  return core::Batch{std::move(x), std::move(y)};
+}
+
+void print_table() {
+  const auto dataset = bu::make_dataset(53);
+  std::printf("== Ablation: first-order vs second-order DARTS (ResNet-18 proxy) ==\n\n");
+  std::printf("%-14s %10s %10s %12s %12s\n", "variant", "trn loss", "val loss",
+              "exp.lat(ms)", "poly sites");
+
+  for (const bool second_order : {false, true}) {
+    pc::Prng wprng(7);
+    core::SuperNet net(bu::scaled_backbone(nn::Backbone::resnet18), wprng);
+    core::apply_stpai(net.graph());
+    auto lut = bu::make_lut();
+    core::LatencyLoss latency(bu::cifar_backbone(nn::Backbone::resnet18), lut, 1.0);
+    core::DartsConfig cfg;
+    cfg.second_order = second_order;
+    cfg.lambda = 1.0;
+    core::DartsTrainer trainer(net, latency, cfg);
+    pc::Prng trn_rng(11), val_rng(12);
+    const auto info = trainer.search([&]() { return draw(dataset.train, trn_rng); },
+                                     [&]() { return draw(dataset.val, val_rng); }, 10);
+    const auto derived = core::derive_architecture(net, lut);
+    std::printf("%-14s %10.3f %10.3f %12.1f %12d\n",
+                second_order ? "second-order" : "first-order", info.train_loss,
+                info.val_loss, info.expected_latency_s * 1e3, derived.poly_sites);
+  }
+  std::printf("\nSecond-order pays ~4 extra forward + backward passes per arch step\n"
+              "(Algorithm 1 lines 6-13) for a better-correlated alpha gradient.\n\n");
+}
+
+void bm_arch_step(benchmark::State& state) {
+  const auto dataset = bu::make_dataset(54);
+  pc::Prng wprng(8);
+  core::SuperNet net(bu::scaled_backbone(nn::Backbone::resnet18), wprng);
+  auto lut = bu::make_lut();
+  core::LatencyLoss latency(bu::cifar_backbone(nn::Backbone::resnet18), lut, 1.0);
+  core::DartsConfig cfg;
+  cfg.second_order = state.range(0) == 1;
+  core::DartsTrainer trainer(net, latency, cfg);
+  pc::Prng trn_rng(13), val_rng(14);
+  for (auto _ : state) {
+    trainer.arch_step(draw(dataset.train, trn_rng), draw(dataset.val, val_rng));
+  }
+}
+BENCHMARK(bm_arch_step)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 1(c): per-operator latency breakdown of a ResNet-50 bottleneck block
+// under 2PC (ImageNet shapes, ZCU104, 1 GB/s LAN).
+//
+// Paper's published numbers:   Conv1 1.9 ms   ReLU1 193.3 ms
+//                              Conv2 3.2 ms   ReLU2 193.3 ms
+//                              Conv3 2.4 ms   Conv4 2.4 ms
+//                              Add   0.1 ms   ReLU3 772.2 ms
+// The reproduction prints the analytic-model values next to these and the
+// resulting ReLU share of total block latency (paper: >99%).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "perf/latency_model.hpp"
+
+namespace perf = pasnet::perf;
+
+namespace {
+
+perf::LatencyModel model() {
+  return perf::LatencyModel(perf::HardwareConfig::zcu104(), perf::NetworkConfig::lan_1gbps());
+}
+
+void print_table() {
+  const auto m = model();
+  // First bottleneck of stage 1 (Fig. 1b): input is the 56x56x64 stem
+  // output; Conv1 1x1 64->64, Conv2 3x3 64->64, Conv3 1x1 64->256 and the
+  // Conv4 1x1 64->256 downsample on the skip path.
+  const long long s56 = 56LL * 56;
+  struct Row {
+    const char* name;
+    double ours_ms;
+    double paper_ms;
+  };
+  const Row rows[] = {
+      {"Conv1 1x1,64", m.conv(1, s56, 64, 64, s56 * 64).total_s() * 1e3, 1.9},
+      {"Conv2 3x3,64", m.conv(3, s56, 64, 64, s56 * 64).total_s() * 1e3, 3.2},
+      {"Conv3 1x1,256", m.conv(1, s56, 64, 256, s56 * 64).total_s() * 1e3, 2.4},
+      {"Conv4 1x1,256", m.conv(1, s56, 64, 256, s56 * 64).total_s() * 1e3, 2.4},
+      {"ReLU1, 64", m.relu(s56 * 64).total_s() * 1e3, 193.3},
+      {"ReLU2, 64", m.relu(s56 * 64).total_s() * 1e3, 193.3},
+      {"ReLU3, 256", m.relu(s56 * 256).total_s() * 1e3, 772.2},
+      {"Add1", m.add(s56 * 256).total_s() * 1e3, 0.1},
+  };
+  std::printf("== Fig. 1(c): ResNet-50 bottleneck op latency under 2PC PI ==\n");
+  std::printf("   (network: 1 GB/s, device: ZCU104, dataset: ImageNet)\n\n");
+  std::printf("%-16s %12s %12s %8s\n", "operator", "ours (ms)", "paper (ms)", "ratio");
+  double total = 0, relu_total = 0;
+  for (const auto& r : rows) {
+    std::printf("%-16s %12.1f %12.1f %8.2f\n", r.name, r.ours_ms, r.paper_ms,
+                r.ours_ms / r.paper_ms);
+    total += r.ours_ms;
+    if (r.name[0] == 'R') relu_total += r.ours_ms;
+  }
+  std::printf("\nReLU share of block latency: %.1f%% (paper: >99%%)\n",
+              100.0 * relu_total / total);
+  std::printf("Operator-level ReLU -> X2act speedup at 56x56x64: %.0fx "
+              "(paper Sec. I: ~50x)\n\n",
+              m.relu(s56 * 64).total_s() / m.x2act(s56 * 64).total_s());
+}
+
+void bm_relu_model_eval(benchmark::State& state) {
+  const auto m = model();
+  const long long elems = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.relu(elems).total_s());
+  }
+}
+BENCHMARK(bm_relu_model_eval)->Arg(56 * 56 * 64)->Arg(56 * 56 * 256);
+
+void bm_ot_flow_model_eval(benchmark::State& state) {
+  const auto m = model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.ot_flow(state.range(0)).total().total_s());
+  }
+}
+BENCHMARK(bm_ot_flow_model_eval)->Arg(1 << 16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

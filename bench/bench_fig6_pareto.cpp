@@ -1,0 +1,78 @@
+// Fig. 6: accuracy vs ReLU-count trade-off on the CIFAR stand-in — the
+// pareto frontier of the architecture-search results per backbone.
+//
+// Paper shape to reproduce: each backbone traces a rising curve in ReLU
+// count; the frontier flattens near its all-ReLU accuracy long before the
+// full ReLU budget ("best performance" plateau).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/pareto.hpp"
+
+namespace bu = pasnet::benchutil;
+namespace core = pasnet::core;
+namespace nn = pasnet::nn;
+
+namespace {
+
+void print_table() {
+  const auto dataset = bu::make_dataset(29);
+  std::printf("== Fig. 6: accuracy-ReLU count trade-off (synthetic CIFAR proxy) ==\n\n");
+
+  for (const auto backbone : {nn::Backbone::resnet18, nn::Backbone::vgg16,
+                              nn::Backbone::mobilenet_v2}) {
+    const auto proxy = bu::scaled_backbone(backbone);
+    const auto full = bu::cifar_backbone(backbone);
+
+    // Candidate set: λ sweep + the two extremes.  ReLU counts reported on
+    // full CIFAR shapes (k = thousands, as in the paper's x-axis).
+    std::vector<std::pair<nn::ArchChoices, const char*>> candidates;
+    candidates.push_back({nn::uniform_choices(proxy, nn::ActKind::x2act,
+                                              nn::PoolKind::avgpool), "all-poly"});
+    candidates.push_back({bu::search_choices(backbone, 5.0, dataset, 6, 41), "l=5"});
+    candidates.push_back({bu::search_choices(backbone, 0.5, dataset, 6, 42), "l=0.5"});
+    candidates.push_back({bu::search_choices(backbone, 0.05, dataset, 6, 43), "l=0.05"});
+    candidates.push_back({nn::uniform_choices(proxy, nn::ActKind::relu,
+                                              nn::PoolKind::maxpool), "all-ReLU"});
+
+    std::vector<core::ParetoPoint> points;
+    std::printf("%s candidates:\n", nn::backbone_name(backbone));
+    std::printf("  %-9s %12s %10s\n", "arch", "ReLU (k)", "acc %");
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const auto& [choices, name] = candidates[i];
+      const auto full_md = nn::apply_choices(full, choices);
+      const double relu_k = static_cast<double>(nn::relu_count(full_md)) / 1000.0;
+      const float acc = bu::finetuned_accuracy(backbone, choices, dataset, 100, 60 + i);
+      std::printf("  %-9s %12.1f %10.1f\n", name, relu_k, 100.f * acc);
+      points.push_back({relu_k, static_cast<double>(acc), static_cast<int>(i)});
+    }
+    const auto front = core::pareto_front(points);
+    std::printf("  pareto frontier (%zu of %zu points): ", front.size(), points.size());
+    for (const auto& p : front) {
+      std::printf("(%.1fk, %.1f%%) ", p.x, 100.0 * p.y);
+    }
+    std::printf("\n\n");
+  }
+}
+
+void bm_pareto_extraction(benchmark::State& state) {
+  std::vector<core::ParetoPoint> pts;
+  pasnet::crypto::Prng prng(1);
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back({prng.next_unit() * 1000, prng.next_unit(), i});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pareto_front(pts).size());
+  }
+}
+BENCHMARK(bm_pareto_extraction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 7: cross-work ReLU-reduction comparison — PASNet's searched
+// architectures against the SNL-, DeepReDuce-, DELPHI- and CryptoNAS-like
+// placement rules at matched ReLU budgets (ResNet-18 backbone).
+//
+// Paper shape to reproduce: PASNet holds accuracy at aggressively small
+// ReLU counts ("almost no acc. drop with aggressive ReLU reduction") while
+// the fixed placement rules degrade.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/relu_reduction.hpp"
+#include "bench_common.hpp"
+
+namespace bl = pasnet::baselines;
+namespace bu = pasnet::benchutil;
+namespace nn = pasnet::nn;
+
+namespace {
+
+void print_table() {
+  const auto backbone = nn::Backbone::resnet18;
+  // A harder task (8 classes, more noise) so placement rules separate; the
+  // 4-class default saturates every cell on a ResNet-18 proxy.
+  const auto dataset = bu::make_dataset(31, /*classes=*/8, /*noise=*/0.6f);
+  const auto proxy = bu::scaled_backbone(backbone, 8);
+  const auto full = bu::cifar_backbone(backbone);
+  const long long proxy_full_count = nn::relu_count(proxy);
+
+  // Budgets as fractions of the all-ReLU count (the paper sweeps 1k-1000k
+  // on real CIFAR; fractions keep proxy and full-shape counts aligned).
+  const double fractions[] = {0.02, 0.1, 0.3, 1.0};
+
+  std::printf("== Fig. 7: ReLU reduction comparison, ResNet-18 backbone ==\n");
+  std::printf("   (accuracy: synthetic proxy; ReLU count: full CIFAR shapes, k units)\n\n");
+  std::printf("%-16s", "method");
+  for (const double f : fractions) std::printf("   %5.0f%% budget", 100 * f);
+  std::printf("\n");
+
+  // Baseline placement rules.
+  for (const auto reducer : {bl::ReluReducer::snl, bl::ReluReducer::deepreduce,
+                             bl::ReluReducer::delphi, bl::ReluReducer::cryptonas}) {
+    std::printf("%-16s", bl::reducer_name(reducer));
+    for (const double f : fractions) {
+      const auto budget = static_cast<long long>(f * static_cast<double>(proxy_full_count));
+      const auto choices = bl::reduce_relus(reducer, proxy, budget);
+      const float acc = bu::finetuned_accuracy(backbone, choices, dataset, 120, 71);
+      const auto full_md = nn::apply_choices(full, choices);
+      std::printf("  %5.1f%%@%5.0fk", 100.f * acc,
+                  static_cast<double>(nn::relu_count(full_md)) / 1000.0);
+    }
+    std::printf("\n");
+  }
+
+  // PASNet: λ sweep, matched to the same budget ladder by decreasing λ.
+  const double lambdas[] = {50.0, 5.0, 0.5, 0.0};
+  std::printf("%-16s", "PASNet (ours)");
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto choices = bu::search_choices(backbone, lambdas[i], dataset, 8, 81 + i);
+    const float acc = bu::finetuned_accuracy(backbone, choices, dataset, 120, 91 + i);
+    const auto full_md = nn::apply_choices(full, choices);
+    std::printf("  %5.1f%%@%5.0fk", 100.f * acc,
+                static_cast<double>(nn::relu_count(full_md)) / 1000.0);
+  }
+  std::printf("\n\nShape check: the PASNet row should stay near its right-most accuracy\n"
+              "even at the smallest ReLU columns (gradient-informed placement), while\n"
+              "the fixed rules lose accuracy as the budget shrinks.\n\n");
+}
+
+void bm_reduce_relus(benchmark::State& state) {
+  const auto md = bu::cifar_backbone(nn::Backbone::resnet50);
+  const long long budget = nn::relu_count(md) / 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bl::reduce_relus(bl::ReluReducer::deepreduce, md, budget).acts.size());
+  }
+}
+BENCHMARK(bm_reduce_relus);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

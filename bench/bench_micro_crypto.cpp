@@ -1,0 +1,123 @@
+// Micro-benchmarks of the 2PC protocol stack: throughput of the simulator
+// itself (not the modeled FPGA).  Useful for spotting regressions in the
+// cryptographic substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/compare.hpp"
+#include "nn/layers.hpp"
+#include "proto/secure_ops.hpp"
+
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+namespace proto = pasnet::proto;
+
+namespace {
+
+void bm_share_reconstruct(benchmark::State& state) {
+  pc::RingConfig rc;
+  pc::Prng prng(1);
+  pc::RingVec x(static_cast<std::size_t>(state.range(0)));
+  for (auto& e : x) e = prng.next_u64() & rc.mask();
+  for (auto _ : state) {
+    const auto sh = pc::share(x, prng, rc);
+    benchmark::DoNotOptimize(pc::reconstruct(sh, rc)[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_share_reconstruct)->Arg(1024)->Arg(16384);
+
+void bm_beaver_mul(benchmark::State& state) {
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(2);
+  const auto x = pc::share_reals(std::vector<double>(static_cast<std::size_t>(state.range(0)), 1.5),
+                                 prng, ctx.ring());
+  const auto y = pc::share_reals(std::vector<double>(static_cast<std::size_t>(state.range(0)), -2.0),
+                                 prng, ctx.ring());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pc::mul_elem(ctx, x, y).s0[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_beaver_mul)->Arg(1024)->Arg(16384);
+
+void bm_square(benchmark::State& state) {
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(3);
+  const auto x = pc::share_reals(std::vector<double>(static_cast<std::size_t>(state.range(0)), 1.5),
+                                 prng, ctx.ring());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pc::square_elem(ctx, x).s0[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_square)->Arg(16384);
+
+void bm_drelu_correlated(benchmark::State& state) {
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(4);
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  const auto x = pc::share_reals(xs, prng, ctx.ring());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pc::drelu(ctx, x, pc::OtMode::correlated).b0[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_drelu_correlated)->Arg(256)->Arg(4096);
+
+void bm_drelu_dh_masked(benchmark::State& state) {
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(5);
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)), 0.5);
+  const auto x = pc::share_reals(xs, prng, ctx.ring());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pc::drelu(ctx, x, pc::OtMode::dh_masked).b0[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_drelu_dh_masked)->Arg(256);
+
+void bm_secure_relu(benchmark::State& state) {
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(6);
+  nn::Tensor x = nn::Tensor::randn({1, 16, 16, 16}, prng, 1.0f);
+  const auto sx = proto::share_tensor(x, prng, ctx.ring());
+  proto::SecureConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::secure_relu(ctx, sx, cfg).size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(x.size()));
+}
+BENCHMARK(bm_secure_relu)->Unit(benchmark::kMillisecond);
+
+void bm_secure_conv(benchmark::State& state) {
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(7), wprng(8);
+  nn::Conv2d conv(8, 8, 3, 1, 1, wprng);
+  nn::Tensor x = nn::Tensor::randn({1, 8, 16, 16}, prng, 0.5f);
+  const auto sx = proto::share_tensor(x, prng, ctx.ring());
+  const auto sw = pc::share_reals(conv.weight().to_doubles(), prng, ctx.ring());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::secure_conv2d(ctx, sx, sw, nullptr, 8, 3, 1, 1).size());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<long long>(ctx.stats().total_bytes()));
+}
+BENCHMARK(bm_secure_conv)->Unit(benchmark::kMillisecond);
+
+void bm_ot_1of4(benchmark::State& state) {
+  pc::TwoPartyContext ctx;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::array<std::uint8_t, 4>> tables(n, {1, 2, 3, 4});
+  std::vector<std::uint8_t> choices(n, 2);
+  const auto mode = state.range(1) == 0 ? pc::OtMode::correlated : pc::OtMode::dh_masked;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pc::ot_1of4(ctx, 1, tables, choices, mode)[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_ot_1of4)->Args({1024, 0})->Args({1024, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

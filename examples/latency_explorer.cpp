@@ -1,0 +1,62 @@
+// Interactive latency-model explorer: sweep network bandwidth and hardware
+// parallelism to see how every 2PC operator responds (the design-space
+// exploration loop of paper Fig. 3, step 1).
+//
+//   build/examples/latency_explorer [elems] [bandwidth_gbps...]
+//
+// Prints the per-operator latency LUT rows plus a ReLU-vs-X2act speedup
+// column, then a backbone summary at each bandwidth.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "perf/network_profile.hpp"
+
+namespace nn = pasnet::nn;
+namespace perf = pasnet::perf;
+
+int main(int argc, char** argv) {
+  long long elems = 32LL * 32 * 64;  // a CIFAR-scale feature map
+  std::vector<double> bandwidths{8.0, 4.0, 1.0, 0.1};  // Gbit/s
+  if (argc > 1) elems = std::atoll(argv[1]);
+  if (argc > 2) {
+    bandwidths.clear();
+    for (int i = 2; i < argc; ++i) bandwidths.push_back(std::atof(argv[i]));
+  }
+
+  std::printf("== 2PC operator latency explorer (FI^2*IC = %lld elements) ==\n\n", elems);
+  std::printf("%10s | %12s %12s %12s %12s | %8s\n", "bw (Gb/s)", "ReLU(ms)",
+              "MaxPool(ms)", "X2act(ms)", "AvgPool(ms)", "speedup");
+  for (const double bw : bandwidths) {
+    const perf::LatencyModel model(perf::HardwareConfig::zcu104(),
+                                   perf::NetworkConfig{bw * 1e9, 50e-6});
+    const double relu = model.relu(elems).total_s() * 1e3;
+    const double maxp = model.maxpool(elems).total_s() * 1e3;
+    const double x2 = model.x2act(elems).total_s() * 1e3;
+    const double avgp = model.avgpool(elems).total_s() * 1e3;
+    std::printf("%10.2f | %12.3f %12.3f %12.3f %12.3f | %7.1fx\n", bw, relu, maxp, x2,
+                avgp, relu / x2);
+  }
+
+  std::printf("\n== whole-backbone 2PC latency at CIFAR shapes, all-ReLU vs all-poly ==\n\n");
+  std::printf("%-12s | %14s %14s %9s\n", "backbone", "all-ReLU (ms)", "all-poly (ms)",
+              "speedup");
+  for (const auto backbone : {nn::Backbone::vgg16, nn::Backbone::resnet18,
+                              nn::Backbone::resnet34, nn::Backbone::resnet50,
+                              nn::Backbone::mobilenet_v2}) {
+    nn::BackboneOptions opt;
+    opt.input_size = 32;
+    const auto base = nn::make_backbone(backbone, opt);
+    const auto poly = nn::apply_choices(
+        base, nn::uniform_choices(base, nn::ActKind::x2act, nn::PoolKind::avgpool));
+    perf::LatencyLut lut(perf::LatencyModel(perf::HardwareConfig::zcu104(),
+                                            perf::NetworkConfig::lan_1gbps()));
+    const double base_ms = perf::profile_network(base, lut).latency_ms();
+    const double poly_ms = perf::profile_network(poly, lut).latency_ms();
+    std::printf("%-12s | %14.1f %14.1f %8.1fx\n", nn::backbone_name(backbone), base_ms,
+                poly_ms, base_ms / poly_ms);
+  }
+  std::printf("\nSlower links widen the gap: the OT comparison flow is bandwidth-bound.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// End-to-end private inference in the paper's MLaaS deployment (Fig. 3):
+// the model vendor holds the trained PASNet model, the client holds the
+// query; both are secret-shared between two servers that run the 2PC
+// protocol stack.
+//
+//   build/examples/private_inference
+//
+// Reports measured protocol traffic next to the analytic ZCU104 latency
+// model, including the full-scale ImageNet projection of Table I.
+
+#include <cstdio>
+
+#include "baselines/reference_systems.hpp"
+#include "core/derive.hpp"
+#include "data/synthetic.hpp"
+#include "perf/network_profile.hpp"
+#include "proto/secure_network.hpp"
+
+namespace bl = pasnet::baselines;
+namespace core = pasnet::core;
+namespace data = pasnet::data;
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+namespace perf = pasnet::perf;
+namespace proto = pasnet::proto;
+
+int main() {
+  std::printf("== PASNet-A style private inference (ResNet-18 backbone, all-poly) ==\n\n");
+
+  // Functional run: a scaled ResNet-18 so the whole 2PC protocol executes
+  // in seconds on a CPU; the latency/comm *model* below uses full shapes.
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.size = 8;
+  spec.train_count = 256;
+  spec.val_count = 64;
+  spec.seed = 42;
+  const auto dataset = data::make_synthetic(spec);
+
+  nn::BackboneOptions small;
+  small.input_size = spec.size;
+  small.num_classes = spec.num_classes;
+  small.width_mult = 0.125f;
+  const auto backbone = nn::make_resnet(18, small);
+  perf::LatencyLut lut(perf::LatencyModel(perf::HardwareConfig::zcu104(),
+                                          perf::NetworkConfig::lan_1gbps()));
+  const auto arch = core::profile_choices(
+      backbone, nn::uniform_choices(backbone, nn::ActKind::x2act, nn::PoolKind::avgpool),
+      lut);
+
+  pc::Prng wprng(1), bprng(2);
+  core::FinetuneConfig fcfg;
+  fcfg.steps = 80;
+  std::vector<int> node_of_layer;
+  auto graph = core::finetune(arch, wprng, [&]() {
+    auto [x, y] = dataset.train.sample_batch(bprng, 16);
+    return core::Batch{std::move(x), std::move(y)};
+  }, fcfg, &node_of_layer);
+
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(arch.descriptor, *graph, node_of_layer, ctx);
+  const auto [qx, qy] = dataset.val.slice(0, 1);
+  const auto logits = snet.infer(qx);
+  std::printf("functional 2PC run (scaled model, in-process simulation):\n");
+  std::printf("  prediction: class %d (true label %d)\n", nn::argmax_rows(logits)[0], qy[0]);
+  std::printf("  traffic:    %.1f KB total, %.1f KB online (weight openings amortize), %llu rounds\n",
+              snet.stats().comm_bytes / 1024.0, snet.stats().online_bytes() / 1024.0,
+              static_cast<unsigned long long>(snet.stats().rounds));
+  std::printf("  offline:    %llu matmul-triple elems, %llu square pairs, %llu bit triples\n\n",
+              static_cast<unsigned long long>(snet.stats().matmul_triple_elems),
+              static_cast<unsigned long long>(snet.stats().square_pairs),
+              static_cast<unsigned long long>(snet.stats().bit_triples));
+
+  // Full-scale projection: the same recipe at ImageNet shapes on the
+  // paper's testbed (two ZCU104 boards, 1 GB/s LAN) — Table I, PASNet-A.
+  nn::BackboneOptions full;
+  full.input_size = 224;
+  full.num_classes = 1000;
+  full.imagenet_stem = true;
+  auto imagenet = nn::make_resnet(18, full);
+  imagenet = nn::apply_choices(
+      imagenet, nn::uniform_choices(imagenet, nn::ActKind::x2act, nn::PoolKind::avgpool));
+  const auto profile = perf::profile_network(imagenet, lut);
+  const double kw = perf::HardwareConfig::zcu104().power_kw;
+  std::printf("ImageNet projection (ZCU104 model, batch 1):\n");
+  std::printf("  latency:    %.1f ms (paper PASNet-A: %.1f ms)\n", profile.latency_ms(),
+              bl::paper_pasnet_a().imagenet_latency_s * 1e3);
+  std::printf("  comm:       %.3f GB (paper: %.3f GB)\n", profile.comm_gb(),
+              bl::paper_pasnet_a().imagenet_comm_gb);
+  std::printf("  efficiency: %.0f 1/(s*kW) (paper: %.0f)\n", profile.efficiency(kw),
+              bl::paper_pasnet_a().imagenet_efficiency);
+  const auto gpu = bl::cryptgpu_resnet50();
+  std::printf("  vs %s: %.0fx faster, %.0fx less traffic\n", gpu.name,
+              gpu.latency_s / profile.total.total_s(), gpu.comm_gb / profile.comm_gb());
+  return 0;
+}

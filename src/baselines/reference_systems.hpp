@@ -1,0 +1,50 @@
+#pragma once
+// Published comparator numbers for the Table I cross-work rows.  CryptGPU
+// and CrypTFlow are closed testbeds; like the paper, we reproduce their
+// rows as constants from the respective publications.
+
+namespace pasnet::baselines {
+
+/// One cross-work system row (ImageNet, ResNet-50, batch 1).
+struct ReferenceSystem {
+  const char* name;
+  double top1_percent;
+  double top5_percent;
+  double latency_s;
+  double comm_gb;
+  double efficiency;  ///< 1/(s·kW) as defined in Table I
+};
+
+/// CryptGPU [Tan et al., S&P'21] ResNet-50 on ImageNet.
+[[nodiscard]] inline ReferenceSystem cryptgpu_resnet50() {
+  return {"CryptGPU ResNet50", 78.0, 92.0, 9.31, 3.08, 0.15};
+}
+
+/// CrypTFlow [Kumar et al., S&P'20] ResNet-50 on ImageNet.
+[[nodiscard]] inline ReferenceSystem cryptflow_resnet50() {
+  return {"CrypTFlow ResNet50", 76.45, 93.23, 25.9, 6.9, 0.096};
+}
+
+/// Paper-reported PASNet variant rows (Table I), used to validate that the
+/// rebuilt pipeline lands in the same regime.
+struct PaperPasnetRow {
+  const char* name;
+  double cifar_top1, cifar_latency_ms, cifar_comm_mb, cifar_efficiency;
+  double imagenet_top1, imagenet_top5, imagenet_latency_s, imagenet_comm_gb,
+      imagenet_efficiency;
+};
+
+[[nodiscard]] inline PaperPasnetRow paper_pasnet_a() {
+  return {"PASNet-A", 93.37, 12.2, 2.86, 5.12, 70.54, 89.59, 0.063, 0.035, 999};
+}
+[[nodiscard]] inline PaperPasnetRow paper_pasnet_b() {
+  return {"PASNet-B", 95.31, 36.74, 13.18, 1.70, 78.79, 93.99, 0.228, 0.162, 274};
+}
+[[nodiscard]] inline PaperPasnetRow paper_pasnet_c() {
+  return {"PASNet-C", 95.33, 62.91, 30.03, 0.99, 79.25, 94.38, 0.539, 0.368, 115};
+}
+[[nodiscard]] inline PaperPasnetRow paper_pasnet_d() {
+  return {"PASNet-D", 92.82, 104.09, 25.01, 0.60, 71.36, 90.15, 0.184, 0.103, 339};
+}
+
+}  // namespace pasnet::baselines

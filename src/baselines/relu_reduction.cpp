@@ -1,0 +1,167 @@
+#include "baselines/relu_reduction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pasnet::baselines {
+
+const char* reducer_name(ReluReducer r) noexcept {
+  switch (r) {
+    case ReluReducer::deepreduce: return "DeepReDuce-like";
+    case ReluReducer::delphi: return "DELPHI-like";
+    case ReluReducer::cryptonas: return "CryptoNAS-like";
+    case ReluReducer::snl: return "SNL-like";
+  }
+  return "?";
+}
+
+std::vector<long long> site_relu_counts(const nn::ModelDescriptor& backbone) {
+  std::vector<long long> counts;
+  for (const int site : nn::act_sites(backbone)) {
+    counts.push_back(backbone.layers[static_cast<std::size_t>(site)].input_elems());
+  }
+  return counts;
+}
+
+namespace {
+
+/// Groups act sites into "stages" by their spatial resolution (a stage
+/// boundary is wherever the feature map size changes).
+std::vector<std::vector<std::size_t>> stage_groups(const nn::ModelDescriptor& backbone) {
+  const auto sites = nn::act_sites(backbone);
+  std::vector<std::vector<std::size_t>> groups;
+  int last_h = -1;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const int h = backbone.layers[static_cast<std::size_t>(sites[i])].in_h;
+    if (h != last_h) {
+      groups.emplace_back();
+      last_h = h;
+    }
+    groups.back().push_back(i);
+  }
+  return groups;
+}
+
+/// Keeps the sites whose indices are in `keep` (everything else x2act).
+nn::ArchChoices choices_from_keep(const nn::ModelDescriptor& backbone,
+                                  const std::vector<bool>& keep) {
+  nn::ArchChoices c = nn::uniform_choices(backbone, nn::ActKind::x2act,
+                                          nn::PoolKind::avgpool);
+  bool any_relu = false;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) {
+      c.acts[i] = nn::ActKind::relu;
+      any_relu = true;
+    }
+  }
+  // Pooling follows the activation regime: if comparisons are still paid
+  // somewhere, max pooling stays affordable; in the all-poly regime the
+  // baselines also switch pooling to the polynomial-friendly average.
+  if (any_relu) {
+    for (auto& p : c.pools) p = nn::PoolKind::maxpool;
+  }
+  return c;
+}
+
+}  // namespace
+
+nn::ArchChoices reduce_relus(ReluReducer reducer, const nn::ModelDescriptor& backbone,
+                             long long budget) {
+  const auto counts = site_relu_counts(backbone);
+  const std::size_t n = counts.size();
+  std::vector<bool> keep(n, false);
+  long long used = 0;
+
+  switch (reducer) {
+    case ReluReducer::deepreduce: {
+      // Whole stages, most critical first.  DeepReDuce finds the middle
+      // stages most ReLU-critical; rank stages by distance from the 60%
+      // depth point and keep greedily while the budget allows.
+      auto groups = stage_groups(backbone);
+      std::vector<std::size_t> order(groups.size());
+      std::iota(order.begin(), order.end(), 0);
+      const double anchor = 0.6 * static_cast<double>(groups.size() - 1);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return std::abs(a - anchor) < std::abs(b - anchor);
+      });
+      for (const std::size_t g : order) {
+        long long stage_count = 0;
+        for (const std::size_t i : groups[g]) stage_count += counts[i];
+        if (used + stage_count > budget) continue;
+        for (const std::size_t i : groups[g]) keep[i] = true;
+        used += stage_count;
+      }
+      break;
+    }
+    case ReluReducer::delphi: {
+      // Replace the largest layers first == keep the smallest layers while
+      // they fit, scanning sites by descending size and dropping them.
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) { return counts[a] < counts[b]; });
+      for (const std::size_t i : order) {
+        if (used + counts[i] > budget) break;  // greedy planner stops here
+        keep[i] = true;
+        used += counts[i];
+      }
+      break;
+    }
+    case ReluReducer::cryptonas: {
+      // Budget-aware macro sampling: approximate by keeping uniformly
+      // spaced sites; increase the spacing until the total fits.
+      for (std::size_t stride = 1; stride <= n + 1; ++stride) {
+        std::fill(keep.begin(), keep.end(), false);
+        used = 0;
+        bool fits = true;
+        for (std::size_t i = 0; i < n; i += stride) {
+          if (used + counts[i] > budget) {
+            fits = false;
+            break;
+          }
+          keep[i] = true;
+          used += counts[i];
+        }
+        if (fits) break;
+      }
+      if (used > budget) std::fill(keep.begin(), keep.end(), false);
+      break;
+    }
+    case ReluReducer::snl: {
+      // Selective linearization spreads the nonlinear budget across the
+      // whole depth (SNL operates at pixel granularity; at site
+      // granularity this becomes a round-robin over stages, cheapest site
+      // of each stage first).
+      auto groups = stage_groups(backbone);
+      for (auto& g : groups) {
+        std::sort(g.begin(), g.end(),
+                  [&](std::size_t a, std::size_t b) { return counts[a] < counts[b]; });
+      }
+      bool progress = true;
+      std::vector<std::size_t> cursor(groups.size(), 0);
+      while (progress) {
+        progress = false;
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          while (cursor[g] < groups[g].size()) {
+            const std::size_t i = groups[g][cursor[g]];
+            if (used + counts[i] > budget) {
+              cursor[g] = groups[g].size();  // this stage can take no more
+              break;
+            }
+            ++cursor[g];
+            keep[i] = true;
+            used += counts[i];
+            progress = true;
+            break;  // move to the next stage (round-robin)
+          }
+        }
+      }
+      break;
+    }
+  }
+  return choices_from_keep(backbone, keep);
+}
+
+}  // namespace pasnet::baselines

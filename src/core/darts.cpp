@@ -1,0 +1,130 @@
+#include "core/darts.hpp"
+
+#include <cmath>
+
+namespace pasnet::core {
+
+DartsTrainer::DartsTrainer(SuperNet& net, LatencyLoss& latency, DartsConfig cfg)
+    : net_(net), latency_(latency), cfg_(cfg), w_params_(net.weight_params()),
+      a_params_(net.arch_params()),
+      w_opt_(w_params_, cfg.w_lr, cfg.w_momentum, cfg.w_decay),
+      a_opt_(a_params_, cfg.alpha_lr, 0.9f, 0.999f, 1e-8f, cfg.alpha_decay) {}
+
+float DartsTrainer::loss_backward(const Batch& batch) {
+  const nn::Tensor logits = net_.graph().forward(batch.x, /*training=*/true);
+  const float loss = ce_.forward(logits, batch.y);
+  net_.graph().backward(ce_.backward());
+  return loss;
+}
+
+std::vector<nn::Tensor> DartsTrainer::save_weights() {
+  std::vector<nn::Tensor> saved;
+  saved.reserve(w_params_.size());
+  for (const auto& p : w_params_) saved.push_back(*p.value);
+  return saved;
+}
+
+void DartsTrainer::restore_weights(const std::vector<nn::Tensor>& saved) {
+  for (std::size_t i = 0; i < w_params_.size(); ++i) *w_params_[i].value = saved[i];
+}
+
+std::vector<nn::Tensor> DartsTrainer::collect_grads(std::vector<nn::ParamRef>& params) {
+  std::vector<nn::Tensor> grads;
+  grads.reserve(params.size());
+  for (const auto& p : params) grads.push_back(*p.grad);
+  return grads;
+}
+
+void DartsTrainer::arch_step(const Batch& trn, const Batch& val) {
+  const float xi = cfg_.xi > 0 ? cfg_.xi : cfg_.w_lr;
+
+  if (!cfg_.second_order) {
+    // First-order DARTS: δα = ∂ζ_val(ω, α)/∂α + λ·dLat/dα.
+    net_.graph().zero_grad();
+    (void)loss_backward(val);
+    latency_.accumulate_alpha_grad(net_);
+    a_opt_.step();
+    return;
+  }
+
+  // --- Algorithm 1, lines 4-6: δω on the training batch, virtual step. ---
+  net_.graph().zero_grad();
+  (void)loss_backward(trn);
+  const std::vector<nn::Tensor> delta_w = collect_grads(w_params_);
+  const std::vector<nn::Tensor> saved_w = save_weights();
+  for (std::size_t i = 0; i < w_params_.size(); ++i) {
+    nn::axpy(*w_params_[i].value, -xi, delta_w[i]);  // ω' = ω − ξ·δω
+  }
+
+  // --- Lines 7-9: ζ_val(ω', α) gradients w.r.t. α and ω'. ---
+  net_.graph().zero_grad();
+  (void)loss_backward(val);
+  std::vector<nn::Tensor> delta_alpha = collect_grads(a_params_);  // δα'
+  const std::vector<nn::Tensor> delta_w_prime = collect_grads(w_params_);
+
+  // --- Lines 10-13: Hessian-vector product via ±ε turbulence (Eq. 20). ---
+  double norm_sq = 0.0;
+  for (const auto& g : delta_w_prime) {
+    for (std::size_t j = 0; j < g.size(); ++j) norm_sq += static_cast<double>(g[j]) * g[j];
+  }
+  const float eps = 0.01f / static_cast<float>(std::sqrt(norm_sq) + 1e-12);
+
+  restore_weights(saved_w);
+  for (std::size_t i = 0; i < w_params_.size(); ++i) {
+    nn::axpy(*w_params_[i].value, eps, delta_w_prime[i]);  // ω+
+  }
+  net_.graph().zero_grad();
+  (void)loss_backward(trn);
+  const std::vector<nn::Tensor> alpha_plus = collect_grads(a_params_);
+
+  restore_weights(saved_w);
+  for (std::size_t i = 0; i < w_params_.size(); ++i) {
+    nn::axpy(*w_params_[i].value, -eps, delta_w_prime[i]);  // ω−
+  }
+  net_.graph().zero_grad();
+  (void)loss_backward(trn);
+  const std::vector<nn::Tensor> alpha_minus = collect_grads(a_params_);
+
+  restore_weights(saved_w);
+
+  // --- Line 14: δα = δα' − ξ·(δα+ − δα−)/(2ε), plus the analytic λ·dLat/dα.
+  net_.graph().zero_grad();
+  for (std::size_t i = 0; i < a_params_.size(); ++i) {
+    nn::Tensor& g = *a_params_[i].grad;
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      const float hessian = (alpha_plus[i][j] - alpha_minus[i][j]) / (2.0f * eps);
+      g[j] = delta_alpha[i][j] - xi * hessian;
+    }
+  }
+  latency_.accumulate_alpha_grad(net_);
+
+  // --- Line 15: Adam step on α. ---
+  a_opt_.step();
+}
+
+float DartsTrainer::weight_step(const Batch& trn) {
+  // Lines 17-19: one SGD step on ω (clipped for stability on deep nets).
+  net_.graph().zero_grad();
+  const float loss = loss_backward(trn);
+  (void)nn::clip_gradients(w_params_, 5.0);
+  w_opt_.step();
+  return loss;
+}
+
+SearchStepInfo DartsTrainer::search(const std::function<Batch()>& next_train,
+                                    const std::function<Batch()>& next_val, int steps) {
+  SearchStepInfo info;
+  for (int s = 0; s < steps; ++s) {
+    const Batch trn = next_train();
+    const Batch val = next_val();
+    arch_step(trn, val);
+    info.train_loss = weight_step(trn);
+    const nn::Tensor val_logits = net_.graph().forward(val.x, false);
+    nn::SoftmaxCrossEntropy vce;
+    info.val_loss = vce.forward(val_logits, val.y);
+  }
+  info.expected_latency_s = latency_.expected_latency(net_);
+  return info;
+}
+
+}  // namespace pasnet::core

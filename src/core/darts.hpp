@@ -1,0 +1,86 @@
+#pragma once
+// Differentiable cryptographic-hardware-aware architecture search
+// (paper §III-D, Algorithm 1).
+//
+// Bilevel objective (Eq. 18):
+//   min_α ζ_val(ω*, α)   s.t.   ω* = argmin_ω ζ_trn(ω, α),
+// with ζ = ζ_CE + λ·Lat(α).  The second-order variant approximates
+// ω* ≈ ω' = ω − ξ·∂ζ_trn/∂ω and corrects the α gradient with a
+// finite-difference Hessian-vector product (Eq. 19-20):
+//   δα = ∂ζ_val(ω',α)/∂α − ξ·(ζ_trn-gradients at ω ± ε·∂ζ_val/∂ω')/(2ε).
+// α steps use Adam, ω steps use SGD, exactly as Algorithm 1 prescribes.
+
+#include <functional>
+
+#include "core/latency_loss.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+
+namespace pasnet::core {
+
+/// Hyper-parameters of the search.
+struct DartsConfig {
+  float w_lr = 0.05f;          ///< SGD learning rate for ω
+  float w_momentum = 0.9f;
+  float w_decay = 3e-4f;
+  float alpha_lr = 3e-3f;      ///< Adam learning rate for α
+  float alpha_decay = 1e-3f;
+  double lambda = 0.0;         ///< latency penalty λ
+  bool second_order = true;    ///< use the Hessian correction
+  float xi = -1.0f;            ///< virtual step size ξ; <0 → use w_lr
+};
+
+/// One labelled minibatch.
+struct Batch {
+  nn::Tensor x;
+  std::vector<int> y;
+};
+
+/// Progress snapshot of a search step.
+struct SearchStepInfo {
+  float train_loss = 0.0f;
+  float val_loss = 0.0f;
+  double expected_latency_s = 0.0;
+};
+
+/// Drives Algorithm 1 on a supernet.
+class DartsTrainer {
+ public:
+  DartsTrainer(SuperNet& net, LatencyLoss& latency, DartsConfig cfg);
+
+  /// Architecture update (Algorithm 1, lines 3-15): consumes one training
+  /// and one validation minibatch.
+  void arch_step(const Batch& trn, const Batch& val);
+
+  /// Weight update (lines 16-19) on one training minibatch; returns ζ_trn.
+  float weight_step(const Batch& trn);
+
+  /// Convenience loop: alternates arch/weight steps over batches supplied
+  /// by the callbacks (Algorithm 1's "while not converged").
+  SearchStepInfo search(const std::function<Batch()>& next_train,
+                        const std::function<Batch()>& next_val, int steps);
+
+  [[nodiscard]] SuperNet& net() noexcept { return net_; }
+  [[nodiscard]] const DartsConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// Forward + CE backward on a batch; returns the loss (gradients
+  /// accumulate into the module parameters).
+  float loss_backward(const Batch& batch);
+  /// Snapshot/restore of ω values.
+  [[nodiscard]] std::vector<nn::Tensor> save_weights();
+  void restore_weights(const std::vector<nn::Tensor>& saved);
+  /// Collects a copy of the current α (or ω) gradients.
+  [[nodiscard]] std::vector<nn::Tensor> collect_grads(std::vector<nn::ParamRef>& params);
+
+  SuperNet& net_;
+  LatencyLoss& latency_;
+  DartsConfig cfg_;
+  std::vector<nn::ParamRef> w_params_;
+  std::vector<nn::ParamRef> a_params_;
+  nn::Sgd w_opt_;
+  nn::Adam a_opt_;
+  nn::SoftmaxCrossEntropy ce_;
+};
+
+}  // namespace pasnet::core

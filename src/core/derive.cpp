@@ -1,0 +1,56 @@
+#include "core/derive.hpp"
+
+namespace pasnet::core {
+
+DerivedArch profile_choices(const nn::ModelDescriptor& backbone, const nn::ArchChoices& choices,
+                            perf::LatencyLut& lut) {
+  DerivedArch out;
+  out.choices = choices;
+  out.descriptor = nn::apply_choices(backbone, choices);
+  out.relu_count = nn::relu_count(out.descriptor);
+  const auto profile = perf::profile_network(out.descriptor, lut);
+  out.latency_s = profile.total.total_s();
+  out.comm_bytes = profile.total.comm_bytes;
+  for (const auto act : choices.acts) out.poly_sites += (act == nn::ActKind::x2act);
+  return out;
+}
+
+DerivedArch derive_architecture(const SuperNet& net, perf::LatencyLut& lut) {
+  return profile_choices(net.descriptor(), net.derive_choices(), lut);
+}
+
+std::unique_ptr<nn::Graph> finetune(const DerivedArch& arch, crypto::Prng& prng,
+                                    const std::function<Batch()>& next_batch,
+                                    const FinetuneConfig& cfg,
+                                    std::vector<int>* node_of_layer) {
+  auto graph = nn::build_graph(arch.descriptor, prng, node_of_layer);
+  if (cfg.use_stpai) {
+    apply_stpai(*graph);
+  } else {
+    apply_naive_poly_init(*graph);
+  }
+  auto params = graph->params();
+  nn::Sgd sgd(params, cfg.lr, cfg.momentum, cfg.weight_decay);
+  nn::Adam adam(params, cfg.lr, 0.9f, 0.999f, 1e-8f, cfg.weight_decay);
+  nn::SoftmaxCrossEntropy ce;
+  for (int step = 0; step < cfg.steps; ++step) {
+    const Batch batch = next_batch();
+    graph->zero_grad();
+    const nn::Tensor logits = graph->forward(batch.x, true);
+    (void)ce.forward(logits, batch.y);
+    graph->backward(ce.backward());
+    (void)nn::clip_gradients(params, cfg.grad_clip);
+    if (cfg.use_adam) {
+      adam.step();
+    } else {
+      sgd.step();
+    }
+  }
+  return graph;
+}
+
+float evaluate_accuracy(nn::Graph& graph, const nn::Tensor& x, const std::vector<int>& y) {
+  return nn::accuracy(graph.forward(x, false), y);
+}
+
+}  // namespace pasnet::core

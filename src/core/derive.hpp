@@ -1,0 +1,53 @@
+#pragma once
+// Architecture derivation and finetuning: the tail of Algorithm 1 — take
+// argmax-α operator choices, materialize the deterministic model, and
+// transfer-finetune it with STPAI before 2PC evaluation.
+
+#include "core/darts.hpp"
+#include "core/stpai.hpp"
+
+namespace pasnet::core {
+
+/// A derived (post-search) architecture plus its evaluation-side metrics.
+struct DerivedArch {
+  nn::ArchChoices choices;
+  nn::ModelDescriptor descriptor;  ///< backbone with choices substituted
+  long long relu_count = 0;        ///< Fig. 6/7 x-axis
+  double latency_s = 0.0;          ///< 2PC latency from the profiler
+  double comm_bytes = 0.0;
+  int poly_sites = 0;              ///< how many act sites became X2act
+};
+
+/// Derives the deterministic architecture from a trained supernet and
+/// profiles it with the given LUT.
+[[nodiscard]] DerivedArch derive_architecture(const SuperNet& net, perf::LatencyLut& lut);
+
+/// Profiles an explicit choice assignment (used by baselines and sweeps).
+[[nodiscard]] DerivedArch profile_choices(const nn::ModelDescriptor& backbone,
+                                          const nn::ArchChoices& choices,
+                                          perf::LatencyLut& lut);
+
+/// Finetuning hyper-parameters.
+struct FinetuneConfig {
+  int steps = 200;
+  int batch_size = 16;
+  float lr = 0.02f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  float grad_clip = 5.0f;  ///< global L2 gradient-norm clip (<=0 disables)
+  bool use_adam = false;   ///< Adam instead of SGD (robust for thin proxies)
+  bool use_stpai = true;  ///< STPAI on polynomial activations before training
+};
+
+/// Builds the derived model and trains it; returns the trained graph.
+/// `next_batch` supplies training minibatches (transfer learning loop).
+[[nodiscard]] std::unique_ptr<nn::Graph> finetune(const DerivedArch& arch, crypto::Prng& prng,
+                                                  const std::function<Batch()>& next_batch,
+                                                  const FinetuneConfig& cfg,
+                                                  std::vector<int>* node_of_layer = nullptr);
+
+/// Top-1 accuracy of a graph on a labelled set.
+[[nodiscard]] float evaluate_accuracy(nn::Graph& graph, const nn::Tensor& x,
+                                      const std::vector<int>& y);
+
+}  // namespace pasnet::core

@@ -1,0 +1,84 @@
+#include "core/gated_ops.hpp"
+
+#include <cmath>
+
+namespace pasnet::core {
+
+std::vector<float> softmax(const nn::Tensor& alpha) {
+  float maxv = alpha[0];
+  for (std::size_t i = 1; i < alpha.size(); ++i) maxv = std::max(maxv, alpha[i]);
+  std::vector<float> theta(alpha.size());
+  float denom = 0.0f;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    theta[i] = std::exp(alpha[i] - maxv);
+    denom += theta[i];
+  }
+  for (auto& t : theta) t /= denom;
+  return theta;
+}
+
+GatedOp::GatedOp() : alpha_({2}), alpha_grad_({2}) {}
+
+std::vector<nn::ParamRef> GatedOp::arch_params() { return {{&alpha_, &alpha_grad_}}; }
+
+int GatedOp::argmax() const { return alpha_[0] >= alpha_[1] ? 0 : 1; }
+
+void GatedOp::set_alpha(float a0, float a1) {
+  alpha_[0] = a0;
+  alpha_[1] = a1;
+}
+
+Tensor GatedOp::mixed_forward(nn::Module& op0, nn::Module& op1, const Tensor& x,
+                                  bool training) {
+  cached_theta_ = theta();
+  cached_y0_ = op0.forward(x, training);
+  cached_y1_ = op1.forward(x, training);
+  nn::Tensor out = nn::scale(cached_y0_, cached_theta_[0]);
+  nn::axpy(out, cached_theta_[1], cached_y1_);
+  return out;
+}
+
+Tensor GatedOp::mixed_backward(nn::Module& op0, nn::Module& op1,
+                                   const Tensor& grad_out) {
+  // dL/dθ_k = <grad_out, y_k>; chain through the softmax Jacobian:
+  // dL/dα_j = θ_j (dL/dθ_j − Σ_k θ_k dL/dθ_k).
+  double dtheta0 = 0.0, dtheta1 = 0.0;
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    dtheta0 += static_cast<double>(grad_out[i]) * cached_y0_[i];
+    dtheta1 += static_cast<double>(grad_out[i]) * cached_y1_[i];
+  }
+  const double mean = cached_theta_[0] * dtheta0 + cached_theta_[1] * dtheta1;
+  alpha_grad_[0] += static_cast<float>(cached_theta_[0] * (dtheta0 - mean));
+  alpha_grad_[1] += static_cast<float>(cached_theta_[1] * (dtheta1 - mean));
+
+  // dL/dy_k = θ_k·grad_out; candidates accumulate their own ω gradients.
+  nn::Tensor gx0 = op0.backward(nn::scale(grad_out, cached_theta_[0]));
+  const nn::Tensor gx1 = op1.backward(nn::scale(grad_out, cached_theta_[1]));
+  nn::axpy(gx0, 1.0f, gx1);
+  return gx0;
+}
+
+MixedAct::MixedAct() = default;
+
+Tensor MixedAct::forward(const Tensor& x, bool training) {
+  return mixed_forward(relu_, x2act_, x, training);
+}
+
+Tensor MixedAct::backward(const Tensor& grad_out) {
+  return mixed_backward(relu_, x2act_, grad_out);
+}
+
+std::vector<nn::ParamRef> MixedAct::params() { return x2act_.params(); }
+
+MixedPool::MixedPool(int kernel, int stride, int pad)
+    : maxpool_(kernel, stride, pad), avgpool_(kernel, stride, pad) {}
+
+Tensor MixedPool::forward(const Tensor& x, bool training) {
+  return mixed_forward(maxpool_, avgpool_, x, training);
+}
+
+Tensor MixedPool::backward(const Tensor& grad_out) {
+  return mixed_backward(maxpool_, avgpool_, grad_out);
+}
+
+}  // namespace pasnet::core

@@ -1,0 +1,81 @@
+#pragma once
+// Gated (mixed) operators for the differentiable search space (paper
+// Eq. 17): a gated operator holds m candidate operators OP_{l,k} and a
+// trainable architecture vector α_l; its output is Σ_k θ_{l,k}·OP_{l,k}(x)
+// with θ = softmax(α).
+//
+// PASNet gates two decisions per site:
+//   * activation: 2PC-ReLU  vs  2PC-X2act  (the polynomial replacement)
+//   * pooling:    2PC-MaxPool vs 2PC-AvgPool
+// Candidate weights (the X2act coefficients) are ordinary ω parameters;
+// only α is an architecture parameter.
+
+#include <array>
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace pasnet::core {
+
+using Tensor = nn::Tensor;
+
+/// Softmax over a small α vector.
+[[nodiscard]] std::vector<float> softmax(const nn::Tensor& alpha);
+
+/// Base for two-candidate gated operators; owns α and its gradient.
+class GatedOp : public nn::Module {
+ public:
+  GatedOp();
+
+  std::vector<nn::ParamRef> arch_params() override;
+
+  /// θ = softmax(α) of this site.
+  [[nodiscard]] std::vector<float> theta() const { return softmax(alpha_); }
+  /// Index of the currently dominant candidate.
+  [[nodiscard]] int argmax() const;
+  [[nodiscard]] const nn::Tensor& alpha() const noexcept { return alpha_; }
+  void set_alpha(float a0, float a1);
+
+ protected:
+  /// Mixes candidate outputs and handles the α/input gradients; concrete
+  /// classes supply the two candidate modules.
+  Tensor mixed_forward(nn::Module& op0, nn::Module& op1, const Tensor& x, bool training);
+  Tensor mixed_backward(nn::Module& op0, nn::Module& op1, const Tensor& grad_out);
+
+  nn::Tensor alpha_, alpha_grad_;  // [2]
+
+ private:
+  nn::Tensor cached_y0_, cached_y1_;
+  std::vector<float> cached_theta_;
+};
+
+/// Gated activation: candidate 0 = ReLU, candidate 1 = X2act (STPAI init).
+class MixedAct : public GatedOp {
+ public:
+  MixedAct();
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<nn::ParamRef> params() override;
+
+  [[nodiscard]] nn::X2Act& x2act() noexcept { return x2act_; }
+
+ private:
+  nn::Relu relu_;
+  nn::X2Act x2act_;
+};
+
+/// Gated pooling: candidate 0 = MaxPool, candidate 1 = AvgPool.
+class MixedPool : public GatedOp {
+ public:
+  MixedPool(int kernel, int stride, int pad = 0);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  nn::MaxPool2d maxpool_;
+  nn::AvgPool2d avgpool_;
+};
+
+}  // namespace pasnet::core

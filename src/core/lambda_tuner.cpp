@@ -1,0 +1,70 @@
+#include "core/lambda_tuner.hpp"
+
+#include <stdexcept>
+
+namespace pasnet::core {
+
+namespace {
+
+/// One short search at a fixed λ; returns the derived architecture.
+DerivedArch evaluate_lambda(const std::function<std::unique_ptr<SuperNet>()>& make_supernet,
+                            const nn::ModelDescriptor& latency_descriptor,
+                            perf::LatencyLut& lut, double lambda,
+                            const std::function<Batch()>& next_train,
+                            const std::function<Batch()>& next_val,
+                            const LambdaTunerConfig& cfg) {
+  auto net = make_supernet();
+  LatencyLoss latency(latency_descriptor, lut, lambda);
+  DartsConfig dcfg = cfg.darts;
+  dcfg.lambda = lambda;
+  DartsTrainer trainer(*net, latency, dcfg);
+  (void)trainer.search(next_train, next_val, cfg.search_steps);
+  // Profile on the latency descriptor's geometry, not the proxy's.
+  return profile_choices(latency_descriptor, net->derive_choices(), lut);
+}
+
+}  // namespace
+
+LambdaTunerResult tune_lambda(const std::function<std::unique_ptr<SuperNet>()>& make_supernet,
+                              const nn::ModelDescriptor& latency_descriptor,
+                              perf::LatencyLut& lut, double target_latency_s,
+                              const std::function<Batch()>& next_train,
+                              const std::function<Batch()>& next_val,
+                              const LambdaTunerConfig& cfg) {
+  if (cfg.lambda_hi <= cfg.lambda_lo) {
+    throw std::invalid_argument("tune_lambda: empty lambda interval");
+  }
+  LambdaTunerResult result;
+
+  // The upper edge must meet the target, else the target is infeasible
+  // even with full polynomial replacement.
+  DerivedArch hi_arch = evaluate_lambda(make_supernet, latency_descriptor, lut,
+                                        cfg.lambda_hi, next_train, next_val, cfg);
+  ++result.evaluations;
+  if (hi_arch.latency_s > target_latency_s) {
+    result.lambda = cfg.lambda_hi;
+    result.arch = std::move(hi_arch);
+    return result;  // best effort: report the fastest achievable
+  }
+  result.lambda = cfg.lambda_hi;
+  result.arch = hi_arch;
+
+  double lo = cfg.lambda_lo, hi = cfg.lambda_hi;
+  for (int step = 0; step < cfg.bisection_steps; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    DerivedArch arch = evaluate_lambda(make_supernet, latency_descriptor, lut, mid,
+                                       next_train, next_val, cfg);
+    ++result.evaluations;
+    if (arch.latency_s <= target_latency_s) {
+      // Feasible: try smaller λ (fewer polynomial replacements).
+      hi = mid;
+      result.lambda = mid;
+      result.arch = std::move(arch);
+    } else {
+      lo = mid;
+    }
+  }
+  return result;
+}
+
+}  // namespace pasnet::core

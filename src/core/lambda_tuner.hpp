@@ -1,0 +1,43 @@
+#pragma once
+// Latency-target λ auto-tuning (an extension the paper leaves manual: "the
+// λ for latency constraint in loss function is tuned to generate
+// architectures with different latency-accuracy trade-off").
+//
+// Given a target 2PC latency, bisect λ over repeated short searches until
+// the derived architecture meets the target with the fewest polynomial
+// replacements — automating the λ ladder behind Fig. 5/6.
+
+#include <functional>
+
+#include "core/darts.hpp"
+#include "core/derive.hpp"
+
+namespace pasnet::core {
+
+/// Configuration for the λ bisection.
+struct LambdaTunerConfig {
+  double lambda_lo = 0.0;     ///< search interval lower edge
+  double lambda_hi = 1e4;     ///< upper edge (must push all-poly)
+  int bisection_steps = 8;    ///< outer bisection iterations
+  int search_steps = 6;       ///< DARTS steps per candidate λ
+  DartsConfig darts;          ///< inner search configuration
+};
+
+/// Result of a tuning run.
+struct LambdaTunerResult {
+  double lambda = 0.0;        ///< smallest λ meeting the target
+  DerivedArch arch;           ///< the architecture it derives
+  int evaluations = 0;        ///< number of inner searches performed
+};
+
+/// Finds the smallest λ whose derived architecture meets `target_latency_s`
+/// on the geometry of `latency_descriptor`.  `make_supernet` must return a
+/// fresh supernet per call (weights re-randomized per candidate λ);
+/// `next_train`/`next_val` supply minibatches.
+[[nodiscard]] LambdaTunerResult tune_lambda(
+    const std::function<std::unique_ptr<SuperNet>()>& make_supernet,
+    const nn::ModelDescriptor& latency_descriptor, perf::LatencyLut& lut,
+    double target_latency_s, const std::function<Batch()>& next_train,
+    const std::function<Batch()>& next_val, const LambdaTunerConfig& cfg = {});
+
+}  // namespace pasnet::core

@@ -1,0 +1,64 @@
+#include "core/latency_loss.hpp"
+
+#include <stdexcept>
+
+namespace pasnet::core {
+
+LatencyLoss::LatencyLoss(const nn::ModelDescriptor& md, perf::LatencyLut& lut, double lambda)
+    : lambda_(lambda) {
+  const auto acts = nn::act_sites(md);
+  const auto pools = nn::pool_sites(md);
+  act_lat_.reserve(acts.size());
+  pool_lat_.reserve(pools.size());
+  for (const int site : acts) {
+    const auto& l = md.layers[static_cast<std::size_t>(site)];
+    act_lat_.push_back({lut.relu(l.input_elems()).total_s(),
+                        lut.x2act(l.input_elems()).total_s()});
+  }
+  for (const int site : pools) {
+    const auto& l = md.layers[static_cast<std::size_t>(site)];
+    pool_lat_.push_back({lut.maxpool(l.input_elems()).total_s(),
+                         lut.avgpool(l.input_elems()).total_s()});
+  }
+  // Architecture-independent part: everything that is not a gated site.
+  for (std::size_t i = 0; i < md.layers.size(); ++i) {
+    const auto& l = md.layers[i];
+    if (l.searchable && (l.kind == nn::OpKind::relu || l.kind == nn::OpKind::x2act ||
+                         l.kind == nn::OpKind::maxpool || l.kind == nn::OpKind::avgpool)) {
+      continue;
+    }
+    fixed_lat_ += perf::layer_cost(l, lut).total_s();
+  }
+}
+
+double LatencyLoss::expected_latency(const SuperNet& net) const {
+  if (net.act_ops().size() != act_lat_.size() || net.pool_ops().size() != pool_lat_.size()) {
+    throw std::invalid_argument("LatencyLoss: supernet/site count mismatch");
+  }
+  double lat = fixed_lat_;
+  for (std::size_t i = 0; i < act_lat_.size(); ++i) {
+    const auto theta = net.act_ops()[i]->theta();
+    lat += theta[0] * act_lat_[i][0] + theta[1] * act_lat_[i][1];
+  }
+  for (std::size_t i = 0; i < pool_lat_.size(); ++i) {
+    const auto theta = net.pool_ops()[i]->theta();
+    lat += theta[0] * pool_lat_[i][0] + theta[1] * pool_lat_[i][1];
+  }
+  return lat;
+}
+
+void LatencyLoss::accumulate_alpha_grad(SuperNet& net) const {
+  // d(Σ_k θ_k L_k)/dα_j = θ_j (L_j − Σ_k θ_k L_k); scaled by λ.
+  const auto apply = [this](GatedOp& op, const std::array<double, 2>& lat) {
+    const auto theta = op.theta();
+    const double mean = theta[0] * lat[0] + theta[1] * lat[1];
+    auto params = op.arch_params();
+    nn::Tensor& grad = *params[0].grad;
+    grad[0] += static_cast<float>(lambda_ * theta[0] * (lat[0] - mean));
+    grad[1] += static_cast<float>(lambda_ * theta[1] * (lat[1] - mean));
+  };
+  for (std::size_t i = 0; i < act_lat_.size(); ++i) apply(*net.act_ops()[i], act_lat_[i]);
+  for (std::size_t i = 0; i < pool_lat_.size(); ++i) apply(*net.pool_ops()[i], pool_lat_[i]);
+}
+
+}  // namespace pasnet::core

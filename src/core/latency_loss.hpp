@@ -1,0 +1,54 @@
+#pragma once
+// Parameterized latency constraint (paper §III-D):
+//   Lat(α) = Σ_l Σ_j θ_{l,j} · Lat(OP_{l,j}),
+// folded into the loss as ζ(ω, α) = ζ_CE(ω, α) + λ·Lat(α).
+//
+// The per-candidate latencies come from the same LUT the evaluation
+// profiler uses, so the NAS optimizes exactly the number the experiments
+// report.  dLat/dα is analytic (softmax Jacobian); it does not depend on ω.
+
+#include "core/supernet.hpp"
+#include "perf/network_profile.hpp"
+
+namespace pasnet::core {
+
+/// Expected-latency term and its α-gradient for one supernet.
+class LatencyLoss {
+ public:
+  /// `lambda` is the penalty weight λ; latencies are drawn from `lut` using
+  /// the geometry of `md` (the supernet's backbone descriptor).
+  LatencyLoss(const nn::ModelDescriptor& md, perf::LatencyLut& lut, double lambda);
+
+  /// Expected network latency Lat(α) in seconds under the current θ,
+  /// including the architecture-independent (conv/linear/...) part.
+  [[nodiscard]] double expected_latency(const SuperNet& net) const;
+
+  /// λ·Lat(α): the loss contribution.
+  [[nodiscard]] double value(const SuperNet& net) const {
+    return lambda_ * expected_latency(net);
+  }
+
+  /// Accumulates λ·dLat/dα into the supernet's α gradients.
+  void accumulate_alpha_grad(SuperNet& net) const;
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  void set_lambda(double lambda) noexcept { lambda_ = lambda; }
+
+  /// Per-site candidate latencies (seconds): [site][candidate 0/1].
+  [[nodiscard]] const std::vector<std::array<double, 2>>& act_latencies() const noexcept {
+    return act_lat_;
+  }
+  [[nodiscard]] const std::vector<std::array<double, 2>>& pool_latencies() const noexcept {
+    return pool_lat_;
+  }
+  /// Latency of all non-gated layers (conv, linear, adds, ...).
+  [[nodiscard]] double fixed_latency() const noexcept { return fixed_lat_; }
+
+ private:
+  double lambda_;
+  double fixed_lat_ = 0.0;
+  std::vector<std::array<double, 2>> act_lat_;   // [relu, x2act]
+  std::vector<std::array<double, 2>> pool_lat_;  // [maxpool, avgpool]
+};
+
+}  // namespace pasnet::core

@@ -1,0 +1,23 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+
+namespace pasnet::core {
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  std::sort(points.begin(), points.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y > b.y;
+  });
+  std::vector<ParetoPoint> front;
+  double best_y = -1e300;
+  for (const auto& p : points) {
+    if (p.y > best_y) {
+      front.push_back(p);
+      best_y = p.y;
+    }
+  }
+  return front;
+}
+
+}  // namespace pasnet::core

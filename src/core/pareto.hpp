@@ -1,0 +1,23 @@
+#pragma once
+// Pareto-frontier extraction for the accuracy-vs-ReLU-count trade-off
+// (paper Fig. 6: "we generate the pareto frontier with best
+// accuracy-ReLU count trade-off from our architecture search result").
+
+#include <vector>
+
+namespace pasnet::core {
+
+/// One candidate point: x is the cost axis (ReLU count or latency), y the
+/// quality axis (accuracy); tag identifies the originating architecture.
+struct ParetoPoint {
+  double x = 0.0;
+  double y = 0.0;
+  int tag = 0;
+};
+
+/// Returns the subset of points not dominated by any other (lower-or-equal
+/// x with strictly higher y, or equal y with strictly lower x), sorted by
+/// ascending x.
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
+
+}  // namespace pasnet::core

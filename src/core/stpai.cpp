@@ -1,0 +1,36 @@
+#include "core/stpai.hpp"
+
+#include "core/gated_ops.hpp"
+#include "nn/layers.hpp"
+
+namespace pasnet::core {
+
+namespace {
+
+int apply_params(nn::Graph& graph, float w1, float w2, float b) {
+  int count = 0;
+  for (int i = 0; i < graph.node_count(); ++i) {
+    nn::Module* mod = graph.module_at(i);
+    if (mod == nullptr) continue;
+    if (auto* act = dynamic_cast<nn::X2Act*>(mod)) {
+      act->set_params(w1, w2, b);
+      ++count;
+    } else if (auto* mixed = dynamic_cast<MixedAct*>(mod)) {
+      mixed->x2act().set_params(w1, w2, b);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int apply_stpai(nn::Graph& graph, const StpaiConfig& cfg) {
+  return apply_params(graph, cfg.w1, cfg.w2, cfg.b);
+}
+
+int apply_naive_poly_init(nn::Graph& graph) {
+  return apply_params(graph, 1.0f, 1.0f, 0.0f);
+}
+
+}  // namespace pasnet::core

@@ -1,0 +1,27 @@
+#pragma once
+// Straight-through polynomial activation initialization (STPAI, paper
+// contribution 1): set w1 and b small and w2 near 1 in Eq. 4, so a freshly
+// inserted X2act behaves as identity and pretrained/transferred weights
+// keep working — the polynomial then learns its curvature during training.
+
+#include "nn/graph.hpp"
+
+namespace pasnet::core {
+
+/// STPAI parameter choices.
+struct StpaiConfig {
+  float w1 = 0.0f;  ///< quadratic coefficient ("small enough")
+  float w2 = 1.0f;  ///< linear coefficient ("near to 1")
+  float b = 0.0f;   ///< offset ("small enough")
+};
+
+/// Applies STPAI to every X2act in the graph (both standalone layers and
+/// the polynomial candidates inside gated operators).  Returns the number
+/// of activations initialized.
+int apply_stpai(nn::Graph& graph, const StpaiConfig& cfg = StpaiConfig{});
+
+/// Naive polynomial initialization (ablation A2): the quadratic term starts
+/// at full strength, which destabilizes transfer.
+int apply_naive_poly_init(nn::Graph& graph);
+
+}  // namespace pasnet::core

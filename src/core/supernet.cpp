@@ -1,0 +1,90 @@
+#include "core/supernet.hpp"
+
+#include <stdexcept>
+
+namespace pasnet::core {
+
+SuperNet::SuperNet(nn::ModelDescriptor backbone, crypto::Prng& prng)
+    : backbone_(std::move(backbone)), graph_(std::make_unique<nn::Graph>()) {
+  using nn::OpKind;
+  std::vector<int> node(backbone_.layers.size(), -1);
+  for (std::size_t i = 0; i < backbone_.layers.size(); ++i) {
+    const nn::LayerSpec& l = backbone_.layers[i];
+    const auto in_node = [&node, &l]() { return node[static_cast<std::size_t>(l.in0)]; };
+    switch (l.kind) {
+      case OpKind::input:
+        node[i] = graph_->add_input();
+        break;
+      case OpKind::conv:
+        if (l.depthwise) {
+          node[i] = graph_->add_module(
+              std::make_unique<nn::DepthwiseConv2d>(l.in_ch, l.kernel, l.stride, l.pad, prng),
+              in_node());
+        } else {
+          node[i] = graph_->add_module(
+              std::make_unique<nn::Conv2d>(l.in_ch, l.out_ch, l.kernel, l.stride, l.pad, prng),
+              in_node());
+        }
+        break;
+      case OpKind::linear:
+        node[i] = graph_->add_module(
+            std::make_unique<nn::Linear>(l.in_features, l.out_features, prng), in_node());
+        break;
+      case OpKind::batchnorm:
+        node[i] = graph_->add_module(std::make_unique<nn::BatchNorm2d>(l.in_ch), in_node());
+        break;
+      case OpKind::relu:
+      case OpKind::x2act:
+        if (l.searchable) {
+          auto op = std::make_unique<MixedAct>();
+          act_ops_.push_back(op.get());
+          node[i] = graph_->add_module(std::move(op), in_node());
+        } else if (l.kind == OpKind::relu) {
+          node[i] = graph_->add_module(std::make_unique<nn::Relu>(), in_node());
+        } else {
+          node[i] = graph_->add_module(std::make_unique<nn::X2Act>(), in_node());
+        }
+        break;
+      case OpKind::maxpool:
+      case OpKind::avgpool:
+        if (l.searchable) {
+          auto op = std::make_unique<MixedPool>(l.kernel, l.stride, l.pad);
+          pool_ops_.push_back(op.get());
+          node[i] = graph_->add_module(std::move(op), in_node());
+        } else if (l.kind == OpKind::maxpool) {
+          node[i] = graph_->add_module(std::make_unique<nn::MaxPool2d>(l.kernel, l.stride, l.pad),
+                                       in_node());
+        } else {
+          node[i] = graph_->add_module(std::make_unique<nn::AvgPool2d>(l.kernel, l.stride, l.pad),
+                                       in_node());
+        }
+        break;
+      case OpKind::global_avgpool:
+        node[i] = graph_->add_module(std::make_unique<nn::GlobalAvgPool>(), in_node());
+        break;
+      case OpKind::flatten:
+        node[i] = graph_->add_module(std::make_unique<nn::Flatten>(), in_node());
+        break;
+      case OpKind::add:
+        node[i] = graph_->add_add(node[static_cast<std::size_t>(l.in0)],
+                                  node[static_cast<std::size_t>(l.in1)]);
+        break;
+    }
+  }
+  graph_->set_output(node[static_cast<std::size_t>(backbone_.output)]);
+}
+
+nn::ArchChoices SuperNet::derive_choices() const {
+  nn::ArchChoices choices;
+  choices.acts.reserve(act_ops_.size());
+  for (const auto* op : act_ops_) {
+    choices.acts.push_back(op->argmax() == 0 ? nn::ActKind::relu : nn::ActKind::x2act);
+  }
+  choices.pools.reserve(pool_ops_.size());
+  for (const auto* op : pool_ops_) {
+    choices.pools.push_back(op->argmax() == 0 ? nn::PoolKind::maxpool : nn::PoolKind::avgpool);
+  }
+  return choices;
+}
+
+}  // namespace pasnet::core

@@ -1,0 +1,43 @@
+#pragma once
+// The PASNet supernet (paper §III-B): a backbone descriptor whose
+// searchable activation and pooling sites are replaced by gated operators.
+// Convolution parameters are shared across candidates (the paper allows
+// either sharing or separate training; we share).
+
+#include <memory>
+
+#include "core/gated_ops.hpp"
+#include "nn/models.hpp"
+
+namespace pasnet::core {
+
+/// A supernet: backbone graph + gated operators at every searchable site.
+class SuperNet {
+ public:
+  /// Builds from a backbone descriptor (see nn::make_backbone).
+  SuperNet(nn::ModelDescriptor backbone, crypto::Prng& prng);
+
+  [[nodiscard]] nn::Graph& graph() noexcept { return *graph_; }
+  [[nodiscard]] const nn::ModelDescriptor& descriptor() const noexcept { return backbone_; }
+
+  /// Gated operators, ordered like nn::act_sites / nn::pool_sites.
+  [[nodiscard]] const std::vector<MixedAct*>& act_ops() const noexcept { return act_ops_; }
+  [[nodiscard]] const std::vector<MixedPool*>& pool_ops() const noexcept { return pool_ops_; }
+
+  /// Weight parameters ω (includes candidate X2act coefficients).
+  [[nodiscard]] std::vector<nn::ParamRef> weight_params() { return graph_->params(); }
+  /// Architecture parameters α, one [2]-vector per gated site.
+  [[nodiscard]] std::vector<nn::ParamRef> arch_params() { return graph_->arch_params(); }
+
+  /// Deterministic architecture by OP_l = OP_{l,argmax α} (Algorithm 1's
+  /// final step).
+  [[nodiscard]] nn::ArchChoices derive_choices() const;
+
+ private:
+  nn::ModelDescriptor backbone_;
+  std::unique_ptr<nn::Graph> graph_;
+  std::vector<MixedAct*> act_ops_;
+  std::vector<MixedPool*> pool_ops_;
+};
+
+}  // namespace pasnet::core

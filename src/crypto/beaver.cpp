@@ -1,0 +1,100 @@
+#include "crypto/beaver.hpp"
+
+#include <stdexcept>
+
+namespace pasnet::crypto {
+
+namespace {
+
+RingVec random_ring_vec(Prng& prng, std::size_t n, const RingConfig& rc) {
+  RingVec v(n);
+  for (auto& e : v) e = prng.next_u64() & rc.mask();
+  return v;
+}
+
+}  // namespace
+
+ElemTriple TripleDealer::elem_triple(std::size_t n) {
+  ElemTriple t;
+  const RingVec a = random_ring_vec(prng_, n, rc_);
+  const RingVec b = random_ring_vec(prng_, n, rc_);
+  const RingVec z = mul_vec(a, b, rc_);
+  t.a = share(a, prng_, rc_);
+  t.b = share(b, prng_, rc_);
+  t.z = share(z, prng_, rc_);
+  counters_.elem_triples += n;
+  return t;
+}
+
+SquarePair TripleDealer::square_pair(std::size_t n) {
+  SquarePair p;
+  const RingVec a = random_ring_vec(prng_, n, rc_);
+  const RingVec z = mul_vec(a, a, rc_);
+  p.a = share(a, prng_, rc_);
+  p.z = share(z, prng_, rc_);
+  counters_.square_pairs += n;
+  return p;
+}
+
+MatmulTriple TripleDealer::matmul_triple(std::size_t m, std::size_t k, std::size_t n) {
+  MatmulTriple t;
+  t.m = m;
+  t.k = k;
+  t.n = n;
+  const RingVec a = random_ring_vec(prng_, m * k, rc_);
+  const RingVec b = random_ring_vec(prng_, k * n, rc_);
+  const RingVec z = ring_matmul(a, b, m, k, n, rc_);
+  t.a = share(a, prng_, rc_);
+  t.b = share(b, prng_, rc_);
+  t.z = share(z, prng_, rc_);
+  counters_.matmul_triple_elems += m * k + k * n + m * n;
+  return t;
+}
+
+BitTriple TripleDealer::bit_triple(std::size_t n) {
+  BitTriple t;
+  t.a0.resize(n);
+  t.a1.resize(n);
+  t.b0.resize(n);
+  t.b1.resize(n);
+  t.c0.resize(n);
+  t.c1.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = prng_.next_u64();
+    const std::uint8_t a = r & 1;
+    const std::uint8_t b = (r >> 1) & 1;
+    const std::uint8_t c = a & b;
+    t.a0[i] = (r >> 2) & 1;
+    t.a1[i] = t.a0[i] ^ a;
+    t.b0[i] = (r >> 3) & 1;
+    t.b1[i] = t.b0[i] ^ b;
+    t.c0[i] = (r >> 4) & 1;
+    t.c1[i] = t.c0[i] ^ c;
+  }
+  counters_.bit_triples += n;
+  return t;
+}
+
+RingVec ring_matmul(const RingVec& a, const RingVec& b, std::size_t m, std::size_t k,
+                    std::size_t n, const RingConfig& rc) {
+  if (a.size() != m * k || b.size() != k * n) {
+    throw std::invalid_argument("ring_matmul: shape mismatch");
+  }
+  RingVec out(m * n, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::uint64_t aip = a[i * k + p];
+      if (aip == 0) continue;
+      const std::uint64_t* brow = &b[p * n];
+      std::uint64_t* orow = &out[i * n];
+      for (std::size_t j = 0; j < n; ++j) {
+        orow[j] += aip * brow[j];  // lazy reduction; masked below
+      }
+    }
+    std::uint64_t* orow = &out[i * n];
+    for (std::size_t j = 0; j < n; ++j) orow[j] &= rc.mask();
+  }
+  return out;
+}
+
+}  // namespace pasnet::crypto

@@ -1,0 +1,102 @@
+#pragma once
+// Beaver-triple machinery (paper §II-B).
+//
+// Multiplicative 2PC operations consume correlated randomness produced by a
+// trusted dealer in an offline phase: elementwise triples Z = A ⊙ B,
+// square pairs Z = A ⊙ A, matrix triples Z = A · B, and boolean AND
+// triples over Z2.  The dealer here is a local object (the simulation plays
+// all three roles); `TripleCounters` records how much offline material the
+// online protocols consumed so experiments can report offline cost.
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prng.hpp"
+#include "crypto/ring.hpp"
+#include "crypto/secret_share.hpp"
+
+namespace pasnet::crypto {
+
+/// Elementwise triple: Z = A ⊙ B, all secret-shared.
+struct ElemTriple {
+  Shared a, b, z;
+};
+
+/// Square pair: Z = A ⊙ A.
+struct SquarePair {
+  Shared a, z;
+};
+
+/// Matrix triple for an (m×k)·(k×n) product: Z = A·B.
+struct MatmulTriple {
+  Shared a, b, z;  // row-major m×k, k×n, m×n
+  std::size_t m = 0, k = 0, n = 0;
+};
+
+/// Boolean triple over Z2: c = a AND b, XOR-shared bits (one byte per bit).
+struct BitTriple {
+  std::vector<std::uint8_t> a0, a1, b0, b1, c0, c1;
+};
+
+/// Generic bilinear triple Z = f(A, B): used for convolution-shaped
+/// correlations where the online phase opens X - A in *input* space, which
+/// is what the paper's COMM_conv = 32·FI²·IC models (the weight-side
+/// opening E = W - B is weight-shaped and precomputable offline for a
+/// static model).
+struct BilinearTriple {
+  Shared a, b, z;
+};
+
+/// Offline-phase consumption counters.
+struct TripleCounters {
+  std::uint64_t elem_triples = 0;
+  std::uint64_t square_pairs = 0;
+  std::uint64_t matmul_triple_elems = 0;  // m*k + k*n + m*n
+  std::uint64_t bilinear_triple_elems = 0;
+  std::uint64_t bit_triples = 0;
+  void reset() noexcept { *this = TripleCounters{}; }
+};
+
+/// Trusted dealer: generates correlated randomness for both parties.
+class TripleDealer {
+ public:
+  explicit TripleDealer(RingConfig rc, std::uint64_t seed = 0xDEA1E5ULL)
+      : rc_(rc), prng_(seed) {}
+
+  [[nodiscard]] ElemTriple elem_triple(std::size_t n);
+  [[nodiscard]] SquarePair square_pair(std::size_t n);
+  [[nodiscard]] MatmulTriple matmul_triple(std::size_t m, std::size_t k, std::size_t n);
+  [[nodiscard]] BitTriple bit_triple(std::size_t n);
+
+  /// Samples A (na elems, "input"-shaped) and B (nb elems, "weight"-shaped)
+  /// and shares Z = f(A, B), where `f` is any bilinear map returning a
+  /// RingVec (e.g. B convolved over A).
+  template <typename F>
+  [[nodiscard]] BilinearTriple bilinear_triple(std::size_t na, std::size_t nb, F&& f) {
+    RingVec a(na), b(nb);
+    for (auto& e : a) e = prng_.next_u64() & rc_.mask();
+    for (auto& e : b) e = prng_.next_u64() & rc_.mask();
+    const RingVec z = f(a, b);
+    BilinearTriple t;
+    t.a = share(a, prng_, rc_);
+    t.b = share(b, prng_, rc_);
+    t.z = share(z, prng_, rc_);
+    counters_.bilinear_triple_elems += na + nb + z.size();
+    return t;
+  }
+
+  [[nodiscard]] const TripleCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_.reset(); }
+  [[nodiscard]] const RingConfig& ring() const noexcept { return rc_; }
+
+ private:
+  RingConfig rc_;
+  Prng prng_;
+  TripleCounters counters_;
+};
+
+/// Plain row-major ring matrix product (local helper, no protocol).
+[[nodiscard]] RingVec ring_matmul(const RingVec& a, const RingVec& b, std::size_t m,
+                                  std::size_t k, std::size_t n, const RingConfig& rc);
+
+}  // namespace pasnet::crypto

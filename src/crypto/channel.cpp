@@ -1,0 +1,86 @@
+#include "crypto/channel.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pasnet::crypto {
+
+struct Channel::Shared {
+  std::deque<std::vector<std::uint8_t>> inbox_p0;  // messages addressed to p0
+  std::deque<std::vector<std::uint8_t>> inbox_p1;  // messages addressed to p1
+  int last_sender = -1;                            // for round counting
+};
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair() {
+  auto shared = std::make_shared<Shared>();
+  auto stats = std::make_shared<TrafficStats>();
+  auto c0 = std::unique_ptr<Channel>(new Channel());
+  auto c1 = std::unique_ptr<Channel>(new Channel());
+  c0->party_ = 0;
+  c1->party_ = 1;
+  c0->shared_ = shared;
+  c1->shared_ = shared;
+  c0->stats_ = stats;
+  c1->stats_ = stats;
+  return {std::move(c0), std::move(c1)};
+}
+
+void Channel::send_bytes(const std::vector<std::uint8_t>& data) {
+  auto& inbox = party_ == 0 ? shared_->inbox_p1 : shared_->inbox_p0;
+  inbox.push_back(data);
+  if (party_ == 0) {
+    stats_->bytes_p0_to_p1 += data.size();
+  } else {
+    stats_->bytes_p1_to_p0 += data.size();
+  }
+  ++stats_->messages;
+  if (shared_->last_sender != party_) {
+    ++stats_->rounds;
+    shared_->last_sender = party_;
+  }
+}
+
+std::vector<std::uint8_t> Channel::recv_bytes() {
+  auto& inbox = party_ == 0 ? shared_->inbox_p0 : shared_->inbox_p1;
+  if (inbox.empty()) {
+    throw std::logic_error("Channel::recv_bytes: no pending message (protocol ordering bug)");
+  }
+  auto msg = std::move(inbox.front());
+  inbox.pop_front();
+  return msg;
+}
+
+void Channel::send_ring(const RingVec& v, int wire_bytes_per_elem) {
+  std::vector<std::uint8_t> buf(v.size() * sizeof(std::uint64_t));
+  if (!v.empty()) std::memcpy(buf.data(), v.data(), buf.size());
+  // Account for the modeled wire width rather than the in-memory width.
+  auto& inbox = party_ == 0 ? shared_->inbox_p1 : shared_->inbox_p0;
+  inbox.push_back(std::move(buf));
+  const std::uint64_t wire = v.size() * static_cast<std::uint64_t>(wire_bytes_per_elem);
+  if (party_ == 0) {
+    stats_->bytes_p0_to_p1 += wire;
+  } else {
+    stats_->bytes_p1_to_p0 += wire;
+  }
+  ++stats_->messages;
+  if (shared_->last_sender != party_) {
+    ++stats_->rounds;
+    shared_->last_sender = party_;
+  }
+}
+
+RingVec Channel::recv_ring(std::size_t n, int /*wire_bytes_per_elem*/) {
+  auto buf = recv_bytes();
+  if (buf.size() != n * sizeof(std::uint64_t)) {
+    throw std::logic_error("Channel::recv_ring: message size mismatch");
+  }
+  RingVec v(n);
+  if (n > 0) std::memcpy(v.data(), buf.data(), buf.size());
+  return v;
+}
+
+void Channel::send_u64(std::uint64_t v) { send_ring(RingVec{v}); }
+
+std::uint64_t Channel::recv_u64() { return recv_ring(1)[0]; }
+
+}  // namespace pasnet::crypto

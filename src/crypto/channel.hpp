@@ -1,0 +1,72 @@
+#pragma once
+// Simulated duplex channel between the two computing parties.
+//
+// Both parties run in-process in lockstep (single thread), so a "channel"
+// is a pair of byte queues plus a traffic meter.  The meter records every
+// byte, message, and communication round, which lets integration tests
+// cross-check the measured traffic of the real protocol stack against the
+// analytical communication model of src/perf (DESIGN.md E6).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "crypto/ring.hpp"
+
+namespace pasnet::crypto {
+
+/// Aggregate traffic statistics for one party-pair.
+struct TrafficStats {
+  std::uint64_t bytes_p0_to_p1 = 0;
+  std::uint64_t bytes_p1_to_p0 = 0;
+  std::uint64_t messages = 0;
+  /// A round increments whenever the sending direction flips; it tracks the
+  /// protocol's sequential latency-critical message exchanges.
+  std::uint64_t rounds = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes_p0_to_p1 + bytes_p1_to_p0;
+  }
+  void reset() noexcept { *this = TrafficStats{}; }
+};
+
+/// One endpoint of a lockstep duplex channel.  `send` enqueues into the
+/// peer's inbox; `recv` dequeues from this endpoint's inbox and throws if
+/// the protocol tried to read a message that was never sent (an ordering
+/// bug, which the tests want to catch loudly).
+class Channel {
+ public:
+  /// Sends a raw byte message to the peer.
+  void send_bytes(const std::vector<std::uint8_t>& data);
+  /// Receives the oldest pending byte message; throws std::logic_error if
+  /// the inbox is empty.
+  [[nodiscard]] std::vector<std::uint8_t> recv_bytes();
+
+  /// Convenience: send/recv a vector of ring elements, 8 bytes each in the
+  /// simulation.  `wire_bytes_per_elem` models the on-wire width (e.g. 4
+  /// for a 32-bit ring) for traffic accounting while keeping u64 storage.
+  void send_ring(const RingVec& v, int wire_bytes_per_elem = 8);
+  [[nodiscard]] RingVec recv_ring(std::size_t n, int wire_bytes_per_elem = 8);
+
+  /// Convenience: single u64 value.
+  void send_u64(std::uint64_t v);
+  [[nodiscard]] std::uint64_t recv_u64();
+
+  /// Traffic stats shared by both endpoints of the pair.
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return *stats_; }
+  void reset_stats() noexcept { stats_->reset(); }
+
+  /// Creates a connected pair of endpoints: first element is party 0's.
+  static std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_pair();
+
+ private:
+  Channel() = default;
+
+  struct Shared;
+  int party_ = 0;
+  std::shared_ptr<Shared> shared_;
+  std::shared_ptr<TrafficStats> stats_;
+};
+
+}  // namespace pasnet::crypto

@@ -1,0 +1,252 @@
+#include "crypto/compare.hpp"
+
+#include <stdexcept>
+
+namespace pasnet::crypto {
+
+namespace {
+
+std::vector<std::uint8_t> pack_bits(const std::vector<std::uint8_t>& bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bytes[i / 8] |= static_cast<std::uint8_t>((bits[i] & 1) << (i % 8));
+  }
+  return bytes;
+}
+
+std::vector<std::uint8_t> unpack_bits(const std::vector<std::uint8_t>& bytes,
+                                      std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = (bytes[i / 8] >> (i % 8)) & 1;
+  return bits;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> reconstruct_bits(const BitShared& v) {
+  std::vector<std::uint8_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v.b0[i] ^ v.b1[i];
+  return out;
+}
+
+BitShared xor_bits(const BitShared& x, const BitShared& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("xor_bits: size mismatch");
+  BitShared out;
+  out.b0.resize(x.size());
+  out.b1.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.b0[i] = x.b0[i] ^ y.b0[i];
+    out.b1[i] = x.b1[i] ^ y.b1[i];
+  }
+  return out;
+}
+
+BitShared not_bits(const BitShared& x) {
+  BitShared out = x;
+  for (auto& b : out.b0) b ^= 1;
+  return out;
+}
+
+BitShared and_bits(TwoPartyContext& ctx, const BitShared& x, const BitShared& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("and_bits: size mismatch");
+  const std::size_t n = x.size();
+  const BitTriple t = ctx.dealer().bit_triple(n);
+
+  // d = x ^ a, e = y ^ b; both parties open (one parallel round).
+  std::vector<std::uint8_t> d0(n), e0(n), d1(n), e1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d0[i] = x.b0[i] ^ t.a0[i];
+    e0[i] = y.b0[i] ^ t.b0[i];
+    d1[i] = x.b1[i] ^ t.a1[i];
+    e1[i] = y.b1[i] ^ t.b1[i];
+  }
+  // Each party packs (d,e) into one message.
+  auto concat = [](const std::vector<std::uint8_t>& u, const std::vector<std::uint8_t>& v) {
+    std::vector<std::uint8_t> w = u;
+    w.insert(w.end(), v.begin(), v.end());
+    return w;
+  };
+  ctx.chan(0).send_bytes(pack_bits(concat(d0, e0)));
+  ctx.chan(1).send_bytes(pack_bits(concat(d1, e1)));
+  const auto from0 = unpack_bits(ctx.chan(1).recv_bytes(), 2 * n);
+  const auto from1 = unpack_bits(ctx.chan(0).recv_bytes(), 2 * n);
+
+  BitShared out;
+  out.b0.resize(n);
+  out.b1.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t d = d0[i] ^ from1[i] ^ 0;       // d0 ^ d1
+    const std::uint8_t e = e0[i] ^ from1[n + i];       // e0 ^ e1
+    // Cross-check party 1's reconstruction path uses from0.
+    const std::uint8_t d_p1 = d1[i] ^ from0[i];
+    const std::uint8_t e_p1 = e1[i] ^ from0[n + i];
+    // z_i = [i==0]·(d&e) ^ (d & b_i) ^ (e & a_i) ^ c_i
+    out.b0[i] = (d & e) ^ (d & t.b0[i]) ^ (e & t.a0[i]) ^ t.c0[i];
+    out.b1[i] = (d_p1 & t.b1[i]) ^ (e_p1 & t.a1[i]) ^ t.c1[i];
+  }
+  return out;
+}
+
+BitShared millionaire_gt(TwoPartyContext& ctx, const std::vector<std::uint64_t>& a,
+                         const std::vector<std::uint64_t>& b, int nbits, OtMode mode) {
+  if (a.size() != b.size()) throw std::invalid_argument("millionaire_gt: size mismatch");
+  if (nbits < 1 || nbits > 63) throw std::invalid_argument("millionaire_gt: bad width");
+  const std::size_t n = a.size();
+  const int digits = (nbits + 1) / 2;  // 2-bit parts (paper: U=16 for 32 bits)
+
+  // Leaf layer: one (1,4)-OT per (element, digit).  Party 1 is the sender
+  // and keeps random bits (r_lt, r_eq) as its leaf shares; party 0 receives
+  // the masked (lt, eq) pair for its digit value.
+  std::vector<std::array<std::uint8_t, kOtFanIn>> tables(n * digits);
+  std::vector<std::uint8_t> choices(n * digits);
+  std::vector<std::uint8_t> r_lt(n * digits), r_eq(n * digits);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (int d = 0; d < digits; ++d) {
+      const std::size_t idx = t * digits + d;
+      const auto a_dig = static_cast<std::uint8_t>((a[t] >> (2 * d)) & 3);
+      const auto b_dig = static_cast<std::uint8_t>((b[t] >> (2 * d)) & 3);
+      const std::uint64_t rnd = ctx.prng(1).next_u64();
+      r_lt[idx] = rnd & 1;
+      r_eq[idx] = (rnd >> 1) & 1;
+      for (std::uint8_t j = 0; j < kOtFanIn; ++j) {
+        const std::uint8_t gt = (j > b_dig) ? 1 : 0;
+        const std::uint8_t eq = (j == b_dig) ? 1 : 0;
+        tables[idx][j] = static_cast<std::uint8_t>((gt ^ r_lt[idx]) |
+                                                   (static_cast<std::uint8_t>(eq ^ r_eq[idx]) << 1));
+      }
+      choices[idx] = a_dig;
+    }
+  }
+  const std::vector<std::uint8_t> leaf = ot_1of4(ctx, /*sender=*/1, tables, choices, mode);
+
+  // Per-digit shared (gt, eq) vectors, index 0 = least significant digit.
+  std::vector<BitShared> gt_d(digits), eq_d(digits);
+  for (int d = 0; d < digits; ++d) {
+    gt_d[d].b0.resize(n);
+    gt_d[d].b1.resize(n);
+    eq_d[d].b0.resize(n);
+    eq_d[d].b1.resize(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::size_t idx = t * digits + d;
+      gt_d[d].b0[t] = leaf[idx] & 1;
+      gt_d[d].b1[t] = r_lt[idx];
+      eq_d[d].b0[t] = (leaf[idx] >> 1) & 1;
+      eq_d[d].b1[t] = r_eq[idx];
+    }
+  }
+
+  // Log-depth combine: for an adjacent (hi, lo) pair,
+  //   gt = gt_hi ^ (eq_hi & gt_lo),  eq = eq_hi & eq_lo.
+  // Both ANDs of every pair are batched into a single and_bits round.
+  std::vector<BitShared> gts = std::move(gt_d);
+  std::vector<BitShared> eqs = std::move(eq_d);
+  while (gts.size() > 1) {
+    const std::size_t pairs = gts.size() / 2;
+    BitShared lhs, rhs;  // concat of [eq_hi]*2 vs [gt_lo, eq_lo] per pair
+    lhs.b0.reserve(2 * pairs * n);
+    lhs.b1.reserve(2 * pairs * n);
+    rhs.b0.reserve(2 * pairs * n);
+    rhs.b1.reserve(2 * pairs * n);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const BitShared& eq_hi = eqs[2 * p + 1];
+      const BitShared& gt_lo = gts[2 * p];
+      const BitShared& eq_lo = eqs[2 * p];
+      lhs.b0.insert(lhs.b0.end(), eq_hi.b0.begin(), eq_hi.b0.end());
+      lhs.b1.insert(lhs.b1.end(), eq_hi.b1.begin(), eq_hi.b1.end());
+      rhs.b0.insert(rhs.b0.end(), gt_lo.b0.begin(), gt_lo.b0.end());
+      rhs.b1.insert(rhs.b1.end(), gt_lo.b1.begin(), gt_lo.b1.end());
+      lhs.b0.insert(lhs.b0.end(), eq_hi.b0.begin(), eq_hi.b0.end());
+      lhs.b1.insert(lhs.b1.end(), eq_hi.b1.begin(), eq_hi.b1.end());
+      rhs.b0.insert(rhs.b0.end(), eq_lo.b0.begin(), eq_lo.b0.end());
+      rhs.b1.insert(rhs.b1.end(), eq_lo.b1.begin(), eq_lo.b1.end());
+    }
+    const BitShared prod = and_bits(ctx, lhs, rhs);
+
+    std::vector<BitShared> next_gt, next_eq;
+    next_gt.reserve(pairs + 1);
+    next_eq.reserve(pairs + 1);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      BitShared gated_gt, gated_eq;
+      gated_gt.b0.assign(prod.b0.begin() + static_cast<long>(2 * p * n),
+                       prod.b0.begin() + static_cast<long>((2 * p + 1) * n));
+      gated_gt.b1.assign(prod.b1.begin() + static_cast<long>(2 * p * n),
+                       prod.b1.begin() + static_cast<long>((2 * p + 1) * n));
+      gated_eq.b0.assign(prod.b0.begin() + static_cast<long>((2 * p + 1) * n),
+                       prod.b0.begin() + static_cast<long>((2 * p + 2) * n));
+      gated_eq.b1.assign(prod.b1.begin() + static_cast<long>((2 * p + 1) * n),
+                       prod.b1.begin() + static_cast<long>((2 * p + 2) * n));
+      next_gt.push_back(xor_bits(gts[2 * p + 1], gated_gt));
+      next_eq.push_back(std::move(gated_eq));
+    }
+    if (gts.size() % 2 == 1) {  // odd count: most-significant digit carries up
+      next_gt.push_back(std::move(gts.back()));
+      next_eq.push_back(std::move(eqs.back()));
+    }
+    gts = std::move(next_gt);
+    eqs = std::move(next_eq);
+  }
+  return gts[0];
+}
+
+BitShared msb(TwoPartyContext& ctx, const Shared& x, OtMode mode) {
+  const RingConfig& rc = ctx.ring();
+  const std::size_t n = x.size();
+  const int lo_bits = rc.bits - 1;
+  const std::uint64_t lo_mask = (1ULL << lo_bits) - 1;
+
+  // carry = [lo(x0) + lo(x1) >= 2^(b-1)] = [lo(x0) > 2^(b-1)-1 - lo(x1)]
+  std::vector<std::uint64_t> a(n), b(n);
+  std::vector<std::uint8_t> m0(n), m1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = x.s0[i] & lo_mask;
+    b[i] = lo_mask - (x.s1[i] & lo_mask);
+    m0[i] = static_cast<std::uint8_t>((x.s0[i] >> lo_bits) & 1);
+    m1[i] = static_cast<std::uint8_t>((x.s1[i] >> lo_bits) & 1);
+  }
+  BitShared carry = millionaire_gt(ctx, a, b, lo_bits, mode);
+
+  // msb(x) = msb(x0) ^ msb(x1) ^ carry — each party folds its own top bit.
+  for (std::size_t i = 0; i < n; ++i) {
+    carry.b0[i] ^= m0[i];
+    carry.b1[i] ^= m1[i];
+  }
+  return carry;
+}
+
+BitShared drelu(TwoPartyContext& ctx, const Shared& x, OtMode mode) {
+  return not_bits(msb(ctx, x, mode));
+}
+
+Shared b2a(TwoPartyContext& ctx, const BitShared& v) {
+  const std::size_t n = v.size();
+  RingVec v0(n), v1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v0[i] = v.b0[i];
+    v1[i] = v.b1[i];
+  }
+  const Shared x = trivial_share(v0, 0);
+  const Shared y = trivial_share(v1, 1);
+  const Shared p = mul_elem(ctx, x, y);
+  const RingConfig& rc = ctx.ring();
+  // b = v0 + v1 - 2·v0·v1
+  Shared sum = add(x, y, rc);
+  const Shared two_p = scale(p, 2, rc);
+  return sub(sum, two_p, rc);
+}
+
+Shared mux(TwoPartyContext& ctx, const BitShared& sel, const Shared& x) {
+  return mul_elem(ctx, x, b2a(ctx, sel));
+}
+
+Shared relu(TwoPartyContext& ctx, const Shared& x, OtMode mode) {
+  return mux(ctx, drelu(ctx, x, mode), x);
+}
+
+Shared max_elem(TwoPartyContext& ctx, const Shared& a, const Shared& b, OtMode mode) {
+  const RingConfig& rc = ctx.ring();
+  const Shared diff = sub(a, b, rc);
+  const Shared gated = mux(ctx, drelu(ctx, diff, mode), diff);
+  return add(b, gated, rc);
+}
+
+}  // namespace pasnet::crypto

@@ -1,0 +1,73 @@
+#pragma once
+// Secure comparison (paper §II-C, §III-C.1): the millionaires protocol on
+// 2-bit parts via (1,4)-OT, plus the DReLU / ReLU / max building blocks the
+// non-polynomial 2PC operators are made of.
+//
+// Layout of the reduction (for the default 32-bit ring):
+//   x = x0 + x1 mod 2^32                       (additive shares)
+//   msb(x) = msb(x0) ^ msb(x1) ^ carry,        carry = [lo(x0)+lo(x1) >= 2^31]
+//   carry  = millionaire( lo(x0)  >  2^31-1-lo(x1) )
+// and the millionaire comparison decomposes both inputs into U = 16 parts
+// of 2 bits (paper Fig. 4), resolves each part with one (1,4)-OT, and
+// combines (lt, eq) pairs with a log-depth Beaver-AND tree.
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/ot.hpp"
+#include "crypto/party.hpp"
+
+namespace pasnet::crypto {
+
+/// XOR-shared bit vector (one byte per bit in memory; packed on the wire).
+struct BitShared {
+  std::vector<std::uint8_t> b0;
+  std::vector<std::uint8_t> b1;
+
+  [[nodiscard]] std::size_t size() const noexcept { return b0.size(); }
+};
+
+/// Reconstruct XOR-shared bits (local; for tests and final outputs).
+[[nodiscard]] std::vector<std::uint8_t> reconstruct_bits(const BitShared& v);
+
+/// Local XOR of two shared bit vectors.
+[[nodiscard]] BitShared xor_bits(const BitShared& x, const BitShared& y);
+
+/// NOT: flips the logical value by flipping party 0's share.
+[[nodiscard]] BitShared not_bits(const BitShared& x);
+
+/// Beaver AND over Z2 (one parallel round; consumes |x| bit triples).
+[[nodiscard]] BitShared and_bits(TwoPartyContext& ctx, const BitShared& x,
+                                 const BitShared& y);
+
+/// Millionaires protocol: party 0 holds `a`, party 1 holds `b`, both lists
+/// of `nbits`-bit non-negative values; returns XOR shares of [a > b].
+[[nodiscard]] BitShared millionaire_gt(TwoPartyContext& ctx,
+                                       const std::vector<std::uint64_t>& a,
+                                       const std::vector<std::uint64_t>& b, int nbits,
+                                       OtMode mode = OtMode::dh_masked);
+
+/// XOR shares of the most significant bit of a secret-shared ring value.
+[[nodiscard]] BitShared msb(TwoPartyContext& ctx, const Shared& x,
+                            OtMode mode = OtMode::dh_masked);
+
+/// DReLU(x) = [x >= 0] = NOT msb(x), XOR-shared.
+[[nodiscard]] BitShared drelu(TwoPartyContext& ctx, const Shared& x,
+                              OtMode mode = OtMode::dh_masked);
+
+/// Convert an XOR-shared bit to an additive ring sharing of the same 0/1
+/// value (b = v0 + v1 - 2·v0·v1; one Beaver multiplication).
+[[nodiscard]] Shared b2a(TwoPartyContext& ctx, const BitShared& v);
+
+/// Oblivious select: returns J sel ? x : 0 K with `sel` an XOR-shared bit.
+[[nodiscard]] Shared mux(TwoPartyContext& ctx, const BitShared& sel, const Shared& x);
+
+/// 2PC-ReLU on shares: relu(x) = x · DReLU(x).
+[[nodiscard]] Shared relu(TwoPartyContext& ctx, const Shared& x,
+                          OtMode mode = OtMode::dh_masked);
+
+/// Elementwise secure max: max(a,b) = b + (a-b)·DReLU(a-b).
+[[nodiscard]] Shared max_elem(TwoPartyContext& ctx, const Shared& a, const Shared& b,
+                              OtMode mode = OtMode::dh_masked);
+
+}  // namespace pasnet::crypto

@@ -1,0 +1,55 @@
+#pragma once
+// (1,n)-oblivious transfer (paper §III-C.1, Fig. 4).
+//
+// The comparison flow splits each 32-bit value into U = 16 parts of 2 bits
+// and retrieves one of n = 4 masked table entries per part.  We implement a
+// batched semi-honest 1-of-4 OT in two interchangeable modes:
+//
+//  * `dh_masked`  — a Bellare–Micali-style instantiation over Z_p with the
+//    Mersenne prime p = 2^61 - 1, mirroring the paper's g^r mod m masking.
+//    Functionally correct; toy-strength parameters (DESIGN.md §3.4).
+//  * `correlated` — an ideal-functionality fast path that produces the same
+//    transcript sizes (for traffic accounting) without the modular
+//    exponentiation; used when simulating large tensors.
+//
+// Both modes produce identical protocol results and identical byte counts.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/party.hpp"
+
+namespace pasnet::crypto {
+
+/// OT instantiation selector.
+enum class OtMode { dh_masked, correlated };
+
+/// Number of OT table entries (2-bit parts -> 1-of-4).
+inline constexpr int kOtFanIn = 4;
+
+/// Batched 1-of-4 OT.
+///
+/// For every instance t the sender (party `sender`) inputs 4 one-byte
+/// messages `tables[t]`, the receiver (the other party) inputs a choice
+/// `choices[t]` in [0,4); the receiver learns exactly `tables[t][choice]`.
+/// Returns the receiver's outputs.  Two messages total: receiver -> sender
+/// (blinded keys) then sender -> receiver (masked tables).
+[[nodiscard]] std::vector<std::uint8_t> ot_1of4(
+    TwoPartyContext& ctx, int sender,
+    const std::vector<std::array<std::uint8_t, kOtFanIn>>& tables,
+    const std::vector<std::uint8_t>& choices, OtMode mode);
+
+/// 61-bit Mersenne-prime modular helpers (exposed for tests).
+namespace dh {
+inline constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+inline constexpr std::uint64_t kGenerator = 3;
+/// Fixed public group constant with unknown discrete log to either party.
+inline constexpr std::uint64_t kPublicC = 0x1D0C0FFEE1234567ULL % kPrime;
+
+[[nodiscard]] std::uint64_t mulmod(std::uint64_t a, std::uint64_t b) noexcept;
+[[nodiscard]] std::uint64_t powmod(std::uint64_t base, std::uint64_t exp) noexcept;
+[[nodiscard]] std::uint64_t invmod(std::uint64_t a) noexcept;
+}  // namespace dh
+
+}  // namespace pasnet::crypto

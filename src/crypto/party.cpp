@@ -1,0 +1,83 @@
+#include "crypto/party.hpp"
+
+#include <stdexcept>
+
+namespace pasnet::crypto {
+
+RingVec open(TwoPartyContext& ctx, const Shared& x) {
+  const int wb = ctx.wire_bytes();
+  // Both directions in one parallel round.
+  ctx.chan(0).send_ring(x.s0, wb);
+  ctx.chan(1).send_ring(x.s1, wb);
+  const RingVec from0 = ctx.chan(1).recv_ring(x.size(), wb);
+  const RingVec from1 = ctx.chan(0).recv_ring(x.size(), wb);
+  return add_vec(from0, from1, ctx.ring());
+}
+
+Shared mul_elem(TwoPartyContext& ctx, const Shared& x, const Shared& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("mul_elem: size mismatch");
+  const RingConfig& rc = ctx.ring();
+  const ElemTriple t = ctx.dealer().elem_triple(x.size());
+
+  // E = X - A, F = Y - B; opened jointly.
+  const Shared e_sh = sub(x, t.a, rc);
+  const Shared f_sh = sub(y, t.b, rc);
+  const RingVec e = open(ctx, e_sh);
+  const RingVec f = open(ctx, f_sh);
+
+  // R_Si = -i·E⊙F + X_Si⊙F + E⊙Y_Si + Z_Si  (paper Eq. 2)
+  Shared r;
+  r.s0 = add_vec(add_vec(mul_vec(x.s0, f, rc), mul_vec(e, y.s0, rc), rc), t.z.s0, rc);
+  RingVec ef = mul_vec(e, f, rc);
+  r.s1 = add_vec(add_vec(mul_vec(x.s1, f, rc), mul_vec(e, y.s1, rc), rc), t.z.s1, rc);
+  r.s1 = sub_vec(r.s1, ef, rc);
+  return r;
+}
+
+Shared square_elem(TwoPartyContext& ctx, const Shared& x) {
+  const RingConfig& rc = ctx.ring();
+  const SquarePair p = ctx.dealer().square_pair(x.size());
+
+  const Shared e_sh = sub(x, p.a, rc);
+  const RingVec e = open(ctx, e_sh);
+
+  // R = Z + 2·E⊙A + E⊙E  (paper Eq. 3); the public E⊙E term is added by
+  // exactly one party so reconstruction counts it once.
+  const std::uint64_t two = 2;
+  Shared r;
+  r.s0 = add_vec(p.z.s0, scale_vec(mul_vec(e, p.a.s0, rc), two, rc), rc);
+  r.s0 = add_vec(r.s0, mul_vec(e, e, rc), rc);
+  r.s1 = add_vec(p.z.s1, scale_vec(mul_vec(e, p.a.s1, rc), two, rc), rc);
+  return r;
+}
+
+Shared matmul(TwoPartyContext& ctx, const Shared& x, const Shared& y, std::size_t m,
+              std::size_t k, std::size_t n) {
+  if (x.size() != m * k || y.size() != k * n) {
+    throw std::invalid_argument("matmul: shape mismatch");
+  }
+  const RingConfig& rc = ctx.ring();
+  const MatmulTriple t = ctx.dealer().matmul_triple(m, k, n);
+
+  const Shared e_sh = sub(x, t.a, rc);
+  const Shared f_sh = sub(y, t.b, rc);
+  const RingVec e = open(ctx, e_sh);
+  const RingVec f = open(ctx, f_sh);
+
+  const RingVec ef = ring_matmul(e, f, m, k, n, rc);
+  Shared r;
+  r.s0 = add_vec(add_vec(ring_matmul(x.s0, f, m, k, n, rc),
+                         ring_matmul(e, y.s0, m, k, n, rc), rc),
+                 t.z.s0, rc);
+  r.s1 = add_vec(add_vec(ring_matmul(x.s1, f, m, k, n, rc),
+                         ring_matmul(e, y.s1, m, k, n, rc), rc),
+                 t.z.s1, rc);
+  r.s1 = sub_vec(r.s1, ef, rc);
+  return r;
+}
+
+Shared mul_fixed(TwoPartyContext& ctx, const Shared& x, const Shared& y) {
+  return truncate_shares(mul_elem(ctx, x, y), ctx.ring());
+}
+
+}  // namespace pasnet::crypto

@@ -1,0 +1,71 @@
+#pragma once
+// Two-party execution context and the online multiplicative protocols.
+//
+// The simulation runs both semi-honest servers in lockstep inside one
+// process (DESIGN.md §5).  A TwoPartyContext bundles the ring, the duplex
+// channel pair, per-party local randomness, and the trusted dealer.  The
+// protocol functions below implement the paper's §II-B equations verbatim,
+// exchanging masked values over the channels so that traffic statistics
+// match a real deployment message-for-message.
+
+#include <cstdint>
+#include <memory>
+
+#include "crypto/beaver.hpp"
+#include "crypto/channel.hpp"
+#include "crypto/prng.hpp"
+#include "crypto/ring.hpp"
+#include "crypto/secret_share.hpp"
+
+namespace pasnet::crypto {
+
+/// Everything the online phase of a 2PC evaluation needs.
+class TwoPartyContext {
+ public:
+  explicit TwoPartyContext(RingConfig rc = RingConfig{}, std::uint64_t seed = 42)
+      : rc_(rc), dealer_(rc, splitmix64(seed)), prng0_(splitmix64(seed ^ 1)),
+        prng1_(splitmix64(seed ^ 2)) {
+    auto [c0, c1] = Channel::make_pair();
+    chan0_ = std::move(c0);
+    chan1_ = std::move(c1);
+  }
+
+  [[nodiscard]] const RingConfig& ring() const noexcept { return rc_; }
+  [[nodiscard]] TripleDealer& dealer() noexcept { return dealer_; }
+  [[nodiscard]] Channel& chan(int party) { return party == 0 ? *chan0_ : *chan1_; }
+  [[nodiscard]] Prng& prng(int party) noexcept { return party == 0 ? prng0_ : prng1_; }
+
+  /// Modeled on-wire bytes per ring element (4 for the paper's 32-bit ring).
+  [[nodiscard]] int wire_bytes() const noexcept { return (rc_.wire_bits + 7) / 8; }
+
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return chan0_->stats(); }
+  void reset_stats() { chan0_->reset_stats(); }
+
+ private:
+  RingConfig rc_;
+  std::unique_ptr<Channel> chan0_;
+  std::unique_ptr<Channel> chan1_;
+  TripleDealer dealer_;
+  Prng prng0_;
+  Prng prng1_;
+};
+
+/// Jointly reconstruct a shared vector: both parties exchange their shares
+/// (one parallel round) and locally add.  Returns the public value.
+[[nodiscard]] RingVec open(TwoPartyContext& ctx, const Shared& x);
+
+/// Elementwise Beaver multiplication JRK = JXK ⊙ JYK (paper Eq. 2).
+[[nodiscard]] Shared mul_elem(TwoPartyContext& ctx, const Shared& x, const Shared& y);
+
+/// Elementwise square JRK = JXK ⊙ JXK using a square pair (paper Eq. 3).
+[[nodiscard]] Shared square_elem(TwoPartyContext& ctx, const Shared& x);
+
+/// Matrix product JRK = JXK · JYK with X m×k and Y k×n (row-major).
+[[nodiscard]] Shared matmul(TwoPartyContext& ctx, const Shared& x, const Shared& y,
+                            std::size_t m, std::size_t k, std::size_t n);
+
+/// Fixed-point multiply: Beaver multiplication followed by local truncation
+/// so the result returns to f fraction bits.
+[[nodiscard]] Shared mul_fixed(TwoPartyContext& ctx, const Shared& x, const Shared& y);
+
+}  // namespace pasnet::crypto

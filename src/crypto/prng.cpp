@@ -1,0 +1,60 @@
+#include "crypto/prng.hpp"
+
+namespace pasnet::crypto {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+Prng::Prng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& lane : state_) {
+    s = splitmix64(s);
+    lane = s;
+  }
+  // Avoid the all-zero state, which is a fixed point of xoshiro.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Prng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Prng::next_bits(int bits) noexcept {
+  if (bits >= 64) return next_u64();
+  return next_u64() >> (64 - bits);
+}
+
+std::uint64_t Prng::next_below(std::uint64_t bound) noexcept {
+  // Rejection sampling keeps the distribution exactly uniform.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Prng::next_unit() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace pasnet::crypto

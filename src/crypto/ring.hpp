@@ -1,0 +1,93 @@
+#pragma once
+// Fixed-point arithmetic over the ring Z_{2^k}.
+//
+// The paper evaluates private inference with a 32-bit fixed-point ring
+// ("the fixed point ring size is set to 32 bits").  We store ring elements
+// in uint64_t and mask to `bits`, so the same code supports rings from 8 to
+// 64 bits (tests sweep several sizes; 32 is the default used everywhere).
+//
+// Reals are encoded with `frac_bits` binary fraction bits in two's
+// complement: encode(x) = round(x * 2^f) mod 2^k.  After a share-space
+// multiplication the product carries 2f fraction bits and must be brought
+// back with `truncate` (SecureML-style local truncation, ±1 LSB error).
+
+#include <cstdint>
+#include <vector>
+
+namespace pasnet::crypto {
+
+/// A vector of ring elements (each already reduced mod 2^bits).
+using RingVec = std::vector<std::uint64_t>;
+
+/// Static description of the ring and fixed-point encoding.
+struct RingConfig {
+  // The *functional* ring is 64-bit so that SecureML-style local truncation
+  // after fixed-point multiplies fails with probability ~2^-(64-2f-log|x|)
+  // (negligible), exactly as CrypTen/CryptGPU do; `wire_bits` models the
+  // deployed 32-bit ring of the paper for all traffic accounting.
+  int bits = 64;       ///< ring size k; elements live in Z_{2^k}
+  int frac_bits = 12;  ///< fixed-point fraction bits f
+  int wire_bits = 32;  ///< modeled on-wire width per element
+
+  /// Bit mask selecting the low `bits` bits.
+  [[nodiscard]] std::uint64_t mask() const noexcept {
+    return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+  }
+  /// 2^f as a double, the fixed-point scale.
+  [[nodiscard]] double scale() const noexcept {
+    return static_cast<double>(1ULL << frac_bits);
+  }
+  /// Sign bit position (two's complement).
+  [[nodiscard]] std::uint64_t sign_bit() const noexcept {
+    return 1ULL << (bits - 1);
+  }
+};
+
+/// Reduce an arbitrary 64-bit value into the ring.
+[[nodiscard]] inline std::uint64_t reduce(std::uint64_t v,
+                                          const RingConfig& rc) noexcept {
+  return v & rc.mask();
+}
+
+/// Ring addition / subtraction / negation / multiplication (mod 2^bits).
+[[nodiscard]] inline std::uint64_t ring_add(std::uint64_t a, std::uint64_t b,
+                                            const RingConfig& rc) noexcept {
+  return (a + b) & rc.mask();
+}
+[[nodiscard]] inline std::uint64_t ring_sub(std::uint64_t a, std::uint64_t b,
+                                            const RingConfig& rc) noexcept {
+  return (a - b) & rc.mask();
+}
+[[nodiscard]] inline std::uint64_t ring_neg(std::uint64_t a,
+                                            const RingConfig& rc) noexcept {
+  return (~a + 1) & rc.mask();
+}
+[[nodiscard]] inline std::uint64_t ring_mul(std::uint64_t a, std::uint64_t b,
+                                            const RingConfig& rc) noexcept {
+  return (a * b) & rc.mask();
+}
+
+/// Two's-complement interpretation of a ring element as a signed integer.
+[[nodiscard]] std::int64_t to_signed(std::uint64_t v, const RingConfig& rc) noexcept;
+
+/// Map a signed integer into the ring (wraps mod 2^bits).
+[[nodiscard]] std::uint64_t from_signed(std::int64_t v, const RingConfig& rc) noexcept;
+
+/// Fixed-point encode: real -> ring element with f fraction bits.
+[[nodiscard]] std::uint64_t encode(double x, const RingConfig& rc) noexcept;
+
+/// Fixed-point decode: ring element -> real.
+[[nodiscard]] double decode(std::uint64_t v, const RingConfig& rc) noexcept;
+
+/// Arithmetic right shift by f in the ring ("plaintext" truncation).
+[[nodiscard]] std::uint64_t truncate(std::uint64_t v, const RingConfig& rc) noexcept;
+
+/// Vector versions.
+[[nodiscard]] RingVec encode_vec(const std::vector<double>& xs, const RingConfig& rc);
+[[nodiscard]] std::vector<double> decode_vec(const RingVec& vs, const RingConfig& rc);
+[[nodiscard]] RingVec add_vec(const RingVec& a, const RingVec& b, const RingConfig& rc);
+[[nodiscard]] RingVec sub_vec(const RingVec& a, const RingVec& b, const RingConfig& rc);
+[[nodiscard]] RingVec mul_vec(const RingVec& a, const RingVec& b, const RingConfig& rc);
+[[nodiscard]] RingVec scale_vec(const RingVec& a, std::uint64_t c, const RingConfig& rc);
+
+}  // namespace pasnet::crypto

@@ -1,0 +1,90 @@
+#include "crypto/secret_share.hpp"
+
+#include <stdexcept>
+
+namespace pasnet::crypto {
+
+Shared share(const RingVec& x, Prng& prng, const RingConfig& rc) {
+  Shared out;
+  out.s0.resize(x.size());
+  out.s1.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::uint64_t r = prng.next_u64() & rc.mask();
+    out.s0[i] = r;
+    out.s1[i] = ring_sub(x[i], r, rc);
+  }
+  return out;
+}
+
+Shared share_reals(const std::vector<double>& xs, Prng& prng, const RingConfig& rc) {
+  return share(encode_vec(xs, rc), prng, rc);
+}
+
+RingVec reconstruct(const Shared& x, const RingConfig& rc) {
+  return add_vec(x.s0, x.s1, rc);
+}
+
+std::vector<double> reconstruct_reals(const Shared& x, const RingConfig& rc) {
+  return decode_vec(reconstruct(x, rc), rc);
+}
+
+Shared trivial_share(const RingVec& x, int party) {
+  Shared out;
+  if (party == 0) {
+    out.s0 = x;
+    out.s1.assign(x.size(), 0);
+  } else {
+    out.s0.assign(x.size(), 0);
+    out.s1 = x;
+  }
+  return out;
+}
+
+Shared linear(std::uint64_t a, const Shared& x, const Shared& y, const RingConfig& rc) {
+  if (x.size() != y.size()) throw std::invalid_argument("linear: size mismatch");
+  Shared out;
+  out.s0 = add_vec(scale_vec(x.s0, a, rc), y.s0, rc);
+  out.s1 = add_vec(scale_vec(x.s1, a, rc), y.s1, rc);
+  return out;
+}
+
+Shared add(const Shared& x, const Shared& y, const RingConfig& rc) {
+  Shared out;
+  out.s0 = add_vec(x.s0, y.s0, rc);
+  out.s1 = add_vec(x.s1, y.s1, rc);
+  return out;
+}
+
+Shared sub(const Shared& x, const Shared& y, const RingConfig& rc) {
+  Shared out;
+  out.s0 = sub_vec(x.s0, y.s0, rc);
+  out.s1 = sub_vec(x.s1, y.s1, rc);
+  return out;
+}
+
+Shared scale(const Shared& x, std::uint64_t c, const RingConfig& rc) {
+  Shared out;
+  out.s0 = scale_vec(x.s0, c, rc);
+  out.s1 = scale_vec(x.s1, c, rc);
+  return out;
+}
+
+Shared add_public(const Shared& x, const RingVec& c, const RingConfig& rc) {
+  if (x.size() != c.size()) throw std::invalid_argument("add_public: size mismatch");
+  Shared out = x;
+  out.s0 = add_vec(out.s0, c, rc);
+  return out;
+}
+
+Shared truncate_shares(const Shared& x, const RingConfig& rc) {
+  Shared out;
+  out.s0.resize(x.size());
+  out.s1.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.s0[i] = truncate(x.s0[i], rc);
+    out.s1[i] = ring_neg(truncate(ring_neg(x.s1[i], rc), rc), rc);
+  }
+  return out;
+}
+
+}  // namespace pasnet::crypto

@@ -1,0 +1,67 @@
+#pragma once
+// Additive secret sharing over Z_{2^k} (paper §II-A).
+//
+//   shr(x): sample r uniformly, shares are (r, x - r).
+//   rec(JxK): x = x_S0 + x_S1 mod 2^k.
+//
+// A `Shared` value holds *both* shares because the simulation executes both
+// parties in one process; protocol code only ever combines them through the
+// reconstruction helpers or via channel exchanges, never silently.
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prng.hpp"
+#include "crypto/ring.hpp"
+
+namespace pasnet::crypto {
+
+/// A secret-shared vector JxK = (s0, s1) with x = s0 + s1 mod 2^k.
+struct Shared {
+  RingVec s0;
+  RingVec s1;
+
+  [[nodiscard]] std::size_t size() const noexcept { return s0.size(); }
+  [[nodiscard]] const RingVec& share(int party) const { return party == 0 ? s0 : s1; }
+  [[nodiscard]] RingVec& share(int party) { return party == 0 ? s0 : s1; }
+};
+
+/// Share generation shr(x): x is a vector of ring elements.
+[[nodiscard]] Shared share(const RingVec& x, Prng& prng, const RingConfig& rc);
+
+/// Share generation from real values via fixed-point encoding.
+[[nodiscard]] Shared share_reals(const std::vector<double>& xs, Prng& prng,
+                                 const RingConfig& rc);
+
+/// Share recovering rec(JxK).
+[[nodiscard]] RingVec reconstruct(const Shared& x, const RingConfig& rc);
+
+/// Reconstruct and decode to reals.
+[[nodiscard]] std::vector<double> reconstruct_reals(const Shared& x, const RingConfig& rc);
+
+/// A "trivial" sharing of a value known in clear to `party`: that party's
+/// share is the value, the other share is zero.
+[[nodiscard]] Shared trivial_share(const RingVec& x, int party);
+
+// --- Local linear operations (no communication; paper Eq. 1) -------------
+
+/// JaX + YK computed share-wise.
+[[nodiscard]] Shared linear(std::uint64_t a, const Shared& x, const Shared& y,
+                            const RingConfig& rc);
+
+[[nodiscard]] Shared add(const Shared& x, const Shared& y, const RingConfig& rc);
+[[nodiscard]] Shared sub(const Shared& x, const Shared& y, const RingConfig& rc);
+
+/// Multiply by a public ring constant.
+[[nodiscard]] Shared scale(const Shared& x, std::uint64_t c, const RingConfig& rc);
+
+/// Add a public constant vector: only party 0 adjusts its share.
+[[nodiscard]] Shared add_public(const Shared& x, const RingVec& c, const RingConfig& rc);
+
+/// SecureML-style local truncation by the fixed-point fraction bits:
+/// party 0 arithmetically shifts its share, party 1 shifts the negation of
+/// its share and negates back.  Introduces at most 1 LSB of error with
+/// overwhelming probability for values far from the ring boundary.
+[[nodiscard]] Shared truncate_shares(const Shared& x, const RingConfig& rc);
+
+}  // namespace pasnet::crypto

@@ -1,0 +1,136 @@
+#include "nn/graph.hpp"
+
+#include <stdexcept>
+
+namespace pasnet::nn {
+
+int Graph::add_input() {
+  if (has_input_) throw std::logic_error("Graph: single input supported");
+  has_input_ = true;
+  nodes_.push_back(Node{Kind::input, nullptr, -1, -1});
+  output_ = static_cast<int>(nodes_.size()) - 1;
+  return output_;
+}
+
+int Graph::add_module(std::unique_ptr<Module> mod, int input) {
+  if (input < 0 || input >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("Graph::add_module: bad input node");
+  }
+  nodes_.push_back(Node{Kind::module, std::move(mod), input, -1});
+  output_ = static_cast<int>(nodes_.size()) - 1;
+  return output_;
+}
+
+int Graph::add_add(int lhs, int rhs) {
+  const int n = static_cast<int>(nodes_.size());
+  if (lhs < 0 || lhs >= n || rhs < 0 || rhs >= n) {
+    throw std::invalid_argument("Graph::add_add: bad input node");
+  }
+  nodes_.push_back(Node{Kind::add, nullptr, lhs, rhs});
+  output_ = static_cast<int>(nodes_.size()) - 1;
+  return output_;
+}
+
+void Graph::set_output(int node) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("Graph::set_output: bad node");
+  }
+  output_ = node;
+}
+
+Tensor Graph::forward(const Tensor& x, bool training) {
+  activations_.assign(nodes_.size(), Tensor{});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    switch (node.kind) {
+      case Kind::input:
+        activations_[i] = x;
+        break;
+      case Kind::module:
+        activations_[i] = node.mod->forward(activations_[static_cast<std::size_t>(node.in0)], training);
+        break;
+      case Kind::add:
+        activations_[i] = add(activations_[static_cast<std::size_t>(node.in0)],
+                              activations_[static_cast<std::size_t>(node.in1)]);
+        break;
+    }
+  }
+  return activations_[static_cast<std::size_t>(output_)];
+}
+
+void Graph::backward(const Tensor& grad_out) {
+  if (activations_.size() != nodes_.size()) {
+    throw std::logic_error("Graph::backward: call forward first");
+  }
+  gradients_.assign(nodes_.size(), Tensor{});
+  gradients_[static_cast<std::size_t>(output_)] = grad_out;
+
+  auto accumulate = [this](int node, const Tensor& g) {
+    Tensor& slot = gradients_[static_cast<std::size_t>(node)];
+    if (slot.empty()) {
+      slot = g;
+    } else {
+      axpy(slot, 1.0f, g);
+    }
+  };
+
+  for (int i = static_cast<int>(nodes_.size()) - 1; i >= 0; --i) {
+    Node& node = nodes_[static_cast<std::size_t>(i)];
+    const Tensor& g = gradients_[static_cast<std::size_t>(i)];
+    if (g.empty()) continue;  // node not on any path to the output
+    switch (node.kind) {
+      case Kind::input:
+        break;
+      case Kind::module:
+        accumulate(node.in0, node.mod->backward(g));
+        break;
+      case Kind::add:
+        accumulate(node.in0, g);
+        accumulate(node.in1, g);
+        break;
+    }
+  }
+}
+
+std::vector<ParamRef> Graph::params() {
+  std::vector<ParamRef> out;
+  for (auto& node : nodes_) {
+    if (node.mod) {
+      for (auto& p : node.mod->params()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<ParamRef> Graph::arch_params() {
+  std::vector<ParamRef> out;
+  for (auto& node : nodes_) {
+    if (node.mod) {
+      for (auto& p : node.mod->arch_params()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor*> Graph::buffers() {
+  std::vector<Tensor*> out;
+  for (auto& node : nodes_) {
+    if (node.mod) {
+      for (auto* b : node.mod->buffers()) out.push_back(b);
+    }
+  }
+  return out;
+}
+
+void Graph::zero_grad() {
+  for (auto& node : nodes_) {
+    if (node.mod) node.mod->zero_grad();
+  }
+}
+
+Module* Graph::module_at(int node) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return nullptr;
+  return nodes_[static_cast<std::size_t>(node)].mod.get();
+}
+
+}  // namespace pasnet::nn

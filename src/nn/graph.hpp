@@ -1,0 +1,62 @@
+#pragma once
+// DAG executor for networks with residual connections.
+//
+// Nodes are created in topological order (inputs before consumers), so a
+// single reverse sweep implements backpropagation with gradient
+// accumulation at fan-out points.  Residual additions are graph-level
+// nodes (not Modules), everything else wraps a Module.
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace pasnet::nn {
+
+/// Network DAG of Module nodes plus input/add nodes.
+class Graph {
+ public:
+  /// Adds the (single) input placeholder; returns its node id.
+  int add_input();
+  /// Adds a layer consuming node `input`; takes ownership of `mod`.
+  int add_module(std::unique_ptr<Module> mod, int input);
+  /// Adds an elementwise residual addition of two prior nodes.
+  int add_add(int lhs, int rhs);
+  /// Marks the final output node (defaults to the last node added).
+  void set_output(int node);
+
+  /// Runs the network; caches every node's activation for backward.
+  [[nodiscard]] Tensor forward(const Tensor& x, bool training);
+  /// Backpropagates from the output-node gradient; parameter gradients
+  /// accumulate inside the modules.  Must follow a matching forward.
+  void backward(const Tensor& grad_out);
+
+  /// All weight parameters ω of all modules.
+  [[nodiscard]] std::vector<ParamRef> params();
+  /// All architecture parameters α (gated operators only).
+  [[nodiscard]] std::vector<ParamRef> arch_params();
+  /// All persistent non-trainable buffers (BN running stats etc.).
+  [[nodiscard]] std::vector<Tensor*> buffers();
+  void zero_grad();
+
+  [[nodiscard]] int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] int output_node() const noexcept { return output_; }
+  /// Module at `node`, or nullptr for input/add nodes.  The reference stays
+  /// owned by the graph; callers may downcast to configure layers.
+  [[nodiscard]] Module* module_at(int node);
+
+ private:
+  enum class Kind { input, module, add };
+  struct Node {
+    Kind kind;
+    std::unique_ptr<Module> mod;  // Kind::module only
+    int in0 = -1, in1 = -1;
+  };
+  std::vector<Node> nodes_;
+  std::vector<Tensor> activations_;
+  std::vector<Tensor> gradients_;
+  int output_ = -1;
+  bool has_input_ = false;
+};
+
+}  // namespace pasnet::nn

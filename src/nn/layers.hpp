@@ -1,0 +1,212 @@
+#pragma once
+// Concrete layers: convolution, linear, batch-norm, activations (including
+// the paper's trainable X^2act polynomial, §III-A), pooling, flatten.
+
+#include <memory>
+
+#include "crypto/prng.hpp"
+#include "nn/module.hpp"
+
+namespace pasnet::nn {
+
+/// 2-D convolution (NCHW, square kernel), im2col + GEMM implementation.
+class Conv2d : public Module {
+ public:
+  Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad, crypto::Prng& prng,
+         bool bias = false);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+
+  [[nodiscard]] int in_channels() const noexcept { return in_ch_; }
+  [[nodiscard]] int out_channels() const noexcept { return out_ch_; }
+  [[nodiscard]] int kernel() const noexcept { return kernel_; }
+  [[nodiscard]] int stride() const noexcept { return stride_; }
+  [[nodiscard]] int pad() const noexcept { return pad_; }
+  [[nodiscard]] Tensor& weight() noexcept { return weight_; }
+  [[nodiscard]] Tensor& bias() noexcept { return bias_; }
+  [[nodiscard]] bool has_bias() const noexcept { return has_bias_; }
+
+ private:
+  int in_ch_, out_ch_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Tensor weight_, weight_grad_;  // [OC, IC*K*K] stored as matrix
+  Tensor bias_, bias_grad_;      // [OC]
+  Tensor cached_input_;
+  std::vector<Tensor> cached_cols_;  // one im2col matrix per sample
+};
+
+/// Depthwise 2-D convolution (groups == channels), used by MobileNetV2's
+/// inverted-residual blocks.  Weight is [C, K, K].
+class DepthwiseConv2d : public Module {
+ public:
+  DepthwiseConv2d(int channels, int kernel, int stride, int pad, crypto::Prng& prng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+
+  [[nodiscard]] int channels() const noexcept { return channels_; }
+  [[nodiscard]] int kernel() const noexcept { return kernel_; }
+  [[nodiscard]] int stride() const noexcept { return stride_; }
+  [[nodiscard]] int pad() const noexcept { return pad_; }
+  [[nodiscard]] Tensor& weight() noexcept { return weight_; }
+
+ private:
+  int channels_, kernel_, stride_, pad_;
+  Tensor weight_, weight_grad_;  // [C, K*K]
+  Tensor cached_input_;
+};
+
+/// Fully connected layer: y = W·x + b, x flattened per sample.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, crypto::Prng& prng, bool bias = true);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+
+  [[nodiscard]] int in_features() const noexcept { return in_f_; }
+  [[nodiscard]] int out_features() const noexcept { return out_f_; }
+  [[nodiscard]] Tensor& weight() noexcept { return weight_; }
+  [[nodiscard]] Tensor& bias() noexcept { return bias_; }
+
+ private:
+  int in_f_, out_f_;
+  bool has_bias_;
+  Tensor weight_, weight_grad_;  // [out, in]
+  Tensor bias_, bias_grad_;      // [out]
+  Tensor cached_input_;          // [N, in]
+};
+
+/// Batch normalization over channels of NCHW input.  At inference time BN
+/// folds into the preceding convolution (paper §III-C), which the secure
+/// executor exploits; the plaintext layer keeps running statistics.
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int channels, float eps = 1e-5f, float momentum = 0.1f);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  std::vector<Tensor*> buffers() override { return {&running_mean_, &running_var_}; }
+
+  [[nodiscard]] int channels() const noexcept { return channels_; }
+  [[nodiscard]] const Tensor& gamma() const noexcept { return gamma_; }
+  [[nodiscard]] const Tensor& beta() const noexcept { return beta_; }
+  [[nodiscard]] const Tensor& running_mean() const noexcept { return running_mean_; }
+  [[nodiscard]] const Tensor& running_var() const noexcept { return running_var_; }
+  [[nodiscard]] float eps() const noexcept { return eps_; }
+
+ private:
+  int channels_;
+  float eps_, momentum_;
+  Tensor gamma_, gamma_grad_, beta_, beta_grad_;
+  Tensor running_mean_, running_var_;
+  // Backward caches.
+  Tensor cached_xhat_, cached_invstd_;
+  int cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
+};
+
+/// Rectified linear unit.
+class Relu : public Module {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_mask_;
+};
+
+/// Trainable second-order polynomial activation (paper Eq. 4):
+///   δ(x) = (c/√Nx)·w1·x² + w2·x + b
+/// with scalar trainable parameters w1, w2, b; Nx is the per-sample feature
+/// count and c a constant that balances the w1 learning rate.  The default
+/// parameter values implement STPAI (straight-through init): w1 ≈ 0,
+/// w2 ≈ 1, b ≈ 0, so the layer starts as identity.
+class X2Act : public Module {
+ public:
+  explicit X2Act(float w1 = 0.0f, float w2 = 1.0f, float b = 0.0f, float c = 1.0f);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+
+  [[nodiscard]] float w1() const noexcept { return w1_[0]; }
+  [[nodiscard]] float w2() const noexcept { return w2_[0]; }
+  [[nodiscard]] float b() const noexcept { return b_[0]; }
+  [[nodiscard]] float effective_quadratic_coeff(int feature_count) const;
+  void set_params(float w1, float w2, float b);
+
+ private:
+  Tensor w1_, w1_grad_, w2_, w2_grad_, b_, b_grad_;  // scalars as [1]-tensors
+  float c_;
+  Tensor cached_input_;
+  float cached_scale_ = 1.0f;  // c/√Nx of the last forward
+};
+
+/// Max pooling (square window).
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(int kernel, int stride, int pad = 0);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  [[nodiscard]] int kernel() const noexcept { return kernel_; }
+  [[nodiscard]] int stride() const noexcept { return stride_; }
+  [[nodiscard]] int pad() const noexcept { return pad_; }
+
+ private:
+  int kernel_, stride_, pad_;
+  std::vector<int> cached_argmax_;
+  std::vector<int> cached_in_shape_;
+};
+
+/// Average pooling (square window).
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d(int kernel, int stride, int pad = 0);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  [[nodiscard]] int kernel() const noexcept { return kernel_; }
+  [[nodiscard]] int stride() const noexcept { return stride_; }
+  [[nodiscard]] int pad() const noexcept { return pad_; }
+
+ private:
+  int kernel_, stride_, pad_;
+  std::vector<int> cached_in_shape_;
+};
+
+/// Global average pooling: [N,C,H,W] -> [N,C,1,1].
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<int> cached_in_shape_;
+};
+
+/// Flatten: [N,C,H,W] -> [N, C·H·W].
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<int> cached_in_shape_;
+};
+
+/// Identity (used by gated operators and tests).
+class Identity : public Module {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+};
+
+}  // namespace pasnet::nn

@@ -1,0 +1,79 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace pasnet::nn {
+
+Tensor Relu::forward(const Tensor& x, bool /*training*/) {
+  Tensor out = x;
+  cached_mask_ = Tensor(std::vector<int>(x.shape()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    cached_mask_[i] = pos ? 1.0f : 0.0f;
+    out[i] = pos ? x[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor Relu::backward(const Tensor& grad_out) { return mul(grad_out, cached_mask_); }
+
+X2Act::X2Act(float w1, float w2, float b, float c)
+    : w1_(Tensor::full({1}, w1)), w1_grad_({1}),
+      w2_(Tensor::full({1}, w2)), w2_grad_({1}),
+      b_(Tensor::full({1}, b)), b_grad_({1}), c_(c) {}
+
+float X2Act::effective_quadratic_coeff(int feature_count) const {
+  const float scale = c_ / std::sqrt(static_cast<float>(feature_count > 0 ? feature_count : 1));
+  return scale * w1_[0];
+}
+
+void X2Act::set_params(float w1, float w2, float b) {
+  w1_[0] = w1;
+  w2_[0] = w2;
+  b_[0] = b;
+}
+
+Tensor X2Act::forward(const Tensor& x, bool /*training*/) {
+  // Nx = per-sample feature count; the c/√Nx factor balances the w1
+  // learning rate against the other weights (paper §III-A).
+  const int n = x.dim(0);
+  const int nx = static_cast<int>(x.size()) / (n > 0 ? n : 1);
+  cached_scale_ = c_ / std::sqrt(static_cast<float>(nx > 0 ? nx : 1));
+  cached_input_ = x;
+  const float a = cached_scale_ * w1_[0];
+  const float w2 = w2_[0];
+  const float b = b_[0];
+  Tensor out = x;
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = a * x[i] * x[i] + w2 * x[i] + b;
+  return out;
+}
+
+Tensor X2Act::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  if (grad_out.size() != x.size()) throw std::invalid_argument("X2Act: grad shape mismatch");
+  float dw1 = 0.0f, dw2 = 0.0f, db = 0.0f;
+  const float a = cached_scale_ * w1_[0];
+  const float w2 = w2_[0];
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float g = grad_out[i];
+    dw1 += g * cached_scale_ * x[i] * x[i];
+    dw2 += g * x[i];
+    db += g;
+    grad_in[i] = g * (2.0f * a * x[i] + w2);
+  }
+  w1_grad_[0] += dw1;
+  w2_grad_[0] += dw2;
+  b_grad_[0] += db;
+  return grad_in;
+}
+
+std::vector<ParamRef> X2Act::params() {
+  return {{&w1_, &w1_grad_}, {&w2_, &w2_grad_}, {&b_, &b_grad_}};
+}
+
+Tensor Identity::forward(const Tensor& x, bool /*training*/) { return x; }
+Tensor Identity::backward(const Tensor& grad_out) { return grad_out; }
+
+}  // namespace pasnet::nn

@@ -1,0 +1,288 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace pasnet::nn {
+
+Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad, crypto::Prng& prng,
+               bool bias)
+    : in_ch_(in_ch), out_ch_(out_ch), kernel_(kernel), stride_(stride), pad_(pad),
+      has_bias_(bias),
+      weight_(Tensor::kaiming({out_ch, in_ch * kernel * kernel}, prng,
+                              in_ch * kernel * kernel)),
+      weight_grad_({out_ch, in_ch * kernel * kernel}),
+      bias_({out_ch}), bias_grad_({out_ch}) {}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 4 || x.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv2d: bad input shape");
+  }
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = conv_out_size(h, kernel_, stride_, pad_);
+  const int ow = conv_out_size(w, kernel_, stride_, pad_);
+  cached_input_ = x;
+  cached_cols_.clear();
+  cached_cols_.reserve(static_cast<std::size_t>(n));
+
+  Tensor out({n, out_ch_, oh, ow});
+  for (int s = 0; s < n; ++s) {
+    Tensor cols = im2col(x, s, kernel_, stride_, pad_);  // [IC*K*K, OH*OW]
+    Tensor y = matmul(weight_, cols);                    // [OC, OH*OW]
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      const float b = has_bias_ ? bias_[static_cast<std::size_t>(oc)] : 0.0f;
+      for (int i = 0; i < oh * ow; ++i) {
+        out.at4(s, oc, i / ow, i % ow) = y.at2(oc, i) + b;
+      }
+    }
+    cached_cols_.push_back(std::move(cols));
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const int n = cached_input_.dim(0);
+  const int h = cached_input_.dim(2), w = cached_input_.dim(3);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  Tensor grad_in({n, in_ch_, h, w});
+  const Tensor wt = transpose(weight_);  // [IC*K*K, OC]
+
+  for (int s = 0; s < n; ++s) {
+    // Flatten this sample's output gradient to [OC, OH*OW].
+    Tensor g({out_ch_, oh * ow});
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      for (int i = 0; i < oh * ow; ++i) g.at2(oc, i) = grad_out.at4(s, oc, i / ow, i % ow);
+    }
+    // dW += g · colsᵀ ; dX cols = Wᵀ · g.
+    const Tensor cols_t = transpose(cached_cols_[static_cast<std::size_t>(s)]);
+    axpy(weight_grad_, 1.0f, matmul(g, cols_t));
+    const Tensor dcols = matmul(wt, g);
+    col2im_accumulate(dcols, grad_in, s, kernel_, stride_, pad_);
+    if (has_bias_) {
+      for (int oc = 0; oc < out_ch_; ++oc) {
+        float acc = 0.0f;
+        for (int i = 0; i < oh * ow; ++i) acc += g.at2(oc, i);
+        bias_grad_[static_cast<std::size_t>(oc)] += acc;
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> Conv2d::params() {
+  std::vector<ParamRef> p{{&weight_, &weight_grad_}};
+  if (has_bias_) p.push_back({&bias_, &bias_grad_});
+  return p;
+}
+
+DepthwiseConv2d::DepthwiseConv2d(int channels, int kernel, int stride, int pad,
+                                 crypto::Prng& prng)
+    : channels_(channels), kernel_(kernel), stride_(stride), pad_(pad),
+      weight_(Tensor::kaiming({channels, kernel * kernel}, prng, kernel * kernel)),
+      weight_grad_({channels, kernel * kernel}) {}
+
+Tensor DepthwiseConv2d::forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument("DepthwiseConv2d: bad input shape");
+  }
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = conv_out_size(h, kernel_, stride_, pad_);
+  const int ow = conv_out_size(w, kernel_, stride_, pad_);
+  cached_input_ = x;
+  Tensor out({n, channels_, oh, ow});
+  for (int s = 0; s < n; ++s) {
+    for (int c = 0; c < channels_; ++c) {
+      for (int y = 0; y < oh; ++y) {
+        for (int z = 0; z < ow; ++z) {
+          float acc = 0.0f;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            const int in_y = y * stride_ + kh - pad_;
+            if (in_y < 0 || in_y >= h) continue;
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int in_x = z * stride_ + kw - pad_;
+              if (in_x < 0 || in_x >= w) continue;
+              acc += x.at4(s, c, in_y, in_x) * weight_.at2(c, kh * kernel_ + kw);
+            }
+          }
+          out.at4(s, c, y, z) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor DepthwiseConv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  Tensor grad_in({n, channels_, h, w});
+  for (int s = 0; s < n; ++s) {
+    for (int c = 0; c < channels_; ++c) {
+      for (int y = 0; y < oh; ++y) {
+        for (int z = 0; z < ow; ++z) {
+          const float g = grad_out.at4(s, c, y, z);
+          for (int kh = 0; kh < kernel_; ++kh) {
+            const int in_y = y * stride_ + kh - pad_;
+            if (in_y < 0 || in_y >= h) continue;
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int in_x = z * stride_ + kw - pad_;
+              if (in_x < 0 || in_x >= w) continue;
+              weight_grad_.at2(c, kh * kernel_ + kw) += g * x.at4(s, c, in_y, in_x);
+              grad_in.at4(s, c, in_y, in_x) += g * weight_.at2(c, kh * kernel_ + kw);
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> DepthwiseConv2d::params() {
+  return {{&weight_, &weight_grad_}};
+}
+
+Linear::Linear(int in_features, int out_features, crypto::Prng& prng, bool bias)
+    : in_f_(in_features), out_f_(out_features), has_bias_(bias),
+      weight_(Tensor::kaiming({out_features, in_features}, prng, in_features)),
+      weight_grad_({out_features, in_features}),
+      bias_({out_features}), bias_grad_({out_features}) {}
+
+Tensor Linear::forward(const Tensor& x, bool /*training*/) {
+  const int n = x.dim(0);
+  Tensor flat = x.rank() == 2 ? x : x.reshaped({n, static_cast<int>(x.size()) / n});
+  if (flat.dim(1) != in_f_) throw std::invalid_argument("Linear: bad input width");
+  cached_input_ = flat;
+  Tensor out = matmul(flat, transpose(weight_));  // [N, out]
+  if (has_bias_) {
+    for (int s = 0; s < n; ++s) {
+      for (int j = 0; j < out_f_; ++j) out.at2(s, j) += bias_[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  // dW += gᵀ·x ; dx = g·W ; db += Σ_n g.
+  axpy(weight_grad_, 1.0f, matmul(transpose(grad_out), cached_input_));
+  if (has_bias_) {
+    for (int s = 0; s < grad_out.dim(0); ++s) {
+      for (int j = 0; j < out_f_; ++j) bias_grad_[static_cast<std::size_t>(j)] += grad_out.at2(s, j);
+    }
+  }
+  return matmul(grad_out, weight_);
+}
+
+std::vector<ParamRef> Linear::params() {
+  std::vector<ParamRef> p{{&weight_, &weight_grad_}};
+  if (has_bias_) p.push_back({&bias_, &bias_grad_});
+  return p;
+}
+
+BatchNorm2d::BatchNorm2d(int channels, float eps, float momentum)
+    : channels_(channels), eps_(eps), momentum_(momentum),
+      gamma_(Tensor::full({channels}, 1.0f)), gamma_grad_({channels}),
+      beta_({channels}), beta_grad_({channels}),
+      running_mean_({channels}), running_var_(Tensor::full({channels}, 1.0f)) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (c != channels_) throw std::invalid_argument("BatchNorm2d: channel mismatch");
+  cached_n_ = n;
+  cached_h_ = h;
+  cached_w_ = w;
+  const float count = static_cast<float>(n) * h * w;
+
+  Tensor mean({c}), var({c});
+  if (training) {
+    for (int ch = 0; ch < c; ++ch) {
+      float m = 0.0f;
+      for (int s = 0; s < n; ++s) {
+        for (int y = 0; y < h; ++y) {
+          for (int z = 0; z < w; ++z) m += x.at4(s, ch, y, z);
+        }
+      }
+      m /= count;
+      float v = 0.0f;
+      for (int s = 0; s < n; ++s) {
+        for (int y = 0; y < h; ++y) {
+          for (int z = 0; z < w; ++z) {
+            const float d = x.at4(s, ch, y, z) - m;
+            v += d * d;
+          }
+        }
+      }
+      v /= count;
+      mean[static_cast<std::size_t>(ch)] = m;
+      var[static_cast<std::size_t>(ch)] = v;
+      running_mean_[static_cast<std::size_t>(ch)] =
+          (1 - momentum_) * running_mean_[static_cast<std::size_t>(ch)] + momentum_ * m;
+      running_var_[static_cast<std::size_t>(ch)] =
+          (1 - momentum_) * running_var_[static_cast<std::size_t>(ch)] + momentum_ * v;
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  Tensor out({n, c, h, w});
+  cached_xhat_ = Tensor({n, c, h, w});
+  cached_invstd_ = Tensor({c});
+  for (int ch = 0; ch < c; ++ch) {
+    const float invstd = 1.0f / std::sqrt(var[static_cast<std::size_t>(ch)] + eps_);
+    cached_invstd_[static_cast<std::size_t>(ch)] = invstd;
+    const float g = gamma_[static_cast<std::size_t>(ch)];
+    const float bt = beta_[static_cast<std::size_t>(ch)];
+    const float m = mean[static_cast<std::size_t>(ch)];
+    for (int s = 0; s < n; ++s) {
+      for (int y = 0; y < h; ++y) {
+        for (int z = 0; z < w; ++z) {
+          const float xhat = (x.at4(s, ch, y, z) - m) * invstd;
+          cached_xhat_.at4(s, ch, y, z) = xhat;
+          out.at4(s, ch, y, z) = g * xhat + bt;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  const int n = cached_n_, c = channels_, h = cached_h_, w = cached_w_;
+  const float count = static_cast<float>(n) * h * w;
+  Tensor grad_in({n, c, h, w});
+  for (int ch = 0; ch < c; ++ch) {
+    float sum_g = 0.0f, sum_gx = 0.0f;
+    for (int s = 0; s < n; ++s) {
+      for (int y = 0; y < h; ++y) {
+        for (int z = 0; z < w; ++z) {
+          const float g = grad_out.at4(s, ch, y, z);
+          sum_g += g;
+          sum_gx += g * cached_xhat_.at4(s, ch, y, z);
+        }
+      }
+    }
+    gamma_grad_[static_cast<std::size_t>(ch)] += sum_gx;
+    beta_grad_[static_cast<std::size_t>(ch)] += sum_g;
+    const float gmm = gamma_[static_cast<std::size_t>(ch)];
+    const float invstd = cached_invstd_[static_cast<std::size_t>(ch)];
+    for (int s = 0; s < n; ++s) {
+      for (int y = 0; y < h; ++y) {
+        for (int z = 0; z < w; ++z) {
+          const float g = grad_out.at4(s, ch, y, z);
+          const float xhat = cached_xhat_.at4(s, ch, y, z);
+          grad_in.at4(s, ch, y, z) =
+              gmm * invstd / count * (count * g - sum_g - xhat * sum_gx);
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> BatchNorm2d::params() {
+  return {{&gamma_, &gamma_grad_}, {&beta_, &beta_grad_}};
+}
+
+}  // namespace pasnet::nn

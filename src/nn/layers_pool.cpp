@@ -1,0 +1,163 @@
+#include <limits>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace pasnet::nn {
+
+MaxPool2d::MaxPool2d(int kernel, int stride, int pad)
+    : kernel_(kernel), stride_(stride), pad_(pad) {}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = conv_out_size(h, kernel_, stride_, pad_);
+  const int ow = conv_out_size(w, kernel_, stride_, pad_);
+  cached_in_shape_ = x.shape();
+  Tensor out({n, c, oh, ow});
+  cached_argmax_.assign(out.size(), 0);
+  std::size_t oi = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int y = 0; y < oh; ++y) {
+        for (int z = 0; z < ow; ++z, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_idx = 0;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int in_y = y * stride_ + kh - pad_;
+              const int in_x = z * stride_ + kw - pad_;
+              if (in_y < 0 || in_x < 0 || in_y >= h || in_x >= w) continue;
+              const float v = x.at4(s, ch, in_y, in_x);
+              if (v > best) {
+                best = v;
+                best_idx = in_y * w + in_x;
+              }
+            }
+          }
+          out.at4(s, ch, y, z) = best;
+          cached_argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor grad_in{std::vector<int>(cached_in_shape_)};
+  const int n = grad_out.dim(0), c = grad_out.dim(1);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const int w = cached_in_shape_[3];
+  std::size_t oi = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int y = 0; y < oh; ++y) {
+        for (int z = 0; z < ow; ++z, ++oi) {
+          const int idx = cached_argmax_[oi];
+          grad_in.at4(s, ch, idx / w, idx % w) += grad_out.at4(s, ch, y, z);
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+AvgPool2d::AvgPool2d(int kernel, int stride, int pad)
+    : kernel_(kernel), stride_(stride), pad_(pad) {}
+
+Tensor AvgPool2d::forward(const Tensor& x, bool /*training*/) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = conv_out_size(h, kernel_, stride_, pad_);
+  const int ow = conv_out_size(w, kernel_, stride_, pad_);
+  cached_in_shape_ = x.shape();
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  Tensor out({n, c, oh, ow});
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int y = 0; y < oh; ++y) {
+        for (int z = 0; z < ow; ++z) {
+          float acc = 0.0f;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int in_y = y * stride_ + kh - pad_;
+              const int in_x = z * stride_ + kw - pad_;
+              if (in_y >= 0 && in_x >= 0 && in_y < h && in_x < w) acc += x.at4(s, ch, in_y, in_x);
+            }
+          }
+          out.at4(s, ch, y, z) = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  Tensor grad_in{std::vector<int>(cached_in_shape_)};
+  const int n = grad_out.dim(0), c = grad_out.dim(1);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const int h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int y = 0; y < oh; ++y) {
+        for (int z = 0; z < ow; ++z) {
+          const float g = grad_out.at4(s, ch, y, z) * inv;
+          for (int kh = 0; kh < kernel_; ++kh) {
+            for (int kw = 0; kw < kernel_; ++kw) {
+              const int in_y = y * stride_ + kh - pad_;
+              const int in_x = z * stride_ + kw - pad_;
+              if (in_y >= 0 && in_x >= 0 && in_y < h && in_x < w) grad_in.at4(s, ch, in_y, in_x) += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  cached_in_shape_ = x.shape();
+  const float inv = 1.0f / static_cast<float>(h * w);
+  Tensor out({n, c, 1, 1});
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      float acc = 0.0f;
+      for (int y = 0; y < h; ++y) {
+        for (int z = 0; z < w; ++z) acc += x.at4(s, ch, y, z);
+      }
+      out.at4(s, ch, 0, 0) = acc * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  Tensor grad_in{std::vector<int>(cached_in_shape_)};
+  const int n = cached_in_shape_[0], c = cached_in_shape_[1];
+  const int h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at4(s, ch, 0, 0) * inv;
+      for (int y = 0; y < h; ++y) {
+        for (int z = 0; z < w; ++z) grad_in.at4(s, ch, y, z) = g;
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+  cached_in_shape_ = x.shape();
+  const int n = x.dim(0);
+  return x.reshaped({n, static_cast<int>(x.size()) / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(std::vector<int>(cached_in_shape_));
+}
+
+}  // namespace pasnet::nn

@@ -1,0 +1,58 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pasnet::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>& labels) {
+  const int n = logits.dim(0), k = logits.dim(1);
+  if (static_cast<std::size_t>(n) != labels.size()) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: batch/label mismatch");
+  }
+  probs_ = logits;
+  labels_ = labels;
+  float loss = 0.0f;
+  for (int s = 0; s < n; ++s) {
+    float maxv = logits.at2(s, 0);
+    for (int j = 1; j < k; ++j) maxv = std::max(maxv, logits.at2(s, j));
+    float denom = 0.0f;
+    for (int j = 0; j < k; ++j) denom += std::exp(logits.at2(s, j) - maxv);
+    for (int j = 0; j < k; ++j) probs_.at2(s, j) = std::exp(logits.at2(s, j) - maxv) / denom;
+    loss += -std::log(std::max(probs_.at2(s, labels[static_cast<std::size_t>(s)]), 1e-12f));
+  }
+  return loss / static_cast<float>(n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  const int n = probs_.dim(0), k = probs_.dim(1);
+  Tensor grad = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int s = 0; s < n; ++s) {
+    grad.at2(s, labels_[static_cast<std::size_t>(s)]) -= 1.0f;
+    for (int j = 0; j < k; ++j) grad.at2(s, j) *= inv_n;
+  }
+  return grad;
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  const int n = logits.dim(0), k = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    int best = 0;
+    for (int j = 1; j < k; ++j) {
+      if (logits.at2(s, j) > logits.at2(s, best)) best = j;
+    }
+    out[static_cast<std::size_t>(s)] = best;
+  }
+  return out;
+}
+
+float accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const auto pred = argmax_rows(logits);
+  int hit = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) hit += (pred[i] == labels[i]);
+  return pred.empty() ? 0.0f : static_cast<float>(hit) / static_cast<float>(pred.size());
+}
+
+}  // namespace pasnet::nn

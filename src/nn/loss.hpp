@@ -1,0 +1,33 @@
+#pragma once
+// Softmax cross-entropy loss and classification metrics.
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace pasnet::nn {
+
+/// Softmax + cross-entropy with integer labels.
+class SoftmaxCrossEntropy {
+ public:
+  /// Returns the mean loss over the batch; logits are [N, classes].
+  [[nodiscard]] float forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Gradient of the mean loss w.r.t. the logits (requires a prior forward).
+  [[nodiscard]] Tensor backward() const;
+
+  /// Cached class probabilities of the last forward, [N, classes].
+  [[nodiscard]] const Tensor& probs() const noexcept { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+/// Fraction of rows whose argmax matches the label.
+[[nodiscard]] float accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Row-wise argmax of a [N, classes] tensor.
+[[nodiscard]] std::vector<int> argmax_rows(const Tensor& logits);
+
+}  // namespace pasnet::nn

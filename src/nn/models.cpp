@@ -1,0 +1,511 @@
+#include "nn/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace pasnet::nn {
+
+const char* backbone_name(Backbone b) noexcept {
+  switch (b) {
+    case Backbone::vgg16: return "VGG16";
+    case Backbone::resnet18: return "ResNet18";
+    case Backbone::resnet34: return "ResNet34";
+    case Backbone::resnet50: return "ResNet50";
+    case Backbone::mobilenet_v2: return "MobileNetV2";
+  }
+  return "?";
+}
+
+namespace {
+
+int scaled(int channels, float width_mult) {
+  return std::max(1, static_cast<int>(std::lround(channels * width_mult)));
+}
+
+/// Small helper to append layers and track the frontier node.
+struct Builder {
+  ModelDescriptor md;
+  int cur = 0;  // frontier node (0 == input)
+
+  explicit Builder(std::string name, const BackboneOptions& opt) {
+    md.name = std::move(name);
+    md.input_ch = opt.input_ch;
+    md.input_h = opt.input_size;
+    md.input_w = opt.input_size;
+    md.num_classes = opt.num_classes;
+    md.layers.push_back(LayerSpec{});  // node 0: input
+    md.layers[0].kind = OpKind::input;
+  }
+
+  int append(LayerSpec spec, int from) {
+    spec.in0 = from;
+    md.layers.push_back(spec);
+    return static_cast<int>(md.layers.size()) - 1;
+  }
+
+  int conv(int in_ch, int out_ch, int k, int s, int p) {
+    LayerSpec l;
+    l.kind = OpKind::conv;
+    l.in_ch = in_ch;
+    l.out_ch = out_ch;
+    l.kernel = k;
+    l.stride = s;
+    l.pad = p;
+    cur = append(l, cur);
+    return cur;
+  }
+
+  int dwconv(int ch, int k, int s, int p) {
+    LayerSpec l;
+    l.kind = OpKind::conv;
+    l.depthwise = true;
+    l.in_ch = ch;
+    l.out_ch = ch;
+    l.kernel = k;
+    l.stride = s;
+    l.pad = p;
+    cur = append(l, cur);
+    return cur;
+  }
+
+  int bn(int ch) {
+    LayerSpec l;
+    l.kind = OpKind::batchnorm;
+    l.in_ch = ch;
+    l.out_ch = ch;
+    cur = append(l, cur);
+    return cur;
+  }
+
+  int act(bool searchable = true) {
+    LayerSpec l;
+    l.kind = OpKind::relu;
+    l.searchable = searchable;
+    cur = append(l, cur);
+    return cur;
+  }
+
+  int pool(int k, int s, int p = 0, bool searchable = true) {
+    LayerSpec l;
+    l.kind = OpKind::maxpool;
+    l.kernel = k;
+    l.stride = s;
+    l.pad = p;
+    l.searchable = searchable;
+    cur = append(l, cur);
+    return cur;
+  }
+
+  int gap() {
+    LayerSpec l;
+    l.kind = OpKind::global_avgpool;
+    cur = append(l, cur);
+    return cur;
+  }
+
+  int flatten() {
+    LayerSpec l;
+    l.kind = OpKind::flatten;
+    cur = append(l, cur);
+    return cur;
+  }
+
+  int fc(int out_features) {
+    LayerSpec l;
+    l.kind = OpKind::linear;
+    l.out_features = out_features;
+    cur = append(l, cur);
+    return cur;
+  }
+
+  int residual_add(int a, int b) {
+    LayerSpec l;
+    l.kind = OpKind::add;
+    l.in0 = a;
+    l.in1 = b;
+    md.layers.push_back(l);
+    cur = static_cast<int>(md.layers.size()) - 1;
+    return cur;
+  }
+
+  ModelDescriptor finish() {
+    md.output = cur;
+    propagate_shapes(md);
+    return std::move(md);
+  }
+};
+
+}  // namespace
+
+ModelDescriptor make_vgg16(const BackboneOptions& opt) {
+  Builder b("VGG16", opt);
+  // Standard VGG-16 configuration; 'M' is a 2x2/s2 pooling site.
+  const int cfg[] = {64, 64, -1, 128, 128, -1, 256, 256, 256, -1,
+                     512, 512, 512, -1, 512, 512, 512, -1};
+  int in_ch = opt.input_ch;
+  for (const int c : cfg) {
+    if (c < 0) {
+      b.pool(2, 2);
+      continue;
+    }
+    const int out_ch = scaled(c, opt.width_mult);
+    b.conv(in_ch, out_ch, 3, 1, 1);
+    b.bn(out_ch);
+    b.act();
+    in_ch = out_ch;
+  }
+  b.flatten();
+  b.fc(opt.num_classes);
+  return b.finish();
+}
+
+namespace {
+
+/// ResNet basic block (two 3x3 convs); returns the output node.
+void basic_block(Builder& b, int in_ch, int out_ch, int stride) {
+  const int block_in = b.cur;
+  b.conv(in_ch, out_ch, 3, stride, 1);
+  b.bn(out_ch);
+  b.act();
+  b.conv(out_ch, out_ch, 3, 1, 1);
+  b.bn(out_ch);
+  const int main_path = b.cur;
+
+  int skip = block_in;
+  if (stride != 1 || in_ch != out_ch) {
+    b.cur = block_in;
+    b.conv(in_ch, out_ch, 1, stride, 0);
+    b.bn(out_ch);
+    skip = b.cur;
+  }
+  b.residual_add(main_path, skip);
+  b.act();
+}
+
+/// ResNet bottleneck block (1x1 -> 3x3 -> 1x1, expansion 4).
+void bottleneck_block(Builder& b, int in_ch, int mid_ch, int stride) {
+  const int out_ch = mid_ch * 4;
+  const int block_in = b.cur;
+  b.conv(in_ch, mid_ch, 1, 1, 0);
+  b.bn(mid_ch);
+  b.act();
+  b.conv(mid_ch, mid_ch, 3, stride, 1);
+  b.bn(mid_ch);
+  b.act();
+  b.conv(mid_ch, out_ch, 1, 1, 0);
+  b.bn(out_ch);
+  const int main_path = b.cur;
+
+  int skip = block_in;
+  if (stride != 1 || in_ch != out_ch) {
+    b.cur = block_in;
+    b.conv(in_ch, out_ch, 1, stride, 0);
+    b.bn(out_ch);
+    skip = b.cur;
+  }
+  b.residual_add(main_path, skip);
+  b.act();
+}
+
+}  // namespace
+
+ModelDescriptor make_resnet(int depth, const BackboneOptions& opt) {
+  std::vector<int> blocks;
+  bool bottleneck = false;
+  switch (depth) {
+    case 18: blocks = {2, 2, 2, 2}; break;
+    case 34: blocks = {3, 4, 6, 3}; break;
+    case 50: blocks = {3, 4, 6, 3}; bottleneck = true; break;
+    default: throw std::invalid_argument("make_resnet: depth must be 18, 34 or 50");
+  }
+  Builder b("ResNet" + std::to_string(depth), opt);
+
+  const int stem_ch = scaled(64, opt.width_mult);
+  if (opt.imagenet_stem) {
+    b.conv(opt.input_ch, stem_ch, 7, 2, 3);
+    b.bn(stem_ch);
+    b.act();
+    b.pool(3, 2, 1);
+  } else {
+    b.conv(opt.input_ch, stem_ch, 3, 1, 1);
+    b.bn(stem_ch);
+    b.act();
+  }
+
+  const int widths[4] = {scaled(64, opt.width_mult), scaled(128, opt.width_mult),
+                         scaled(256, opt.width_mult), scaled(512, opt.width_mult)};
+  int in_ch = stem_ch;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int i = 0; i < blocks[static_cast<std::size_t>(stage)]; ++i) {
+      const int stride = (i == 0 && stage > 0) ? 2 : 1;
+      if (bottleneck) {
+        bottleneck_block(b, in_ch, widths[stage], stride);
+        in_ch = widths[stage] * 4;
+      } else {
+        basic_block(b, in_ch, widths[stage], stride);
+        in_ch = widths[stage];
+      }
+    }
+  }
+  b.gap();
+  b.flatten();
+  b.fc(opt.num_classes);
+  return b.finish();
+}
+
+ModelDescriptor make_mobilenet_v2(const BackboneOptions& opt) {
+  Builder b("MobileNetV2", opt);
+
+  // Inverted-residual settings (t = expansion, c = channels, n = blocks,
+  // s = first-block stride).  The CIFAR variant keeps early strides at 1.
+  struct Ir { int t, c, n, s; };
+  const std::vector<Ir> cfg = {
+      {1, 16, 1, 1},
+      {6, 24, 2, opt.imagenet_stem ? 2 : 1},
+      {6, 32, 3, 2},
+      {6, 64, 4, 2},
+      {6, 96, 3, 1},
+      {6, 160, 3, 2},
+      {6, 320, 1, 1},
+  };
+
+  const int stem_ch = scaled(32, opt.width_mult);
+  b.conv(opt.input_ch, stem_ch, 3, opt.imagenet_stem ? 2 : 1, 1);
+  b.bn(stem_ch);
+  b.act();
+
+  int in_ch = stem_ch;
+  for (const auto& ir : cfg) {
+    const int out_ch = scaled(ir.c, opt.width_mult);
+    for (int i = 0; i < ir.n; ++i) {
+      const int stride = (i == 0) ? ir.s : 1;
+      const int block_in = b.cur;
+      const int expanded = in_ch * ir.t;
+      if (ir.t != 1) {
+        b.conv(in_ch, expanded, 1, 1, 0);
+        b.bn(expanded);
+        b.act();
+      }
+      b.dwconv(expanded, 3, stride, 1);
+      b.bn(expanded);
+      b.act();
+      b.conv(expanded, out_ch, 1, 1, 0);
+      b.bn(out_ch);
+      const int main_path = b.cur;
+      if (stride == 1 && in_ch == out_ch) {
+        b.residual_add(main_path, block_in);
+      }
+      in_ch = out_ch;
+    }
+  }
+  const int head_ch = scaled(1280, opt.width_mult);
+  b.conv(in_ch, head_ch, 1, 1, 0);
+  b.bn(head_ch);
+  b.act();
+  b.gap();
+  b.flatten();
+  b.fc(opt.num_classes);
+  return b.finish();
+}
+
+ModelDescriptor make_backbone(Backbone backbone, const BackboneOptions& opt) {
+  switch (backbone) {
+    case Backbone::vgg16: return make_vgg16(opt);
+    case Backbone::resnet18: return make_resnet(18, opt);
+    case Backbone::resnet34: return make_resnet(34, opt);
+    case Backbone::resnet50: return make_resnet(50, opt);
+    case Backbone::mobilenet_v2: return make_mobilenet_v2(opt);
+  }
+  throw std::invalid_argument("make_backbone: unknown backbone");
+}
+
+void propagate_shapes(ModelDescriptor& md) {
+  if (md.layers.empty() || md.layers[0].kind != OpKind::input) {
+    throw std::invalid_argument("propagate_shapes: layer 0 must be the input");
+  }
+  md.layers[0].out_ch = md.input_ch;
+  md.layers[0].out_h = md.input_h;
+  md.layers[0].out_w = md.input_w;
+
+  for (std::size_t i = 1; i < md.layers.size(); ++i) {
+    LayerSpec& l = md.layers[i];
+    if (l.in0 < 0 || l.in0 >= static_cast<int>(i)) {
+      throw std::invalid_argument("propagate_shapes: non-topological edge");
+    }
+    const LayerSpec& src = md.layers[static_cast<std::size_t>(l.in0)];
+    l.in_ch = src.out_ch;
+    l.in_h = src.out_h;
+    l.in_w = src.out_w;
+    switch (l.kind) {
+      case OpKind::input:
+        throw std::invalid_argument("propagate_shapes: duplicate input node");
+      case OpKind::conv:
+        if (l.in_ch != (l.depthwise ? l.out_ch : l.in_ch)) break;
+        l.out_h = conv_out_size(l.in_h, l.kernel, l.stride, l.pad);
+        l.out_w = conv_out_size(l.in_w, l.kernel, l.stride, l.pad);
+        break;
+      case OpKind::linear:
+        l.in_features = l.in_ch * std::max(1, l.in_h) * std::max(1, l.in_w);
+        l.out_ch = l.out_features;
+        l.out_h = 1;
+        l.out_w = 1;
+        break;
+      case OpKind::batchnorm:
+      case OpKind::relu:
+      case OpKind::x2act:
+        l.out_ch = l.in_ch;
+        l.out_h = l.in_h;
+        l.out_w = l.in_w;
+        break;
+      case OpKind::maxpool:
+      case OpKind::avgpool:
+        l.out_ch = l.in_ch;
+        l.out_h = conv_out_size(l.in_h, l.kernel, l.stride, l.pad);
+        l.out_w = conv_out_size(l.in_w, l.kernel, l.stride, l.pad);
+        break;
+      case OpKind::global_avgpool:
+        l.out_ch = l.in_ch;
+        l.out_h = 1;
+        l.out_w = 1;
+        break;
+      case OpKind::flatten:
+        l.out_ch = l.in_ch * std::max(1, l.in_h) * std::max(1, l.in_w);
+        l.out_h = 1;
+        l.out_w = 1;
+        break;
+      case OpKind::add: {
+        const LayerSpec& rhs = md.layers[static_cast<std::size_t>(l.in1)];
+        if (src.out_ch != rhs.out_ch || src.out_h != rhs.out_h || src.out_w != rhs.out_w) {
+          throw std::invalid_argument("propagate_shapes: add operand shape mismatch");
+        }
+        l.out_ch = src.out_ch;
+        l.out_h = src.out_h;
+        l.out_w = src.out_w;
+        break;
+      }
+    }
+  }
+  if (md.output < 0) md.output = static_cast<int>(md.layers.size()) - 1;
+}
+
+std::vector<int> act_sites(const ModelDescriptor& md) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < md.layers.size(); ++i) {
+    const auto k = md.layers[i].kind;
+    if (md.layers[i].searchable && (k == OpKind::relu || k == OpKind::x2act)) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> pool_sites(const ModelDescriptor& md) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < md.layers.size(); ++i) {
+    const auto k = md.layers[i].kind;
+    if (md.layers[i].searchable && (k == OpKind::maxpool || k == OpKind::avgpool)) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+ModelDescriptor apply_choices(const ModelDescriptor& md, const ArchChoices& choices) {
+  ModelDescriptor out = md;
+  const auto acts = act_sites(md);
+  const auto pools = pool_sites(md);
+  if (choices.acts.size() != acts.size() || choices.pools.size() != pools.size()) {
+    throw std::invalid_argument("apply_choices: choice count mismatch");
+  }
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    out.layers[static_cast<std::size_t>(acts[i])].kind =
+        choices.acts[i] == ActKind::relu ? OpKind::relu : OpKind::x2act;
+  }
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    out.layers[static_cast<std::size_t>(pools[i])].kind =
+        choices.pools[i] == PoolKind::maxpool ? OpKind::maxpool : OpKind::avgpool;
+  }
+  return out;
+}
+
+ArchChoices uniform_choices(const ModelDescriptor& md, ActKind act, PoolKind pool) {
+  ArchChoices c;
+  c.acts.assign(act_sites(md).size(), act);
+  c.pools.assign(pool_sites(md).size(), pool);
+  return c;
+}
+
+long long relu_count(const ModelDescriptor& md) {
+  long long total = 0;
+  for (const auto& l : md.layers) {
+    if (l.kind == OpKind::relu) total += l.output_elems();
+  }
+  return total;
+}
+
+std::unique_ptr<Graph> build_graph(const ModelDescriptor& md, crypto::Prng& prng,
+                                   std::vector<int>* node_of_layer) {
+  auto g = std::make_unique<Graph>();
+  std::vector<int> node(md.layers.size(), -1);
+  for (std::size_t i = 0; i < md.layers.size(); ++i) {
+    const LayerSpec& l = md.layers[i];
+    switch (l.kind) {
+      case OpKind::input:
+        node[i] = g->add_input();
+        break;
+      case OpKind::conv:
+        if (l.depthwise) {
+          node[i] = g->add_module(
+              std::make_unique<DepthwiseConv2d>(l.in_ch, l.kernel, l.stride, l.pad, prng),
+              node[static_cast<std::size_t>(l.in0)]);
+        } else {
+          node[i] = g->add_module(
+              std::make_unique<Conv2d>(l.in_ch, l.out_ch, l.kernel, l.stride, l.pad, prng),
+              node[static_cast<std::size_t>(l.in0)]);
+        }
+        break;
+      case OpKind::linear:
+        node[i] = g->add_module(std::make_unique<Linear>(l.in_features, l.out_features, prng),
+                                node[static_cast<std::size_t>(l.in0)]);
+        break;
+      case OpKind::batchnorm:
+        node[i] = g->add_module(std::make_unique<BatchNorm2d>(l.in_ch),
+                                node[static_cast<std::size_t>(l.in0)]);
+        break;
+      case OpKind::relu:
+        node[i] = g->add_module(std::make_unique<Relu>(), node[static_cast<std::size_t>(l.in0)]);
+        break;
+      case OpKind::x2act:
+        node[i] = g->add_module(std::make_unique<X2Act>(), node[static_cast<std::size_t>(l.in0)]);
+        break;
+      case OpKind::maxpool:
+        node[i] = g->add_module(std::make_unique<MaxPool2d>(l.kernel, l.stride, l.pad),
+                                node[static_cast<std::size_t>(l.in0)]);
+        break;
+      case OpKind::avgpool:
+        node[i] = g->add_module(std::make_unique<AvgPool2d>(l.kernel, l.stride, l.pad),
+                                node[static_cast<std::size_t>(l.in0)]);
+        break;
+      case OpKind::global_avgpool:
+        node[i] = g->add_module(std::make_unique<GlobalAvgPool>(),
+                                node[static_cast<std::size_t>(l.in0)]);
+        break;
+      case OpKind::flatten:
+        node[i] = g->add_module(std::make_unique<Flatten>(),
+                                node[static_cast<std::size_t>(l.in0)]);
+        break;
+      case OpKind::add:
+        node[i] = g->add_add(node[static_cast<std::size_t>(l.in0)],
+                             node[static_cast<std::size_t>(l.in1)]);
+        break;
+    }
+  }
+  g->set_output(node[static_cast<std::size_t>(md.output)]);
+  if (node_of_layer != nullptr) *node_of_layer = std::move(node);
+  return g;
+}
+
+}  // namespace pasnet::nn

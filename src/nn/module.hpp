@@ -1,0 +1,52 @@
+#pragma once
+// Layer interface for the plaintext NN substrate.
+//
+// Every layer implements an explicit forward (caching whatever it needs)
+// and an explicit backward that consumes the output gradient and returns
+// the input gradient, accumulating parameter gradients in place.  The
+// DARTS engine distinguishes weight parameters ω (`params`) from
+// architecture parameters α (`arch_params`, overridden by gated operators
+// in src/core).
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace pasnet::nn {
+
+/// A non-owning reference to one trainable parameter and its gradient.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// Abstract layer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output; `training` toggles batch-stat updates etc.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Consumes dL/d(output), accumulates parameter grads, returns dL/d(input).
+  /// Must be called after a matching forward.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Weight parameters ω (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Architecture parameters α (only gated/mixed operators have these).
+  virtual std::vector<ParamRef> arch_params() { return {}; }
+
+  /// Non-trainable state that must persist with checkpoints (e.g. batch
+  /// norm running statistics).
+  virtual std::vector<Tensor*> buffers() { return {}; }
+
+  /// Zeroes all parameter gradients (weights and architecture).
+  void zero_grad() {
+    for (auto& p : params()) p.grad->zero();
+    for (auto& p : arch_params()) p.grad->zero();
+  }
+};
+
+}  // namespace pasnet::nn

@@ -1,0 +1,81 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace pasnet::nn {
+
+double clip_gradients(const std::vector<ParamRef>& params, double max_norm) {
+  double norm_sq = 0.0;
+  for (const auto& p : params) {
+    const Tensor& g = *p.grad;
+    for (std::size_t i = 0; i < g.size(); ++i) norm_sq += static_cast<double>(g[i]) * g[i];
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (max_norm > 0.0 && norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (const auto& p : params) {
+      Tensor& g = *p.grad;
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<ParamRef> params, float lr, float momentum, float weight_decay)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(std::vector<int>(p.value->shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = *params_[i].value;
+    const Tensor& g = *params_[i].grad;
+    Tensor& v = velocity_[i];
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      v[j] = momentum_ * v[j] + grad;
+      w[j] -= lr_ * v[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto& p : params_) p.grad->zero();
+}
+
+Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(std::vector<int>(p.value->shape()));
+    v_.emplace_back(std::vector<int>(p.value->shape()));
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = *params_[i].value;
+    const Tensor& g = *params_[i].grad;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1 - beta1_) * grad;
+      v_[i][j] = beta2_ * v_[i][j] + (1 - beta2_) * grad * grad;
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.grad->zero();
+}
+
+}  // namespace pasnet::nn

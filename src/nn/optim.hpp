@@ -1,0 +1,51 @@
+#pragma once
+// Optimizers: SGD with momentum (for ω, per paper Algo 1 line 19) and Adam
+// (for architecture parameters α, line 15).
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace pasnet::nn {
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm.  No-op when the norm is already within
+/// bounds or max_norm <= 0.
+double clip_gradients(const std::vector<ParamRef>& params, double max_norm);
+
+/// SGD with classical momentum and decoupled L2 weight decay.
+class Sgd {
+ public:
+  Sgd(std::vector<ParamRef> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  [[nodiscard]] float lr() const noexcept { return lr_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  std::vector<Tensor> velocity_;
+  float lr_, momentum_, weight_decay_;
+};
+
+/// Adam optimizer.
+class Adam {
+ public:
+  Adam(std::vector<ParamRef> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  [[nodiscard]] float lr() const noexcept { return lr_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  std::vector<Tensor> m_, v_;
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  long step_count_ = 0;
+};
+
+}  // namespace pasnet::nn

@@ -1,0 +1,204 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pasnet::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50415357;  // "PASW"
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("weights checkpoint: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void save_weights(Graph& graph, std::ostream& os) {
+  const auto params = graph.params();
+  write_u32(os, kMagic);
+  write_u32(os, static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    const Tensor& t = *p.value;
+    write_u32(os, static_cast<std::uint32_t>(t.rank()));
+    for (int d = 0; d < t.rank(); ++d) write_u32(os, static_cast<std::uint32_t>(t.dim(d)));
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  // Architecture parameters (gated supernets) ride along after the weights.
+  const auto arch = graph.arch_params();
+  write_u32(os, static_cast<std::uint32_t>(arch.size()));
+  for (const auto& p : arch) {
+    const Tensor& t = *p.value;
+    write_u32(os, static_cast<std::uint32_t>(t.size()));
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  // Persistent buffers: batch-norm running statistics and friends.
+  const auto bufs = graph.buffers();
+  write_u32(os, static_cast<std::uint32_t>(bufs.size()));
+  for (const Tensor* t : bufs) {
+    write_u32(os, static_cast<std::uint32_t>(t->size()));
+    os.write(reinterpret_cast<const char*>(t->data()),
+             static_cast<std::streamsize>(t->size() * sizeof(float)));
+  }
+}
+
+void load_weights(Graph& graph, std::istream& is) {
+  if (read_u32(is) != kMagic) throw std::runtime_error("weights checkpoint: bad magic");
+  const auto params = graph.params();
+  const std::uint32_t count = read_u32(is);
+  if (count != params.size()) {
+    throw std::runtime_error("weights checkpoint: parameter count mismatch");
+  }
+  for (const auto& p : params) {
+    Tensor& t = *p.value;
+    const std::uint32_t rank = read_u32(is);
+    if (rank != static_cast<std::uint32_t>(t.rank())) {
+      throw std::runtime_error("weights checkpoint: rank mismatch");
+    }
+    for (int d = 0; d < t.rank(); ++d) {
+      if (read_u32(is) != static_cast<std::uint32_t>(t.dim(d))) {
+        throw std::runtime_error("weights checkpoint: shape mismatch");
+      }
+    }
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!is) throw std::runtime_error("weights checkpoint: truncated tensor data");
+  }
+  const std::uint32_t arch_count = read_u32(is);
+  const auto arch = graph.arch_params();
+  if (arch_count != arch.size()) {
+    throw std::runtime_error("weights checkpoint: arch parameter count mismatch");
+  }
+  for (const auto& p : arch) {
+    Tensor& t = *p.value;
+    if (read_u32(is) != static_cast<std::uint32_t>(t.size())) {
+      throw std::runtime_error("weights checkpoint: arch size mismatch");
+    }
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!is) throw std::runtime_error("weights checkpoint: truncated arch data");
+  }
+  const std::uint32_t buf_count = read_u32(is);
+  const auto bufs = graph.buffers();
+  if (buf_count != bufs.size()) {
+    throw std::runtime_error("weights checkpoint: buffer count mismatch");
+  }
+  for (Tensor* t : bufs) {
+    if (read_u32(is) != static_cast<std::uint32_t>(t->size())) {
+      throw std::runtime_error("weights checkpoint: buffer size mismatch");
+    }
+    is.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->size() * sizeof(float)));
+    if (!is) throw std::runtime_error("weights checkpoint: truncated buffer data");
+  }
+}
+
+void save_weights_file(Graph& graph, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open checkpoint for writing: " + path);
+  save_weights(graph, os);
+}
+
+bool load_weights_file(Graph& graph, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  load_weights(graph, is);
+  return true;
+}
+
+namespace {
+
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::input: return "input";
+    case OpKind::conv: return "conv";
+    case OpKind::linear: return "linear";
+    case OpKind::batchnorm: return "batchnorm";
+    case OpKind::relu: return "relu";
+    case OpKind::x2act: return "x2act";
+    case OpKind::maxpool: return "maxpool";
+    case OpKind::avgpool: return "avgpool";
+    case OpKind::global_avgpool: return "gap";
+    case OpKind::flatten: return "flatten";
+    case OpKind::add: return "add";
+  }
+  return "?";
+}
+
+OpKind kind_from_name(const std::string& s) {
+  if (s == "input") return OpKind::input;
+  if (s == "conv") return OpKind::conv;
+  if (s == "linear") return OpKind::linear;
+  if (s == "batchnorm") return OpKind::batchnorm;
+  if (s == "relu") return OpKind::relu;
+  if (s == "x2act") return OpKind::x2act;
+  if (s == "maxpool") return OpKind::maxpool;
+  if (s == "avgpool") return OpKind::avgpool;
+  if (s == "gap") return OpKind::global_avgpool;
+  if (s == "flatten") return OpKind::flatten;
+  if (s == "add") return OpKind::add;
+  throw std::runtime_error("descriptor text: unknown op kind '" + s + "'");
+}
+
+}  // namespace
+
+std::string descriptor_to_text(const ModelDescriptor& md) {
+  std::ostringstream os;
+  os << "pasnet-descriptor v1\n";
+  os << "name " << md.name << "\n";
+  os << "input " << md.input_ch << ' ' << md.input_h << ' ' << md.input_w << ' '
+     << md.num_classes << "\n";
+  os << "output " << md.output << "\n";
+  for (const auto& l : md.layers) {
+    os << kind_name(l.kind) << ' ' << l.in0 << ' ' << l.in1 << ' ' << l.in_ch << ' '
+       << l.out_ch << ' ' << l.kernel << ' ' << l.stride << ' ' << l.pad << ' '
+       << (l.depthwise ? 1 : 0) << ' ' << l.out_features << ' '
+       << (l.searchable ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+ModelDescriptor descriptor_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "pasnet-descriptor v1") {
+    throw std::runtime_error("descriptor text: bad header");
+  }
+  ModelDescriptor md;
+  std::string token;
+  is >> token;
+  if (token != "name") throw std::runtime_error("descriptor text: expected name");
+  is >> md.name;
+  is >> token;
+  if (token != "input") throw std::runtime_error("descriptor text: expected input");
+  is >> md.input_ch >> md.input_h >> md.input_w >> md.num_classes;
+  is >> token;
+  if (token != "output") throw std::runtime_error("descriptor text: expected output");
+  is >> md.output;
+  while (is >> token) {
+    LayerSpec l;
+    l.kind = kind_from_name(token);
+    int depthwise = 0, searchable = 0;
+    is >> l.in0 >> l.in1 >> l.in_ch >> l.out_ch >> l.kernel >> l.stride >> l.pad >>
+        depthwise >> l.out_features >> searchable;
+    l.depthwise = depthwise != 0;
+    l.searchable = searchable != 0;
+    md.layers.push_back(l);
+  }
+  propagate_shapes(md);
+  return md;
+}
+
+}  // namespace pasnet::nn

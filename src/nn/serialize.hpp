@@ -1,0 +1,30 @@
+#pragma once
+// Persistence: binary checkpoints of graph weights, and a line-based text
+// format for ModelDescriptors.  Together they let a searched + finetuned
+// PASNet model be exported (descriptor + weights) and reloaded for secure
+// deployment — mirroring the pretrained-model release of the paper's repo.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/graph.hpp"
+#include "nn/models.hpp"
+
+namespace pasnet::nn {
+
+/// Writes all parameters of the graph (in node order) to a binary stream.
+void save_weights(Graph& graph, std::ostream& os);
+
+/// Loads a checkpoint produced by save_weights into a structurally
+/// identical graph; throws std::runtime_error on format/shape mismatch.
+void load_weights(Graph& graph, std::istream& is);
+
+/// File convenience wrappers; load returns false if the file is missing.
+void save_weights_file(Graph& graph, const std::string& path);
+bool load_weights_file(Graph& graph, const std::string& path);
+
+/// Text round-trip for descriptors (one layer per line).
+[[nodiscard]] std::string descriptor_to_text(const ModelDescriptor& md);
+[[nodiscard]] ModelDescriptor descriptor_from_text(const std::string& text);
+
+}  // namespace pasnet::nn

@@ -1,0 +1,213 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pasnet::nn {
+
+namespace {
+
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (const int d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, crypto::Prng& prng, float stddev) {
+  Tensor t(std::move(shape));
+  // Box-Muller from the uniform PRNG.
+  for (std::size_t i = 0; i + 1 < t.size(); i += 2) {
+    const double u1 = prng.next_unit() + 1e-12;
+    const double u2 = prng.next_unit();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    t[i] = static_cast<float>(r * std::cos(2.0 * M_PI * u2) * stddev);
+    t[i + 1] = static_cast<float>(r * std::sin(2.0 * M_PI * u2) * stddev);
+  }
+  if (t.size() % 2 == 1) {
+    const double u1 = prng.next_unit() + 1e-12;
+    const double u2 = prng.next_unit();
+    t[t.size() - 1] = static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                                         std::cos(2.0 * M_PI * u2) * stddev);
+  }
+  return t;
+}
+
+Tensor Tensor::kaiming(std::vector<int> shape, crypto::Prng& prng, int fan_in) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+  return randn(std::move(shape), prng, stddev);
+}
+
+float& Tensor::at4(int n, int c, int h, int w) {
+  return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+float Tensor::at4(int n, int c, int h, int w) const {
+  return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+float& Tensor::at2(int r, int c) {
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+float Tensor::at2(int r, int c) const {
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  if (shape_numel(new_shape) != size()) {
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) {
+  for (auto& e : data_) e = v;
+}
+
+std::vector<double> Tensor::to_doubles() const {
+  return std::vector<double>(data_.begin(), data_.end());
+}
+
+Tensor Tensor::from_doubles(const std::vector<double>& v, std::vector<int> shape) {
+  Tensor t(std::move(shape));
+  if (v.size() != t.size()) throw std::invalid_argument("from_doubles: size mismatch");
+  for (std::size_t i = 0; i < v.size(); ++i) t[i] = static_cast<float>(v[i]);
+  return t;
+}
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (a.shape() != b.shape()) throw std::invalid_argument(std::string(what) + ": shape mismatch");
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] += b[i];
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] -= b[i];
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] *= b[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] *= s;
+  return c;
+}
+
+void axpy(Tensor& a, float s, const Tensor& b) {
+  check_same_shape(a, b, "axpy");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: incompatible shapes");
+  }
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float aip = a.data()[static_cast<std::size_t>(i) * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = &b.data()[static_cast<std::size_t>(p) * n];
+      float* crow = &c.data()[static_cast<std::size_t>(i) * n];
+      for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  if (a.rank() != 2) throw std::invalid_argument("transpose: rank-2 only");
+  const int m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) t.at2(j, i) = a.at2(i, j);
+  }
+  return t;
+}
+
+int conv_out_size(int in, int kernel, int stride, int pad) noexcept {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+Tensor im2col(const Tensor& input, int sample, int kernel, int stride, int pad) {
+  const int c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int oh = conv_out_size(h, kernel, stride, pad);
+  const int ow = conv_out_size(w, kernel, stride, pad);
+  Tensor cols({c * kernel * kernel, oh * ow});
+  for (int ch = 0; ch < c; ++ch) {
+    for (int kh = 0; kh < kernel; ++kh) {
+      for (int kw = 0; kw < kernel; ++kw) {
+        const int row = (ch * kernel + kh) * kernel + kw;
+        for (int y = 0; y < oh; ++y) {
+          const int in_y = y * stride + kh - pad;
+          for (int x = 0; x < ow; ++x) {
+            const int in_x = x * stride + kw - pad;
+            float v = 0.0f;
+            if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
+              v = input.at4(sample, ch, in_y, in_x);
+            }
+            cols.at2(row, y * ow + x) = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+void col2im_accumulate(const Tensor& cols, Tensor& grad_input, int sample, int kernel,
+                       int stride, int pad) {
+  const int c = grad_input.dim(1), h = grad_input.dim(2), w = grad_input.dim(3);
+  const int oh = conv_out_size(h, kernel, stride, pad);
+  const int ow = conv_out_size(w, kernel, stride, pad);
+  for (int ch = 0; ch < c; ++ch) {
+    for (int kh = 0; kh < kernel; ++kh) {
+      for (int kw = 0; kw < kernel; ++kw) {
+        const int row = (ch * kernel + kh) * kernel + kw;
+        for (int y = 0; y < oh; ++y) {
+          const int in_y = y * stride + kh - pad;
+          if (in_y < 0 || in_y >= h) continue;
+          for (int x = 0; x < ow; ++x) {
+            const int in_x = x * stride + kw - pad;
+            if (in_x < 0 || in_x >= w) continue;
+            grad_input.at4(sample, ch, in_y, in_x) += cols.at2(row, y * ow + x);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pasnet::nn

@@ -1,0 +1,111 @@
+#include "perf/latency_model.hpp"
+
+namespace pasnet::perf {
+
+namespace {
+
+constexpr double kBitsPerValue = 32.0;  // ring size (paper: 32-bit fixed point)
+constexpr double kParts = 16.0;         // U = 16 two-bit parts per value
+constexpr double kTableRows = 4.0;      // (1,4)-OT table height
+
+}  // namespace
+
+OtFlowCost LatencyModel::ot_flow(long long n) const {
+  const double N = static_cast<double>(n);
+  const double pp_f = hw_.pp_cmp * hw_.freq_hz;
+  const double bw = net_.bandwidth_bps;
+  const double tbc = net_.base_latency_s;
+  OtFlowCost c;
+
+  // Step 1: S0 shares the mask base S = g^rdS0 mod m.  Compute is trivial;
+  // COMM1 = Tbc + 32/Rtbw (Eq. for step 1).
+  c.step1.comm_s = tbc + kBitsPerValue / bw;
+  c.step1.comm_bytes = kBitsPerValue / 8.0;
+  c.step1.rounds = 1;
+
+  // Step 2: S1 builds the R list from its 32-bit shares, U = 16 parts.
+  // CMP2 = 32·17·N/(PP·f)  (Eq. 5);  COMM2 = Tbc + 32·16·N/Rtbw  (Eq. 6).
+  c.step2.cmp_s = kBitsPerValue * (kParts + 1.0) * N / pp_f;
+  c.step2.comm_s = tbc + kBitsPerValue * kParts * N / bw;
+  c.step2.comm_bytes = kBitsPerValue * kParts * N / 8.0;
+  c.step2.rounds = 1;
+
+  // Step 3: S0 derives keys and sends the encrypted 4x16 comparison matrix.
+  // CMP3 = 32·(17+4·16)·N/(PP·f)  (Eq. 7);
+  // COMM3 = Tbc + 32·4·16·N/Rtbw  (Eq. 8).
+  c.step3.cmp_s = kBitsPerValue * (kParts + 1.0 + kTableRows * kParts) * N / pp_f;
+  c.step3.comm_s = tbc + kBitsPerValue * kTableRows * kParts * N / bw;
+  c.step3.comm_bytes = kBitsPerValue * kTableRows * kParts * N / 8.0;
+  c.step3.rounds = 1;
+
+  // Step 4: S1 decodes its entries and returns the selection bits.
+  // CMP4 = (32·4·16 + 1)·N/(PP·f)  (Eq. 9);  COMM4 = Tbc + N/Rtbw (Eq. 10).
+  c.step4.cmp_s = (kBitsPerValue * kTableRows * kParts + 1.0) * N / pp_f;
+  c.step4.comm_s = tbc + N / bw;
+  c.step4.comm_bytes = N / 8.0;
+  c.step4.rounds = 1;
+
+  return c;
+}
+
+OpCost LatencyModel::relu(long long elems) const {
+  // Lat = Σ CMP_{2..4} + Σ COMM_{1..4}  (Eq. 11).
+  return ot_flow(elems).total();
+}
+
+OpCost LatencyModel::maxpool(long long elems) const {
+  // Lat = OT flow + 3·Tbc window-combine rounds  (Eq. 13).
+  OpCost c = ot_flow(elems).total();
+  c.comm_s += 3.0 * net_.base_latency_s;
+  c.rounds += 3;
+  return c;
+}
+
+OpCost LatencyModel::x2act(long long n) const {
+  // CMP = 2·N/(PP·f);  Lat = CMP + 2·(Tbc + 32·N/Rtbw)  (Eq. 14).
+  const double N = static_cast<double>(n);
+  OpCost c;
+  c.cmp_s = 2.0 * N / (hw_.pp_elem * hw_.freq_hz);
+  c.comm_s = 2.0 * (net_.base_latency_s + kBitsPerValue * N / net_.bandwidth_bps);
+  c.comm_bytes = 2.0 * kBitsPerValue * N / 8.0;
+  c.rounds = 2;
+  return c;
+}
+
+OpCost LatencyModel::avgpool(long long n) const {
+  // Lat = 2·N/(PP·f): purely local additions and scaling  (Eq. 15).
+  OpCost c;
+  c.cmp_s = 2.0 * static_cast<double>(n) / (hw_.pp_elem * hw_.freq_hz);
+  return c;
+}
+
+OpCost LatencyModel::conv(int kernel, long long out_spatial, int in_ch, int out_ch,
+                          long long in_elems, bool depthwise) const {
+  // CMP = 3·K²·FO²·IC·OC/(PP·f) (three Beaver products per MAC, Eq. 16);
+  // depthwise convolutions have one filter per channel (no OC product).
+  const double k2 = static_cast<double>(kernel) * kernel;
+  const double macs = depthwise
+                          ? k2 * static_cast<double>(out_spatial) * in_ch
+                          : k2 * static_cast<double>(out_spatial) * in_ch * out_ch;
+  OpCost c;
+  c.cmp_s = 3.0 * macs / (hw_.pp_conv * hw_.freq_hz);
+  // COMM = Tbc + 32·FI²·IC/Rtbw, paid twice (E and F openings).
+  const double bits = kBitsPerValue * static_cast<double>(in_elems);
+  c.comm_s = 2.0 * (net_.base_latency_s + bits / net_.bandwidth_bps);
+  c.comm_bytes = 2.0 * bits / 8.0;
+  c.rounds = 1;  // E and F open in the same parallel round
+  return c;
+}
+
+OpCost LatencyModel::linear(int in_features, int out_features) const {
+  return conv(/*kernel=*/1, /*out_spatial=*/1, in_features, out_features,
+              /*in_elems=*/in_features);
+}
+
+OpCost LatencyModel::add(long long n) const {
+  OpCost c;
+  c.cmp_s = static_cast<double>(n) / (hw_.pp_elem * hw_.freq_hz);
+  return c;
+}
+
+}  // namespace pasnet::perf

@@ -1,0 +1,88 @@
+#pragma once
+// Analytic latency/communication model of the 2PC operators
+// (paper §III-C, Eq. 5-16).
+//
+// All non-polynomial operators go through the 4-step OT comparison flow of
+// Fig. 4: each 32-bit value splits into U = 16 parts of 2 bits, each part
+// resolved by a (1,4)-OT whose masked tables dominate traffic.  Polynomial
+// operators only pay Beaver-style openings.  Every cost function returns an
+// OpCost with separate compute and communication phases so the pipeline
+// scheduler can overlap them.
+
+#include <cstdint>
+
+#include "perf/hardware.hpp"
+
+namespace pasnet::perf {
+
+/// Cost of one 2PC operator evaluation.
+struct OpCost {
+  double cmp_s = 0.0;      ///< on-chip compute time
+  double comm_s = 0.0;     ///< wire time including per-message Tbc terms
+  double comm_bytes = 0.0; ///< payload volume (both directions)
+  int rounds = 0;          ///< latency-critical message exchanges
+
+  [[nodiscard]] double total_s() const noexcept { return cmp_s + comm_s; }
+  OpCost& operator+=(const OpCost& o) noexcept {
+    cmp_s += o.cmp_s;
+    comm_s += o.comm_s;
+    comm_bytes += o.comm_bytes;
+    rounds += o.rounds;
+    return *this;
+  }
+};
+
+/// Per-step cost of the 2PC-OT comparison flow (paper Fig. 4, Eq. 5-10)
+/// over `elems` = FI²·IC values.
+struct OtFlowCost {
+  OpCost step1, step2, step3, step4;
+  [[nodiscard]] OpCost total() const noexcept {
+    OpCost t = step1;
+    t += step2;
+    t += step3;
+    t += step4;
+    return t;
+  }
+};
+
+/// The latency model proper: binds a hardware and network profile.
+class LatencyModel {
+ public:
+  LatencyModel(HardwareConfig hw, NetworkConfig net) : hw_(hw), net_(net) {}
+
+  [[nodiscard]] const HardwareConfig& hardware() const noexcept { return hw_; }
+  [[nodiscard]] const NetworkConfig& network() const noexcept { return net_; }
+
+  /// Full OT comparison flow over `elems` values (Eq. 5-10).
+  [[nodiscard]] OtFlowCost ot_flow(long long elems) const;
+
+  /// 2PC-ReLU (Eq. 11): the OT flow plus the multiplexing multiply.
+  [[nodiscard]] OpCost relu(long long elems) const;
+
+  /// 2PC-MaxPool (Eq. 13): OT flow + 3·Tbc window-combination overhead;
+  /// `elems` is the input feature count FI²·IC.
+  [[nodiscard]] OpCost maxpool(long long elems) const;
+
+  /// 2PC-X2act (Eq. 14): one ciphertext square + two scalar multiplies.
+  [[nodiscard]] OpCost x2act(long long elems) const;
+
+  /// 2PC-AvgPool (Eq. 15): local additions and scaling only.
+  [[nodiscard]] OpCost avgpool(long long elems) const;
+
+  /// 2PC-Conv (Eq. 16): Beaver convolution; `out_elems` = FO², `in_elems`
+  /// = FI²·IC.  Depthwise convolutions skip the OC product.
+  [[nodiscard]] OpCost conv(int kernel, long long out_spatial, int in_ch, int out_ch,
+                            long long in_elems, bool depthwise = false) const;
+
+  /// Fully connected layer as a K=1 convolution over a 1x1 feature map.
+  [[nodiscard]] OpCost linear(int in_features, int out_features) const;
+
+  /// Elementwise secret-share addition (residual connections): local only.
+  [[nodiscard]] OpCost add(long long elems) const;
+
+ private:
+  HardwareConfig hw_;
+  NetworkConfig net_;
+};
+
+}  // namespace pasnet::perf

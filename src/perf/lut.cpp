@@ -1,0 +1,132 @@
+#include "perf/lut.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pasnet::perf {
+
+const char* lut_op_name(LutOp op) noexcept {
+  switch (op) {
+    case LutOp::relu: return "relu";
+    case LutOp::maxpool: return "maxpool";
+    case LutOp::x2act: return "x2act";
+    case LutOp::avgpool: return "avgpool";
+    case LutOp::conv: return "conv";
+    case LutOp::dwconv: return "dwconv";
+    case LutOp::linear: return "linear";
+    case LutOp::add: return "add";
+  }
+  return "?";
+}
+
+OpCost LatencyLut::compute_entry(const Key& k) {
+  const auto [op, a, b, c, d] = k;
+  switch (static_cast<LutOp>(op)) {
+    case LutOp::relu: return model_.relu(a);
+    case LutOp::maxpool: return model_.maxpool(a);
+    case LutOp::x2act: return model_.x2act(a);
+    case LutOp::avgpool: return model_.avgpool(a);
+    case LutOp::add: return model_.add(a);
+    case LutOp::conv:
+      // key: (kernel, out_spatial, in_ch*2^20 + out_ch, in_elems)
+      return model_.conv(static_cast<int>(a), b, static_cast<int>(c >> 20),
+                         static_cast<int>(c & 0xFFFFF), d, false);
+    case LutOp::dwconv:
+      return model_.conv(static_cast<int>(a), b, static_cast<int>(c >> 20),
+                         static_cast<int>(c & 0xFFFFF), d, true);
+    case LutOp::linear:
+      return model_.linear(static_cast<int>(a), static_cast<int>(b));
+  }
+  throw std::logic_error("LatencyLut: unknown op");
+}
+
+OpCost LatencyLut::relu(long long elems) {
+  const Key k{static_cast<int>(LutOp::relu), elems, 0, 0, 0};
+  auto it = table_.find(k);
+  if (it == table_.end()) it = table_.emplace(k, compute_entry(k)).first;
+  return it->second;
+}
+
+OpCost LatencyLut::maxpool(long long elems) {
+  const Key k{static_cast<int>(LutOp::maxpool), elems, 0, 0, 0};
+  auto it = table_.find(k);
+  if (it == table_.end()) it = table_.emplace(k, compute_entry(k)).first;
+  return it->second;
+}
+
+OpCost LatencyLut::x2act(long long elems) {
+  const Key k{static_cast<int>(LutOp::x2act), elems, 0, 0, 0};
+  auto it = table_.find(k);
+  if (it == table_.end()) it = table_.emplace(k, compute_entry(k)).first;
+  return it->second;
+}
+
+OpCost LatencyLut::avgpool(long long elems) {
+  const Key k{static_cast<int>(LutOp::avgpool), elems, 0, 0, 0};
+  auto it = table_.find(k);
+  if (it == table_.end()) it = table_.emplace(k, compute_entry(k)).first;
+  return it->second;
+}
+
+OpCost LatencyLut::add(long long elems) {
+  const Key k{static_cast<int>(LutOp::add), elems, 0, 0, 0};
+  auto it = table_.find(k);
+  if (it == table_.end()) it = table_.emplace(k, compute_entry(k)).first;
+  return it->second;
+}
+
+OpCost LatencyLut::conv(int kernel, long long out_spatial, int in_ch, int out_ch,
+                        long long in_elems, bool depthwise) {
+  const Key k{static_cast<int>(depthwise ? LutOp::dwconv : LutOp::conv), kernel,
+              out_spatial, (static_cast<long long>(in_ch) << 20) | out_ch, in_elems};
+  auto it = table_.find(k);
+  if (it == table_.end()) it = table_.emplace(k, compute_entry(k)).first;
+  return it->second;
+}
+
+OpCost LatencyLut::linear(int in_features, int out_features) {
+  const Key k{static_cast<int>(LutOp::linear), in_features, out_features, 0, 0};
+  auto it = table_.find(k);
+  if (it == table_.end()) it = table_.emplace(k, compute_entry(k)).first;
+  return it->second;
+}
+
+std::string LatencyLut::to_csv() const {
+  std::ostringstream os;
+  os.precision(17);  // lossless double round-trip
+  os << "op,a,b,c,d,cmp_s,comm_s,comm_bytes,rounds\n";
+  for (const auto& [k, v] : table_) {
+    const auto [op, a, b, c, d] = k;
+    os << op << ',' << a << ',' << b << ',' << c << ',' << d << ',' << v.cmp_s << ','
+       << v.comm_s << ',' << v.comm_bytes << ',' << v.rounds << '\n';
+  }
+  return os.str();
+}
+
+void LatencyLut::load_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line)) return;  // header
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    auto next = [&row, &field]() -> std::string {
+      if (!std::getline(row, field, ',')) throw std::invalid_argument("LUT csv: short row");
+      return field;
+    };
+    const int op = std::stoi(next());
+    const long long a = std::stoll(next());
+    const long long b = std::stoll(next());
+    const long long c = std::stoll(next());
+    const long long d = std::stoll(next());
+    OpCost cost;
+    cost.cmp_s = std::stod(next());
+    cost.comm_s = std::stod(next());
+    cost.comm_bytes = std::stod(next());
+    cost.rounds = std::stoi(next());
+    table_[Key{op, a, b, c, d}] = cost;
+  }
+}
+
+}  // namespace pasnet::perf

@@ -1,0 +1,59 @@
+#pragma once
+// Latency lookup table (paper contribution 2: "The latency look-up table is
+// constructed").
+//
+// The NAS loss needs per-candidate operator latencies thousands of times
+// per search step; the LUT memoizes the analytic model keyed by operator
+// signature and supports CSV round-trips so a table built once (e.g. from
+// on-board profiling) can be reloaded without the model.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "perf/latency_model.hpp"
+
+namespace pasnet::perf {
+
+/// Operator classes the LUT distinguishes.
+enum class LutOp : int { relu = 0, maxpool, x2act, avgpool, conv, dwconv, linear, add };
+
+[[nodiscard]] const char* lut_op_name(LutOp op) noexcept;
+
+/// Memoizing latency table over the analytic model.
+class LatencyLut {
+ public:
+  explicit LatencyLut(LatencyModel model) : model_(model) {}
+
+  /// Elementwise operators keyed by element count.
+  [[nodiscard]] OpCost relu(long long elems);
+  [[nodiscard]] OpCost maxpool(long long elems);
+  [[nodiscard]] OpCost x2act(long long elems);
+  [[nodiscard]] OpCost avgpool(long long elems);
+  [[nodiscard]] OpCost add(long long elems);
+
+  /// Convolutions keyed by (K, FO², IC, OC); depthwise drops OC.
+  [[nodiscard]] OpCost conv(int kernel, long long out_spatial, int in_ch, int out_ch,
+                            long long in_elems, bool depthwise);
+  [[nodiscard]] OpCost linear(int in_features, int out_features);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return table_.size(); }
+  [[nodiscard]] const LatencyModel& model() const noexcept { return model_; }
+
+  /// Serializes all memoized entries: one "op,a,b,c,d,cmp,comm,bytes,rounds"
+  /// row per entry.
+  [[nodiscard]] std::string to_csv() const;
+  /// Pre-populates the table from a CSV produced by to_csv(); later queries
+  /// hit the preloaded rows and fall back to the model otherwise.
+  void load_csv(const std::string& csv);
+
+ private:
+  using Key = std::tuple<int, long long, long long, long long, long long>;
+  OpCost compute_entry(const Key& k);
+
+  LatencyModel model_;
+  std::map<Key, OpCost> table_;
+};
+
+}  // namespace pasnet::perf

@@ -1,0 +1,58 @@
+#include "perf/network_profile.hpp"
+
+namespace pasnet::perf {
+
+OpCost layer_cost(const nn::LayerSpec& l, LatencyLut& lut) {
+  using nn::OpKind;
+  switch (l.kind) {
+    case OpKind::input:
+    case OpKind::flatten:
+      return OpCost{};
+    case OpKind::batchnorm:
+      return OpCost{};  // folded into the preceding convolution
+    case OpKind::conv:
+      return lut.conv(l.kernel, static_cast<long long>(l.out_h) * l.out_w, l.in_ch,
+                      l.out_ch, l.input_elems(), l.depthwise);
+    case OpKind::linear:
+      return lut.linear(l.in_features, l.out_features);
+    case OpKind::relu:
+      return lut.relu(l.input_elems());
+    case OpKind::x2act:
+      return lut.x2act(l.input_elems());
+    case OpKind::maxpool:
+      return lut.maxpool(l.input_elems());
+    case OpKind::avgpool:
+    case OpKind::global_avgpool:
+      return lut.avgpool(l.input_elems());
+    case OpKind::add:
+      return lut.add(l.output_elems());
+  }
+  return OpCost{};
+}
+
+NetworkProfile profile_network(const nn::ModelDescriptor& md, LatencyLut& lut,
+                               const PipelineScheduler& sched) {
+  NetworkProfile p;
+  p.model_name = md.name;
+  std::vector<OpCost> ops;
+  ops.reserve(md.layers.size());
+  for (std::size_t i = 0; i < md.layers.size(); ++i) {
+    const auto& l = md.layers[i];
+    LayerCost lc;
+    lc.layer_index = static_cast<int>(i);
+    lc.kind = l.kind;
+    lc.cost = layer_cost(l, lut);
+    p.total += lc.cost;
+    if (l.kind == nn::OpKind::relu || l.kind == nn::OpKind::maxpool) {
+      p.nonlinear_s += lc.cost.total_s();
+    } else {
+      p.linear_s += lc.cost.total_s();
+    }
+    ops.push_back(lc.cost);
+    p.layers.push_back(std::move(lc));
+  }
+  p.pipelined_s = sched.pipelined_latency(ops);
+  return p;
+}
+
+}  // namespace pasnet::perf

@@ -1,0 +1,49 @@
+#pragma once
+// Whole-network private-inference profiling: feeds every layer of a
+// ModelDescriptor through the latency model and aggregates latency,
+// communication volume and energy efficiency — the quantities reported in
+// the paper's Fig. 1, Fig. 5(b) and Table I.
+
+#include <string>
+#include <vector>
+
+#include "nn/models.hpp"
+#include "perf/lut.hpp"
+#include "perf/scheduler.hpp"
+
+namespace pasnet::perf {
+
+/// Cost of one descriptor layer under 2PC.
+struct LayerCost {
+  int layer_index = 0;
+  nn::OpKind kind = nn::OpKind::input;
+  OpCost cost;
+};
+
+/// Aggregated profile of a network under 2PC private inference.
+struct NetworkProfile {
+  std::string model_name;
+  std::vector<LayerCost> layers;
+  OpCost total;                  ///< serial totals
+  double pipelined_s = 0.0;      ///< with the coarse-grained scheduler
+  double nonlinear_s = 0.0;      ///< ReLU + MaxPool share (the paper's 99%)
+  double linear_s = 0.0;         ///< conv/linear/poly share
+
+  [[nodiscard]] double latency_ms() const noexcept { return total.total_s() * 1e3; }
+  [[nodiscard]] double comm_mb() const noexcept { return total.comm_bytes / 1e6; }
+  [[nodiscard]] double comm_gb() const noexcept { return total.comm_bytes / 1e9; }
+  /// Efficiency metric 1/(s·kW) as used in Table I.
+  [[nodiscard]] double efficiency(double power_kw) const noexcept {
+    return 1.0 / (total.total_s() * power_kw);
+  }
+};
+
+/// Profiles a network: batch-norm layers fold into the preceding conv and
+/// cost nothing (paper §III-C); every other layer maps onto Eq. 11-16.
+[[nodiscard]] NetworkProfile profile_network(const nn::ModelDescriptor& md, LatencyLut& lut,
+                                             const PipelineScheduler& sched = PipelineScheduler{});
+
+/// Cost of a single descriptor layer (exposed for the NAS latency loss).
+[[nodiscard]] OpCost layer_cost(const nn::LayerSpec& layer, LatencyLut& lut);
+
+}  // namespace pasnet::perf

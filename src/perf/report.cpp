@@ -1,0 +1,84 @@
+#include "perf/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace pasnet::perf {
+
+const char* op_kind_name(nn::OpKind kind) noexcept {
+  switch (kind) {
+    case nn::OpKind::input: return "input";
+    case nn::OpKind::conv: return "conv";
+    case nn::OpKind::linear: return "linear";
+    case nn::OpKind::batchnorm: return "batchnorm";
+    case nn::OpKind::relu: return "relu";
+    case nn::OpKind::x2act: return "x2act";
+    case nn::OpKind::maxpool: return "maxpool";
+    case nn::OpKind::avgpool: return "avgpool";
+    case nn::OpKind::global_avgpool: return "gap";
+    case nn::OpKind::flatten: return "flatten";
+    case nn::OpKind::add: return "add";
+  }
+  return "?";
+}
+
+std::vector<KindSummary> summarize_by_kind(const NetworkProfile& profile) {
+  std::map<int, KindSummary> by_kind;
+  for (const auto& lc : profile.layers) {
+    auto& s = by_kind[static_cast<int>(lc.kind)];
+    s.kind = lc.kind;
+    ++s.count;
+    s.latency_s += lc.cost.total_s();
+    s.comm_bytes += lc.cost.comm_bytes;
+  }
+  std::vector<KindSummary> out;
+  out.reserve(by_kind.size());
+  for (const auto& [k, v] : by_kind) out.push_back(v);
+  std::sort(out.begin(), out.end(),
+            [](const KindSummary& a, const KindSummary& b) { return a.latency_s > b.latency_s; });
+  return out;
+}
+
+std::string format_kind_table(const NetworkProfile& profile) {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-12s %6s %14s %12s %8s\n", "op", "count", "latency (ms)",
+                "comm (MB)", "share");
+  os << buf;
+  const double total = profile.total.total_s();
+  for (const auto& s : summarize_by_kind(profile)) {
+    if (s.latency_s == 0.0 && s.comm_bytes == 0.0) continue;
+    std::snprintf(buf, sizeof(buf), "%-12s %6d %14.2f %12.3f %7.1f%%\n",
+                  op_kind_name(s.kind), s.count, s.latency_s * 1e3, s.comm_bytes / 1e6,
+                  total > 0 ? 100.0 * s.latency_s / total : 0.0);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-12s %6zu %14.2f %12.3f %7.1f%%\n", "total",
+                profile.layers.size(), profile.latency_ms(), profile.comm_mb(), 100.0);
+  os << buf;
+  return os.str();
+}
+
+std::string profile_to_csv(const NetworkProfile& profile) {
+  std::ostringstream os;
+  os << "layer,kind,cmp_s,comm_s,comm_bytes,rounds\n";
+  os.precision(12);
+  for (const auto& lc : profile.layers) {
+    os << lc.layer_index << ',' << op_kind_name(lc.kind) << ',' << lc.cost.cmp_s << ','
+       << lc.cost.comm_s << ',' << lc.cost.comm_bytes << ',' << lc.cost.rounds << '\n';
+  }
+  return os.str();
+}
+
+std::string one_line_summary(const NetworkProfile& profile) {
+  char buf[200];
+  const double total = profile.total.total_s();
+  std::snprintf(buf, sizeof(buf), "%s: %.1f ms, %.2f MB, %.1f%% nonlinear",
+                profile.model_name.c_str(), profile.latency_ms(), profile.comm_mb(),
+                total > 0 ? 100.0 * profile.nonlinear_s / total : 0.0);
+  return std::string(buf);
+}
+
+}  // namespace pasnet::perf

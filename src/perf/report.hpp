@@ -1,0 +1,34 @@
+#pragma once
+// Human- and machine-readable reports of network profiles: the per-layer
+// latency breakdown tables used by the benches and examples, and CSV
+// export for plotting.
+
+#include <string>
+
+#include "perf/network_profile.hpp"
+
+namespace pasnet::perf {
+
+/// Aggregate per-op-kind summary of a profile.
+struct KindSummary {
+  nn::OpKind kind;
+  int count = 0;
+  double latency_s = 0.0;
+  double comm_bytes = 0.0;
+};
+
+/// Sums the profile per operator kind, ordered by descending latency.
+[[nodiscard]] std::vector<KindSummary> summarize_by_kind(const NetworkProfile& profile);
+
+/// Fixed-width text table: one row per operator kind plus totals.
+[[nodiscard]] std::string format_kind_table(const NetworkProfile& profile);
+
+/// Per-layer CSV: index,kind,cmp_s,comm_s,comm_bytes,rounds.
+[[nodiscard]] std::string profile_to_csv(const NetworkProfile& profile);
+
+/// Short one-line summary ("ResNet18: 566.5 ms, 123.4 MB, 97.2% nonlinear").
+[[nodiscard]] std::string one_line_summary(const NetworkProfile& profile);
+
+[[nodiscard]] const char* op_kind_name(nn::OpKind kind) noexcept;
+
+}  // namespace pasnet::perf

@@ -1,0 +1,49 @@
+#include "perf/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pasnet::perf {
+
+PipelineScheduler::PipelineScheduler(int tiles) : tiles_(tiles) {
+  if (tiles < 1) throw std::invalid_argument("PipelineScheduler: tiles must be >= 1");
+}
+
+double PipelineScheduler::serial_latency(const std::vector<OpCost>& ops) {
+  double total = 0.0;
+  for (const auto& op : ops) total += op.total_s();
+  return total;
+}
+
+double PipelineScheduler::op_latency(const OpCost& op) const {
+  // With T tiles, the shorter phase hides behind the longer one except for
+  // the first tile's fill: max(cmp, comm) + min(cmp, comm)/T.
+  const double longer = std::max(op.cmp_s, op.comm_s);
+  const double shorter = std::min(op.cmp_s, op.comm_s);
+  return longer + shorter / static_cast<double>(tiles_);
+}
+
+double PipelineScheduler::pipelined_latency(const std::vector<OpCost>& ops) const {
+  double total = 0.0;
+  for (const auto& op : ops) total += op_latency(op);
+  return total;
+}
+
+std::vector<ScheduleEntry> PipelineScheduler::timeline(const std::vector<OpCost>& ops) const {
+  std::vector<ScheduleEntry> entries;
+  entries.reserve(ops.size());
+  double clock = 0.0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ScheduleEntry e;
+    e.index = static_cast<int>(i);
+    e.start_s = clock;
+    e.cmp_s = ops[i].cmp_s;
+    e.comm_s = ops[i].comm_s;
+    clock += op_latency(ops[i]);
+    e.end_s = clock;
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+}  // namespace pasnet::perf

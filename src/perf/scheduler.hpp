@@ -1,0 +1,51 @@
+#pragma once
+// Cryptographic hardware scheduler (paper contribution 2).
+//
+// The FPGA accelerators are "optimized with coarse-grained and fine-grained
+// pipeline structures" (paper §IV).  This scheduler models that: within an
+// operator, tiles are double-buffered so compute overlaps communication;
+// the per-operator latency becomes max(cmp, comm) plus a pipeline fill term
+// min(cmp, comm)/tiles.  Operators remain sequential with each other
+// because the 2PC protocol for layer i+1 consumes layer i's shares.
+
+#include <vector>
+
+#include "perf/latency_model.hpp"
+
+namespace pasnet::perf {
+
+/// One scheduled operator on the timeline.
+struct ScheduleEntry {
+  int index = 0;         ///< position in the submitted op list
+  double start_s = 0.0;  ///< when the operator begins
+  double end_s = 0.0;    ///< when its last tile completes
+  double cmp_s = 0.0;    ///< compute phase length
+  double comm_s = 0.0;   ///< communication phase length
+};
+
+/// Coarse-grained pipeline scheduler over a sequence of operator costs.
+class PipelineScheduler {
+ public:
+  /// `tiles`: number of double-buffered tiles per operator (>= 1; 1 means
+  /// no overlap, i.e. serial execution).
+  explicit PipelineScheduler(int tiles = 8);
+
+  /// Total latency with no overlap: Σ (cmp + comm).
+  [[nodiscard]] static double serial_latency(const std::vector<OpCost>& ops);
+
+  /// Total latency with intra-operator compute/communication overlap.
+  [[nodiscard]] double pipelined_latency(const std::vector<OpCost>& ops) const;
+
+  /// Latency of a single operator under tile-level double buffering.
+  [[nodiscard]] double op_latency(const OpCost& op) const;
+
+  /// Full timeline for inspection/plotting.
+  [[nodiscard]] std::vector<ScheduleEntry> timeline(const std::vector<OpCost>& ops) const;
+
+  [[nodiscard]] int tiles() const noexcept { return tiles_; }
+
+ private:
+  int tiles_;
+};
+
+}  // namespace pasnet::perf

@@ -1,0 +1,74 @@
+#pragma once
+// Secure inference executor: compiles a trained plaintext network into a
+// 2PC model (fixed-point quantization, batch-norm folding into the
+// preceding convolution — paper §III-C "Batch normalization can be fused
+// into the convolution layer") and evaluates it under the 2PC protocol
+// stack, recording real communication statistics.
+
+#include <memory>
+#include <vector>
+
+#include "nn/models.hpp"
+#include "proto/secure_ops.hpp"
+
+namespace pasnet::proto {
+
+/// Per-inference protocol statistics.
+struct InferenceStats {
+  std::uint64_t comm_bytes = 0;
+  /// Bytes spent opening weight-shaped E = W - B values.  For a static
+  /// model these openings happen once offline and amortize across queries;
+  /// online traffic is comm_bytes - weight_open_bytes.
+  std::uint64_t weight_open_bytes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+
+  [[nodiscard]] std::uint64_t online_bytes() const noexcept {
+    return comm_bytes - weight_open_bytes;
+  }
+  std::uint64_t elem_triples = 0;
+  std::uint64_t square_pairs = 0;
+  std::uint64_t matmul_triple_elems = 0;
+  std::uint64_t bit_triples = 0;
+};
+
+/// A network compiled for 2PC evaluation.
+class SecureNetwork {
+ public:
+  /// Compiles from a descriptor and the trained plaintext graph built by
+  /// nn::build_graph (node_of_layer is the mapping that builder returned).
+  /// Weights are fixed-point encoded and secret-shared; batch-norm layers
+  /// fold into their producer convolutions.
+  SecureNetwork(const nn::ModelDescriptor& md, nn::Graph& trained,
+                const std::vector<int>& node_of_layer, crypto::TwoPartyContext& ctx,
+                SecureConfig cfg = SecureConfig{});
+
+  /// Runs private inference; the plaintext input is shared, the protocol
+  /// executes layer by layer, and the reconstructed logits are returned.
+  [[nodiscard]] nn::Tensor infer(const nn::Tensor& input);
+
+  /// Statistics of the most recent infer() call.
+  [[nodiscard]] const InferenceStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const nn::ModelDescriptor& descriptor() const noexcept { return md_; }
+
+ private:
+  struct CompiledLayer {
+    nn::LayerSpec spec;
+    crypto::Shared weight;    // conv/linear
+    crypto::Shared bias;      // folded BN bias or FC bias
+    bool has_bias = false;
+    bool skip = false;        // folded-away batchnorm
+    double a_coeff = 0.0;     // x2act public coefficients
+    double w2 = 1.0;
+    double b = 0.0;
+  };
+
+  nn::ModelDescriptor md_;
+  crypto::TwoPartyContext& ctx_;
+  SecureConfig cfg_;
+  std::vector<CompiledLayer> layers_;
+  InferenceStats stats_;
+};
+
+}  // namespace pasnet::proto

@@ -1,0 +1,439 @@
+#include "proto/secure_ops.hpp"
+
+#include <stdexcept>
+
+#include "crypto/party.hpp"
+
+namespace pasnet::proto {
+
+namespace {
+
+using crypto::RingConfig;
+using crypto::RingVec;
+using crypto::Shared;
+using crypto::TwoPartyContext;
+
+/// im2col on one share vector (a pure data gather, hence share-local).
+RingVec im2col_ring(const RingVec& data, int n_sample, int c, int h, int w, int sample,
+                    int kernel, int stride, int pad) {
+  (void)n_sample;
+  const int oh = nn::conv_out_size(h, kernel, stride, pad);
+  const int ow = nn::conv_out_size(w, kernel, stride, pad);
+  RingVec cols(static_cast<std::size_t>(c) * kernel * kernel * oh * ow, 0);
+  const auto at = [&](int ch, int y, int x) -> std::uint64_t {
+    return data[((static_cast<std::size_t>(sample) * c + ch) * h + y) * w + x];
+  };
+  std::size_t row = 0;
+  for (int ch = 0; ch < c; ++ch) {
+    for (int kh = 0; kh < kernel; ++kh) {
+      for (int kw = 0; kw < kernel; ++kw, ++row) {
+        std::size_t col = 0;
+        for (int y = 0; y < oh; ++y) {
+          const int in_y = y * stride + kh - pad;
+          for (int x = 0; x < ow; ++x, ++col) {
+            const int in_x = x * stride + kw - pad;
+            if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
+              cols[row * (static_cast<std::size_t>(oh) * ow) + col] = at(ch, in_y, in_x);
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+/// Gathers a strided window tap into a flat share vector (for pooling).
+Shared gather_window_tap(const SecureTensor& x, int kh, int kw, int kernel, int stride,
+                         int pad, long long* valid_mask_out) {
+  (void)kernel;
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = nn::conv_out_size(h, kernel, stride, pad);
+  const int ow = nn::conv_out_size(w, kernel, stride, pad);
+  const std::size_t out_n = static_cast<std::size_t>(n) * c * oh * ow;
+  Shared tap;
+  tap.s0.assign(out_n, 0);
+  tap.s1.assign(out_n, 0);
+  if (valid_mask_out != nullptr) *valid_mask_out = 1;
+  std::size_t o = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int y = 0; y < oh; ++y) {
+        for (int z = 0; z < ow; ++z, ++o) {
+          const int in_y = y * stride + kh - pad;
+          const int in_x = z * stride + kw - pad;
+          if (in_y < 0 || in_y >= h || in_x < 0 || in_x >= w) continue;
+          const std::size_t idx = ((static_cast<std::size_t>(s) * c + ch) * h + in_y) * w + in_x;
+          tap.s0[o] = x.shares.s0[idx];
+          tap.s1[o] = x.shares.s1[idx];
+        }
+      }
+    }
+  }
+  return tap;
+}
+
+}  // namespace
+
+SecureTensor share_tensor(const nn::Tensor& x, crypto::Prng& prng, const RingConfig& rc) {
+  SecureTensor st;
+  st.shape = x.shape();
+  st.shares = crypto::share_reals(x.to_doubles(), prng, rc);
+  return st;
+}
+
+nn::Tensor reconstruct_tensor(const SecureTensor& x, const RingConfig& rc) {
+  return nn::Tensor::from_doubles(crypto::reconstruct_reals(x.shares, rc),
+                                  std::vector<int>(x.shape));
+}
+
+SecureTensor secure_conv2d(TwoPartyContext& ctx, const SecureTensor& x, const Shared& weight,
+                           const Shared* bias, int out_ch, int kernel, int stride, int pad) {
+  const RingConfig& rc = ctx.ring();
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int c = x.dim(1);
+  const int oh = nn::conv_out_size(h, kernel, stride, pad);
+  const int ow = nn::conv_out_size(w, kernel, stride, pad);
+  const std::size_t k_dim = static_cast<std::size_t>(c) * kernel * kernel;
+  const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
+  if (weight.size() != static_cast<std::size_t>(out_ch) * k_dim) {
+    throw std::invalid_argument("secure_conv2d: weight shape mismatch");
+  }
+
+  // Applies a weight-shaped matrix to an input-shaped vector: per sample,
+  // wmat · im2col(input_s).  This is the bilinear map the triple encodes.
+  const auto conv_map = [&](const RingVec& input, const RingVec& wmat) {
+    RingVec out;
+    out.reserve(static_cast<std::size_t>(n) * out_ch * spatial);
+    for (int s = 0; s < n; ++s) {
+      const RingVec cols = im2col_ring(input, n, c, h, w, s, kernel, stride, pad);
+      const RingVec y =
+          crypto::ring_matmul(wmat, cols, static_cast<std::size_t>(out_ch), k_dim, spatial, rc);
+      out.insert(out.end(), y.begin(), y.end());
+    }
+    return out;
+  };
+
+  // Convolution-shaped Beaver triple: A input-shaped, B weight-shaped,
+  // Z = conv(A, B).  Online, E = W - B opens in weight space (offline-able
+  // for a static model) and F = X - A opens in *input* space — the paper's
+  // COMM_conv = 32·FI²·IC term.
+  const crypto::BilinearTriple t =
+      ctx.dealer().bilinear_triple(x.size(), weight.size(), conv_map);
+  const RingVec e = crypto::open(ctx, crypto::sub(weight, t.b, rc));   // weight space
+  const RingVec f = crypto::open(ctx, crypto::sub(x.shares, t.a, rc)); // input space
+
+  // R_i = [i==0]·conv(F,E) + conv(A_i,E) + conv(F,B_i) + Z_i.
+  Shared y;
+  y.s0 = conv_map(f, e);
+  {
+    const RingVec ea0 = conv_map(t.a.s0, e);
+    const RingVec fb0 = conv_map(f, t.b.s0);
+    y.s0 = add_vec(add_vec(y.s0, ea0, rc), add_vec(fb0, t.z.s0, rc), rc);
+  }
+  {
+    const RingVec ea1 = conv_map(t.a.s1, e);
+    const RingVec fb1 = conv_map(f, t.b.s1);
+    y.s1 = add_vec(ea1, add_vec(fb1, t.z.s1, rc), rc);
+  }
+  y = crypto::truncate_shares(y, rc);
+
+  if (bias != nullptr) {
+    for (int s = 0; s < n; ++s) {
+      for (int oc = 0; oc < out_ch; ++oc) {
+        for (std::size_t i = 0; i < spatial; ++i) {
+          const std::size_t idx = (static_cast<std::size_t>(s) * out_ch + oc) * spatial + i;
+          y.s0[idx] = crypto::ring_add(y.s0[idx], bias->s0[static_cast<std::size_t>(oc)], rc);
+          y.s1[idx] = crypto::ring_add(y.s1[idx], bias->s1[static_cast<std::size_t>(oc)], rc);
+        }
+      }
+    }
+  }
+  SecureTensor out;
+  out.shape = {n, out_ch, oh, ow};
+  out.shares = std::move(y);
+  return out;
+}
+
+SecureTensor secure_depthwise_conv2d(TwoPartyContext& ctx, const SecureTensor& x,
+                                     const Shared& weight, int kernel, int stride, int pad) {
+  const RingConfig& rc = ctx.ring();
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = nn::conv_out_size(h, kernel, stride, pad);
+  const int ow = nn::conv_out_size(w, kernel, stride, pad);
+  const std::size_t k2 = static_cast<std::size_t>(kernel) * kernel;
+  const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
+  if (weight.size() != static_cast<std::size_t>(c) * k2) {
+    throw std::invalid_argument("secure_depthwise_conv2d: weight shape mismatch");
+  }
+
+  // Per sample and channel: weight_row(ch) · im2col_channel(input, ch).
+  const auto dw_map = [&](const RingVec& input, const RingVec& wmat) {
+    RingVec out(static_cast<std::size_t>(n) * c * spatial, 0);
+    for (int s = 0; s < n; ++s) {
+      const RingVec cols = im2col_ring(input, n, c, h, w, s, kernel, stride, pad);
+      for (int ch = 0; ch < c; ++ch) {
+        const std::size_t base = (static_cast<std::size_t>(s) * c + ch) * spatial;
+        for (std::size_t i = 0; i < spatial; ++i) {
+          std::uint64_t acc = 0;
+          for (std::size_t kk = 0; kk < k2; ++kk) {
+            acc += wmat[ch * k2 + kk] * cols[(ch * k2 + kk) * spatial + i];
+          }
+          out[base + i] = acc & rc.mask();
+        }
+      }
+    }
+    return out;
+  };
+
+  const crypto::BilinearTriple t =
+      ctx.dealer().bilinear_triple(x.size(), weight.size(), dw_map);
+  const RingVec e = crypto::open(ctx, crypto::sub(weight, t.b, rc));
+  const RingVec f = crypto::open(ctx, crypto::sub(x.shares, t.a, rc));
+
+  Shared y;
+  y.s0 = dw_map(f, e);
+  y.s0 = add_vec(add_vec(y.s0, dw_map(t.a.s0, e), rc),
+                 add_vec(dw_map(f, t.b.s0), t.z.s0, rc), rc);
+  y.s1 = add_vec(dw_map(t.a.s1, e), add_vec(dw_map(f, t.b.s1), t.z.s1, rc), rc);
+  y = crypto::truncate_shares(y, rc);
+
+  SecureTensor out;
+  out.shape = {n, c, oh, ow};
+  out.shares = std::move(y);
+  return out;
+}
+
+SecureTensor secure_linear(TwoPartyContext& ctx, const SecureTensor& x, const Shared& weight,
+                           const Shared* bias, int out_features) {
+  const RingConfig& rc = ctx.ring();
+  const int n = x.dim(0);
+  const std::size_t in_f = x.size() / static_cast<std::size_t>(n);
+  if (weight.size() != static_cast<std::size_t>(out_features) * in_f) {
+    throw std::invalid_argument("secure_linear: weight shape mismatch");
+  }
+  // y = x·Wᵀ: compute as W·xᵀ then transpose, sample-by-sample for clarity.
+  SecureTensor out;
+  out.shape = {n, out_features};
+  out.shares.s0.resize(static_cast<std::size_t>(n) * out_features);
+  out.shares.s1.resize(out.shares.s0.size());
+  for (int s = 0; s < n; ++s) {
+    Shared xs;
+    xs.s0.assign(x.shares.s0.begin() + static_cast<long>(s * in_f),
+                 x.shares.s0.begin() + static_cast<long>((s + 1) * in_f));
+    xs.s1.assign(x.shares.s1.begin() + static_cast<long>(s * in_f),
+                 x.shares.s1.begin() + static_cast<long>((s + 1) * in_f));
+    Shared y = crypto::matmul(ctx, weight, xs, static_cast<std::size_t>(out_features), in_f, 1);
+    y = crypto::truncate_shares(y, rc);
+    for (int j = 0; j < out_features; ++j) {
+      std::uint64_t y0 = y.s0[static_cast<std::size_t>(j)];
+      std::uint64_t y1 = y.s1[static_cast<std::size_t>(j)];
+      if (bias != nullptr) {
+        y0 = crypto::ring_add(y0, bias->s0[static_cast<std::size_t>(j)], rc);
+        y1 = crypto::ring_add(y1, bias->s1[static_cast<std::size_t>(j)], rc);
+      }
+      out.shares.s0[static_cast<std::size_t>(s) * out_features + j] = y0;
+      out.shares.s1[static_cast<std::size_t>(s) * out_features + j] = y1;
+    }
+  }
+  return out;
+}
+
+SecureTensor secure_x2act(TwoPartyContext& ctx, const SecureTensor& x, double a_coeff,
+                          double w2, double b) {
+  const RingConfig& rc = ctx.ring();
+  // x²: one square-pair protocol (Eq. 3) + truncation back to scale f.
+  Shared sq = crypto::truncate_shares(crypto::square_elem(ctx, x.shares), rc);
+  // Public-coefficient scaling: local multiply + truncation each.
+  const std::uint64_t a_enc = crypto::encode(a_coeff, rc);
+  const std::uint64_t w2_enc = crypto::encode(w2, rc);
+  Shared quad = crypto::truncate_shares(crypto::scale(sq, a_enc, rc), rc);
+  Shared lin = crypto::truncate_shares(crypto::scale(x.shares, w2_enc, rc), rc);
+  Shared sum = crypto::add(quad, lin, rc);
+  const RingVec bias(x.size(), crypto::encode(b, rc));
+  SecureTensor out;
+  out.shape = x.shape;
+  out.shares = crypto::add_public(sum, bias, rc);
+  return out;
+}
+
+SecureTensor secure_relu(TwoPartyContext& ctx, const SecureTensor& x, const SecureConfig& cfg) {
+  SecureTensor out;
+  out.shape = x.shape;
+  out.shares = crypto::relu(ctx, x.shares, cfg.ot_mode);
+  return out;
+}
+
+SecureTensor secure_maxpool(TwoPartyContext& ctx, const SecureTensor& x, int kernel,
+                            int stride, const SecureConfig& cfg, int pad) {
+  // Gather the k² window taps and reduce with a log-depth secure-max tree.
+  // Padding positions hold zero shares; for the post-activation feature maps
+  // pooled in our backbones (non-negative values) this matches plaintext
+  // max pooling semantics.
+  std::vector<Shared> taps;
+  taps.reserve(static_cast<std::size_t>(kernel) * kernel);
+  for (int kh = 0; kh < kernel; ++kh) {
+    for (int kw = 0; kw < kernel; ++kw) {
+      taps.push_back(gather_window_tap(x, kh, kw, kernel, stride, pad, nullptr));
+    }
+  }
+  while (taps.size() > 1) {
+    std::vector<Shared> next;
+    next.reserve(taps.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < taps.size(); i += 2) {
+      next.push_back(crypto::max_elem(ctx, taps[i], taps[i + 1], cfg.ot_mode));
+    }
+    if (taps.size() % 2 == 1) next.push_back(std::move(taps.back()));
+    taps = std::move(next);
+  }
+  SecureTensor out;
+  const int n = x.dim(0), c = x.dim(1);
+  out.shape = {n, c, nn::conv_out_size(x.dim(2), kernel, stride, pad),
+               nn::conv_out_size(x.dim(3), kernel, stride, pad)};
+  out.shares = std::move(taps[0]);
+  return out;
+}
+
+SecureTensor secure_avgpool(TwoPartyContext& ctx, const SecureTensor& x, int kernel,
+                            int stride, int pad) {
+  const RingConfig& rc = ctx.ring();
+  std::vector<Shared> taps;
+  for (int kh = 0; kh < kernel; ++kh) {
+    for (int kw = 0; kw < kernel; ++kw) {
+      taps.push_back(gather_window_tap(x, kh, kw, kernel, stride, pad, nullptr));
+    }
+  }
+  Shared sum = taps[0];
+  for (std::size_t i = 1; i < taps.size(); ++i) sum = crypto::add(sum, taps[i], rc);
+  const std::uint64_t inv = crypto::encode(1.0 / (kernel * kernel), rc);
+  SecureTensor out;
+  const int n = x.dim(0), c = x.dim(1);
+  out.shape = {n, c, nn::conv_out_size(x.dim(2), kernel, stride, pad),
+               nn::conv_out_size(x.dim(3), kernel, stride, pad)};
+  out.shares = crypto::truncate_shares(crypto::scale(sum, inv, rc), rc);
+  return out;
+}
+
+SecureTensor secure_global_avgpool(TwoPartyContext& ctx, const SecureTensor& x) {
+  const RingConfig& rc = ctx.ring();
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  SecureTensor out;
+  out.shape = {n, c, 1, 1};
+  out.shares.s0.resize(static_cast<std::size_t>(n) * c);
+  out.shares.s1.resize(out.shares.s0.size());
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      std::uint64_t acc0 = 0, acc1 = 0;
+      for (int y = 0; y < h; ++y) {
+        for (int z = 0; z < w; ++z) {
+          const std::size_t idx = ((static_cast<std::size_t>(s) * c + ch) * h + y) * w + z;
+          acc0 = crypto::ring_add(acc0, x.shares.s0[idx], rc);
+          acc1 = crypto::ring_add(acc1, x.shares.s1[idx], rc);
+        }
+      }
+      out.shares.s0[static_cast<std::size_t>(s) * c + ch] = acc0;
+      out.shares.s1[static_cast<std::size_t>(s) * c + ch] = acc1;
+    }
+  }
+  const std::uint64_t inv = crypto::encode(1.0 / (h * w), rc);
+  out.shares = crypto::truncate_shares(crypto::scale(out.shares, inv, rc), rc);
+  (void)ctx;
+  return out;
+}
+
+SecureTensor secure_add(TwoPartyContext& ctx, const SecureTensor& a, const SecureTensor& b) {
+  if (a.shape != b.shape) throw std::invalid_argument("secure_add: shape mismatch");
+  SecureTensor out;
+  out.shape = a.shape;
+  out.shares = crypto::add(a.shares, b.shares, ctx.ring());
+  return out;
+}
+
+SecureTensor secure_flatten(const SecureTensor& x) {
+  SecureTensor out = x;
+  const int n = x.dim(0);
+  out.shape = {n, static_cast<int>(x.size()) / n};
+  return out;
+}
+
+std::vector<int> secure_argmax(TwoPartyContext& ctx, const SecureTensor& logits,
+                               const SecureConfig& cfg) {
+  const RingConfig& rc = ctx.ring();
+  const int n = logits.dim(0);
+  const int classes = logits.dim(1);
+
+  // Per row: a tournament over (value, index) pairs, all rows batched per
+  // level.  Values carry the fixed-point scale; indices are raw integers.
+  std::vector<Shared> values(static_cast<std::size_t>(classes));
+  std::vector<Shared> indices(static_cast<std::size_t>(classes));
+  for (int c = 0; c < classes; ++c) {
+    Shared v, idx;
+    v.s0.resize(static_cast<std::size_t>(n));
+    v.s1.resize(static_cast<std::size_t>(n));
+    idx.s0.assign(static_cast<std::size_t>(n), static_cast<std::uint64_t>(c));
+    idx.s1.assign(static_cast<std::size_t>(n), 0);
+    for (int r = 0; r < n; ++r) {
+      const std::size_t src = static_cast<std::size_t>(r) * classes + c;
+      v.s0[static_cast<std::size_t>(r)] = logits.shares.s0[src];
+      v.s1[static_cast<std::size_t>(r)] = logits.shares.s1[src];
+    }
+    values[static_cast<std::size_t>(c)] = std::move(v);
+    indices[static_cast<std::size_t>(c)] = std::move(idx);
+  }
+
+  while (values.size() > 1) {
+    const std::size_t pairs = values.size() / 2;
+    // Concatenate all pairs of all rows into single protocol calls.
+    Shared va, vb, ia, ib;
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const auto append = [](Shared& dst, const Shared& src) {
+        dst.s0.insert(dst.s0.end(), src.s0.begin(), src.s0.end());
+        dst.s1.insert(dst.s1.end(), src.s1.begin(), src.s1.end());
+      };
+      append(va, values[2 * p]);
+      append(vb, values[2 * p + 1]);
+      append(ia, indices[2 * p]);
+      append(ib, indices[2 * p + 1]);
+    }
+    const Shared vdiff = crypto::sub(va, vb, rc);
+    const Shared idiff = crypto::sub(ia, ib, rc);
+    const crypto::BitShared gt = crypto::drelu(ctx, vdiff, cfg.ot_mode);
+    const Shared bit = crypto::b2a(ctx, gt);
+    // winner = b + (a - b)·[a >= b]; indices follow the same selector.
+    const Shared vwin = crypto::add(vb, crypto::mul_elem(ctx, vdiff, bit), rc);
+    const Shared iwin = crypto::add(ib, crypto::mul_elem(ctx, idiff, bit), rc);
+
+    std::vector<Shared> next_v, next_i;
+    next_v.reserve(pairs + 1);
+    next_i.reserve(pairs + 1);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      Shared v, idx;
+      const auto slice = [n](const Shared& src, std::size_t p_) {
+        Shared out;
+        out.s0.assign(src.s0.begin() + static_cast<long>(p_ * n),
+                      src.s0.begin() + static_cast<long>((p_ + 1) * n));
+        out.s1.assign(src.s1.begin() + static_cast<long>(p_ * n),
+                      src.s1.begin() + static_cast<long>((p_ + 1) * n));
+        return out;
+      };
+      next_v.push_back(slice(vwin, p));
+      next_i.push_back(slice(iwin, p));
+    }
+    if (values.size() % 2 == 1) {
+      next_v.push_back(std::move(values.back()));
+      next_i.push_back(std::move(indices.back()));
+    }
+    values = std::move(next_v);
+    indices = std::move(next_i);
+  }
+
+  const RingVec revealed = crypto::open(ctx, indices[0]);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    out[static_cast<std::size_t>(r)] =
+        static_cast<int>(crypto::to_signed(revealed[static_cast<std::size_t>(r)], rc));
+  }
+  return out;
+}
+
+}  // namespace pasnet::proto

@@ -1,0 +1,80 @@
+#pragma once
+// The 2PC operator library (paper §III-C): secure convolution, linear,
+// polynomial activation, ReLU, max/avg pooling, residual add.
+//
+// Linear/convolution layers run Beaver matrix multiplications on im2col'd
+// shares; X2act uses the square protocol (Eq. 3) plus public-coefficient
+// scaling; ReLU and MaxPool go through the OT-based comparison stack of
+// src/crypto/compare.  Every operator exchanges real messages over the
+// simulated channel, so byte/round statistics are faithful.
+
+#include "crypto/compare.hpp"
+#include "proto/secure_tensor.hpp"
+
+namespace pasnet::proto {
+
+/// Protocol knobs for the secure executor.
+struct SecureConfig {
+  /// OT instantiation for comparisons: dh_masked is the full cryptographic
+  /// path; correlated is the fast ideal-functionality path with identical
+  /// transcript sizes (use for large tensors).
+  crypto::OtMode ot_mode = crypto::OtMode::correlated;
+};
+
+/// 2PC convolution on shares: weight is a shared [OC, IC·K·K] matrix,
+/// optional shared bias [OC] (already fixed-point encoded at scale f).
+[[nodiscard]] SecureTensor secure_conv2d(crypto::TwoPartyContext& ctx, const SecureTensor& x,
+                                         const crypto::Shared& weight,
+                                         const crypto::Shared* bias, int out_ch, int kernel,
+                                         int stride, int pad);
+
+/// Depthwise 2PC convolution: weight is a shared [C, K·K] matrix.
+[[nodiscard]] SecureTensor secure_depthwise_conv2d(crypto::TwoPartyContext& ctx,
+                                                   const SecureTensor& x,
+                                                   const crypto::Shared& weight, int kernel,
+                                                   int stride, int pad);
+
+/// 2PC fully connected layer: weight [out, in] shared, bias [out] shared.
+[[nodiscard]] SecureTensor secure_linear(crypto::TwoPartyContext& ctx, const SecureTensor& x,
+                                         const crypto::Shared& weight,
+                                         const crypto::Shared* bias, int out_features);
+
+/// 2PC X2act (paper Eq. 4/14): a·x² + w2·x + b with public coefficients
+/// (a already includes the c/√Nx factor).
+[[nodiscard]] SecureTensor secure_x2act(crypto::TwoPartyContext& ctx, const SecureTensor& x,
+                                        double a_coeff, double w2, double b);
+
+/// 2PC ReLU via the OT comparison flow (paper Eq. 11).
+[[nodiscard]] SecureTensor secure_relu(crypto::TwoPartyContext& ctx, const SecureTensor& x,
+                                       const SecureConfig& cfg);
+
+/// 2PC MaxPool: log-depth tree of secure max over each window (Eq. 13).
+[[nodiscard]] SecureTensor secure_maxpool(crypto::TwoPartyContext& ctx, const SecureTensor& x,
+                                          int kernel, int stride, const SecureConfig& cfg,
+                                          int pad = 0);
+
+/// 2PC AvgPool: local additions and public scaling (Eq. 15).
+[[nodiscard]] SecureTensor secure_avgpool(crypto::TwoPartyContext& ctx, const SecureTensor& x,
+                                          int kernel, int stride, int pad = 0);
+
+/// 2PC global average pooling: [N,C,H,W] -> [N,C,1,1].
+[[nodiscard]] SecureTensor secure_global_avgpool(crypto::TwoPartyContext& ctx,
+                                                 const SecureTensor& x);
+
+/// Residual addition (local, paper Eq. 1).
+[[nodiscard]] SecureTensor secure_add(crypto::TwoPartyContext& ctx, const SecureTensor& a,
+                                      const SecureTensor& b);
+
+/// Flatten (local reshape).
+[[nodiscard]] SecureTensor secure_flatten(const SecureTensor& x);
+
+/// Secure argmax over the class dimension of [N, classes] logits: a
+/// comparison-tree tournament that keeps (value, one-hot index) pairs
+/// secret-shared throughout; only the winning indices are revealed.
+/// Stronger output privacy than revealing logits (the client learns the
+/// label, nothing else).
+[[nodiscard]] std::vector<int> secure_argmax(crypto::TwoPartyContext& ctx,
+                                             const SecureTensor& logits,
+                                             const SecureConfig& cfg);
+
+}  // namespace pasnet::proto

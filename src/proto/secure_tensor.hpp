@@ -1,0 +1,28 @@
+#pragma once
+// Secret-shared tensors: the data type flowing through 2PC inference.
+
+#include <vector>
+
+#include "crypto/secret_share.hpp"
+#include "nn/tensor.hpp"
+
+namespace pasnet::proto {
+
+/// A fixed-point tensor additively shared between the two servers.
+struct SecureTensor {
+  crypto::Shared shares;
+  std::vector<int> shape;
+
+  [[nodiscard]] std::size_t size() const noexcept { return shares.size(); }
+  [[nodiscard]] int dim(int i) const { return shape.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] int rank() const noexcept { return static_cast<int>(shape.size()); }
+};
+
+/// Shares a plaintext tensor (fixed-point encode + shr; paper §II-A).
+[[nodiscard]] SecureTensor share_tensor(const nn::Tensor& x, crypto::Prng& prng,
+                                        const crypto::RingConfig& rc);
+
+/// Reconstructs and decodes back to a plaintext tensor.
+[[nodiscard]] nn::Tensor reconstruct_tensor(const SecureTensor& x, const crypto::RingConfig& rc);
+
+}  // namespace pasnet::proto

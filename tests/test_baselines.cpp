@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "baselines/reference_systems.hpp"
+#include "baselines/relu_reduction.hpp"
+
+namespace bl = pasnet::baselines;
+namespace nn = pasnet::nn;
+
+namespace {
+
+nn::ModelDescriptor backbone() {
+  nn::BackboneOptions opt;
+  opt.input_size = 32;
+  return nn::make_resnet(18, opt);
+}
+
+long long relu_count_of(const nn::ModelDescriptor& md, const nn::ArchChoices& choices) {
+  return nn::relu_count(nn::apply_choices(md, choices));
+}
+
+}  // namespace
+
+TEST(ReferenceSystems, PaperConstantsAreConsistent) {
+  const auto gpu = bl::cryptgpu_resnet50();
+  const auto flow = bl::cryptflow_resnet50();
+  // Efficiency = 1/(latency·kW): back out the implied power and sanity check
+  // it against server-class hardware.
+  const double gpu_kw = 1.0 / (gpu.latency_s * gpu.efficiency);
+  const double flow_kw = 1.0 / (flow.latency_s * flow.efficiency);
+  EXPECT_GT(gpu_kw, 0.3);
+  EXPECT_LT(gpu_kw, 1.5);
+  EXPECT_GT(flow_kw, 0.2);
+  EXPECT_LT(flow_kw, 1.0);
+  // The paper's headline: PASNet-A is ~147x faster than CryptGPU.
+  const auto a = bl::paper_pasnet_a();
+  EXPECT_NEAR(gpu.latency_s / a.imagenet_latency_s, 147.0, 2.0);
+  // And PASNet-B ~40x.
+  const auto b = bl::paper_pasnet_b();
+  EXPECT_NEAR(gpu.latency_s / b.imagenet_latency_s, 40.8, 1.0);
+}
+
+TEST(ReluReduction, SiteCountsMatchDescriptor) {
+  const auto md = backbone();
+  const auto counts = bl::site_relu_counts(md);
+  EXPECT_EQ(counts.size(), nn::act_sites(md).size());
+  long long total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, nn::relu_count(md));
+}
+
+TEST(ReluReduction, AllReducersRespectBudget) {
+  const auto md = backbone();
+  const long long full = nn::relu_count(md);
+  for (const auto reducer : {bl::ReluReducer::deepreduce, bl::ReluReducer::delphi,
+                             bl::ReluReducer::cryptonas, bl::ReluReducer::snl}) {
+    for (const long long budget : {0LL, full / 100, full / 10, full / 2, full}) {
+      const auto choices = bl::reduce_relus(reducer, md, budget);
+      EXPECT_LE(relu_count_of(md, choices), budget)
+          << bl::reducer_name(reducer) << " budget=" << budget;
+    }
+  }
+}
+
+TEST(ReluReduction, FullBudgetKeepsMostRelus) {
+  const auto md = backbone();
+  const long long full = nn::relu_count(md);
+  // With the full count as budget, greedy reducers keep (almost) all sites.
+  const auto delphi = bl::reduce_relus(bl::ReluReducer::delphi, md, full);
+  EXPECT_GT(relu_count_of(md, delphi), full * 9 / 10);
+  const auto snl = bl::reduce_relus(bl::ReluReducer::snl, md, full);
+  EXPECT_EQ(relu_count_of(md, snl), full);
+}
+
+TEST(ReluReduction, ZeroBudgetIsAllPolynomial) {
+  const auto md = backbone();
+  for (const auto reducer : {bl::ReluReducer::deepreduce, bl::ReluReducer::delphi,
+                             bl::ReluReducer::cryptonas, bl::ReluReducer::snl}) {
+    const auto choices = bl::reduce_relus(reducer, md, 0);
+    EXPECT_EQ(relu_count_of(md, choices), 0) << bl::reducer_name(reducer);
+  }
+}
+
+TEST(ReluReduction, ReducersProduceDistinctPlacements) {
+  // The placement rules must differ at *some* budget (they can coincide at
+  // specific budgets because ResNet stages have uniform ReLU counts).
+  const auto md = backbone();
+  const long long full = nn::relu_count(md);
+  const auto differs_somewhere = [&](bl::ReluReducer r1, bl::ReluReducer r2) {
+    for (const long long budget : {full / 20, full / 6, full / 3, full / 2, full * 3 / 4}) {
+      if (bl::reduce_relus(r1, md, budget).acts != bl::reduce_relus(r2, md, budget).acts) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(differs_somewhere(bl::ReluReducer::deepreduce, bl::ReluReducer::delphi));
+  EXPECT_TRUE(differs_somewhere(bl::ReluReducer::delphi, bl::ReluReducer::cryptonas));
+  EXPECT_TRUE(differs_somewhere(bl::ReluReducer::delphi, bl::ReluReducer::snl));
+  EXPECT_TRUE(differs_somewhere(bl::ReluReducer::deepreduce, bl::ReluReducer::cryptonas));
+}
+
+TEST(ReluReduction, DeepreduceDropsWholeStages) {
+  const auto md = backbone();
+  const auto sites = nn::act_sites(md);
+  const long long budget = nn::relu_count(md) / 3;
+  const auto choices = bl::reduce_relus(bl::ReluReducer::deepreduce, md, budget);
+  // Within a contiguous same-resolution run, all sites share one fate.
+  int last_h = -1;
+  bool stage_keep = false;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const int h = md.layers[static_cast<std::size_t>(sites[i])].in_h;
+    const bool kept = choices.acts[i] == nn::ActKind::relu;
+    if (h != last_h) {
+      last_h = h;
+      stage_keep = kept;
+    } else {
+      EXPECT_EQ(kept, stage_keep) << "site " << i << " split its stage";
+    }
+  }
+}
+
+TEST(ReluReduction, MonotoneInBudget) {
+  const auto md = backbone();
+  const long long full = nn::relu_count(md);
+  for (const auto reducer : {bl::ReluReducer::delphi, bl::ReluReducer::snl}) {
+    long long prev = -1;
+    for (const long long budget : {full / 20, full / 10, full / 4, full / 2, full}) {
+      const long long kept = relu_count_of(md, bl::reduce_relus(reducer, md, budget));
+      EXPECT_GE(kept, prev) << bl::reducer_name(reducer);
+      prev = kept;
+    }
+  }
+}

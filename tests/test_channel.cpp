@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "crypto/channel.hpp"
+
+namespace pc = pasnet::crypto;
+
+TEST(Channel, RoundTripBytes) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  c0->send_bytes({1, 2, 3});
+  EXPECT_EQ(c1->recv_bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Channel, BothDirectionsIndependent) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  c0->send_bytes({10});
+  c1->send_bytes({20});
+  EXPECT_EQ(c0->recv_bytes(), std::vector<std::uint8_t>{20});
+  EXPECT_EQ(c1->recv_bytes(), std::vector<std::uint8_t>{10});
+}
+
+TEST(Channel, RecvWithoutSendThrows) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  EXPECT_THROW((void)c0->recv_bytes(), std::logic_error);
+  (void)c1;
+}
+
+TEST(Channel, FifoOrderPreserved) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  c0->send_bytes({1});
+  c0->send_bytes({2});
+  c0->send_bytes({3});
+  EXPECT_EQ(c1->recv_bytes()[0], 1);
+  EXPECT_EQ(c1->recv_bytes()[0], 2);
+  EXPECT_EQ(c1->recv_bytes()[0], 3);
+}
+
+TEST(Channel, RingVectorRoundTrip) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  pc::RingVec v{0xDEADBEEFULL, 0x12345678ULL, 0};
+  c0->send_ring(v, 4);
+  EXPECT_EQ(c1->recv_ring(3, 4), v);
+}
+
+TEST(Channel, StatsCountWireBytesNotMemoryBytes) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  pc::RingVec v(10, 1);
+  c0->send_ring(v, 4);  // 32-bit ring: 4 bytes per element on the wire
+  EXPECT_EQ(c0->stats().bytes_p0_to_p1, 40u);
+  (void)c1->recv_ring(10, 4);
+}
+
+TEST(Channel, StatsSharedBetweenEndpoints) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  c0->send_bytes({1, 2});
+  c1->send_bytes({3});
+  EXPECT_EQ(c0->stats().total_bytes(), 3u);
+  EXPECT_EQ(c1->stats().total_bytes(), 3u);
+  EXPECT_EQ(c0->stats().messages, 2u);
+}
+
+TEST(Channel, RoundCountingTracksDirectionFlips) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  c0->send_bytes({1});  // round 1
+  c0->send_bytes({2});  // same direction, same round
+  EXPECT_EQ(c0->stats().rounds, 1u);
+  (void)c1->recv_bytes();
+  (void)c1->recv_bytes();
+  c1->send_bytes({3});  // direction flip -> round 2
+  EXPECT_EQ(c0->stats().rounds, 2u);
+  (void)c0->recv_bytes();
+  c0->send_bytes({4});  // flip again -> round 3
+  EXPECT_EQ(c0->stats().rounds, 3u);
+  (void)c1->recv_bytes();
+}
+
+TEST(Channel, ResetStatsClearsCounters) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  c0->send_bytes({1, 2, 3});
+  (void)c1->recv_bytes();
+  c0->reset_stats();
+  EXPECT_EQ(c0->stats().total_bytes(), 0u);
+  EXPECT_EQ(c0->stats().messages, 0u);
+  EXPECT_EQ(c0->stats().rounds, 0u);
+}
+
+TEST(Channel, SizeMismatchOnRecvRingThrows) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  c0->send_ring(pc::RingVec{1, 2}, 4);
+  EXPECT_THROW((void)c1->recv_ring(3, 4), std::logic_error);
+}
+
+TEST(Channel, U64Convenience) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  c0->send_u64(0xABCDEF0123456789ULL);
+  EXPECT_EQ(c1->recv_u64(), 0xABCDEF0123456789ULL);
+}

@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/darts.hpp"
+#include "core/derive.hpp"
+#include "core/pareto.hpp"
+#include "data/synthetic.hpp"
+
+namespace core = pasnet::core;
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+namespace perf = pasnet::perf;
+namespace data = pasnet::data;
+
+namespace {
+
+perf::LatencyLut make_lut() {
+  return perf::LatencyLut(perf::LatencyModel(perf::HardwareConfig::zcu104(),
+                                             perf::NetworkConfig::lan_1gbps()));
+}
+
+nn::ModelDescriptor tiny_backbone() {
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.num_classes = 4;
+  opt.width_mult = 0.125f;
+  return nn::make_resnet(18, opt);
+}
+
+core::Batch random_batch(int n, int size, int classes, std::uint64_t seed) {
+  pc::Prng prng(seed);
+  core::Batch b;
+  b.x = nn::Tensor::randn({n, 3, size, size}, prng, 1.0f);
+  b.y.resize(static_cast<std::size_t>(n));
+  for (auto& y : b.y) y = static_cast<int>(prng.next_below(static_cast<std::uint64_t>(classes)));
+  return b;
+}
+
+}  // namespace
+
+TEST(GatedOps, SoftmaxSumsToOne) {
+  nn::Tensor alpha({2});
+  alpha[0] = 1.5f;
+  alpha[1] = -0.5f;
+  const auto theta = core::softmax(alpha);
+  EXPECT_NEAR(theta[0] + theta[1], 1.0f, 1e-6);
+  EXPECT_GT(theta[0], theta[1]);
+}
+
+TEST(GatedOps, EqualAlphaGivesEqualMix) {
+  core::MixedAct op;
+  pc::Prng prng(1);
+  const auto x = nn::Tensor::randn({1, 2, 4, 4}, prng, 1.0f);
+  const auto y = op.forward(x, true);
+  // θ = (0.5, 0.5): out = (relu(x) + x)/2 since STPAI x2act starts as identity.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float want = 0.5f * std::max(x[i], 0.0f) + 0.5f * x[i];
+    EXPECT_NEAR(y[i], want, 1e-5);
+  }
+}
+
+TEST(GatedOps, ArgmaxFollowsAlpha) {
+  core::MixedAct op;
+  op.set_alpha(2.0f, -1.0f);
+  EXPECT_EQ(op.argmax(), 0);
+  op.set_alpha(-3.0f, 0.5f);
+  EXPECT_EQ(op.argmax(), 1);
+}
+
+TEST(GatedOps, AlphaGradientMatchesFiniteDifference) {
+  core::MixedAct op;
+  op.set_alpha(0.3f, -0.2f);
+  pc::Prng prng(2);
+  const auto x = nn::Tensor::randn({1, 2, 3, 3}, prng, 1.0f);
+  nn::Tensor w(std::vector<int>(x.shape()));
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(prng.next_unit()) - 0.5f;
+
+  op.zero_grad();
+  (void)op.forward(x, true);
+  (void)op.backward(w);
+  const auto analytic0 = (*op.arch_params()[0].grad)[0];
+  const auto analytic1 = (*op.arch_params()[0].grad)[1];
+
+  const float eps = 1e-3f;
+  auto loss_at = [&](float a0, float a1) {
+    core::MixedAct probe;
+    probe.set_alpha(a0, a1);
+    const auto y = probe.forward(x, true);
+    double l = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) l += w[i] * y[i];
+    return l;
+  };
+  const float fd0 = static_cast<float>(
+      (loss_at(0.3f + eps, -0.2f) - loss_at(0.3f - eps, -0.2f)) / (2 * eps));
+  const float fd1 = static_cast<float>(
+      (loss_at(0.3f, -0.2f + eps) - loss_at(0.3f, -0.2f - eps)) / (2 * eps));
+  EXPECT_NEAR(analytic0, fd0, 5e-3);
+  EXPECT_NEAR(analytic1, fd1, 5e-3);
+}
+
+TEST(GatedOps, MixedPoolBlendsMaxAndAvg) {
+  core::MixedPool op(2, 2);
+  op.set_alpha(10.0f, -10.0f);  // effectively pure max
+  nn::Tensor x({1, 1, 2, 2});
+  x[0] = 1; x[1] = 5; x[2] = 2; x[3] = 3;
+  EXPECT_NEAR(op.forward(x, true)[0], 5.0f, 1e-3);
+  op.set_alpha(-10.0f, 10.0f);  // effectively pure avg
+  EXPECT_NEAR(op.forward(x, true)[0], 2.75f, 1e-3);
+}
+
+TEST(SuperNet, BuildsGatedSitesForBackbone) {
+  pc::Prng prng(3);
+  core::SuperNet net(tiny_backbone(), prng);
+  EXPECT_EQ(net.act_ops().size(), nn::act_sites(net.descriptor()).size());
+  EXPECT_EQ(net.pool_ops().size(), nn::pool_sites(net.descriptor()).size());
+  EXPECT_EQ(net.arch_params().size(), net.act_ops().size() + net.pool_ops().size());
+}
+
+TEST(SuperNet, ForwardBackwardRuns) {
+  pc::Prng prng(4);
+  core::SuperNet net(tiny_backbone(), prng);
+  const auto batch = random_batch(2, 8, 4, 5);
+  const auto logits = net.graph().forward(batch.x, true);
+  EXPECT_EQ(logits.shape(), (std::vector<int>{2, 4}));
+  nn::SoftmaxCrossEntropy ce;
+  (void)ce.forward(logits, batch.y);
+  net.graph().backward(ce.backward());
+  // α gradients received signal.
+  bool any_nonzero = false;
+  for (auto& p : net.arch_params()) {
+    for (std::size_t i = 0; i < p.grad->size(); ++i) any_nonzero |= ((*p.grad)[i] != 0.0f);
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(SuperNet, DeriveChoicesMatchesAlpha) {
+  pc::Prng prng(6);
+  core::SuperNet net(tiny_backbone(), prng);
+  for (auto* op : net.act_ops()) op->set_alpha(-1.0f, 1.0f);
+  const auto choices = net.derive_choices();
+  for (const auto act : choices.acts) EXPECT_EQ(act, nn::ActKind::x2act);
+}
+
+TEST(LatencyLoss, ExpectedLatencyInterpolatesCandidates) {
+  pc::Prng prng(7);
+  core::SuperNet net(tiny_backbone(), prng);
+  auto lut = make_lut();
+  core::LatencyLoss ll(net.descriptor(), lut, 1.0);
+
+  for (auto* op : net.act_ops()) op->set_alpha(20.0f, -20.0f);  // all ReLU
+  const double lat_relu = ll.expected_latency(net);
+  for (auto* op : net.act_ops()) op->set_alpha(-20.0f, 20.0f);  // all poly
+  const double lat_poly = ll.expected_latency(net);
+  EXPECT_GT(lat_relu, lat_poly * 1.2);
+  EXPECT_GE(lat_poly, ll.fixed_latency());
+
+  // Uniform mix sits strictly between the extremes.
+  for (auto* op : net.act_ops()) op->set_alpha(0.0f, 0.0f);
+  const double lat_mid = ll.expected_latency(net);
+  EXPECT_GT(lat_mid, lat_poly);
+  EXPECT_LT(lat_mid, lat_relu);
+}
+
+TEST(LatencyLoss, AlphaGradientMatchesFiniteDifference) {
+  pc::Prng prng(8);
+  core::SuperNet net(tiny_backbone(), prng);
+  auto lut = make_lut();
+  core::LatencyLoss ll(net.descriptor(), lut, 2.0);
+
+  net.graph().zero_grad();
+  ll.accumulate_alpha_grad(net);
+  auto* op0 = net.act_ops()[0];
+  const float analytic = (*op0->arch_params()[0].grad)[0];
+
+  const float eps = 1e-4f;
+  const float a0 = op0->alpha()[0];
+  op0->set_alpha(a0 + eps, op0->alpha()[1]);
+  const double lp = ll.value(net);
+  op0->set_alpha(a0 - eps, op0->alpha()[1]);
+  const double lm = ll.value(net);
+  op0->set_alpha(a0, op0->alpha()[1]);
+  EXPECT_NEAR(analytic, static_cast<float>((lp - lm) / (2 * eps)),
+              std::abs(analytic) * 0.01f + 1e-7f);
+}
+
+TEST(Darts, HighLambdaDrivesAllSitesPolynomial) {
+  // With a dominating latency penalty, Algorithm 1 must select the
+  // polynomial operator everywhere (the "all poly" end of Fig. 5).
+  pc::Prng prng(9);
+  core::SuperNet net(tiny_backbone(), prng);
+  auto lut = make_lut();
+  core::LatencyLoss ll(net.descriptor(), lut, 1e5);
+  core::DartsConfig cfg;
+  cfg.second_order = false;
+  cfg.alpha_lr = 0.05f;
+  cfg.lambda = 1e5;
+  core::DartsTrainer trainer(net, ll, cfg);
+  for (int step = 0; step < 20; ++step) {
+    trainer.arch_step(random_batch(4, 8, 4, 100 + step), random_batch(4, 8, 4, 200 + step));
+  }
+  const auto choices = net.derive_choices();
+  for (const auto act : choices.acts) EXPECT_EQ(act, nn::ActKind::x2act);
+  for (const auto pool : choices.pools) EXPECT_EQ(pool, nn::PoolKind::avgpool);
+}
+
+TEST(Darts, WeightStepReducesTrainingLoss) {
+  pc::Prng prng(10);
+  core::SuperNet net(tiny_backbone(), prng);
+  auto lut = make_lut();
+  core::LatencyLoss ll(net.descriptor(), lut, 0.0);
+  core::DartsConfig cfg;
+  cfg.w_lr = 0.05f;
+  core::DartsTrainer trainer(net, ll, cfg);
+  const auto batch = random_batch(8, 8, 4, 11);  // fixed batch: loss must drop
+  const float first = trainer.weight_step(batch);
+  float last = first;
+  for (int i = 0; i < 30; ++i) last = trainer.weight_step(batch);
+  EXPECT_LT(last, first);
+}
+
+TEST(Darts, SecondOrderStepRunsAndUpdatesAlpha) {
+  pc::Prng prng(12);
+  core::SuperNet net(tiny_backbone(), prng);
+  auto lut = make_lut();
+  core::LatencyLoss ll(net.descriptor(), lut, 0.1);
+  core::DartsConfig cfg;
+  cfg.second_order = true;
+  core::DartsTrainer trainer(net, ll, cfg);
+
+  std::vector<float> alpha_before;
+  for (auto& p : net.arch_params()) {
+    alpha_before.push_back((*p.value)[0]);
+  }
+  trainer.arch_step(random_batch(4, 8, 4, 13), random_batch(4, 8, 4, 14));
+  bool changed = false;
+  std::size_t i = 0;
+  for (auto& p : net.arch_params()) changed |= ((*p.value)[0] != alpha_before[i++]);
+  EXPECT_TRUE(changed);
+}
+
+TEST(Darts, SecondOrderPreservesWeights) {
+  // The virtual steps must restore ω exactly before the α update completes.
+  pc::Prng prng(15);
+  core::SuperNet net(tiny_backbone(), prng);
+  auto lut = make_lut();
+  core::LatencyLoss ll(net.descriptor(), lut, 0.0);
+  core::DartsConfig cfg;
+  cfg.second_order = true;
+  core::DartsTrainer trainer(net, ll, cfg);
+
+  std::vector<nn::Tensor> before;
+  for (auto& p : net.weight_params()) before.push_back(*p.value);
+  trainer.arch_step(random_batch(4, 8, 4, 16), random_batch(4, 8, 4, 17));
+  std::size_t k = 0;
+  for (auto& p : net.weight_params()) {
+    const nn::Tensor& now = *p.value;
+    for (std::size_t j = 0; j < now.size(); ++j) {
+      ASSERT_EQ(now[j], before[k][j]) << "weights were not restored";
+    }
+    ++k;
+  }
+}
+
+TEST(Stpai, InitializesAllPolynomialSites) {
+  pc::Prng prng(18);
+  core::SuperNet net(tiny_backbone(), prng);
+  const int n = core::apply_stpai(net.graph());
+  EXPECT_EQ(static_cast<std::size_t>(n), net.act_ops().size());
+  for (auto* op : net.act_ops()) {
+    EXPECT_EQ(op->x2act().w1(), 0.0f);
+    EXPECT_EQ(op->x2act().w2(), 1.0f);
+  }
+  const int m = core::apply_naive_poly_init(net.graph());
+  EXPECT_EQ(m, n);
+  for (auto* op : net.act_ops()) EXPECT_EQ(op->x2act().w1(), 1.0f);
+}
+
+TEST(Derive, ProfilesChoicesConsistently) {
+  auto lut = make_lut();
+  const auto md = tiny_backbone();
+  const auto all_relu =
+      core::profile_choices(md, nn::uniform_choices(md, nn::ActKind::relu,
+                                                    nn::PoolKind::maxpool), lut);
+  const auto all_poly =
+      core::profile_choices(md, nn::uniform_choices(md, nn::ActKind::x2act,
+                                                    nn::PoolKind::avgpool), lut);
+  EXPECT_GT(all_relu.latency_s, all_poly.latency_s);
+  EXPECT_GT(all_relu.relu_count, 0);
+  EXPECT_EQ(all_poly.relu_count, 0);
+  EXPECT_EQ(all_poly.poly_sites, static_cast<int>(nn::act_sites(md).size()));
+}
+
+TEST(Derive, FinetuneImprovesAccuracyOnSyntheticData) {
+  data::SyntheticSpec spec;
+  spec.size = 8;
+  spec.num_classes = 4;
+  spec.train_count = 256;
+  spec.val_count = 64;
+  spec.seed = 77;
+  const auto dataset = data::make_synthetic(spec);
+
+  auto lut = make_lut();
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.num_classes = 4;
+  opt.width_mult = 0.25f;
+  const auto md = nn::make_resnet(18, opt);
+  const auto arch = core::profile_choices(
+      md, nn::uniform_choices(md, nn::ActKind::x2act, nn::PoolKind::avgpool), lut);
+
+  pc::Prng wprng(19), bprng(20);
+  core::FinetuneConfig fcfg;
+  fcfg.steps = 60;
+  fcfg.batch_size = 16;
+  auto graph = core::finetune(arch, wprng, [&dataset, &bprng, &fcfg]() {
+    auto [x, y] = dataset.train.sample_batch(bprng, fcfg.batch_size);
+    return core::Batch{std::move(x), std::move(y)};
+  }, fcfg);
+
+  const auto [vx, vy] = dataset.val.slice(0, 64);
+  const float acc = core::evaluate_accuracy(*graph, vx, vy);
+  EXPECT_GT(acc, 1.5f / 4.0f);  // clearly above the 25% chance level
+}
+
+TEST(Pareto, FrontExtractsNonDominatedPoints) {
+  std::vector<core::ParetoPoint> pts{
+      {10, 0.90, 0}, {20, 0.95, 1}, {30, 0.93, 2}, {5, 0.80, 3}, {20, 0.92, 4},
+  };
+  const auto front = core::pareto_front(pts);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].tag, 3);  // (5, 0.80)
+  EXPECT_EQ(front[1].tag, 0);  // (10, 0.90)
+  EXPECT_EQ(front[2].tag, 1);  // (20, 0.95); (30,0.93) and (20,0.92) dominated
+}
+
+TEST(Pareto, HandlesEmptyAndSingle) {
+  EXPECT_TRUE(core::pareto_front({}).empty());
+  const auto one = core::pareto_front({{1, 2, 9}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].tag, 9);
+}
+
+// Property: for any λ, derived latency is sandwiched between the all-poly
+// and all-ReLU extremes.
+class LambdaProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaProperty, DerivedLatencyWithinExtremes) {
+  const double lambda = GetParam();
+  pc::Prng prng(21);
+  core::SuperNet net(tiny_backbone(), prng);
+  auto lut = make_lut();
+  core::LatencyLoss ll(net.descriptor(), lut, lambda);
+  core::DartsConfig cfg;
+  cfg.second_order = false;
+  cfg.alpha_lr = 0.02f;
+  core::DartsTrainer trainer(net, ll, cfg);
+  for (int s = 0; s < 8; ++s) {
+    trainer.arch_step(random_batch(4, 8, 4, 300 + s), random_batch(4, 8, 4, 400 + s));
+    (void)trainer.weight_step(random_batch(4, 8, 4, 500 + s));
+  }
+  const auto derived = core::derive_architecture(net, lut);
+  const auto relu_ext = core::profile_choices(
+      net.descriptor(), nn::uniform_choices(net.descriptor(), nn::ActKind::relu,
+                                            nn::PoolKind::maxpool), lut);
+  const auto poly_ext = core::profile_choices(
+      net.descriptor(), nn::uniform_choices(net.descriptor(), nn::ActKind::x2act,
+                                            nn::PoolKind::avgpool), lut);
+  EXPECT_GE(derived.latency_s, poly_ext.latency_s - 1e-12);
+  EXPECT_LE(derived.latency_s, relu_ext.latency_s + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaProperty, ::testing::Values(0.0, 0.1, 10.0, 1e4));

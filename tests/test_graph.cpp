@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "nn/graph.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+
+TEST(Graph, LinearChainForward) {
+  pc::Prng prng(1);
+  nn::Graph g;
+  const int in = g.add_input();
+  const int fc = g.add_module(std::make_unique<nn::Linear>(4, 3, prng), in);
+  g.add_module(std::make_unique<nn::Relu>(), fc);
+  nn::Tensor x({2, 4});
+  x.fill(1.0f);
+  const auto y = g.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 3}));
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_GE(y[i], 0.0f);
+}
+
+TEST(Graph, ResidualAddForward) {
+  nn::Graph g;
+  const int in = g.add_input();
+  const int id1 = g.add_module(std::make_unique<nn::Identity>(), in);
+  const int id2 = g.add_module(std::make_unique<nn::Identity>(), in);
+  g.add_add(id1, id2);
+  nn::Tensor x({1, 2});
+  x[0] = 3.0f;
+  x[1] = -1.0f;
+  const auto y = g.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], -2.0f);
+}
+
+TEST(Graph, FanOutAccumulatesGradients) {
+  // x -> (identity, identity) -> add: d(2x)/dx = 2.
+  nn::Graph g;
+  const int in = g.add_input();
+  const int a = g.add_module(std::make_unique<nn::Identity>(), in);
+  const int b = g.add_module(std::make_unique<nn::Identity>(), in);
+  g.add_add(a, b);
+  nn::Tensor x({1, 3});
+  (void)g.forward(x, true);
+  nn::Tensor grad({1, 3});
+  grad.fill(1.0f);
+  g.backward(grad);  // should not throw; gradient accumulation exercised
+}
+
+TEST(Graph, ParamsAggregatesAllModules) {
+  pc::Prng prng(2);
+  nn::Graph g;
+  const int in = g.add_input();
+  const int c = g.add_module(std::make_unique<nn::Conv2d>(1, 2, 3, 1, 1, prng), in);
+  g.add_module(std::make_unique<nn::BatchNorm2d>(2), c);
+  EXPECT_EQ(g.params().size(), 3u);  // conv W, bn gamma, bn beta
+  EXPECT_TRUE(g.arch_params().empty());
+}
+
+TEST(Graph, BadEdgesThrow) {
+  nn::Graph g;
+  EXPECT_THROW((void)g.add_module(std::make_unique<nn::Identity>(), 0), std::invalid_argument);
+  (void)g.add_input();
+  EXPECT_THROW((void)g.add_add(0, 5), std::invalid_argument);
+  EXPECT_THROW(g.set_output(9), std::invalid_argument);
+  EXPECT_THROW((void)g.add_input(), std::logic_error);
+}
+
+TEST(Graph, BackwardBeforeForwardThrows) {
+  nn::Graph g;
+  (void)g.add_input();
+  nn::Tensor grad({1});
+  EXPECT_THROW(g.backward(grad), std::logic_error);
+}
+
+TEST(Graph, TrainsXorProblem) {
+  // 2-4-2 MLP learns XOR: definitive end-to-end check of forward/backward.
+  pc::Prng prng(3);
+  nn::Graph g;
+  const int in = g.add_input();
+  const int fc1 = g.add_module(std::make_unique<nn::Linear>(2, 8, prng), in);
+  const int act = g.add_module(std::make_unique<nn::Relu>(), fc1);
+  g.add_module(std::make_unique<nn::Linear>(8, 2, prng), act);
+
+  nn::Tensor x({4, 2});
+  x.at2(0, 0) = 0; x.at2(0, 1) = 0;
+  x.at2(1, 0) = 0; x.at2(1, 1) = 1;
+  x.at2(2, 0) = 1; x.at2(2, 1) = 0;
+  x.at2(3, 0) = 1; x.at2(3, 1) = 1;
+  const std::vector<int> labels{0, 1, 1, 0};
+
+  nn::Sgd opt(g.params(), 0.5f, 0.9f);
+  nn::SoftmaxCrossEntropy loss;
+  float final_loss = 1e9f;
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    g.zero_grad();
+    const auto logits = g.forward(x, true);
+    final_loss = loss.forward(logits, labels);
+    g.backward(loss.backward());
+    opt.step();
+  }
+  EXPECT_LT(final_loss, 0.05f);
+  EXPECT_FLOAT_EQ(nn::accuracy(g.forward(x, false), labels), 1.0f);
+}
+
+TEST(Graph, TrainsXorWithX2ActPolynomial) {
+  // The same task learned with the paper's polynomial activation: the
+  // network must be trainable with no ReLU at all.
+  pc::Prng prng(4);
+  nn::Graph g;
+  const int in = g.add_input();
+  const int fc1 = g.add_module(std::make_unique<nn::Linear>(2, 8, prng), in);
+  const int act = g.add_module(std::make_unique<nn::X2Act>(), fc1);
+  g.add_module(std::make_unique<nn::Linear>(8, 2, prng), act);
+
+  nn::Tensor x({4, 2});
+  x.at2(0, 0) = 0; x.at2(0, 1) = 0;
+  x.at2(1, 0) = 0; x.at2(1, 1) = 1;
+  x.at2(2, 0) = 1; x.at2(2, 1) = 0;
+  x.at2(3, 0) = 1; x.at2(3, 1) = 1;
+  const std::vector<int> labels{0, 1, 1, 0};
+
+  nn::Sgd opt(g.params(), 0.2f, 0.9f);
+  nn::SoftmaxCrossEntropy loss;
+  float final_loss = 1e9f;
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    g.zero_grad();
+    const auto logits = g.forward(x, true);
+    final_loss = loss.forward(logits, labels);
+    g.backward(loss.backward());
+    opt.step();
+  }
+  EXPECT_LT(final_loss, 0.2f);
+}
+
+TEST(Optim, SgdMomentumConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 by hand-fed gradients.
+  nn::Tensor w({1}), g({1});
+  w[0] = 0.0f;
+  nn::Sgd opt({{&w, &g}}, 0.1f, 0.9f);
+  for (int i = 0; i < 300; ++i) {
+    g[0] = 2.0f * (w[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(w[0], 3.0f, 1e-2);
+}
+
+TEST(Optim, AdamConvergesOnQuadratic) {
+  nn::Tensor w({1}), g({1});
+  w[0] = -5.0f;
+  nn::Adam opt({{&w, &g}}, 0.3f);
+  for (int i = 0; i < 200; ++i) {
+    g[0] = 2.0f * (w[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(w[0], 3.0f, 1e-2);
+}
+
+TEST(Optim, WeightDecayShrinksWeights) {
+  nn::Tensor w({1}), g({1});
+  w[0] = 1.0f;
+  nn::Sgd opt({{&w, &g}}, 0.1f, 0.0f, 0.5f);
+  g[0] = 0.0f;  // no task gradient; decay only
+  for (int i = 0; i < 10; ++i) opt.step();
+  EXPECT_LT(w[0], 1.0f);
+  EXPECT_GT(w[0], 0.0f);
+}
+
+TEST(Optim, ZeroGradClearsGradients) {
+  nn::Tensor w({2}), g({2});
+  g.fill(5.0f);
+  nn::Adam opt({{&w, &g}}, 0.1f);
+  opt.zero_grad();
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 0.0f);
+}

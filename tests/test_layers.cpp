@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+
+namespace {
+
+/// Numerical gradient check: perturb every input element, compare the
+/// analytic input gradient of `layer` against central differences of a
+/// scalar loss L = sum(w ⊙ forward(x)).
+void check_input_gradient(nn::Module& layer, nn::Tensor x, float tol = 2e-2f) {
+  pc::Prng prng(7);
+  const nn::Tensor y0 = layer.forward(x, true);
+  nn::Tensor w(std::vector<int>(y0.shape()));
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(prng.next_unit()) - 0.5f;
+
+  const nn::Tensor analytic = layer.backward(w);
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(1, x.size() / 24)) {
+    nn::Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const nn::Tensor yp = layer.forward(xp, true);
+    const nn::Tensor ym = layer.forward(xm, true);
+    double lp = 0, lm = 0;
+    for (std::size_t j = 0; j < yp.size(); ++j) {
+      lp += w[j] * yp[j];
+      lm += w[j] * ym[j];
+    }
+    const float numeric = static_cast<float>((lp - lm) / (2 * eps));
+    EXPECT_NEAR(analytic[i], numeric, tol) << "input index " << i;
+  }
+  // Restore the cache for any further use.
+  (void)layer.forward(x, true);
+}
+
+/// Numerical gradient check for the layer's own parameters.
+void check_param_gradients(nn::Module& layer, const nn::Tensor& x, float tol = 2e-2f) {
+  pc::Prng prng(8);
+  layer.zero_grad();
+  const nn::Tensor y0 = layer.forward(x, true);
+  nn::Tensor w(std::vector<int>(y0.shape()));
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(prng.next_unit()) - 0.5f;
+  (void)layer.backward(w);
+
+  const float eps = 1e-2f;
+  for (auto& p : layer.params()) {
+    for (std::size_t i = 0; i < p.value->size();
+         i += std::max<std::size_t>(1, p.value->size() / 12)) {
+      const float saved = (*p.value)[i];
+      (*p.value)[i] = saved + eps;
+      const nn::Tensor yp = layer.forward(x, true);
+      (*p.value)[i] = saved - eps;
+      const nn::Tensor ym = layer.forward(x, true);
+      (*p.value)[i] = saved;
+      double lp = 0, lm = 0;
+      for (std::size_t j = 0; j < yp.size(); ++j) {
+        lp += w[j] * yp[j];
+        lm += w[j] * ym[j];
+      }
+      const float numeric = static_cast<float>((lp - lm) / (2 * eps));
+      EXPECT_NEAR((*p.grad)[i], numeric, tol) << "param index " << i;
+    }
+  }
+}
+
+nn::Tensor random_input(std::vector<int> shape, std::uint64_t seed, float scale = 1.0f) {
+  pc::Prng prng(seed);
+  return nn::Tensor::randn(std::move(shape), prng, scale);
+}
+
+}  // namespace
+
+TEST(Conv2d, OutputShape) {
+  pc::Prng prng(1);
+  nn::Conv2d conv(3, 8, 3, 1, 1, prng);
+  const auto y = conv.forward(random_input({2, 3, 8, 8}, 2), true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 8, 8, 8}));
+  nn::Conv2d strided(3, 4, 3, 2, 1, prng);
+  EXPECT_EQ(strided.forward(random_input({1, 3, 8, 8}, 3), true).shape(),
+            (std::vector<int>{1, 4, 4, 4}));
+}
+
+TEST(Conv2d, MatchesDirectConvolution) {
+  pc::Prng prng(4);
+  nn::Conv2d conv(1, 1, 3, 1, 0, prng);
+  conv.weight().fill(1.0f);  // all-ones kernel = window sum
+  nn::Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1.0f;
+  const auto y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 1, 2, 2}));
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 9.0f);
+}
+
+TEST(Conv2d, GradientCheck) {
+  pc::Prng prng(5);
+  nn::Conv2d conv(2, 3, 3, 1, 1, prng);
+  check_input_gradient(conv, random_input({2, 2, 5, 5}, 6));
+  check_param_gradients(conv, random_input({2, 2, 5, 5}, 6));
+}
+
+TEST(Conv2d, StridedGradientCheck) {
+  pc::Prng prng(50);
+  nn::Conv2d conv(2, 2, 3, 2, 1, prng);
+  check_input_gradient(conv, random_input({1, 2, 6, 6}, 51));
+}
+
+TEST(Conv2d, BiasGradient) {
+  pc::Prng prng(52);
+  nn::Conv2d conv(1, 2, 1, 1, 0, prng, /*bias=*/true);
+  check_param_gradients(conv, random_input({2, 1, 3, 3}, 53));
+  EXPECT_EQ(conv.params().size(), 2u);
+}
+
+TEST(DepthwiseConv2d, ShapeAndGradient) {
+  pc::Prng prng(60);
+  nn::DepthwiseConv2d dw(3, 3, 1, 1, prng);
+  const auto y = dw.forward(random_input({1, 3, 6, 6}, 61), true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 3, 6, 6}));
+  check_input_gradient(dw, random_input({1, 3, 5, 5}, 62));
+  check_param_gradients(dw, random_input({1, 3, 5, 5}, 62));
+}
+
+TEST(DepthwiseConv2d, ChannelsStayIndependent) {
+  pc::Prng prng(63);
+  nn::DepthwiseConv2d dw(2, 3, 1, 1, prng);
+  nn::Tensor x({1, 2, 4, 4});
+  for (int h = 0; h < 4; ++h) {
+    for (int w = 0; w < 4; ++w) x.at4(0, 0, h, w) = 1.0f;  // channel 1 stays zero
+  }
+  const auto y = dw.forward(x, true);
+  for (int h = 0; h < 4; ++h) {
+    for (int w = 0; w < 4; ++w) EXPECT_EQ(y.at4(0, 1, h, w), 0.0f);
+  }
+}
+
+TEST(Linear, KnownValues) {
+  pc::Prng prng(9);
+  nn::Linear fc(3, 2, prng);
+  fc.weight().at2(0, 0) = 1;
+  fc.weight().at2(0, 1) = 2;
+  fc.weight().at2(0, 2) = 3;
+  fc.weight().at2(1, 0) = -1;
+  fc.weight().at2(1, 1) = 0;
+  fc.weight().at2(1, 2) = 1;
+  fc.bias()[0] = 0.5f;
+  fc.bias()[1] = -0.5f;
+  nn::Tensor x({1, 3});
+  x[0] = 1; x[1] = 2; x[2] = 3;
+  const auto y = fc.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 14.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 1.5f);
+}
+
+TEST(Linear, GradientCheck) {
+  pc::Prng prng(10);
+  nn::Linear fc(6, 4, prng);
+  check_input_gradient(fc, random_input({3, 6}, 11));
+  check_param_gradients(fc, random_input({3, 6}, 11));
+}
+
+TEST(Linear, AcceptsNchwInputByFlattening) {
+  pc::Prng prng(12);
+  nn::Linear fc(8, 2, prng);
+  const auto y = fc.forward(random_input({2, 2, 2, 2}, 13), true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 2}));
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  nn::BatchNorm2d bn(2);
+  const auto x = random_input({4, 2, 3, 3}, 14, 3.0f);
+  const auto y = bn.forward(x, true);
+  // Per channel: mean ~0, var ~1.
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0;
+    for (int s = 0; s < 4; ++s) {
+      for (int h = 0; h < 3; ++h) {
+        for (int w = 0; w < 3; ++w) mean += y.at4(s, c, h, w);
+      }
+    }
+    mean /= 36.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+  }
+}
+
+TEST(BatchNorm, GradientCheck) {
+  nn::BatchNorm2d bn(2);
+  check_input_gradient(bn, random_input({3, 2, 2, 2}, 15), 3e-2f);
+  check_param_gradients(bn, random_input({3, 2, 2, 2}, 15), 3e-2f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  nn::BatchNorm2d bn(1);
+  for (int i = 0; i < 50; ++i) (void)bn.forward(random_input({8, 1, 2, 2}, 16 + i, 2.0f), true);
+  // In eval mode, a fresh input is normalized with running stats, which
+  // should be near (0, 4) for stddev-2 data.
+  const auto y = bn.forward(nn::Tensor::full({1, 1, 1, 1}, 2.0f), false);
+  EXPECT_NEAR(y[0], 1.0f, 0.3f);  // 2/sqrt(4) = 1
+}
+
+TEST(Relu, ForwardAndGradient) {
+  nn::Relu relu;
+  nn::Tensor x({1, 4});
+  x[0] = -1; x[1] = 0; x[2] = 0.5f; x[3] = 2;
+  const auto y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 0.5f);
+  nn::Tensor g({1, 4});
+  g.fill(1.0f);
+  const auto gx = relu.backward(g);
+  EXPECT_EQ(gx[0], 0.0f);
+  EXPECT_EQ(gx[3], 1.0f);
+}
+
+TEST(X2Act, StpaiDefaultIsNearIdentity) {
+  nn::X2Act act;  // default STPAI parameters: w1=0, w2=1, b=0
+  const auto x = random_input({2, 3, 4, 4}, 17);
+  const auto y = act.forward(x, true);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(X2Act, QuadraticTermScaledByFeatureCount) {
+  nn::X2Act act(1.0f, 0.0f, 0.0f, 1.0f);  // pure x^2 branch
+  nn::Tensor x({1, 1, 4, 4});             // Nx = 16, scale = 1/4
+  x.fill(2.0f);
+  const auto y = act.forward(x, true);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 1.0f);  // (1/4)·4
+  EXPECT_FLOAT_EQ(act.effective_quadratic_coeff(16), 0.25f);
+}
+
+TEST(X2Act, GradientCheck) {
+  nn::X2Act act(0.3f, 0.8f, 0.1f);
+  check_input_gradient(act, random_input({2, 2, 3, 3}, 18));
+  check_param_gradients(act, random_input({2, 2, 3, 3}, 18));
+}
+
+TEST(MaxPool, ForwardSelectsWindowMax) {
+  nn::MaxPool2d pool(2, 2);
+  nn::Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const auto y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 1, 2, 2}));
+  EXPECT_EQ(y.at4(0, 0, 0, 0), 5.0f);
+  EXPECT_EQ(y.at4(0, 0, 1, 1), 15.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  nn::MaxPool2d pool(2, 2);
+  nn::Tensor x({1, 1, 2, 2});
+  x[0] = 1; x[1] = 9; x[2] = 3; x[3] = 4;
+  (void)pool.forward(x, true);
+  nn::Tensor g({1, 1, 1, 1});
+  g[0] = 5.0f;
+  const auto gx = pool.backward(g);
+  EXPECT_EQ(gx[1], 5.0f);
+  EXPECT_EQ(gx[0] + gx[2] + gx[3], 0.0f);
+}
+
+TEST(AvgPool, ForwardAveragesAndGradientCheck) {
+  nn::AvgPool2d pool(2, 2);
+  nn::Tensor x({1, 1, 2, 2});
+  x[0] = 1; x[1] = 2; x[2] = 3; x[3] = 4;
+  EXPECT_FLOAT_EQ(pool.forward(x, true)[0], 2.5f);
+  check_input_gradient(pool, random_input({1, 2, 4, 4}, 19));
+}
+
+TEST(GlobalAvgPool, ShapeAndGradient) {
+  nn::GlobalAvgPool gap;
+  const auto y = gap.forward(random_input({2, 3, 5, 5}, 20), true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 3, 1, 1}));
+  check_input_gradient(gap, random_input({2, 3, 4, 4}, 21));
+}
+
+TEST(Flatten, RoundTrip) {
+  nn::Flatten flat;
+  const auto y = flat.forward(random_input({2, 3, 2, 2}, 22), true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 12}));
+  nn::Tensor g(std::vector<int>(y.shape()));
+  g.fill(1.0f);
+  EXPECT_EQ(flat.backward(g).shape(), (std::vector<int>{2, 3, 2, 2}));
+}
+
+TEST(Loss, SoftmaxCrossEntropyKnownValue) {
+  nn::SoftmaxCrossEntropy loss;
+  nn::Tensor logits({1, 2});
+  logits[0] = 0.0f;
+  logits[1] = 0.0f;
+  EXPECT_NEAR(loss.forward(logits, {0}), std::log(2.0f), 1e-5);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  nn::SoftmaxCrossEntropy loss;
+  const auto logits = random_input({4, 10}, 23);
+  (void)loss.forward(logits, {1, 3, 5, 7});
+  const auto g = loss.backward();
+  for (int s = 0; s < 4; ++s) {
+    double row = 0;
+    for (int j = 0; j < 10; ++j) row += g.at2(s, j);
+    EXPECT_NEAR(row, 0.0, 1e-5);
+  }
+}
+
+TEST(Loss, NumericalGradientCheck) {
+  nn::SoftmaxCrossEntropy loss;
+  auto logits = random_input({2, 5}, 24);
+  const std::vector<int> labels{2, 4};
+  (void)loss.forward(logits, labels);
+  const auto analytic = loss.backward();
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    nn::Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    nn::SoftmaxCrossEntropy l2;
+    const float fp = l2.forward(lp, labels);
+    const float fm = l2.forward(lm, labels);
+    EXPECT_NEAR(analytic[i], (fp - fm) / (2 * eps), 1e-3) << i;
+  }
+}
+
+TEST(Loss, AccuracyAndArgmax) {
+  nn::Tensor logits({2, 3});
+  logits.at2(0, 1) = 5.0f;
+  logits.at2(1, 2) = 3.0f;
+  EXPECT_EQ(nn::argmax_rows(logits), (std::vector<int>{1, 2}));
+  EXPECT_FLOAT_EQ(nn::accuracy(logits, {1, 0}), 0.5f);
+}

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+
+namespace {
+
+nn::BackboneOptions cifar_opts() {
+  nn::BackboneOptions opt;
+  opt.input_size = 32;
+  opt.num_classes = 10;
+  return opt;
+}
+
+nn::BackboneOptions imagenet_opts() {
+  nn::BackboneOptions opt;
+  opt.input_size = 224;
+  opt.num_classes = 1000;
+  opt.imagenet_stem = true;
+  return opt;
+}
+
+}  // namespace
+
+TEST(Models, Vgg16CifarGeometry) {
+  const auto md = nn::make_vgg16(cifar_opts());
+  // Last feature map before flatten is 512x1x1 after five /2 pools.
+  const auto& fc = md.layers.back();
+  EXPECT_EQ(fc.kind, nn::OpKind::linear);
+  EXPECT_EQ(fc.in_features, 512);
+  EXPECT_EQ(fc.out_features, 10);
+  EXPECT_EQ(nn::act_sites(md).size(), 13u);   // 13 conv-act pairs
+  EXPECT_EQ(nn::pool_sites(md).size(), 5u);   // 5 pooling sites
+}
+
+TEST(Models, Resnet18CifarGeometry) {
+  const auto md = nn::make_resnet(18, cifar_opts());
+  const auto& fc = md.layers.back();
+  EXPECT_EQ(fc.in_features, 512);  // 512 channels, 4x4 -> GAP -> 1x1
+  // 1 stem act + 8 blocks × 2 acts = 17 act sites.
+  EXPECT_EQ(nn::act_sites(md).size(), 17u);
+  EXPECT_TRUE(nn::pool_sites(md).empty());  // CIFAR stem has no maxpool
+}
+
+TEST(Models, Resnet50ImagenetGeometry) {
+  const auto md = nn::make_resnet(50, imagenet_opts());
+  const auto& fc = md.layers.back();
+  EXPECT_EQ(fc.in_features, 2048);
+  EXPECT_EQ(fc.out_features, 1000);
+  // Stem act + 16 bottlenecks × 3 acts = 49 act sites.
+  EXPECT_EQ(nn::act_sites(md).size(), 49u);
+  EXPECT_EQ(nn::pool_sites(md).size(), 1u);  // stem maxpool
+  // First stage runs at 56x56 (224 /2 stem /2 pool).
+  bool found56 = false;
+  for (const auto& l : md.layers) {
+    if (l.kind == nn::OpKind::conv && l.in_h == 56) found56 = true;
+  }
+  EXPECT_TRUE(found56);
+}
+
+TEST(Models, Resnet34HasExpectedBlockCount) {
+  const auto md = nn::make_resnet(34, cifar_opts());
+  // 1 stem act + 16 blocks × 2 acts = 33.
+  EXPECT_EQ(nn::act_sites(md).size(), 33u);
+}
+
+TEST(Models, MobilenetV2Geometry) {
+  const auto md = nn::make_mobilenet_v2(cifar_opts());
+  const auto& fc = md.layers.back();
+  EXPECT_EQ(fc.in_features, 1280);
+  // Depthwise convs present.
+  int dw = 0;
+  for (const auto& l : md.layers) dw += (l.kind == nn::OpKind::conv && l.depthwise);
+  EXPECT_EQ(dw, 17);  // one per inverted-residual block
+}
+
+TEST(Models, WidthMultiplierScalesChannels) {
+  auto opt = cifar_opts();
+  opt.width_mult = 0.25f;
+  const auto md = nn::make_resnet(18, opt);
+  EXPECT_EQ(md.layers.back().in_features, 128);  // 512/4
+}
+
+TEST(Models, ReluCountMatchesHandComputation) {
+  // Tiny hand-built descriptor: conv(4ch,8x8 out) + relu => 4*8*8 = 256.
+  nn::ModelDescriptor md;
+  md.name = "tiny";
+  md.input_ch = 3;
+  md.input_h = 8;
+  md.input_w = 8;
+  md.layers.push_back({});  // input
+  nn::LayerSpec conv;
+  conv.kind = nn::OpKind::conv;
+  conv.in0 = 0;
+  conv.in_ch = 3;
+  conv.out_ch = 4;
+  conv.kernel = 3;
+  conv.pad = 1;
+  md.layers.push_back(conv);
+  nn::LayerSpec act;
+  act.kind = nn::OpKind::relu;
+  act.in0 = 1;
+  act.searchable = true;
+  md.layers.push_back(act);
+  md.output = 2;
+  nn::propagate_shapes(md);
+  EXPECT_EQ(nn::relu_count(md), 4 * 8 * 8);
+}
+
+TEST(Models, ApplyChoicesSwapsOperators) {
+  auto md = nn::make_resnet(18, cifar_opts());
+  auto all_poly = nn::uniform_choices(md, nn::ActKind::x2act, nn::PoolKind::avgpool);
+  const auto poly_md = nn::apply_choices(md, all_poly);
+  EXPECT_EQ(nn::relu_count(poly_md), 0);
+  int x2 = 0;
+  for (const auto& l : poly_md.layers) x2 += (l.kind == nn::OpKind::x2act);
+  EXPECT_EQ(static_cast<std::size_t>(x2), nn::act_sites(md).size());
+}
+
+TEST(Models, ApplyChoicesRejectsWrongArity) {
+  const auto md = nn::make_resnet(18, cifar_opts());
+  nn::ArchChoices bad;
+  bad.acts.assign(3, nn::ActKind::relu);
+  EXPECT_THROW((void)nn::apply_choices(md, bad), std::invalid_argument);
+}
+
+TEST(Models, BuildGraphRunsForwardForAllBackbones) {
+  // Scaled-down variants keep this fast while touching every layer type.
+  for (const auto backbone : {nn::Backbone::vgg16, nn::Backbone::resnet18,
+                              nn::Backbone::resnet34, nn::Backbone::resnet50,
+                              nn::Backbone::mobilenet_v2}) {
+    nn::BackboneOptions opt;
+    opt.input_size = 16;
+    opt.num_classes = 10;
+    opt.width_mult = 0.125f;
+    const auto md = nn::make_backbone(backbone, opt);
+    pc::Prng prng(5);
+    auto g = nn::build_graph(md, prng);
+    pc::Prng dprng(6);
+    const auto x = nn::Tensor::randn({2, 3, 16, 16}, dprng, 1.0f);
+    const auto y = g->forward(x, false);
+    EXPECT_EQ(y.shape(), (std::vector<int>{2, 10})) << nn::backbone_name(backbone);
+  }
+}
+
+TEST(Models, BuildGraphBackwardRunsOnResnet) {
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.width_mult = 0.125f;
+  const auto md = nn::make_resnet(18, opt);
+  pc::Prng prng(7);
+  auto g = nn::build_graph(md, prng);
+  pc::Prng dprng(8);
+  const auto x = nn::Tensor::randn({2, 3, 8, 8}, dprng, 1.0f);
+  const auto y = g->forward(x, true);
+  nn::Tensor grad(std::vector<int>(y.shape()));
+  grad.fill(0.1f);
+  g->backward(grad);  // must not throw, touching residual fan-out paths
+}
+
+TEST(Models, NodeOfLayerMappingIsConsistent) {
+  const auto md = nn::make_resnet(18, cifar_opts());
+  pc::Prng prng(9);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, prng, &node_of_layer);
+  ASSERT_EQ(node_of_layer.size(), md.layers.size());
+  for (const int n : node_of_layer) {
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, g->node_count());
+  }
+}
+
+TEST(Models, ShapePropagationRejectsBadGraphs) {
+  nn::ModelDescriptor md;
+  md.layers.push_back({});  // input
+  nn::LayerSpec bad;
+  bad.kind = nn::OpKind::relu;
+  bad.in0 = 5;  // forward reference
+  md.layers.push_back(bad);
+  EXPECT_THROW(nn::propagate_shapes(md), std::invalid_argument);
+}
+
+// Property sweep: every backbone builds, propagates shapes, and reports
+// non-zero ReLU counts at CIFAR scale.
+class BackboneProperty : public ::testing::TestWithParam<nn::Backbone> {};
+
+TEST_P(BackboneProperty, DescriptorWellFormed) {
+  const auto md = nn::make_backbone(GetParam(), cifar_opts());
+  EXPECT_GT(md.layers.size(), 10u);
+  EXPECT_GT(nn::relu_count(md), 0);
+  EXPECT_EQ(md.layers.back().out_features, 10);
+  // Every non-input layer has a valid producer edge.
+  for (std::size_t i = 1; i < md.layers.size(); ++i) {
+    EXPECT_GE(md.layers[i].in0, 0);
+    EXPECT_LT(md.layers[i].in0, static_cast<int>(i));
+  }
+}
+
+TEST_P(BackboneProperty, ImagenetVariantHasLargerReluCount) {
+  const auto cifar = nn::make_backbone(GetParam(), cifar_opts());
+  const auto imagenet = nn::make_backbone(GetParam(), imagenet_opts());
+  EXPECT_GT(nn::relu_count(imagenet), nn::relu_count(cifar));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackbones, BackboneProperty,
+                         ::testing::Values(nn::Backbone::vgg16, nn::Backbone::resnet18,
+                                           nn::Backbone::resnet34, nn::Backbone::resnet50,
+                                           nn::Backbone::mobilenet_v2));

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ot.hpp"
+
+namespace pc = pasnet::crypto;
+namespace dh = pasnet::crypto::dh;
+
+TEST(DhMath, MulmodMatchesInt128) {
+  const std::uint64_t a = 0x1234567890ABCDEFULL % dh::kPrime;
+  const std::uint64_t b = 0x0FEDCBA987654321ULL % dh::kPrime;
+  const auto want = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % dh::kPrime);
+  EXPECT_EQ(dh::mulmod(a, b), want);
+}
+
+TEST(DhMath, PowmodBasics) {
+  EXPECT_EQ(dh::powmod(2, 0), 1u);
+  EXPECT_EQ(dh::powmod(2, 10), 1024u);
+  EXPECT_EQ(dh::powmod(dh::kGenerator, dh::kPrime - 1), 1u);  // Fermat
+}
+
+TEST(DhMath, InverseIsCorrect) {
+  for (std::uint64_t a : std::vector<std::uint64_t>{2, 3, 12345, dh::kPrime - 2}) {
+    EXPECT_EQ(dh::mulmod(a, dh::invmod(a)), 1u) << a;
+  }
+}
+
+namespace {
+
+void run_ot_correctness(pc::OtMode mode) {
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(99);
+  const std::size_t n = 64;
+  std::vector<std::array<std::uint8_t, 4>> tables(n);
+  std::vector<std::uint8_t> choices(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (int i = 0; i < 4; ++i) tables[t][i] = static_cast<std::uint8_t>(prng.next_u64());
+    choices[t] = static_cast<std::uint8_t>(prng.next_below(4));
+  }
+  const auto out = pc::ot_1of4(ctx, /*sender=*/1, tables, choices, mode);
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t t = 0; t < n; ++t) EXPECT_EQ(out[t], tables[t][choices[t]]) << t;
+}
+
+}  // namespace
+
+TEST(Ot, DhMaskedDeliversChosenMessage) { run_ot_correctness(pc::OtMode::dh_masked); }
+
+TEST(Ot, CorrelatedDeliversChosenMessage) { run_ot_correctness(pc::OtMode::correlated); }
+
+TEST(Ot, BothModesProduceSameTraffic) {
+  auto traffic = [](pc::OtMode mode) {
+    pc::TwoPartyContext ctx;
+    std::vector<std::array<std::uint8_t, 4>> tables(32, {1, 2, 3, 4});
+    std::vector<std::uint8_t> choices(32, 2);
+    (void)pc::ot_1of4(ctx, 1, tables, choices, mode);
+    return ctx.stats().total_bytes();
+  };
+  EXPECT_EQ(traffic(pc::OtMode::dh_masked), traffic(pc::OtMode::correlated));
+}
+
+TEST(Ot, SenderCanBeEitherParty) {
+  for (int sender : {0, 1}) {
+    pc::TwoPartyContext ctx;
+    std::vector<std::array<std::uint8_t, 4>> tables{{10, 20, 30, 40}};
+    std::vector<std::uint8_t> choices{3};
+    const auto out = pc::ot_1of4(ctx, sender, tables, choices, pc::OtMode::dh_masked);
+    EXPECT_EQ(out[0], 40);
+  }
+}
+
+TEST(Ot, EmptyBatchIsNoop) {
+  pc::TwoPartyContext ctx;
+  const auto out = pc::ot_1of4(ctx, 1, {}, {}, pc::OtMode::dh_masked);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(ctx.stats().total_bytes(), 0u);
+}
+
+TEST(Ot, MismatchedInputsThrow) {
+  pc::TwoPartyContext ctx;
+  std::vector<std::array<std::uint8_t, 4>> tables(2, {0, 0, 0, 0});
+  EXPECT_THROW((void)pc::ot_1of4(ctx, 1, tables, {0}, pc::OtMode::dh_masked),
+               std::invalid_argument);
+  std::vector<std::uint8_t> bad_choice{7, 0};
+  EXPECT_THROW((void)pc::ot_1of4(ctx, 1, tables, bad_choice, pc::OtMode::dh_masked),
+               std::invalid_argument);
+}
+
+TEST(Ot, TwoRoundsExactly) {
+  pc::TwoPartyContext ctx;
+  std::vector<std::array<std::uint8_t, 4>> tables(8, {5, 6, 7, 8});
+  std::vector<std::uint8_t> choices(8, 1);
+  (void)pc::ot_1of4(ctx, 1, tables, choices, pc::OtMode::dh_masked);
+  EXPECT_EQ(ctx.stats().rounds, 2u);
+  EXPECT_EQ(ctx.stats().messages, 2u);
+}
+
+// Property: every (choice, table) combination is delivered correctly.
+class OtExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(OtExhaustive, AllChoices) {
+  const int choice = GetParam();
+  pc::TwoPartyContext ctx;
+  std::vector<std::array<std::uint8_t, 4>> tables{{11, 22, 33, 44}};
+  std::vector<std::uint8_t> choices{static_cast<std::uint8_t>(choice)};
+  const auto out = pc::ot_1of4(ctx, 1, tables, choices, pc::OtMode::dh_masked);
+  EXPECT_EQ(out[0], tables[0][choice]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Choices, OtExhaustive, ::testing::Values(0, 1, 2, 3));

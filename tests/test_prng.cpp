@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/prng.hpp"
+
+namespace pc = pasnet::crypto;
+
+TEST(Prng, DeterministicForSameSeed) {
+  pc::Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  pc::Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextBitsStaysInRange) {
+  pc::Prng p(7);
+  for (int bits = 1; bits <= 63; ++bits) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_LT(p.next_bits(bits), 1ULL << bits) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Prng, NextBelowStaysInRange) {
+  pc::Prng p(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 61) - 1}) {
+    for (int i = 0; i < 50; ++i) EXPECT_LT(p.next_below(bound), bound);
+  }
+}
+
+TEST(Prng, NextUnitInHalfOpenInterval) {
+  pc::Prng p(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = p.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, RoughUniformityOfLowBits) {
+  pc::Prng p(13);
+  int ones = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) ones += p.next_u64() & 1;
+  EXPECT_NEAR(ones, trials / 2, 300);
+}
+
+TEST(Prng, NoShortCycles) {
+  pc::Prng p(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4096; ++i) seen.insert(p.next_u64());
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(Prng, ZeroSeedStillWorks) {
+  pc::Prng p(0);
+  EXPECT_NE(p.next_u64() | p.next_u64() | p.next_u64(), 0u);
+}
+
+TEST(Splitmix, IsDeterministicAndMixing) {
+  EXPECT_EQ(pc::splitmix64(42), pc::splitmix64(42));
+  EXPECT_NE(pc::splitmix64(42), pc::splitmix64(43));
+  // Single-bit input flips should change about half the output bits.
+  const std::uint64_t d = pc::splitmix64(42) ^ pc::splitmix64(42 ^ 1ULL);
+  EXPECT_GT(__builtin_popcountll(d), 10);
+}

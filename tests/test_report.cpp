@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "perf/report.hpp"
+
+namespace nn = pasnet::nn;
+namespace perf = pasnet::perf;
+
+namespace {
+
+perf::NetworkProfile profile_resnet18() {
+  nn::BackboneOptions opt;
+  opt.input_size = 32;
+  const auto md = nn::make_resnet(18, opt);
+  perf::LatencyLut lut(perf::LatencyModel(perf::HardwareConfig::zcu104(),
+                                          perf::NetworkConfig::lan_1gbps()));
+  return perf::profile_network(md, lut);
+}
+
+}  // namespace
+
+TEST(Report, KindSummaryCoversAllLatency) {
+  const auto p = profile_resnet18();
+  const auto summary = perf::summarize_by_kind(p);
+  double total = 0.0;
+  for (const auto& s : summary) total += s.latency_s;
+  EXPECT_NEAR(total, p.total.total_s(), 1e-9);
+}
+
+TEST(Report, SummaryOrderedByLatencyDescending) {
+  const auto summary = perf::summarize_by_kind(profile_resnet18());
+  for (std::size_t i = 1; i < summary.size(); ++i) {
+    EXPECT_GE(summary[i - 1].latency_s, summary[i].latency_s);
+  }
+  // ReLU dominates an all-ReLU ResNet-18.
+  EXPECT_EQ(summary.front().kind, nn::OpKind::relu);
+}
+
+TEST(Report, KindTableMentionsDominantOps) {
+  const auto table = perf::format_kind_table(profile_resnet18());
+  EXPECT_NE(table.find("relu"), std::string::npos);
+  EXPECT_NE(table.find("conv"), std::string::npos);
+  EXPECT_NE(table.find("total"), std::string::npos);
+}
+
+TEST(Report, CsvHasOneRowPerLayerPlusHeader) {
+  const auto p = profile_resnet18();
+  const auto csv = perf::profile_to_csv(p);
+  std::size_t rows = 0;
+  for (const char c : csv) rows += (c == '\n');
+  EXPECT_EQ(rows, p.layers.size() + 1);
+  EXPECT_EQ(csv.rfind("layer,kind,", 0), 0u);
+}
+
+TEST(Report, OneLineSummaryContainsNameAndNonlinearShare) {
+  const auto line = perf::one_line_summary(profile_resnet18());
+  EXPECT_NE(line.find("ResNet18"), std::string::npos);
+  EXPECT_NE(line.find("nonlinear"), std::string::npos);
+}
+
+TEST(Report, OpKindNamesAreUnique) {
+  const nn::OpKind kinds[] = {nn::OpKind::input,   nn::OpKind::conv,
+                              nn::OpKind::linear,  nn::OpKind::batchnorm,
+                              nn::OpKind::relu,    nn::OpKind::x2act,
+                              nn::OpKind::maxpool, nn::OpKind::avgpool,
+                              nn::OpKind::global_avgpool, nn::OpKind::flatten,
+                              nn::OpKind::add};
+  for (std::size_t i = 0; i < std::size(kinds); ++i) {
+    for (std::size_t j = i + 1; j < std::size(kinds); ++j) {
+      EXPECT_STRNE(perf::op_kind_name(kinds[i]), perf::op_kind_name(kinds[j]));
+    }
+  }
+}

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "proto/secure_network.hpp"
+
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+namespace proto = pasnet::proto;
+
+namespace {
+
+/// Builds a tiny conv-bn-act-pool-fc descriptor for integration tests.
+nn::ModelDescriptor tiny_cnn(nn::OpKind act_kind, nn::OpKind pool_kind) {
+  nn::ModelDescriptor md;
+  md.name = "TinyCNN";
+  md.input_ch = 2;
+  md.input_h = 8;
+  md.input_w = 8;
+  md.num_classes = 3;
+  md.layers.push_back({});
+  md.layers[0].kind = nn::OpKind::input;
+
+  nn::LayerSpec conv;
+  conv.kind = nn::OpKind::conv;
+  conv.in0 = 0;
+  conv.in_ch = 2;
+  conv.out_ch = 4;
+  conv.kernel = 3;
+  conv.stride = 1;
+  conv.pad = 1;
+  md.layers.push_back(conv);
+
+  nn::LayerSpec bn;
+  bn.kind = nn::OpKind::batchnorm;
+  bn.in0 = 1;
+  md.layers.push_back(bn);
+
+  nn::LayerSpec act;
+  act.kind = act_kind;
+  act.in0 = 2;
+  act.searchable = true;
+  md.layers.push_back(act);
+
+  nn::LayerSpec pool;
+  pool.kind = pool_kind;
+  pool.in0 = 3;
+  pool.kernel = 2;
+  pool.stride = 2;
+  pool.searchable = true;
+  md.layers.push_back(pool);
+
+  nn::LayerSpec flat;
+  flat.kind = nn::OpKind::flatten;
+  flat.in0 = 4;
+  md.layers.push_back(flat);
+
+  nn::LayerSpec fc;
+  fc.kind = nn::OpKind::linear;
+  fc.in0 = 5;
+  fc.out_features = 3;
+  md.layers.push_back(fc);
+
+  md.output = 6;
+  nn::propagate_shapes(md);
+  return md;
+}
+
+float max_abs_diff(const nn::Tensor& a, const nn::Tensor& b) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+/// A few steps of training so BN has meaningful running statistics.
+void warm_up(nn::Graph& g, int input_ch, int hw, std::uint64_t seed) {
+  pc::Prng prng(seed);
+  nn::Sgd opt(g.params(), 0.01f);
+  nn::SoftmaxCrossEntropy loss;
+  for (int step = 0; step < 10; ++step) {
+    const auto x = nn::Tensor::randn({4, input_ch, hw, hw}, prng, 1.0f);
+    std::vector<int> labels{0, 1, 2, 0};
+    g.zero_grad();
+    const auto logits = g.forward(x, true);
+    (void)loss.forward(logits, labels);
+    g.backward(loss.backward());
+    opt.step();
+  }
+}
+
+}  // namespace
+
+TEST(SecureNetwork, MatchesPlaintextWithReluAndMaxpool) {
+  const auto md = tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool);
+  pc::Prng wprng(1);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, 2, 8, 2);
+
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
+
+  pc::Prng dprng(3);
+  const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
+  const auto plain = g->forward(x, false);
+  const auto secure = snet.infer(x);
+  EXPECT_EQ(secure.shape(), plain.shape());
+  EXPECT_LT(max_abs_diff(secure, plain), 0.1f);
+  EXPECT_EQ(nn::argmax_rows(secure), nn::argmax_rows(plain));
+}
+
+TEST(SecureNetwork, MatchesPlaintextWithPolynomialOperators) {
+  const auto md = tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool);
+  pc::Prng wprng(4);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, 2, 8, 5);
+
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
+
+  pc::Prng dprng(6);
+  const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
+  const auto plain = g->forward(x, false);
+  const auto secure = snet.infer(x);
+  EXPECT_LT(max_abs_diff(secure, plain), 0.1f);
+  EXPECT_EQ(nn::argmax_rows(secure), nn::argmax_rows(plain));
+}
+
+TEST(SecureNetwork, PolynomialVariantUsesFarLessCommunication) {
+  // The paper's core claim, measured end-to-end on the real protocol stack.
+  pc::Prng wprng(7);
+  const auto md_relu = tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool);
+  const auto md_poly = tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool);
+
+  std::vector<int> nol_relu, nol_poly;
+  auto g_relu = nn::build_graph(md_relu, wprng, &nol_relu);
+  auto g_poly = nn::build_graph(md_poly, wprng, &nol_poly);
+  warm_up(*g_relu, 2, 8, 8);
+  warm_up(*g_poly, 2, 8, 9);
+
+  pc::TwoPartyContext ctx1, ctx2;
+  proto::SecureNetwork snet_relu(md_relu, *g_relu, nol_relu, ctx1);
+  proto::SecureNetwork snet_poly(md_poly, *g_poly, nol_poly, ctx2);
+
+  pc::Prng dprng(10);
+  const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
+  (void)snet_relu.infer(x);
+  (void)snet_poly.infer(x);
+  EXPECT_GT(snet_relu.stats().comm_bytes, 5 * snet_poly.stats().comm_bytes);
+  EXPECT_GT(snet_relu.stats().rounds, snet_poly.stats().rounds);
+}
+
+TEST(SecureNetwork, BatchNormFoldingIsExactAtInference) {
+  // With BN folded into conv, the secure path has no BN cost but the same
+  // function: compare to plaintext eval-mode forward.
+  const auto md = tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool);
+  pc::Prng wprng(11);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, 2, 8, 12);
+
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
+  pc::Prng dprng(13);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 0.8f);
+    EXPECT_LT(max_abs_diff(snet.infer(x), g->forward(x, false)), 0.1f);
+  }
+}
+
+TEST(SecureNetwork, StatsArepopulated) {
+  const auto md = tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool);
+  pc::Prng wprng(14);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, 2, 8, 15);
+
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
+  pc::Prng dprng(16);
+  (void)snet.infer(nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f));
+  EXPECT_GT(snet.stats().comm_bytes, 0u);
+  EXPECT_GT(snet.stats().rounds, 0u);
+  EXPECT_GT(snet.stats().matmul_triple_elems, 0u);  // conv consumed triples
+  EXPECT_GT(snet.stats().bit_triples, 0u);          // relu/maxpool comparisons
+}
+
+TEST(SecureNetwork, ResidualNetworkEndToEnd) {
+  // A scaled-down ResNet-18 trained briefly, then inferred under 2PC: the
+  // executor must handle residual adds, GAP and downsample convs.
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.width_mult = 0.0625f;  // 4..32 channels
+  auto md = nn::make_resnet(18, opt);
+  md = nn::apply_choices(md, nn::uniform_choices(md, nn::ActKind::x2act,
+                                                 nn::PoolKind::avgpool));
+  pc::Prng wprng(17);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, 3, 8, 18);
+
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
+  pc::Prng dprng(19);
+  const auto x = nn::Tensor::randn({1, 3, 8, 8}, dprng, 0.5f);
+  const auto plain = g->forward(x, false);
+  const auto secure = snet.infer(x);
+  EXPECT_EQ(nn::argmax_rows(secure), nn::argmax_rows(plain));
+  EXPECT_LT(max_abs_diff(secure, plain), 0.25f);
+}
+
+TEST(SecureNetwork, MeasuredBytesTrackAnalyticModelForPolyNet) {
+  // Cross-check (DESIGN.md): measured X2act bytes = 2 openings x 4 bytes
+  // per element (square protocol E openings both directions).
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(20);
+  const auto x = nn::Tensor::randn({1, 1, 8, 8}, prng, 1.0f);
+  const auto sx = proto::share_tensor(x, prng, ctx.ring());
+  ctx.reset_stats();
+  (void)proto::secure_x2act(ctx, sx, 0.1, 1.0, 0.0);
+  // One square_elem: open E = 64 elems x 4B x 2 directions = 512 bytes.
+  EXPECT_EQ(ctx.stats().total_bytes(), 64u * 4 * 2);
+}

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/supernet.hpp"
+#include "nn/serialize.hpp"
+
+namespace core = pasnet::core;
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+
+namespace {
+
+nn::ModelDescriptor small_resnet() {
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.num_classes = 4;
+  opt.width_mult = 0.125f;
+  return nn::make_resnet(18, opt);
+}
+
+float forward_checksum(nn::Graph& g, std::uint64_t seed) {
+  pc::Prng prng(seed);
+  const auto x = nn::Tensor::randn({1, 3, 8, 8}, prng, 1.0f);
+  const auto y = g.forward(x, false);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < y.size(); ++i) sum += y[i];
+  return sum;
+}
+
+}  // namespace
+
+TEST(Serialize, WeightsRoundTripThroughStream) {
+  const auto md = small_resnet();
+  pc::Prng prng_a(1), prng_b(2);  // different inits
+  auto ga = nn::build_graph(md, prng_a);
+  auto gb = nn::build_graph(md, prng_b);
+  ASSERT_NE(forward_checksum(*ga, 5), forward_checksum(*gb, 5));
+
+  std::stringstream ss;
+  nn::save_weights(*ga, ss);
+  nn::load_weights(*gb, ss);
+  EXPECT_FLOAT_EQ(forward_checksum(*ga, 5), forward_checksum(*gb, 5));
+}
+
+TEST(Serialize, FileRoundTripAndMissingFile) {
+  const auto md = small_resnet();
+  pc::Prng prng(3);
+  auto g = nn::build_graph(md, prng);
+  const std::string path = "/tmp/pasnet_test_ckpt.bin";
+  nn::save_weights_file(*g, path);
+  EXPECT_TRUE(nn::load_weights_file(*g, path));
+  EXPECT_FALSE(nn::load_weights_file(*g, "/tmp/does_not_exist_pasnet.bin"));
+}
+
+TEST(Serialize, ShapeMismatchIsRejected) {
+  const auto md = small_resnet();
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.num_classes = 4;
+  opt.width_mult = 0.25f;  // different widths -> different shapes
+  const auto md_wide = nn::make_resnet(18, opt);
+  pc::Prng prng(4);
+  auto ga = nn::build_graph(md, prng);
+  auto gb = nn::build_graph(md_wide, prng);
+  std::stringstream ss;
+  nn::save_weights(*ga, ss);
+  EXPECT_THROW(nn::load_weights(*gb, ss), std::runtime_error);
+}
+
+TEST(Serialize, CorruptMagicIsRejected) {
+  const auto md = small_resnet();
+  pc::Prng prng(5);
+  auto g = nn::build_graph(md, prng);
+  std::stringstream ss;
+  ss << "garbage that is definitely not a checkpoint";
+  EXPECT_THROW(nn::load_weights(*g, ss), std::runtime_error);
+}
+
+TEST(Serialize, SupernetAlphaRoundTrips) {
+  pc::Prng prng(6);
+  core::SuperNet a(small_resnet(), prng);
+  pc::Prng prng2(7);
+  core::SuperNet b(small_resnet(), prng2);
+  a.act_ops()[0]->set_alpha(3.5f, -1.25f);
+
+  std::stringstream ss;
+  nn::save_weights(a.graph(), ss);
+  nn::load_weights(b.graph(), ss);
+  EXPECT_FLOAT_EQ(b.act_ops()[0]->alpha()[0], 3.5f);
+  EXPECT_FLOAT_EQ(b.act_ops()[0]->alpha()[1], -1.25f);
+}
+
+TEST(Serialize, DescriptorTextRoundTrip) {
+  const auto md = small_resnet();
+  const std::string text = nn::descriptor_to_text(md);
+  const auto back = nn::descriptor_from_text(text);
+  EXPECT_EQ(back.name, md.name);
+  EXPECT_EQ(back.layers.size(), md.layers.size());
+  EXPECT_EQ(back.output, md.output);
+  EXPECT_EQ(nn::relu_count(back), nn::relu_count(md));
+  EXPECT_EQ(nn::act_sites(back), nn::act_sites(md));
+  for (std::size_t i = 0; i < md.layers.size(); ++i) {
+    EXPECT_EQ(back.layers[i].kind, md.layers[i].kind) << i;
+    EXPECT_EQ(back.layers[i].out_h, md.layers[i].out_h) << i;
+  }
+}
+
+TEST(Serialize, DescriptorTextRejectsGarbage) {
+  EXPECT_THROW((void)nn::descriptor_from_text("not a descriptor"), std::runtime_error);
+  EXPECT_THROW((void)nn::descriptor_from_text("pasnet-descriptor v1\nbogus stuff"),
+               std::runtime_error);
+}
+
+TEST(Serialize, DescriptorRoundTripForAllBackbones) {
+  for (const auto b : {nn::Backbone::vgg16, nn::Backbone::resnet34,
+                       nn::Backbone::mobilenet_v2}) {
+    nn::BackboneOptions opt;
+    opt.input_size = 32;
+    const auto md = nn::make_backbone(b, opt);
+    const auto back = nn::descriptor_from_text(nn::descriptor_to_text(md));
+    EXPECT_EQ(nn::relu_count(back), nn::relu_count(md)) << nn::backbone_name(b);
+    EXPECT_EQ(back.layers.size(), md.layers.size());
+  }
+}
+
+TEST(Serialize, BatchNormRunningStatsRoundTrip) {
+  // Regression: running statistics are buffers, not parameters — a
+  // checkpoint that skips them breaks eval-mode inference after reload.
+  const auto md = small_resnet();
+  pc::Prng prng_a(8), prng_b(9);
+  auto ga = nn::build_graph(md, prng_a);
+  auto gb = nn::build_graph(md, prng_b);
+
+  // Train briefly so BN stats diverge from their (0, 1) defaults.
+  pc::Prng dprng(10);
+  for (int i = 0; i < 5; ++i) {
+    (void)ga->forward(nn::Tensor::randn({4, 3, 8, 8}, dprng, 2.0f), true);
+  }
+  std::stringstream ss;
+  nn::save_weights(*ga, ss);
+  nn::load_weights(*gb, ss);
+  // Eval-mode outputs (which use running stats) must now agree exactly.
+  pc::Prng qprng(11);
+  const auto x = nn::Tensor::randn({1, 3, 8, 8}, qprng, 1.0f);
+  const auto ya = ga->forward(x, false);
+  const auto yb = gb->forward(x, false);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(Serialize, BufferCountMismatchRejected) {
+  const auto md = small_resnet();
+  pc::Prng prng(12);
+  auto g = nn::build_graph(md, prng);
+  std::stringstream ss;
+  nn::save_weights(*g, ss);
+  std::string blob = ss.str();
+  blob.resize(blob.size() - 8);  // truncate the buffer section
+  std::stringstream corrupted(blob);
+  EXPECT_THROW(nn::load_weights(*g, corrupted), std::runtime_error);
+}

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/tensor.hpp"
+
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+
+TEST(Tensor, ZeroInitialized) {
+  nn::Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  auto t = nn::Tensor::full({4}, 2.5f);
+  EXPECT_EQ(t[3], 2.5f);
+  t.zero();
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, RandnHasRoughlyRightMoments) {
+  pc::Prng prng(1);
+  auto t = nn::Tensor::randn({10000}, prng, 2.0f);
+  double mean = 0, var = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) mean += t[i];
+  mean /= static_cast<double>(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) var += (t[i] - mean) * (t[i] - mean);
+  var /= static_cast<double>(t.size());
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Tensor, At4IndexingIsRowMajorNchw) {
+  nn::Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 42.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 42.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  nn::Tensor t({2, 6});
+  t.at2(1, 5) = 7.0f;
+  const auto r = t.reshaped({3, 4});
+  EXPECT_EQ(r.at2(2, 3), 7.0f);
+  EXPECT_THROW((void)t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  nn::Tensor a({3}), b({3});
+  a[0] = 1; a[1] = 2; a[2] = 3;
+  b[0] = 4; b[1] = 5; b[2] = 6;
+  const auto s = nn::add(a, b);
+  const auto d = nn::sub(a, b);
+  const auto m = nn::mul(a, b);
+  EXPECT_EQ(s[1], 7.0f);
+  EXPECT_EQ(d[1], -3.0f);
+  EXPECT_EQ(m[2], 18.0f);
+  auto c = nn::scale(a, 2.0f);
+  EXPECT_EQ(c[2], 6.0f);
+  nn::axpy(c, 0.5f, b);
+  EXPECT_EQ(c[0], 4.0f);
+}
+
+TEST(Tensor, MatmulKnownValues) {
+  nn::Tensor a({2, 3}), b({3, 2});
+  float av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+  for (int i = 0; i < 6; ++i) {
+    a[static_cast<std::size_t>(i)] = av[i];
+    b[static_cast<std::size_t>(i)] = bv[i];
+  }
+  const auto c = nn::matmul(a, b);
+  EXPECT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Tensor, TransposeRoundTrip) {
+  pc::Prng prng(2);
+  const auto a = nn::Tensor::randn({3, 7}, prng, 1.0f);
+  const auto att = nn::transpose(nn::transpose(a));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(att[i], a[i]);
+}
+
+TEST(Tensor, ConvOutSize) {
+  EXPECT_EQ(nn::conv_out_size(32, 3, 1, 1), 32);
+  EXPECT_EQ(nn::conv_out_size(32, 3, 2, 1), 16);
+  EXPECT_EQ(nn::conv_out_size(224, 7, 2, 3), 112);
+  EXPECT_EQ(nn::conv_out_size(4, 2, 2, 0), 2);
+}
+
+TEST(Tensor, Im2colIdentityKernel) {
+  // 1x1 kernel, stride 1, no pad: cols == flattened channels.
+  nn::Tensor x({1, 2, 2, 2});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const auto cols = nn::im2col(x, 0, 1, 1, 0);
+  EXPECT_EQ(cols.shape(), (std::vector<int>{2, 4}));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(cols[static_cast<std::size_t>(i)], static_cast<float>(i));
+}
+
+TEST(Tensor, Im2colPaddingProducesZeros) {
+  nn::Tensor x({1, 1, 2, 2});
+  x.fill(1.0f);
+  const auto cols = nn::im2col(x, 0, 3, 1, 1);  // 3x3 window on 2x2 with pad 1
+  EXPECT_EQ(cols.shape(), (std::vector<int>{9, 4}));
+  // Top-left output window: the first row/col of the kernel hits padding.
+  EXPECT_EQ(cols.at2(0, 0), 0.0f);
+  EXPECT_EQ(cols.at2(4, 0), 1.0f);  // center tap hits the image
+}
+
+TEST(Tensor, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint property).
+  pc::Prng prng(3);
+  nn::Tensor x({1, 2, 5, 5});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(prng.next_unit());
+  const auto cols = nn::im2col(x, 0, 3, 2, 1);
+  nn::Tensor y(std::vector<int>(cols.shape()));
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<float>(prng.next_unit());
+
+  double lhs = 0;
+  for (std::size_t i = 0; i < cols.size(); ++i) lhs += cols[i] * y[i];
+
+  nn::Tensor back({1, 2, 5, 5});
+  nn::col2im_accumulate(y, back, 0, 3, 2, 1);
+  double rhs = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Tensor, DoubleInterop) {
+  nn::Tensor t({2, 2});
+  t[0] = 1.5f;
+  t[3] = -2.5f;
+  const auto d = t.to_doubles();
+  const auto back = nn::Tensor::from_doubles(d, {2, 2});
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(back[i], t[i]);
+  EXPECT_THROW((void)nn::Tensor::from_doubles(d, {3, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  nn::Tensor a({2}), b({3});
+  EXPECT_THROW((void)nn::add(a, b), std::invalid_argument);
+  EXPECT_THROW((void)nn::matmul(a.reshaped({1, 2}), b.reshaped({1, 3})), std::invalid_argument);
+}
