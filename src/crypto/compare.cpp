@@ -1,10 +1,20 @@
 #include "crypto/compare.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace pasnet::crypto {
 
 namespace {
+
+// memcpy-based subvector copy: iterator-range assign on an empty range makes
+// GCC 12's -Wnonnull fire on the inlined memmove, and -Werror builds fail.
+std::vector<std::uint8_t> slice_bytes(const std::vector<std::uint8_t>& v, std::size_t lo,
+                                      std::size_t hi) {
+  std::vector<std::uint8_t> out(hi - lo);
+  if (hi > lo) std::memcpy(out.data(), v.data() + lo, hi - lo);
+  return out;
+}
 
 std::vector<std::uint8_t> pack_bits(const std::vector<std::uint8_t>& bits) {
   std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
@@ -167,14 +177,10 @@ BitShared millionaire_gt(TwoPartyContext& ctx, const std::vector<std::uint64_t>&
     next_eq.reserve(pairs + 1);
     for (std::size_t p = 0; p < pairs; ++p) {
       BitShared gated_gt, gated_eq;
-      gated_gt.b0.assign(prod.b0.begin() + static_cast<long>(2 * p * n),
-                       prod.b0.begin() + static_cast<long>((2 * p + 1) * n));
-      gated_gt.b1.assign(prod.b1.begin() + static_cast<long>(2 * p * n),
-                       prod.b1.begin() + static_cast<long>((2 * p + 1) * n));
-      gated_eq.b0.assign(prod.b0.begin() + static_cast<long>((2 * p + 1) * n),
-                       prod.b0.begin() + static_cast<long>((2 * p + 2) * n));
-      gated_eq.b1.assign(prod.b1.begin() + static_cast<long>((2 * p + 1) * n),
-                       prod.b1.begin() + static_cast<long>((2 * p + 2) * n));
+      gated_gt.b0 = slice_bytes(prod.b0, 2 * p * n, (2 * p + 1) * n);
+      gated_gt.b1 = slice_bytes(prod.b1, 2 * p * n, (2 * p + 1) * n);
+      gated_eq.b0 = slice_bytes(prod.b0, (2 * p + 1) * n, (2 * p + 2) * n);
+      gated_eq.b1 = slice_bytes(prod.b1, (2 * p + 1) * n, (2 * p + 2) * n);
       next_gt.push_back(xor_bits(gts[2 * p + 1], gated_gt));
       next_eq.push_back(std::move(gated_eq));
     }
