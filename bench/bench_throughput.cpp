@@ -1,0 +1,98 @@
+// Throughput of batched secure inference: queries/sec of
+// SecureNetwork::infer_batch as the worker-pair count grows, with and
+// without modeled wire latency.
+//
+// With round_delay = 0 the protocol is pure compute and scaling tracks the
+// core count.  With a modeled per-round wire latency (LAN 50us / WAN 2ms,
+// matching perf::NetworkConfig), each query spends most of its wall time
+// waiting on the network, and worker pairs overlap those waits — the
+// deployment effect that makes batched 2PC serving worthwhile even on a
+// single core.
+//
+//   build/bench/bench_throughput
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "proto/secure_network.hpp"
+#include "support/test_models.hpp"
+
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+namespace proto = pasnet::proto;
+
+namespace {
+
+constexpr int kBatch = 8;
+
+/// The shared tiny all-polynomial CNN, trained once for every repetition.
+struct Fixture {
+  nn::ModelDescriptor md;
+  std::unique_ptr<nn::Graph> graph;
+  std::vector<int> node_of_layer;
+  std::vector<nn::Tensor> queries;
+
+  Fixture() : md(pasnet::testing::tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool)) {
+    pc::Prng wprng(71);
+    graph = nn::build_graph(md, wprng, &node_of_layer);
+    pasnet::testing::warm_up(*graph, 2, 8, 72);
+
+    pc::Prng qprng(73);
+    for (int q = 0; q < kBatch; ++q) {
+      queries.push_back(nn::Tensor::randn({1, 2, 8, 8}, qprng, 1.0f));
+    }
+  }
+
+  static Fixture& instance() {
+    static Fixture f;
+    return f;
+  }
+};
+
+/// range(0) = worker pairs, range(1) = modeled half-RTT per round in usec.
+void bm_infer_batch(benchmark::State& state) {
+  auto& f = Fixture::instance();
+  const int workers = static_cast<int>(state.range(0));
+  const auto delay = std::chrono::microseconds(state.range(1));
+  pc::TwoPartyContext ctx(pc::RingConfig{}, 42, pc::ExecMode::lockstep, delay);
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+
+  std::uint64_t per_query_bytes = 0;
+  for (auto _ : state) {
+    const auto out = snet.infer_batch(f.queries, workers);
+    benchmark::DoNotOptimize(out.front()[0]);
+    per_query_bytes = snet.per_query_stats().front().comm_bytes;
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["qps"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * kBatch),
+                         benchmark::Counter::kIsRate);
+  // Per-query traffic must not depend on the worker count.
+  state.counters["comm_B_per_query"] = static_cast<double>(per_query_bytes);
+}
+
+BENCHMARK(bm_infer_batch)
+    ->ArgNames({"workers", "rtt_us"})
+    // Pure compute: scales with physical cores.
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    // LAN (50us half-RTT per round, perf::NetworkConfig::lan_1gbps).
+    ->Args({1, 50})
+    ->Args({2, 50})
+    ->Args({4, 50})
+    // WAN (2ms half-RTT per round, perf::NetworkConfig::wan_100mbps):
+    // latency-dominated, so worker pairs overlap waits even on one core.
+    ->Args({1, 2000})
+    ->Args({2, 2000})
+    ->Args({4, 2000})
+    ->Args({8, 2000})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

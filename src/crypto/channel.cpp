@@ -1,18 +1,44 @@
 #include "crypto/channel.hpp"
 
+#include <condition_variable>
 #include <cstring>
-#include <stdexcept>
+#include <mutex>
+#include <thread>
 
 namespace pasnet::crypto {
 
 struct Channel::Shared {
-  std::deque<std::vector<std::uint8_t>> inbox_p0;  // messages addressed to p0
-  std::deque<std::vector<std::uint8_t>> inbox_p1;  // messages addressed to p1
-  int last_sender = -1;                            // for round counting
+  std::mutex m;
+  // Per-direction queues and wakeups; inbox[p] holds messages addressed to
+  // party p.  not_empty[p] wakes party p's blocked recv, not_full[p] wakes a
+  // sender blocked on party p's full inbox.
+  std::deque<std::vector<std::uint8_t>> inbox[2];
+  std::condition_variable not_empty[2];
+  std::condition_variable not_full[2];
+  ChannelMode mode = ChannelMode::lockstep;
+  std::size_t capacity = kDefaultCapacity;
+  std::chrono::milliseconds timeout{kDefaultTimeout};
+  std::chrono::microseconds round_delay{0};
+  bool closed = false;
+  int last_sender = -1;  // for round counting
 };
 
-std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair() {
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair(
+    ChannelMode mode, std::size_t capacity, std::chrono::milliseconds timeout) {
+  ChannelOptions options;
+  options.mode = mode;
+  options.capacity = capacity;
+  options.timeout = timeout;
+  return make_pair(options);
+}
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair(
+    const ChannelOptions& options) {
   auto shared = std::make_shared<Shared>();
+  shared->mode = options.mode;
+  shared->capacity = options.capacity > 0 ? options.capacity : 1;
+  shared->timeout = options.timeout;
+  shared->round_delay = options.round_delay;
   auto stats = std::make_shared<TrafficStats>();
   auto c0 = std::unique_ptr<Channel>(new Channel());
   auto c1 = std::unique_ptr<Channel>(new Channel());
@@ -25,28 +51,76 @@ std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair
   return {std::move(c0), std::move(c1)};
 }
 
-void Channel::send_bytes(const std::vector<std::uint8_t>& data) {
-  auto& inbox = party_ == 0 ? shared_->inbox_p1 : shared_->inbox_p0;
-  inbox.push_back(data);
+ChannelMode Channel::mode() const noexcept { return shared_->mode; }
+
+void Channel::enqueue(std::vector<std::uint8_t>&& data, std::uint64_t wire_bytes) {
+  const int peer = 1 - party_;
+  // Model the in-flight half-RTT before the message becomes visible to the
+  // peer: the first message of a new round sleeps before enqueueing, so a
+  // blocked receiver cannot dequeue it early.  The flip peek races with a
+  // concurrent peer send, which can mis-charge one sleep — consistent with
+  // the documented scheduling-dependence of round counting in threaded
+  // mode; in lockstep mode the peek is exact.
+  std::chrono::microseconds delay{0};
+  {
+    std::lock_guard<std::mutex> peek(shared_->m);
+    if (shared_->round_delay.count() > 0 && shared_->last_sender != party_) {
+      delay = shared_->round_delay;
+    }
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  std::unique_lock<std::mutex> lk(shared_->m);
+  if (shared_->mode == ChannelMode::threaded) {
+    const bool ok = shared_->not_full[peer].wait_for(lk, shared_->timeout, [&] {
+      return shared_->closed || shared_->inbox[peer].size() < shared_->capacity;
+    });
+    if (shared_->closed) throw ChannelClosed("Channel::send: channel closed");
+    if (!ok) throw ChannelTimeout("Channel::send: peer inbox full past timeout (deadlock?)");
+  } else if (shared_->closed) {
+    throw ChannelClosed("Channel::send: channel closed");
+  }
+  shared_->inbox[peer].push_back(std::move(data));
   if (party_ == 0) {
-    stats_->bytes_p0_to_p1 += data.size();
+    stats_->bytes_p0_to_p1 += wire_bytes;
   } else {
-    stats_->bytes_p1_to_p0 += data.size();
+    stats_->bytes_p1_to_p0 += wire_bytes;
   }
   ++stats_->messages;
   if (shared_->last_sender != party_) {
     ++stats_->rounds;
     shared_->last_sender = party_;
   }
+  lk.unlock();
+  shared_->not_empty[peer].notify_one();
+}
+
+void Channel::send_bytes(const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> copy = data;
+  enqueue(std::move(copy), data.size());
 }
 
 std::vector<std::uint8_t> Channel::recv_bytes() {
-  auto& inbox = party_ == 0 ? shared_->inbox_p0 : shared_->inbox_p1;
-  if (inbox.empty()) {
-    throw std::logic_error("Channel::recv_bytes: no pending message (protocol ordering bug)");
+  std::unique_lock<std::mutex> lk(shared_->m);
+  auto& inbox = shared_->inbox[party_];
+  if (shared_->mode == ChannelMode::lockstep) {
+    if (shared_->closed && inbox.empty()) {
+      throw ChannelClosed("Channel::recv_bytes: channel closed");
+    }
+    if (inbox.empty()) {
+      throw std::logic_error("Channel::recv_bytes: no pending message (protocol ordering bug)");
+    }
+  } else {
+    const bool ok = shared_->not_empty[party_].wait_for(
+        lk, shared_->timeout, [&] { return shared_->closed || !inbox.empty(); });
+    if (inbox.empty()) {
+      if (shared_->closed) throw ChannelClosed("Channel::recv_bytes: channel closed");
+      if (!ok) throw ChannelTimeout("Channel::recv_bytes: no message past timeout (deadlock?)");
+    }
   }
   auto msg = std::move(inbox.front());
   inbox.pop_front();
+  lk.unlock();
+  shared_->not_full[party_].notify_one();
   return msg;
 }
 
@@ -54,19 +128,7 @@ void Channel::send_ring(const RingVec& v, int wire_bytes_per_elem) {
   std::vector<std::uint8_t> buf(v.size() * sizeof(std::uint64_t));
   if (!v.empty()) std::memcpy(buf.data(), v.data(), buf.size());
   // Account for the modeled wire width rather than the in-memory width.
-  auto& inbox = party_ == 0 ? shared_->inbox_p1 : shared_->inbox_p0;
-  inbox.push_back(std::move(buf));
-  const std::uint64_t wire = v.size() * static_cast<std::uint64_t>(wire_bytes_per_elem);
-  if (party_ == 0) {
-    stats_->bytes_p0_to_p1 += wire;
-  } else {
-    stats_->bytes_p1_to_p0 += wire;
-  }
-  ++stats_->messages;
-  if (shared_->last_sender != party_) {
-    ++stats_->rounds;
-    shared_->last_sender = party_;
-  }
+  enqueue(std::move(buf), v.size() * static_cast<std::uint64_t>(wire_bytes_per_elem));
 }
 
 RingVec Channel::recv_ring(std::size_t n, int /*wire_bytes_per_elem*/) {
@@ -82,5 +144,27 @@ RingVec Channel::recv_ring(std::size_t n, int /*wire_bytes_per_elem*/) {
 void Channel::send_u64(std::uint64_t v) { send_ring(RingVec{v}); }
 
 std::uint64_t Channel::recv_u64() { return recv_ring(1)[0]; }
+
+void Channel::close() {
+  {
+    std::lock_guard<std::mutex> lk(shared_->m);
+    shared_->closed = true;
+  }
+  for (int p = 0; p < 2; ++p) {
+    shared_->not_empty[p].notify_all();
+    shared_->not_full[p].notify_all();
+  }
+}
+
+TrafficStats Channel::stats_snapshot() const {
+  std::lock_guard<std::mutex> lk(shared_->m);
+  return *stats_;
+}
+
+void Channel::reset_stats() noexcept {
+  std::lock_guard<std::mutex> lk(shared_->m);
+  stats_->reset();
+  shared_->last_sender = -1;
+}
 
 }  // namespace pasnet::crypto

@@ -1,15 +1,29 @@
 #pragma once
 // Simulated duplex channel between the two computing parties.
 //
-// Both parties run in-process in lockstep (single thread), so a "channel"
-// is a pair of byte queues plus a traffic meter.  The meter records every
-// byte, message, and communication round, which lets integration tests
-// cross-check the measured traffic of the real protocol stack against the
-// analytical communication model of src/perf (DESIGN.md E6).
+// A channel pair is two endpoints over a shared pair of bounded byte queues
+// plus a traffic meter.  The meter records every byte, message, and
+// communication round, which lets integration tests cross-check the measured
+// traffic of the real protocol stack against the analytical communication
+// model of src/perf (DESIGN.md E6).
+//
+// Two modes:
+//  - lockstep: the historical single-threaded mode.  Both parties run on one
+//    thread in protocol order; `recv` on an empty inbox is a protocol
+//    ordering bug and throws immediately.  Fully deterministic (used by the
+//    analytical-model cross-check tests).
+//  - threaded: the concurrent runtime mode.  `recv` blocks until the peer's
+//    message arrives and `send` blocks while the peer's inbox is at
+//    capacity (bounded queue, mutex + condition variable).  Endpoints may be
+//    driven from different threads; all queue and stats updates are guarded
+//    by one shared mutex.  A watchdog timeout turns a deadlocked protocol
+//    into a loud ChannelTimeout instead of a hang.
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "crypto/ring.hpp"
@@ -22,7 +36,9 @@ struct TrafficStats {
   std::uint64_t bytes_p1_to_p0 = 0;
   std::uint64_t messages = 0;
   /// A round increments whenever the sending direction flips; it tracks the
-  /// protocol's sequential latency-critical message exchanges.
+  /// protocol's sequential latency-critical message exchanges.  Note: with
+  /// both parties sending concurrently in threaded mode the flip order (and
+  /// hence the count) depends on scheduling; bytes and messages stay exact.
   std::uint64_t rounds = 0;
 
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
@@ -31,16 +47,56 @@ struct TrafficStats {
   void reset() noexcept { *this = TrafficStats{}; }
 };
 
-/// One endpoint of a lockstep duplex channel.  `send` enqueues into the
-/// peer's inbox; `recv` dequeues from this endpoint's inbox and throws if
-/// the protocol tried to read a message that was never sent (an ordering
-/// bug, which the tests want to catch loudly).
+/// Queueing discipline of a channel pair (see file comment).
+enum class ChannelMode { lockstep, threaded };
+
+/// Default bounded-queue depth and watchdog timeout for a channel pair.
+inline constexpr std::size_t kDefaultChannelCapacity = 1024;
+inline constexpr std::chrono::milliseconds kDefaultChannelTimeout{30000};
+
+/// Construction knobs for a channel pair.
+struct ChannelOptions {
+  ChannelMode mode = ChannelMode::lockstep;
+  std::size_t capacity = kDefaultChannelCapacity;
+  std::chrono::milliseconds timeout = kDefaultChannelTimeout;
+  /// Simulated wire latency, charged once per direction flip — the same
+  /// unit the `rounds` statistic counts (and perf::NetworkConfig's
+  /// base_latency_s models).  Note a symmetric exchange executed in
+  /// lockstep is two serialized flips, so it pays a full RTT where a real
+  /// network (or the threaded mode) overlaps the directions; per-message
+  /// in-flight deadlines would tighten this (see ROADMAP).  Zero means no
+  /// simulated delay.  Delays sleep off the channel lock, so concurrent
+  /// worker pairs overlap their waits — the effect batched inference
+  /// exists to exploit.
+  std::chrono::microseconds round_delay{0};
+};
+
+/// Thrown when a blocking send/recv outlives the watchdog timeout — in the
+/// in-process simulation that means the protocol deadlocked or the peer died.
+class ChannelTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by blocked/later operations after close() — the simulation's
+/// "peer hung up" signal, used to unwind a party thread whose peer failed.
+class ChannelClosed : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One endpoint of a duplex channel pair.
 class Channel {
  public:
-  /// Sends a raw byte message to the peer.
+  static constexpr std::size_t kDefaultCapacity = kDefaultChannelCapacity;
+  static constexpr std::chrono::milliseconds kDefaultTimeout = kDefaultChannelTimeout;
+
+  /// Sends a raw byte message to the peer.  Threaded mode blocks while the
+  /// peer's inbox is full; lockstep mode never blocks.
   void send_bytes(const std::vector<std::uint8_t>& data);
-  /// Receives the oldest pending byte message; throws std::logic_error if
-  /// the inbox is empty.
+  /// Receives the oldest pending byte message.  Lockstep mode throws
+  /// std::logic_error if the inbox is empty (protocol ordering bug);
+  /// threaded mode blocks until a message arrives.
   [[nodiscard]] std::vector<std::uint8_t> recv_bytes();
 
   /// Convenience: send/recv a vector of ring elements, 8 bytes each in the
@@ -53,15 +109,30 @@ class Channel {
   void send_u64(std::uint64_t v);
   [[nodiscard]] std::uint64_t recv_u64();
 
-  /// Traffic stats shared by both endpoints of the pair.
+  /// Marks the pair closed: blocked senders/receivers wake and throw
+  /// ChannelClosed, as do later blocking operations that would wait.
+  void close();
+
+  /// Traffic stats shared by both endpoints of the pair.  The reference is
+  /// stable; read it only while no transfer is in flight (use
+  /// stats_snapshot() for a consistent copy during concurrent traffic).
   [[nodiscard]] const TrafficStats& stats() const noexcept { return *stats_; }
-  void reset_stats() noexcept { stats_->reset(); }
+  /// Locked copy of the stats, safe to take concurrently with transfers.
+  [[nodiscard]] TrafficStats stats_snapshot() const;
+  void reset_stats() noexcept;
+
+  [[nodiscard]] ChannelMode mode() const noexcept;
 
   /// Creates a connected pair of endpoints: first element is party 0's.
-  static std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_pair();
+  static std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_pair(
+      ChannelMode mode = ChannelMode::lockstep, std::size_t capacity = kDefaultCapacity,
+      std::chrono::milliseconds timeout = kDefaultTimeout);
+  static std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_pair(
+      const ChannelOptions& options);
 
  private:
   Channel() = default;
+  void enqueue(std::vector<std::uint8_t>&& data, std::uint64_t wire_bytes);
 
   struct Shared;
   int party_ = 0;

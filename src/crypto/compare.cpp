@@ -76,10 +76,11 @@ BitShared and_bits(TwoPartyContext& ctx, const BitShared& x, const BitShared& y)
     w.insert(w.end(), v.begin(), v.end());
     return w;
   };
-  ctx.chan(0).send_bytes(pack_bits(concat(d0, e0)));
-  ctx.chan(1).send_bytes(pack_bits(concat(d1, e1)));
-  const auto from0 = unpack_bits(ctx.chan(1).recv_bytes(), 2 * n);
-  const auto from1 = unpack_bits(ctx.chan(0).recv_bytes(), 2 * n);
+  std::vector<std::uint8_t> from0, from1;
+  ctx.exchange([&] { ctx.chan(0).send_bytes(pack_bits(concat(d0, e0))); },
+               [&] { ctx.chan(1).send_bytes(pack_bits(concat(d1, e1))); },
+               [&] { from1 = unpack_bits(ctx.chan(0).recv_bytes(), 2 * n); },
+               [&] { from0 = unpack_bits(ctx.chan(1).recv_bytes(), 2 * n); });
 
   BitShared out;
   out.b0.resize(n);

@@ -49,6 +49,11 @@ std::vector<std::uint64_t> unpack_u64s(const std::vector<std::uint8_t>& buf) {
   return v;
 }
 
+// The OT dance is inherently sequential (the sender's message depends on
+// the receiver's blinding), so both phases run on the caller's thread in
+// protocol order.  That schedule is valid under both channel modes: in
+// threaded mode each recv finds its message already enqueued and never
+// blocks, so OT composes with the concurrent runtime without changes.
 std::vector<std::uint8_t> ot_dh(TwoPartyContext& ctx, int sender,
                                 const std::vector<std::array<std::uint8_t, kOtFanIn>>& tables,
                                 const std::vector<std::uint8_t>& choices) {

@@ -1,16 +1,178 @@
 #include "crypto/party.hpp"
 
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace pasnet::crypto {
 
+// ---------------------------------------------------------------------------
+// TwoPartyRuntime: one long-lived executor thread per party with a
+// single-slot task mailbox.
+// ---------------------------------------------------------------------------
+
+struct TwoPartyRuntime::Worker {
+  std::mutex m;
+  std::condition_variable cv;
+  const std::function<void()>* task = nullptr;  // non-owning; valid until done
+  bool done = false;
+  bool stop = false;
+  std::exception_ptr error;
+  std::thread thread;
+
+  void loop() {
+    std::unique_lock<std::mutex> lk(m);
+    for (;;) {
+      cv.wait(lk, [&] { return stop || task != nullptr; });
+      if (stop) return;
+      const std::function<void()>* t = task;
+      lk.unlock();
+      std::exception_ptr err;
+      try {
+        (*t)();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lk.lock();
+      task = nullptr;
+      error = err;
+      done = true;
+      cv.notify_all();
+    }
+  }
+
+  void post(const std::function<void()>& f) {
+    std::lock_guard<std::mutex> lk(m);
+    task = &f;
+    done = false;
+    error = nullptr;
+    cv.notify_all();
+  }
+
+  std::exception_ptr wait() {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return done; });
+    return error;
+  }
+};
+
+TwoPartyRuntime::TwoPartyRuntime() {
+  for (auto& w : workers_) {
+    w = std::make_unique<Worker>();
+    w->thread = std::thread([worker = w.get()] { worker->loop(); });
+  }
+}
+
+TwoPartyRuntime::~TwoPartyRuntime() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lk(w->m);
+      w->stop = true;
+      w->cv.notify_all();
+    }
+    w->thread.join();
+  }
+}
+
+void TwoPartyRuntime::run(const std::function<void()>& f0, const std::function<void()>& f1) {
+  workers_[0]->post(f0);
+  workers_[1]->post(f1);
+  const std::exception_ptr e0 = workers_[0]->wait();
+  const std::exception_ptr e1 = workers_[1]->wait();
+  if (e0) std::rethrow_exception(e0);
+  if (e1) std::rethrow_exception(e1);
+}
+
+// ---------------------------------------------------------------------------
+// TwoPartyContext
+// ---------------------------------------------------------------------------
+
+TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, ExecMode mode,
+                                 std::chrono::microseconds round_delay)
+    : rc_(rc), mode_(mode), round_delay_(round_delay), dealer_(rc, splitmix64(seed)),
+      prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)) {
+  ChannelOptions options;
+  options.mode = mode == ExecMode::threaded ? ChannelMode::threaded : ChannelMode::lockstep;
+  options.round_delay = round_delay;
+  auto [c0, c1] = Channel::make_pair(options);
+  chan0_ = std::move(c0);
+  chan1_ = std::move(c1);
+  if (mode == ExecMode::threaded) runtime_ = std::make_unique<TwoPartyRuntime>();
+}
+
+TwoPartyContext::~TwoPartyContext() {
+  // Wake any party thread still blocked on the channels before the runtime
+  // destructor joins them.
+  if (chan0_) chan0_->close();
+}
+
+void TwoPartyContext::exec(const std::function<void()>& f0, const std::function<void()>& f1) {
+  if (!runtime_) {
+    f0();
+    f1();
+    return;
+  }
+  // A failing party closes the channel pair so its blocked peer unwinds
+  // with ChannelClosed immediately instead of stalling until the watchdog.
+  // The first failure is the root cause and the one rethrown; the poisoned
+  // channels make the context unusable afterwards, which is what a
+  // half-completed protocol step means anyway.
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  const auto guarded = [&](std::function<void()> f) {
+    return std::function<void()>([this, &err_mutex, &first_error, f = std::move(f)] {
+      try {
+        f();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(err_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        chan0_->close();
+      }
+    });
+  };
+  runtime_->run(guarded(f0), guarded(f1));
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void TwoPartyContext::exchange(const std::function<void()>& send0,
+                               const std::function<void()>& send1,
+                               const std::function<void()>& recv0,
+                               const std::function<void()>& recv1) {
+  if (runtime_) {
+    exec(
+        [&] {
+          send0();
+          recv0();
+        },
+        [&] {
+          send1();
+          recv1();
+        });
+  } else {
+    send0();
+    send1();
+    recv0();
+    recv1();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Online protocols
+// ---------------------------------------------------------------------------
+
 RingVec open(TwoPartyContext& ctx, const Shared& x) {
   const int wb = ctx.wire_bytes();
-  // Both directions in one parallel round.
-  ctx.chan(0).send_ring(x.s0, wb);
-  ctx.chan(1).send_ring(x.s1, wb);
-  const RingVec from0 = ctx.chan(1).recv_ring(x.size(), wb);
-  const RingVec from1 = ctx.chan(0).recv_ring(x.size(), wb);
+  // Both directions in one parallel round; under the threaded runtime the
+  // two parties' send+recv halves execute concurrently.
+  RingVec from0, from1;
+  ctx.exchange([&] { ctx.chan(0).send_ring(x.s0, wb); },
+               [&] { ctx.chan(1).send_ring(x.s1, wb); },
+               [&] { from1 = ctx.chan(0).recv_ring(x.size(), wb); },
+               [&] { from0 = ctx.chan(1).recv_ring(x.size(), wb); });
   return add_vec(from0, from1, ctx.ring());
 }
 

@@ -1,14 +1,28 @@
 #pragma once
-// Two-party execution context and the online multiplicative protocols.
+// Two-party execution context, party-thread runtime, and the online
+// multiplicative protocols.
 //
-// The simulation runs both semi-honest servers in lockstep inside one
-// process (DESIGN.md §5).  A TwoPartyContext bundles the ring, the duplex
-// channel pair, per-party local randomness, and the trusted dealer.  The
-// protocol functions below implement the paper's §II-B equations verbatim,
+// The simulation runs both semi-honest servers inside one process
+// (DESIGN.md §5).  A TwoPartyContext bundles the ring, the duplex channel
+// pair, per-party local randomness, and the trusted dealer.  The protocol
+// functions below implement the paper's §II-B equations verbatim,
 // exchanging masked values over the channels so that traffic statistics
 // match a real deployment message-for-message.
+//
+// Execution modes:
+//  - lockstep (default): both parties run on the caller's thread in
+//    protocol order over throw-on-empty channels.  Bit-for-bit
+//    deterministic, used by the analytical-model cross-check tests.
+//  - threaded: the context owns a TwoPartyRuntime with one dedicated thread
+//    per party and blocking bounded channels; symmetric exchanges (both
+//    parties send, then both receive) fan out so party 0 and party 1
+//    genuinely overlap.  Multi-phase asymmetric flows (e.g. the OT dance,
+//    where the sender's message depends on the receiver's) stay on the
+//    caller's thread: blocking channels make the lockstep schedule a valid
+//    schedule of the same protocol.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "crypto/beaver.hpp"
@@ -19,21 +33,64 @@
 
 namespace pasnet::crypto {
 
+/// How a TwoPartyContext schedules the two parties (see file comment).
+enum class ExecMode { lockstep, threaded };
+
+/// A pair of long-lived party executor threads.  `run` dispatches one
+/// closure to each party thread and waits for both to finish; protocol
+/// steps queue up on the same two threads for the lifetime of the runtime,
+/// mirroring a deployment where each server is one process.
+class TwoPartyRuntime {
+ public:
+  TwoPartyRuntime();
+  ~TwoPartyRuntime();
+  TwoPartyRuntime(const TwoPartyRuntime&) = delete;
+  TwoPartyRuntime& operator=(const TwoPartyRuntime&) = delete;
+
+  /// Runs f0 on the party-0 thread and f1 on the party-1 thread, then waits
+  /// for both.  If a party throws, the exception is rethrown here (party
+  /// 0's first); the other party still runs to completion.
+  void run(const std::function<void()>& f0, const std::function<void()>& f1);
+
+ private:
+  struct Worker;
+  std::unique_ptr<Worker> workers_[2];
+};
+
 /// Everything the online phase of a 2PC evaluation needs.
 class TwoPartyContext {
  public:
-  explicit TwoPartyContext(RingConfig rc = RingConfig{}, std::uint64_t seed = 42)
-      : rc_(rc), dealer_(rc, splitmix64(seed)), prng0_(splitmix64(seed ^ 1)),
-        prng1_(splitmix64(seed ^ 2)) {
-    auto [c0, c1] = Channel::make_pair();
-    chan0_ = std::move(c0);
-    chan1_ = std::move(c1);
-  }
+  /// `round_delay` simulates wire latency per protocol round (see
+  /// ChannelOptions); batched inference inherits it per query, so worker
+  /// pairs overlap their modeled network waits.
+  explicit TwoPartyContext(RingConfig rc = RingConfig{}, std::uint64_t seed = 42,
+                           ExecMode mode = ExecMode::lockstep,
+                           std::chrono::microseconds round_delay = std::chrono::microseconds{0});
+  ~TwoPartyContext();
+  TwoPartyContext(const TwoPartyContext&) = delete;
+  TwoPartyContext& operator=(const TwoPartyContext&) = delete;
 
   [[nodiscard]] const RingConfig& ring() const noexcept { return rc_; }
   [[nodiscard]] TripleDealer& dealer() noexcept { return dealer_; }
   [[nodiscard]] Channel& chan(int party) { return party == 0 ? *chan0_ : *chan1_; }
   [[nodiscard]] Prng& prng(int party) noexcept { return party == 0 ? prng0_ : prng1_; }
+  [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
+  [[nodiscard]] std::chrono::microseconds round_delay() const noexcept { return round_delay_; }
+
+  /// Runs the per-party closures — on the party threads in threaded mode,
+  /// inline (f0 then f1) in lockstep mode.  Callers are responsible for an
+  /// ordering that cannot deadlock under either schedule.  In threaded
+  /// mode a failing party closes the channel pair so its blocked peer
+  /// unwinds immediately (ChannelClosed); the first failure is rethrown
+  /// and the context's channels stay closed.
+  void exec(const std::function<void()>& f0, const std::function<void()>& f1);
+
+  /// One symmetric communication round: both parties send, then both
+  /// receive.  Lockstep runs send0, send1, recv0, recv1 on the caller's
+  /// thread; threaded runs (send0; recv0) on party 0's thread concurrently
+  /// with (send1; recv1) on party 1's.
+  void exchange(const std::function<void()>& send0, const std::function<void()>& send1,
+                const std::function<void()>& recv0, const std::function<void()>& recv1);
 
   /// Modeled on-wire bytes per ring element (4 for the paper's 32-bit ring).
   [[nodiscard]] int wire_bytes() const noexcept { return (rc_.wire_bits + 7) / 8; }
@@ -43,11 +100,14 @@ class TwoPartyContext {
 
  private:
   RingConfig rc_;
+  ExecMode mode_;
+  std::chrono::microseconds round_delay_;
   std::unique_ptr<Channel> chan0_;
   std::unique_ptr<Channel> chan1_;
   TripleDealer dealer_;
   Prng prng0_;
   Prng prng1_;
+  std::unique_ptr<TwoPartyRuntime> runtime_;  // threaded mode only
 };
 
 /// Jointly reconstruct a shared vector: both parties exchange their shares

@@ -1,7 +1,12 @@
 #include "proto/secure_network.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "nn/layers.hpp"
 
@@ -115,9 +120,64 @@ SecureNetwork::SecureNetwork(const nn::ModelDescriptor& md, nn::Graph& trained,
 }
 
 nn::Tensor SecureNetwork::infer(const nn::Tensor& input) {
-  const RingConfig& rc = ctx_.ring();
-  ctx_.reset_stats();
-  const auto triples_before = ctx_.dealer().counters();
+  batch_stats_.clear();
+  return run_query(ctx_, input, stats_);
+}
+
+std::vector<nn::Tensor> SecureNetwork::infer_batch(const std::vector<nn::Tensor>& inputs,
+                                                   int worker_pairs) {
+  const std::size_t n = inputs.size();
+  batch_stats_.assign(n, InferenceStats{});
+  stats_ = InferenceStats{};
+  std::vector<nn::Tensor> results(n);
+  if (n == 0) return results;
+  const int workers =
+      std::max(1, std::min(worker_pairs, static_cast<int>(n)));
+
+  // Each worker pair drains the shared query queue; every query gets a
+  // fresh party-pair context whose dealer/PRNG seeds depend only on the
+  // query index, so the transcript — and with it the ±1-LSB local
+  // truncation noise — is pinned per query regardless of which worker (or
+  // how many workers) runs it.
+  constexpr std::uint64_t kBatchSeedBase = 0xBA7C4ULL;
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t q = next.fetch_add(1);
+      if (q >= n) break;
+      try {
+        crypto::TwoPartyContext qctx(ctx_.ring(), crypto::splitmix64(kBatchSeedBase ^ (q + 1)),
+                                     crypto::ExecMode::lockstep, ctx_.round_delay());
+        results[q] = run_query(qctx, inputs[q], batch_stats_[q]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(n);  // drain the queue so other workers stop promptly
+        break;
+      }
+    }
+  };
+
+  if (workers == 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  for (const auto& qs : batch_stats_) stats_.merge(qs);
+  return results;
+}
+
+nn::Tensor SecureNetwork::run_query(crypto::TwoPartyContext& ctx, const nn::Tensor& input,
+                                    InferenceStats& out) const {
+  const RingConfig& rc = ctx.ring();
+  ctx.reset_stats();
+  const auto triples_before = ctx.dealer().counters();
 
   crypto::Prng input_prng(0xC11E47ULL);  // the client's share-generation PRG
   std::vector<SecureTensor> acts(layers_.size());
@@ -133,7 +193,7 @@ nn::Tensor SecureNetwork::infer(const nn::Tensor& input) {
         break;
       case nn::OpKind::conv:
         if (spec.depthwise) {
-          acts[i] = secure_depthwise_conv2d(ctx_, in(), cl.weight, spec.kernel, spec.stride,
+          acts[i] = secure_depthwise_conv2d(ctx, in(), cl.weight, spec.kernel, spec.stride,
                                             spec.pad);
           if (cl.has_bias) {
             // Depthwise bias (from BN fold): broadcast-add per channel.
@@ -152,12 +212,12 @@ nn::Tensor SecureNetwork::infer(const nn::Tensor& input) {
             }
           }
         } else {
-          acts[i] = secure_conv2d(ctx_, in(), cl.weight, cl.has_bias ? &cl.bias : nullptr,
+          acts[i] = secure_conv2d(ctx, in(), cl.weight, cl.has_bias ? &cl.bias : nullptr,
                                   spec.out_ch, spec.kernel, spec.stride, spec.pad);
         }
         break;
       case nn::OpKind::linear:
-        acts[i] = secure_linear(ctx_, in(), cl.weight, cl.has_bias ? &cl.bias : nullptr,
+        acts[i] = secure_linear(ctx, in(), cl.weight, cl.has_bias ? &cl.bias : nullptr,
                                 spec.out_features);
         break;
       case nn::OpKind::batchnorm:
@@ -165,53 +225,53 @@ nn::Tensor SecureNetwork::infer(const nn::Tensor& input) {
         acts[i] = in();  // identity: already folded into the producer conv
         break;
       case nn::OpKind::relu:
-        acts[i] = secure_relu(ctx_, in(), cfg_);
+        acts[i] = secure_relu(ctx, in(), cfg_);
         break;
       case nn::OpKind::x2act:
-        acts[i] = secure_x2act(ctx_, in(), cl.a_coeff, cl.w2, cl.b);
+        acts[i] = secure_x2act(ctx, in(), cl.a_coeff, cl.w2, cl.b);
         break;
       case nn::OpKind::maxpool:
-        acts[i] = secure_maxpool(ctx_, in(), spec.kernel, spec.stride, cfg_, spec.pad);
+        acts[i] = secure_maxpool(ctx, in(), spec.kernel, spec.stride, cfg_, spec.pad);
         break;
       case nn::OpKind::avgpool:
-        acts[i] = secure_avgpool(ctx_, in(), spec.kernel, spec.stride, spec.pad);
+        acts[i] = secure_avgpool(ctx, in(), spec.kernel, spec.stride, spec.pad);
         break;
       case nn::OpKind::global_avgpool:
-        acts[i] = secure_global_avgpool(ctx_, in());
+        acts[i] = secure_global_avgpool(ctx, in());
         break;
       case nn::OpKind::flatten:
         acts[i] = secure_flatten(in());
         break;
       case nn::OpKind::add:
-        acts[i] = secure_add(ctx_, acts[static_cast<std::size_t>(spec.in0)],
+        acts[i] = secure_add(ctx, acts[static_cast<std::size_t>(spec.in0)],
                              acts[static_cast<std::size_t>(spec.in1)]);
         break;
     }
   }
 
   // Reveal the logits to the client: one final joint opening.
-  const SecureTensor& out = acts[static_cast<std::size_t>(md_.output)];
-  const crypto::RingVec revealed = crypto::open(ctx_, out.shares);
+  const SecureTensor& final_act = acts[static_cast<std::size_t>(md_.output)];
+  const crypto::RingVec revealed = crypto::open(ctx, final_act.shares);
   nn::Tensor logits = nn::Tensor::from_doubles(crypto::decode_vec(revealed, rc),
-                                               std::vector<int>(out.shape));
+                                               std::vector<int>(final_act.shape));
 
-  const auto& chan = ctx_.stats();
-  stats_.comm_bytes = chan.total_bytes();
+  const auto& chan = ctx.stats();
+  out.comm_bytes = chan.total_bytes();
   // Weight-shaped openings (2 directions each); amortizable offline.
-  stats_.weight_open_bytes = 0;
-  const auto wire = static_cast<std::uint64_t>(ctx_.wire_bytes());
+  out.weight_open_bytes = 0;
+  const auto wire = static_cast<std::uint64_t>(ctx.wire_bytes());
   for (const auto& cl : layers_) {
     if (cl.spec.kind == nn::OpKind::conv || cl.spec.kind == nn::OpKind::linear) {
-      stats_.weight_open_bytes += cl.weight.size() * wire * 2;
+      out.weight_open_bytes += cl.weight.size() * wire * 2;
     }
   }
-  stats_.messages = chan.messages;
-  stats_.rounds = chan.rounds;
-  const auto& after = ctx_.dealer().counters();
-  stats_.elem_triples = after.elem_triples - triples_before.elem_triples;
-  stats_.square_pairs = after.square_pairs - triples_before.square_pairs;
-  stats_.matmul_triple_elems = after.matmul_triple_elems - triples_before.matmul_triple_elems;
-  stats_.bit_triples = after.bit_triples - triples_before.bit_triples;
+  out.messages = chan.messages;
+  out.rounds = chan.rounds;
+  const auto& after = ctx.dealer().counters();
+  out.elem_triples = after.elem_triples - triples_before.elem_triples;
+  out.square_pairs = after.square_pairs - triples_before.square_pairs;
+  out.matmul_triple_elems = after.matmul_triple_elems - triples_before.matmul_triple_elems;
+  out.bit_triples = after.bit_triples - triples_before.bit_triples;
   return logits;
 }
 

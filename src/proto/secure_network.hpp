@@ -30,6 +30,18 @@ struct InferenceStats {
   std::uint64_t square_pairs = 0;
   std::uint64_t matmul_triple_elems = 0;
   std::uint64_t bit_triples = 0;
+
+  /// Accumulates another query's statistics into this one.
+  void merge(const InferenceStats& other) noexcept {
+    comm_bytes += other.comm_bytes;
+    weight_open_bytes += other.weight_open_bytes;
+    messages += other.messages;
+    rounds += other.rounds;
+    elem_triples += other.elem_triples;
+    square_pairs += other.square_pairs;
+    matmul_triple_elems += other.matmul_triple_elems;
+    bit_triples += other.bit_triples;
+  }
 };
 
 /// A network compiled for 2PC evaluation.
@@ -47,8 +59,24 @@ class SecureNetwork {
   /// executes layer by layer, and the reconstructed logits are returned.
   [[nodiscard]] nn::Tensor infer(const nn::Tensor& input);
 
-  /// Statistics of the most recent infer() call.
+  /// Batched private inference: shards the query list across `worker_pairs`
+  /// concurrent party-pair workers.  Each query runs on a fresh independent
+  /// context (own TripleDealer and channel pair) seeded by the query index,
+  /// so results and per-query statistics are bit-identical for every worker
+  /// count — including worker_pairs == 1, the sequential baseline.  After
+  /// the call stats() holds the merged totals and per_query_stats() the
+  /// per-query breakdown.
+  [[nodiscard]] std::vector<nn::Tensor> infer_batch(const std::vector<nn::Tensor>& inputs,
+                                                    int worker_pairs);
+
+  /// Statistics of the most recent infer() call (or, after infer_batch, the
+  /// merged totals across the batch).
   [[nodiscard]] const InferenceStats& stats() const noexcept { return stats_; }
+
+  /// Per-query statistics of the most recent infer_batch() call.
+  [[nodiscard]] const std::vector<InferenceStats>& per_query_stats() const noexcept {
+    return batch_stats_;
+  }
 
   [[nodiscard]] const nn::ModelDescriptor& descriptor() const noexcept { return md_; }
 
@@ -64,11 +92,18 @@ class SecureNetwork {
     double b = 0.0;
   };
 
+  /// Runs one query on the given context, recording its statistics.  The
+  /// compiled layers are read-only here, so any number of workers may call
+  /// this concurrently on distinct contexts.
+  [[nodiscard]] nn::Tensor run_query(crypto::TwoPartyContext& ctx, const nn::Tensor& input,
+                                     InferenceStats& out) const;
+
   nn::ModelDescriptor md_;
   crypto::TwoPartyContext& ctx_;
   SecureConfig cfg_;
   std::vector<CompiledLayer> layers_;
   InferenceStats stats_;
+  std::vector<InferenceStats> batch_stats_;
 };
 
 }  // namespace pasnet::proto

@@ -1,0 +1,312 @@
+// Tests for the concurrent two-party runtime: the thread-safe bounded
+// blocking channel, the TwoPartyRuntime party executors, and the batched
+// SecureNetwork::infer_batch API.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "proto/secure_network.hpp"
+#include "support/test_models.hpp"
+
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+namespace proto = pasnet::proto;
+
+using pasnet::testing::max_abs_diff;
+using pasnet::testing::tiny_cnn;
+
+namespace {
+
+constexpr auto kShortTimeout = std::chrono::milliseconds(100);
+
+std::vector<std::uint8_t> payload(std::uint32_t i) {
+  std::vector<std::uint8_t> p(4);
+  std::memcpy(p.data(), &i, 4);
+  return p;
+}
+
+std::uint32_t payload_value(const std::vector<std::uint8_t>& p) {
+  std::uint32_t i = 0;
+  std::memcpy(&i, p.data(), 4);
+  return i;
+}
+
+void warm_up(nn::Graph& g, std::uint64_t seed) { pasnet::testing::warm_up(g, 2, 8, seed); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Threaded channel
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedChannel, BlockingRecvWaitsForLateSender) {
+  auto [c0, c1] = pc::Channel::make_pair(pc::ChannelMode::threaded);
+  pc::TwoPartyRuntime rt;
+  std::uint32_t got = 0;
+  rt.run([&, c0 = c0.get()] { got = payload_value(c0->recv_bytes()); },
+         [&, c1 = c1.get()] {
+           std::this_thread::sleep_for(std::chrono::milliseconds(20));
+           c1->send_bytes(payload(77));
+         });
+  EXPECT_EQ(got, 77u);
+}
+
+TEST(ThreadedChannel, StressManySmallSendsBothDirectionsBoundedQueue) {
+  // A tiny capacity forces both senders to block on a full peer inbox; the
+  // phase-shifted schedules (send-all-then-recv vs recv-all-then-send)
+  // exercise not_full and not_empty waits on both endpoints.
+  constexpr std::uint32_t kMessages = 5000;
+  auto [c0, c1] = pc::Channel::make_pair(pc::ChannelMode::threaded, /*capacity=*/4,
+                                         std::chrono::milliseconds(10000));
+  pc::TwoPartyRuntime rt;
+  bool order0 = true, order1 = true;
+  rt.run(
+      [&, c0 = c0.get()] {
+        for (std::uint32_t i = 0; i < kMessages; ++i) c0->send_bytes(payload(i));
+        for (std::uint32_t i = 0; i < kMessages; ++i) {
+          order0 = order0 && payload_value(c0->recv_bytes()) == i;
+        }
+      },
+      [&, c1 = c1.get()] {
+        for (std::uint32_t i = 0; i < kMessages; ++i) {
+          order1 = order1 && payload_value(c1->recv_bytes()) == i;
+        }
+        for (std::uint32_t i = 0; i < kMessages; ++i) c1->send_bytes(payload(i));
+      });
+  EXPECT_TRUE(order0);  // FIFO preserved p1 -> p0
+  EXPECT_TRUE(order1);  // FIFO preserved p0 -> p1
+  const auto stats = c0->stats_snapshot();
+  EXPECT_EQ(stats.bytes_p0_to_p1, kMessages * 4ull);
+  EXPECT_EQ(stats.bytes_p1_to_p0, kMessages * 4ull);
+  EXPECT_EQ(stats.messages, 2ull * kMessages);
+}
+
+TEST(ThreadedChannel, RecvTimesOutInsteadOfHanging) {
+  auto [c0, c1] = pc::Channel::make_pair(pc::ChannelMode::threaded,
+                                         pc::Channel::kDefaultCapacity, kShortTimeout);
+  EXPECT_THROW((void)c0->recv_bytes(), pc::ChannelTimeout);
+  (void)c1;
+}
+
+TEST(ThreadedChannel, SendTimesOutWhenPeerInboxStaysFull) {
+  auto [c0, c1] = pc::Channel::make_pair(pc::ChannelMode::threaded, /*capacity=*/1,
+                                         kShortTimeout);
+  c0->send_bytes({1});
+  EXPECT_THROW(c0->send_bytes({2}), pc::ChannelTimeout);
+  (void)c1;
+}
+
+TEST(ThreadedChannel, CloseWakesBlockedReceiver) {
+  auto [c0, c1] = pc::Channel::make_pair(pc::ChannelMode::threaded);
+  pc::TwoPartyRuntime rt;
+  EXPECT_THROW(rt.run([c0 = c0.get()] { (void)c0->recv_bytes(); },
+                      [c1 = c1.get()] {
+                        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                        c1->close();
+                      }),
+               pc::ChannelClosed);
+}
+
+TEST(ThreadedChannel, LockstepModeStillThrowsOnEmptyRecv) {
+  auto [c0, c1] = pc::Channel::make_pair();  // default stays lockstep
+  EXPECT_THROW((void)c0->recv_bytes(), std::logic_error);
+  (void)c1;
+}
+
+// ---------------------------------------------------------------------------
+// TwoPartyRuntime
+// ---------------------------------------------------------------------------
+
+TEST(TwoPartyRuntime, PropagatesPartyExceptions) {
+  pc::TwoPartyRuntime rt;
+  EXPECT_THROW(rt.run([] { throw std::runtime_error("party 0 died"); }, [] {}),
+               std::runtime_error);
+  // The runtime survives a failed step and accepts new work.
+  std::atomic<int> ran{0};
+  rt.run([&] { ran += 1; }, [&] { ran += 2; });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(TwoPartyRuntime, StepsRunOnDistinctPartyThreads) {
+  pc::TwoPartyRuntime rt;
+  std::thread::id id0, id1;
+  rt.run([&] { id0 = std::this_thread::get_id(); },
+         [&] { id1 = std::this_thread::get_id(); });
+  EXPECT_NE(id0, id1);
+  EXPECT_NE(id0, std::this_thread::get_id());
+  std::thread::id id0_again;
+  rt.run([&] { id0_again = std::this_thread::get_id(); }, [] {});
+  EXPECT_EQ(id0, id0_again);  // party threads are long-lived
+}
+
+TEST(TwoPartyRuntime, PartyFailureFailsFastAndClosesChannels) {
+  // A party bug must not leave its peer blocked until the 30s watchdog:
+  // exec closes the channel pair on first failure, the peer unwinds with
+  // ChannelClosed, and the root-cause exception is the one rethrown.
+  pc::TwoPartyContext ctx(pc::RingConfig{}, 42, pc::ExecMode::threaded);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(ctx.exec([] { throw std::invalid_argument("party 0 bug"); },
+                        [&] { (void)ctx.chan(1).recv_bytes(); }),
+               std::invalid_argument);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+}
+
+TEST(ThreadedChannel, RoundDelayDelaysDelivery) {
+  // The modeled half-RTT must hold back the message itself, not just stall
+  // the sender: a receiver already blocked in recv cannot complete before
+  // the delay has elapsed (sleep_for guarantees a lower bound).
+  constexpr auto kDelay = std::chrono::milliseconds(100);
+  pc::ChannelOptions opts;
+  opts.mode = pc::ChannelMode::threaded;
+  opts.round_delay = kDelay;
+  auto [c0, c1] = pc::Channel::make_pair(opts);
+  pc::TwoPartyRuntime rt;
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.run([c0 = c0.get()] { c0->send_bytes({1}); },
+         [c1 = c1.get()] { (void)c1->recv_bytes(); });
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, kDelay);
+}
+
+TEST(TwoPartyRuntime, ThreadedOpenMatchesReconstruction) {
+  pc::TwoPartyContext ctx(pc::RingConfig{}, 42, pc::ExecMode::threaded);
+  pc::Prng prng(9);
+  const pc::RingVec x{1, 2, 3, 0xFFFFFFFFull};
+  const auto sh = pc::share(x, prng, ctx.ring());
+  EXPECT_EQ(pc::open(ctx, sh), pc::reconstruct(sh, ctx.ring()));
+}
+
+// ---------------------------------------------------------------------------
+// Threaded + batched secure inference
+// ---------------------------------------------------------------------------
+
+TEST(SecureRuntime, ThreadedInferMatchesLockstepBitForBit) {
+  const auto md = tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool);
+  pc::Prng wprng(21);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, 22);
+
+  pc::TwoPartyContext lockstep(pc::RingConfig{}, 42, pc::ExecMode::lockstep);
+  pc::TwoPartyContext threaded(pc::RingConfig{}, 42, pc::ExecMode::threaded);
+  proto::SecureNetwork snet_lock(md, *g, node_of_layer, lockstep);
+  proto::SecureNetwork snet_thr(md, *g, node_of_layer, threaded);
+
+  pc::Prng dprng(23);
+  const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
+  const auto logits_lock = snet_lock.infer(x);
+  const auto logits_thr = snet_thr.infer(x);
+  ASSERT_EQ(logits_lock.size(), logits_thr.size());
+  for (std::size_t i = 0; i < logits_lock.size(); ++i) {
+    EXPECT_EQ(logits_lock[i], logits_thr[i]) << "logit " << i;
+  }
+  // Same protocol, same transcript sizes; only round interleaving differs.
+  EXPECT_EQ(snet_lock.stats().comm_bytes, snet_thr.stats().comm_bytes);
+  EXPECT_EQ(snet_lock.stats().messages, snet_thr.stats().messages);
+}
+
+TEST(SecureRuntime, ThreadedInferWithComparisonOpsMatchesLockstep) {
+  // ReLU + MaxPool route through the OT comparison stack, which keeps its
+  // sequential schedule on the caller thread over the blocking channels.
+  const auto md = tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool);
+  pc::Prng wprng(31);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, 32);
+
+  pc::TwoPartyContext lockstep(pc::RingConfig{}, 42, pc::ExecMode::lockstep);
+  pc::TwoPartyContext threaded(pc::RingConfig{}, 42, pc::ExecMode::threaded);
+  proto::SecureNetwork snet_lock(md, *g, node_of_layer, lockstep);
+  proto::SecureNetwork snet_thr(md, *g, node_of_layer, threaded);
+
+  pc::Prng dprng(33);
+  const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
+  const auto logits_lock = snet_lock.infer(x);
+  const auto logits_thr = snet_thr.infer(x);
+  for (std::size_t i = 0; i < logits_lock.size(); ++i) {
+    EXPECT_EQ(logits_lock[i], logits_thr[i]) << "logit " << i;
+  }
+}
+
+TEST(SecureRuntime, InferBatchMatchesSequentialBaselineExactly) {
+  const auto md = tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool);
+  pc::Prng wprng(41);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, 42);
+
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
+
+  pc::Prng dprng(43);
+  std::vector<nn::Tensor> queries;
+  for (int q = 0; q < 6; ++q) queries.push_back(nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f));
+
+  const auto sequential = snet.infer_batch(queries, 1);
+  const auto seq_stats = snet.per_query_stats();
+  const auto parallel = snet.infer_batch(queries, 4);
+  ASSERT_EQ(sequential.size(), queries.size());
+  ASSERT_EQ(parallel.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::size_t i = 0; i < sequential[q].size(); ++i) {
+      EXPECT_EQ(sequential[q][i], parallel[q][i]) << "query " << q << " logit " << i;
+    }
+    // Per-query protocol transcript is identical at any worker count.
+    EXPECT_EQ(seq_stats[q].comm_bytes, snet.per_query_stats()[q].comm_bytes);
+    EXPECT_EQ(seq_stats[q].rounds, snet.per_query_stats()[q].rounds);
+  }
+}
+
+TEST(SecureRuntime, InferBatchMatchesSingleInferUpToTruncationNoise) {
+  const auto md = tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool);
+  pc::Prng wprng(51);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, 52);
+
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
+
+  pc::Prng dprng(53);
+  std::vector<nn::Tensor> queries;
+  for (int q = 0; q < 3; ++q) queries.push_back(nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f));
+
+  const auto batched = snet.infer_batch(queries, 2);
+  const auto batch_comm = snet.stats().comm_bytes;
+  const auto per_query = snet.per_query_stats();
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto single = snet.infer(queries[q]);
+    // Different dealer randomness => only ±1-LSB local truncation noise.
+    EXPECT_LT(max_abs_diff(batched[q], single), 0.05f) << "query " << q;
+    // Per-query traffic is shape-deterministic: batching changes nothing.
+    EXPECT_EQ(per_query[q].comm_bytes, snet.stats().comm_bytes) << "query " << q;
+  }
+  // Merged totals are the sum of the per-query stats.
+  std::uint64_t sum = 0;
+  for (const auto& qs : per_query) sum += qs.comm_bytes;
+  EXPECT_EQ(batch_comm, sum);
+}
+
+TEST(SecureRuntime, InferBatchHandlesEdgeCases) {
+  const auto md = tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool);
+  pc::Prng wprng(61);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, 62);
+
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
+
+  EXPECT_TRUE(snet.infer_batch({}, 4).empty());
+  EXPECT_TRUE(snet.per_query_stats().empty());
+
+  pc::Prng dprng(63);
+  const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
+  // More workers than queries (and a nonsense worker count) both clamp.
+  EXPECT_EQ(snet.infer_batch({x}, 16).size(), 1u);
+  EXPECT_EQ(snet.infer_batch({x}, 0).size(), 1u);
+}

@@ -2,95 +2,16 @@
 
 #include <cmath>
 
-#include "nn/loss.hpp"
-#include "nn/optim.hpp"
 #include "proto/secure_network.hpp"
+#include "support/test_models.hpp"
 
 namespace nn = pasnet::nn;
 namespace pc = pasnet::crypto;
 namespace proto = pasnet::proto;
 
-namespace {
-
-/// Builds a tiny conv-bn-act-pool-fc descriptor for integration tests.
-nn::ModelDescriptor tiny_cnn(nn::OpKind act_kind, nn::OpKind pool_kind) {
-  nn::ModelDescriptor md;
-  md.name = "TinyCNN";
-  md.input_ch = 2;
-  md.input_h = 8;
-  md.input_w = 8;
-  md.num_classes = 3;
-  md.layers.push_back({});
-  md.layers[0].kind = nn::OpKind::input;
-
-  nn::LayerSpec conv;
-  conv.kind = nn::OpKind::conv;
-  conv.in0 = 0;
-  conv.in_ch = 2;
-  conv.out_ch = 4;
-  conv.kernel = 3;
-  conv.stride = 1;
-  conv.pad = 1;
-  md.layers.push_back(conv);
-
-  nn::LayerSpec bn;
-  bn.kind = nn::OpKind::batchnorm;
-  bn.in0 = 1;
-  md.layers.push_back(bn);
-
-  nn::LayerSpec act;
-  act.kind = act_kind;
-  act.in0 = 2;
-  act.searchable = true;
-  md.layers.push_back(act);
-
-  nn::LayerSpec pool;
-  pool.kind = pool_kind;
-  pool.in0 = 3;
-  pool.kernel = 2;
-  pool.stride = 2;
-  pool.searchable = true;
-  md.layers.push_back(pool);
-
-  nn::LayerSpec flat;
-  flat.kind = nn::OpKind::flatten;
-  flat.in0 = 4;
-  md.layers.push_back(flat);
-
-  nn::LayerSpec fc;
-  fc.kind = nn::OpKind::linear;
-  fc.in0 = 5;
-  fc.out_features = 3;
-  md.layers.push_back(fc);
-
-  md.output = 6;
-  nn::propagate_shapes(md);
-  return md;
-}
-
-float max_abs_diff(const nn::Tensor& a, const nn::Tensor& b) {
-  float m = 0.0f;
-  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
-  return m;
-}
-
-/// A few steps of training so BN has meaningful running statistics.
-void warm_up(nn::Graph& g, int input_ch, int hw, std::uint64_t seed) {
-  pc::Prng prng(seed);
-  nn::Sgd opt(g.params(), 0.01f);
-  nn::SoftmaxCrossEntropy loss;
-  for (int step = 0; step < 10; ++step) {
-    const auto x = nn::Tensor::randn({4, input_ch, hw, hw}, prng, 1.0f);
-    std::vector<int> labels{0, 1, 2, 0};
-    g.zero_grad();
-    const auto logits = g.forward(x, true);
-    (void)loss.forward(logits, labels);
-    g.backward(loss.backward());
-    opt.step();
-  }
-}
-
-}  // namespace
+using pasnet::testing::max_abs_diff;
+using pasnet::testing::tiny_cnn;
+using pasnet::testing::warm_up;
 
 TEST(SecureNetwork, MatchesPlaintextWithReluAndMaxpool) {
   const auto md = tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool);
