@@ -1,0 +1,221 @@
+#pragma once
+// Shared command-line parsing for the example binaries.
+//
+// Flags are declared up front with a default and a help line; parse()
+// accepts both `--flag value` and `--flag=value`, handles `--help`, and
+// treats an unknown flag or a malformed value as a hard error (exit 2)
+// instead of silently ignoring it — the historical strcmp+atoi loops
+// dropped typos on the floor.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pasnet::examples {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string summary) : summary_(std::move(summary)) {}
+
+  void define_int(const std::string& name, long long def, const std::string& help) {
+    flags_.push_back({name, help, Kind::integer, def, 0.0, "", {}, false});
+  }
+  void define_double(const std::string& name, double def, const std::string& help) {
+    flags_.push_back({name, help, Kind::real, 0, def, "", {}, false});
+  }
+  void define_string(const std::string& name, const std::string& def, const std::string& help) {
+    flags_.push_back({name, help, Kind::text, 0, 0.0, def, {}, false});
+  }
+  /// Comma-separated list of doubles, e.g. `--lambdas=0.5,5,500`.
+  void define_double_list(const std::string& name, std::vector<double> def,
+                          const std::string& help) {
+    flags_.push_back({name, help, Kind::real_list, 0, 0.0, "", std::move(def), false});
+  }
+  /// Boolean switch: present means true (`--preprocess`), or explicit
+  /// `--preprocess=0|1`.
+  void define_switch(const std::string& name, const std::string& help) {
+    flags_.push_back({name, help, Kind::toggle, 0, 0.0, "", {}, false});
+  }
+
+  /// Parses argv; exits(2) with a usage message on any unknown flag,
+  /// missing value, or malformed number.  `--help` prints usage, exits 0.
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+        print_usage(argv[0], stdout);
+        std::exit(0);
+      }
+      if (std::strncmp(arg, "--", 2) != 0) {
+        fail(argv[0], "expected a --flag, got '%s'", arg);
+      }
+      std::string name = arg + 2;
+      std::string value;
+      bool has_value = false;
+      const std::size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_value = true;
+      }
+      Flag* flag = find(name);
+      if (flag == nullptr) fail(argv[0], "unknown flag '--%s'", name.c_str());
+      if (flag->kind == Kind::toggle) {
+        flag->set = !has_value || parse_bool(argv[0], name, value);
+        continue;
+      }
+      if (!has_value) {
+        if (i + 1 >= argc) fail(argv[0], "flag '--%s' needs a value", name.c_str());
+        value = argv[++i];
+      }
+      set_value(argv[0], *flag, value);
+    }
+  }
+
+  [[nodiscard]] long long get_int(const std::string& name) const {
+    return require(name, Kind::integer).int_value;
+  }
+  [[nodiscard]] double get_double(const std::string& name) const {
+    return require(name, Kind::real).real_value;
+  }
+  [[nodiscard]] const std::string& get_string(const std::string& name) const {
+    return require(name, Kind::text).text_value;
+  }
+  [[nodiscard]] const std::vector<double>& get_double_list(const std::string& name) const {
+    return require(name, Kind::real_list).list_value;
+  }
+  [[nodiscard]] bool get_switch(const std::string& name) const {
+    return require(name, Kind::toggle).set;
+  }
+
+ private:
+  enum class Kind { integer, real, text, real_list, toggle };
+
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    long long int_value;
+    double real_value;
+    std::string text_value;
+    std::vector<double> list_value;
+    bool set;
+  };
+
+  Flag* find(const std::string& name) {
+    for (Flag& f : flags_) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+
+  const Flag& require(const std::string& name, Kind kind) const {
+    for (const Flag& f : flags_) {
+      if (f.name == name) {
+        if (f.kind != kind) {
+          std::fprintf(stderr, "internal: flag '--%s' queried with the wrong type\n",
+                       name.c_str());
+          std::exit(2);
+        }
+        return f;
+      }
+    }
+    std::fprintf(stderr, "internal: undeclared flag '--%s' queried\n", name.c_str());
+    std::exit(2);
+  }
+
+  void set_value(const char* prog, Flag& flag, const std::string& value) {
+    switch (flag.kind) {
+      case Kind::integer:
+        flag.int_value = parse_int(prog, flag.name, value);
+        break;
+      case Kind::real:
+        flag.real_value = parse_double(prog, flag.name, value);
+        break;
+      case Kind::text:
+        flag.text_value = value;
+        break;
+      case Kind::real_list: {
+        flag.list_value.clear();
+        std::size_t pos = 0;
+        while (pos <= value.size()) {
+          const std::size_t comma = value.find(',', pos);
+          const std::string item =
+              value.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+          flag.list_value.push_back(parse_double(prog, flag.name, item));
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+        break;
+      }
+      case Kind::toggle:
+        break;  // handled in parse()
+    }
+    flag.set = true;
+  }
+
+  long long parse_int(const char* prog, const std::string& name, const std::string& v) {
+    char* end = nullptr;
+    const long long out = std::strtoll(v.c_str(), &end, 10);
+    if (v.empty() || end == nullptr || *end != '\0') {
+      fail(prog, "flag '--%s' expects an integer, got '%s'", name.c_str(), v.c_str());
+    }
+    return out;
+  }
+
+  double parse_double(const char* prog, const std::string& name, const std::string& v) {
+    char* end = nullptr;
+    const double out = std::strtod(v.c_str(), &end);
+    if (v.empty() || end == nullptr || *end != '\0') {
+      fail(prog, "flag '--%s' expects a number, got '%s'", name.c_str(), v.c_str());
+    }
+    return out;
+  }
+
+  bool parse_bool(const char* prog, const std::string& name, const std::string& v) {
+    if (v == "1" || v == "true") return true;
+    if (v == "0" || v == "false") return false;
+    fail(prog, "flag '--%s' expects 0/1/true/false, got '%s'", name.c_str(), v.c_str());
+    return false;
+  }
+
+  template <typename... Args>
+  [[noreturn]] void fail(const char* prog, const char* fmt, Args... args) {
+    std::fprintf(stderr, "error: ");
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n\n");
+    print_usage(prog, stderr);
+    std::exit(2);
+  }
+
+  void print_usage(const char* prog, std::FILE* out) const {
+    std::fprintf(out, "%s\n\nusage: %s [flags]\n", summary_.c_str(), prog);
+    for (const Flag& f : flags_) {
+      std::string lhs = "--" + f.name;
+      switch (f.kind) {
+        case Kind::integer:
+          lhs += " N";
+          break;
+        case Kind::real:
+          lhs += " X";
+          break;
+        case Kind::text:
+          lhs += " STR";
+          break;
+        case Kind::real_list:
+          lhs += " X,Y,...";
+          break;
+        case Kind::toggle:
+          break;
+      }
+      std::fprintf(out, "  %-22s %s\n", lhs.c_str(), f.help.c_str());
+    }
+  }
+
+  std::string summary_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace pasnet::examples

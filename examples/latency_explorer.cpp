@@ -2,28 +2,27 @@
 // parallelism to see how every 2PC operator responds (the design-space
 // exploration loop of paper Fig. 3, step 1).
 //
-//   build/examples/latency_explorer [elems] [bandwidth_gbps...]
+//   build/examples/latency_explorer [--elems N] [--bandwidths GBPS,GBPS,...]
 //
 // Prints the per-operator latency LUT rows plus a ReLU-vs-X2act speedup
 // column, then a backbone summary at each bandwidth.
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
+#include "example_flags.hpp"
 #include "perf/network_profile.hpp"
 
 namespace nn = pasnet::nn;
 namespace perf = pasnet::perf;
 
 int main(int argc, char** argv) {
-  long long elems = 32LL * 32 * 64;  // a CIFAR-scale feature map
-  std::vector<double> bandwidths{8.0, 4.0, 1.0, 0.1};  // Gbit/s
-  if (argc > 1) elems = std::atoll(argv[1]);
-  if (argc > 2) {
-    bandwidths.clear();
-    for (int i = 2; i < argc; ++i) bandwidths.push_back(std::atof(argv[i]));
-  }
+  pasnet::examples::FlagSet flags("latency_explorer — 2PC operator latency design-space sweep");
+  flags.define_int("elems", 32LL * 32 * 64, "feature-map elements (FI^2*IC)");
+  flags.define_double_list("bandwidths", {8.0, 4.0, 1.0, 0.1}, "network bandwidths in Gbit/s");
+  flags.parse(argc, argv);
+  const long long elems = flags.get_int("elems");
+  const std::vector<double>& bandwidths = flags.get_double_list("bandwidths");
 
   std::printf("== 2PC operator latency explorer (FI^2*IC = %lld elements) ==\n\n", elems);
   std::printf("%10s | %12s %12s %12s %12s | %8s\n", "bw (Gb/s)", "ReLU(ms)",

@@ -1,6 +1,6 @@
 // Hardware-aware polynomial architecture search (paper Algorithm 1).
 //
-//   build/examples/nas_search [lambda...]
+//   build/examples/nas_search [--lambdas L,L,...]
 //
 // Runs the differentiable search on a scaled ResNet-18 supernet over the
 // synthetic dataset for each latency-penalty λ, then reports the derived
@@ -8,12 +8,12 @@
 // ReLU count (the knobs behind Fig. 5/6 of the paper).
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "core/darts.hpp"
 #include "core/derive.hpp"
 #include "data/synthetic.hpp"
+#include "example_flags.hpp"
 
 namespace core = pasnet::core;
 namespace data = pasnet::data;
@@ -22,11 +22,10 @@ namespace pc = pasnet::crypto;
 namespace perf = pasnet::perf;
 
 int main(int argc, char** argv) {
-  std::vector<double> lambdas{0.0, 0.5, 5.0, 500.0};
-  if (argc > 1) {
-    lambdas.clear();
-    for (int i = 1; i < argc; ++i) lambdas.push_back(std::atof(argv[i]));
-  }
+  pasnet::examples::FlagSet flags("nas_search — hardware-aware polynomial architecture search");
+  flags.define_double_list("lambdas", {0.0, 0.5, 5.0, 500.0}, "latency-penalty sweep values");
+  flags.parse(argc, argv);
+  const std::vector<double>& lambdas = flags.get_double_list("lambdas");
 
   data::SyntheticSpec spec;
   spec.num_classes = 4;

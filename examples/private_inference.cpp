@@ -4,6 +4,7 @@
 // protocol stack.
 //
 //   build/examples/private_inference [--batch N] [--workers K] [--rtt-us U]
+//                                    [--preprocess] [--offline-file PATH]
 //
 // Reports measured protocol traffic next to the analytic ZCU104 latency
 // model, including the full-scale ImageNet projection of Table I.
@@ -13,16 +14,21 @@
 // (--workers, default 4), modeling U microseconds of wire latency per
 // protocol round (--rtt-us, default 50 = the paper's 1 GB/s LAN), and
 // prints the throughput next to the sequential baseline.
+//
+// With --preprocess the batch is served generate-then-online: the offline
+// phase pregenerates every triple into a TripleStore (optionally saved
+// to/loaded from --offline-file), and the online phase never touches the
+// dealer — the deployment split of paper §II-B.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <fstream>
 
 #include "baselines/reference_systems.hpp"
 #include "core/derive.hpp"
 #include "data/synthetic.hpp"
+#include "example_flags.hpp"
 #include "perf/network_profile.hpp"
 #include "proto/secure_network.hpp"
 
@@ -30,25 +36,31 @@ namespace bl = pasnet::baselines;
 namespace core = pasnet::core;
 namespace data = pasnet::data;
 namespace nn = pasnet::nn;
+namespace off = pasnet::offline;
 namespace pc = pasnet::crypto;
 namespace perf = pasnet::perf;
 namespace proto = pasnet::proto;
 
-namespace {
-
-int arg_int(int argc, char** argv, const char* flag, int fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
-  }
-  return fallback;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const int batch = std::max(0, arg_int(argc, argv, "--batch", 0));
-  const int workers = std::max(1, arg_int(argc, argv, "--workers", 4));
-  const int rtt_us = std::max(0, arg_int(argc, argv, "--rtt-us", 50));
+  pasnet::examples::FlagSet flags(
+      "private_inference — end-to-end 2PC inference in the paper's MLaaS deployment");
+  flags.define_int("batch", 0, "serve N queued queries through infer_batch");
+  flags.define_int("workers", 4, "concurrent party-pair workers for --batch");
+  flags.define_int("rtt-us", 50, "simulated wire latency per protocol round (us)");
+  flags.define_switch("preprocess", "pregenerate triples offline; serve online from the store");
+  flags.define_string("offline-file", "",
+                      "triple-store path: load if present, else generate and save");
+  flags.parse(argc, argv);
+  const int batch = std::max(0LL, flags.get_int("batch"));
+  const int workers = std::max(1LL, flags.get_int("workers"));
+  const int rtt_us = std::max(0LL, flags.get_int("rtt-us"));
+  const std::string offline_file = flags.get_string("offline-file");
+  // A triple-store file only makes sense in preprocess mode; imply it.
+  const bool preprocess = flags.get_switch("preprocess") || !offline_file.empty();
+  if (preprocess && batch <= 0) {
+    std::fprintf(stderr, "error: --preprocess/--offline-file require --batch N\n");
+    return 2;
+  }
   std::printf("== PASNet-A style private inference (ResNet-18 backbone, all-poly) ==\n\n");
 
   // Functional run: a scaled ResNet-18 so the whole 2PC protocol executes
@@ -125,6 +137,65 @@ int main(int argc, char** argv) {
     const double seq_qps = run(1);
     const double par_qps = run(used_workers);
     std::printf("  speedup with %d workers: %.2fx\n\n", used_workers, par_qps / seq_qps);
+
+    if (preprocess) {
+      // Generate-then-serve: the offline phase runs once (or is loaded from
+      // disk), then the online phase serves the same batch without ever
+      // calling the dealer.
+      off::TripleStore store;
+      bool have_store = false;
+      bool loaded = false;
+      if (!offline_file.empty() && std::ifstream(offline_file, std::ios::binary)) {
+        try {
+          store = off::TripleStore::load(offline_file);
+          loaded = true;
+        } catch (const std::runtime_error& e) {
+          std::printf("offline phase: cannot load %s (%s); regenerating\n",
+                      offline_file.c_str(), e.what());
+        }
+      }
+      if (loaded) {
+        if (store.plan_fingerprint() != batch_snet.plan().fingerprint()) {
+          std::printf("offline phase: %s was generated for a different model; regenerating\n",
+                      offline_file.c_str());
+        } else if (store.num_queries() < static_cast<std::size_t>(batch)) {
+          std::printf("offline phase: %s holds only %zu bundles (< %d queries); regenerating\n",
+                      offline_file.c_str(), store.num_queries(), batch);
+        } else {
+          have_store = true;
+          std::printf("offline phase: loaded %zu query bundles from %s (%.1f MB)\n",
+                      store.num_queries(), offline_file.c_str(),
+                      store.material_bytes() / (1024.0 * 1024.0));
+        }
+      }
+      if (!have_store) {
+        off::GenerationReport rep;
+        store = batch_snet.preprocess(static_cast<std::size_t>(batch),
+                                      std::max(1, used_workers), &rep);
+        std::printf(
+            "offline phase: %zu queries on %d threads in %.0f ms "
+            "(%.1f M triple-elems/s, %.1f MB of material)\n",
+            rep.queries, rep.threads, rep.seconds * 1e3, rep.elems_per_sec() / 1e6,
+            rep.store_bytes / (1024.0 * 1024.0));
+        if (!offline_file.empty()) {
+          store.save(offline_file);
+          std::printf("offline phase: saved store to %s\n", offline_file.c_str());
+        }
+      }
+
+      batch_snet.use_store(&store, off::ExhaustionPolicy::Throw);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto online = batch_snet.infer_batch(queries, used_workers);
+      const auto t1 = std::chrono::steady_clock::now();
+      batch_snet.use_store(nullptr);
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      const auto& qs = batch_snet.per_query_stats()[0];
+      std::printf("online phase (%d workers, dealer never touched):\n", used_workers);
+      std::printf("  %6.1f queries/sec (%.0f ms total)\n", batch / secs, secs * 1e3);
+      std::printf("  per query: %.1f KB on the wire, of which %.1f KB is query-dependent\n",
+                  qs.comm_bytes / 1024.0, qs.online_bytes() / 1024.0);
+      std::printf("  sample prediction: class %d\n\n", nn::argmax_rows(online[0])[0]);
+    }
   }
 
   // Full-scale projection: the same recipe at ImageNet shapes on the

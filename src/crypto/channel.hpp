@@ -50,26 +50,7 @@ struct TrafficStats {
 /// Queueing discipline of a channel pair (see file comment).
 enum class ChannelMode { lockstep, threaded };
 
-/// Default bounded-queue depth and watchdog timeout for a channel pair.
-inline constexpr std::size_t kDefaultChannelCapacity = 1024;
-inline constexpr std::chrono::milliseconds kDefaultChannelTimeout{30000};
-
-/// Construction knobs for a channel pair.
-struct ChannelOptions {
-  ChannelMode mode = ChannelMode::lockstep;
-  std::size_t capacity = kDefaultChannelCapacity;
-  std::chrono::milliseconds timeout = kDefaultChannelTimeout;
-  /// Simulated wire latency, charged once per direction flip — the same
-  /// unit the `rounds` statistic counts (and perf::NetworkConfig's
-  /// base_latency_s models).  Note a symmetric exchange executed in
-  /// lockstep is two serialized flips, so it pays a full RTT where a real
-  /// network (or the threaded mode) overlaps the directions; per-message
-  /// in-flight deadlines would tighten this (see ROADMAP).  Zero means no
-  /// simulated delay.  Delays sleep off the channel lock, so concurrent
-  /// worker pairs overlap their waits — the effect batched inference
-  /// exists to exploit.
-  std::chrono::microseconds round_delay{0};
-};
+struct ChannelOptions;
 
 /// Thrown when a blocking send/recv outlives the watchdog timeout — in the
 /// in-process simulation that means the protocol deadlocked or the peer died.
@@ -88,8 +69,10 @@ class ChannelClosed : public std::runtime_error {
 /// One endpoint of a duplex channel pair.
 class Channel {
  public:
-  static constexpr std::size_t kDefaultCapacity = kDefaultChannelCapacity;
-  static constexpr std::chrono::milliseconds kDefaultTimeout = kDefaultChannelTimeout;
+  /// Default bounded-queue depth and watchdog timeout for a channel pair —
+  /// the single canonical pair (ChannelOptions defaults to them too).
+  static constexpr std::size_t kDefaultCapacity = 1024;
+  static constexpr std::chrono::milliseconds kDefaultTimeout{30000};
 
   /// Sends a raw byte message to the peer.  Threaded mode blocks while the
   /// peer's inbox is full; lockstep mode never blocks.
@@ -138,6 +121,23 @@ class Channel {
   int party_ = 0;
   std::shared_ptr<Shared> shared_;
   std::shared_ptr<TrafficStats> stats_;
+};
+
+/// Construction knobs for a channel pair.
+struct ChannelOptions {
+  ChannelMode mode = ChannelMode::lockstep;
+  std::size_t capacity = Channel::kDefaultCapacity;
+  std::chrono::milliseconds timeout = Channel::kDefaultTimeout;
+  /// Simulated wire latency, charged once per direction flip — the same
+  /// unit the `rounds` statistic counts (and perf::NetworkConfig's
+  /// base_latency_s models).  Note a symmetric exchange executed in
+  /// lockstep is two serialized flips, so it pays a full RTT where a real
+  /// network (or the threaded mode) overlaps the directions; per-message
+  /// in-flight deadlines would tighten this (see ROADMAP).  Zero means no
+  /// simulated delay.  Delays sleep off the channel lock, so concurrent
+  /// worker pairs overlap their waits — the effect batched inference
+  /// exists to exploit.
+  std::chrono::microseconds round_delay{0};
 };
 
 }  // namespace pasnet::crypto

@@ -60,7 +60,7 @@ BitShared not_bits(const BitShared& x) {
 BitShared and_bits(TwoPartyContext& ctx, const BitShared& x, const BitShared& y) {
   if (x.size() != y.size()) throw std::invalid_argument("and_bits: size mismatch");
   const std::size_t n = x.size();
-  const BitTriple t = ctx.dealer().bit_triple(n);
+  const BitTriple t = ctx.triples().bit_triple(n);
 
   // d = x ^ a, e = y ^ b; both parties open (one parallel round).
   std::vector<std::uint8_t> d0(n), e0(n), d1(n), e1(n);

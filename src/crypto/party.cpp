@@ -44,7 +44,17 @@ struct TwoPartyRuntime::Worker {
   }
 
   void post(const std::function<void()>& f) {
+    // Re-entry guard: the single-slot mailbox assumes exec/exchange is never
+    // entered from a party thread (a nested call would silently drop a
+    // protocol round).  Fail loudly instead.
+    if (std::this_thread::get_id() == thread.get_id()) {
+      throw std::logic_error(
+          "TwoPartyRuntime: nested exec/exchange from a party thread (re-entrant post)");
+    }
     std::lock_guard<std::mutex> lk(m);
+    if (task != nullptr) {
+      throw std::logic_error("TwoPartyRuntime: post while the worker is still busy");
+    }
     task = &f;
     done = false;
     error = nullptr;
@@ -78,7 +88,16 @@ TwoPartyRuntime::~TwoPartyRuntime() {
 
 void TwoPartyRuntime::run(const std::function<void()>& f0, const std::function<void()>& f1) {
   workers_[0]->post(f0);
-  workers_[1]->post(f1);
+  try {
+    workers_[1]->post(f1);
+  } catch (...) {
+    // The re-entry guard refused the second post (e.g. a nested exec from
+    // party thread 1: worker 0 was idle again and accepted f0).  Drain the
+    // already-posted task before unwinding — f0 and the caller's closure
+    // state must outlive worker 0's use of them.
+    (void)workers_[0]->wait();
+    throw;
+  }
   const std::exception_ptr e0 = workers_[0]->wait();
   const std::exception_ptr e1 = workers_[1]->wait();
   if (e0) std::rethrow_exception(e0);
@@ -92,7 +111,7 @@ void TwoPartyRuntime::run(const std::function<void()>& f0, const std::function<v
 TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, ExecMode mode,
                                  std::chrono::microseconds round_delay)
     : rc_(rc), mode_(mode), round_delay_(round_delay), dealer_(rc, splitmix64(seed)),
-      prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)) {
+      dealer_source_(dealer_, rc), prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)) {
   ChannelOptions options;
   options.mode = mode == ExecMode::threaded ? ChannelMode::threaded : ChannelMode::lockstep;
   options.round_delay = round_delay;
@@ -179,7 +198,7 @@ RingVec open(TwoPartyContext& ctx, const Shared& x) {
 Shared mul_elem(TwoPartyContext& ctx, const Shared& x, const Shared& y) {
   if (x.size() != y.size()) throw std::invalid_argument("mul_elem: size mismatch");
   const RingConfig& rc = ctx.ring();
-  const ElemTriple t = ctx.dealer().elem_triple(x.size());
+  const ElemTriple t = ctx.triples().elem_triple(x.size());
 
   // E = X - A, F = Y - B; opened jointly.
   const Shared e_sh = sub(x, t.a, rc);
@@ -198,7 +217,7 @@ Shared mul_elem(TwoPartyContext& ctx, const Shared& x, const Shared& y) {
 
 Shared square_elem(TwoPartyContext& ctx, const Shared& x) {
   const RingConfig& rc = ctx.ring();
-  const SquarePair p = ctx.dealer().square_pair(x.size());
+  const SquarePair p = ctx.triples().square_pair(x.size());
 
   const Shared e_sh = sub(x, p.a, rc);
   const RingVec e = open(ctx, e_sh);
@@ -219,7 +238,7 @@ Shared matmul(TwoPartyContext& ctx, const Shared& x, const Shared& y, std::size_
     throw std::invalid_argument("matmul: shape mismatch");
   }
   const RingConfig& rc = ctx.ring();
-  const MatmulTriple t = ctx.dealer().matmul_triple(m, k, n);
+  const MatmulTriple t = ctx.triples().matmul_triple(m, k, n);
 
   const Shared e_sh = sub(x, t.a, rc);
   const Shared f_sh = sub(y, t.b, rc);

@@ -30,6 +30,7 @@
 #include "crypto/prng.hpp"
 #include "crypto/ring.hpp"
 #include "crypto/secret_share.hpp"
+#include "crypto/triple_source.hpp"
 
 namespace pasnet::crypto {
 
@@ -72,6 +73,17 @@ class TwoPartyContext {
 
   [[nodiscard]] const RingConfig& ring() const noexcept { return rc_; }
   [[nodiscard]] TripleDealer& dealer() noexcept { return dealer_; }
+
+  /// Where the online protocols pull correlated randomness from.  Defaults
+  /// to the context's own dealer (fused baseline); a preprocessing layer
+  /// installs a store-backed source instead.
+  [[nodiscard]] TripleSource& triples() noexcept { return *triple_source_; }
+  /// Installs an external triple source (non-owning; must outlive its use).
+  /// Pass nullptr to revert to the dealer-backed default.  Not thread-safe
+  /// against in-flight protocol steps — set it between queries.
+  void set_triple_source(TripleSource* source) noexcept {
+    triple_source_ = source != nullptr ? source : &dealer_source_;
+  }
   [[nodiscard]] Channel& chan(int party) { return party == 0 ? *chan0_ : *chan1_; }
   [[nodiscard]] Prng& prng(int party) noexcept { return party == 0 ? prng0_ : prng1_; }
   [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
@@ -105,6 +117,8 @@ class TwoPartyContext {
   std::unique_ptr<Channel> chan0_;
   std::unique_ptr<Channel> chan1_;
   TripleDealer dealer_;
+  DealerTripleSource dealer_source_;
+  TripleSource* triple_source_ = &dealer_source_;
   Prng prng0_;
   Prng prng1_;
   std::unique_ptr<TwoPartyRuntime> runtime_;  // threaded mode only

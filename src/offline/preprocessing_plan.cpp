@@ -1,0 +1,148 @@
+#include "offline/preprocessing_plan.hpp"
+
+#include <algorithm>
+
+namespace pasnet::offline {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t PreprocessingPlan::fingerprint() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(ring.bits));
+  fnv_mix(h, static_cast<std::uint64_t>(ring.frac_bits));
+  fnv_mix(h, static_cast<std::uint64_t>(ring.wire_bits));
+  for (const TripleRequest& r : requests) {
+    fnv_mix(h, static_cast<std::uint64_t>(r.kind));
+    fnv_mix(h, r.n);
+    fnv_mix(h, r.m);
+    fnv_mix(h, r.k);
+    fnv_mix(h, r.cols);
+    if (r.kind == TripleKind::bilinear) {
+      const crypto::BilinearSpec& s = r.bilinear;
+      fnv_mix(h, static_cast<std::uint64_t>(s.kind));
+      fnv_mix(h, static_cast<std::uint64_t>(s.batch));
+      fnv_mix(h, static_cast<std::uint64_t>(s.in_ch));
+      fnv_mix(h, static_cast<std::uint64_t>(s.in_h));
+      fnv_mix(h, static_cast<std::uint64_t>(s.in_w));
+      fnv_mix(h, static_cast<std::uint64_t>(s.out_ch));
+      fnv_mix(h, static_cast<std::uint64_t>(s.kernel));
+      fnv_mix(h, static_cast<std::uint64_t>(s.stride));
+      fnv_mix(h, static_cast<std::uint64_t>(s.pad));
+    }
+  }
+  return h;
+}
+
+std::uint64_t PreprocessingPlan::material_elems_per_query() const noexcept {
+  std::uint64_t total = 0;
+  for (const TripleRequest& r : requests) total += r.material_elems();
+  return total;
+}
+
+std::uint64_t PreprocessingPlan::bit_triples_per_query() const noexcept {
+  std::uint64_t total = 0;
+  for (const TripleRequest& r : requests) {
+    if (r.kind == TripleKind::bit) total += r.n;
+  }
+  return total;
+}
+
+std::uint64_t PreprocessingPlan::material_bytes_per_query() const noexcept {
+  // Each material ring element is stored as two u64 shares; each bit triple
+  // as six share bytes (see TripleStore serialization).
+  return material_elems_per_query() * 16 + bit_triples_per_query() * 6;
+}
+
+std::vector<LayerTripleSummary> PreprocessingPlan::layer_summaries() const {
+  std::vector<LayerTripleSummary> out;
+  for (const TripleRequest& r : requests) {
+    auto it = std::find_if(out.begin(), out.end(),
+                           [&](const LayerTripleSummary& s) { return s.layer == r.layer; });
+    if (it == out.end()) {
+      out.push_back(LayerTripleSummary{});
+      it = out.end() - 1;
+      it->layer = r.layer;
+    }
+    switch (r.kind) {
+      case TripleKind::elem:
+        it->elem_triples += r.n;
+        break;
+      case TripleKind::square:
+        it->square_pairs += r.n;
+        break;
+      case TripleKind::matmul:
+        it->matmul_triple_elems += r.m * r.k + r.k * r.cols + r.m * r.cols;
+        break;
+      case TripleKind::bilinear:
+        it->bilinear_triple_elems += r.bilinear.na() + r.bilinear.nb() + r.bilinear.nz();
+        break;
+      case TripleKind::bit:
+        it->bit_triples += r.n;
+        break;
+    }
+  }
+  return out;
+}
+
+crypto::ElemTriple RecordingTripleSource::do_elem_triple(std::size_t n) {
+  TripleRequest r;
+  r.kind = TripleKind::elem;
+  r.layer = layer_;
+  r.n = n;
+  plan_.requests.push_back(r);
+  return dealer_.elem_triple(n);
+}
+
+crypto::SquarePair RecordingTripleSource::do_square_pair(std::size_t n) {
+  TripleRequest r;
+  r.kind = TripleKind::square;
+  r.layer = layer_;
+  r.n = n;
+  plan_.requests.push_back(r);
+  return dealer_.square_pair(n);
+}
+
+crypto::MatmulTriple RecordingTripleSource::do_matmul_triple(std::size_t m, std::size_t k,
+                                                             std::size_t n) {
+  TripleRequest r;
+  r.kind = TripleKind::matmul;
+  r.layer = layer_;
+  r.m = m;
+  r.k = k;
+  r.cols = n;
+  plan_.requests.push_back(r);
+  return dealer_.matmul_triple(m, k, n);
+}
+
+crypto::BitTriple RecordingTripleSource::do_bit_triple(std::size_t n) {
+  TripleRequest r;
+  r.kind = TripleKind::bit;
+  r.layer = layer_;
+  r.n = n;
+  plan_.requests.push_back(r);
+  return dealer_.bit_triple(n);
+}
+
+crypto::BilinearTriple RecordingTripleSource::do_bilinear_triple(
+    const crypto::BilinearSpec& spec) {
+  TripleRequest r;
+  r.kind = TripleKind::bilinear;
+  r.layer = layer_;
+  r.bilinear = spec;
+  plan_.requests.push_back(r);
+  return dealer_.bilinear_triple(spec);
+}
+
+}  // namespace pasnet::offline

@@ -1,0 +1,113 @@
+#pragma once
+// Per-model preprocessing plans (paper §II-B offline phase).
+//
+// A PreprocessingPlan is the exact, ordered list of correlated-randomness
+// requests that ONE query of a compiled SecureNetwork consumes — kind,
+// shape, and the layer that consumes it.  It is produced by a dry-run
+// counting pass (SecureNetwork::compile_plan runs one real query through a
+// RecordingTripleSource), and is everything the OfflineGenerator needs to
+// pregenerate material: replaying the requests in order against a dealer
+// with a query's canonical seed reproduces, draw for draw, the exact
+// triples the fused online path would have generated — which is what makes
+// store-backed inference bit-identical to the dealer path.
+//
+// The fingerprint hashes the request stream (and the ring), so a serialized
+// TripleStore can be checked against the model it is loaded for.
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/triple_source.hpp"
+
+namespace pasnet::offline {
+
+/// Which pool a request draws from.
+enum class TripleKind : std::uint8_t { elem, square, matmul, bit, bilinear };
+
+/// One correlated-randomness request, in consumption order.
+struct TripleRequest {
+  TripleKind kind = TripleKind::elem;
+  int layer = -1;      ///< descriptor index of the consuming layer (-1 = outside layers)
+  std::uint64_t n = 0; ///< element count (elem/square/bit)
+  std::uint64_t m = 0, k = 0, cols = 0;  ///< matmul dims (m, k, n)
+  crypto::BilinearSpec bilinear{};       ///< bilinear geometry
+
+  /// Ring elements of material this request produces (0 for bit triples,
+  /// which are counted separately — they are bits, not ring elements).
+  [[nodiscard]] std::uint64_t material_elems() const noexcept {
+    switch (kind) {
+      case TripleKind::elem:
+        return 3 * n;
+      case TripleKind::square:
+        return 2 * n;
+      case TripleKind::matmul:
+        return m * k + k * cols + m * cols;
+      case TripleKind::bilinear:
+        return bilinear.na() + bilinear.nb() + bilinear.nz();
+      case TripleKind::bit:
+        return 0;
+    }
+    return 0;
+  }
+};
+
+/// Per-layer consumption summary (for reporting and byte-split accounting).
+struct LayerTripleSummary {
+  int layer = -1;
+  std::uint64_t elem_triples = 0;
+  std::uint64_t square_pairs = 0;
+  std::uint64_t matmul_triple_elems = 0;
+  std::uint64_t bilinear_triple_elems = 0;
+  std::uint64_t bit_triples = 0;
+};
+
+/// The compiled offline requirements of one query of one model.
+struct PreprocessingPlan {
+  crypto::RingConfig ring{};
+  std::vector<TripleRequest> requests;
+
+  /// FNV-1a over the ring and the shape of every request (layer tags are
+  /// annotations and excluded): two plans with equal fingerprints demand
+  /// byte-identical material streams.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+  /// Ring elements of material one query consumes (a, b and z sides).
+  [[nodiscard]] std::uint64_t material_elems_per_query() const noexcept;
+  /// Boolean AND triples one query consumes.
+  [[nodiscard]] std::uint64_t bit_triples_per_query() const noexcept;
+  /// Serialized bytes of one query's material (8 bytes per ring-element
+  /// share pair side, 6 bytes per bit triple) — sizing for capacity planning.
+  [[nodiscard]] std::uint64_t material_bytes_per_query() const noexcept;
+
+  /// Requests grouped by consuming layer, in first-appearance order.
+  [[nodiscard]] std::vector<LayerTripleSummary> layer_summaries() const;
+};
+
+/// A TripleSource decorator used by the dry-run counting pass: generation is
+/// delegated to a real dealer (so the pass is an ordinary query), and every
+/// request is appended to the plan under the layer the executor tagged via
+/// begin_layer().
+class RecordingTripleSource final : public crypto::TripleSource {
+ public:
+  RecordingTripleSource(crypto::TripleDealer& dealer, const crypto::RingConfig& rc)
+      : dealer_(dealer, rc) {
+    plan_.ring = rc;
+  }
+
+  void begin_layer(int layer) noexcept { layer_ = layer; }
+  [[nodiscard]] PreprocessingPlan take_plan() { return std::move(plan_); }
+
+ protected:
+  crypto::ElemTriple do_elem_triple(std::size_t n) override;
+  crypto::SquarePair do_square_pair(std::size_t n) override;
+  crypto::MatmulTriple do_matmul_triple(std::size_t m, std::size_t k, std::size_t n) override;
+  crypto::BitTriple do_bit_triple(std::size_t n) override;
+  crypto::BilinearTriple do_bilinear_triple(const crypto::BilinearSpec& spec) override;
+
+ private:
+  crypto::DealerTripleSource dealer_;
+  PreprocessingPlan plan_;
+  int layer_ = -1;
+};
+
+}  // namespace pasnet::offline

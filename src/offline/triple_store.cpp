@@ -1,0 +1,355 @@
+#include "offline/triple_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+namespace pasnet::offline {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5041534E54525031ULL;  // "PASNTRP1"
+constexpr std::uint32_t kVersion = 1;
+
+// --- little-endian primitives ---------------------------------------------
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  os.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  if (!is) throw std::runtime_error("TripleStore: truncated input");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+// Chunked, contiguous-buffer transfers: one stream call per ~1 MB instead
+// of one per 8-byte element (a serving process loads multi-MB stores at
+// startup), and grow-while-reading so a corrupt length field fails on the
+// truncated stream after at most one modest allocation — never as a giant
+// up-front reserve (bad_alloc/OOM would escape the runtime_error contract).
+constexpr std::size_t kChunkElems = 1 << 17;  // 1 MiB of u64s
+
+void write_ring_vec(std::ostream& os, const crypto::RingVec& v) {
+  write_u64(os, v.size());
+  unsigned char buf[8 * 1024];
+  std::size_t pos = 0;
+  for (const std::uint64_t e : v) {
+    for (int i = 0; i < 8; ++i) buf[pos + i] = static_cast<unsigned char>((e >> (8 * i)) & 0xFF);
+    pos += 8;
+    if (pos == sizeof(buf)) {
+      os.write(reinterpret_cast<const char*>(buf), static_cast<long>(pos));
+      pos = 0;
+    }
+  }
+  if (pos > 0) os.write(reinterpret_cast<const char*>(buf), static_cast<long>(pos));
+}
+
+crypto::RingVec read_ring_vec(std::istream& is, std::uint64_t max_elems) {
+  const std::uint64_t n = read_u64(is);
+  if (n > max_elems) throw std::runtime_error("TripleStore: implausible vector length");
+  crypto::RingVec v;
+  v.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, kChunkElems)));
+  std::vector<unsigned char> buf;
+  std::uint64_t remaining = n;
+  while (remaining > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kChunkElems));
+    buf.resize(chunk * 8);
+    is.read(reinterpret_cast<char*>(buf.data()), static_cast<long>(chunk * 8));
+    if (!is) throw std::runtime_error("TripleStore: truncated input");
+    for (std::size_t e = 0; e < chunk; ++e) {
+      std::uint64_t val = 0;
+      for (int i = 0; i < 8; ++i) val |= static_cast<std::uint64_t>(buf[e * 8 + i]) << (8 * i);
+      v.push_back(val);
+    }
+    remaining -= chunk;
+  }
+  return v;
+}
+
+void write_shared(std::ostream& os, const crypto::Shared& s) {
+  write_ring_vec(os, s.s0);
+  write_ring_vec(os, s.s1);
+}
+
+crypto::Shared read_shared(std::istream& is, std::uint64_t max_elems) {
+  crypto::Shared s;
+  s.s0 = read_ring_vec(is, max_elems);
+  s.s1 = read_ring_vec(is, max_elems);
+  if (s.s0.size() != s.s1.size()) {
+    throw std::runtime_error("TripleStore: share halves disagree in length");
+  }
+  return s;
+}
+
+void write_bytes(std::ostream& os, const std::vector<std::uint8_t>& v) {
+  write_u64(os, v.size());
+  if (!v.empty()) os.write(reinterpret_cast<const char*>(v.data()), static_cast<long>(v.size()));
+}
+
+std::vector<std::uint8_t> read_bytes(std::istream& is, std::uint64_t max_len) {
+  const std::uint64_t n = read_u64(is);
+  if (n > max_len) throw std::runtime_error("TripleStore: implausible byte-vector length");
+  std::vector<std::uint8_t> v;
+  v.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, kChunkElems)));
+  std::uint64_t remaining = n;
+  while (remaining > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kChunkElems));
+    const std::size_t old = v.size();
+    v.resize(old + chunk);
+    is.read(reinterpret_cast<char*>(v.data() + old), static_cast<long>(chunk));
+    if (!is) throw std::runtime_error("TripleStore: truncated input");
+    remaining -= chunk;
+  }
+  return v;
+}
+
+// Cap on any single vector length accepted at load time: a corrupted length
+// field must not turn into a multi-terabyte allocation.
+constexpr std::uint64_t kMaxVecElems = 1ULL << 32;
+
+std::uint64_t shared_bytes(const crypto::Shared& s) noexcept {
+  return 16 + 16 * static_cast<std::uint64_t>(s.size());
+}
+
+}  // namespace
+
+std::size_t TripleStore::remaining_queries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_ >= bundles_.size() ? 0 : bundles_.size() - next_;
+}
+
+std::pair<std::size_t, QueryBundle*> TripleStore::claim_next() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t idx = next_++;
+  return {idx, idx < bundles_.size() ? &bundles_[idx] : nullptr};
+}
+
+std::uint64_t TripleStore::material_bytes() const noexcept {
+  std::uint64_t total = 7 * 8;  // header: magic, version, ring (3), fingerprint, count
+  for (const QueryBundle& b : bundles_) {
+    total += 5 * 8;
+    for (const auto& t : b.elem) total += shared_bytes(t.a) + shared_bytes(t.b) + shared_bytes(t.z);
+    for (const auto& p : b.square) total += shared_bytes(p.a) + shared_bytes(p.z);
+    for (const auto& t : b.matmul) {
+      total += 24 + shared_bytes(t.a) + shared_bytes(t.b) + shared_bytes(t.z);
+    }
+    for (const auto& t : b.bit) total += 6 * (8 + static_cast<std::uint64_t>(t.a0.size()));
+    for (const auto& t : b.bilinear) {
+      total += shared_bytes(t.a) + shared_bytes(t.b) + shared_bytes(t.z);
+    }
+  }
+  return total;
+}
+
+void TripleStore::save(std::ostream& os) const {
+  write_u64(os, kMagic);
+  write_u64(os, kVersion);
+  write_u64(os, static_cast<std::uint64_t>(rc_.bits));
+  write_u64(os, static_cast<std::uint64_t>(rc_.frac_bits));
+  write_u64(os, static_cast<std::uint64_t>(rc_.wire_bits));
+  write_u64(os, fingerprint_);
+  write_u64(os, bundles_.size());
+  for (const QueryBundle& b : bundles_) {
+    write_u64(os, b.elem.size());
+    write_u64(os, b.square.size());
+    write_u64(os, b.matmul.size());
+    write_u64(os, b.bit.size());
+    write_u64(os, b.bilinear.size());
+    for (const auto& t : b.elem) {
+      write_shared(os, t.a);
+      write_shared(os, t.b);
+      write_shared(os, t.z);
+    }
+    for (const auto& p : b.square) {
+      write_shared(os, p.a);
+      write_shared(os, p.z);
+    }
+    for (const auto& t : b.matmul) {
+      write_u64(os, t.m);
+      write_u64(os, t.k);
+      write_u64(os, t.n);
+      write_shared(os, t.a);
+      write_shared(os, t.b);
+      write_shared(os, t.z);
+    }
+    for (const auto& t : b.bit) {
+      write_bytes(os, t.a0);
+      write_bytes(os, t.a1);
+      write_bytes(os, t.b0);
+      write_bytes(os, t.b1);
+      write_bytes(os, t.c0);
+      write_bytes(os, t.c1);
+    }
+    for (const auto& t : b.bilinear) {
+      write_shared(os, t.a);
+      write_shared(os, t.b);
+      write_shared(os, t.z);
+    }
+  }
+  if (!os) throw std::runtime_error("TripleStore: write failed");
+}
+
+void TripleStore::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("TripleStore: cannot open for writing: " + path);
+  save(static_cast<std::ostream&>(os));
+}
+
+TripleStore TripleStore::load(std::istream& is) {
+  if (read_u64(is) != kMagic) throw std::runtime_error("TripleStore: bad magic");
+  if (read_u64(is) != kVersion) throw std::runtime_error("TripleStore: unsupported version");
+  crypto::RingConfig rc;
+  rc.bits = static_cast<int>(read_u64(is));
+  rc.frac_bits = static_cast<int>(read_u64(is));
+  rc.wire_bits = static_cast<int>(read_u64(is));
+  if (rc.bits < 8 || rc.bits > 64 || rc.frac_bits < 0 || rc.frac_bits >= rc.bits ||
+      rc.wire_bits < 1 || rc.wire_bits > 64) {
+    throw std::runtime_error("TripleStore: implausible ring configuration");
+  }
+  const std::uint64_t fingerprint = read_u64(is);
+  const std::uint64_t queries = read_u64(is);
+  if (queries > (1ULL << 24)) throw std::runtime_error("TripleStore: implausible query count");
+
+  TripleStore store(rc, fingerprint, static_cast<std::size_t>(queries));
+  for (std::uint64_t q = 0; q < queries; ++q) {
+    QueryBundle& b = store.bundles_[static_cast<std::size_t>(q)];
+    const std::uint64_t n_elem = read_u64(is);
+    const std::uint64_t n_square = read_u64(is);
+    const std::uint64_t n_matmul = read_u64(is);
+    const std::uint64_t n_bit = read_u64(is);
+    const std::uint64_t n_bilinear = read_u64(is);
+    if (n_elem > kMaxVecElems || n_square > kMaxVecElems || n_matmul > kMaxVecElems ||
+        n_bit > kMaxVecElems || n_bilinear > kMaxVecElems) {
+      throw std::runtime_error("TripleStore: implausible pool size");
+    }
+    b.elem.resize(static_cast<std::size_t>(n_elem));
+    for (auto& t : b.elem) {
+      t.a = read_shared(is, kMaxVecElems);
+      t.b = read_shared(is, kMaxVecElems);
+      t.z = read_shared(is, kMaxVecElems);
+    }
+    b.square.resize(static_cast<std::size_t>(n_square));
+    for (auto& p : b.square) {
+      p.a = read_shared(is, kMaxVecElems);
+      p.z = read_shared(is, kMaxVecElems);
+    }
+    b.matmul.resize(static_cast<std::size_t>(n_matmul));
+    for (auto& t : b.matmul) {
+      t.m = static_cast<std::size_t>(read_u64(is));
+      t.k = static_cast<std::size_t>(read_u64(is));
+      t.n = static_cast<std::size_t>(read_u64(is));
+      t.a = read_shared(is, kMaxVecElems);
+      t.b = read_shared(is, kMaxVecElems);
+      t.z = read_shared(is, kMaxVecElems);
+      if (t.a.size() != t.m * t.k || t.b.size() != t.k * t.n || t.z.size() != t.m * t.n) {
+        throw std::runtime_error("TripleStore: matmul triple shape mismatch");
+      }
+    }
+    b.bit.resize(static_cast<std::size_t>(n_bit));
+    for (auto& t : b.bit) {
+      t.a0 = read_bytes(is, kMaxVecElems);
+      t.a1 = read_bytes(is, kMaxVecElems);
+      t.b0 = read_bytes(is, kMaxVecElems);
+      t.b1 = read_bytes(is, kMaxVecElems);
+      t.c0 = read_bytes(is, kMaxVecElems);
+      t.c1 = read_bytes(is, kMaxVecElems);
+      const std::size_t n = t.a0.size();
+      if (t.a1.size() != n || t.b0.size() != n || t.b1.size() != n || t.c0.size() != n ||
+          t.c1.size() != n) {
+        throw std::runtime_error("TripleStore: bit triple shape mismatch");
+      }
+    }
+    b.bilinear.resize(static_cast<std::size_t>(n_bilinear));
+    for (auto& t : b.bilinear) {
+      t.a = read_shared(is, kMaxVecElems);
+      t.b = read_shared(is, kMaxVecElems);
+      t.z = read_shared(is, kMaxVecElems);
+    }
+  }
+  return store;
+}
+
+TripleStore TripleStore::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("TripleStore: cannot open for reading: " + path);
+  return load(static_cast<std::istream&>(is));
+}
+
+// ---------------------------------------------------------------------------
+// StoreTripleSource
+// ---------------------------------------------------------------------------
+
+void StoreTripleSource::throw_exhausted(const char* pool) const {
+  throw TripleStoreExhausted(std::string("TripleStore exhausted (") + pool +
+                             " pool): pregenerate more queries or serve with "
+                             "ExhaustionPolicy::Refill");
+}
+
+crypto::ElemTriple StoreTripleSource::do_elem_triple(std::size_t n) {
+  if (bundle_ == nullptr || elem_next_ >= bundle_->elem.size()) {
+    if (policy_ == ExhaustionPolicy::Throw) throw_exhausted("elem");
+    return fallback_.elem_triple(n);
+  }
+  crypto::ElemTriple t = std::move(bundle_->elem[elem_next_++]);
+  if (t.a.size() != n) {
+    throw std::logic_error("TripleStore: elem triple size mismatch (store/plan drift)");
+  }
+  return t;
+}
+
+crypto::SquarePair StoreTripleSource::do_square_pair(std::size_t n) {
+  if (bundle_ == nullptr || square_next_ >= bundle_->square.size()) {
+    if (policy_ == ExhaustionPolicy::Throw) throw_exhausted("square");
+    return fallback_.square_pair(n);
+  }
+  crypto::SquarePair p = std::move(bundle_->square[square_next_++]);
+  if (p.a.size() != n) {
+    throw std::logic_error("TripleStore: square pair size mismatch (store/plan drift)");
+  }
+  return p;
+}
+
+crypto::MatmulTriple StoreTripleSource::do_matmul_triple(std::size_t m, std::size_t k,
+                                                         std::size_t n) {
+  if (bundle_ == nullptr || matmul_next_ >= bundle_->matmul.size()) {
+    if (policy_ == ExhaustionPolicy::Throw) throw_exhausted("matmul");
+    return fallback_.matmul_triple(m, k, n);
+  }
+  crypto::MatmulTriple t = std::move(bundle_->matmul[matmul_next_++]);
+  if (t.m != m || t.k != k || t.n != n) {
+    throw std::logic_error("TripleStore: matmul triple shape mismatch (store/plan drift)");
+  }
+  return t;
+}
+
+crypto::BitTriple StoreTripleSource::do_bit_triple(std::size_t n) {
+  if (bundle_ == nullptr || bit_next_ >= bundle_->bit.size()) {
+    if (policy_ == ExhaustionPolicy::Throw) throw_exhausted("bit");
+    return fallback_.bit_triple(n);
+  }
+  crypto::BitTriple t = std::move(bundle_->bit[bit_next_++]);
+  if (t.a0.size() != n) {
+    throw std::logic_error("TripleStore: bit triple size mismatch (store/plan drift)");
+  }
+  return t;
+}
+
+crypto::BilinearTriple StoreTripleSource::do_bilinear_triple(const crypto::BilinearSpec& spec) {
+  if (bundle_ == nullptr || bilinear_next_ >= bundle_->bilinear.size()) {
+    if (policy_ == ExhaustionPolicy::Throw) throw_exhausted("bilinear");
+    return fallback_.bilinear_triple(spec);
+  }
+  crypto::BilinearTriple t = std::move(bundle_->bilinear[bilinear_next_++]);
+  if (t.a.size() != spec.na() || t.b.size() != spec.nb() || t.z.size() != spec.nz()) {
+    throw std::logic_error("TripleStore: bilinear triple shape mismatch (store/plan drift)");
+  }
+  return t;
+}
+
+}  // namespace pasnet::offline

@@ -1,0 +1,146 @@
+#pragma once
+// Persistent store of pregenerated correlated randomness.
+//
+// One QueryBundle holds exactly the material one query of one model
+// consumes (the TripleRequest stream of a PreprocessingPlan, generated from
+// that query's canonical dealer seed).  A TripleStore is an ordered list of
+// bundles plus a claim cursor: serving claims bundles atomically by index,
+// so PR 1's concurrent party-pair workers can consume from one store while
+// every query still gets *its* deterministic slice — the property that
+// keeps store-backed logits bit-identical to the dealer path.
+//
+// Exhaustion policies:
+//  - Throw: strict offline accounting.  Running past the pregenerated
+//    queries raises TripleStoreExhausted (the serving process should have
+//    provisioned enough material).
+//  - Refill: graceful degradation.  A query beyond the store falls back to
+//    the query context's own dealer — which is seeded with the same
+//    canonical per-query seed the generator would have used, so even the
+//    fallback reproduces the dealer path bit for bit.
+//
+// Binary (de)serialization lets a producer process generate material once
+// (`OfflineGenerator` + save) and a serving process load it at startup.
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/triple_source.hpp"
+
+namespace pasnet::offline {
+
+/// What a store-backed source does when the pregenerated material runs out.
+enum class ExhaustionPolicy : std::uint8_t { Throw, Refill };
+
+/// Raised under ExhaustionPolicy::Throw when a query has no bundle left.
+class TripleStoreExhausted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// All the correlated randomness one query consumes, in plan order per pool.
+struct QueryBundle {
+  std::vector<crypto::ElemTriple> elem;
+  std::vector<crypto::SquarePair> square;
+  std::vector<crypto::MatmulTriple> matmul;
+  std::vector<crypto::BitTriple> bit;
+  std::vector<crypto::BilinearTriple> bilinear;
+};
+
+/// Typed pools of pregenerated material for N queries of one plan.
+class TripleStore {
+ public:
+  TripleStore() = default;
+  TripleStore(crypto::RingConfig rc, std::uint64_t plan_fingerprint, std::size_t queries)
+      : rc_(rc), fingerprint_(plan_fingerprint), bundles_(queries) {}
+
+  TripleStore(TripleStore&& other) noexcept { move_from(std::move(other)); }
+  TripleStore& operator=(TripleStore&& other) noexcept {
+    if (this != &other) move_from(std::move(other));
+    return *this;
+  }
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+
+  [[nodiscard]] const crypto::RingConfig& ring() const noexcept { return rc_; }
+  [[nodiscard]] std::uint64_t plan_fingerprint() const noexcept { return fingerprint_; }
+  [[nodiscard]] std::size_t num_queries() const noexcept { return bundles_.size(); }
+  [[nodiscard]] std::size_t remaining_queries() const;
+
+  /// Generation-side access to bundle q (no locking: the generator's worker
+  /// threads each own disjoint bundles, and generation happens before any
+  /// claim).
+  [[nodiscard]] QueryBundle& bundle(std::size_t q) { return bundles_[q]; }
+  [[nodiscard]] const QueryBundle& bundle(std::size_t q) const { return bundles_[q]; }
+
+  /// Atomically claims the next unconsumed bundle.  Returns {index, bundle};
+  /// past the end the bundle is nullptr but the index keeps advancing, so a
+  /// Refill fallback still knows its canonical query index (and hence seed).
+  /// Thread-safe; each bundle is handed out exactly once and is then owned
+  /// by the claiming worker.
+  [[nodiscard]] std::pair<std::size_t, QueryBundle*> claim_next();
+
+  /// Serialized size in bytes (header + all bundles), for reporting.
+  [[nodiscard]] std::uint64_t material_bytes() const noexcept;
+
+  /// Binary serialization.  The format is little-endian and versioned;
+  /// load() validates the magic, version, and structural sizes and throws
+  /// std::runtime_error on malformed input.  Claim state is not persisted —
+  /// a loaded store always starts fresh.
+  void save(std::ostream& os) const;
+  void save(const std::string& path) const;
+  [[nodiscard]] static TripleStore load(std::istream& is);
+  [[nodiscard]] static TripleStore load(const std::string& path);
+
+ private:
+  void move_from(TripleStore&& other) noexcept {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    rc_ = other.rc_;
+    fingerprint_ = other.fingerprint_;
+    bundles_ = std::move(other.bundles_);
+    next_ = other.next_;
+    other.next_ = 0;
+  }
+
+  crypto::RingConfig rc_{};
+  std::uint64_t fingerprint_ = 0;
+  std::vector<QueryBundle> bundles_;
+  std::size_t next_ = 0;
+  mutable std::mutex mu_;
+};
+
+/// TripleSource serving one query from its claimed bundle.  Pops are
+/// validated against the requested shapes (a mismatch means the store was
+/// generated for a different plan and is a logic error); once a pool runs
+/// dry — or when the bundle is null because the store was exhausted — the
+/// policy decides between TripleStoreExhausted and dealer fallback.
+class StoreTripleSource final : public crypto::TripleSource {
+ public:
+  /// `fallback` must be the query context's own dealer (canonically seeded)
+  /// for Refill to reproduce the dealer path exactly.
+  StoreTripleSource(QueryBundle* bundle, crypto::TripleDealer& fallback,
+                    ExhaustionPolicy policy)
+      : bundle_(bundle), fallback_(fallback, fallback.ring()), policy_(policy) {}
+
+ protected:
+  crypto::ElemTriple do_elem_triple(std::size_t n) override;
+  crypto::SquarePair do_square_pair(std::size_t n) override;
+  crypto::MatmulTriple do_matmul_triple(std::size_t m, std::size_t k, std::size_t n) override;
+  crypto::BitTriple do_bit_triple(std::size_t n) override;
+  crypto::BilinearTriple do_bilinear_triple(const crypto::BilinearSpec& spec) override;
+
+ private:
+  [[noreturn]] void throw_exhausted(const char* pool) const;
+
+  QueryBundle* bundle_;
+  crypto::DealerTripleSource fallback_;
+  ExhaustionPolicy policy_;
+  std::size_t elem_next_ = 0, square_next_ = 0, matmul_next_ = 0, bit_next_ = 0,
+              bilinear_next_ = 0;
+};
+
+}  // namespace pasnet::offline

@@ -119,9 +119,64 @@ SecureNetwork::SecureNetwork(const nn::ModelDescriptor& md, nn::Graph& trained,
   }
 }
 
+std::uint64_t SecureNetwork::query_context_seed(std::size_t q) noexcept {
+  // Matches the historical infer_batch seeding; changing it invalidates
+  // every serialized TripleStore.
+  constexpr std::uint64_t kBatchSeedBase = 0xBA7C4ULL;
+  return crypto::splitmix64(kBatchSeedBase ^ (q + 1));
+}
+
+std::uint64_t SecureNetwork::query_dealer_seed(std::size_t q) noexcept {
+  // TwoPartyContext seeds its dealer with splitmix64(context seed).
+  return crypto::splitmix64(query_context_seed(q));
+}
+
+const offline::PreprocessingPlan& SecureNetwork::plan() const {
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  if (!plan_) {
+    // Dry-run counting pass: one real query on a scratch lockstep context
+    // with a recording source.  The request stream depends only on shapes,
+    // so a zero input stands in for any query.
+    crypto::TwoPartyContext dry_ctx(ctx_.ring(), query_context_seed(0),
+                                    crypto::ExecMode::lockstep);
+    offline::RecordingTripleSource recorder(dry_ctx.dealer(), dry_ctx.ring());
+    dry_ctx.set_triple_source(&recorder);
+    const nn::Tensor zeros({1, md_.input_ch, md_.input_h, md_.input_w});
+    InferenceStats scratch;
+    (void)run_query(dry_ctx, zeros, scratch,
+                    [&recorder](int layer) { recorder.begin_layer(layer); });
+    plan_ = std::make_unique<offline::PreprocessingPlan>(recorder.take_plan());
+  }
+  return *plan_;
+}
+
+offline::TripleStore SecureNetwork::preprocess(std::size_t queries, int threads,
+                                               offline::GenerationReport* report) const {
+  return offline::OfflineGenerator(threads).generate(
+      plan(), queries, [](std::size_t q) { return query_dealer_seed(q); }, report);
+}
+
+void SecureNetwork::use_store(offline::TripleStore* store, offline::ExhaustionPolicy policy) {
+  if (store != nullptr && store->plan_fingerprint() != plan().fingerprint()) {
+    throw std::invalid_argument(
+        "SecureNetwork::use_store: store was generated for a different model/plan");
+  }
+  store_ = store;
+  policy_ = policy;
+}
+
 nn::Tensor SecureNetwork::infer(const nn::Tensor& input) {
   batch_stats_.clear();
-  return run_query(ctx_, input, stats_);
+  if (store_ == nullptr) return run_query(ctx_, input, stats_);
+  // Store-backed: claim the next bundle and serve on a fresh context seeded
+  // with that bundle's canonical seed — the transcript the offline
+  // generator replayed.
+  const auto [idx, bundle] = store_->claim_next();
+  crypto::TwoPartyContext qctx(ctx_.ring(), query_context_seed(idx), crypto::ExecMode::lockstep,
+                               ctx_.round_delay());
+  offline::StoreTripleSource source(bundle, qctx.dealer(), policy_);
+  qctx.set_triple_source(&source);
+  return run_query(qctx, input, stats_);
 }
 
 std::vector<nn::Tensor> SecureNetwork::infer_batch(const std::vector<nn::Tensor>& inputs,
@@ -139,7 +194,17 @@ std::vector<nn::Tensor> SecureNetwork::infer_batch(const std::vector<nn::Tensor>
   // query index, so the transcript — and with it the ±1-LSB local
   // truncation noise — is pinned per query regardless of which worker (or
   // how many workers) runs it.
-  constexpr std::uint64_t kBatchSeedBase = 0xBA7C4ULL;
+  //
+  // Store-backed serving claims one bundle per query up front (claims are
+  // ordered, so batch position q maps to the store's next-unclaimed index)
+  // and seeds each query context with its bundle's canonical seed; on a
+  // fresh store that is exactly the dealer path's seeding, so the logits
+  // are bit-identical to it.
+  std::vector<std::pair<std::size_t, offline::QueryBundle*>> claims;
+  if (store_ != nullptr) {
+    claims.reserve(n);
+    for (std::size_t q = 0; q < n; ++q) claims.push_back(store_->claim_next());
+  }
   std::atomic<std::size_t> next{0};
   std::mutex err_mutex;
   std::exception_ptr first_error;
@@ -148,8 +213,15 @@ std::vector<nn::Tensor> SecureNetwork::infer_batch(const std::vector<nn::Tensor>
       const std::size_t q = next.fetch_add(1);
       if (q >= n) break;
       try {
-        crypto::TwoPartyContext qctx(ctx_.ring(), crypto::splitmix64(kBatchSeedBase ^ (q + 1)),
+        const std::size_t seed_idx = store_ != nullptr ? claims[q].first : q;
+        crypto::TwoPartyContext qctx(ctx_.ring(), query_context_seed(seed_idx),
                                      crypto::ExecMode::lockstep, ctx_.round_delay());
+        std::unique_ptr<offline::StoreTripleSource> source;
+        if (store_ != nullptr) {
+          source = std::make_unique<offline::StoreTripleSource>(claims[q].second,
+                                                                qctx.dealer(), policy_);
+          qctx.set_triple_source(source.get());
+        }
         results[q] = run_query(qctx, inputs[q], batch_stats_[q]);
       } catch (...) {
         std::lock_guard<std::mutex> lk(err_mutex);
@@ -174,14 +246,16 @@ std::vector<nn::Tensor> SecureNetwork::infer_batch(const std::vector<nn::Tensor>
 }
 
 nn::Tensor SecureNetwork::run_query(crypto::TwoPartyContext& ctx, const nn::Tensor& input,
-                                    InferenceStats& out) const {
+                                    InferenceStats& out,
+                                    const std::function<void(int)>& layer_hook) const {
   const RingConfig& rc = ctx.ring();
   ctx.reset_stats();
-  const auto triples_before = ctx.dealer().counters();
+  const crypto::TripleCounters triples_before = ctx.triples().counters();
 
   crypto::Prng input_prng(0xC11E47ULL);  // the client's share-generation PRG
   std::vector<SecureTensor> acts(layers_.size());
   for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layer_hook) layer_hook(static_cast<int>(i));
     const CompiledLayer& cl = layers_[i];
     const nn::LayerSpec& spec = cl.spec;
     const auto in = [&acts, &spec]() -> const SecureTensor& {
@@ -267,10 +341,12 @@ nn::Tensor SecureNetwork::run_query(crypto::TwoPartyContext& ctx, const nn::Tens
   }
   out.messages = chan.messages;
   out.rounds = chan.rounds;
-  const auto& after = ctx.dealer().counters();
+  const crypto::TripleCounters& after = ctx.triples().counters();
   out.elem_triples = after.elem_triples - triples_before.elem_triples;
   out.square_pairs = after.square_pairs - triples_before.square_pairs;
   out.matmul_triple_elems = after.matmul_triple_elems - triples_before.matmul_triple_elems;
+  out.bilinear_triple_elems =
+      after.bilinear_triple_elems - triples_before.bilinear_triple_elems;
   out.bit_triples = after.bit_triples - triples_before.bit_triples;
   return logits;
 }

@@ -5,10 +5,15 @@
 // into the convolution layer") and evaluates it under the 2PC protocol
 // stack, recording real communication statistics.
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "nn/models.hpp"
+#include "offline/offline_generator.hpp"
+#include "offline/preprocessing_plan.hpp"
+#include "offline/triple_store.hpp"
 #include "proto/secure_ops.hpp"
 
 namespace pasnet::proto {
@@ -29,6 +34,7 @@ struct InferenceStats {
   std::uint64_t elem_triples = 0;
   std::uint64_t square_pairs = 0;
   std::uint64_t matmul_triple_elems = 0;
+  std::uint64_t bilinear_triple_elems = 0;
   std::uint64_t bit_triples = 0;
 
   /// Accumulates another query's statistics into this one.
@@ -40,6 +46,7 @@ struct InferenceStats {
     elem_triples += other.elem_triples;
     square_pairs += other.square_pairs;
     matmul_triple_elems += other.matmul_triple_elems;
+    bilinear_triple_elems += other.bilinear_triple_elems;
     bit_triples += other.bit_triples;
   }
 };
@@ -80,6 +87,40 @@ class SecureNetwork {
 
   [[nodiscard]] const nn::ModelDescriptor& descriptor() const noexcept { return md_; }
 
+  // --- Offline preprocessing (paper §II-B offline/online split) -----------
+
+  /// Canonical seed of the fresh per-query context that serves the query at
+  /// stream position q (infer_batch position q, or the q-th store-backed
+  /// infer()).  Public so the offline generator and the serving path agree.
+  [[nodiscard]] static std::uint64_t query_context_seed(std::size_t q) noexcept;
+  /// Seed of the dealer inside that context — the seed the offline
+  /// generator must use for query q's bundle to replay the dealer path.
+  [[nodiscard]] static std::uint64_t query_dealer_seed(std::size_t q) noexcept;
+
+  /// The per-layer correlated-randomness requirements of one query,
+  /// compiled by a dry-run counting pass (one real query on a scratch
+  /// lockstep context).  Cached after the first call.
+  [[nodiscard]] const offline::PreprocessingPlan& plan() const;
+
+  /// Pregenerates `queries` queries' worth of material on `threads` worker
+  /// threads, canonically seeded so serving from it is bit-identical to the
+  /// dealer path.
+  [[nodiscard]] offline::TripleStore preprocess(std::size_t queries, int threads = 1,
+                                                offline::GenerationReport* report = nullptr) const;
+
+  /// Serves subsequent infer()/infer_batch() calls from pregenerated
+  /// material: each query claims the store's next bundle and runs on a
+  /// fresh lockstep context seeded with that bundle's canonical seed, so
+  /// logits match the dealer-backed infer_batch transcript bit for bit.
+  /// The store must outlive serving (non-owning); it is validated against
+  /// this network's plan fingerprint.  Pass nullptr to detach.
+  void use_store(offline::TripleStore* store,
+                 offline::ExhaustionPolicy policy = offline::ExhaustionPolicy::Throw);
+
+  /// The store currently attached via use_store (nullptr when serving the
+  /// fused dealer path).
+  [[nodiscard]] offline::TripleStore* store() const noexcept { return store_; }
+
  private:
   struct CompiledLayer {
     nn::LayerSpec spec;
@@ -94,9 +135,12 @@ class SecureNetwork {
 
   /// Runs one query on the given context, recording its statistics.  The
   /// compiled layers are read-only here, so any number of workers may call
-  /// this concurrently on distinct contexts.
+  /// this concurrently on distinct contexts.  `layer_hook`, when set, is
+  /// invoked with each layer index before that layer executes (used by the
+  /// plan-compilation dry run to tag triple requests per layer).
   [[nodiscard]] nn::Tensor run_query(crypto::TwoPartyContext& ctx, const nn::Tensor& input,
-                                     InferenceStats& out) const;
+                                     InferenceStats& out,
+                                     const std::function<void(int)>& layer_hook = {}) const;
 
   nn::ModelDescriptor md_;
   crypto::TwoPartyContext& ctx_;
@@ -104,6 +148,11 @@ class SecureNetwork {
   std::vector<CompiledLayer> layers_;
   InferenceStats stats_;
   std::vector<InferenceStats> batch_stats_;
+
+  offline::TripleStore* store_ = nullptr;  // non-owning; see use_store
+  offline::ExhaustionPolicy policy_ = offline::ExhaustionPolicy::Throw;
+  mutable std::unique_ptr<offline::PreprocessingPlan> plan_;  // lazy cache
+  mutable std::mutex plan_mu_;
 };
 
 }  // namespace pasnet::proto

@@ -13,36 +13,6 @@ using crypto::RingVec;
 using crypto::Shared;
 using crypto::TwoPartyContext;
 
-/// im2col on one share vector (a pure data gather, hence share-local).
-RingVec im2col_ring(const RingVec& data, int n_sample, int c, int h, int w, int sample,
-                    int kernel, int stride, int pad) {
-  (void)n_sample;
-  const int oh = nn::conv_out_size(h, kernel, stride, pad);
-  const int ow = nn::conv_out_size(w, kernel, stride, pad);
-  RingVec cols(static_cast<std::size_t>(c) * kernel * kernel * oh * ow, 0);
-  const auto at = [&](int ch, int y, int x) -> std::uint64_t {
-    return data[((static_cast<std::size_t>(sample) * c + ch) * h + y) * w + x];
-  };
-  std::size_t row = 0;
-  for (int ch = 0; ch < c; ++ch) {
-    for (int kh = 0; kh < kernel; ++kh) {
-      for (int kw = 0; kw < kernel; ++kw, ++row) {
-        std::size_t col = 0;
-        for (int y = 0; y < oh; ++y) {
-          const int in_y = y * stride + kh - pad;
-          for (int x = 0; x < ow; ++x, ++col) {
-            const int in_x = x * stride + kw - pad;
-            if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
-              cols[row * (static_cast<std::size_t>(oh) * ow) + col] = at(ch, in_y, in_x);
-            }
-          }
-        }
-      }
-    }
-  }
-  return cols;
-}
-
 /// Gathers a strided window tap into a flat share vector (for pooling).
 Shared gather_window_tap(const SecureTensor& x, int kh, int kw, int kernel, int stride,
                          int pad, long long* valid_mask_out) {
@@ -100,26 +70,26 @@ SecureTensor secure_conv2d(TwoPartyContext& ctx, const SecureTensor& x, const Sh
     throw std::invalid_argument("secure_conv2d: weight shape mismatch");
   }
 
-  // Applies a weight-shaped matrix to an input-shaped vector: per sample,
-  // wmat · im2col(input_s).  This is the bilinear map the triple encodes.
-  const auto conv_map = [&](const RingVec& input, const RingVec& wmat) {
-    RingVec out;
-    out.reserve(static_cast<std::size_t>(n) * out_ch * spatial);
-    for (int s = 0; s < n; ++s) {
-      const RingVec cols = im2col_ring(input, n, c, h, w, s, kernel, stride, pad);
-      const RingVec y =
-          crypto::ring_matmul(wmat, cols, static_cast<std::size_t>(out_ch), k_dim, spatial, rc);
-      out.insert(out.end(), y.begin(), y.end());
-    }
-    return out;
-  };
+  // The bilinear map the triple encodes: per sample, wmat · im2col(input_s).
+  // Built from a serializable spec so offline preprocessing can regenerate
+  // the exact same correlation (see crypto/triple_source.hpp).
+  crypto::BilinearSpec spec;
+  spec.kind = crypto::BilinearKind::conv2d;
+  spec.batch = n;
+  spec.in_ch = c;
+  spec.in_h = h;
+  spec.in_w = w;
+  spec.out_ch = out_ch;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.pad = pad;
+  const crypto::BilinearMap conv_map = crypto::build_bilinear_map(spec, rc);
 
   // Convolution-shaped Beaver triple: A input-shaped, B weight-shaped,
   // Z = conv(A, B).  Online, E = W - B opens in weight space (offline-able
   // for a static model) and F = X - A opens in *input* space — the paper's
   // COMM_conv = 32·FI²·IC term.
-  const crypto::BilinearTriple t =
-      ctx.dealer().bilinear_triple(x.size(), weight.size(), conv_map);
+  const crypto::BilinearTriple t = ctx.triples().bilinear_triple(spec);
   const RingVec e = crypto::open(ctx, crypto::sub(weight, t.b, rc));   // weight space
   const RingVec f = crypto::open(ctx, crypto::sub(x.shares, t.a, rc)); // input space
 
@@ -162,32 +132,24 @@ SecureTensor secure_depthwise_conv2d(TwoPartyContext& ctx, const SecureTensor& x
   const int oh = nn::conv_out_size(h, kernel, stride, pad);
   const int ow = nn::conv_out_size(w, kernel, stride, pad);
   const std::size_t k2 = static_cast<std::size_t>(kernel) * kernel;
-  const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
   if (weight.size() != static_cast<std::size_t>(c) * k2) {
     throw std::invalid_argument("secure_depthwise_conv2d: weight shape mismatch");
   }
 
   // Per sample and channel: weight_row(ch) · im2col_channel(input, ch).
-  const auto dw_map = [&](const RingVec& input, const RingVec& wmat) {
-    RingVec out(static_cast<std::size_t>(n) * c * spatial, 0);
-    for (int s = 0; s < n; ++s) {
-      const RingVec cols = im2col_ring(input, n, c, h, w, s, kernel, stride, pad);
-      for (int ch = 0; ch < c; ++ch) {
-        const std::size_t base = (static_cast<std::size_t>(s) * c + ch) * spatial;
-        for (std::size_t i = 0; i < spatial; ++i) {
-          std::uint64_t acc = 0;
-          for (std::size_t kk = 0; kk < k2; ++kk) {
-            acc += wmat[ch * k2 + kk] * cols[(ch * k2 + kk) * spatial + i];
-          }
-          out[base + i] = acc & rc.mask();
-        }
-      }
-    }
-    return out;
-  };
+  crypto::BilinearSpec spec;
+  spec.kind = crypto::BilinearKind::depthwise_conv2d;
+  spec.batch = n;
+  spec.in_ch = c;
+  spec.in_h = h;
+  spec.in_w = w;
+  spec.out_ch = c;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.pad = pad;
+  const crypto::BilinearMap dw_map = crypto::build_bilinear_map(spec, rc);
 
-  const crypto::BilinearTriple t =
-      ctx.dealer().bilinear_triple(x.size(), weight.size(), dw_map);
+  const crypto::BilinearTriple t = ctx.triples().bilinear_triple(spec);
   const RingVec e = crypto::open(ctx, crypto::sub(weight, t.b, rc));
   const RingVec f = crypto::open(ctx, crypto::sub(x.shares, t.a, rc));
 

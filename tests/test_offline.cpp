@@ -1,0 +1,266 @@
+// Offline preprocessing subsystem: plan compilation, store-backed serving
+// (bit-identical to the dealer path, lockstep and across worker pairs),
+// exhaustion policies, and (de)serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "offline/offline_generator.hpp"
+#include "offline/preprocessing_plan.hpp"
+#include "offline/triple_store.hpp"
+#include "proto/secure_network.hpp"
+#include "support/test_models.hpp"
+
+namespace nn = pasnet::nn;
+namespace off = pasnet::offline;
+namespace pc = pasnet::crypto;
+namespace proto = pasnet::proto;
+
+namespace {
+
+/// Trained tiny model (with a ReLU + MaxPool so the plan covers bit-triple
+/// and comparison machinery, plus the conv bilinear and the FC matmul).
+struct SecureFixture {
+  nn::ModelDescriptor md;
+  std::unique_ptr<nn::Graph> graph;
+  std::vector<int> node_of_layer;
+  std::vector<nn::Tensor> queries;
+
+  explicit SecureFixture(nn::OpKind act = nn::OpKind::relu,
+                         nn::OpKind pool = nn::OpKind::maxpool, int num_queries = 3)
+      : md(pasnet::testing::tiny_cnn(act, pool)) {
+    pc::Prng wprng(31);
+    graph = nn::build_graph(md, wprng, &node_of_layer);
+    pasnet::testing::warm_up(*graph, 2, 8, 32);
+    pc::Prng qprng(33);
+    for (int q = 0; q < num_queries; ++q) {
+      queries.push_back(nn::Tensor::randn({1, 2, 8, 8}, qprng, 1.0f));
+    }
+  }
+};
+
+void expect_bit_identical(const std::vector<nn::Tensor>& a, const std::vector<nn::Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].size(), b[q].size());
+    for (std::size_t i = 0; i < a[q].size(); ++i) {
+      ASSERT_EQ(a[q][i], b[q][i]) << "query " << q << " element " << i;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(PreprocessingPlan, CountsMatchDealerConsumption) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  const off::PreprocessingPlan& plan = snet.plan();
+  ASSERT_FALSE(plan.requests.empty());
+
+  // A real dealer-backed query must consume exactly what the plan predicts.
+  (void)snet.infer(f.queries[0]);
+  const proto::InferenceStats& st = snet.stats();
+  std::uint64_t elem = 0, square = 0, matmul = 0, bilinear = 0, bits = 0;
+  for (const auto& s : plan.layer_summaries()) {
+    elem += s.elem_triples;
+    square += s.square_pairs;
+    matmul += s.matmul_triple_elems;
+    bilinear += s.bilinear_triple_elems;
+    bits += s.bit_triples;
+  }
+  EXPECT_EQ(elem, st.elem_triples);
+  EXPECT_EQ(square, st.square_pairs);
+  EXPECT_EQ(matmul, st.matmul_triple_elems);
+  EXPECT_EQ(bilinear, st.bilinear_triple_elems);
+  EXPECT_EQ(bits, st.bit_triples);
+
+  // The tiny model's conv consumes a bilinear triple and ReLU consumes bit
+  // triples; both must be layer-tagged.
+  EXPECT_GT(bilinear, 0u);
+  EXPECT_GT(bits, 0u);
+  for (const auto& s : plan.layer_summaries()) EXPECT_GE(s.layer, 0);
+}
+
+TEST(PreprocessingPlan, FingerprintDiscriminatesModels) {
+  SecureFixture relu(nn::OpKind::relu, nn::OpKind::maxpool);
+  SecureFixture poly(nn::OpKind::x2act, nn::OpKind::avgpool);
+  pc::TwoPartyContext c1, c2;
+  proto::SecureNetwork s1(relu.md, *relu.graph, relu.node_of_layer, c1);
+  proto::SecureNetwork s2(poly.md, *poly.graph, poly.node_of_layer, c2);
+  EXPECT_NE(s1.plan().fingerprint(), s2.plan().fingerprint());
+  EXPECT_EQ(s1.plan().fingerprint(), s1.plan().fingerprint());
+}
+
+TEST(TripleStore, StoreBackedBatchMatchesDealerPathAcrossWorkerCounts) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+
+  // Fused dealer baseline.
+  const auto dealer_logits = snet.infer_batch(f.queries, 1);
+  const auto dealer_stats = snet.per_query_stats();
+
+  for (const int workers : {1, 4}) {
+    off::TripleStore store = snet.preprocess(f.queries.size(), /*threads=*/2);
+    snet.use_store(&store, off::ExhaustionPolicy::Throw);
+    const auto store_logits = snet.infer_batch(f.queries, workers);
+    snet.use_store(nullptr);
+    expect_bit_identical(dealer_logits, store_logits);
+    // The online phase consumed exactly the same correlated randomness.
+    for (std::size_t q = 0; q < f.queries.size(); ++q) {
+      EXPECT_EQ(snet.per_query_stats()[q].comm_bytes, dealer_stats[q].comm_bytes);
+      EXPECT_EQ(snet.per_query_stats()[q].bit_triples, dealer_stats[q].bit_triples);
+    }
+    EXPECT_EQ(store.remaining_queries(), 0u);
+  }
+}
+
+TEST(TripleStore, StoreBackedServingOnThreadedMasterContextMatchesDealerPath) {
+  // The master context's mode must not affect store-backed serving: each
+  // query runs on its own canonically seeded lockstep context either way,
+  // so a threaded serving deployment reconstructs the same logits.
+  SecureFixture f;
+  pc::TwoPartyContext lockstep_ctx;
+  proto::SecureNetwork baseline(f.md, *f.graph, f.node_of_layer, lockstep_ctx);
+  const auto dealer_logits = baseline.infer_batch(f.queries, 1);
+
+  pc::TwoPartyContext threaded_ctx(pc::RingConfig{}, 42, pc::ExecMode::threaded);
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, threaded_ctx);
+  off::TripleStore store = snet.preprocess(f.queries.size(), 2);
+  snet.use_store(&store, off::ExhaustionPolicy::Throw);
+  const auto store_logits = snet.infer_batch(f.queries, 4);
+  snet.use_store(nullptr);
+  expect_bit_identical(dealer_logits, store_logits);
+}
+
+TEST(TripleStore, LoadRejectsHugeLengthFieldWithoutAllocating) {
+  // A corrupt length field must surface as runtime_error (truncated input),
+  // not as a multi-gigabyte allocation attempt.
+  std::stringstream buf;
+  {
+    SecureFixture f(nn::OpKind::x2act, nn::OpKind::avgpool, 1);
+    pc::TwoPartyContext ctx;
+    proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+    snet.preprocess(1).save(buf);
+  }
+  std::string bytes = buf.str();
+  // Overwrite the first bundle's first vector length (right after the
+  // 7-u64 header + 5-u64 pool counts) with an enormous value.
+  const std::size_t off_len = (7 + 5) * 8;
+  ASSERT_GT(bytes.size(), off_len + 8);
+  for (int i = 0; i < 8; ++i) bytes[off_len + i] = static_cast<char>(0xEF);
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW((void)off::TripleStore::load(corrupt), std::runtime_error);
+}
+
+TEST(TripleStore, StoreBackedSingleInfersMatchDealerBatch) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  const auto dealer_logits = snet.infer_batch(f.queries, 1);
+
+  off::TripleStore store = snet.preprocess(f.queries.size());
+  snet.use_store(&store);
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    const nn::Tensor logits = snet.infer(f.queries[q]);
+    ASSERT_EQ(logits.size(), dealer_logits[q].size());
+    for (std::size_t i = 0; i < logits.size(); ++i) EXPECT_EQ(logits[i], dealer_logits[q][i]);
+  }
+  snet.use_store(nullptr);
+}
+
+TEST(TripleStore, ThrowPolicyRaisesOnExhaustion) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  off::TripleStore store = snet.preprocess(1);
+  snet.use_store(&store, off::ExhaustionPolicy::Throw);
+  EXPECT_THROW((void)snet.infer_batch(f.queries, 1), off::TripleStoreExhausted);
+  snet.use_store(nullptr);
+}
+
+TEST(TripleStore, RefillPolicyFallsBackToDealerBitIdentically) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  const auto dealer_logits = snet.infer_batch(f.queries, 1);
+
+  // Only 1 of 3 queries pregenerated: the rest refill from each query
+  // context's canonically seeded dealer, so even the fallback reproduces
+  // the dealer path exactly.
+  off::TripleStore store = snet.preprocess(1);
+  snet.use_store(&store, off::ExhaustionPolicy::Refill);
+  const auto mixed_logits = snet.infer_batch(f.queries, 2);
+  snet.use_store(nullptr);
+  expect_bit_identical(dealer_logits, mixed_logits);
+}
+
+TEST(TripleStore, SerializationRoundTripServesIdentically) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  const auto dealer_logits = snet.infer_batch(f.queries, 1);
+
+  const off::TripleStore produced = snet.preprocess(f.queries.size());
+  std::stringstream buf;
+  produced.save(buf);
+  EXPECT_EQ(static_cast<std::uint64_t>(buf.str().size()), produced.material_bytes());
+
+  off::TripleStore loaded = off::TripleStore::load(buf);
+  EXPECT_EQ(loaded.plan_fingerprint(), produced.plan_fingerprint());
+  EXPECT_EQ(loaded.num_queries(), produced.num_queries());
+
+  snet.use_store(&loaded, off::ExhaustionPolicy::Throw);
+  const auto logits = snet.infer_batch(f.queries, 4);
+  snet.use_store(nullptr);
+  expect_bit_identical(dealer_logits, logits);
+}
+
+TEST(TripleStore, LoadRejectsGarbage) {
+  std::stringstream buf("definitely not a triple store");
+  EXPECT_THROW((void)off::TripleStore::load(buf), std::runtime_error);
+}
+
+TEST(TripleStore, UseStoreRejectsForeignFingerprint) {
+  SecureFixture relu(nn::OpKind::relu, nn::OpKind::maxpool);
+  SecureFixture poly(nn::OpKind::x2act, nn::OpKind::avgpool);
+  pc::TwoPartyContext c1, c2;
+  proto::SecureNetwork s1(relu.md, *relu.graph, relu.node_of_layer, c1);
+  proto::SecureNetwork s2(poly.md, *poly.graph, poly.node_of_layer, c2);
+  off::TripleStore store = s2.preprocess(1);
+  EXPECT_THROW(s1.use_store(&store), std::invalid_argument);
+}
+
+TEST(OfflineGenerator, ThreadedGenerationMatchesSequential) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  off::GenerationReport seq_rep, par_rep;
+  const off::TripleStore seq = snet.preprocess(4, /*threads=*/1, &seq_rep);
+  const off::TripleStore par = snet.preprocess(4, /*threads=*/4, &par_rep);
+  EXPECT_EQ(seq_rep.ring_material_elems, par_rep.ring_material_elems);
+  EXPECT_GT(seq_rep.ring_material_elems, 0u);
+  EXPECT_EQ(par_rep.threads, 4);
+
+  std::stringstream a, b;
+  seq.save(a);
+  par.save(b);
+  EXPECT_EQ(a.str(), b.str());  // byte-identical material, any thread count
+}
+
+TEST(OfflineGenerator, ReportSizesMatchPlanArithmetic) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  off::GenerationReport rep;
+  const off::TripleStore store = snet.preprocess(2, 1, &rep);
+  EXPECT_EQ(rep.queries, 2u);
+  EXPECT_EQ(rep.ring_material_elems, 2 * snet.plan().material_elems_per_query());
+  EXPECT_EQ(rep.bit_triples, 2 * snet.plan().bit_triples_per_query());
+  EXPECT_EQ(rep.store_bytes, store.material_bytes());
+}

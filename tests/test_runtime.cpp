@@ -144,6 +144,19 @@ TEST(TwoPartyRuntime, StepsRunOnDistinctPartyThreads) {
   EXPECT_EQ(id0, id0_again);  // party threads are long-lived
 }
 
+TEST(TwoPartyRuntime, NestedExecFromPartyThreadFailsLoudly) {
+  // The single-slot mailbox cannot express re-entrant exec/exchange from a
+  // party thread; Worker::post must refuse (busy-or-same-thread) instead of
+  // silently dropping a protocol round.
+  pc::TwoPartyContext ctx(pc::RingConfig{}, 42, pc::ExecMode::threaded);
+  EXPECT_THROW(ctx.exec([&] { ctx.exec([] {}, [] {}); }, [] {}), std::logic_error);
+  // Nesting from party thread 1: the nested f0 lands on the (idle again)
+  // worker 0 and runs; the refused worker-1 post must drain it before
+  // unwinding, then still surface the logic error.
+  pc::TwoPartyContext ctx1(pc::RingConfig{}, 43, pc::ExecMode::threaded);
+  EXPECT_THROW(ctx1.exec([] {}, [&] { ctx1.exec([] {}, [] {}); }), std::logic_error);
+}
+
 TEST(TwoPartyRuntime, PartyFailureFailsFastAndClosesChannels) {
   // A party bug must not leave its peer blocked until the 30s watchdog:
   // exec closes the channel pair on first failure, the peer unwinds with
