@@ -7,12 +7,23 @@
 
 namespace pasnet::crypto {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Message {
+  std::vector<std::uint8_t> data;
+  Clock::time_point due;  // in-flight deadline: enqueue time + round_delay
+};
+
+}  // namespace
+
 struct Channel::Shared {
   std::mutex m;
   // Per-direction queues and wakeups; inbox[p] holds messages addressed to
   // party p.  not_empty[p] wakes party p's blocked recv, not_full[p] wakes a
   // sender blocked on party p's full inbox.
-  std::deque<std::vector<std::uint8_t>> inbox[2];
+  std::deque<Message> inbox[2];
   std::condition_variable not_empty[2];
   std::condition_variable not_full[2];
   ChannelMode mode = ChannelMode::lockstep;
@@ -20,7 +31,9 @@ struct Channel::Shared {
   std::chrono::milliseconds timeout{kDefaultTimeout};
   std::chrono::microseconds round_delay{0};
   bool closed = false;
-  int last_sender = -1;  // for round counting
+  int last_sender = -1;   // for round counting outside brackets
+  bool in_round = false;  // begin_round/end_round bracket open
+  bool round_counted = false;
 };
 
 std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair(
@@ -53,22 +66,22 @@ std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair
 
 ChannelMode Channel::mode() const noexcept { return shared_->mode; }
 
+void Channel::begin_round() {
+  std::lock_guard<std::mutex> lk(shared_->m);
+  shared_->in_round = true;
+  shared_->round_counted = false;
+}
+
+void Channel::end_round() {
+  std::lock_guard<std::mutex> lk(shared_->m);
+  shared_->in_round = false;
+  shared_->round_counted = false;
+  // The next message starts a fresh round whatever its direction.
+  shared_->last_sender = -1;
+}
+
 void Channel::enqueue(std::vector<std::uint8_t>&& data, std::uint64_t wire_bytes) {
   const int peer = 1 - party_;
-  // Model the in-flight half-RTT before the message becomes visible to the
-  // peer: the first message of a new round sleeps before enqueueing, so a
-  // blocked receiver cannot dequeue it early.  The flip peek races with a
-  // concurrent peer send, which can mis-charge one sleep — consistent with
-  // the documented scheduling-dependence of round counting in threaded
-  // mode; in lockstep mode the peek is exact.
-  std::chrono::microseconds delay{0};
-  {
-    std::lock_guard<std::mutex> peek(shared_->m);
-    if (shared_->round_delay.count() > 0 && shared_->last_sender != party_) {
-      delay = shared_->round_delay;
-    }
-  }
-  if (delay.count() > 0) std::this_thread::sleep_for(delay);
   std::unique_lock<std::mutex> lk(shared_->m);
   if (shared_->mode == ChannelMode::threaded) {
     const bool ok = shared_->not_full[peer].wait_for(lk, shared_->timeout, [&] {
@@ -79,14 +92,28 @@ void Channel::enqueue(std::vector<std::uint8_t>&& data, std::uint64_t wire_bytes
   } else if (shared_->closed) {
     throw ChannelClosed("Channel::send: channel closed");
   }
-  shared_->inbox[peer].push_back(std::move(data));
+  // Stamp the in-flight deadline: the message becomes receivable one
+  // modeled one-way delay after it is sent.  The sender never sleeps, so
+  // all messages of one round share (roughly) one deadline and overlap.
+  Message msg;
+  msg.data = std::move(data);
+  msg.due = shared_->round_delay.count() > 0 ? Clock::now() + shared_->round_delay
+                                             : Clock::time_point{};
+  shared_->inbox[peer].push_back(std::move(msg));
   if (party_ == 0) {
     stats_->bytes_p0_to_p1 += wire_bytes;
   } else {
     stats_->bytes_p1_to_p0 += wire_bytes;
   }
   ++stats_->messages;
-  if (shared_->last_sender != party_) {
+  if (shared_->in_round) {
+    // All messages of a bracketed symmetric exchange are one round.
+    if (!shared_->round_counted) {
+      ++stats_->rounds;
+      shared_->round_counted = true;
+    }
+    shared_->last_sender = party_;
+  } else if (shared_->last_sender != party_) {
     ++stats_->rounds;
     shared_->last_sender = party_;
   }
@@ -121,7 +148,14 @@ std::vector<std::uint8_t> Channel::recv_bytes() {
   inbox.pop_front();
   lk.unlock();
   shared_->not_full[party_].notify_one();
-  return msg;
+  // Honour the in-flight deadline off the lock: the receiver cannot observe
+  // a message before its modeled wire delay has elapsed, but concurrent
+  // traffic (the other direction, other worker pairs) keeps flowing.
+  if (msg.due != Clock::time_point{}) {
+    const auto now = Clock::now();
+    if (now < msg.due) std::this_thread::sleep_until(msg.due);
+  }
+  return msg.data;
 }
 
 void Channel::send_ring(const RingVec& v, int wire_bytes_per_elem) {
@@ -165,6 +199,7 @@ void Channel::reset_stats() noexcept {
   std::lock_guard<std::mutex> lk(shared_->m);
   stats_->reset();
   shared_->last_sender = -1;
+  shared_->round_counted = false;
 }
 
 }  // namespace pasnet::crypto

@@ -35,10 +35,14 @@ struct TrafficStats {
   std::uint64_t bytes_p0_to_p1 = 0;
   std::uint64_t bytes_p1_to_p0 = 0;
   std::uint64_t messages = 0;
-  /// A round increments whenever the sending direction flips; it tracks the
-  /// protocol's sequential latency-critical message exchanges.  Note: with
-  /// both parties sending concurrently in threaded mode the flip order (and
-  /// hence the count) depends on scheduling; bytes and messages stay exact.
+  /// Latency-critical sequential message exchanges.  Outside an exchange
+  /// bracket a round increments whenever the sending direction flips (the
+  /// asymmetric flows: each OT phase is one round).  Inside a
+  /// begin_round/end_round bracket — used by TwoPartyContext::exchange and
+  /// the open buffer's coalesced flush — all messages of the bracket count
+  /// as ONE round, because both directions are in flight concurrently.
+  /// This matches the analytic model's definition (perf::OpCost::rounds),
+  /// so measured and modeled round counts are directly comparable.
   std::uint64_t rounds = 0;
 
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
@@ -79,7 +83,11 @@ class Channel {
   void send_bytes(const std::vector<std::uint8_t>& data);
   /// Receives the oldest pending byte message.  Lockstep mode throws
   /// std::logic_error if the inbox is empty (protocol ordering bug);
-  /// threaded mode blocks until a message arrives.
+  /// threaded mode blocks until a message arrives.  Either way, delivery
+  /// waits until the message's in-flight deadline (enqueue time + the
+  /// pair's round_delay) has passed — the modeled wire latency holds back
+  /// the message itself, so a symmetric exchange pays one delay total with
+  /// both directions overlapping, in both modes.
   [[nodiscard]] std::vector<std::uint8_t> recv_bytes();
 
   /// Convenience: send/recv a vector of ring elements, 8 bytes each in the
@@ -91,6 +99,16 @@ class Channel {
   /// Convenience: single u64 value.
   void send_u64(std::uint64_t v);
   [[nodiscard]] std::uint64_t recv_u64();
+
+  /// Brackets one symmetric communication round: every message either
+  /// endpoint enqueues between begin_round and end_round counts as a single
+  /// round (both directions are concurrently in flight).  Brackets are
+  /// shared pair state — they are driven by the coordinating thread
+  /// (TwoPartyContext::exchange), never by a party closure.  After
+  /// end_round the next message starts a fresh round regardless of
+  /// direction.
+  void begin_round();
+  void end_round();
 
   /// Marks the pair closed: blocked senders/receivers wake and throw
   /// ChannelClosed, as do later blocking operations that would wait.
@@ -128,15 +146,15 @@ struct ChannelOptions {
   ChannelMode mode = ChannelMode::lockstep;
   std::size_t capacity = Channel::kDefaultCapacity;
   std::chrono::milliseconds timeout = Channel::kDefaultTimeout;
-  /// Simulated wire latency, charged once per direction flip — the same
-  /// unit the `rounds` statistic counts (and perf::NetworkConfig's
-  /// base_latency_s models).  Note a symmetric exchange executed in
-  /// lockstep is two serialized flips, so it pays a full RTT where a real
-  /// network (or the threaded mode) overlaps the directions; per-message
-  /// in-flight deadlines would tighten this (see ROADMAP).  Zero means no
-  /// simulated delay.  Delays sleep off the channel lock, so concurrent
-  /// worker pairs overlap their waits — the effect batched inference
-  /// exists to exploit.
+  /// Simulated one-way wire latency.  Every message is stamped with an
+  /// in-flight deadline (enqueue time + round_delay) at send time and recv
+  /// waits until that deadline — so messages of one round overlap (a
+  /// symmetric exchange costs one delay in both lockstep and threaded
+  /// modes) while sequential dependencies pay one delay per round, the
+  /// same unit the `rounds` statistic counts (and perf::NetworkConfig's
+  /// base_latency_s models).  Zero means no simulated delay.  Waits happen
+  /// off the channel lock, so concurrent worker pairs overlap their
+  /// delays — the effect batched inference exists to exploit.
   std::chrono::microseconds round_delay{0};
 };
 

@@ -98,12 +98,29 @@ BitShared and_bits(TwoPartyContext& ctx, const BitShared& x, const BitShared& y)
   return out;
 }
 
+int millionaire_digits(int nbits) noexcept {
+  return (nbits + 1) / 2;  // 2-bit parts (paper: U=16 for 32 bits)
+}
+
+std::vector<int> millionaire_and_level_multipliers(int nbits) {
+  // Mirrors the combine loop of millionaire_gt: each level batches both
+  // ANDs of every adjacent digit pair, an odd digit carrying up unpaired.
+  std::vector<int> levels;
+  int digits = millionaire_digits(nbits);
+  while (digits > 1) {
+    const int pairs = digits / 2;
+    levels.push_back(2 * pairs);
+    digits = pairs + digits % 2;
+  }
+  return levels;
+}
+
 BitShared millionaire_gt(TwoPartyContext& ctx, const std::vector<std::uint64_t>& a,
                          const std::vector<std::uint64_t>& b, int nbits, OtMode mode) {
   if (a.size() != b.size()) throw std::invalid_argument("millionaire_gt: size mismatch");
   if (nbits < 1 || nbits > 63) throw std::invalid_argument("millionaire_gt: bad width");
   const std::size_t n = a.size();
-  const int digits = (nbits + 1) / 2;  // 2-bit parts (paper: U=16 for 32 bits)
+  const int digits = millionaire_digits(nbits);
 
   // Leaf layer: one (1,4)-OT per (element, digit).  Party 1 is the sender
   // and keeps random bits (r_lt, r_eq) as its leaf shares; party 0 receives

@@ -47,6 +47,18 @@ struct BitShared {
                                        const std::vector<std::uint64_t>& b, int nbits,
                                        OtMode mode = OtMode::dh_masked);
 
+/// Shape of the millionaire reduction for `nbits`-bit inputs — the single
+/// definition the protocol (millionaire_gt), the static preprocessing-plan
+/// derivation (ir::derive_plan) and the analytic round model
+/// (perf::drelu_rounds) all share, so they cannot drift apart.
+///
+/// millionaire_digits: number of 2-bit parts each value splits into.
+/// millionaire_and_level_multipliers: one entry per AND-tree combine
+/// level; level i consumes entry[i]·n bit triples (and one communication
+/// round) for n compared values.
+[[nodiscard]] int millionaire_digits(int nbits) noexcept;
+[[nodiscard]] std::vector<int> millionaire_and_level_multipliers(int nbits);
+
 /// XOR shares of the most significant bit of a secret-shared ring value.
 [[nodiscard]] BitShared msb(TwoPartyContext& ctx, const Shared& x,
                             OtMode mode = OtMode::dh_masked);

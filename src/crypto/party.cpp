@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 namespace pasnet::crypto {
 
@@ -111,7 +112,8 @@ void TwoPartyRuntime::run(const std::function<void()>& f0, const std::function<v
 TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, ExecMode mode,
                                  std::chrono::microseconds round_delay)
     : rc_(rc), mode_(mode), round_delay_(round_delay), dealer_(rc, splitmix64(seed)),
-      dealer_source_(dealer_, rc), prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)) {
+      dealer_source_(dealer_, rc), prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)),
+      opens_(*this) {
   ChannelOptions options;
   options.mode = mode == ExecMode::threaded ? ChannelMode::threaded : ChannelMode::lockstep;
   options.round_delay = round_delay;
@@ -161,22 +163,79 @@ void TwoPartyContext::exchange(const std::function<void()>& send0,
                                const std::function<void()>& send1,
                                const std::function<void()>& recv0,
                                const std::function<void()>& recv1) {
-  if (runtime_) {
-    exec(
-        [&] {
-          send0();
-          recv0();
-        },
-        [&] {
-          send1();
-          recv1();
-        });
-  } else {
-    send0();
-    send1();
-    recv0();
-    recv1();
+  // Both directions are concurrently in flight: the whole exchange is one
+  // latency-critical round (matching perf::OpCost::rounds), however many
+  // messages it carries.
+  chan0_->begin_round();
+  try {
+    if (runtime_) {
+      exec(
+          [&] {
+            send0();
+            recv0();
+          },
+          [&] {
+            send1();
+            recv1();
+          });
+    } else {
+      send0();
+      send1();
+      recv0();
+      recv1();
+    }
+  } catch (...) {
+    chan0_->end_round();
+    throw;
   }
+  chan0_->end_round();
+}
+
+// ---------------------------------------------------------------------------
+// Open buffer
+// ---------------------------------------------------------------------------
+
+void OpenBuffer::stage(Shared x, RingVec* out) {
+  if (!coalescing_) {
+    *out = open(ctx_, x);
+    return;
+  }
+  pending_.push_back(Pending{std::move(x), out});
+}
+
+void OpenBuffer::flush() {
+  if (pending_.empty()) return;
+  if (pending_.size() == 1) {
+    *pending_[0].out = open(ctx_, pending_[0].x);
+    pending_.clear();
+    return;
+  }
+  // Concatenate every staged vector and open the lot in one exchange; the
+  // bytes on the wire are identical to separate opens, the rounds are not.
+  std::size_t total = 0;
+  for (const Pending& p : pending_) total += p.x.size();
+  Shared all;
+  all.s0.reserve(total);
+  all.s1.reserve(total);
+  for (const Pending& p : pending_) {
+    all.s0.insert(all.s0.end(), p.x.s0.begin(), p.x.s0.end());
+    all.s1.insert(all.s1.end(), p.x.s1.begin(), p.x.s1.end());
+  }
+  const RingVec opened = open(ctx_, all);
+  std::size_t off = 0;
+  for (const Pending& p : pending_) {
+    p.out->assign(opened.begin() + static_cast<long>(off),
+                  opened.begin() + static_cast<long>(off + p.x.size()));
+    off += p.x.size();
+  }
+  pending_.clear();
+}
+
+void OpenBuffer::set_coalescing(bool on) {
+  if (!pending_.empty()) {
+    throw std::logic_error("OpenBuffer::set_coalescing: stages pending (flush first)");
+  }
+  coalescing_ = on;
 }
 
 // ---------------------------------------------------------------------------
@@ -195,66 +254,113 @@ RingVec open(TwoPartyContext& ctx, const Shared& x) {
   return add_vec(from0, from1, ctx.ring());
 }
 
-Shared mul_elem(TwoPartyContext& ctx, const Shared& x, const Shared& y) {
+void MulRound::stage(TwoPartyContext& ctx, Shared x, Shared y) {
   if (x.size() != y.size()) throw std::invalid_argument("mul_elem: size mismatch");
   const RingConfig& rc = ctx.ring();
-  const ElemTriple t = ctx.triples().elem_triple(x.size());
-
+  t_ = ctx.triples().elem_triple(x.size());
+  x_ = std::move(x);
+  y_ = std::move(y);
   // E = X - A, F = Y - B; opened jointly.
-  const Shared e_sh = sub(x, t.a, rc);
-  const Shared f_sh = sub(y, t.b, rc);
-  const RingVec e = open(ctx, e_sh);
-  const RingVec f = open(ctx, f_sh);
+  ctx.opens().stage(sub(x_, t_.a, rc), &e_);
+  ctx.opens().stage(sub(y_, t_.b, rc), &f_);
+}
 
+Shared MulRound::finish(const RingConfig& rc) {
   // R_Si = -i·E⊙F + X_Si⊙F + E⊙Y_Si + Z_Si  (paper Eq. 2)
   Shared r;
-  r.s0 = add_vec(add_vec(mul_vec(x.s0, f, rc), mul_vec(e, y.s0, rc), rc), t.z.s0, rc);
-  RingVec ef = mul_vec(e, f, rc);
-  r.s1 = add_vec(add_vec(mul_vec(x.s1, f, rc), mul_vec(e, y.s1, rc), rc), t.z.s1, rc);
+  r.s0 = add_vec(add_vec(mul_vec(x_.s0, f_, rc), mul_vec(e_, y_.s0, rc), rc), t_.z.s0, rc);
+  RingVec ef = mul_vec(e_, f_, rc);
+  r.s1 = add_vec(add_vec(mul_vec(x_.s1, f_, rc), mul_vec(e_, y_.s1, rc), rc), t_.z.s1, rc);
   r.s1 = sub_vec(r.s1, ef, rc);
   return r;
 }
 
-Shared square_elem(TwoPartyContext& ctx, const Shared& x) {
-  const RingConfig& rc = ctx.ring();
-  const SquarePair p = ctx.triples().square_pair(x.size());
+void SquareRound::stage(TwoPartyContext& ctx, const Shared& x) {
+  p_ = ctx.triples().square_pair(x.size());
+  ctx.opens().stage(sub(x, p_.a, ctx.ring()), &e_);
+}
 
-  const Shared e_sh = sub(x, p.a, rc);
-  const RingVec e = open(ctx, e_sh);
-
+Shared SquareRound::finish(const RingConfig& rc) {
   // R = Z + 2·E⊙A + E⊙E  (paper Eq. 3); the public E⊙E term is added by
   // exactly one party so reconstruction counts it once.
   const std::uint64_t two = 2;
   Shared r;
-  r.s0 = add_vec(p.z.s0, scale_vec(mul_vec(e, p.a.s0, rc), two, rc), rc);
-  r.s0 = add_vec(r.s0, mul_vec(e, e, rc), rc);
-  r.s1 = add_vec(p.z.s1, scale_vec(mul_vec(e, p.a.s1, rc), two, rc), rc);
+  r.s0 = add_vec(p_.z.s0, scale_vec(mul_vec(e_, p_.a.s0, rc), two, rc), rc);
+  r.s0 = add_vec(r.s0, mul_vec(e_, e_, rc), rc);
+  r.s1 = add_vec(p_.z.s1, scale_vec(mul_vec(e_, p_.a.s1, rc), two, rc), rc);
   return r;
 }
 
-Shared matmul(TwoPartyContext& ctx, const Shared& x, const Shared& y, std::size_t m,
-              std::size_t k, std::size_t n) {
+void MatmulRound::stage(TwoPartyContext& ctx, Shared x, Shared y, std::size_t m,
+                        std::size_t k, std::size_t n) {
   if (x.size() != m * k || y.size() != k * n) {
     throw std::invalid_argument("matmul: shape mismatch");
   }
   const RingConfig& rc = ctx.ring();
-  const MatmulTriple t = ctx.triples().matmul_triple(m, k, n);
+  t_ = ctx.triples().matmul_triple(m, k, n);
+  x_ = std::move(x);
+  y_ = std::move(y);
+  m_ = m;
+  k_ = k;
+  n_ = n;
+  ctx.opens().stage(sub(x_, t_.a, rc), &e_);
+  ctx.opens().stage(sub(y_, t_.b, rc), &f_);
+}
 
-  const Shared e_sh = sub(x, t.a, rc);
-  const Shared f_sh = sub(y, t.b, rc);
-  const RingVec e = open(ctx, e_sh);
-  const RingVec f = open(ctx, f_sh);
-
-  const RingVec ef = ring_matmul(e, f, m, k, n, rc);
+Shared MatmulRound::finish(const RingConfig& rc) {
+  const RingVec ef = ring_matmul(e_, f_, m_, k_, n_, rc);
   Shared r;
-  r.s0 = add_vec(add_vec(ring_matmul(x.s0, f, m, k, n, rc),
-                         ring_matmul(e, y.s0, m, k, n, rc), rc),
-                 t.z.s0, rc);
-  r.s1 = add_vec(add_vec(ring_matmul(x.s1, f, m, k, n, rc),
-                         ring_matmul(e, y.s1, m, k, n, rc), rc),
-                 t.z.s1, rc);
+  r.s0 = add_vec(add_vec(ring_matmul(x_.s0, f_, m_, k_, n_, rc),
+                         ring_matmul(e_, y_.s0, m_, k_, n_, rc), rc),
+                 t_.z.s0, rc);
+  r.s1 = add_vec(add_vec(ring_matmul(x_.s1, f_, m_, k_, n_, rc),
+                         ring_matmul(e_, y_.s1, m_, k_, n_, rc), rc),
+                 t_.z.s1, rc);
   r.s1 = sub_vec(r.s1, ef, rc);
   return r;
+}
+
+void BilinearRound::stage(TwoPartyContext& ctx, const Shared& x, const Shared& weight,
+                          const BilinearSpec& spec) {
+  const RingConfig& rc = ctx.ring();
+  map_ = build_bilinear_map(spec, rc);
+  t_ = ctx.triples().bilinear_triple(spec);
+  // E = W - B opens in weight space (offline-able for a static model) and
+  // F = X - A opens in *input* space — the paper's COMM_conv term.
+  ctx.opens().stage(sub(weight, t_.b, rc), &e_);
+  ctx.opens().stage(sub(x, t_.a, rc), &f_);
+}
+
+Shared BilinearRound::finish(const RingConfig& rc) {
+  // R_i = [i==0]·f(F,E) + f(A_i,E) + f(F,B_i) + Z_i.
+  Shared y;
+  y.s0 = map_(f_, e_);
+  y.s0 = add_vec(add_vec(y.s0, map_(t_.a.s0, e_), rc),
+                 add_vec(map_(f_, t_.b.s0), t_.z.s0, rc), rc);
+  y.s1 = add_vec(map_(t_.a.s1, e_), add_vec(map_(f_, t_.b.s1), t_.z.s1, rc), rc);
+  return y;
+}
+
+Shared mul_elem(TwoPartyContext& ctx, const Shared& x, const Shared& y) {
+  MulRound r;
+  r.stage(ctx, x, y);
+  ctx.opens().flush();
+  return r.finish(ctx.ring());
+}
+
+Shared square_elem(TwoPartyContext& ctx, const Shared& x) {
+  SquareRound r;
+  r.stage(ctx, x);
+  ctx.opens().flush();
+  return r.finish(ctx.ring());
+}
+
+Shared matmul(TwoPartyContext& ctx, const Shared& x, const Shared& y, std::size_t m,
+              std::size_t k, std::size_t n) {
+  MatmulRound r;
+  r.stage(ctx, x, y, m, k, n);
+  ctx.opens().flush();
+  return r.finish(ctx.ring());
 }
 
 Shared mul_fixed(TwoPartyContext& ctx, const Shared& x, const Shared& y) {

@@ -20,10 +20,19 @@
 //    where the sender's message depends on the receiver's) stay on the
 //    caller's thread: blocking channels make the lockstep schedule a valid
 //    schedule of the same protocol.
+//
+// Open coalescing: every joint opening is staged on the context's
+// OpenBuffer.  In immediate mode (default) each stage performs its own
+// exchange — the historical transcript.  In coalescing mode (enabled by
+// the IR round scheduler) stages accumulate and flush() opens everything
+// pending in ONE symmetric exchange — same values, same dealer/PRNG draw
+// order, fewer rounds.  That is what keeps the coalesced executor's logits
+// bit-identical to the eager path while its round count drops.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "crypto/beaver.hpp"
 #include "crypto/channel.hpp"
@@ -33,6 +42,8 @@
 #include "crypto/triple_source.hpp"
 
 namespace pasnet::crypto {
+
+class TwoPartyContext;
 
 /// How a TwoPartyContext schedules the two parties (see file comment).
 enum class ExecMode { lockstep, threaded };
@@ -56,6 +67,46 @@ class TwoPartyRuntime {
  private:
   struct Worker;
   std::unique_ptr<Worker> workers_[2];
+};
+
+/// Per-context staging area for joint openings (the round scheduler's
+/// "per-round open buffer").  Driven only from the coordinating thread;
+/// the underlying exchange fans out to the party threads as usual.
+class OpenBuffer {
+ public:
+  explicit OpenBuffer(TwoPartyContext& ctx) : ctx_(ctx) {}
+  OpenBuffer(const OpenBuffer&) = delete;
+  OpenBuffer& operator=(const OpenBuffer&) = delete;
+
+  /// Stages x for opening; the reconstructed public value is written to
+  /// *out.  Immediate mode opens right away (one exchange per stage, the
+  /// historical transcript); coalescing mode defers until flush().
+  void stage(Shared x, RingVec* out);
+
+  /// Opens everything staged since the last flush in one symmetric
+  /// exchange.  No-op when nothing is pending (always in immediate mode).
+  void flush();
+
+  /// Drops every pending stage without opening it (error-path cleanup:
+  /// the staged Shared copies are destroyed and the output pointers are
+  /// forgotten, so an unwound protocol step cannot leave the buffer
+  /// pointing into dead stack frames).
+  void discard() noexcept { pending_.clear(); }
+  [[nodiscard]] bool has_pending() const noexcept { return !pending_.empty(); }
+
+  /// Switches between immediate and coalescing staging.  Must not be
+  /// called with stages pending.
+  void set_coalescing(bool on);
+  [[nodiscard]] bool coalescing() const noexcept { return coalescing_; }
+
+ private:
+  struct Pending {
+    Shared x;
+    RingVec* out;
+  };
+  TwoPartyContext& ctx_;
+  std::vector<Pending> pending_;
+  bool coalescing_ = false;
 };
 
 /// Everything the online phase of a 2PC evaluation needs.
@@ -89,6 +140,9 @@ class TwoPartyContext {
   [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
   [[nodiscard]] std::chrono::microseconds round_delay() const noexcept { return round_delay_; }
 
+  /// The context's open staging buffer (see OpenBuffer).
+  [[nodiscard]] OpenBuffer& opens() noexcept { return opens_; }
+
   /// Runs the per-party closures — on the party threads in threaded mode,
   /// inline (f0 then f1) in lockstep mode.  Callers are responsible for an
   /// ordering that cannot deadlock under either schedule.  In threaded
@@ -100,7 +154,8 @@ class TwoPartyContext {
   /// One symmetric communication round: both parties send, then both
   /// receive.  Lockstep runs send0, send1, recv0, recv1 on the caller's
   /// thread; threaded runs (send0; recv0) on party 0's thread concurrently
-  /// with (send1; recv1) on party 1's.
+  /// with (send1; recv1) on party 1's.  The whole exchange is bracketed as
+  /// ONE round in the traffic stats (both directions in flight together).
   void exchange(const std::function<void()>& send0, const std::function<void()>& send1,
                 const std::function<void()>& recv0, const std::function<void()>& recv1);
 
@@ -121,12 +176,74 @@ class TwoPartyContext {
   TripleSource* triple_source_ = &dealer_source_;
   Prng prng0_;
   Prng prng1_;
+  OpenBuffer opens_;
   std::unique_ptr<TwoPartyRuntime> runtime_;  // threaded mode only
 };
 
 /// Jointly reconstruct a shared vector: both parties exchange their shares
 /// (one parallel round) and locally add.  Returns the public value.
 [[nodiscard]] RingVec open(TwoPartyContext& ctx, const Shared& x);
+
+// --- Staged (two-phase) protocol rounds ------------------------------------
+//
+// Each *Round splits one multiplicative protocol into stage() — draw the
+// correlated randomness and stage the masked openings on ctx.opens() — and
+// finish() — recombine once the openings are public.  The one-shot
+// functions below are stage + flush + finish; the IR executor stages
+// several independent rounds and flushes them in one exchange.  Both paths
+// share the same arithmetic and the same draw order, which is what makes
+// their results bit-identical.
+
+/// Beaver elementwise multiplication (paper Eq. 2), staged.
+class MulRound {
+ public:
+  void stage(TwoPartyContext& ctx, Shared x, Shared y);
+  [[nodiscard]] Shared finish(const RingConfig& rc);
+
+ private:
+  ElemTriple t_;
+  Shared x_, y_;
+  RingVec e_, f_;
+};
+
+/// Square via a square pair (paper Eq. 3), staged.
+class SquareRound {
+ public:
+  void stage(TwoPartyContext& ctx, const Shared& x);
+  [[nodiscard]] Shared finish(const RingConfig& rc);
+
+ private:
+  SquarePair p_;
+  RingVec e_;
+};
+
+/// Beaver matrix product (m×k)·(k×n), staged.
+class MatmulRound {
+ public:
+  void stage(TwoPartyContext& ctx, Shared x, Shared y, std::size_t m, std::size_t k,
+             std::size_t n);
+  [[nodiscard]] Shared finish(const RingConfig& rc);
+
+ private:
+  MatmulTriple t_;
+  Shared x_, y_;
+  RingVec e_, f_;
+  std::size_t m_ = 0, k_ = 0, n_ = 0;
+};
+
+/// Convolution-shaped bilinear product Z = f(X, W), staged.  E = W - B
+/// opens in weight space, F = X - A in input space (paper COMM_conv).
+class BilinearRound {
+ public:
+  void stage(TwoPartyContext& ctx, const Shared& x, const Shared& weight,
+             const BilinearSpec& spec);
+  [[nodiscard]] Shared finish(const RingConfig& rc);
+
+ private:
+  BilinearTriple t_;
+  BilinearMap map_;
+  RingVec e_, f_;
+};
 
 /// Elementwise Beaver multiplication JRK = JXK ⊙ JYK (paper Eq. 2).
 [[nodiscard]] Shared mul_elem(TwoPartyContext& ctx, const Shared& x, const Shared& y);

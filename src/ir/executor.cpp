@@ -1,0 +1,191 @@
+#include "ir/executor.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace pasnet::ir {
+
+namespace {
+
+using crypto::RingConfig;
+using crypto::Shared;
+using proto::SecureTensor;
+
+/// Restores the buffer's staging mode on scope exit (exception-safe).  An
+/// exception mid-round-group leaves stages pending whose output pointers
+/// refer to ops this frame owns — discard them first so the unwind never
+/// throws from a destructor and the reused context cannot write through
+/// dangling pointers.
+class CoalescingScope {
+ public:
+  CoalescingScope(crypto::OpenBuffer& buffer, bool on)
+      : buffer_(buffer), prev_(buffer.coalescing()) {
+    buffer_.set_coalescing(on);
+  }
+  ~CoalescingScope() {
+    buffer_.discard();
+    buffer_.set_coalescing(prev_);
+  }
+  CoalescingScope(const CoalescingScope&) = delete;
+  CoalescingScope& operator=(const CoalescingScope&) = delete;
+
+ private:
+  crypto::OpenBuffer& buffer_;
+  bool prev_;
+};
+
+}  // namespace
+
+CompiledParams share_parameters(const SecureProgram& p, crypto::Prng& prng,
+                                const RingConfig& rc) {
+  CompiledParams cp;
+  cp.weight.resize(p.ops.size());
+  cp.bias.resize(p.ops.size());
+  for (std::size_t i = 0; i < p.ops.size(); ++i) {
+    const Op& op = p.ops[i];
+    if (op.kind == OpKind::batchnorm) {
+      throw std::logic_error("ir::share_parameters: fold batch-norm before sharing");
+    }
+    if (op.kind == OpKind::conv || op.kind == OpKind::depthwise_conv ||
+        op.kind == OpKind::linear) {
+      cp.weight[i] = crypto::share_reals(op.weight, prng, rc);
+      if (op.has_bias) cp.bias[i] = crypto::share_reals(op.bias, prng, rc);
+    }
+  }
+  return cp;
+}
+
+ExecResult execute(const SecureProgram& p, const CompiledParams& params,
+                   crypto::TwoPartyContext& ctx, const nn::Tensor& input,
+                   const ExecOptions& opts) {
+  const RingConfig& rc = ctx.ring();
+  const bool coalesce = opts.cfg.schedule == proto::RoundSchedule::coalesced;
+  crypto::OpenBuffer& opens = ctx.opens();
+  CoalescingScope mode(opens, coalesce);
+
+  crypto::Prng input_prng(0xC11E47ULL);  // the client's share-generation PRG
+  std::vector<SecureTensor> acts(p.ops.size());
+  ExecResult result;
+
+  // The currently open round group: staged ops whose openings flush in one
+  // exchange.  finish() runs in stage order, so outputs land before any
+  // later op reads them.
+  std::vector<std::unique_ptr<proto::StagedSecureOp>> staged;
+  std::vector<std::size_t> staged_idx;
+  std::vector<char> pending(p.ops.size(), 0);
+  int staged_group = -1;
+  const auto flush_group = [&] {
+    if (staged.empty()) return;
+    opens.flush();
+    for (std::size_t j = 0; j < staged.size(); ++j) {
+      acts[staged_idx[j]] = staged[j]->finish(ctx);
+      pending[staged_idx[j]] = 0;
+    }
+    staged.clear();
+    staged_idx.clear();
+    staged_group = -1;
+  };
+  const auto input_pending = [&](const Op& op) {
+    return (op.in0 >= 0 && pending[static_cast<std::size_t>(op.in0)]) ||
+           (op.in1 >= 0 && pending[static_cast<std::size_t>(op.in1)]);
+  };
+
+  for (std::size_t i = 0; i < p.ops.size(); ++i) {
+    const Op& op = p.ops[i];
+    const auto in = [&]() -> const SecureTensor& {
+      return acts[static_cast<std::size_t>(op.in0)];
+    };
+    if (op.stages_opens()) {
+      if (staged_group != op.round_group || input_pending(op)) flush_group();
+      if (opts.layer_hook) opts.layer_hook(op.layer);
+      std::unique_ptr<proto::StagedSecureOp> sop;
+      switch (op.kind) {
+        case OpKind::conv:
+          sop = std::make_unique<proto::StagedConv2d>(
+              in(), params.weight[i], op.has_bias ? &params.bias[i] : nullptr, op.out_ch,
+              op.kernel, op.stride, op.pad, /*depthwise=*/false);
+          break;
+        case OpKind::depthwise_conv:
+          sop = std::make_unique<proto::StagedConv2d>(
+              in(), params.weight[i], op.has_bias ? &params.bias[i] : nullptr, op.out_ch,
+              op.kernel, op.stride, op.pad, /*depthwise=*/true);
+          break;
+        case OpKind::linear:
+          sop = std::make_unique<proto::StagedLinear>(
+              in(), params.weight[i], op.has_bias ? &params.bias[i] : nullptr,
+              op.out_features);
+          break;
+        case OpKind::x2act:
+          sop = std::make_unique<proto::StagedX2act>(in(), op.a_coeff, op.act_w2, op.act_b);
+          break;
+        default:
+          throw std::logic_error("ir::execute: unreachable staged kind");
+      }
+      sop->stage(ctx);
+      if (coalesce) {
+        staged.push_back(std::move(sop));
+        staged_idx.push_back(i);
+        staged_group = op.round_group;
+        pending[i] = 1;
+      } else {
+        // Eager schedule: every staged opening already ran its own
+        // exchange; the op completes on the spot.
+        opens.flush();
+        acts[i] = sop->finish(ctx);
+      }
+      continue;
+    }
+
+    // Multi-round ops run their own exchanges; local ops may read group
+    // outputs.  Either way any pending group finishes first.
+    if (op.multi_round() || input_pending(op)) flush_group();
+    if (opts.layer_hook) opts.layer_hook(op.layer);
+    switch (op.kind) {
+      case OpKind::input:
+        acts[i] = proto::share_tensor(input, input_prng, rc);
+        break;
+      case OpKind::relu:
+        acts[i] = proto::secure_relu(ctx, in(), opts.cfg);
+        break;
+      case OpKind::maxpool:
+        acts[i] = proto::secure_maxpool(ctx, in(), op.kernel, op.stride, opts.cfg, op.pad);
+        break;
+      case OpKind::avgpool:
+        acts[i] = proto::secure_avgpool(ctx, in(), op.kernel, op.stride, op.pad);
+        break;
+      case OpKind::global_avgpool:
+        acts[i] = proto::secure_global_avgpool(ctx, in());
+        break;
+      case OpKind::flatten:
+        acts[i] = proto::secure_flatten(in());
+        break;
+      case OpKind::add:
+        acts[i] = proto::secure_add(ctx, acts[static_cast<std::size_t>(op.in0)],
+                                    acts[static_cast<std::size_t>(op.in1)]);
+        break;
+      case OpKind::argmax:
+        if (static_cast<int>(i) != p.output) {
+          throw std::logic_error("ir::execute: argmax must be the program output");
+        }
+        result.labels = proto::secure_argmax(ctx, in(), opts.cfg);
+        break;
+      case OpKind::batchnorm:
+        throw std::logic_error("ir::execute: unfolded batch-norm (run the pass pipeline)");
+      default:
+        throw std::logic_error("ir::execute: unreachable local kind");
+    }
+  }
+  flush_group();
+
+  const Op& out_op = p.ops[static_cast<std::size_t>(p.output)];
+  if (out_op.kind == OpKind::argmax) return result;
+
+  // Reveal the logits to the client: one final joint opening.
+  const SecureTensor& final_act = acts[static_cast<std::size_t>(p.output)];
+  const crypto::RingVec revealed = crypto::open(ctx, final_act.shares);
+  result.logits = nn::Tensor::from_doubles(crypto::decode_vec(revealed, rc),
+                                           std::vector<int>(final_act.shape));
+  return result;
+}
+
+}  // namespace pasnet::ir

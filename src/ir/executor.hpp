@@ -1,0 +1,53 @@
+#pragma once
+// The IR interpreter: runs a scheduled SecureProgram under the 2PC
+// protocol stack.
+//
+// Parameters are secret-shared once (share_parameters) and reused across
+// queries; execute() walks the program in order, staging the openings of
+// every round group on the context's OpenBuffer and flushing each group in
+// one exchange.  Because staging preserves the program-order dealer and
+// PRNG draw sequence, the coalesced schedule produces logits bit-identical
+// to the eager (open-per-exchange) schedule — only the round count and
+// message count drop.
+
+#include <functional>
+
+#include "ir/program.hpp"
+#include "proto/secure_ops.hpp"
+
+namespace pasnet::ir {
+
+/// Secret-shared program parameters, aligned with SecureProgram::ops.
+struct CompiledParams {
+  std::vector<crypto::Shared> weight;
+  std::vector<crypto::Shared> bias;
+};
+
+/// Fixed-point encodes and secret-shares every op's parameters, in program
+/// order (weight, then bias when present) — the draw order the historical
+/// compiler used, so shared weights are reproducible from the same seed.
+[[nodiscard]] CompiledParams share_parameters(const SecureProgram& program, crypto::Prng& prng,
+                                              const crypto::RingConfig& rc);
+
+/// Execution knobs.
+struct ExecOptions {
+  proto::SecureConfig cfg;
+  /// Invoked with each op's descriptor-layer tag right before the op draws
+  /// its correlated randomness (the preprocessing-plan oracle hook).
+  std::function<void(int)> layer_hook;
+};
+
+/// What a program run reveals to the client.
+struct ExecResult {
+  nn::Tensor logits;        ///< reconstructed logits (empty for argmax programs)
+  std::vector<int> labels;  ///< revealed labels (argmax-terminated programs only)
+};
+
+/// Runs one query.  The input is shared with the canonical client PRG, the
+/// program executes group by group, and the terminal op's value (logits or
+/// argmax labels) is jointly opened.
+[[nodiscard]] ExecResult execute(const SecureProgram& program, const CompiledParams& params,
+                                 crypto::TwoPartyContext& ctx, const nn::Tensor& input,
+                                 const ExecOptions& opts = ExecOptions{});
+
+}  // namespace pasnet::ir

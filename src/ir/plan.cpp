@@ -1,0 +1,159 @@
+#include "ir/plan.hpp"
+
+#include <stdexcept>
+
+#include "crypto/compare.hpp"
+
+namespace pasnet::ir {
+
+namespace {
+
+using offline::PreprocessingPlan;
+using offline::TripleKind;
+using offline::TripleRequest;
+
+void push_elem(PreprocessingPlan& plan, int layer, std::uint64_t n) {
+  TripleRequest r;
+  r.kind = TripleKind::elem;
+  r.layer = layer;
+  r.n = n;
+  plan.requests.push_back(r);
+}
+
+void push_square(PreprocessingPlan& plan, int layer, std::uint64_t n) {
+  TripleRequest r;
+  r.kind = TripleKind::square;
+  r.layer = layer;
+  r.n = n;
+  plan.requests.push_back(r);
+}
+
+void push_bit(PreprocessingPlan& plan, int layer, std::uint64_t n) {
+  TripleRequest r;
+  r.kind = TripleKind::bit;
+  r.layer = layer;
+  r.n = n;
+  plan.requests.push_back(r);
+}
+
+void push_matmul(PreprocessingPlan& plan, int layer, std::uint64_t m, std::uint64_t k,
+                 std::uint64_t cols) {
+  TripleRequest r;
+  r.kind = TripleKind::matmul;
+  r.layer = layer;
+  r.m = m;
+  r.k = k;
+  r.cols = cols;
+  plan.requests.push_back(r);
+}
+
+void push_bilinear(PreprocessingPlan& plan, int layer, const crypto::BilinearSpec& spec) {
+  TripleRequest r;
+  r.kind = TripleKind::bilinear;
+  r.layer = layer;
+  r.bilinear = spec;
+  plan.requests.push_back(r);
+}
+
+/// The AND-tree of one DReLU over n elements: one bit-triple request per
+/// combine level of crypto::millionaire_gt over the low ring bits, sized
+/// by the shared shape helper (the (1,4)-OT leaves consume no triples).
+void push_drelu(PreprocessingPlan& plan, int layer, std::uint64_t n,
+                const crypto::RingConfig& rc) {
+  for (const int mult : crypto::millionaire_and_level_multipliers(rc.bits - 1)) {
+    push_bit(plan, layer, static_cast<std::uint64_t>(mult) * n);
+  }
+}
+
+/// One batched secure max over n element pairs: DReLU on the difference,
+/// then mux = B2A (one elem triple) + the selector multiply (one more).
+void push_max(PreprocessingPlan& plan, int layer, std::uint64_t n,
+              const crypto::RingConfig& rc) {
+  push_drelu(plan, layer, n, rc);
+  push_elem(plan, layer, n);  // b2a's Beaver multiply
+  push_elem(plan, layer, n);  // mux selector multiply
+}
+
+void append_op_requests(PreprocessingPlan& plan, const Op& op,
+                        const crypto::RingConfig& rc) {
+  switch (op.kind) {
+    case OpKind::conv:
+    case OpKind::depthwise_conv: {
+      crypto::BilinearSpec spec;
+      spec.kind = op.kind == OpKind::depthwise_conv ? crypto::BilinearKind::depthwise_conv2d
+                                                    : crypto::BilinearKind::conv2d;
+      spec.batch = 1;
+      spec.in_ch = op.in_ch;
+      spec.in_h = op.in_h;
+      spec.in_w = op.in_w;
+      spec.out_ch = op.out_ch;
+      spec.kernel = op.kernel;
+      spec.stride = op.stride;
+      spec.pad = op.pad;
+      push_bilinear(plan, op.layer, spec);
+      break;
+    }
+    case OpKind::linear:
+      // One W·xᵀ matrix triple per sample; plans are per-query (batch 1).
+      push_matmul(plan, op.layer, static_cast<std::uint64_t>(op.out_features),
+                  static_cast<std::uint64_t>(op.in_features), 1);
+      break;
+    case OpKind::x2act:
+      push_square(plan, op.layer, static_cast<std::uint64_t>(op.input_elems()));
+      break;
+    case OpKind::relu: {
+      const auto n = static_cast<std::uint64_t>(op.input_elems());
+      push_drelu(plan, op.layer, n, rc);
+      push_elem(plan, op.layer, n);  // b2a
+      push_elem(plan, op.layer, n);  // mux
+      break;
+    }
+    case OpKind::maxpool: {
+      // k² window taps reduce level by level; each level batches all its
+      // pairs into one secure max over pairs·out_elems values.
+      const auto out_elems = static_cast<std::uint64_t>(op.output_elems());
+      int taps = op.kernel * op.kernel;
+      while (taps > 1) {
+        const int pairs = taps / 2;
+        push_max(plan, op.layer, static_cast<std::uint64_t>(pairs) * out_elems, rc);
+        taps = pairs + (taps % 2);
+      }
+      break;
+    }
+    case OpKind::argmax: {
+      // Tournament over (value, index) pairs: per level one DReLU, one B2A
+      // and two selector multiplies (value and index) over pairs·rows.
+      const std::uint64_t rows = 1;  // per-query plans are batch 1
+      int entries = op.in_features;
+      while (entries > 1) {
+        const int pairs = entries / 2;
+        const std::uint64_t n = static_cast<std::uint64_t>(pairs) * rows;
+        push_drelu(plan, op.layer, n, rc);
+        push_elem(plan, op.layer, n);  // b2a
+        push_elem(plan, op.layer, n);  // value selector
+        push_elem(plan, op.layer, n);  // index selector
+        entries = pairs + (entries % 2);
+      }
+      break;
+    }
+    case OpKind::batchnorm:
+      throw std::logic_error("ir::derive_plan: unfolded batch-norm (run the pass pipeline)");
+    case OpKind::input:
+    case OpKind::avgpool:
+    case OpKind::global_avgpool:
+    case OpKind::flatten:
+    case OpKind::add:
+      break;  // local: no correlated randomness
+  }
+}
+
+}  // namespace
+
+PreprocessingPlan derive_plan(const SecureProgram& program, const crypto::RingConfig& rc) {
+  PreprocessingPlan plan;
+  plan.ring = rc;
+  for (const Op& op : program.ops) append_op_requests(plan, op, rc);
+  return plan;
+}
+
+}  // namespace pasnet::ir

@@ -1,0 +1,26 @@
+#pragma once
+// Static derivation of a query's offline preprocessing requirements from
+// the IR — no dry run, no scratch context.
+//
+// Every IR op's online protocol consumes a deterministic, shape-dependent
+// stream of correlated-randomness requests; derive_plan() walks the
+// scheduled program and emits that stream in execution order.  The result
+// is request-for-request identical to what a real query records through a
+// RecordingTripleSource (the dry-run recorder is kept only as a test
+// oracle for this equality), which is what lets the OfflineGenerator
+// pregenerate bundles that replay the online phase bit for bit.
+
+#include "crypto/ring.hpp"
+#include "ir/program.hpp"
+#include "offline/preprocessing_plan.hpp"
+
+namespace pasnet::ir {
+
+/// Derives the ordered TripleRequest stream one query of `program`
+/// consumes under ring `rc`.  The program must be batch-norm folded (the
+/// standard pass pipeline); requests are tagged with each op's descriptor
+/// layer.
+[[nodiscard]] offline::PreprocessingPlan derive_plan(const SecureProgram& program,
+                                                     const crypto::RingConfig& rc);
+
+}  // namespace pasnet::ir

@@ -137,6 +137,7 @@ class X2Act : public Module {
   [[nodiscard]] float w1() const noexcept { return w1_[0]; }
   [[nodiscard]] float w2() const noexcept { return w2_[0]; }
   [[nodiscard]] float b() const noexcept { return b_[0]; }
+  [[nodiscard]] float c() const noexcept { return c_; }
   [[nodiscard]] float effective_quadratic_coeff(int feature_count) const;
   void set_params(float w1, float w2, float b);
 

@@ -3,13 +3,13 @@
 //
 // A PreprocessingPlan is the exact, ordered list of correlated-randomness
 // requests that ONE query of a compiled SecureNetwork consumes — kind,
-// shape, and the layer that consumes it.  It is produced by a dry-run
-// counting pass (SecureNetwork::compile_plan runs one real query through a
-// RecordingTripleSource), and is everything the OfflineGenerator needs to
-// pregenerate material: replaying the requests in order against a dealer
-// with a query's canonical seed reproduces, draw for draw, the exact
-// triples the fused online path would have generated — which is what makes
-// store-backed inference bit-identical to the dealer path.
+// shape, and the layer that consumes it.  It is derived statically from
+// the secure-inference IR (ir::derive_plan walks the scheduled program),
+// and is everything the OfflineGenerator needs to pregenerate material:
+// replaying the requests in order against a dealer with a query's
+// canonical seed reproduces, draw for draw, the exact triples the fused
+// online path would have generated — which is what makes store-backed
+// inference bit-identical to the dealer path.
 //
 // The fingerprint hashes the request stream (and the ring), so a serialized
 // TripleStore can be checked against the model it is loaded for.
@@ -31,6 +31,12 @@ struct TripleRequest {
   std::uint64_t n = 0; ///< element count (elem/square/bit)
   std::uint64_t m = 0, k = 0, cols = 0;  ///< matmul dims (m, k, n)
   crypto::BilinearSpec bilinear{};       ///< bilinear geometry
+
+  [[nodiscard]] bool operator==(const TripleRequest& o) const noexcept {
+    return kind == o.kind && layer == o.layer && n == o.n && m == o.m && k == o.k &&
+           cols == o.cols && (kind != TripleKind::bilinear || bilinear == o.bilinear);
+  }
+  [[nodiscard]] bool operator!=(const TripleRequest& o) const noexcept { return !(*this == o); }
 
   /// Ring elements of material this request produces (0 for bit triples,
   /// which are counted separately — they are bits, not ring elements).
@@ -83,10 +89,12 @@ struct PreprocessingPlan {
   [[nodiscard]] std::vector<LayerTripleSummary> layer_summaries() const;
 };
 
-/// A TripleSource decorator used by the dry-run counting pass: generation is
-/// delegated to a real dealer (so the pass is an ordinary query), and every
-/// request is appended to the plan under the layer the executor tagged via
-/// begin_layer().
+/// A TripleSource decorator that records every request under the layer the
+/// executor tagged via begin_layer(), delegating generation to a real
+/// dealer.  Production plans are derived statically from the IR
+/// (ir::derive_plan); this recorder survives as the *test oracle* that
+/// cross-checks the static derivation against what a real query actually
+/// consumes.
 class RecordingTripleSource final : public crypto::TripleSource {
  public:
   RecordingTripleSource(crypto::TripleDealer& dealer, const crypto::RingConfig& rc)

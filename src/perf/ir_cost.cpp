@@ -1,0 +1,116 @@
+#include "perf/ir_cost.hpp"
+
+#include <set>
+
+#include "crypto/compare.hpp"
+
+namespace pasnet::perf {
+
+namespace {
+
+/// Tournament depth of a t-entry reduction tree with odd carries.
+int tree_levels(int t) noexcept {
+  int levels = 0;
+  while (t > 1) {
+    t = t / 2 + t % 2;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace
+
+int drelu_rounds(int ring_bits) {
+  // millionaire_gt: 2 sequential OT messages (receiver blinds, sender
+  // masks), then one and_bits exchange per AND-tree combine level — the
+  // level count comes from the same shape helper the protocol and the
+  // static plan derivation use.
+  return 2 + static_cast<int>(
+                 crypto::millionaire_and_level_multipliers(ring_bits - 1).size());
+}
+
+OpCost ir_op_cost(const LatencyModel& m, const ir::Op& op, int ring_bits) {
+  using ir::OpKind;
+  switch (op.kind) {
+    case OpKind::input:
+    case OpKind::flatten:
+      return OpCost{};
+    case OpKind::batchnorm:
+      return OpCost{};  // folded away by the pass pipeline
+    case OpKind::conv:
+    case OpKind::depthwise_conv: {
+      OpCost c = m.conv(op.kernel, static_cast<long long>(op.out_h) * op.out_w, op.in_ch,
+                        op.out_ch, op.input_elems(), op.kind == OpKind::depthwise_conv);
+      c.rounds = 1;  // E and F coalesce into one exchange
+      return c;
+    }
+    case OpKind::linear: {
+      OpCost c = m.linear(op.in_features, op.out_features);
+      c.rounds = 1;
+      return c;
+    }
+    case OpKind::x2act: {
+      OpCost c = m.x2act(op.input_elems());
+      c.rounds = 1;  // one square-pair E opening; coefficient scaling is local
+      return c;
+    }
+    case OpKind::relu: {
+      OpCost c = m.relu(op.input_elems());
+      // DReLU + B2A (one coalesced Beaver open) + mux multiply (one more).
+      c.rounds = drelu_rounds(ring_bits) + 2;
+      return c;
+    }
+    case OpKind::maxpool: {
+      OpCost c = m.maxpool(op.input_elems());
+      // Each tournament level is one batched secure max: DReLU + B2A + mux.
+      c.rounds = tree_levels(op.kernel * op.kernel) * (drelu_rounds(ring_bits) + 2);
+      return c;
+    }
+    case OpKind::avgpool:
+    case OpKind::global_avgpool:
+      return m.avgpool(op.input_elems());
+    case OpKind::add:
+      return m.add(op.output_elems());
+    case OpKind::argmax: {
+      // Tournament over the class entries: per level one DReLU + B2A + two
+      // selector multiplies.  Communication approximated with the relu
+      // flow over the widest level (indices ride in the same exchanges).
+      OpCost c = m.relu(op.in_features);
+      c.rounds = tree_levels(op.in_features) * (drelu_rounds(ring_bits) + 3);
+      return c;
+    }
+  }
+  return OpCost{};
+}
+
+ProgramCost profile_program(const LatencyModel& m, const ir::SecureProgram& p,
+                            int ring_bits) {
+  ProgramCost pc;
+  pc.per_op.reserve(p.ops.size());
+  std::set<int> groups_counted;
+  for (const ir::Op& op : p.ops) {
+    OpCost c = ir_op_cost(m, op, ring_bits);
+    if (op.stages_opens() && op.round_group >= 0) {
+      // All ops of one round group flush in a single exchange: the group's
+      // first member carries the round, the rest contribute zero.
+      if (groups_counted.count(op.round_group) > 0) {
+        c.rounds = 0;
+      } else {
+        groups_counted.insert(op.round_group);
+        c.rounds = 1;
+      }
+    }
+    pc.total += c;
+    pc.per_op.push_back(c);
+  }
+  pc.round_groups = static_cast<int>(groups_counted.size());
+  // Terminal joint opening: the logits (or the argmax index vector, whose
+  // final reveal replaces it).
+  pc.total.rounds += 1;
+  const double out_elems = static_cast<double>(
+      p.output >= 0 ? p.ops[static_cast<std::size_t>(p.output)].output_elems() : 0);
+  pc.total.comm_bytes += 2.0 * 4.0 * out_elems;  // both directions, 32-bit wire
+  return pc;
+}
+
+}  // namespace pasnet::perf

@@ -1,0 +1,46 @@
+#pragma once
+// Analytic costing of the secure-inference IR.
+//
+// profile_program prices a scheduled ir::SecureProgram with the latency
+// model so analytic and measured statistics are comparable on the same
+// object: per-op compute/communication come from the paper's Eq. 5-16
+// cost functions, while the `rounds` fields follow the protocol stack's
+// actual round structure (OT phases, AND-tree depth, B2A + mux, coalesced
+// E/F openings) — the same rounds the coalesced executor measures.  Ops
+// sharing an open-coalescing round group count one round together, and the
+// terminal opening (logits or argmax indices) adds one more.
+//
+// The CI round-regression guard asserts measured rounds never exceed this
+// model's prediction.
+
+#include "ir/program.hpp"
+#include "perf/latency_model.hpp"
+
+namespace pasnet::perf {
+
+/// Rounds of one DReLU (comparison) pass: the 2-message OT leaf exchange
+/// plus the log-depth AND combine tree over the 2-bit digits of the low
+/// ring bits.  `ring_bits` is the *functional* ring width the comparison
+/// actually runs over (RingConfig::bits, 64 by default — the modeled
+/// 32-bit wire width does not change the tree depth).
+[[nodiscard]] int drelu_rounds(int ring_bits = 64);
+
+/// Analytic cost of one IR op with protocol-accurate round counts.  The
+/// round count assumes the coalesced schedule (each multiplication's E and
+/// F open together); group merging across ops is applied by
+/// profile_program, not here.
+[[nodiscard]] OpCost ir_op_cost(const LatencyModel& model, const ir::Op& op,
+                                int ring_bits = 64);
+
+/// Whole-program analytic profile.
+struct ProgramCost {
+  OpCost total;                ///< includes the terminal opening round
+  std::vector<OpCost> per_op;  ///< aligned with program.ops
+  int round_groups = 0;        ///< coalesced open groups counted once
+};
+
+[[nodiscard]] ProgramCost profile_program(const LatencyModel& model,
+                                          const ir::SecureProgram& program,
+                                          int ring_bits = 64);
+
+}  // namespace pasnet::perf

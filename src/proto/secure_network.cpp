@@ -2,119 +2,38 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
-#include "nn/layers.hpp"
+#include "ir/passes.hpp"
+#include "ir/plan.hpp"
 
 namespace pasnet::proto {
-
-namespace {
-
-using crypto::RingConfig;
-using crypto::Shared;
-
-Shared share_floats(const std::vector<double>& v, crypto::Prng& prng, const RingConfig& rc) {
-  return crypto::share_reals(v, prng, rc);
-}
-
-}  // namespace
 
 SecureNetwork::SecureNetwork(const nn::ModelDescriptor& md, nn::Graph& trained,
                              const std::vector<int>& node_of_layer,
                              crypto::TwoPartyContext& ctx, SecureConfig cfg)
     : md_(md), ctx_(ctx), cfg_(cfg) {
-  if (node_of_layer.size() != md.layers.size()) {
-    throw std::invalid_argument("SecureNetwork: node mapping size mismatch");
-  }
-  // Which batch-norm layer (if any) consumes each producer layer.
-  std::vector<int> bn_consumer(md.layers.size(), -1);
-  for (std::size_t i = 0; i < md.layers.size(); ++i) {
-    if (md.layers[i].kind == nn::OpKind::batchnorm) {
-      bn_consumer[static_cast<std::size_t>(md.layers[i].in0)] = static_cast<int>(i);
-    }
-  }
-
+  // Lower to the IR and run the standard pass pipeline: batch-norm folding,
+  // x2act coefficient fusion, open-coalescing round scheduling.
+  program_ = ir::lower(md, trained, node_of_layer);
+  ir::run_standard_passes(program_);
   crypto::Prng weight_prng(0x5EC0DEULL);
-  const RingConfig& rc = ctx.ring();
-  layers_.resize(md.layers.size());
-  for (std::size_t i = 0; i < md.layers.size(); ++i) {
-    const nn::LayerSpec& spec = md.layers[i];
-    CompiledLayer& cl = layers_[i];
-    cl.spec = spec;
-    nn::Module* mod = trained.module_at(node_of_layer[i]);
-
-    switch (spec.kind) {
-      case nn::OpKind::conv: {
-        // Gather plaintext weights, fold the consumer BN, encode and share.
-        std::vector<double> wmat;
-        std::vector<double> bias;
-        int out_rows = 0;
-        if (spec.depthwise) {
-          auto* dw = dynamic_cast<nn::DepthwiseConv2d*>(mod);
-          if (dw == nullptr) throw std::logic_error("SecureNetwork: expected DepthwiseConv2d");
-          wmat = dw->weight().to_doubles();
-          out_rows = spec.out_ch;
-          bias.assign(static_cast<std::size_t>(out_rows), 0.0);
-        } else {
-          auto* conv = dynamic_cast<nn::Conv2d*>(mod);
-          if (conv == nullptr) throw std::logic_error("SecureNetwork: expected Conv2d");
-          wmat = conv->weight().to_doubles();
-          out_rows = spec.out_ch;
-          bias.assign(static_cast<std::size_t>(out_rows), 0.0);
-          if (conv->has_bias()) {
-            const auto bd = conv->bias().to_doubles();
-            for (int oc = 0; oc < out_rows; ++oc) bias[static_cast<std::size_t>(oc)] = bd[static_cast<std::size_t>(oc)];
-          }
-        }
-        const int bn_idx = bn_consumer[i];
-        bool fold_bias = false;
-        if (bn_idx >= 0) {
-          auto* bn = dynamic_cast<nn::BatchNorm2d*>(trained.module_at(
-              node_of_layer[static_cast<std::size_t>(bn_idx)]));
-          if (bn == nullptr) throw std::logic_error("SecureNetwork: expected BatchNorm2d");
-          const std::size_t row_w = wmat.size() / static_cast<std::size_t>(out_rows);
-          for (int oc = 0; oc < out_rows; ++oc) {
-            const double invstd =
-                1.0 / std::sqrt(bn->running_var()[static_cast<std::size_t>(oc)] + bn->eps());
-            const double g = bn->gamma()[static_cast<std::size_t>(oc)] * invstd;
-            for (std::size_t j = 0; j < row_w; ++j) wmat[oc * row_w + j] *= g;
-            bias[static_cast<std::size_t>(oc)] =
-                (bias[static_cast<std::size_t>(oc)] -
-                 bn->running_mean()[static_cast<std::size_t>(oc)]) * g +
-                bn->beta()[static_cast<std::size_t>(oc)];
-          }
-          layers_[static_cast<std::size_t>(bn_idx)].skip = true;
-          fold_bias = true;
-        }
-        cl.weight = share_floats(wmat, weight_prng, rc);
-        if (fold_bias || !spec.depthwise) {
-          cl.bias = share_floats(bias, weight_prng, rc);
-          cl.has_bias = true;
-        }
-        break;
-      }
-      case nn::OpKind::linear: {
-        auto* fc = dynamic_cast<nn::Linear*>(mod);
-        if (fc == nullptr) throw std::logic_error("SecureNetwork: expected Linear");
-        cl.weight = share_floats(fc->weight().to_doubles(), weight_prng, rc);
-        cl.bias = share_floats(fc->bias().to_doubles(), weight_prng, rc);
-        cl.has_bias = true;
-        break;
-      }
-      case nn::OpKind::x2act: {
-        auto* act = dynamic_cast<nn::X2Act*>(mod);
-        if (act == nullptr) throw std::logic_error("SecureNetwork: expected X2Act");
-        cl.a_coeff = act->effective_quadratic_coeff(static_cast<int>(spec.input_elems()));
-        cl.w2 = act->w2();
-        cl.b = act->b();
-        break;
-      }
-      default:
-        break;  // protocol-only layers carry no parameters
+  params_ = ir::share_parameters(program_, weight_prng, ctx.ring());
+  plan_ = ir::derive_plan(program_, ctx.ring());
+  // Everything downstream (executor, plan, costing) works from shapes and
+  // the shared params; drop the plaintext copy.
+  ir::release_parameters(program_);
+  // Weight-shaped openings (2 directions each) are model constants;
+  // amortizable offline for a static model.
+  const auto wire = static_cast<std::uint64_t>(ctx.wire_bytes());
+  for (std::size_t i = 0; i < program_.ops.size(); ++i) {
+    const ir::Op& op = program_.ops[i];
+    if (op.kind == ir::OpKind::conv || op.kind == ir::OpKind::depthwise_conv ||
+        op.kind == ir::OpKind::linear) {
+      weight_open_bytes_ += params_.weight[i].size() * wire * 2;
     }
   }
 }
@@ -129,25 +48,6 @@ std::uint64_t SecureNetwork::query_context_seed(std::size_t q) noexcept {
 std::uint64_t SecureNetwork::query_dealer_seed(std::size_t q) noexcept {
   // TwoPartyContext seeds its dealer with splitmix64(context seed).
   return crypto::splitmix64(query_context_seed(q));
-}
-
-const offline::PreprocessingPlan& SecureNetwork::plan() const {
-  std::lock_guard<std::mutex> lk(plan_mu_);
-  if (!plan_) {
-    // Dry-run counting pass: one real query on a scratch lockstep context
-    // with a recording source.  The request stream depends only on shapes,
-    // so a zero input stands in for any query.
-    crypto::TwoPartyContext dry_ctx(ctx_.ring(), query_context_seed(0),
-                                    crypto::ExecMode::lockstep);
-    offline::RecordingTripleSource recorder(dry_ctx.dealer(), dry_ctx.ring());
-    dry_ctx.set_triple_source(&recorder);
-    const nn::Tensor zeros({1, md_.input_ch, md_.input_h, md_.input_w});
-    InferenceStats scratch;
-    (void)run_query(dry_ctx, zeros, scratch,
-                    [&recorder](int layer) { recorder.begin_layer(layer); });
-    plan_ = std::make_unique<offline::PreprocessingPlan>(recorder.take_plan());
-  }
-  return *plan_;
 }
 
 offline::TripleStore SecureNetwork::preprocess(std::size_t queries, int threads,
@@ -177,6 +77,28 @@ nn::Tensor SecureNetwork::infer(const nn::Tensor& input) {
   offline::StoreTripleSource source(bundle, qctx.dealer(), policy_);
   qctx.set_triple_source(&source);
   return run_query(qctx, input, stats_);
+}
+
+std::vector<int> SecureNetwork::classify(const nn::Tensor& input) {
+  if (store_ != nullptr) {
+    throw std::logic_error(
+        "SecureNetwork::classify: label-only inference consumes a different triple stream; "
+        "detach the store first");
+  }
+  if (!argmax_program_) {
+    argmax_program_ = std::make_unique<ir::SecureProgram>(program_);
+    ir::append_argmax(*argmax_program_);
+  }
+  batch_stats_.clear();
+  ctx_.reset_stats();
+  const crypto::TripleCounters before = ctx_.triples().counters();
+  ir::ExecOptions opts;
+  opts.cfg = cfg_;
+  // The argmax terminal carries no parameters, so the logits program's
+  // shared parameters apply unchanged (the extra op never indexes them).
+  const ir::ExecResult res = ir::execute(*argmax_program_, params_, ctx_, input, opts);
+  fill_stats(ctx_, before, stats_);
+  return res.labels;
 }
 
 std::vector<nn::Tensor> SecureNetwork::infer_batch(const std::vector<nn::Tensor>& inputs,
@@ -248,107 +170,30 @@ std::vector<nn::Tensor> SecureNetwork::infer_batch(const std::vector<nn::Tensor>
 nn::Tensor SecureNetwork::run_query(crypto::TwoPartyContext& ctx, const nn::Tensor& input,
                                     InferenceStats& out,
                                     const std::function<void(int)>& layer_hook) const {
-  const RingConfig& rc = ctx.ring();
   ctx.reset_stats();
   const crypto::TripleCounters triples_before = ctx.triples().counters();
+  ir::ExecOptions opts;
+  opts.cfg = cfg_;
+  opts.layer_hook = layer_hook;
+  ir::ExecResult res = ir::execute(program_, params_, ctx, input, opts);
+  fill_stats(ctx, triples_before, out);
+  return std::move(res.logits);
+}
 
-  crypto::Prng input_prng(0xC11E47ULL);  // the client's share-generation PRG
-  std::vector<SecureTensor> acts(layers_.size());
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    if (layer_hook) layer_hook(static_cast<int>(i));
-    const CompiledLayer& cl = layers_[i];
-    const nn::LayerSpec& spec = cl.spec;
-    const auto in = [&acts, &spec]() -> const SecureTensor& {
-      return acts[static_cast<std::size_t>(spec.in0)];
-    };
-    switch (spec.kind) {
-      case nn::OpKind::input:
-        acts[i] = share_tensor(input, input_prng, rc);
-        break;
-      case nn::OpKind::conv:
-        if (spec.depthwise) {
-          acts[i] = secure_depthwise_conv2d(ctx, in(), cl.weight, spec.kernel, spec.stride,
-                                            spec.pad);
-          if (cl.has_bias) {
-            // Depthwise bias (from BN fold): broadcast-add per channel.
-            const int n = acts[i].dim(0), c = acts[i].dim(1);
-            const int hw = acts[i].dim(2) * acts[i].dim(3);
-            for (int s = 0; s < n; ++s) {
-              for (int ch = 0; ch < c; ++ch) {
-                for (int p = 0; p < hw; ++p) {
-                  const std::size_t idx = (static_cast<std::size_t>(s) * c + ch) * hw + p;
-                  acts[i].shares.s0[idx] = crypto::ring_add(
-                      acts[i].shares.s0[idx], cl.bias.s0[static_cast<std::size_t>(ch)], rc);
-                  acts[i].shares.s1[idx] = crypto::ring_add(
-                      acts[i].shares.s1[idx], cl.bias.s1[static_cast<std::size_t>(ch)], rc);
-                }
-              }
-            }
-          }
-        } else {
-          acts[i] = secure_conv2d(ctx, in(), cl.weight, cl.has_bias ? &cl.bias : nullptr,
-                                  spec.out_ch, spec.kernel, spec.stride, spec.pad);
-        }
-        break;
-      case nn::OpKind::linear:
-        acts[i] = secure_linear(ctx, in(), cl.weight, cl.has_bias ? &cl.bias : nullptr,
-                                spec.out_features);
-        break;
-      case nn::OpKind::batchnorm:
-        if (!cl.skip) throw std::logic_error("SecureNetwork: unfolded batchnorm");
-        acts[i] = in();  // identity: already folded into the producer conv
-        break;
-      case nn::OpKind::relu:
-        acts[i] = secure_relu(ctx, in(), cfg_);
-        break;
-      case nn::OpKind::x2act:
-        acts[i] = secure_x2act(ctx, in(), cl.a_coeff, cl.w2, cl.b);
-        break;
-      case nn::OpKind::maxpool:
-        acts[i] = secure_maxpool(ctx, in(), spec.kernel, spec.stride, cfg_, spec.pad);
-        break;
-      case nn::OpKind::avgpool:
-        acts[i] = secure_avgpool(ctx, in(), spec.kernel, spec.stride, spec.pad);
-        break;
-      case nn::OpKind::global_avgpool:
-        acts[i] = secure_global_avgpool(ctx, in());
-        break;
-      case nn::OpKind::flatten:
-        acts[i] = secure_flatten(in());
-        break;
-      case nn::OpKind::add:
-        acts[i] = secure_add(ctx, acts[static_cast<std::size_t>(spec.in0)],
-                             acts[static_cast<std::size_t>(spec.in1)]);
-        break;
-    }
-  }
-
-  // Reveal the logits to the client: one final joint opening.
-  const SecureTensor& final_act = acts[static_cast<std::size_t>(md_.output)];
-  const crypto::RingVec revealed = crypto::open(ctx, final_act.shares);
-  nn::Tensor logits = nn::Tensor::from_doubles(crypto::decode_vec(revealed, rc),
-                                               std::vector<int>(final_act.shape));
-
+void SecureNetwork::fill_stats(crypto::TwoPartyContext& ctx,
+                               const crypto::TripleCounters& before,
+                               InferenceStats& out) const {
   const auto& chan = ctx.stats();
   out.comm_bytes = chan.total_bytes();
-  // Weight-shaped openings (2 directions each); amortizable offline.
-  out.weight_open_bytes = 0;
-  const auto wire = static_cast<std::uint64_t>(ctx.wire_bytes());
-  for (const auto& cl : layers_) {
-    if (cl.spec.kind == nn::OpKind::conv || cl.spec.kind == nn::OpKind::linear) {
-      out.weight_open_bytes += cl.weight.size() * wire * 2;
-    }
-  }
+  out.weight_open_bytes = weight_open_bytes_;
   out.messages = chan.messages;
   out.rounds = chan.rounds;
   const crypto::TripleCounters& after = ctx.triples().counters();
-  out.elem_triples = after.elem_triples - triples_before.elem_triples;
-  out.square_pairs = after.square_pairs - triples_before.square_pairs;
-  out.matmul_triple_elems = after.matmul_triple_elems - triples_before.matmul_triple_elems;
-  out.bilinear_triple_elems =
-      after.bilinear_triple_elems - triples_before.bilinear_triple_elems;
-  out.bit_triples = after.bit_triples - triples_before.bit_triples;
-  return logits;
+  out.elem_triples = after.elem_triples - before.elem_triples;
+  out.square_pairs = after.square_pairs - before.square_pairs;
+  out.matmul_triple_elems = after.matmul_triple_elems - before.matmul_triple_elems;
+  out.bilinear_triple_elems = after.bilinear_triple_elems - before.bilinear_triple_elems;
+  out.bit_triples = after.bit_triples - before.bit_triples;
 }
 
 }  // namespace pasnet::proto

@@ -1,15 +1,16 @@
 #pragma once
 // Secure inference executor: compiles a trained plaintext network into a
-// 2PC model (fixed-point quantization, batch-norm folding into the
-// preceding convolution — paper §III-C "Batch normalization can be fused
-// into the convolution layer") and evaluates it under the 2PC protocol
-// stack, recording real communication statistics.
+// 2PC program via the secure-inference IR (src/ir) — lowering, batch-norm
+// folding, x2act coefficient fusion and open-coalescing round scheduling
+// all run as IR passes — then evaluates it under the 2PC protocol stack,
+// recording real communication statistics.
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "ir/executor.hpp"
+#include "ir/program.hpp"
 #include "nn/models.hpp"
 #include "offline/offline_generator.hpp"
 #include "offline/preprocessing_plan.hpp"
@@ -26,6 +27,10 @@ struct InferenceStats {
   /// online traffic is comm_bytes - weight_open_bytes.
   std::uint64_t weight_open_bytes = 0;
   std::uint64_t messages = 0;
+  /// Latency-critical message exchanges.  A coalesced multi-open exchange
+  /// counts as ONE round (both directions, all staged openings together) —
+  /// the same unit perf::OpCost::rounds models, so measured and analytic
+  /// counts are directly comparable.
   std::uint64_t rounds = 0;
 
   [[nodiscard]] std::uint64_t online_bytes() const noexcept {
@@ -56,15 +61,23 @@ class SecureNetwork {
  public:
   /// Compiles from a descriptor and the trained plaintext graph built by
   /// nn::build_graph (node_of_layer is the mapping that builder returned).
-  /// Weights are fixed-point encoded and secret-shared; batch-norm layers
-  /// fold into their producer convolutions.
+  /// Lowering + the standard IR pass pipeline run here; weights are
+  /// fixed-point encoded and secret-shared once.
   SecureNetwork(const nn::ModelDescriptor& md, nn::Graph& trained,
                 const std::vector<int>& node_of_layer, crypto::TwoPartyContext& ctx,
                 SecureConfig cfg = SecureConfig{});
 
-  /// Runs private inference; the plaintext input is shared, the protocol
-  /// executes layer by layer, and the reconstructed logits are returned.
+  /// Runs private inference; the plaintext input is shared, the scheduled
+  /// IR program executes, and the reconstructed logits are returned.  With
+  /// cfg.schedule == RoundSchedule::coalesced (default) independent
+  /// openings batch per round group; the eager schedule opens one at a
+  /// time.  Logits are bit-identical between the two schedules.
   [[nodiscard]] nn::Tensor infer(const nn::Tensor& input);
+
+  /// Label-only private inference: the program ends in a secure argmax and
+  /// the client learns nothing but the winning class index (ties break to
+  /// the lowest index).  Dealer-path only — detach any store first.
+  [[nodiscard]] std::vector<int> classify(const nn::Tensor& input);
 
   /// Batched private inference: shards the query list across `worker_pairs`
   /// concurrent party-pair workers.  Each query runs on a fresh independent
@@ -87,6 +100,11 @@ class SecureNetwork {
 
   [[nodiscard]] const nn::ModelDescriptor& descriptor() const noexcept { return md_; }
 
+  /// The scheduled IR program this network executes (post pass pipeline).
+  /// Plaintext parameters are released after sharing — ops carry shapes,
+  /// edges and round groups only.
+  [[nodiscard]] const ir::SecureProgram& program() const noexcept { return program_; }
+
   // --- Offline preprocessing (paper §II-B offline/online split) -----------
 
   /// Canonical seed of the fresh per-query context that serves the query at
@@ -97,10 +115,9 @@ class SecureNetwork {
   /// generator must use for query q's bundle to replay the dealer path.
   [[nodiscard]] static std::uint64_t query_dealer_seed(std::size_t q) noexcept;
 
-  /// The per-layer correlated-randomness requirements of one query,
-  /// compiled by a dry-run counting pass (one real query on a scratch
-  /// lockstep context).  Cached after the first call.
-  [[nodiscard]] const offline::PreprocessingPlan& plan() const;
+  /// The per-layer correlated-randomness requirements of one query, derived
+  /// statically from the IR (no dry run).
+  [[nodiscard]] const offline::PreprocessingPlan& plan() const noexcept { return plan_; }
 
   /// Pregenerates `queries` queries' worth of material on `threads` worker
   /// threads, canonically seeded so serving from it is bit-identical to the
@@ -122,37 +139,31 @@ class SecureNetwork {
   [[nodiscard]] offline::TripleStore* store() const noexcept { return store_; }
 
  private:
-  struct CompiledLayer {
-    nn::LayerSpec spec;
-    crypto::Shared weight;    // conv/linear
-    crypto::Shared bias;      // folded BN bias or FC bias
-    bool has_bias = false;
-    bool skip = false;        // folded-away batchnorm
-    double a_coeff = 0.0;     // x2act public coefficients
-    double w2 = 1.0;
-    double b = 0.0;
-  };
-
   /// Runs one query on the given context, recording its statistics.  The
-  /// compiled layers are read-only here, so any number of workers may call
-  /// this concurrently on distinct contexts.  `layer_hook`, when set, is
-  /// invoked with each layer index before that layer executes (used by the
-  /// plan-compilation dry run to tag triple requests per layer).
+  /// program and shared parameters are read-only here, so any number of
+  /// workers may call this concurrently on distinct contexts.
+  /// `layer_hook`, when set, is invoked with each op's descriptor-layer tag
+  /// before that op draws randomness (the plan-oracle hook).
   [[nodiscard]] nn::Tensor run_query(crypto::TwoPartyContext& ctx, const nn::Tensor& input,
                                      InferenceStats& out,
                                      const std::function<void(int)>& layer_hook = {}) const;
 
+  void fill_stats(crypto::TwoPartyContext& ctx, const crypto::TripleCounters& before,
+                  InferenceStats& out) const;
+
   nn::ModelDescriptor md_;
   crypto::TwoPartyContext& ctx_;
   SecureConfig cfg_;
-  std::vector<CompiledLayer> layers_;
+  ir::SecureProgram program_;
+  ir::CompiledParams params_;
+  std::uint64_t weight_open_bytes_ = 0;  // model constant, computed once
+  std::unique_ptr<ir::SecureProgram> argmax_program_;  // lazy (classify)
+  offline::PreprocessingPlan plan_;
   InferenceStats stats_;
   std::vector<InferenceStats> batch_stats_;
 
   offline::TripleStore* store_ = nullptr;  // non-owning; see use_store
   offline::ExhaustionPolicy policy_ = offline::ExhaustionPolicy::Throw;
-  mutable std::unique_ptr<offline::PreprocessingPlan> plan_;  // lazy cache
-  mutable std::mutex plan_mu_;
 };
 
 }  // namespace pasnet::proto

@@ -1,5 +1,6 @@
 #include "proto/secure_ops.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/party.hpp"
@@ -12,6 +13,15 @@ using crypto::RingConfig;
 using crypto::RingVec;
 using crypto::Shared;
 using crypto::TwoPartyContext;
+
+// memcpy-based subvector copy: iterator-range assign on an empty range makes
+// GCC 12's -Wnonnull fire on the inlined memmove, and -Werror builds fail
+// (same workaround as crypto/compare.cpp).
+RingVec slice_ring(const RingVec& v, std::size_t lo, std::size_t hi) {
+  RingVec out(hi - lo);
+  if (hi > lo) std::memcpy(out.data(), v.data() + lo, (hi - lo) * sizeof(std::uint64_t));
+  return out;
+}
 
 /// Gathers a strided window tap into a flat share vector (for pooling).
 Shared gather_window_tap(const SecureTensor& x, int kh, int kw, int kernel, int stride,
@@ -43,6 +53,21 @@ Shared gather_window_tap(const SecureTensor& x, int kh, int kw, int kernel, int 
   return tap;
 }
 
+crypto::BilinearSpec conv_spec(const SecureTensor& x, int out_ch, int kernel, int stride,
+                               int pad, bool depthwise) {
+  crypto::BilinearSpec spec;
+  spec.kind = depthwise ? crypto::BilinearKind::depthwise_conv2d : crypto::BilinearKind::conv2d;
+  spec.batch = x.dim(0);
+  spec.in_ch = x.dim(1);
+  spec.in_h = x.dim(2);
+  spec.in_w = x.dim(3);
+  spec.out_ch = out_ch;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.pad = pad;
+  return spec;
+}
+
 }  // namespace
 
 SecureTensor share_tensor(const nn::Tensor& x, crypto::Prng& prng, const RingConfig& rc) {
@@ -57,166 +82,162 @@ nn::Tensor reconstruct_tensor(const SecureTensor& x, const RingConfig& rc) {
                                   std::vector<int>(x.shape));
 }
 
-SecureTensor secure_conv2d(TwoPartyContext& ctx, const SecureTensor& x, const Shared& weight,
-                           const Shared* bias, int out_ch, int kernel, int stride, int pad) {
-  const RingConfig& rc = ctx.ring();
-  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
-  const int c = x.dim(1);
-  const int oh = nn::conv_out_size(h, kernel, stride, pad);
-  const int ow = nn::conv_out_size(w, kernel, stride, pad);
-  const std::size_t k_dim = static_cast<std::size_t>(c) * kernel * kernel;
-  const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
-  if (weight.size() != static_cast<std::size_t>(out_ch) * k_dim) {
-    throw std::invalid_argument("secure_conv2d: weight shape mismatch");
+// ---------------------------------------------------------------------------
+// Staged operator forms
+// ---------------------------------------------------------------------------
+
+StagedConv2d::StagedConv2d(const SecureTensor& x, const crypto::Shared& weight,
+                           const crypto::Shared* bias, int out_ch, int kernel, int stride,
+                           int pad, bool depthwise)
+    : x_(x), weight_(weight), bias_(bias), out_ch_(out_ch), kernel_(kernel), stride_(stride),
+      pad_(pad), depthwise_(depthwise) {
+  const std::size_t k2 = static_cast<std::size_t>(kernel) * kernel;
+  const std::size_t want = depthwise ? static_cast<std::size_t>(x.dim(1)) * k2
+                                     : static_cast<std::size_t>(out_ch) * x.dim(1) * k2;
+  if (weight.size() != want) {
+    throw std::invalid_argument(depthwise ? "secure_depthwise_conv2d: weight shape mismatch"
+                                          : "secure_conv2d: weight shape mismatch");
   }
+}
 
-  // The bilinear map the triple encodes: per sample, wmat · im2col(input_s).
-  // Built from a serializable spec so offline preprocessing can regenerate
-  // the exact same correlation (see crypto/triple_source.hpp).
-  crypto::BilinearSpec spec;
-  spec.kind = crypto::BilinearKind::conv2d;
-  spec.batch = n;
-  spec.in_ch = c;
-  spec.in_h = h;
-  spec.in_w = w;
-  spec.out_ch = out_ch;
-  spec.kernel = kernel;
-  spec.stride = stride;
-  spec.pad = pad;
-  const crypto::BilinearMap conv_map = crypto::build_bilinear_map(spec, rc);
-
+void StagedConv2d::stage(TwoPartyContext& ctx) {
   // Convolution-shaped Beaver triple: A input-shaped, B weight-shaped,
-  // Z = conv(A, B).  Online, E = W - B opens in weight space (offline-able
-  // for a static model) and F = X - A opens in *input* space — the paper's
-  // COMM_conv = 32·FI²·IC term.
-  const crypto::BilinearTriple t = ctx.triples().bilinear_triple(spec);
-  const RingVec e = crypto::open(ctx, crypto::sub(weight, t.b, rc));   // weight space
-  const RingVec f = crypto::open(ctx, crypto::sub(x.shares, t.a, rc)); // input space
+  // Z = conv(A, B).  Built from a serializable spec so offline
+  // preprocessing can regenerate the exact same correlation.
+  round_.stage(ctx, x_.shares, weight_,
+               conv_spec(x_, out_ch_, kernel_, stride_, pad_, depthwise_));
+}
 
-  // R_i = [i==0]·conv(F,E) + conv(A_i,E) + conv(F,B_i) + Z_i.
-  Shared y;
-  y.s0 = conv_map(f, e);
-  {
-    const RingVec ea0 = conv_map(t.a.s0, e);
-    const RingVec fb0 = conv_map(f, t.b.s0);
-    y.s0 = add_vec(add_vec(y.s0, ea0, rc), add_vec(fb0, t.z.s0, rc), rc);
-  }
-  {
-    const RingVec ea1 = conv_map(t.a.s1, e);
-    const RingVec fb1 = conv_map(f, t.b.s1);
-    y.s1 = add_vec(ea1, add_vec(fb1, t.z.s1, rc), rc);
-  }
-  y = crypto::truncate_shares(y, rc);
-
-  if (bias != nullptr) {
+SecureTensor StagedConv2d::finish(TwoPartyContext& ctx) {
+  const RingConfig& rc = ctx.ring();
+  const int n = x_.dim(0);
+  const int oh = nn::conv_out_size(x_.dim(2), kernel_, stride_, pad_);
+  const int ow = nn::conv_out_size(x_.dim(3), kernel_, stride_, pad_);
+  Shared y = crypto::truncate_shares(round_.finish(rc), rc);
+  if (bias_ != nullptr) {
+    // Broadcast-add the per-channel bias over the spatial output.
+    const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
     for (int s = 0; s < n; ++s) {
-      for (int oc = 0; oc < out_ch; ++oc) {
+      for (int oc = 0; oc < out_ch_; ++oc) {
         for (std::size_t i = 0; i < spatial; ++i) {
-          const std::size_t idx = (static_cast<std::size_t>(s) * out_ch + oc) * spatial + i;
-          y.s0[idx] = crypto::ring_add(y.s0[idx], bias->s0[static_cast<std::size_t>(oc)], rc);
-          y.s1[idx] = crypto::ring_add(y.s1[idx], bias->s1[static_cast<std::size_t>(oc)], rc);
+          const std::size_t idx = (static_cast<std::size_t>(s) * out_ch_ + oc) * spatial + i;
+          y.s0[idx] = crypto::ring_add(y.s0[idx], bias_->s0[static_cast<std::size_t>(oc)], rc);
+          y.s1[idx] = crypto::ring_add(y.s1[idx], bias_->s1[static_cast<std::size_t>(oc)], rc);
         }
       }
     }
   }
   SecureTensor out;
-  out.shape = {n, out_ch, oh, ow};
+  out.shape = {n, out_ch_, oh, ow};
   out.shares = std::move(y);
   return out;
 }
 
-SecureTensor secure_depthwise_conv2d(TwoPartyContext& ctx, const SecureTensor& x,
-                                     const Shared& weight, int kernel, int stride, int pad) {
-  const RingConfig& rc = ctx.ring();
-  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
-  const int oh = nn::conv_out_size(h, kernel, stride, pad);
-  const int ow = nn::conv_out_size(w, kernel, stride, pad);
-  const std::size_t k2 = static_cast<std::size_t>(kernel) * kernel;
-  if (weight.size() != static_cast<std::size_t>(c) * k2) {
-    throw std::invalid_argument("secure_depthwise_conv2d: weight shape mismatch");
-  }
-
-  // Per sample and channel: weight_row(ch) · im2col_channel(input, ch).
-  crypto::BilinearSpec spec;
-  spec.kind = crypto::BilinearKind::depthwise_conv2d;
-  spec.batch = n;
-  spec.in_ch = c;
-  spec.in_h = h;
-  spec.in_w = w;
-  spec.out_ch = c;
-  spec.kernel = kernel;
-  spec.stride = stride;
-  spec.pad = pad;
-  const crypto::BilinearMap dw_map = crypto::build_bilinear_map(spec, rc);
-
-  const crypto::BilinearTriple t = ctx.triples().bilinear_triple(spec);
-  const RingVec e = crypto::open(ctx, crypto::sub(weight, t.b, rc));
-  const RingVec f = crypto::open(ctx, crypto::sub(x.shares, t.a, rc));
-
-  Shared y;
-  y.s0 = dw_map(f, e);
-  y.s0 = add_vec(add_vec(y.s0, dw_map(t.a.s0, e), rc),
-                 add_vec(dw_map(f, t.b.s0), t.z.s0, rc), rc);
-  y.s1 = add_vec(dw_map(t.a.s1, e), add_vec(dw_map(f, t.b.s1), t.z.s1, rc), rc);
-  y = crypto::truncate_shares(y, rc);
-
-  SecureTensor out;
-  out.shape = {n, c, oh, ow};
-  out.shares = std::move(y);
-  return out;
-}
-
-SecureTensor secure_linear(TwoPartyContext& ctx, const SecureTensor& x, const Shared& weight,
-                           const Shared* bias, int out_features) {
-  const RingConfig& rc = ctx.ring();
+StagedLinear::StagedLinear(const SecureTensor& x, const crypto::Shared& weight,
+                           const crypto::Shared* bias, int out_features)
+    : x_(x), weight_(weight), bias_(bias), out_features_(out_features) {
   const int n = x.dim(0);
   const std::size_t in_f = x.size() / static_cast<std::size_t>(n);
   if (weight.size() != static_cast<std::size_t>(out_features) * in_f) {
     throw std::invalid_argument("secure_linear: weight shape mismatch");
   }
+}
+
+void StagedLinear::stage(TwoPartyContext& ctx) {
   // y = x·Wᵀ: compute as W·xᵀ then transpose, sample-by-sample for clarity.
-  SecureTensor out;
-  out.shape = {n, out_features};
-  out.shares.s0.resize(static_cast<std::size_t>(n) * out_features);
-  out.shares.s1.resize(out.shares.s0.size());
+  const int n = x_.dim(0);
+  const std::size_t in_f = x_.size() / static_cast<std::size_t>(n);
+  rounds_.resize(static_cast<std::size_t>(n));
   for (int s = 0; s < n; ++s) {
     Shared xs;
-    xs.s0.assign(x.shares.s0.begin() + static_cast<long>(s * in_f),
-                 x.shares.s0.begin() + static_cast<long>((s + 1) * in_f));
-    xs.s1.assign(x.shares.s1.begin() + static_cast<long>(s * in_f),
-                 x.shares.s1.begin() + static_cast<long>((s + 1) * in_f));
-    Shared y = crypto::matmul(ctx, weight, xs, static_cast<std::size_t>(out_features), in_f, 1);
-    y = crypto::truncate_shares(y, rc);
-    for (int j = 0; j < out_features; ++j) {
+    xs.s0 = slice_ring(x_.shares.s0, s * in_f, (s + 1) * in_f);
+    xs.s1 = slice_ring(x_.shares.s1, s * in_f, (s + 1) * in_f);
+    rounds_[static_cast<std::size_t>(s)].stage(ctx, weight_, std::move(xs),
+                                               static_cast<std::size_t>(out_features_), in_f,
+                                               1);
+  }
+}
+
+SecureTensor StagedLinear::finish(TwoPartyContext& ctx) {
+  const RingConfig& rc = ctx.ring();
+  const int n = x_.dim(0);
+  SecureTensor out;
+  out.shape = {n, out_features_};
+  out.shares.s0.resize(static_cast<std::size_t>(n) * out_features_);
+  out.shares.s1.resize(out.shares.s0.size());
+  for (int s = 0; s < n; ++s) {
+    Shared y = crypto::truncate_shares(rounds_[static_cast<std::size_t>(s)].finish(rc), rc);
+    for (int j = 0; j < out_features_; ++j) {
       std::uint64_t y0 = y.s0[static_cast<std::size_t>(j)];
       std::uint64_t y1 = y.s1[static_cast<std::size_t>(j)];
-      if (bias != nullptr) {
-        y0 = crypto::ring_add(y0, bias->s0[static_cast<std::size_t>(j)], rc);
-        y1 = crypto::ring_add(y1, bias->s1[static_cast<std::size_t>(j)], rc);
+      if (bias_ != nullptr) {
+        y0 = crypto::ring_add(y0, bias_->s0[static_cast<std::size_t>(j)], rc);
+        y1 = crypto::ring_add(y1, bias_->s1[static_cast<std::size_t>(j)], rc);
       }
-      out.shares.s0[static_cast<std::size_t>(s) * out_features + j] = y0;
-      out.shares.s1[static_cast<std::size_t>(s) * out_features + j] = y1;
+      out.shares.s0[static_cast<std::size_t>(s) * out_features_ + j] = y0;
+      out.shares.s1[static_cast<std::size_t>(s) * out_features_ + j] = y1;
     }
   }
   return out;
 }
 
-SecureTensor secure_x2act(TwoPartyContext& ctx, const SecureTensor& x, double a_coeff,
-                          double w2, double b) {
+StagedX2act::StagedX2act(const SecureTensor& x, double a_coeff, double w2, double b)
+    : x_(x), a_(a_coeff), w2_(w2), b_(b) {}
+
+void StagedX2act::stage(TwoPartyContext& ctx) { round_.stage(ctx, x_.shares); }
+
+SecureTensor StagedX2act::finish(TwoPartyContext& ctx) {
   const RingConfig& rc = ctx.ring();
-  // x²: one square-pair protocol (Eq. 3) + truncation back to scale f.
-  Shared sq = crypto::truncate_shares(crypto::square_elem(ctx, x.shares), rc);
+  // x²: the square protocol (Eq. 3) + truncation back to scale f.
+  Shared sq = crypto::truncate_shares(round_.finish(rc), rc);
   // Public-coefficient scaling: local multiply + truncation each.
-  const std::uint64_t a_enc = crypto::encode(a_coeff, rc);
-  const std::uint64_t w2_enc = crypto::encode(w2, rc);
+  const std::uint64_t a_enc = crypto::encode(a_, rc);
+  const std::uint64_t w2_enc = crypto::encode(w2_, rc);
   Shared quad = crypto::truncate_shares(crypto::scale(sq, a_enc, rc), rc);
-  Shared lin = crypto::truncate_shares(crypto::scale(x.shares, w2_enc, rc), rc);
+  Shared lin = crypto::truncate_shares(crypto::scale(x_.shares, w2_enc, rc), rc);
   Shared sum = crypto::add(quad, lin, rc);
-  const RingVec bias(x.size(), crypto::encode(b, rc));
+  const RingVec bias(x_.size(), crypto::encode(b_, rc));
   SecureTensor out;
-  out.shape = x.shape;
+  out.shape = x_.shape;
   out.shares = crypto::add_public(sum, bias, rc);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// One-shot operators (stage + flush + finish)
+// ---------------------------------------------------------------------------
+
+SecureTensor secure_conv2d(TwoPartyContext& ctx, const SecureTensor& x, const Shared& weight,
+                           const Shared* bias, int out_ch, int kernel, int stride, int pad) {
+  StagedConv2d op(x, weight, bias, out_ch, kernel, stride, pad, /*depthwise=*/false);
+  op.stage(ctx);
+  ctx.opens().flush();
+  return op.finish(ctx);
+}
+
+SecureTensor secure_depthwise_conv2d(TwoPartyContext& ctx, const SecureTensor& x,
+                                     const Shared& weight, int kernel, int stride, int pad) {
+  StagedConv2d op(x, weight, /*bias=*/nullptr, /*out_ch=*/x.dim(1), kernel, stride, pad,
+                  /*depthwise=*/true);
+  op.stage(ctx);
+  ctx.opens().flush();
+  return op.finish(ctx);
+}
+
+SecureTensor secure_linear(TwoPartyContext& ctx, const SecureTensor& x, const Shared& weight,
+                           const Shared* bias, int out_features) {
+  StagedLinear op(x, weight, bias, out_features);
+  op.stage(ctx);
+  ctx.opens().flush();
+  return op.finish(ctx);
+}
+
+SecureTensor secure_x2act(TwoPartyContext& ctx, const SecureTensor& x, double a_coeff,
+                          double w2, double b) {
+  StagedX2act op(x, a_coeff, w2, b);
+  op.stage(ctx);
+  ctx.opens().flush();
+  return op.finish(ctx);
 }
 
 SecureTensor secure_relu(TwoPartyContext& ctx, const SecureTensor& x, const SecureConfig& cfg) {
@@ -232,6 +253,12 @@ SecureTensor secure_maxpool(TwoPartyContext& ctx, const SecureTensor& x, int ker
   // Padding positions hold zero shares; for the post-activation feature maps
   // pooled in our backbones (non-negative values) this matches plaintext
   // max pooling semantics.
+  //
+  // All pairs of one tournament level concatenate into a single max_elem
+  // call: the level's comparisons, B2A conversions and multiplexing
+  // multiplies each run once over the concatenation instead of once per
+  // pair, so a level costs one pass through the comparison stack however
+  // wide the window is (the same batching secure_argmax uses).
   std::vector<Shared> taps;
   taps.reserve(static_cast<std::size_t>(kernel) * kernel);
   for (int kh = 0; kh < kernel; ++kh) {
@@ -239,11 +266,28 @@ SecureTensor secure_maxpool(TwoPartyContext& ctx, const SecureTensor& x, int ker
       taps.push_back(gather_window_tap(x, kh, kw, kernel, stride, pad, nullptr));
     }
   }
+  const std::size_t elems = taps.empty() ? 0 : taps[0].size();
   while (taps.size() > 1) {
+    const std::size_t pairs = taps.size() / 2;
+    Shared a, b;
+    a.s0.reserve(pairs * elems);
+    a.s1.reserve(pairs * elems);
+    b.s0.reserve(pairs * elems);
+    b.s1.reserve(pairs * elems);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      a.s0.insert(a.s0.end(), taps[2 * p].s0.begin(), taps[2 * p].s0.end());
+      a.s1.insert(a.s1.end(), taps[2 * p].s1.begin(), taps[2 * p].s1.end());
+      b.s0.insert(b.s0.end(), taps[2 * p + 1].s0.begin(), taps[2 * p + 1].s0.end());
+      b.s1.insert(b.s1.end(), taps[2 * p + 1].s1.begin(), taps[2 * p + 1].s1.end());
+    }
+    const Shared win = crypto::max_elem(ctx, a, b, cfg.ot_mode);
     std::vector<Shared> next;
-    next.reserve(taps.size() / 2 + 1);
-    for (std::size_t i = 0; i + 1 < taps.size(); i += 2) {
-      next.push_back(crypto::max_elem(ctx, taps[i], taps[i + 1], cfg.ot_mode));
+    next.reserve(pairs + 1);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      Shared v;
+      v.s0 = slice_ring(win.s0, p * elems, (p + 1) * elems);
+      v.s1 = slice_ring(win.s1, p * elems, (p + 1) * elems);
+      next.push_back(std::move(v));
     }
     if (taps.size() % 2 == 1) next.push_back(std::move(taps.back()));
     taps = std::move(next);
@@ -359,6 +403,7 @@ std::vector<int> secure_argmax(TwoPartyContext& ctx, const SecureTensor& logits,
     }
     const Shared vdiff = crypto::sub(va, vb, rc);
     const Shared idiff = crypto::sub(ia, ib, rc);
+    // [a >= b]: on ties the lower-index (a) side wins.
     const crypto::BitShared gt = crypto::drelu(ctx, vdiff, cfg.ot_mode);
     const Shared bit = crypto::b2a(ctx, gt);
     // winner = b + (a - b)·[a >= b]; indices follow the same selector.
@@ -369,13 +414,10 @@ std::vector<int> secure_argmax(TwoPartyContext& ctx, const SecureTensor& logits,
     next_v.reserve(pairs + 1);
     next_i.reserve(pairs + 1);
     for (std::size_t p = 0; p < pairs; ++p) {
-      Shared v, idx;
       const auto slice = [n](const Shared& src, std::size_t p_) {
         Shared out;
-        out.s0.assign(src.s0.begin() + static_cast<long>(p_ * n),
-                      src.s0.begin() + static_cast<long>((p_ + 1) * n));
-        out.s1.assign(src.s1.begin() + static_cast<long>(p_ * n),
-                      src.s1.begin() + static_cast<long>((p_ + 1) * n));
+        out.s0 = slice_ring(src.s0, p_ * n, (p_ + 1) * n);
+        out.s1 = slice_ring(src.s1, p_ * n, (p_ + 1) * n);
         return out;
       };
       next_v.push_back(slice(vwin, p));

@@ -7,11 +7,34 @@
 // scaling; ReLU and MaxPool go through the OT-based comparison stack of
 // src/crypto/compare.  Every operator exchanges real messages over the
 // simulated channel, so byte/round statistics are faithful.
+//
+// The single-round multiplicative operators (conv, depthwise conv, linear,
+// x2act) exist in two forms: the one-shot secure_* functions, and staged
+// Staged* classes that split the op into stage() — draw triples and stage
+// the masked openings on the context's OpenBuffer — and finish() — local
+// recombination once the openings are public.  The IR round scheduler
+// stages several independent ops and flushes their openings in one
+// exchange; the one-shot functions are stage + flush + finish, so both
+// forms share one implementation and one draw order (bit-identical
+// results).
+
+#include <memory>
 
 #include "crypto/compare.hpp"
 #include "proto/secure_tensor.hpp"
 
 namespace pasnet::proto {
+
+/// How the executor schedules joint openings.
+enum class RoundSchedule {
+  /// The IR round scheduler: each multiplication's E and F openings merge
+  /// into one exchange, and independent openings across parallel branches
+  /// batch into a single round-trip.  Same values and transcripts bytes,
+  /// fewer rounds.
+  coalesced,
+  /// The historical op-at-a-time path: every opening is its own exchange.
+  eager,
+};
 
 /// Protocol knobs for the secure executor.
 struct SecureConfig {
@@ -19,7 +42,73 @@ struct SecureConfig {
   /// path; correlated is the fast ideal-functionality path with identical
   /// transcript sizes (use for large tensors).
   crypto::OtMode ot_mode = crypto::OtMode::correlated;
+  /// Open scheduling of the program executor (see RoundSchedule).
+  RoundSchedule schedule = RoundSchedule::coalesced;
 };
+
+// --- Staged (two-phase) operator forms -------------------------------------
+
+/// Interface the IR executor drives: stage() draws the op's correlated
+/// randomness and stages its openings (no communication of its own in
+/// coalescing mode), finish() computes the result locally.  Referenced
+/// inputs (activation tensors, weights) must outlive the op.
+class StagedSecureOp {
+ public:
+  virtual ~StagedSecureOp() = default;
+  virtual void stage(crypto::TwoPartyContext& ctx) = 0;
+  [[nodiscard]] virtual SecureTensor finish(crypto::TwoPartyContext& ctx) = 0;
+};
+
+/// Staged 2PC convolution (normal or depthwise).  Weight is a shared
+/// [OC, IC·K·K] matrix ([C, K·K] depthwise); optional shared bias [OC]
+/// broadcast over the spatial output (depthwise bias comes from BN folds).
+class StagedConv2d final : public StagedSecureOp {
+ public:
+  StagedConv2d(const SecureTensor& x, const crypto::Shared& weight,
+               const crypto::Shared* bias, int out_ch, int kernel, int stride, int pad,
+               bool depthwise);
+  void stage(crypto::TwoPartyContext& ctx) override;
+  [[nodiscard]] SecureTensor finish(crypto::TwoPartyContext& ctx) override;
+
+ private:
+  const SecureTensor& x_;
+  const crypto::Shared& weight_;
+  const crypto::Shared* bias_;
+  int out_ch_, kernel_, stride_, pad_;
+  bool depthwise_;
+  crypto::BilinearRound round_;
+};
+
+/// Staged 2PC fully connected layer: weight [out, in], bias [out].
+class StagedLinear final : public StagedSecureOp {
+ public:
+  StagedLinear(const SecureTensor& x, const crypto::Shared& weight,
+               const crypto::Shared* bias, int out_features);
+  void stage(crypto::TwoPartyContext& ctx) override;
+  [[nodiscard]] SecureTensor finish(crypto::TwoPartyContext& ctx) override;
+
+ private:
+  const SecureTensor& x_;
+  const crypto::Shared& weight_;
+  const crypto::Shared* bias_;
+  int out_features_;
+  std::vector<crypto::MatmulRound> rounds_;  // one per sample
+};
+
+/// Staged 2PC X2act (paper Eq. 4/14): a·x² + w2·x + b, public coefficients.
+class StagedX2act final : public StagedSecureOp {
+ public:
+  StagedX2act(const SecureTensor& x, double a_coeff, double w2, double b);
+  void stage(crypto::TwoPartyContext& ctx) override;
+  [[nodiscard]] SecureTensor finish(crypto::TwoPartyContext& ctx) override;
+
+ private:
+  const SecureTensor& x_;
+  double a_, w2_, b_;
+  crypto::SquareRound round_;
+};
+
+// --- One-shot operators ----------------------------------------------------
 
 /// 2PC convolution on shares: weight is a shared [OC, IC·K·K] matrix,
 /// optional shared bias [OC] (already fixed-point encoded at scale f).
@@ -49,6 +138,9 @@ struct SecureConfig {
                                        const SecureConfig& cfg);
 
 /// 2PC MaxPool: log-depth tree of secure max over each window (Eq. 13).
+/// All window pairs of one tournament level are batched into a single
+/// secure-max call, so a level costs one pass through the comparison stack
+/// regardless of how many independent pairs it contains.
 [[nodiscard]] SecureTensor secure_maxpool(crypto::TwoPartyContext& ctx, const SecureTensor& x,
                                           int kernel, int stride, const SecureConfig& cfg,
                                           int pad = 0);
@@ -72,7 +164,7 @@ struct SecureConfig {
 /// comparison-tree tournament that keeps (value, one-hot index) pairs
 /// secret-shared throughout; only the winning indices are revealed.
 /// Stronger output privacy than revealing logits (the client learns the
-/// label, nothing else).
+/// label, nothing else).  Ties break toward the lowest class index.
 [[nodiscard]] std::vector<int> secure_argmax(crypto::TwoPartyContext& ctx,
                                              const SecureTensor& logits,
                                              const SecureConfig& cfg);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "crypto/channel.hpp"
 
 namespace pc = pasnet::crypto;
@@ -93,4 +95,57 @@ TEST(Channel, U64Convenience) {
   auto [c0, c1] = pc::Channel::make_pair();
   c0->send_u64(0xABCDEF0123456789ULL);
   EXPECT_EQ(c1->recv_u64(), 0xABCDEF0123456789ULL);
+}
+
+TEST(Channel, RoundBracketCountsSymmetricExchangeOnce) {
+  // Messages of one begin_round/end_round bracket are concurrently in
+  // flight: however many either endpoint sends, the bracket is one round.
+  auto [c0, c1] = pc::Channel::make_pair();
+  c0->begin_round();
+  c0->send_bytes({1});
+  c1->send_bytes({2});
+  c0->end_round();
+  (void)c1->recv_bytes();
+  (void)c0->recv_bytes();
+  EXPECT_EQ(c0->stats().rounds, 1u);
+  EXPECT_EQ(c0->stats().messages, 2u);
+  // The first message after the bracket starts a fresh round even without
+  // a direction flip.
+  c1->send_bytes({3});
+  (void)c0->recv_bytes();
+  EXPECT_EQ(c0->stats().rounds, 2u);
+}
+
+TEST(Channel, LockstepSymmetricExchangeCostsOneDelayNotTwo) {
+  // Per-message in-flight deadlines: both directions of a symmetric
+  // exchange are stamped at (roughly) the same enqueue time, so the
+  // receiver waits out ONE modeled delay total — not one per direction
+  // flip as the old model charged.  The delay is large so the < 2·delay
+  // ceiling leaves ample slack for CI scheduling noise.
+  constexpr auto kDelay = std::chrono::milliseconds(250);
+  pc::ChannelOptions opts;
+  opts.round_delay = kDelay;
+  auto [c0, c1] = pc::Channel::make_pair(opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  c0->send_bytes({1});
+  c1->send_bytes({2});
+  (void)c0->recv_bytes();
+  (void)c1->recv_bytes();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, kDelay);          // the wire latency is real...
+  EXPECT_LT(elapsed, 2 * kDelay);      // ...but the directions overlap
+}
+
+TEST(Channel, SequentialDependentMessagesPayOneDelayEach) {
+  // A genuine request->response dependency cannot beat two one-way delays.
+  constexpr auto kDelay = std::chrono::milliseconds(40);
+  pc::ChannelOptions opts;
+  opts.round_delay = kDelay;
+  auto [c0, c1] = pc::Channel::make_pair(opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  c0->send_bytes({1});
+  (void)c1->recv_bytes();  // waits out delay 1
+  c1->send_bytes({2});
+  (void)c0->recv_bytes();  // waits out delay 2
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 2 * kDelay);
 }

@@ -1,0 +1,331 @@
+// Tests for the secure-inference IR: lowering, the pass pipeline
+// (batch-norm folding, x2act coefficient fusion, round scheduling), the
+// round-coalescing executor's bit-identity with the eager path, the
+// statically derived preprocessing plan against the dry-run recorder
+// oracle, and label-only classify().
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ir/passes.hpp"
+#include "ir/plan.hpp"
+#include "offline/preprocessing_plan.hpp"
+#include "proto/secure_network.hpp"
+#include "support/test_models.hpp"
+
+namespace ir = pasnet::ir;
+namespace nn = pasnet::nn;
+namespace off = pasnet::offline;
+namespace pc = pasnet::crypto;
+namespace proto = pasnet::proto;
+
+using pasnet::testing::tiny_cnn;
+using pasnet::testing::warm_up;
+
+namespace {
+
+/// A trained model plus everything a SecureNetwork construction needs.
+struct Trained {
+  nn::ModelDescriptor md;
+  std::unique_ptr<nn::Graph> graph;
+  std::vector<int> node_of_layer;
+};
+
+Trained train(nn::ModelDescriptor md, std::uint64_t seed) {
+  Trained t;
+  t.md = std::move(md);
+  pc::Prng wprng(seed);
+  t.graph = nn::build_graph(t.md, wprng, &t.node_of_layer);
+  warm_up(*t.graph, t.md.input_ch, t.md.input_h, seed + 1);
+  return t;
+}
+
+nn::ModelDescriptor proxy_resnet(nn::ActKind act, nn::PoolKind pool) {
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.width_mult = 0.0625f;
+  auto md = nn::make_resnet(18, opt);
+  return nn::apply_choices(md, nn::uniform_choices(md, act, pool));
+}
+
+nn::ModelDescriptor proxy_mobilenet() {
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.width_mult = 0.125f;
+  auto md = nn::make_mobilenet_v2(opt);
+  return nn::apply_choices(
+      md, nn::uniform_choices(md, nn::ActKind::x2act, nn::PoolKind::avgpool));
+}
+
+/// Every fixture model the acceptance criteria cover.
+std::vector<nn::ModelDescriptor> all_test_models() {
+  return {
+      tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool),
+      tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool),
+      tiny_cnn(nn::OpKind::relu, nn::OpKind::avgpool),
+      tiny_cnn(nn::OpKind::x2act, nn::OpKind::maxpool),
+      proxy_resnet(nn::ActKind::relu, nn::PoolKind::maxpool),
+      proxy_resnet(nn::ActKind::x2act, nn::PoolKind::avgpool),
+      proxy_mobilenet(),
+  };
+}
+
+void expect_bit_identical(const nn::Tensor& a, const nn::Tensor& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " logit " << i;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pass pipeline
+// ---------------------------------------------------------------------------
+
+TEST(IrPasses, FoldBatchnormRemovesBnOpsAndRewires) {
+  auto t = train(tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool), 11);
+  ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
+  int bns = 0;
+  for (const auto& op : p.ops) bns += op.kind == ir::OpKind::batchnorm ? 1 : 0;
+  ASSERT_GT(bns, 0);
+  EXPECT_EQ(ir::fold_batchnorm(p), bns);
+  for (const auto& op : p.ops) {
+    EXPECT_NE(op.kind, ir::OpKind::batchnorm);
+    if (op.in0 >= 0) {
+      EXPECT_LT(op.in0, static_cast<int>(p.ops.size()));
+    }
+  }
+  // The conv gained the folded bias.
+  bool saw_conv = false;
+  for (const auto& op : p.ops) {
+    if (op.kind == ir::OpKind::conv) {
+      saw_conv = true;
+      EXPECT_TRUE(op.has_bias);
+    }
+  }
+  EXPECT_TRUE(saw_conv);
+}
+
+TEST(IrPasses, FuseX2actCoeffsMatchesModuleMath) {
+  auto t = train(tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool), 12);
+  ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
+  ir::fold_batchnorm(p);
+  EXPECT_EQ(ir::fuse_x2act_coeffs(p), 1);
+  for (const auto& op : p.ops) {
+    if (op.kind != ir::OpKind::x2act) continue;
+    EXPECT_TRUE(op.coeff_fused);
+    // Exactly the trained module's effective coefficient at the producer's
+    // output feature count (float math, then widened).
+    const float scale =
+        op.act_c / std::sqrt(static_cast<float>(op.in_ch * op.in_h * op.in_w));
+    EXPECT_DOUBLE_EQ(op.a_coeff, static_cast<double>(scale * op.act_w1));
+  }
+}
+
+TEST(IrPasses, SchedulerGroupsResidualBranches) {
+  // In a downsample block the main-path conv2 and the skip conv are
+  // independent: the scheduler must put them in one round group.
+  auto t = train(proxy_resnet(nn::ActKind::relu, nn::PoolKind::maxpool), 13);
+  ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
+  ir::run_standard_passes(p);
+  int staging_ops = 0;
+  int max_group = -1;
+  for (const auto& op : p.ops) {
+    if (op.stages_opens()) {
+      ++staging_ops;
+      EXPECT_GE(op.round_group, 0) << "staged op without a group";
+      max_group = std::max(max_group, op.round_group);
+    } else {
+      EXPECT_EQ(op.round_group, -1);
+    }
+  }
+  // Fewer groups than staged ops == at least one coalesced pair.
+  EXPECT_LT(max_group + 1, staging_ops);
+}
+
+TEST(IrPasses, ScheduleRejectsUnfoldedBatchnorm) {
+  auto t = train(tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool), 14);
+  ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
+  EXPECT_THROW(ir::schedule_rounds(p), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Round-coalescing executor vs eager path
+// ---------------------------------------------------------------------------
+
+TEST(IrExecutor, CoalescedLogitsBitIdenticalToEagerOnAllModels) {
+  std::uint64_t seed = 20;
+  for (auto& md : all_test_models()) {
+    auto t = train(md, seed += 2);
+    pc::TwoPartyContext ctx_c, ctx_e;
+    proto::SecureConfig eager_cfg;
+    eager_cfg.schedule = proto::RoundSchedule::eager;
+    proto::SecureNetwork coalesced(t.md, *t.graph, t.node_of_layer, ctx_c);
+    proto::SecureNetwork eager(t.md, *t.graph, t.node_of_layer, ctx_e, eager_cfg);
+
+    pc::Prng dprng(seed + 1);
+    const auto x =
+        nn::Tensor::randn({1, t.md.input_ch, t.md.input_h, t.md.input_w}, dprng, 0.5f);
+    const auto logits_c = coalesced.infer(x);
+    const auto logits_e = eager.infer(x);
+    expect_bit_identical(logits_c, logits_e, t.md.name.c_str());
+    // Identical payloads, fewer exchanges.
+    EXPECT_EQ(coalesced.stats().comm_bytes, eager.stats().comm_bytes) << t.md.name;
+    EXPECT_LT(coalesced.stats().rounds, eager.stats().rounds) << t.md.name;
+    EXPECT_LT(coalesced.stats().messages, eager.stats().messages) << t.md.name;
+  }
+}
+
+TEST(IrExecutor, CoalescedStoreBackedServingBitIdenticalToEager) {
+  auto t = train(tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool), 40);
+  pc::TwoPartyContext ctx_c, ctx_e;
+  proto::SecureConfig eager_cfg;
+  eager_cfg.schedule = proto::RoundSchedule::eager;
+  proto::SecureNetwork coalesced(t.md, *t.graph, t.node_of_layer, ctx_c);
+  proto::SecureNetwork eager(t.md, *t.graph, t.node_of_layer, ctx_e, eager_cfg);
+  // Both schedules consume the identical request stream, so one plan feeds
+  // both stores.
+  EXPECT_EQ(coalesced.plan().fingerprint(), eager.plan().fingerprint());
+
+  pc::Prng dprng(41);
+  std::vector<nn::Tensor> queries;
+  for (int q = 0; q < 3; ++q) queries.push_back(nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f));
+
+  off::TripleStore store_c = coalesced.preprocess(queries.size());
+  off::TripleStore store_e = eager.preprocess(queries.size());
+  coalesced.use_store(&store_c);
+  eager.use_store(&store_e);
+  const auto out_c = coalesced.infer_batch(queries, 1);
+  const auto out_e = eager.infer_batch(queries, 1);
+  coalesced.use_store(nullptr);
+  eager.use_store(nullptr);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    expect_bit_identical(out_c[q], out_e[q], "store-backed");
+  }
+}
+
+TEST(IrExecutor, RoundsDropAtLeast25PercentOnResidualReluModel) {
+  // The acceptance bar: on a residual model with ReLU layers the coalesced
+  // scheduler must cut measured rounds by >= 25% vs the eager path.
+  auto t = train(proxy_resnet(nn::ActKind::relu, nn::PoolKind::maxpool), 50);
+  pc::TwoPartyContext ctx_c, ctx_e;
+  proto::SecureConfig eager_cfg;
+  eager_cfg.schedule = proto::RoundSchedule::eager;
+  proto::SecureNetwork coalesced(t.md, *t.graph, t.node_of_layer, ctx_c);
+  proto::SecureNetwork eager(t.md, *t.graph, t.node_of_layer, ctx_e, eager_cfg);
+
+  pc::Prng dprng(51);
+  const auto x = nn::Tensor::randn({1, 3, 8, 8}, dprng, 0.5f);
+  (void)coalesced.infer(x);
+  (void)eager.infer(x);
+  const auto measured = coalesced.stats().rounds;
+  const auto baseline = eager.stats().rounds;
+  EXPECT_LE(4 * measured, 3 * baseline)
+      << "coalesced " << measured << " vs eager " << baseline << " rounds";
+}
+
+TEST(IrExecutor, ThreadedCoalescedMatchesLockstepBitForBit) {
+  auto t = train(tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool), 60);
+  pc::TwoPartyContext lockstep(pc::RingConfig{}, 42, pc::ExecMode::lockstep);
+  pc::TwoPartyContext threaded(pc::RingConfig{}, 42, pc::ExecMode::threaded);
+  proto::SecureNetwork snet_lock(t.md, *t.graph, t.node_of_layer, lockstep);
+  proto::SecureNetwork snet_thr(t.md, *t.graph, t.node_of_layer, threaded);
+  pc::Prng dprng(61);
+  const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
+  const auto a = snet_lock.infer(x);
+  const auto b = snet_thr.infer(x);
+  expect_bit_identical(a, b, "threaded");
+  // Coalesced round counting is exchange-bracketed, hence deterministic in
+  // threaded mode too.
+  EXPECT_EQ(snet_lock.stats().rounds, snet_thr.stats().rounds);
+}
+
+// ---------------------------------------------------------------------------
+// Statically derived plan vs the dry-run recorder oracle
+// ---------------------------------------------------------------------------
+
+TEST(IrPlan, DerivedPlanMatchesRecorderOracleOnAllModels) {
+  std::uint64_t seed = 70;
+  for (auto& md : all_test_models()) {
+    auto t = train(md, seed += 2);
+    ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
+    ir::run_standard_passes(p);
+    const off::PreprocessingPlan derived = ir::derive_plan(p, pc::RingConfig{});
+
+    // Oracle: one real query through the recording source, layer-tagged.
+    pc::TwoPartyContext dry(pc::RingConfig{},
+                            proto::SecureNetwork::query_context_seed(0));
+    off::RecordingTripleSource recorder(dry.dealer(), dry.ring());
+    dry.set_triple_source(&recorder);
+    pc::Prng wprng(1);
+    const ir::CompiledParams params = ir::share_parameters(p, wprng, dry.ring());
+    ir::ExecOptions opts;
+    opts.layer_hook = [&recorder](int layer) { recorder.begin_layer(layer); };
+    const nn::Tensor zeros({1, t.md.input_ch, t.md.input_h, t.md.input_w});
+    (void)ir::execute(p, params, dry, zeros, opts);
+    const off::PreprocessingPlan recorded = recorder.take_plan();
+
+    ASSERT_EQ(derived.requests.size(), recorded.requests.size()) << t.md.name;
+    for (std::size_t i = 0; i < derived.requests.size(); ++i) {
+      EXPECT_TRUE(derived.requests[i] == recorded.requests[i])
+          << t.md.name << " request " << i;
+    }
+    EXPECT_EQ(derived.fingerprint(), recorded.fingerprint()) << t.md.name;
+  }
+}
+
+TEST(IrPlan, DerivedPlanMatchesOracleForArgmaxPrograms) {
+  auto t = train(tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool), 90);
+  ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
+  ir::run_standard_passes(p);
+  ir::append_argmax(p);
+  const off::PreprocessingPlan derived = ir::derive_plan(p, pc::RingConfig{});
+
+  pc::TwoPartyContext dry;
+  off::RecordingTripleSource recorder(dry.dealer(), dry.ring());
+  dry.set_triple_source(&recorder);
+  pc::Prng wprng(1);
+  const ir::CompiledParams params = ir::share_parameters(p, wprng, dry.ring());
+  ir::ExecOptions opts;
+  opts.layer_hook = [&recorder](int layer) { recorder.begin_layer(layer); };
+  const ir::ExecResult res =
+      ir::execute(p, params, dry, nn::Tensor({1, 2, 8, 8}), opts);
+  EXPECT_EQ(res.labels.size(), 1u);
+  const off::PreprocessingPlan recorded = recorder.take_plan();
+  ASSERT_EQ(derived.requests.size(), recorded.requests.size());
+  for (std::size_t i = 0; i < derived.requests.size(); ++i) {
+    EXPECT_TRUE(derived.requests[i] == recorded.requests[i]) << "request " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Label-only inference
+// ---------------------------------------------------------------------------
+
+TEST(IrExecutor, ClassifyMatchesPlaintextArgmax) {
+  auto t = train(tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool), 100);
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(t.md, *t.graph, t.node_of_layer, ctx);
+  pc::Prng dprng(101);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 0.8f);
+    const auto labels = snet.classify(x);
+    ASSERT_EQ(labels.size(), 1u);
+    EXPECT_EQ(labels[0], nn::argmax_rows(t.graph->forward(x, false))[0]);
+  }
+}
+
+TEST(IrExecutor, ClassifyRefusesStoreBackedServing) {
+  auto t = train(tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool), 110);
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(t.md, *t.graph, t.node_of_layer, ctx);
+  off::TripleStore store = snet.preprocess(1);
+  snet.use_store(&store);
+  pc::Prng dprng(111);
+  EXPECT_THROW((void)snet.classify(nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f)),
+               std::logic_error);
+  snet.use_store(nullptr);
+}

@@ -1,0 +1,112 @@
+// Round-count regression guard (CI): runs reference models through the IR
+// executor and fails if the measured round count ever exceeds the analytic
+// model's prediction (perf::profile_program).  The analytic rounds encode
+// the protocol stack's actual round structure — OT phases, AND-tree depth,
+// B2A + mux, coalesced E/F openings, round-group merging — so a regression
+// here means either the executor started spending extra exchanges or the
+// model went stale; both should fail loudly.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ir/passes.hpp"
+#include "perf/ir_cost.hpp"
+#include "proto/secure_network.hpp"
+#include "support/test_models.hpp"
+
+namespace ir = pasnet::ir;
+namespace nn = pasnet::nn;
+namespace pc = pasnet::crypto;
+namespace perf = pasnet::perf;
+namespace proto = pasnet::proto;
+
+using pasnet::testing::tiny_cnn;
+using pasnet::testing::warm_up;
+
+namespace {
+
+perf::LatencyModel model() {
+  return perf::LatencyModel(perf::HardwareConfig::zcu104(), perf::NetworkConfig::lan_1gbps());
+}
+
+/// Measured vs analytic rounds for one trained model.
+void expect_measured_within_analytic(nn::ModelDescriptor md, std::uint64_t seed) {
+  pc::Prng wprng(seed);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, md.input_ch, md.input_h, seed + 1);
+
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
+  pc::Prng dprng(seed + 2);
+  const auto x = nn::Tensor::randn({1, md.input_ch, md.input_h, md.input_w}, dprng, 0.5f);
+  (void)snet.infer(x);
+  const std::uint64_t measured = snet.stats().rounds;
+
+  const auto m = model();
+  const perf::ProgramCost cost =
+      perf::profile_program(m, snet.program(), ctx.ring().bits);
+  ASSERT_GT(measured, 0u) << md.name;
+  EXPECT_LE(measured, static_cast<std::uint64_t>(cost.total.rounds))
+      << md.name << ": measured " << measured << " rounds exceed the analytic prediction "
+      << cost.total.rounds;
+}
+
+}  // namespace
+
+TEST(RoundGuard, TinyCnnVariantsStayWithinAnalyticRounds) {
+  expect_measured_within_analytic(tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool), 300);
+  expect_measured_within_analytic(tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool), 310);
+  expect_measured_within_analytic(tiny_cnn(nn::OpKind::relu, nn::OpKind::avgpool), 320);
+  expect_measured_within_analytic(tiny_cnn(nn::OpKind::x2act, nn::OpKind::maxpool), 330);
+}
+
+TEST(RoundGuard, ResidualReferenceModelsStayWithinAnalyticRounds) {
+  // HEcmp-style reference backbones: the scaled ResNet-18 proxy in both
+  // the all-ReLU and all-polynomial extremes.
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.width_mult = 0.0625f;
+  const auto base = nn::make_resnet(18, opt);
+  expect_measured_within_analytic(
+      nn::apply_choices(base,
+                        nn::uniform_choices(base, nn::ActKind::relu, nn::PoolKind::maxpool)),
+      340);
+  expect_measured_within_analytic(
+      nn::apply_choices(base,
+                        nn::uniform_choices(base, nn::ActKind::x2act, nn::PoolKind::avgpool)),
+      350);
+}
+
+TEST(RoundGuard, AnalyticPerOpRoundsMatchProtocolStructure) {
+  // Spot-check the per-op round formulas against hand counts for the
+  // 64-bit functional ring: DReLU = 2 OT messages + 5 AND-tree levels.
+  EXPECT_EQ(perf::drelu_rounds(64), 7);
+  EXPECT_EQ(perf::drelu_rounds(32), 6);
+  // The shared millionaire shape helper behind them: 63 low bits split
+  // into 32 digits that combine 32->16->8->4->2->1.
+  EXPECT_EQ(pc::millionaire_digits(63), 32);
+  EXPECT_EQ(pc::millionaire_and_level_multipliers(63),
+            (std::vector<int>{32, 16, 8, 4, 2}));
+  const auto m = model();
+  ir::Op relu;
+  relu.kind = ir::OpKind::relu;
+  relu.in_ch = 4;
+  relu.in_h = relu.in_w = 8;
+  EXPECT_EQ(perf::ir_op_cost(m, relu, 64).rounds, 9);  // drelu + b2a + mux
+  ir::Op conv;
+  conv.kind = ir::OpKind::conv;
+  conv.in_ch = conv.out_ch = 4;
+  conv.in_h = conv.in_w = conv.out_h = conv.out_w = 8;
+  conv.kernel = 3;
+  EXPECT_EQ(perf::ir_op_cost(m, conv, 64).rounds, 1);  // E and F coalesce
+  ir::Op pool;
+  pool.kind = ir::OpKind::maxpool;
+  pool.kernel = 2;
+  pool.in_ch = 4;
+  pool.in_h = pool.in_w = 8;
+  pool.out_ch = 4;
+  pool.out_h = pool.out_w = 4;
+  EXPECT_EQ(perf::ir_op_cost(m, pool, 64).rounds, 2 * 9);  // two tournament levels
+}

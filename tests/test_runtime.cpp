@@ -10,6 +10,7 @@
 #include <cstring>
 #include <thread>
 
+#include "nn/layers.hpp"
 #include "proto/secure_network.hpp"
 #include "support/test_models.hpp"
 
@@ -191,6 +192,117 @@ TEST(TwoPartyRuntime, ThreadedOpenMatchesReconstruction) {
   const pc::RingVec x{1, 2, 3, 0xFFFFFFFFull};
   const auto sh = pc::share(x, prng, ctx.ring());
   EXPECT_EQ(pc::open(ctx, sh), pc::reconstruct(sh, ctx.ring()));
+}
+
+TEST(ThreadedChannel, SymmetricExchangeCostsOneDelayInThreadedMode) {
+  // With per-message in-flight deadlines both directions overlap, so a
+  // symmetric exchange costs one modeled delay in threaded mode too —
+  // absolute latency numbers are mode-independent.  Large delay: the
+  // < 2·delay ceiling leaves ample slack for CI scheduling noise.
+  constexpr auto kDelay = std::chrono::milliseconds(250);
+  pc::TwoPartyContext ctx(pc::RingConfig{}, 42, pc::ExecMode::threaded, kDelay);
+  pc::Prng prng(10);
+  const auto sh = pc::share(pc::RingVec{1, 2, 3}, prng, ctx.ring());
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)pc::open(ctx, sh);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, kDelay);
+  EXPECT_LT(elapsed, 2 * kDelay);
+}
+
+// ---------------------------------------------------------------------------
+// Round accounting (one coalesced multi-open exchange == one round)
+// ---------------------------------------------------------------------------
+
+TEST(RoundAccounting, OneOpenIsOneRoundInBothModes) {
+  for (const auto mode : {pc::ExecMode::lockstep, pc::ExecMode::threaded}) {
+    pc::TwoPartyContext ctx(pc::RingConfig{}, 42, mode);
+    pc::Prng prng(11);
+    const auto sh = pc::share(pc::RingVec{1, 2, 3, 4}, prng, ctx.ring());
+    ctx.reset_stats();
+    (void)pc::open(ctx, sh);
+    EXPECT_EQ(ctx.stats().rounds, 1u);
+    EXPECT_EQ(ctx.stats().messages, 2u);  // one per direction
+  }
+}
+
+TEST(RoundAccounting, CoalescedMultiOpenFlushIsOneRound) {
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(12);
+  const auto a = pc::share(pc::RingVec{1, 2}, prng, ctx.ring());
+  const auto b = pc::share(pc::RingVec{3, 4, 5}, prng, ctx.ring());
+  const auto c = pc::share(pc::RingVec{6}, prng, ctx.ring());
+  ctx.opens().set_coalescing(true);
+  ctx.reset_stats();
+  pc::RingVec ra, rb, rc_;
+  ctx.opens().stage(a, &ra);
+  ctx.opens().stage(b, &rb);
+  ctx.opens().stage(c, &rc_);
+  EXPECT_EQ(ctx.stats().messages, 0u);  // nothing sent until the flush
+  ctx.opens().flush();
+  EXPECT_EQ(ctx.stats().rounds, 1u);
+  EXPECT_EQ(ctx.stats().messages, 2u);
+  EXPECT_EQ(ra, pc::reconstruct(a, ctx.ring()));
+  EXPECT_EQ(rb, pc::reconstruct(b, ctx.ring()));
+  EXPECT_EQ(rc_, pc::reconstruct(c, ctx.ring()));
+  ctx.opens().set_coalescing(false);
+}
+
+TEST(RoundAccounting, ImmediateModeOpensPerStage) {
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(13);
+  const auto a = pc::share(pc::RingVec{1, 2}, prng, ctx.ring());
+  const auto b = pc::share(pc::RingVec{3, 4}, prng, ctx.ring());
+  ctx.reset_stats();
+  pc::RingVec ra, rb;
+  ctx.opens().stage(a, &ra);
+  ctx.opens().stage(b, &rb);
+  ctx.opens().flush();  // no-op: everything already opened
+  EXPECT_EQ(ctx.stats().rounds, 2u);
+  EXPECT_EQ(ra, pc::reconstruct(a, ctx.ring()));
+  EXPECT_EQ(rb, pc::reconstruct(b, ctx.ring()));
+}
+
+TEST(RoundAccounting, DiscardDropsPendingStagesAndKeepsBufferUsable) {
+  // Error-path contract: an unwound protocol step discards its pending
+  // stages (no dangling output pointers), after which the buffer accepts
+  // mode switches and fresh work.
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(16);
+  const auto a = pc::share(pc::RingVec{7, 8}, prng, ctx.ring());
+  ctx.opens().set_coalescing(true);
+  pc::RingVec ra;
+  ctx.opens().stage(a, &ra);
+  EXPECT_TRUE(ctx.opens().has_pending());
+  EXPECT_THROW(ctx.opens().set_coalescing(false), std::logic_error);
+  ctx.opens().discard();
+  EXPECT_FALSE(ctx.opens().has_pending());
+  ctx.opens().set_coalescing(false);  // no throw once drained
+  ctx.reset_stats();
+  ctx.opens().flush();  // nothing pending: no traffic
+  EXPECT_EQ(ctx.stats().messages, 0u);
+  pc::RingVec rb;
+  ctx.opens().stage(a, &rb);  // immediate mode still works
+  EXPECT_EQ(rb, pc::reconstruct(a, ctx.ring()));
+}
+
+TEST(RoundAccounting, MeasuredConvRoundsMatchAnalyticUnderCoalescing) {
+  // The analytic model prices a conv at ONE round (E and F in the same
+  // exchange); the coalesced executor must measure exactly that.
+  pc::TwoPartyContext ctx;
+  pc::Prng prng(14), wprng(15);
+  nn::Conv2d conv(2, 4, 3, 1, 1, wprng);
+  const auto x = nn::Tensor::randn({1, 2, 6, 6}, prng, 0.5f);
+  const auto sx = proto::share_tensor(x, prng, ctx.ring());
+  const auto sw = pc::share_reals(conv.weight().to_doubles(), prng, ctx.ring());
+  ctx.opens().set_coalescing(true);
+  ctx.reset_stats();
+  (void)proto::secure_conv2d(ctx, sx, sw, nullptr, 4, 3, 1, 1);
+  EXPECT_EQ(ctx.stats().rounds, 1u);
+  ctx.opens().set_coalescing(false);
+  ctx.reset_stats();
+  (void)proto::secure_conv2d(ctx, sx, sw, nullptr, 4, 3, 1, 1);
+  EXPECT_EQ(ctx.stats().rounds, 2u);  // eager: E then F
 }
 
 // ---------------------------------------------------------------------------
