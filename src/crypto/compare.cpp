@@ -57,45 +57,123 @@ BitShared not_bits(const BitShared& x) {
   return out;
 }
 
-BitShared and_bits(TwoPartyContext& ctx, const BitShared& x, const BitShared& y) {
+// ---------------------------------------------------------------------------
+// Bit-open buffer and staged AND
+// ---------------------------------------------------------------------------
+
+void flush_compare_buffers(TwoPartyContext& ctx, CompareWait w) {
+  switch (w) {
+    case CompareWait::ot:
+      ctx.ots().flush();
+      break;
+    case CompareWait::bits:
+      ctx.bit_opens().flush();
+      break;
+    case CompareWait::opens:
+      ctx.opens().flush();
+      break;
+    case CompareWait::done:
+      break;
+  }
+}
+
+void BitOpenBuffer::stage(BitShared x, std::vector<std::uint8_t>* out) {
+  if (!coalescing_) {
+    // Immediate mode never parks the stage, so a failed exchange cannot
+    // leave a dangling output pointer behind (same contract as OpenBuffer).
+    const Pending p{std::move(x), out};
+    open_batch(&p, 1);
+    return;
+  }
+  pending_.push_back(Pending{std::move(x), out});
+}
+
+void BitOpenBuffer::flush() {
+  if (pending_.empty()) return;
+  open_batch(pending_.data(), pending_.size());
+  pending_.clear();
+}
+
+void BitOpenBuffer::open_batch(const Pending* batch, std::size_t count) {
+  // One symmetric exchange for every stage of the batch; each stage's bits
+  // pack into their own byte-aligned chunk so coalescing never changes the
+  // transcript size, only the exchange count.
+  std::vector<std::uint8_t> msg0, msg1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto p0 = pack_bits(batch[i].x.b0);
+    const auto p1 = pack_bits(batch[i].x.b1);
+    msg0.insert(msg0.end(), p0.begin(), p0.end());
+    msg1.insert(msg1.end(), p1.begin(), p1.end());
+  }
+  std::vector<std::uint8_t> from0, from1;
+  ctx_.exchange([&] { ctx_.chan(0).send_bytes(msg0); },
+                [&] { ctx_.chan(1).send_bytes(msg1); },
+                [&] { from1 = ctx_.chan(0).recv_bytes(); },
+                [&] { from0 = ctx_.chan(1).recv_bytes(); });
+  if (from0.size() != msg0.size() || from1.size() != msg1.size()) {
+    throw std::logic_error("BitOpenBuffer::flush: transcript size mismatch");
+  }
+  std::size_t byte_off = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t n = batch[i].x.size();
+    const std::vector<std::uint8_t> peer =
+        unpack_bits(slice_bytes(from1, byte_off, byte_off + (n + 7) / 8), n);
+    std::vector<std::uint8_t>& out = *batch[i].out;
+    out.resize(n);
+    for (std::size_t j = 0; j < n; ++j) out[j] = batch[i].x.b0[j] ^ peer[j];
+    byte_off += (n + 7) / 8;
+  }
+}
+
+void BitOpenBuffer::set_coalescing(bool on) {
+  if (!pending_.empty()) {
+    throw std::logic_error("BitOpenBuffer::set_coalescing: stages pending (flush first)");
+  }
+  coalescing_ = on;
+}
+
+void AndRound::stage(TwoPartyContext& ctx, const BitShared& x, const BitShared& y,
+                     BitTriple t) {
   if (x.size() != y.size()) throw std::invalid_argument("and_bits: size mismatch");
   const std::size_t n = x.size();
-  const BitTriple t = ctx.triples().bit_triple(n);
-
-  // d = x ^ a, e = y ^ b; both parties open (one parallel round).
-  std::vector<std::uint8_t> d0(n), e0(n), d1(n), e1(n);
+  if (t.a0.size() != n) throw std::invalid_argument("and_bits: triple size mismatch");
+  t_ = std::move(t);
+  // d = x ^ a, e = y ^ b; both parties open (one parallel round once the
+  // buffer flushes).  d and e concatenate into one 2n-bit stage, exactly
+  // the historical and_bits message.
+  BitShared de;
+  de.b0.resize(2 * n);
+  de.b1.resize(2 * n);
   for (std::size_t i = 0; i < n; ++i) {
-    d0[i] = x.b0[i] ^ t.a0[i];
-    e0[i] = y.b0[i] ^ t.b0[i];
-    d1[i] = x.b1[i] ^ t.a1[i];
-    e1[i] = y.b1[i] ^ t.b1[i];
+    de.b0[i] = x.b0[i] ^ t_.a0[i];
+    de.b0[n + i] = y.b0[i] ^ t_.b0[i];
+    de.b1[i] = x.b1[i] ^ t_.a1[i];
+    de.b1[n + i] = y.b1[i] ^ t_.b1[i];
   }
-  // Each party packs (d,e) into one message.
-  auto concat = [](const std::vector<std::uint8_t>& u, const std::vector<std::uint8_t>& v) {
-    std::vector<std::uint8_t> w = u;
-    w.insert(w.end(), v.begin(), v.end());
-    return w;
-  };
-  std::vector<std::uint8_t> from0, from1;
-  ctx.exchange([&] { ctx.chan(0).send_bytes(pack_bits(concat(d0, e0))); },
-               [&] { ctx.chan(1).send_bytes(pack_bits(concat(d1, e1))); },
-               [&] { from1 = unpack_bits(ctx.chan(0).recv_bytes(), 2 * n); },
-               [&] { from0 = unpack_bits(ctx.chan(1).recv_bytes(), 2 * n); });
+  ctx.bit_opens().stage(std::move(de), &de_);
+}
 
+BitShared AndRound::finish() {
+  const std::size_t n = t_.a0.size();
   BitShared out;
   out.b0.resize(n);
   out.b1.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t d = d0[i] ^ from1[i] ^ 0;       // d0 ^ d1
-    const std::uint8_t e = e0[i] ^ from1[n + i];       // e0 ^ e1
-    // Cross-check party 1's reconstruction path uses from0.
-    const std::uint8_t d_p1 = d1[i] ^ from0[i];
-    const std::uint8_t e_p1 = e1[i] ^ from0[n + i];
+    const std::uint8_t d = de_[i];
+    const std::uint8_t e = de_[n + i];
     // z_i = [i==0]·(d&e) ^ (d & b_i) ^ (e & a_i) ^ c_i
-    out.b0[i] = (d & e) ^ (d & t.b0[i]) ^ (e & t.a0[i]) ^ t.c0[i];
-    out.b1[i] = (d_p1 & t.b1[i]) ^ (e_p1 & t.a1[i]) ^ t.c1[i];
+    out.b0[i] = (d & e) ^ (d & t_.b0[i]) ^ (e & t_.a0[i]) ^ t_.c0[i];
+    out.b1[i] = (d & t_.b1[i]) ^ (e & t_.a1[i]) ^ t_.c1[i];
   }
   return out;
+}
+
+BitShared and_bits(TwoPartyContext& ctx, const BitShared& x, const BitShared& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("and_bits: size mismatch");
+  AndRound r;
+  r.stage(ctx, x, y, ctx.triples().bit_triple(x.size()));
+  ctx.bit_opens().flush();
+  return r.finish();
 }
 
 int millionaire_digits(int nbits) noexcept {
@@ -115,101 +193,264 @@ std::vector<int> millionaire_and_level_multipliers(int nbits) {
   return levels;
 }
 
-BitShared millionaire_gt(TwoPartyContext& ctx, const std::vector<std::uint64_t>& a,
-                         const std::vector<std::uint64_t>& b, int nbits, OtMode mode) {
+// ---------------------------------------------------------------------------
+// Resumable millionaire / DReLU phases
+// ---------------------------------------------------------------------------
+
+MillionaireMaterial draw_millionaire_material(TwoPartyContext& ctx, std::size_t n,
+                                              int nbits) {
+  if (nbits < 1 || nbits > 63) throw std::invalid_argument("millionaire_gt: bad width");
+  const int digits = millionaire_digits(nbits);
+  MillionaireMaterial mat;
+  mat.r_lt.resize(n * digits);
+  mat.r_eq.resize(n * digits);
+  for (std::size_t idx = 0; idx < n * static_cast<std::size_t>(digits); ++idx) {
+    const std::uint64_t rnd = ctx.prng(1).next_u64();
+    mat.r_lt[idx] = rnd & 1;
+    mat.r_eq[idx] = (rnd >> 1) & 1;
+  }
+  for (const int mult : millionaire_and_level_multipliers(nbits)) {
+    mat.levels.push_back(ctx.triples().bit_triple(static_cast<std::size_t>(mult) * n));
+  }
+  return mat;
+}
+
+void StagedMillionaire::begin(TwoPartyContext& ctx, const std::vector<std::uint64_t>& a,
+                              const std::vector<std::uint64_t>& b, int nbits, OtMode mode,
+                              MillionaireMaterial material) {
   if (a.size() != b.size()) throw std::invalid_argument("millionaire_gt: size mismatch");
   if (nbits < 1 || nbits > 63) throw std::invalid_argument("millionaire_gt: bad width");
-  const std::size_t n = a.size();
-  const int digits = millionaire_digits(nbits);
+  n_ = a.size();
+  digits_ = millionaire_digits(nbits);
+  level_ = 0;
+  mat_ = std::move(material);
+  if (mat_.r_lt.size() != n_ * static_cast<std::size_t>(digits_)) {
+    throw std::invalid_argument("millionaire_gt: material size mismatch");
+  }
 
   // Leaf layer: one (1,4)-OT per (element, digit).  Party 1 is the sender
-  // and keeps random bits (r_lt, r_eq) as its leaf shares; party 0 receives
-  // the masked (lt, eq) pair for its digit value.
-  std::vector<std::array<std::uint8_t, kOtFanIn>> tables(n * digits);
-  std::vector<std::uint8_t> choices(n * digits);
-  std::vector<std::uint8_t> r_lt(n * digits), r_eq(n * digits);
-  for (std::size_t t = 0; t < n; ++t) {
-    for (int d = 0; d < digits; ++d) {
-      const std::size_t idx = t * digits + d;
+  // and keeps the pre-drawn random bits (r_lt, r_eq) as its leaf shares;
+  // party 0 receives the masked (lt, eq) pair for its digit value.
+  std::vector<std::array<std::uint8_t, kOtFanIn>> tables(n_ * digits_);
+  std::vector<std::uint8_t> choices(n_ * digits_);
+  for (std::size_t t = 0; t < n_; ++t) {
+    for (int d = 0; d < digits_; ++d) {
+      const std::size_t idx = t * digits_ + d;
       const auto a_dig = static_cast<std::uint8_t>((a[t] >> (2 * d)) & 3);
       const auto b_dig = static_cast<std::uint8_t>((b[t] >> (2 * d)) & 3);
-      const std::uint64_t rnd = ctx.prng(1).next_u64();
-      r_lt[idx] = rnd & 1;
-      r_eq[idx] = (rnd >> 1) & 1;
       for (std::uint8_t j = 0; j < kOtFanIn; ++j) {
         const std::uint8_t gt = (j > b_dig) ? 1 : 0;
         const std::uint8_t eq = (j == b_dig) ? 1 : 0;
-        tables[idx][j] = static_cast<std::uint8_t>((gt ^ r_lt[idx]) |
-                                                   (static_cast<std::uint8_t>(eq ^ r_eq[idx]) << 1));
+        tables[idx][j] = static_cast<std::uint8_t>(
+            (gt ^ mat_.r_lt[idx]) |
+            (static_cast<std::uint8_t>(eq ^ mat_.r_eq[idx]) << 1));
       }
       choices[idx] = a_dig;
     }
   }
-  const std::vector<std::uint8_t> leaf = ot_1of4(ctx, /*sender=*/1, tables, choices, mode);
+  ctx.ots().stage(/*sender=*/1, std::move(tables), std::move(choices), &leaf_, mode);
+  wait_ = CompareWait::ot;
+}
 
-  // Per-digit shared (gt, eq) vectors, index 0 = least significant digit.
-  std::vector<BitShared> gt_d(digits), eq_d(digits);
-  for (int d = 0; d < digits; ++d) {
-    gt_d[d].b0.resize(n);
-    gt_d[d].b1.resize(n);
-    eq_d[d].b0.resize(n);
-    eq_d[d].b1.resize(n);
-    for (std::size_t t = 0; t < n; ++t) {
-      const std::size_t idx = t * digits + d;
-      gt_d[d].b0[t] = leaf[idx] & 1;
-      gt_d[d].b1[t] = r_lt[idx];
-      eq_d[d].b0[t] = (leaf[idx] >> 1) & 1;
-      eq_d[d].b1[t] = r_eq[idx];
-    }
-  }
-
+void StagedMillionaire::stage_level(TwoPartyContext& ctx) {
   // Log-depth combine: for an adjacent (hi, lo) pair,
   //   gt = gt_hi ^ (eq_hi & gt_lo),  eq = eq_hi & eq_lo.
-  // Both ANDs of every pair are batched into a single and_bits round.
-  std::vector<BitShared> gts = std::move(gt_d);
-  std::vector<BitShared> eqs = std::move(eq_d);
-  while (gts.size() > 1) {
-    const std::size_t pairs = gts.size() / 2;
-    BitShared lhs, rhs;  // concat of [eq_hi]*2 vs [gt_lo, eq_lo] per pair
-    lhs.b0.reserve(2 * pairs * n);
-    lhs.b1.reserve(2 * pairs * n);
-    rhs.b0.reserve(2 * pairs * n);
-    rhs.b1.reserve(2 * pairs * n);
-    for (std::size_t p = 0; p < pairs; ++p) {
-      const BitShared& eq_hi = eqs[2 * p + 1];
-      const BitShared& gt_lo = gts[2 * p];
-      const BitShared& eq_lo = eqs[2 * p];
-      lhs.b0.insert(lhs.b0.end(), eq_hi.b0.begin(), eq_hi.b0.end());
-      lhs.b1.insert(lhs.b1.end(), eq_hi.b1.begin(), eq_hi.b1.end());
-      rhs.b0.insert(rhs.b0.end(), gt_lo.b0.begin(), gt_lo.b0.end());
-      rhs.b1.insert(rhs.b1.end(), gt_lo.b1.begin(), gt_lo.b1.end());
-      lhs.b0.insert(lhs.b0.end(), eq_hi.b0.begin(), eq_hi.b0.end());
-      lhs.b1.insert(lhs.b1.end(), eq_hi.b1.begin(), eq_hi.b1.end());
-      rhs.b0.insert(rhs.b0.end(), eq_lo.b0.begin(), eq_lo.b0.end());
-      rhs.b1.insert(rhs.b1.end(), eq_lo.b1.begin(), eq_lo.b1.end());
-    }
-    const BitShared prod = and_bits(ctx, lhs, rhs);
-
-    std::vector<BitShared> next_gt, next_eq;
-    next_gt.reserve(pairs + 1);
-    next_eq.reserve(pairs + 1);
-    for (std::size_t p = 0; p < pairs; ++p) {
-      BitShared gated_gt, gated_eq;
-      gated_gt.b0 = slice_bytes(prod.b0, 2 * p * n, (2 * p + 1) * n);
-      gated_gt.b1 = slice_bytes(prod.b1, 2 * p * n, (2 * p + 1) * n);
-      gated_eq.b0 = slice_bytes(prod.b0, (2 * p + 1) * n, (2 * p + 2) * n);
-      gated_eq.b1 = slice_bytes(prod.b1, (2 * p + 1) * n, (2 * p + 2) * n);
-      next_gt.push_back(xor_bits(gts[2 * p + 1], gated_gt));
-      next_eq.push_back(std::move(gated_eq));
-    }
-    if (gts.size() % 2 == 1) {  // odd count: most-significant digit carries up
-      next_gt.push_back(std::move(gts.back()));
-      next_eq.push_back(std::move(eqs.back()));
-    }
-    gts = std::move(next_gt);
-    eqs = std::move(next_eq);
+  // Both ANDs of every pair batch into a single staged AND.
+  const std::size_t pairs = gts_.size() / 2;
+  BitShared lhs, rhs;  // concat of [eq_hi]*2 vs [gt_lo, eq_lo] per pair
+  lhs.b0.reserve(2 * pairs * n_);
+  lhs.b1.reserve(2 * pairs * n_);
+  rhs.b0.reserve(2 * pairs * n_);
+  rhs.b1.reserve(2 * pairs * n_);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const BitShared& eq_hi = eqs_[2 * p + 1];
+    const BitShared& gt_lo = gts_[2 * p];
+    const BitShared& eq_lo = eqs_[2 * p];
+    lhs.b0.insert(lhs.b0.end(), eq_hi.b0.begin(), eq_hi.b0.end());
+    lhs.b1.insert(lhs.b1.end(), eq_hi.b1.begin(), eq_hi.b1.end());
+    rhs.b0.insert(rhs.b0.end(), gt_lo.b0.begin(), gt_lo.b0.end());
+    rhs.b1.insert(rhs.b1.end(), gt_lo.b1.begin(), gt_lo.b1.end());
+    lhs.b0.insert(lhs.b0.end(), eq_hi.b0.begin(), eq_hi.b0.end());
+    lhs.b1.insert(lhs.b1.end(), eq_hi.b1.begin(), eq_hi.b1.end());
+    rhs.b0.insert(rhs.b0.end(), eq_lo.b0.begin(), eq_lo.b0.end());
+    rhs.b1.insert(rhs.b1.end(), eq_lo.b1.begin(), eq_lo.b1.end());
   }
-  return gts[0];
+  and_.stage(ctx, lhs, rhs, std::move(mat_.levels[level_]));
+  wait_ = CompareWait::bits;
+}
+
+void StagedMillionaire::step(TwoPartyContext& ctx) {
+  switch (wait_) {
+    case CompareWait::ot: {
+      // Per-digit shared (gt, eq) vectors, index 0 = least significant.
+      gts_.assign(static_cast<std::size_t>(digits_), BitShared{});
+      eqs_.assign(static_cast<std::size_t>(digits_), BitShared{});
+      for (int d = 0; d < digits_; ++d) {
+        gts_[d].b0.resize(n_);
+        gts_[d].b1.resize(n_);
+        eqs_[d].b0.resize(n_);
+        eqs_[d].b1.resize(n_);
+        for (std::size_t t = 0; t < n_; ++t) {
+          const std::size_t idx = t * digits_ + d;
+          gts_[d].b0[t] = leaf_[idx] & 1;
+          gts_[d].b1[t] = mat_.r_lt[idx];
+          eqs_[d].b0[t] = (leaf_[idx] >> 1) & 1;
+          eqs_[d].b1[t] = mat_.r_eq[idx];
+        }
+      }
+      if (gts_.size() > 1) {
+        stage_level(ctx);
+      } else {
+        wait_ = CompareWait::done;
+      }
+      return;
+    }
+    case CompareWait::bits: {
+      const BitShared prod = and_.finish();
+      const std::size_t pairs = gts_.size() / 2;
+      std::vector<BitShared> next_gt, next_eq;
+      next_gt.reserve(pairs + 1);
+      next_eq.reserve(pairs + 1);
+      for (std::size_t p = 0; p < pairs; ++p) {
+        BitShared gated_gt, gated_eq;
+        gated_gt.b0 = slice_bytes(prod.b0, 2 * p * n_, (2 * p + 1) * n_);
+        gated_gt.b1 = slice_bytes(prod.b1, 2 * p * n_, (2 * p + 1) * n_);
+        gated_eq.b0 = slice_bytes(prod.b0, (2 * p + 1) * n_, (2 * p + 2) * n_);
+        gated_eq.b1 = slice_bytes(prod.b1, (2 * p + 1) * n_, (2 * p + 2) * n_);
+        next_gt.push_back(xor_bits(gts_[2 * p + 1], gated_gt));
+        next_eq.push_back(std::move(gated_eq));
+      }
+      if (gts_.size() % 2 == 1) {  // odd count: most-significant digit carries up
+        next_gt.push_back(std::move(gts_.back()));
+        next_eq.push_back(std::move(eqs_.back()));
+      }
+      gts_ = std::move(next_gt);
+      eqs_ = std::move(next_eq);
+      ++level_;
+      if (gts_.size() > 1) {
+        stage_level(ctx);
+      } else {
+        wait_ = CompareWait::done;
+      }
+      return;
+    }
+    case CompareWait::opens:
+    case CompareWait::done:
+      throw std::logic_error("StagedMillionaire::step: nothing to resume");
+  }
+}
+
+BitShared millionaire_gt(TwoPartyContext& ctx, const std::vector<std::uint64_t>& a,
+                         const std::vector<std::uint64_t>& b, int nbits, OtMode mode) {
+  if (a.size() != b.size()) throw std::invalid_argument("millionaire_gt: size mismatch");
+  StagedMillionaire m;
+  m.begin(ctx, a, b, nbits, mode, draw_millionaire_material(ctx, a.size(), nbits));
+  while (m.waiting() != CompareWait::done) {
+    flush_compare_buffers(ctx, m.waiting());
+    m.step(ctx);
+  }
+  return std::move(m.result());
+}
+
+MillionaireMaterial draw_drelu_material(TwoPartyContext& ctx, std::size_t n) {
+  return draw_millionaire_material(ctx, n, ctx.ring().bits - 1);
+}
+
+void StagedDrelu::begin(TwoPartyContext& ctx, const Shared& x, OtMode mode,
+                        MillionaireMaterial material) {
+  const RingConfig& rc = ctx.ring();
+  const std::size_t n = x.size();
+  const int lo_bits = rc.bits - 1;
+  const std::uint64_t lo_mask = (1ULL << lo_bits) - 1;
+
+  // carry = [lo(x0) + lo(x1) >= 2^(b-1)] = [lo(x0) > 2^(b-1)-1 - lo(x1)]
+  std::vector<std::uint64_t> a(n), b(n);
+  m0_.resize(n);
+  m1_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = x.s0[i] & lo_mask;
+    b[i] = lo_mask - (x.s1[i] & lo_mask);
+    m0_[i] = static_cast<std::uint8_t>((x.s0[i] >> lo_bits) & 1);
+    m1_[i] = static_cast<std::uint8_t>((x.s1[i] >> lo_bits) & 1);
+  }
+  folded_ = false;
+  mill_ = StagedMillionaire{};
+  mill_.begin(ctx, a, b, lo_bits, mode, std::move(material));
+}
+
+CompareWait StagedDrelu::waiting() const noexcept { return mill_.waiting(); }
+
+void StagedDrelu::step(TwoPartyContext& ctx) {
+  mill_.step(ctx);
+  if (mill_.waiting() == CompareWait::done && !folded_) {
+    // msb(x) = msb(x0) ^ msb(x1) ^ carry; DReLU = NOT msb — each party
+    // folds its own top bit, party 0 flips for the negation.
+    BitShared& carry = mill_.result();
+    for (std::size_t i = 0; i < carry.size(); ++i) {
+      carry.b0[i] ^= m0_[i] ^ 1;
+      carry.b1[i] ^= m1_[i];
+    }
+    folded_ = true;
+  }
+}
+
+DreluMuxMaterial draw_drelu_mux_material(TwoPartyContext& ctx, std::size_t n) {
+  DreluMuxMaterial mat;
+  mat.mill = draw_drelu_material(ctx, n);
+  mat.b2a = ctx.triples().elem_triple(n);
+  mat.mux = ctx.triples().elem_triple(n);
+  return mat;
+}
+
+void StagedDreluMux::begin(TwoPartyContext& ctx, Shared v, OtMode mode,
+                           DreluMuxMaterial material) {
+  v_ = std::move(v);
+  b2a_t_ = std::move(material.b2a);
+  mux_t_ = std::move(material.mux);
+  b2a_ = B2aRound{};
+  mux_mul_ = MulRound{};
+  drelu_ = StagedDrelu{};
+  drelu_.begin(ctx, v_, mode, std::move(material.mill));
+  phase_ = Phase::drelu;
+}
+
+CompareWait StagedDreluMux::waiting() const noexcept {
+  switch (phase_) {
+    case Phase::drelu:
+      return drelu_.waiting();
+    case Phase::b2a:
+    case Phase::mux:
+      return CompareWait::opens;
+    case Phase::done:
+      return CompareWait::done;
+  }
+  return CompareWait::done;
+}
+
+void StagedDreluMux::step(TwoPartyContext& ctx) {
+  const RingConfig& rc = ctx.ring();
+  switch (phase_) {
+    case Phase::drelu: {
+      drelu_.step(ctx);
+      if (drelu_.waiting() != CompareWait::done) return;
+      b2a_.stage(ctx, drelu_.result(), std::move(b2a_t_));
+      phase_ = Phase::b2a;
+      return;
+    }
+    case Phase::b2a: {
+      const Shared bit = b2a_.finish(rc);
+      // Mux: out = v ⊙ bit (same operand order as crypto::mux).
+      mux_mul_.stage(ctx, v_, bit, std::move(mux_t_));
+      phase_ = Phase::mux;
+      return;
+    }
+    case Phase::mux:
+      out_ = mux_mul_.finish(rc);
+      phase_ = Phase::done;
+      return;
+    case Phase::done:
+      throw std::logic_error("StagedDreluMux::step: nothing to resume");
+  }
 }
 
 BitShared msb(TwoPartyContext& ctx, const Shared& x, OtMode mode) {
@@ -241,21 +482,31 @@ BitShared drelu(TwoPartyContext& ctx, const Shared& x, OtMode mode) {
   return not_bits(msb(ctx, x, mode));
 }
 
-Shared b2a(TwoPartyContext& ctx, const BitShared& v) {
+void B2aRound::stage(TwoPartyContext& ctx, const BitShared& v, ElemTriple t) {
   const std::size_t n = v.size();
-  RingVec v0(n), v1(n);
+  v0_.resize(n);
+  v1_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    v0[i] = v.b0[i];
-    v1[i] = v.b1[i];
+    v0_[i] = v.b0[i];
+    v1_[i] = v.b1[i];
   }
-  const Shared x = trivial_share(v0, 0);
-  const Shared y = trivial_share(v1, 1);
-  const Shared p = mul_elem(ctx, x, y);
-  const RingConfig& rc = ctx.ring();
-  // b = v0 + v1 - 2·v0·v1
-  Shared sum = add(x, y, rc);
-  const Shared two_p = scale(p, 2, rc);
-  return sub(sum, two_p, rc);
+  mul_.stage(ctx, trivial_share(v0_, 0), trivial_share(v1_, 1), std::move(t));
+}
+
+Shared B2aRound::finish(const RingConfig& rc) {
+  // b = v0 + v1 - 2·v0·v1 (the trivial sharings add to (v0, v1)).
+  const Shared p = mul_.finish(rc);
+  Shared sum;
+  sum.s0 = std::move(v0_);
+  sum.s1 = std::move(v1_);
+  return sub(sum, scale(p, 2, rc), rc);
+}
+
+Shared b2a(TwoPartyContext& ctx, const BitShared& v) {
+  B2aRound r;
+  r.stage(ctx, v, ctx.triples().elem_triple(v.size()));
+  ctx.opens().flush();
+  return r.finish(ctx.ring());
 }
 
 Shared mux(TwoPartyContext& ctx, const BitShared& sel, const Shared& x) {
@@ -263,14 +514,25 @@ Shared mux(TwoPartyContext& ctx, const BitShared& sel, const Shared& x) {
 }
 
 Shared relu(TwoPartyContext& ctx, const Shared& x, OtMode mode) {
-  return mux(ctx, drelu(ctx, x, mode), x);
+  StagedDreluMux m;
+  m.begin(ctx, x, mode, draw_drelu_mux_material(ctx, x.size()));
+  while (m.waiting() != CompareWait::done) {
+    flush_compare_buffers(ctx, m.waiting());
+    m.step(ctx);
+  }
+  return std::move(m.result());
 }
 
 Shared max_elem(TwoPartyContext& ctx, const Shared& a, const Shared& b, OtMode mode) {
   const RingConfig& rc = ctx.ring();
   const Shared diff = sub(a, b, rc);
-  const Shared gated = mux(ctx, drelu(ctx, diff, mode), diff);
-  return add(b, gated, rc);
+  StagedDreluMux m;
+  m.begin(ctx, diff, mode, draw_drelu_mux_material(ctx, diff.size()));
+  while (m.waiting() != CompareWait::done) {
+    flush_compare_buffers(ctx, m.waiting());
+    m.step(ctx);
+  }
+  return add(b, m.result(), rc);
 }
 
 }  // namespace pasnet::crypto

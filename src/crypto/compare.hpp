@@ -40,6 +40,181 @@ struct BitShared {
 [[nodiscard]] BitShared and_bits(TwoPartyContext& ctx, const BitShared& x,
                                  const BitShared& y);
 
+// --- Staged (resumable) comparison phases ----------------------------------
+//
+// The blocking comparison stack (millionaire + AND tree + B2A + mux) is
+// built from resumable phase machines so the IR executor can advance every
+// independent comparison instance of a round group in lockstep: one shared
+// (1,4)-OT leaf round, one shared exchange per AND-tree level, one shared
+// opening for the B2A and mux multiplications.  Each machine draws ALL of
+// its correlated randomness up front at begin() — in the exact order the
+// historical blocking protocol consumed it — so the dealer/TripleSource
+// request stream stays program-ordered (and store-backed replay stays
+// bit-identical) no matter how phases interleave across instances.
+
+/// Which per-context buffer a staged comparison needs flushed before its
+/// next step(): the OT buffer, the bit-open buffer, the ring OpenBuffer —
+/// or nothing (the result is ready).
+enum class CompareWait : std::uint8_t { ot, bits, opens, done };
+
+/// Flushes the context buffer `w` names (no-op for done).  The standalone
+/// drivers (one-shot protocol functions) use this to run a staged machine
+/// to completion under either buffer mode.
+void flush_compare_buffers(TwoPartyContext& ctx, CompareWait w);
+
+/// Per-context staging area for joint XOR-share openings — the Z2 analog
+/// of OpenBuffer.  Immediate mode opens each stage in its own symmetric
+/// exchange (the historical and_bits transcript); coalescing mode defers
+/// and flush() opens everything pending in ONE exchange.  Each stage's
+/// bits are packed to a byte boundary separately, so the on-wire bytes are
+/// identical to separate opens.
+class BitOpenBuffer {
+ public:
+  explicit BitOpenBuffer(TwoPartyContext& ctx) : ctx_(ctx) {}
+  BitOpenBuffer(const BitOpenBuffer&) = delete;
+  BitOpenBuffer& operator=(const BitOpenBuffer&) = delete;
+
+  /// Stages x for opening; the reconstructed public bits land in *out.
+  void stage(BitShared x, std::vector<std::uint8_t>* out);
+  void flush();
+  void discard() noexcept { pending_.clear(); }
+  [[nodiscard]] bool has_pending() const noexcept { return !pending_.empty(); }
+  void set_coalescing(bool on);
+  [[nodiscard]] bool coalescing() const noexcept { return coalescing_; }
+
+ private:
+  struct Pending {
+    BitShared x;
+    std::vector<std::uint8_t>* out;
+  };
+  void open_batch(const Pending* batch, std::size_t count);
+  TwoPartyContext& ctx_;
+  std::vector<Pending> pending_;
+  bool coalescing_ = false;
+};
+
+/// Staged Beaver AND over Z2: stage() defers the (d, e) opening onto the
+/// context's bit-open buffer, finish() recombines once the bits are
+/// public.  and_bits() is stage + flush + finish.
+class AndRound {
+ public:
+  /// `t` must be a bit triple of x's size (pre-drawn by the caller so the
+  /// dealer request order is the caller's, not the flush schedule's).
+  void stage(TwoPartyContext& ctx, const BitShared& x, const BitShared& y, BitTriple t);
+  [[nodiscard]] BitShared finish();
+
+ private:
+  BitTriple t_;
+  std::vector<std::uint8_t> de_;  // opened d||e (2n public bits)
+};
+
+/// Staged B2A conversion: b = v0 + v1 - 2·v0·v1 over trivial ring
+/// sharings of the two parties' XOR-share bits (one Beaver multiplication
+/// round).  The single implementation behind crypto::b2a, the staged
+/// comparison phases and secure_argmax — the formula and its draw order
+/// must not fork, or the dealer request stream diverges from
+/// ir::derive_plan.
+class B2aRound {
+ public:
+  /// `t` must be an elem triple of v's size (pre-drawn by the caller).
+  void stage(TwoPartyContext& ctx, const BitShared& v, ElemTriple t);
+  [[nodiscard]] Shared finish(const RingConfig& rc);
+
+ private:
+  MulRound mul_;
+  RingVec v0_, v1_;
+};
+
+/// Pre-drawn randomness for one millionaire comparison over n values: the
+/// sender's leaf masks and one bit triple per AND-tree combine level, in
+/// the canonical (protocol-order) sequence.
+struct MillionaireMaterial {
+  std::vector<std::uint8_t> r_lt, r_eq;  ///< n·digits leaf masks (party 1)
+  std::vector<BitTriple> levels;         ///< one per AND combine level
+};
+
+/// Draws the material one millionaire_gt(n values, nbits) consumes, in the
+/// same PRNG/dealer order the blocking protocol draws it.
+[[nodiscard]] MillionaireMaterial draw_millionaire_material(TwoPartyContext& ctx,
+                                                            std::size_t n, int nbits);
+
+/// Resumable millionaires protocol: begin() stages the per-digit (1,4)-OT
+/// leaf batch on ctx.ots(); each step() after a flush consumes the round's
+/// results and stages the next AND-tree level on ctx.bit_opens().
+class StagedMillionaire {
+ public:
+  void begin(TwoPartyContext& ctx, const std::vector<std::uint64_t>& a,
+             const std::vector<std::uint64_t>& b, int nbits, OtMode mode,
+             MillionaireMaterial material);
+  [[nodiscard]] CompareWait waiting() const noexcept { return wait_; }
+  void step(TwoPartyContext& ctx);
+  /// XOR shares of [a > b]; valid once waiting() == done.
+  [[nodiscard]] BitShared& result() noexcept { return gts_.front(); }
+
+ private:
+  void stage_level(TwoPartyContext& ctx);
+  std::size_t n_ = 0;
+  int digits_ = 0;
+  std::size_t level_ = 0;
+  MillionaireMaterial mat_;
+  std::vector<std::uint8_t> leaf_;
+  std::vector<BitShared> gts_, eqs_;
+  AndRound and_;
+  CompareWait wait_ = CompareWait::done;
+};
+
+/// Resumable DReLU: the millionaire carry over the low ring bits plus the
+/// local top-bit fold and negation.
+class StagedDrelu {
+ public:
+  /// Material must come from draw_millionaire_material(ctx, x.size(),
+  /// ring bits - 1) — use draw_drelu_material().
+  void begin(TwoPartyContext& ctx, const Shared& x, OtMode mode,
+             MillionaireMaterial material);
+  [[nodiscard]] CompareWait waiting() const noexcept;
+  void step(TwoPartyContext& ctx);
+  [[nodiscard]] BitShared& result() noexcept { return mill_.result(); }
+
+ private:
+  StagedMillionaire mill_;
+  std::vector<std::uint8_t> m0_, m1_;
+  bool folded_ = false;
+};
+
+[[nodiscard]] MillionaireMaterial draw_drelu_material(TwoPartyContext& ctx, std::size_t n);
+
+/// Pre-drawn randomness for one gated select v·DReLU(v): the DReLU
+/// material plus the B2A and mux Beaver triples, in protocol order.
+struct DreluMuxMaterial {
+  MillionaireMaterial mill;
+  ElemTriple b2a;
+  ElemTriple mux;
+};
+
+[[nodiscard]] DreluMuxMaterial draw_drelu_mux_material(TwoPartyContext& ctx, std::size_t n);
+
+/// Resumable v ⊙ DReLU(v) — the shared core of 2PC ReLU (v = x) and secure
+/// max (v = a - b; max = b + result).  Phases: DReLU (OT + AND levels),
+/// then the B2A multiplication, then the mux multiplication, each staged
+/// on the context's buffers.
+class StagedDreluMux {
+ public:
+  void begin(TwoPartyContext& ctx, Shared v, OtMode mode, DreluMuxMaterial material);
+  [[nodiscard]] CompareWait waiting() const noexcept;
+  void step(TwoPartyContext& ctx);
+  [[nodiscard]] Shared& result() noexcept { return out_; }
+
+ private:
+  enum class Phase : std::uint8_t { drelu, b2a, mux, done };
+  Phase phase_ = Phase::done;
+  StagedDrelu drelu_;
+  B2aRound b2a_;
+  MulRound mux_mul_;
+  ElemTriple b2a_t_, mux_t_;
+  Shared v_;
+  Shared out_;
+};
+
 /// Millionaires protocol: party 0 holds `a`, party 1 holds `b`, both lists
 /// of `nbits`-bit non-negative values; returns XOR shares of [a > b].
 [[nodiscard]] BitShared millionaire_gt(TwoPartyContext& ctx,

@@ -1,5 +1,8 @@
 #include "crypto/party.hpp"
 
+#include "crypto/compare.hpp"
+#include "crypto/ot.hpp"
+
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -113,7 +116,8 @@ TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, ExecMode mod
                                  std::chrono::microseconds round_delay)
     : rc_(rc), mode_(mode), round_delay_(round_delay), dealer_(rc, splitmix64(seed)),
       dealer_source_(dealer_, rc), prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)),
-      opens_(*this) {
+      opens_(*this), ots_(std::make_unique<OtBuffer>(*this)),
+      bit_opens_(std::make_unique<BitOpenBuffer>(*this)) {
   ChannelOptions options;
   options.mode = mode == ExecMode::threaded ? ChannelMode::threaded : ChannelMode::lockstep;
   options.round_delay = round_delay;
@@ -256,8 +260,15 @@ RingVec open(TwoPartyContext& ctx, const Shared& x) {
 
 void MulRound::stage(TwoPartyContext& ctx, Shared x, Shared y) {
   if (x.size() != y.size()) throw std::invalid_argument("mul_elem: size mismatch");
+  ElemTriple t = ctx.triples().elem_triple(x.size());
+  stage(ctx, std::move(x), std::move(y), std::move(t));
+}
+
+void MulRound::stage(TwoPartyContext& ctx, Shared x, Shared y, ElemTriple t) {
+  if (x.size() != y.size()) throw std::invalid_argument("mul_elem: size mismatch");
+  if (t.a.size() != x.size()) throw std::invalid_argument("mul_elem: triple size mismatch");
   const RingConfig& rc = ctx.ring();
-  t_ = ctx.triples().elem_triple(x.size());
+  t_ = std::move(t);
   x_ = std::move(x);
   y_ = std::move(y);
   // E = X - A, F = Y - B; opened jointly.

@@ -44,6 +44,8 @@
 namespace pasnet::crypto {
 
 class TwoPartyContext;
+class OtBuffer;        // crypto/ot.hpp — staged (1,4)-OT batches
+class BitOpenBuffer;   // crypto/compare.hpp — staged XOR-share openings
 
 /// How a TwoPartyContext schedules the two parties (see file comment).
 enum class ExecMode { lockstep, threaded };
@@ -142,6 +144,15 @@ class TwoPartyContext {
 
   /// The context's open staging buffer (see OpenBuffer).
   [[nodiscard]] OpenBuffer& opens() noexcept { return opens_; }
+  /// The context's staged-OT buffer (crypto/ot.hpp) — the comparison
+  /// stack's analog of opens(): independent comparison instances stage
+  /// their (1,4)-OT leaf batches here and a coalescing flush merges them
+  /// into one two-message round.
+  [[nodiscard]] OtBuffer& ots() noexcept { return *ots_; }
+  /// The context's staged bit-open buffer (crypto/compare.hpp): AND-tree
+  /// levels of independent comparisons open their masked (d, e) bits in
+  /// one shared exchange per level.
+  [[nodiscard]] BitOpenBuffer& bit_opens() noexcept { return *bit_opens_; }
 
   /// Runs the per-party closures — on the party threads in threaded mode,
   /// inline (f0 then f1) in lockstep mode.  Callers are responsible for an
@@ -177,6 +188,8 @@ class TwoPartyContext {
   Prng prng0_;
   Prng prng1_;
   OpenBuffer opens_;
+  std::unique_ptr<OtBuffer> ots_;
+  std::unique_ptr<BitOpenBuffer> bit_opens_;
   std::unique_ptr<TwoPartyRuntime> runtime_;  // threaded mode only
 };
 
@@ -198,6 +211,11 @@ class TwoPartyContext {
 class MulRound {
  public:
   void stage(TwoPartyContext& ctx, Shared x, Shared y);
+  /// Same, with a caller-drawn triple — used by the staged comparison
+  /// phases, which draw all of an instance's correlated randomness up
+  /// front so the request stream stays program-ordered however the phases
+  /// interleave.
+  void stage(TwoPartyContext& ctx, Shared x, Shared y, ElemTriple t);
   [[nodiscard]] Shared finish(const RingConfig& rc);
 
  private:

@@ -11,27 +11,34 @@ using crypto::RingConfig;
 using crypto::Shared;
 using proto::SecureTensor;
 
-/// Restores the buffer's staging mode on scope exit (exception-safe).  An
-/// exception mid-round-group leaves stages pending whose output pointers
-/// refer to ops this frame owns — discard them first so the unwind never
-/// throws from a destructor and the reused context cannot write through
-/// dangling pointers.
+/// Restores the context buffers' staging modes on scope exit
+/// (exception-safe).  An exception mid-round-group leaves stages pending
+/// whose output pointers refer to ops this frame owns — discard them first
+/// so the unwind never throws from a destructor and the reused context
+/// cannot write through dangling pointers.
 class CoalescingScope {
  public:
-  CoalescingScope(crypto::OpenBuffer& buffer, bool on)
-      : buffer_(buffer), prev_(buffer.coalescing()) {
-    buffer_.set_coalescing(on);
+  CoalescingScope(crypto::TwoPartyContext& ctx, bool on)
+      : ctx_(ctx), prev_opens_(ctx.opens().coalescing()), prev_ots_(ctx.ots().coalescing()),
+        prev_bits_(ctx.bit_opens().coalescing()) {
+    ctx_.opens().set_coalescing(on);
+    ctx_.ots().set_coalescing(on);
+    ctx_.bit_opens().set_coalescing(on);
   }
   ~CoalescingScope() {
-    buffer_.discard();
-    buffer_.set_coalescing(prev_);
+    ctx_.opens().discard();
+    ctx_.ots().discard();
+    ctx_.bit_opens().discard();
+    ctx_.opens().set_coalescing(prev_opens_);
+    ctx_.ots().set_coalescing(prev_ots_);
+    ctx_.bit_opens().set_coalescing(prev_bits_);
   }
   CoalescingScope(const CoalescingScope&) = delete;
   CoalescingScope& operator=(const CoalescingScope&) = delete;
 
  private:
-  crypto::OpenBuffer& buffer_;
-  bool prev_;
+  crypto::TwoPartyContext& ctx_;
+  bool prev_opens_, prev_ots_, prev_bits_;
 };
 
 }  // namespace
@@ -61,28 +68,80 @@ ExecResult execute(const SecureProgram& p, const CompiledParams& params,
   const RingConfig& rc = ctx.ring();
   const bool coalesce = opts.cfg.schedule == proto::RoundSchedule::coalesced;
   crypto::OpenBuffer& opens = ctx.opens();
-  CoalescingScope mode(opens, coalesce);
+  CoalescingScope mode(ctx, coalesce);
 
   crypto::Prng input_prng(0xC11E47ULL);  // the client's share-generation PRG
   std::vector<SecureTensor> acts(p.ops.size());
   ExecResult result;
 
-  // The currently open round group: staged ops whose openings flush in one
-  // exchange.  finish() runs in stage order, so outputs land before any
-  // later op reads them.
+  // The currently open round group: single-round staged ops whose openings
+  // flush in one exchange, plus staged comparison ops whose resumable
+  // phases advance in lockstep so every instance shares the group's OT,
+  // AND-level and open rounds.
   std::vector<std::unique_ptr<proto::StagedSecureOp>> staged;
   std::vector<std::size_t> staged_idx;
+  std::vector<std::unique_ptr<proto::StagedCompareOp>> comps;
+  std::vector<std::size_t> comp_idx;
   std::vector<char> pending(p.ops.size(), 0);
   int staged_group = -1;
+  const auto deliver = [&](std::size_t idx, SecureTensor t) {
+    acts[idx] = std::move(t);
+    pending[idx] = 0;
+    if (opts.op_hook) opts.op_hook(idx, acts[idx]);
+  };
   const auto flush_group = [&] {
-    if (staged.empty()) return;
-    opens.flush();
-    for (std::size_t j = 0; j < staged.size(); ++j) {
-      acts[staged_idx[j]] = staged[j]->finish(ctx);
-      pending[staged_idx[j]] = 0;
+    if (staged.empty() && comps.empty()) return;
+    if (comps.empty()) {
+      opens.flush();
+    } else {
+      // Lockstep phase walk: each iteration flushes every buffer some
+      // comparison waits on (2 rounds for the OT dance, 1 per bit-open or
+      // ring-open exchange), then advances every unfinished comparison one
+      // phase.  Pending single-round openings ride the first open flush.
+      for (;;) {
+        bool want_ot = false, want_bits = false, want_opens = false;
+        for (const auto& c : comps) {
+          switch (c->waiting()) {
+            case crypto::CompareWait::ot:
+              want_ot = true;
+              break;
+            case crypto::CompareWait::bits:
+              want_bits = true;
+              break;
+            case crypto::CompareWait::opens:
+              want_opens = true;
+              break;
+            case crypto::CompareWait::done:
+              break;
+          }
+        }
+        if (!want_ot && !want_bits && !want_opens) break;
+        if (want_ot) ctx.ots().flush();
+        if (want_bits) ctx.bit_opens().flush();
+        if (want_opens) opens.flush();
+        for (auto& c : comps) {
+          if (c->waiting() != crypto::CompareWait::done) c->step(ctx);
+        }
+      }
+      // Single-round stragglers whose group had no open phase to ride
+      // (possible only when every comparison degenerates, e.g. 1x1 pools).
+      opens.flush();
+    }
+    // Deliver outputs in op order (both index lists are ascending).
+    std::size_t si = 0, ci = 0;
+    while (si < staged.size() || ci < comps.size()) {
+      if (ci >= comps.size() || (si < staged.size() && staged_idx[si] < comp_idx[ci])) {
+        deliver(staged_idx[si], staged[si]->finish(ctx));
+        ++si;
+      } else {
+        deliver(comp_idx[ci], comps[ci]->take(ctx));
+        ++ci;
+      }
     }
     staged.clear();
     staged_idx.clear();
+    comps.clear();
+    comp_idx.clear();
     staged_group = -1;
   };
   const auto input_pending = [&](const Op& op) {
@@ -131,37 +190,60 @@ ExecResult execute(const SecureProgram& p, const CompiledParams& params,
         // Eager schedule: every staged opening already ran its own
         // exchange; the op completes on the spot.
         opens.flush();
-        acts[i] = sop->finish(ctx);
+        deliver(i, sop->finish(ctx));
       }
       continue;
     }
 
-    // Multi-round ops run their own exchanges; local ops may read group
+    if (op.stages_compare()) {
+      if (coalesce && (staged_group != op.round_group || input_pending(op))) flush_group();
+      if (opts.layer_hook) opts.layer_hook(op.layer);
+      std::unique_ptr<proto::StagedCompareOp> cop;
+      switch (op.kind) {
+        case OpKind::relu:
+          cop = std::make_unique<proto::StagedRelu>(in(), opts.cfg.ot_mode);
+          break;
+        case OpKind::maxpool:
+          cop = std::make_unique<proto::StagedMaxPool>(in(), op.kernel, op.stride, op.pad,
+                                                       opts.cfg.ot_mode);
+          break;
+        default:
+          throw std::logic_error("ir::execute: unreachable compare kind");
+      }
+      if (coalesce) {
+        cop->begin(ctx);
+        comps.push_back(std::move(cop));
+        comp_idx.push_back(i);
+        staged_group = op.round_group;
+        pending[i] = 1;
+      } else {
+        // Eager schedule: the comparison's phases run their own exchanges
+        // back to back (immediate buffers make every flush a no-op).
+        deliver(i, proto::run_compare_op(ctx, *cop));
+      }
+      continue;
+    }
+
+    // The argmax terminal runs its own exchanges; local ops may read group
     // outputs.  Either way any pending group finishes first.
     if (op.multi_round() || input_pending(op)) flush_group();
     if (opts.layer_hook) opts.layer_hook(op.layer);
     switch (op.kind) {
       case OpKind::input:
-        acts[i] = proto::share_tensor(input, input_prng, rc);
-        break;
-      case OpKind::relu:
-        acts[i] = proto::secure_relu(ctx, in(), opts.cfg);
-        break;
-      case OpKind::maxpool:
-        acts[i] = proto::secure_maxpool(ctx, in(), op.kernel, op.stride, opts.cfg, op.pad);
+        deliver(i, proto::share_tensor(input, input_prng, rc));
         break;
       case OpKind::avgpool:
-        acts[i] = proto::secure_avgpool(ctx, in(), op.kernel, op.stride, op.pad);
+        deliver(i, proto::secure_avgpool(ctx, in(), op.kernel, op.stride, op.pad));
         break;
       case OpKind::global_avgpool:
-        acts[i] = proto::secure_global_avgpool(ctx, in());
+        deliver(i, proto::secure_global_avgpool(ctx, in()));
         break;
       case OpKind::flatten:
-        acts[i] = proto::secure_flatten(in());
+        deliver(i, proto::secure_flatten(in()));
         break;
       case OpKind::add:
-        acts[i] = proto::secure_add(ctx, acts[static_cast<std::size_t>(op.in0)],
-                                    acts[static_cast<std::size_t>(op.in1)]);
+        deliver(i, proto::secure_add(ctx, acts[static_cast<std::size_t>(op.in0)],
+                                     acts[static_cast<std::size_t>(op.in1)]));
         break;
       case OpKind::argmax:
         if (static_cast<int>(i) != p.output) {

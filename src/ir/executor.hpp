@@ -35,6 +35,12 @@ struct ExecOptions {
   /// Invoked with each op's descriptor-layer tag right before the op draws
   /// its correlated randomness (the preprocessing-plan oracle hook).
   std::function<void(int)> layer_hook;
+  /// Invoked with (op index, output tensor) as each op's secret-shared
+  /// output lands — after its round group delivers under the coalesced
+  /// schedule.  The differential test harness compares these shares
+  /// request-for-request between schedules; argmax terminals (label
+  /// outputs) are not reported.
+  std::function<void(std::size_t, const proto::SecureTensor&)> op_hook;
 };
 
 /// What a program run reveals to the client.

@@ -113,7 +113,11 @@ int schedule_rounds(SecureProgram& p) {
     const bool in_pending =
         (op.in0 >= 0 && pending[static_cast<std::size_t>(op.in0)]) ||
         (op.in1 >= 0 && pending[static_cast<std::size_t>(op.in1)]);
-    if (op.stages_opens()) {
+    if (op.stages_opens() || op.stages_compare()) {
+      // Both single-round ops (deferred openings) and staged comparisons
+      // (resumable millionaire/AND-tree phases) join the group: the
+      // executor advances every comparison in lockstep and the
+      // single-round openings ride the group's first open flush.
       if (!open || in_pending) {
         close();
         group = groups++;
@@ -123,9 +127,9 @@ int schedule_rounds(SecureProgram& p) {
       pending[i] = 1;
     } else {
       op.round_group = -1;
-      // Multi-round ops always flush first (their internal openings must
-      // not interleave with a pending group); local ops only flush when
-      // they consume a pending output.
+      // The argmax terminal always flushes first (its internal openings
+      // must not interleave with a pending group); local ops only flush
+      // when they consume a pending output.
       if (op.multi_round() || in_pending) close();
     }
   }

@@ -82,10 +82,12 @@ struct Op {
   double a_coeff = 0.0;
   bool coeff_fused = false;
 
-  /// Open-coalescing round group assigned by the schedule_rounds pass:
-  /// single-round ops sharing a group id flush their openings in one
-  /// exchange.  -1 for ops that do not stage openings (local and
-  /// multi-round ops).
+  /// Round group assigned by the schedule_rounds pass.  Single-round ops
+  /// sharing a group id flush their openings in one exchange; staged
+  /// comparison ops (relu/maxpool) in the group advance their resumable
+  /// phases in lockstep, sharing the OT leaf round, each AND-tree level
+  /// and the B2A/mux openings across instances.  -1 for local ops and the
+  /// argmax terminal.
   int round_group = -1;
 
   [[nodiscard]] long long input_elems() const noexcept {
@@ -101,10 +103,15 @@ struct Op {
     return kind == OpKind::conv || kind == OpKind::depthwise_conv || kind == OpKind::linear ||
            kind == OpKind::x2act;
   }
-  /// Internally sequential multi-round op (comparison stack).
-  [[nodiscard]] bool multi_round() const noexcept {
-    return kind == OpKind::relu || kind == OpKind::maxpool || kind == OpKind::argmax;
+  /// Resumable multi-round comparison op (relu / maxpool): joins round
+  /// groups and advances phase by phase so independent instances share OT
+  /// and AND rounds.
+  [[nodiscard]] bool stages_compare() const noexcept {
+    return kind == OpKind::relu || kind == OpKind::maxpool;
   }
+  /// Internally sequential multi-round op that runs its own exchanges
+  /// (the argmax terminal; its phases still coalesce internally).
+  [[nodiscard]] bool multi_round() const noexcept { return kind == OpKind::argmax; }
 };
 
 /// A whole lowered network.

@@ -1,6 +1,8 @@
 #include "perf/ir_cost.hpp"
 
+#include <map>
 #include <set>
+#include <vector>
 
 #include "crypto/compare.hpp"
 
@@ -73,31 +75,120 @@ OpCost ir_op_cost(const LatencyModel& m, const ir::Op& op, int ring_bits) {
       return m.add(op.output_elems());
     case OpKind::argmax: {
       // Tournament over the class entries: per level one DReLU + B2A + two
-      // selector multiplies.  Communication approximated with the relu
-      // flow over the widest level (indices ride in the same exchanges).
+      // selector multiplies whose openings share one exchange.
+      // Communication approximated with the relu flow over the widest
+      // level (indices ride in the same exchanges).
       OpCost c = m.relu(op.in_features);
-      c.rounds = tree_levels(op.in_features) * (drelu_rounds(ring_bits) + 3);
+      c.rounds = tree_levels(op.in_features) * (drelu_rounds(ring_bits) + 2);
       return c;
     }
   }
   return OpCost{};
 }
 
+namespace {
+
+/// Phase tokens of a staged comparison op, mirroring the executor's
+/// lockstep walk: ot = the two-message OT leaf dance, bit = one AND-tree
+/// level exchange, open = one ring-open exchange (B2A or mux).
+enum class PhaseTok : std::uint8_t { ot, bit, open };
+
+void append_drelu_mux_tokens(std::vector<PhaseTok>& toks, int ring_bits) {
+  toks.push_back(PhaseTok::ot);
+  const std::size_t levels =
+      crypto::millionaire_and_level_multipliers(ring_bits - 1).size();
+  toks.insert(toks.end(), levels, PhaseTok::bit);
+  toks.push_back(PhaseTok::open);  // B2A
+  toks.push_back(PhaseTok::open);  // mux
+}
+
+std::vector<PhaseTok> compare_tokens(const ir::Op& op, int ring_bits) {
+  std::vector<PhaseTok> toks;
+  if (op.kind == ir::OpKind::relu) {
+    append_drelu_mux_tokens(toks, ring_bits);
+  } else if (op.kind == ir::OpKind::maxpool) {
+    for (int level = tree_levels(op.kernel * op.kernel); level > 0; --level) {
+      append_drelu_mux_tokens(toks, ring_bits);
+    }
+  }
+  return toks;
+}
+
+/// Replays the executor's lockstep phase walk over one round group: each
+/// iteration costs 2 rounds if any instance's head token is an OT, plus 1
+/// per bit-open / ring-open flush any instance waits on; every instance
+/// advances one token.  Identical comparisons therefore cost the same
+/// rounds whether the group holds one instance or four thousand.
+int simulate_group_rounds(const std::vector<std::vector<PhaseTok>>& streams,
+                          bool has_single_round_member) {
+  std::vector<std::size_t> pos(streams.size(), 0);
+  int rounds = 0;
+  for (;;) {
+    bool ot = false, bit = false, open = false;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (pos[i] >= streams[i].size()) continue;
+      switch (streams[i][pos[i]]) {
+        case PhaseTok::ot:
+          ot = true;
+          break;
+        case PhaseTok::bit:
+          bit = true;
+          break;
+        case PhaseTok::open:
+          open = true;
+          break;
+      }
+    }
+    if (!ot && !bit && !open) break;
+    rounds += (ot ? 2 : 0) + (bit ? 1 : 0) + (open ? 1 : 0);
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (pos[i] < streams[i].size()) ++pos[i];
+    }
+  }
+  // A group whose comparisons never open (degenerate 1x1 pools) still pays
+  // one exchange for its pending single-round openings.
+  if (rounds == 0 && has_single_round_member) rounds = 1;
+  return rounds;
+}
+
+}  // namespace
+
 ProgramCost profile_program(const LatencyModel& m, const ir::SecureProgram& p,
                             int ring_bits) {
   ProgramCost pc;
   pc.per_op.reserve(p.ops.size());
+
+  // Group composition: token streams of the comparison members plus
+  // whether single-round members ride along.
+  std::map<int, std::vector<std::vector<PhaseTok>>> group_streams;
+  std::map<int, bool> group_has_single;
+  for (const ir::Op& op : p.ops) {
+    if (op.round_group < 0) continue;
+    if (op.stages_compare()) {
+      group_streams[op.round_group].push_back(compare_tokens(op, ring_bits));
+    } else if (op.stages_opens()) {
+      group_streams[op.round_group];  // ensure the group exists
+      group_has_single[op.round_group] = true;
+    }
+  }
+  std::map<int, int> group_rounds;
+  for (const auto& [g, streams] : group_streams) {
+    group_rounds[g] = streams.empty()
+                          ? 1  // single-round members only: one merged open
+                          : simulate_group_rounds(streams, group_has_single[g]);
+  }
+
   std::set<int> groups_counted;
   for (const ir::Op& op : p.ops) {
     OpCost c = ir_op_cost(m, op, ring_bits);
-    if (op.stages_opens() && op.round_group >= 0) {
-      // All ops of one round group flush in a single exchange: the group's
-      // first member carries the round, the rest contribute zero.
+    if ((op.stages_opens() || op.stages_compare()) && op.round_group >= 0) {
+      // The group's rounds are shared: its first member carries them, the
+      // rest contribute zero.
       if (groups_counted.count(op.round_group) > 0) {
         c.rounds = 0;
       } else {
         groups_counted.insert(op.round_group);
-        c.rounds = 1;
+        c.rounds = group_rounds[op.round_group];
       }
     }
     pc.total += c;

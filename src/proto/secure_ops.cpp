@@ -204,6 +204,127 @@ SecureTensor StagedX2act::finish(TwoPartyContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// Staged comparison operators
+// ---------------------------------------------------------------------------
+
+SecureTensor run_compare_op(TwoPartyContext& ctx, StagedCompareOp& op) {
+  op.begin(ctx);
+  while (op.waiting() != crypto::CompareWait::done) {
+    crypto::flush_compare_buffers(ctx, op.waiting());
+    op.step(ctx);
+  }
+  return op.take(ctx);
+}
+
+StagedRelu::StagedRelu(const SecureTensor& x, crypto::OtMode mode) : x_(x), mode_(mode) {}
+
+void StagedRelu::begin(TwoPartyContext& ctx) {
+  core_.begin(ctx, x_.shares, mode_,
+              crypto::draw_drelu_mux_material(ctx, x_.shares.size()));
+}
+
+crypto::CompareWait StagedRelu::waiting() const { return core_.waiting(); }
+
+void StagedRelu::step(TwoPartyContext& ctx) { core_.step(ctx); }
+
+SecureTensor StagedRelu::take(TwoPartyContext& ctx) {
+  (void)ctx;
+  SecureTensor out;
+  out.shape = x_.shape;
+  out.shares = std::move(core_.result());
+  return out;
+}
+
+StagedMaxPool::StagedMaxPool(const SecureTensor& x, int kernel, int stride, int pad,
+                             crypto::OtMode mode)
+    : x_(x), kernel_(kernel), stride_(stride), pad_(pad), mode_(mode) {}
+
+void StagedMaxPool::begin(TwoPartyContext& ctx) {
+  // Gather the k² window taps; padding positions hold zero shares (valid
+  // for the non-negative post-activation maps our backbones pool).
+  taps_.clear();
+  taps_.reserve(static_cast<std::size_t>(kernel_) * kernel_);
+  for (int kh = 0; kh < kernel_; ++kh) {
+    for (int kw = 0; kw < kernel_; ++kw) {
+      taps_.push_back(gather_window_tap(x_, kh, kw, kernel_, stride_, pad_, nullptr));
+    }
+  }
+  elems_ = taps_.empty() ? 0 : taps_[0].size();
+  // Draw every tournament level's material up front, in level order — the
+  // same request stream the level-by-level blocking tournament consumed.
+  mats_.clear();
+  std::size_t t = taps_.size();
+  while (t > 1) {
+    const std::size_t pairs = t / 2;
+    mats_.push_back(crypto::draw_drelu_mux_material(ctx, pairs * elems_));
+    t = pairs + t % 2;
+  }
+  level_ = 0;
+  done_ = taps_.size() <= 1;
+  if (!done_) begin_level(ctx);
+}
+
+void StagedMaxPool::begin_level(TwoPartyContext& ctx) {
+  // One batched secure max over all pairs of the level: max(a, b) =
+  // b + (a-b)·DReLU(a-b), with the comparisons, B2A conversions and mux
+  // multiplies of every pair concatenated into single protocol phases.
+  const std::size_t pairs = taps_.size() / 2;
+  Shared a, b;
+  a.s0.reserve(pairs * elems_);
+  a.s1.reserve(pairs * elems_);
+  b.s0.reserve(pairs * elems_);
+  b.s1.reserve(pairs * elems_);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    a.s0.insert(a.s0.end(), taps_[2 * p].s0.begin(), taps_[2 * p].s0.end());
+    a.s1.insert(a.s1.end(), taps_[2 * p].s1.begin(), taps_[2 * p].s1.end());
+    b.s0.insert(b.s0.end(), taps_[2 * p + 1].s0.begin(), taps_[2 * p + 1].s0.end());
+    b.s1.insert(b.s1.end(), taps_[2 * p + 1].s1.begin(), taps_[2 * p + 1].s1.end());
+  }
+  const Shared diff = crypto::sub(a, b, ctx.ring());
+  level_b_ = std::move(b);
+  mux_ = crypto::StagedDreluMux{};
+  mux_.begin(ctx, diff, mode_, std::move(mats_[level_]));
+}
+
+crypto::CompareWait StagedMaxPool::waiting() const {
+  return done_ ? crypto::CompareWait::done : mux_.waiting();
+}
+
+void StagedMaxPool::step(TwoPartyContext& ctx) {
+  mux_.step(ctx);
+  if (mux_.waiting() != crypto::CompareWait::done) return;
+  // Level complete: winners = b + gated, sliced back into per-tap vectors.
+  const Shared win = crypto::add(level_b_, mux_.result(), ctx.ring());
+  const std::size_t pairs = taps_.size() / 2;
+  std::vector<Shared> next;
+  next.reserve(pairs + 1);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    Shared v;
+    v.s0 = slice_ring(win.s0, p * elems_, (p + 1) * elems_);
+    v.s1 = slice_ring(win.s1, p * elems_, (p + 1) * elems_);
+    next.push_back(std::move(v));
+  }
+  if (taps_.size() % 2 == 1) next.push_back(std::move(taps_.back()));
+  taps_ = std::move(next);
+  ++level_;
+  if (taps_.size() > 1) {
+    begin_level(ctx);
+  } else {
+    done_ = true;
+  }
+}
+
+SecureTensor StagedMaxPool::take(TwoPartyContext& ctx) {
+  (void)ctx;
+  SecureTensor out;
+  const int n = x_.dim(0), c = x_.dim(1);
+  out.shape = {n, c, nn::conv_out_size(x_.dim(2), kernel_, stride_, pad_),
+               nn::conv_out_size(x_.dim(3), kernel_, stride_, pad_)};
+  out.shares = std::move(taps_[0]);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // One-shot operators (stage + flush + finish)
 // ---------------------------------------------------------------------------
 
@@ -241,63 +362,14 @@ SecureTensor secure_x2act(TwoPartyContext& ctx, const SecureTensor& x, double a_
 }
 
 SecureTensor secure_relu(TwoPartyContext& ctx, const SecureTensor& x, const SecureConfig& cfg) {
-  SecureTensor out;
-  out.shape = x.shape;
-  out.shares = crypto::relu(ctx, x.shares, cfg.ot_mode);
-  return out;
+  StagedRelu op(x, cfg.ot_mode);
+  return run_compare_op(ctx, op);
 }
 
 SecureTensor secure_maxpool(TwoPartyContext& ctx, const SecureTensor& x, int kernel,
                             int stride, const SecureConfig& cfg, int pad) {
-  // Gather the k² window taps and reduce with a log-depth secure-max tree.
-  // Padding positions hold zero shares; for the post-activation feature maps
-  // pooled in our backbones (non-negative values) this matches plaintext
-  // max pooling semantics.
-  //
-  // All pairs of one tournament level concatenate into a single max_elem
-  // call: the level's comparisons, B2A conversions and multiplexing
-  // multiplies each run once over the concatenation instead of once per
-  // pair, so a level costs one pass through the comparison stack however
-  // wide the window is (the same batching secure_argmax uses).
-  std::vector<Shared> taps;
-  taps.reserve(static_cast<std::size_t>(kernel) * kernel);
-  for (int kh = 0; kh < kernel; ++kh) {
-    for (int kw = 0; kw < kernel; ++kw) {
-      taps.push_back(gather_window_tap(x, kh, kw, kernel, stride, pad, nullptr));
-    }
-  }
-  const std::size_t elems = taps.empty() ? 0 : taps[0].size();
-  while (taps.size() > 1) {
-    const std::size_t pairs = taps.size() / 2;
-    Shared a, b;
-    a.s0.reserve(pairs * elems);
-    a.s1.reserve(pairs * elems);
-    b.s0.reserve(pairs * elems);
-    b.s1.reserve(pairs * elems);
-    for (std::size_t p = 0; p < pairs; ++p) {
-      a.s0.insert(a.s0.end(), taps[2 * p].s0.begin(), taps[2 * p].s0.end());
-      a.s1.insert(a.s1.end(), taps[2 * p].s1.begin(), taps[2 * p].s1.end());
-      b.s0.insert(b.s0.end(), taps[2 * p + 1].s0.begin(), taps[2 * p + 1].s0.end());
-      b.s1.insert(b.s1.end(), taps[2 * p + 1].s1.begin(), taps[2 * p + 1].s1.end());
-    }
-    const Shared win = crypto::max_elem(ctx, a, b, cfg.ot_mode);
-    std::vector<Shared> next;
-    next.reserve(pairs + 1);
-    for (std::size_t p = 0; p < pairs; ++p) {
-      Shared v;
-      v.s0 = slice_ring(win.s0, p * elems, (p + 1) * elems);
-      v.s1 = slice_ring(win.s1, p * elems, (p + 1) * elems);
-      next.push_back(std::move(v));
-    }
-    if (taps.size() % 2 == 1) next.push_back(std::move(taps.back()));
-    taps = std::move(next);
-  }
-  SecureTensor out;
-  const int n = x.dim(0), c = x.dim(1);
-  out.shape = {n, c, nn::conv_out_size(x.dim(2), kernel, stride, pad),
-               nn::conv_out_size(x.dim(3), kernel, stride, pad)};
-  out.shares = std::move(taps[0]);
-  return out;
+  StagedMaxPool op(x, kernel, stride, pad, cfg.ot_mode);
+  return run_compare_op(ctx, op);
 }
 
 SecureTensor secure_avgpool(TwoPartyContext& ctx, const SecureTensor& x, int kernel,
@@ -403,12 +475,33 @@ std::vector<int> secure_argmax(TwoPartyContext& ctx, const SecureTensor& logits,
     }
     const Shared vdiff = crypto::sub(va, vb, rc);
     const Shared idiff = crypto::sub(ia, ib, rc);
+    const std::size_t lvl_n = vdiff.size();
+    // Level material in plan order: DReLU AND-tree, B2A, value selector,
+    // index selector (ir::derive_plan emits the same stream).
+    crypto::MillionaireMaterial mill = crypto::draw_drelu_material(ctx, lvl_n);
+    crypto::ElemTriple t_b2a = ctx.triples().elem_triple(lvl_n);
+    crypto::ElemTriple t_vsel = ctx.triples().elem_triple(lvl_n);
+    crypto::ElemTriple t_isel = ctx.triples().elem_triple(lvl_n);
     // [a >= b]: on ties the lower-index (a) side wins.
-    const crypto::BitShared gt = crypto::drelu(ctx, vdiff, cfg.ot_mode);
-    const Shared bit = crypto::b2a(ctx, gt);
-    // winner = b + (a - b)·[a >= b]; indices follow the same selector.
-    const Shared vwin = crypto::add(vb, crypto::mul_elem(ctx, vdiff, bit), rc);
-    const Shared iwin = crypto::add(ib, crypto::mul_elem(ctx, idiff, bit), rc);
+    crypto::StagedDrelu sd;
+    sd.begin(ctx, vdiff, cfg.ot_mode, std::move(mill));
+    while (sd.waiting() != crypto::CompareWait::done) {
+      crypto::flush_compare_buffers(ctx, sd.waiting());
+      sd.step(ctx);
+    }
+    crypto::B2aRound b2a;
+    b2a.stage(ctx, sd.result(), std::move(t_b2a));
+    ctx.opens().flush();
+    const Shared bit = b2a.finish(rc);
+    // winner = b + (a - b)·[a >= b]; indices follow the same selector.  The
+    // two selector multiplies depend only on the bit, so their openings
+    // share one flush (one exchange under the coalesced schedule).
+    crypto::MulRound vsel, isel;
+    vsel.stage(ctx, vdiff, bit, std::move(t_vsel));
+    isel.stage(ctx, idiff, bit, std::move(t_isel));
+    ctx.opens().flush();
+    const Shared vwin = crypto::add(vb, vsel.finish(rc), rc);
+    const Shared iwin = crypto::add(ib, isel.finish(rc), rc);
 
     std::vector<Shared> next_v, next_i;
     next_v.reserve(pairs + 1);

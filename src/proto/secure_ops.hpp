@@ -108,6 +108,74 @@ class StagedX2act final : public StagedSecureOp {
   crypto::SquareRound round_;
 };
 
+// --- Staged (resumable) comparison operators -------------------------------
+
+/// Interface for multi-round comparison ops the IR executor advances in
+/// lockstep: begin() draws ALL of the op's correlated randomness (keeping
+/// the dealer request stream program-ordered) and stages its first
+/// communication phase on the context buffers; waiting() names the buffer
+/// the op needs flushed; step() consumes the flushed round and stages the
+/// next phase.  All instances of one round group share each flush — one
+/// (1,4)-OT round per digit batch, one exchange per AND-tree level, one
+/// opening per B2A/mux phase — however many instances the group holds.
+class StagedCompareOp {
+ public:
+  virtual ~StagedCompareOp() = default;
+  virtual void begin(crypto::TwoPartyContext& ctx) = 0;
+  [[nodiscard]] virtual crypto::CompareWait waiting() const = 0;
+  virtual void step(crypto::TwoPartyContext& ctx) = 0;
+  /// The op's output; valid once waiting() == done.
+  [[nodiscard]] virtual SecureTensor take(crypto::TwoPartyContext& ctx) = 0;
+};
+
+/// Runs one staged comparison op to completion on the calling thread,
+/// flushing whichever buffer it waits on (no-ops under immediate buffers —
+/// the eager schedule).  The one-shot secure_relu / secure_maxpool /
+/// secure_argmax drive their staged forms through this.
+SecureTensor run_compare_op(crypto::TwoPartyContext& ctx, StagedCompareOp& op);
+
+/// Staged 2PC ReLU: one resumable v·DReLU(v) over the whole tensor.
+class StagedRelu final : public StagedCompareOp {
+ public:
+  StagedRelu(const SecureTensor& x, crypto::OtMode mode);
+  void begin(crypto::TwoPartyContext& ctx) override;
+  [[nodiscard]] crypto::CompareWait waiting() const override;
+  void step(crypto::TwoPartyContext& ctx) override;
+  [[nodiscard]] SecureTensor take(crypto::TwoPartyContext& ctx) override;
+
+ private:
+  const SecureTensor& x_;
+  crypto::OtMode mode_;
+  crypto::StagedDreluMux core_;
+};
+
+/// Staged 2PC MaxPool: the k²-tap tournament with every level a resumable
+/// batched secure max.  All the tournament's correlated randomness is
+/// drawn at begin() (level order), so a singleton level — one comparison
+/// left — rides the shared group flushes instead of paying private ones.
+class StagedMaxPool final : public StagedCompareOp {
+ public:
+  StagedMaxPool(const SecureTensor& x, int kernel, int stride, int pad,
+                crypto::OtMode mode);
+  void begin(crypto::TwoPartyContext& ctx) override;
+  [[nodiscard]] crypto::CompareWait waiting() const override;
+  void step(crypto::TwoPartyContext& ctx) override;
+  [[nodiscard]] SecureTensor take(crypto::TwoPartyContext& ctx) override;
+
+ private:
+  void begin_level(crypto::TwoPartyContext& ctx);
+  const SecureTensor& x_;
+  int kernel_, stride_, pad_;
+  crypto::OtMode mode_;
+  std::vector<crypto::Shared> taps_;
+  std::size_t elems_ = 0;
+  std::vector<crypto::DreluMuxMaterial> mats_;
+  std::size_t level_ = 0;
+  crypto::Shared level_b_;
+  crypto::StagedDreluMux mux_;
+  bool done_ = false;
+};
+
 // --- One-shot operators ----------------------------------------------------
 
 /// 2PC convolution on shares: weight is a shared [OC, IC·K·K] matrix,

@@ -6,9 +6,12 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "crypto/prng.hpp"
+#include "ir/executor.hpp"
+#include "ir/passes.hpp"
 #include "nn/graph.hpp"
 #include "nn/loss.hpp"
 #include "nn/models.hpp"
@@ -70,6 +73,95 @@ inline nn::ModelDescriptor tiny_cnn(nn::OpKind act_kind, nn::OpKind pool_kind) {
   md.output = 6;
   nn::propagate_shapes(md);
   return md;
+}
+
+/// Scaled ResNet-18 reference proxy (8×8 input, 1/16 width) with uniform
+/// activation/pooling choices applied — the ReLU-heavy and all-polynomial
+/// extremes the acceptance suites exercise.
+inline nn::ModelDescriptor proxy_resnet(nn::ActKind act, nn::PoolKind pool) {
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.width_mult = 0.0625f;
+  auto md = nn::make_resnet(18, opt);
+  return nn::apply_choices(md, nn::uniform_choices(md, act, pool));
+}
+
+/// Scaled MobileNetV2 reference proxy (all-polynomial choices).
+inline nn::ModelDescriptor proxy_mobilenet() {
+  nn::BackboneOptions opt;
+  opt.input_size = 8;
+  opt.width_mult = 0.125f;
+  auto md = nn::make_mobilenet_v2(opt);
+  return nn::apply_choices(
+      md, nn::uniform_choices(md, nn::ActKind::x2act, nn::PoolKind::avgpool));
+}
+
+/// Every fixture model the acceptance criteria cover: the four TinyCNN
+/// activation/pooling variants plus the scaled backbone proxies.  The
+/// differential (staged-vs-eager) and plan-oracle suites iterate this
+/// list, so a new fixture added here is picked up by both.
+inline std::vector<nn::ModelDescriptor> all_test_models() {
+  return {
+      tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool),
+      tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool),
+      tiny_cnn(nn::OpKind::relu, nn::OpKind::avgpool),
+      tiny_cnn(nn::OpKind::x2act, nn::OpKind::maxpool),
+      proxy_resnet(nn::ActKind::relu, nn::PoolKind::maxpool),
+      proxy_resnet(nn::ActKind::x2act, nn::PoolKind::avgpool),
+      proxy_mobilenet(),
+  };
+}
+
+/// A hand-built IR program with K independent ReLU instances over one
+/// input, reduced by local adds — the cross-instance comparison-coalescing
+/// fixture shared by the round guard and bench_fig1: the scheduler puts
+/// all K in one round group, so the coalesced executor pays the
+/// comparison stack once however large K is.
+inline ir::SecureProgram parallel_relu_program(int k) {
+  ir::SecureProgram p;
+  p.name = "ParallelRelu" + std::to_string(k);
+  p.input_ch = 2;
+  p.input_h = p.input_w = 4;
+  const auto fill_geometry = [](ir::Op& op) {
+    op.in_ch = op.out_ch = 2;
+    op.in_h = op.in_w = op.out_h = op.out_w = 4;
+  };
+  ir::Op input;
+  input.kind = ir::OpKind::input;
+  fill_geometry(input);
+  p.ops.push_back(input);
+  for (int i = 0; i < k; ++i) {
+    ir::Op r;
+    r.kind = ir::OpKind::relu;
+    r.in0 = 0;
+    fill_geometry(r);
+    p.ops.push_back(r);
+  }
+  int acc = 1;  // reduce the K branches with local adds
+  for (int i = 2; i <= k; ++i) {
+    ir::Op a;
+    a.kind = ir::OpKind::add;
+    a.in0 = acc;
+    a.in1 = i;
+    fill_geometry(a);
+    acc = static_cast<int>(p.ops.size());
+    p.ops.push_back(a);
+  }
+  p.output = acc;
+  ir::schedule_rounds(p);
+  return p;
+}
+
+/// Measured rounds of one execution of `p` on a fresh context, zero input.
+inline std::uint64_t measured_program_rounds(const ir::SecureProgram& p,
+                                             proto::RoundSchedule schedule) {
+  crypto::TwoPartyContext ctx;
+  crypto::Prng wprng(1);
+  const ir::CompiledParams params = ir::share_parameters(p, wprng, ctx.ring());
+  ir::ExecOptions opts;
+  opts.cfg.schedule = schedule;
+  (void)ir::execute(p, params, ctx, nn::Tensor({1, p.input_ch, p.input_h, p.input_w}), opts);
+  return ctx.stats().rounds;
 }
 
 /// A few steps of training so BN has meaningful running statistics.

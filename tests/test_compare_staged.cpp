@@ -1,0 +1,317 @@
+// Differential bit-identity harness for the staged (resumable) comparison
+// stack: the coalesced schedule — which advances every ReLU/maxpool
+// instance of a round group in lockstep through shared OT, AND-tree and
+// open rounds — must reproduce the eager schedule's secret shares
+// request-for-request, op for op, on every support/test_models.hpp model,
+// in lockstep and threaded modes, dealer-backed and TripleStore-backed.
+// Plus seeded randomized property tests for millionaire_gt / drelu over
+// adversarial fixed-point edge values.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/passes.hpp"
+#include "offline/triple_store.hpp"
+#include "proto/secure_network.hpp"
+#include "support/test_models.hpp"
+
+namespace ir = pasnet::ir;
+namespace nn = pasnet::nn;
+namespace off = pasnet::offline;
+namespace pc = pasnet::crypto;
+namespace proto = pasnet::proto;
+
+using pasnet::testing::all_test_models;
+using pasnet::testing::proxy_resnet;
+using pasnet::testing::tiny_cnn;
+using pasnet::testing::warm_up;
+
+namespace {
+
+struct Trained {
+  nn::ModelDescriptor md;
+  std::unique_ptr<nn::Graph> graph;
+  std::vector<int> node_of_layer;
+};
+
+Trained train(nn::ModelDescriptor md, std::uint64_t seed) {
+  Trained t;
+  t.md = std::move(md);
+  pc::Prng wprng(seed);
+  t.graph = nn::build_graph(t.md, wprng, &t.node_of_layer);
+  warm_up(*t.graph, t.md.input_ch, t.md.input_h, seed + 1);
+  return t;
+}
+
+/// Captured per-op output shares of one execution.
+struct Capture {
+  std::vector<std::size_t> idx;
+  std::vector<pc::Shared> shares;
+};
+
+struct RunResult {
+  nn::Tensor logits;
+  Capture ops;
+  std::uint64_t rounds = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One query through ir::execute with the given schedule, capturing every
+/// op's output shares.  Context / parameter seeds are fixed so two runs
+/// differ only in their open scheduling.
+RunResult run_program(const ir::SecureProgram& p, proto::RoundSchedule schedule,
+                      pc::ExecMode mode, const nn::Tensor& x,
+                      pc::OtMode ot = pc::OtMode::correlated) {
+  pc::TwoPartyContext ctx(pc::RingConfig{}, 42, mode);
+  pc::Prng wprng(7);
+  const ir::CompiledParams params = ir::share_parameters(p, wprng, ctx.ring());
+  ir::ExecOptions opts;
+  opts.cfg.schedule = schedule;
+  opts.cfg.ot_mode = ot;
+  RunResult r;
+  opts.op_hook = [&r](std::size_t i, const proto::SecureTensor& t) {
+    r.ops.idx.push_back(i);
+    r.ops.shares.push_back(t.shares);
+  };
+  r.logits = ir::execute(p, params, ctx, x, opts).logits;
+  r.rounds = ctx.stats().rounds;
+  r.bytes = ctx.stats().total_bytes();
+  return r;
+}
+
+void expect_same_shares(const RunResult& a, const RunResult& b, const char* what) {
+  ASSERT_EQ(a.ops.idx, b.ops.idx) << what;
+  for (std::size_t j = 0; j < a.ops.shares.size(); ++j) {
+    ASSERT_EQ(a.ops.shares[j].s0, b.ops.shares[j].s0)
+        << what << ": op " << a.ops.idx[j] << " share 0 diverged";
+    ASSERT_EQ(a.ops.shares[j].s1, b.ops.shares[j].s1)
+        << what << ": op " << a.ops.idx[j] << " share 1 diverged";
+  }
+}
+
+void expect_bit_identical(const nn::Tensor& a, const nn::Tensor& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << what << " logit " << i;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Staged vs eager: per-op shares, all models, both execution modes
+// ---------------------------------------------------------------------------
+
+TEST(CompareStaged, PerOpSharesBitIdenticalToEagerOnAllModels) {
+  // With the ideal-functionality OT the two schedules draw every PRNG and
+  // dealer stream in the same order, so not just the logits but every
+  // intermediate op's secret shares must match bit for bit.
+  std::uint64_t seed = 500;
+  for (auto& md : all_test_models()) {
+    auto t = train(md, seed += 2);
+    ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
+    ir::run_standard_passes(p);
+    pc::Prng dprng(seed + 1);
+    const auto x =
+        nn::Tensor::randn({1, t.md.input_ch, t.md.input_h, t.md.input_w}, dprng, 0.5f);
+
+    const RunResult coal = run_program(p, proto::RoundSchedule::coalesced,
+                                       pc::ExecMode::lockstep, x);
+    const RunResult eager = run_program(p, proto::RoundSchedule::eager,
+                                        pc::ExecMode::lockstep, x);
+    expect_bit_identical(coal.logits, eager.logits, t.md.name.c_str());
+    expect_same_shares(coal, eager, t.md.name.c_str());
+    EXPECT_LT(coal.rounds, eager.rounds) << t.md.name;
+  }
+}
+
+TEST(CompareStaged, ThreadedMatchesLockstepBothSchedules) {
+  for (auto md : {tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool),
+                  proxy_resnet(nn::ActKind::relu, nn::PoolKind::maxpool)}) {
+    auto t = train(std::move(md), 600);
+    ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
+    ir::run_standard_passes(p);
+    pc::Prng dprng(601);
+    const auto x =
+        nn::Tensor::randn({1, t.md.input_ch, t.md.input_h, t.md.input_w}, dprng, 0.5f);
+    for (const auto schedule : {proto::RoundSchedule::coalesced, proto::RoundSchedule::eager}) {
+      const RunResult lock = run_program(p, schedule, pc::ExecMode::lockstep, x);
+      const RunResult thr = run_program(p, schedule, pc::ExecMode::threaded, x);
+      expect_bit_identical(lock.logits, thr.logits, t.md.name.c_str());
+      expect_same_shares(lock, thr, t.md.name.c_str());
+      // Exchange-bracketed round counting is deterministic across modes.
+      EXPECT_EQ(lock.rounds, thr.rounds) << t.md.name;
+      EXPECT_EQ(lock.bytes, thr.bytes) << t.md.name;
+    }
+  }
+}
+
+TEST(CompareStaged, DhMaskedOtLogitsBitIdenticalToEager) {
+  // The full cryptographic OT path: blinding-key draws differ per merged
+  // batch, so only the reconstructed values are schedule-invariant.
+  auto t = train(tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool), 620);
+  ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
+  ir::run_standard_passes(p);
+  pc::Prng dprng(621);
+  const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 0.5f);
+  const RunResult coal = run_program(p, proto::RoundSchedule::coalesced,
+                                     pc::ExecMode::lockstep, x, pc::OtMode::dh_masked);
+  const RunResult eager = run_program(p, proto::RoundSchedule::eager,
+                                      pc::ExecMode::lockstep, x, pc::OtMode::dh_masked);
+  expect_bit_identical(coal.logits, eager.logits, "dh_masked");
+}
+
+// ---------------------------------------------------------------------------
+// Dealer-backed vs TripleStore-backed serving under the staged stack
+// ---------------------------------------------------------------------------
+
+TEST(CompareStaged, StoreBackedStagedServingBitIdenticalAcrossSchedules) {
+  for (auto md : {tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool),
+                  proxy_resnet(nn::ActKind::relu, nn::PoolKind::maxpool)}) {
+    auto t = train(std::move(md), 640);
+    pc::TwoPartyContext ctx_c, ctx_e, ctx_d;
+    proto::SecureConfig eager_cfg;
+    eager_cfg.schedule = proto::RoundSchedule::eager;
+    proto::SecureNetwork coalesced(t.md, *t.graph, t.node_of_layer, ctx_c);
+    proto::SecureNetwork eager(t.md, *t.graph, t.node_of_layer, ctx_e, eager_cfg);
+    proto::SecureNetwork dealer(t.md, *t.graph, t.node_of_layer, ctx_d);
+    // The staged comparison phases consume the identical request stream,
+    // so one plan fingerprint covers both schedules.
+    ASSERT_EQ(coalesced.plan().fingerprint(), eager.plan().fingerprint()) << t.md.name;
+
+    pc::Prng dprng(641);
+    std::vector<nn::Tensor> queries;
+    for (int q = 0; q < 2; ++q) {
+      queries.push_back(
+          nn::Tensor::randn({1, t.md.input_ch, t.md.input_h, t.md.input_w}, dprng, 0.8f));
+    }
+    off::TripleStore store_c = coalesced.preprocess(queries.size());
+    off::TripleStore store_e = eager.preprocess(queries.size());
+    coalesced.use_store(&store_c);
+    eager.use_store(&store_e);
+    const auto out_c = coalesced.infer_batch(queries, 2);
+    const auto out_e = eager.infer_batch(queries, 2);
+    const auto out_d = dealer.infer_batch(queries, 1);  // fused dealer path
+    coalesced.use_store(nullptr);
+    eager.use_store(nullptr);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      expect_bit_identical(out_c[q], out_e[q], "store coalesced vs eager");
+      expect_bit_identical(out_c[q], out_d[q], "store vs dealer");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded randomized property tests over adversarial edge values
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// 63-bit non-negative adversarial operands for the millionaire protocol:
+/// zeros, ±1 neighbours, digit boundaries, the sign-boundary band and the
+/// extremes, padded with seeded randoms.
+std::vector<std::uint64_t> adversarial_values(pc::Prng& prng, std::size_t n) {
+  const std::uint64_t max63 = (1ULL << 63) - 1;
+  std::vector<std::uint64_t> edges = {
+      0,
+      1,
+      2,
+      3,
+      4,
+      (1ULL << 31) - 1,  // 2^31 - 1
+      1ULL << 31,
+      (1ULL << 31) + 1,
+      (1ULL << 62) - 1,
+      1ULL << 62,
+      max63 - 1,
+      max63,
+  };
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(i < edges.size() ? edges[i] : prng.next_u64() & max63);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(CompareStaged, MillionaireAgreesWithPlaintextOnAdversarialPairs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    pc::TwoPartyContext ctx(pc::RingConfig{}, seed);
+    pc::Prng prng(seed * 977);
+    const std::size_t n = 24;
+    std::vector<std::uint64_t> a = adversarial_values(prng, n);
+    std::vector<std::uint64_t> b = adversarial_values(prng, n);
+    // Mix in equal and off-by-one pairs (the AND-tree's eq-chain edge).
+    for (std::size_t i = 0; i < n; i += 3) b[i] = a[i];
+    for (std::size_t i = 1; i < n; i += 4) b[i] = a[i] > 0 ? a[i] - 1 : a[i] + 1;
+    const auto mode = seed % 2 == 0 ? pc::OtMode::dh_masked : pc::OtMode::correlated;
+    const auto gt = pc::millionaire_gt(ctx, a, b, 63, mode);
+    const auto bits = pc::reconstruct_bits(gt);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(bits[i], a[i] > b[i] ? 1 : 0)
+          << "seed " << seed << " pair " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+}
+
+TEST(CompareStaged, DreluAgreesWithPlaintextSignOnEdgeValues) {
+  const pc::RingConfig rc{};
+  // Fixed-point edge ring values: 0, ±1 LSB, ±(2^31 - 1), the two's
+  // complement sign boundary and its neighbours, plus seeded randoms.
+  const std::uint64_t sign = rc.sign_bit();
+  std::vector<std::uint64_t> edges = {
+      0,        1,        rc.mask(),          // 0, +eps, -eps
+      (1ULL << 31) - 1,   pc::ring_neg((1ULL << 31) - 1, rc),
+      sign - 1, sign,     sign + 1,           // most-positive, most-negative
+      pc::encode(1.0, rc),  pc::encode(-1.0, rc),
+  };
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    pc::TwoPartyContext ctx(rc, seed);
+    pc::Prng prng(seed * 31);
+    pc::RingVec vals = edges;
+    while (vals.size() < 32) vals.push_back(prng.next_u64() & rc.mask());
+    const pc::Shared x = pc::share(vals, prng, rc);
+    const auto mode = seed % 2 == 0 ? pc::OtMode::dh_masked : pc::OtMode::correlated;
+    const auto d = pc::drelu(ctx, x, mode);
+    const auto bits = pc::reconstruct_bits(d);
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      EXPECT_EQ(bits[i], pc::to_signed(vals[i], rc) >= 0 ? 1 : 0)
+          << "seed " << seed << " value " << vals[i];
+    }
+  }
+}
+
+TEST(CompareStaged, StagedReluMatchesBlockingReluSharewise) {
+  // The one-shot relu drives the same staged machine the executor groups;
+  // under immediate buffers its transcript must equal the coalesced staged
+  // run's values exactly (same material, same arithmetic).
+  const pc::RingConfig rc{};
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    pc::Prng prng(seed);
+    pc::RingVec vals(40);
+    for (auto& v : vals) v = prng.next_u64() & rc.mask();
+    pc::TwoPartyContext ctx_a(rc, 9000 + seed), ctx_b(rc, 9000 + seed);
+    const pc::Shared xa = pc::share(vals, prng, rc);
+    const pc::Shared out_a = pc::relu(ctx_a, xa, pc::OtMode::correlated);
+
+    // Same context seed, staged drive with coalescing buffers on.
+    ctx_b.opens().set_coalescing(true);
+    ctx_b.ots().set_coalescing(true);
+    ctx_b.bit_opens().set_coalescing(true);
+    const pc::Shared out_b = pc::relu(ctx_b, xa, pc::OtMode::correlated);
+    ctx_b.opens().set_coalescing(false);
+    ctx_b.ots().set_coalescing(false);
+    ctx_b.bit_opens().set_coalescing(false);
+    ASSERT_EQ(out_a.s0, out_b.s0);
+    ASSERT_EQ(out_a.s1, out_b.s1);
+    // Reconstruction matches plaintext ReLU of the signed values.
+    const auto r = pc::reconstruct(out_a, rc);
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      const std::int64_t sv = pc::to_signed(vals[i], rc);
+      EXPECT_EQ(pc::to_signed(r[i], rc), sv >= 0 ? sv : 0) << "value " << i;
+    }
+  }
+}

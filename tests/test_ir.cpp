@@ -42,35 +42,8 @@ Trained train(nn::ModelDescriptor md, std::uint64_t seed) {
   return t;
 }
 
-nn::ModelDescriptor proxy_resnet(nn::ActKind act, nn::PoolKind pool) {
-  nn::BackboneOptions opt;
-  opt.input_size = 8;
-  opt.width_mult = 0.0625f;
-  auto md = nn::make_resnet(18, opt);
-  return nn::apply_choices(md, nn::uniform_choices(md, act, pool));
-}
-
-nn::ModelDescriptor proxy_mobilenet() {
-  nn::BackboneOptions opt;
-  opt.input_size = 8;
-  opt.width_mult = 0.125f;
-  auto md = nn::make_mobilenet_v2(opt);
-  return nn::apply_choices(
-      md, nn::uniform_choices(md, nn::ActKind::x2act, nn::PoolKind::avgpool));
-}
-
-/// Every fixture model the acceptance criteria cover.
-std::vector<nn::ModelDescriptor> all_test_models() {
-  return {
-      tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool),
-      tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool),
-      tiny_cnn(nn::OpKind::relu, nn::OpKind::avgpool),
-      tiny_cnn(nn::OpKind::x2act, nn::OpKind::maxpool),
-      proxy_resnet(nn::ActKind::relu, nn::PoolKind::maxpool),
-      proxy_resnet(nn::ActKind::x2act, nn::PoolKind::avgpool),
-      proxy_mobilenet(),
-  };
-}
+using pasnet::testing::all_test_models;
+using pasnet::testing::proxy_resnet;
 
 void expect_bit_identical(const nn::Tensor& a, const nn::Tensor& b, const char* what) {
   ASSERT_EQ(a.size(), b.size()) << what;
@@ -134,7 +107,7 @@ TEST(IrPasses, SchedulerGroupsResidualBranches) {
   int staging_ops = 0;
   int max_group = -1;
   for (const auto& op : p.ops) {
-    if (op.stages_opens()) {
+    if (op.stages_opens() || op.stages_compare()) {
       ++staging_ops;
       EXPECT_GE(op.round_group, 0) << "staged op without a group";
       max_group = std::max(max_group, op.round_group);

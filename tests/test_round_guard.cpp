@@ -1,10 +1,11 @@
 // Round-count regression guard (CI): runs reference models through the IR
-// executor and fails if the measured round count ever exceeds the analytic
-// model's prediction (perf::profile_program).  The analytic rounds encode
-// the protocol stack's actual round structure — OT phases, AND-tree depth,
-// B2A + mux, coalesced E/F openings, round-group merging — so a regression
-// here means either the executor started spending extra exchanges or the
-// model went stale; both should fail loudly.
+// executor and fails unless the measured round count EXACTLY equals the
+// analytic model's prediction (perf::profile_program).  The analytic
+// rounds encode the protocol stack's actual round structure — OT phases,
+// AND-tree depth, B2A + mux, coalesced E/F openings, the staged-comparison
+// lockstep walk — so a mismatch in either direction means the executor
+// spends different exchanges than the model prices; both drifts should
+// fail loudly.
 
 #include <gtest/gtest.h>
 
@@ -21,6 +22,8 @@ namespace pc = pasnet::crypto;
 namespace perf = pasnet::perf;
 namespace proto = pasnet::proto;
 
+using pasnet::testing::measured_program_rounds;
+using pasnet::testing::parallel_relu_program;
 using pasnet::testing::tiny_cnn;
 using pasnet::testing::warm_up;
 
@@ -30,8 +33,9 @@ perf::LatencyModel model() {
   return perf::LatencyModel(perf::HardwareConfig::zcu104(), perf::NetworkConfig::lan_1gbps());
 }
 
-/// Measured vs analytic rounds for one trained model.
-void expect_measured_within_analytic(nn::ModelDescriptor md, std::uint64_t seed) {
+/// Measured vs analytic rounds for one trained model: exact equality under
+/// the coalesced (default) schedule.
+void expect_measured_equals_analytic(nn::ModelDescriptor md, std::uint64_t seed) {
   pc::Prng wprng(seed);
   std::vector<int> node_of_layer;
   auto g = nn::build_graph(md, wprng, &node_of_layer);
@@ -48,35 +52,97 @@ void expect_measured_within_analytic(nn::ModelDescriptor md, std::uint64_t seed)
   const perf::ProgramCost cost =
       perf::profile_program(m, snet.program(), ctx.ring().bits);
   ASSERT_GT(measured, 0u) << md.name;
-  EXPECT_LE(measured, static_cast<std::uint64_t>(cost.total.rounds))
-      << md.name << ": measured " << measured << " rounds exceed the analytic prediction "
-      << cost.total.rounds;
+  EXPECT_EQ(measured, static_cast<std::uint64_t>(cost.total.rounds))
+      << md.name << ": measured rounds diverge from the analytic prediction";
 }
 
 }  // namespace
 
-TEST(RoundGuard, TinyCnnVariantsStayWithinAnalyticRounds) {
-  expect_measured_within_analytic(tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool), 300);
-  expect_measured_within_analytic(tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool), 310);
-  expect_measured_within_analytic(tiny_cnn(nn::OpKind::relu, nn::OpKind::avgpool), 320);
-  expect_measured_within_analytic(tiny_cnn(nn::OpKind::x2act, nn::OpKind::maxpool), 330);
+TEST(RoundGuard, TinyCnnVariantsMatchAnalyticRoundsExactly) {
+  expect_measured_equals_analytic(tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool), 300);
+  expect_measured_equals_analytic(tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool), 310);
+  expect_measured_equals_analytic(tiny_cnn(nn::OpKind::relu, nn::OpKind::avgpool), 320);
+  expect_measured_equals_analytic(tiny_cnn(nn::OpKind::x2act, nn::OpKind::maxpool), 330);
 }
 
-TEST(RoundGuard, ResidualReferenceModelsStayWithinAnalyticRounds) {
+TEST(RoundGuard, ResidualReferenceModelsMatchAnalyticRoundsExactly) {
   // HEcmp-style reference backbones: the scaled ResNet-18 proxy in both
   // the all-ReLU and all-polynomial extremes.
   nn::BackboneOptions opt;
   opt.input_size = 8;
   opt.width_mult = 0.0625f;
   const auto base = nn::make_resnet(18, opt);
-  expect_measured_within_analytic(
+  expect_measured_equals_analytic(
       nn::apply_choices(base,
                         nn::uniform_choices(base, nn::ActKind::relu, nn::PoolKind::maxpool)),
       340);
-  expect_measured_within_analytic(
+  expect_measured_equals_analytic(
       nn::apply_choices(base,
                         nn::uniform_choices(base, nn::ActKind::x2act, nn::PoolKind::avgpool)),
       350);
+}
+
+TEST(RoundGuard, ParallelReluRoundsIndependentOfInstanceCount) {
+  // The cross-instance coalescing acceptance bar: K independent ReLUs in
+  // one round group cost the rounds of ONE comparison stack (shared OT
+  // digits + shared AND levels + shared B2A/mux openings), exactly as the
+  // analytic walk predicts — while the eager schedule pays per instance.
+  const auto m = model();
+  std::uint64_t shared_rounds = 0;
+  for (const int k : {1, 2, 4, 16}) {
+    const ir::SecureProgram p = parallel_relu_program(k);
+    for (const auto& op : p.ops) {
+      if (op.stages_compare()) {
+        EXPECT_EQ(op.round_group, 0) << p.name;
+      }
+    }
+    const std::uint64_t coalesced = measured_program_rounds(p, proto::RoundSchedule::coalesced);
+    const perf::ProgramCost cost = perf::profile_program(m, p, pc::RingConfig{}.bits);
+    EXPECT_EQ(coalesced, static_cast<std::uint64_t>(cost.total.rounds)) << p.name;
+    if (k == 1) {
+      shared_rounds = coalesced;
+    } else {
+      EXPECT_EQ(coalesced, shared_rounds)
+          << p.name << ": grouped comparison rounds must not depend on K";
+      EXPECT_GT(measured_program_rounds(p, proto::RoundSchedule::eager), coalesced) << p.name;
+    }
+  }
+}
+
+TEST(RoundGuard, MixedCompareGroupSharesHeterogeneousPhases) {
+  // A maxpool grouped with two relus: the pool's first tournament level
+  // advances in lockstep with the relus, so the relus ride entirely within
+  // the pool's phase walk and the group costs what the pool costs alone.
+  ir::SecureProgram p = parallel_relu_program(2);
+  p.ops.resize(3);  // keep input + the two relus, drop the add
+  ir::Op pool;
+  pool.kind = ir::OpKind::maxpool;
+  pool.in0 = 0;
+  pool.kernel = pool.stride = 2;
+  pool.in_ch = 2;
+  pool.in_h = pool.in_w = 4;
+  pool.out_ch = 2;
+  pool.out_h = pool.out_w = 2;
+  p.ops.push_back(pool);
+  p.output = 3;
+  ir::schedule_rounds(p);
+  for (const auto& op : p.ops) {
+    if (op.stages_compare()) {
+      EXPECT_EQ(op.round_group, 0);
+    }
+  }
+  const auto m = model();
+  const std::uint64_t coalesced = measured_program_rounds(p, proto::RoundSchedule::coalesced);
+  const perf::ProgramCost cost = perf::profile_program(m, p, pc::RingConfig{}.bits);
+  EXPECT_EQ(coalesced, static_cast<std::uint64_t>(cost.total.rounds));
+
+  ir::SecureProgram pool_only = p;
+  pool_only.ops.erase(pool_only.ops.begin() + 1, pool_only.ops.begin() + 3);
+  pool_only.ops[1].in0 = 0;
+  pool_only.output = 1;
+  ir::schedule_rounds(pool_only);
+  EXPECT_EQ(coalesced, measured_program_rounds(pool_only, proto::RoundSchedule::coalesced))
+      << "relus must ride the pool's first-level phases for free";
 }
 
 TEST(RoundGuard, AnalyticPerOpRoundsMatchProtocolStructure) {
@@ -109,4 +175,10 @@ TEST(RoundGuard, AnalyticPerOpRoundsMatchProtocolStructure) {
   pool.out_ch = 4;
   pool.out_h = pool.out_w = 4;
   EXPECT_EQ(perf::ir_op_cost(m, pool, 64).rounds, 2 * 9);  // two tournament levels
+  ir::Op argmax;
+  argmax.kind = ir::OpKind::argmax;
+  argmax.in_features = 10;
+  // Four tournament levels; per level the two selector multiplies share
+  // one opening: drelu + b2a + selectors = 9.
+  EXPECT_EQ(perf::ir_op_cost(m, argmax, 64).rounds, 4 * 9);
 }
