@@ -1,0 +1,18 @@
+// Party 0 of the two-process secure inference deployment: owns the query
+// inputs, dials party_server, ships only party 1's input-share halves,
+// and learns the logits (or, with --label-only, nothing but the class
+// index).  --verify recomputes every query in-process and fails unless
+// logits are bit-identical and TrafficStats equal — the transport
+// subsystem's acceptance check, run by the CI smoke job.  See the README
+// "Deployment" section for the three-terminal quickstart.
+
+#include "two_party_common.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    return pasnet::examples::run_party(0, argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "party_client: %s\n", e.what());
+    return 1;
+  }
+}

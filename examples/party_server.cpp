@@ -1,0 +1,15 @@
+// Party 1 of the two-process secure inference deployment: listens for
+// party_client, serves the model side of every query over TCP.  See
+// two_party_common.hpp and the README "Deployment" section for the
+// three-terminal quickstart.
+
+#include "two_party_common.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    return pasnet::examples::run_party(1, argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "party_server: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,282 @@
+#pragma once
+// Shared plumbing of the two-process deployment examples: party_server
+// (party 1, listens, serves the model) and party_client (party 0, dials,
+// owns the inputs) — plus the pasnet_dealer daemon they can draw offline
+// material from.
+//
+// Both party binaries build the same deterministically trained model from
+// --seed, compile it with the same pass pipeline, and cross-check the
+// resulting plan fingerprint in-session (PartySession::verify_plan), so a
+// drifted binary fails loudly instead of silently diverging.  The client
+// generates the query inputs and ships only party 1's input-share halves;
+// --verify recomputes each query with the in-process engine and demands
+// bit-identical outputs and equal TrafficStats — the acceptance bar of
+// the transport subsystem.
+
+#include <cstdio>
+#include <string>
+
+#include "example_flags.hpp"
+#include "net/party_session.hpp"
+#include "proto/secure_network.hpp"
+#include "support/test_models.hpp"
+
+namespace pasnet::examples {
+
+/// The reference model zoo of the examples (a subset of the test fixtures).
+inline nn::ModelDescriptor model_by_name(const std::string& name) {
+  if (name == "tiny_relu") return testing::tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool);
+  if (name == "tiny_relu_avg") return testing::tiny_cnn(nn::OpKind::relu, nn::OpKind::avgpool);
+  if (name == "tiny_x2") return testing::tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool);
+  if (name == "tiny_x2_max") return testing::tiny_cnn(nn::OpKind::x2act, nn::OpKind::maxpool);
+  std::fprintf(stderr, "unknown --model '%s' (tiny_relu, tiny_relu_avg, tiny_x2, tiny_x2_max)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+inline proto::SecureConfig config_from_flags(const FlagSet& flags) {
+  proto::SecureConfig cfg;
+  const std::string schedule = flags.get_string("schedule");
+  if (schedule == "eager") {
+    cfg.schedule = proto::RoundSchedule::eager;
+  } else if (schedule != "coalesced") {
+    std::fprintf(stderr, "unknown --schedule '%s' (coalesced, eager)\n", schedule.c_str());
+    std::exit(2);
+  }
+  const std::string ot = flags.get_string("ot");
+  if (ot == "dh") {
+    cfg.ot_mode = crypto::OtMode::dh_masked;
+  } else if (ot != "correlated") {
+    std::fprintf(stderr, "unknown --ot '%s' (correlated, dh)\n", ot.c_str());
+    std::exit(2);
+  }
+  return cfg;
+}
+
+inline offline::ExhaustionPolicy policy_from_flags(const FlagSet& flags) {
+  const std::string policy = flags.get_string("policy");
+  if (policy == "refill") return offline::ExhaustionPolicy::Refill;
+  if (policy == "throw") return offline::ExhaustionPolicy::Throw;
+  std::fprintf(stderr, "unknown --policy '%s' (throw, refill)\n", policy.c_str());
+  std::exit(2);
+}
+
+/// Deterministic query input: both --verify and the remote run derive the
+/// same tensor from (seed, q) on the client.
+inline nn::Tensor query_input(const nn::ModelDescriptor& md, long long seed, std::size_t q) {
+  crypto::Prng prng(static_cast<std::uint64_t>(seed) + 1000 + q);
+  return nn::Tensor::randn({1, md.input_ch, md.input_h, md.input_w}, prng, 0.5f);
+}
+
+/// The deterministically trained example network, identical in both party
+/// processes (and in --verify's in-process reference).
+struct CompiledExample {
+  nn::ModelDescriptor md;
+  std::unique_ptr<crypto::TwoPartyContext> ctx;  // in-process (compile + verify)
+  std::unique_ptr<proto::SecureNetwork> snet;
+
+  CompiledExample(const std::string& model, long long seed, proto::SecureConfig cfg)
+      : md(model_by_name(model)) {
+    crypto::Prng wprng(static_cast<std::uint64_t>(seed));
+    std::vector<int> node_of_layer;
+    auto g = nn::build_graph(md, wprng, &node_of_layer);
+    testing::warm_up(*g, md.input_ch, md.input_h, static_cast<std::uint64_t>(seed) + 1);
+    ctx = std::make_unique<crypto::TwoPartyContext>();
+    snet = std::make_unique<proto::SecureNetwork>(md, *g, node_of_layer, *ctx, cfg);
+  }
+};
+
+/// In-process reference for query q: a fresh lockstep context with the
+/// canonical per-query seed — the transcript every serving mode (fused,
+/// store, networked dealer, and the two-process session) reproduces bit
+/// for bit.  Returns the result and the reference TrafficStats.
+inline ir::ExecResult reference_query(proto::SecureNetwork& snet, const ir::SecureProgram& program,
+                                      std::size_t q, const nn::Tensor& input,
+                                      const proto::SecureConfig& cfg,
+                                      crypto::TrafficStats* stats_out) {
+  crypto::TwoPartyContext qctx(crypto::RingConfig{},
+                               proto::SecureNetwork::query_context_seed(q));
+  ir::ExecOptions opts;
+  opts.cfg = cfg;
+  ir::ExecResult res = ir::execute(program, snet.params(), qctx, input, opts);
+  if (stats_out != nullptr) *stats_out = qctx.stats();
+  return res;
+}
+
+/// The whole party process: compile, connect, serve/run --queries queries.
+/// Returns the process exit code (nonzero when --verify finds any drift).
+inline int run_party(int party, int argc, char** argv) {
+  FlagSet flags(party == 0
+                    ? "party_client — party 0 of a two-process secure inference deployment: "
+                      "owns the query inputs, dials party_server, learns the logits/labels"
+                    : "party_server — party 1 of a two-process secure inference deployment: "
+                      "serves the model side of every query over TCP");
+  flags.define_string("model", "tiny_relu",
+                      "reference model (tiny_relu, tiny_relu_avg, tiny_x2, tiny_x2_max)");
+  flags.define_int("seed", 300, "deterministic training seed (must match on both parties)");
+  flags.define_int("queries", 2, "queries to run (must match on both parties)");
+  flags.define_int("port", 7747, "party-channel TCP port");
+  flags.define_string("host", "127.0.0.1", "party_server host (client only)");
+  flags.define_string("bind", "127.0.0.1",
+                      "listen address (server only; 0.0.0.0 accepts cross-machine peers)");
+  flags.define_string("schedule", "coalesced", "round schedule (coalesced, eager)");
+  flags.define_string("ot", "correlated", "OT instantiation (correlated, dh)");
+  flags.define_string("source", "fused",
+                      "correlated-randomness source (fused, store, dealer)");
+  flags.define_string("store", "", "TripleStore file (--source=store, or --preprocess output)");
+  flags.define_string("dealer-host", "127.0.0.1", "pasnet_dealer host (--source=dealer)");
+  flags.define_int("dealer-port", 7748, "pasnet_dealer port (--source=dealer)");
+  flags.define_string("policy", "throw", "store exhaustion policy (throw, refill)");
+  flags.define_switch("label-only", "run the argmax-terminated classify program");
+  flags.define_switch("verify",
+                      "recompute every query in-process and require bit-identical outputs "
+                      "and equal TrafficStats (exit 1 on drift)");
+  flags.define_int("preprocess", 0,
+                   "instead of serving: pregenerate N query bundles into --store and exit");
+  flags.define_int("timeout-ms", 30000, "socket connect/io timeout");
+  flags.parse(argc, argv);
+
+  const proto::SecureConfig cfg = config_from_flags(flags);
+  const long long seed = flags.get_int("seed");
+  CompiledExample ex(flags.get_string("model"), seed, cfg);
+  const bool label_only = flags.get_switch("label-only");
+  const ir::SecureProgram& program =
+      label_only ? ex.snet->classify_program() : ex.snet->program();
+  const offline::PreprocessingPlan& plan =
+      label_only ? ex.snet->classify_plan() : ex.snet->plan();
+
+  if (flags.get_int("preprocess") > 0) {
+    const std::string path = flags.get_string("store");
+    if (path.empty()) {
+      std::fprintf(stderr, "--preprocess needs --store=<output path>\n");
+      return 2;
+    }
+    const auto n = static_cast<std::size_t>(flags.get_int("preprocess"));
+    const offline::TripleStore store =
+        label_only ? ex.snet->preprocess_classify(n) : ex.snet->preprocess(n);
+    store.save(path);
+    std::printf("wrote %zu %s bundles (%llu bytes) to %s [fingerprint %016llx]\n", n,
+                label_only ? "classify" : "logits",
+                static_cast<unsigned long long>(store.material_bytes()), path.c_str(),
+                static_cast<unsigned long long>(store.plan_fingerprint()));
+    return 0;
+  }
+
+  net::TransportOptions topts;
+  topts.connect_timeout = std::chrono::milliseconds(flags.get_int("timeout-ms"));
+  topts.io_timeout = std::chrono::milliseconds(flags.get_int("timeout-ms"));
+
+  // Connect the party channel: party 1 listens, party 0 dials.
+  std::unique_ptr<net::TransportChannel> chan;
+  std::unique_ptr<net::Listener> listener;
+  if (party == 1) {
+    listener = std::make_unique<net::Listener>(static_cast<std::uint16_t>(flags.get_int("port")),
+                                               flags.get_string("bind"));
+    std::printf("party 1 listening on %s:%u\n", flags.get_string("bind").c_str(),
+                listener->port());
+    std::fflush(stdout);
+    chan = net::serve_party_channel(*listener, 1, topts);
+  } else {
+    chan = net::dial_party_channel(flags.get_string("host"),
+                                   static_cast<std::uint16_t>(flags.get_int("port")), 0, topts);
+  }
+  net::PartySession session(party, *chan, crypto::RingConfig{});
+  session.verify_plan(plan);
+
+  // Correlated-randomness source.
+  net::RemoteSessionOptions ropts;
+  ropts.cfg = cfg;
+  ropts.policy = policy_from_flags(flags);
+  offline::TripleStore store;
+  std::unique_ptr<net::DealerClient> dealer;
+  const std::string source = flags.get_string("source");
+  if (source == "store") {
+    ropts.source = net::TripleSourceKind::store;
+    store = offline::TripleStore::load(flags.get_string("store"));
+    if (store.plan_fingerprint() != plan.fingerprint()) {
+      std::fprintf(stderr, "store fingerprint does not match the compiled plan\n");
+      return 2;
+    }
+    ropts.store = &store;
+  } else if (source == "dealer") {
+    ropts.source = net::TripleSourceKind::dealer;
+    dealer = std::make_unique<net::DealerClient>(
+        flags.get_string("dealer-host"), static_cast<std::uint16_t>(flags.get_int("dealer-port")),
+        party, plan.fingerprint(), topts);
+    std::printf("dealer serves %llu pregenerated queries (policy %s)\n",
+                static_cast<unsigned long long>(dealer->info().num_queries),
+                dealer->info().policy == offline::ExhaustionPolicy::Refill ? "refill" : "throw");
+    ropts.dealer = dealer.get();
+  } else if (source != "fused") {
+    std::fprintf(stderr, "unknown --source '%s' (fused, store, dealer)\n", source.c_str());
+    return 2;
+  }
+
+  const auto queries = static_cast<std::size_t>(flags.get_int("queries"));
+  int drift = 0;
+  for (std::size_t q = 0; q < queries; ++q) {
+    const nn::Tensor input = query_input(ex.md, seed, q);
+    crypto::TrafficStats stats;
+    const ir::ExecResult res = session.run_query(
+        program, ex.snet->params(), q, party == 0 ? &input : nullptr, ropts, &stats);
+    if (label_only) {
+      std::printf("query %zu: label %d  [%llu bytes, %llu rounds, %llu messages]\n", q,
+                  res.labels.empty() ? -1 : res.labels[0],
+                  static_cast<unsigned long long>(stats.total_bytes()),
+                  static_cast<unsigned long long>(stats.rounds),
+                  static_cast<unsigned long long>(stats.messages));
+    } else {
+      std::printf("query %zu: logits [", q);
+      for (std::size_t i = 0; i < res.logits.size(); ++i) {
+        std::printf("%s%.6f", i > 0 ? ", " : "", static_cast<double>(res.logits[i]));
+      }
+      std::printf("]  [%llu bytes, %llu rounds, %llu messages]\n",
+                  static_cast<unsigned long long>(stats.total_bytes()),
+                  static_cast<unsigned long long>(stats.rounds),
+                  static_cast<unsigned long long>(stats.messages));
+    }
+    std::fflush(stdout);
+
+    if (flags.get_switch("verify")) {
+      // The in-process engine must agree bit for bit — same logits/labels,
+      // same bytes, same rounds.  Any serving mode reproduces the fused
+      // per-query-dealer transcript, so one reference covers them all.
+      crypto::TrafficStats ref_stats;
+      const ir::ExecResult ref =
+          reference_query(*ex.snet, program, q, input, cfg, &ref_stats);
+      bool ok = true;
+      if (label_only) {
+        ok = res.labels == ref.labels;
+      } else {
+        ok = res.logits.size() == ref.logits.size();
+        for (std::size_t i = 0; ok && i < ref.logits.size(); ++i) {
+          ok = res.logits[i] == ref.logits[i];  // bit-identical, not approximately
+        }
+      }
+      if (stats.total_bytes() != ref_stats.total_bytes() || stats.rounds != ref_stats.rounds ||
+          stats.messages != ref_stats.messages) {
+        std::fprintf(stderr,
+                     "query %zu: TrafficStats drift (tcp %llu B / %llu rds vs in-process "
+                     "%llu B / %llu rds)\n",
+                     q, static_cast<unsigned long long>(stats.total_bytes()),
+                     static_cast<unsigned long long>(stats.rounds),
+                     static_cast<unsigned long long>(ref_stats.total_bytes()),
+                     static_cast<unsigned long long>(ref_stats.rounds));
+        ok = false;
+      }
+      if (!ok) {
+        std::fprintf(stderr, "query %zu: two-process result drifts from the in-process engine\n",
+                     q);
+        drift = 1;
+      } else {
+        std::printf("query %zu: verified bit-identical to the in-process engine\n", q);
+      }
+    }
+  }
+  if (drift == 0 && flags.get_switch("verify")) {
+    std::printf("all %zu queries verified: logits bit-identical, TrafficStats equal\n", queries);
+  }
+  return drift;
+}
+
+}  // namespace pasnet::examples

@@ -7,166 +7,26 @@
 
 namespace pasnet::crypto {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-struct Message {
-  std::vector<std::uint8_t> data;
-  Clock::time_point due;  // in-flight deadline: enqueue time + round_delay
-};
-
-}  // namespace
-
-struct Channel::Shared {
-  std::mutex m;
-  // Per-direction queues and wakeups; inbox[p] holds messages addressed to
-  // party p.  not_empty[p] wakes party p's blocked recv, not_full[p] wakes a
-  // sender blocked on party p's full inbox.
-  std::deque<Message> inbox[2];
-  std::condition_variable not_empty[2];
-  std::condition_variable not_full[2];
-  ChannelMode mode = ChannelMode::lockstep;
-  std::size_t capacity = kDefaultCapacity;
-  std::chrono::milliseconds timeout{kDefaultTimeout};
-  std::chrono::microseconds round_delay{0};
-  bool closed = false;
-  int last_sender = -1;   // for round counting outside brackets
-  bool in_round = false;  // begin_round/end_round bracket open
-  bool round_counted = false;
-};
-
-std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair(
-    ChannelMode mode, std::size_t capacity, std::chrono::milliseconds timeout) {
-  ChannelOptions options;
-  options.mode = mode;
-  options.capacity = capacity;
-  options.timeout = timeout;
-  return make_pair(options);
-}
-
-std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair(
-    const ChannelOptions& options) {
-  auto shared = std::make_shared<Shared>();
-  shared->mode = options.mode;
-  shared->capacity = options.capacity > 0 ? options.capacity : 1;
-  shared->timeout = options.timeout;
-  shared->round_delay = options.round_delay;
-  auto stats = std::make_shared<TrafficStats>();
-  auto c0 = std::unique_ptr<Channel>(new Channel());
-  auto c1 = std::unique_ptr<Channel>(new Channel());
-  c0->party_ = 0;
-  c1->party_ = 1;
-  c0->shared_ = shared;
-  c1->shared_ = shared;
-  c0->stats_ = stats;
-  c1->stats_ = stats;
-  return {std::move(c0), std::move(c1)};
-}
-
-ChannelMode Channel::mode() const noexcept { return shared_->mode; }
-
-void Channel::begin_round() {
-  std::lock_guard<std::mutex> lk(shared_->m);
-  shared_->in_round = true;
-  shared_->round_counted = false;
-}
-
-void Channel::end_round() {
-  std::lock_guard<std::mutex> lk(shared_->m);
-  shared_->in_round = false;
-  shared_->round_counted = false;
-  // The next message starts a fresh round whatever its direction.
-  shared_->last_sender = -1;
-}
-
-void Channel::enqueue(std::vector<std::uint8_t>&& data, std::uint64_t wire_bytes) {
-  const int peer = 1 - party_;
-  std::unique_lock<std::mutex> lk(shared_->m);
-  if (shared_->mode == ChannelMode::threaded) {
-    const bool ok = shared_->not_full[peer].wait_for(lk, shared_->timeout, [&] {
-      return shared_->closed || shared_->inbox[peer].size() < shared_->capacity;
-    });
-    if (shared_->closed) throw ChannelClosed("Channel::send: channel closed");
-    if (!ok) throw ChannelTimeout("Channel::send: peer inbox full past timeout (deadlock?)");
-  } else if (shared_->closed) {
-    throw ChannelClosed("Channel::send: channel closed");
-  }
-  // Stamp the in-flight deadline: the message becomes receivable one
-  // modeled one-way delay after it is sent.  The sender never sleeps, so
-  // all messages of one round share (roughly) one deadline and overlap.
-  Message msg;
-  msg.data = std::move(data);
-  msg.due = shared_->round_delay.count() > 0 ? Clock::now() + shared_->round_delay
-                                             : Clock::time_point{};
-  shared_->inbox[peer].push_back(std::move(msg));
-  if (party_ == 0) {
-    stats_->bytes_p0_to_p1 += wire_bytes;
-  } else {
-    stats_->bytes_p1_to_p0 += wire_bytes;
-  }
-  ++stats_->messages;
-  if (shared_->in_round) {
-    // All messages of a bracketed symmetric exchange are one round.
-    if (!shared_->round_counted) {
-      ++stats_->rounds;
-      shared_->round_counted = true;
-    }
-    shared_->last_sender = party_;
-  } else if (shared_->last_sender != party_) {
-    ++stats_->rounds;
-    shared_->last_sender = party_;
-  }
-  lk.unlock();
-  shared_->not_empty[peer].notify_one();
-}
+// ---------------------------------------------------------------------------
+// Endpoint-API conveniences (shared by every backend)
+// ---------------------------------------------------------------------------
 
 void Channel::send_bytes(const std::vector<std::uint8_t>& data) {
   std::vector<std::uint8_t> copy = data;
-  enqueue(std::move(copy), data.size());
+  do_send(std::move(copy), data.size());
 }
 
-std::vector<std::uint8_t> Channel::recv_bytes() {
-  std::unique_lock<std::mutex> lk(shared_->m);
-  auto& inbox = shared_->inbox[party_];
-  if (shared_->mode == ChannelMode::lockstep) {
-    if (shared_->closed && inbox.empty()) {
-      throw ChannelClosed("Channel::recv_bytes: channel closed");
-    }
-    if (inbox.empty()) {
-      throw std::logic_error("Channel::recv_bytes: no pending message (protocol ordering bug)");
-    }
-  } else {
-    const bool ok = shared_->not_empty[party_].wait_for(
-        lk, shared_->timeout, [&] { return shared_->closed || !inbox.empty(); });
-    if (inbox.empty()) {
-      if (shared_->closed) throw ChannelClosed("Channel::recv_bytes: channel closed");
-      if (!ok) throw ChannelTimeout("Channel::recv_bytes: no message past timeout (deadlock?)");
-    }
-  }
-  auto msg = std::move(inbox.front());
-  inbox.pop_front();
-  lk.unlock();
-  shared_->not_full[party_].notify_one();
-  // Honour the in-flight deadline off the lock: the receiver cannot observe
-  // a message before its modeled wire delay has elapsed, but concurrent
-  // traffic (the other direction, other worker pairs) keeps flowing.
-  if (msg.due != Clock::time_point{}) {
-    const auto now = Clock::now();
-    if (now < msg.due) std::this_thread::sleep_until(msg.due);
-  }
-  return msg.data;
-}
+std::vector<std::uint8_t> Channel::recv_bytes() { return do_recv(); }
 
 void Channel::send_ring(const RingVec& v, int wire_bytes_per_elem) {
   std::vector<std::uint8_t> buf(v.size() * sizeof(std::uint64_t));
   if (!v.empty()) std::memcpy(buf.data(), v.data(), buf.size());
   // Account for the modeled wire width rather than the in-memory width.
-  enqueue(std::move(buf), v.size() * static_cast<std::uint64_t>(wire_bytes_per_elem));
+  do_send(std::move(buf), v.size() * static_cast<std::uint64_t>(wire_bytes_per_elem));
 }
 
 RingVec Channel::recv_ring(std::size_t n, int /*wire_bytes_per_elem*/) {
-  auto buf = recv_bytes();
+  auto buf = do_recv();
   if (buf.size() != n * sizeof(std::uint64_t)) {
     throw std::logic_error("Channel::recv_ring: message size mismatch");
   }
@@ -179,27 +39,187 @@ void Channel::send_u64(std::uint64_t v) { send_ring(RingVec{v}); }
 
 std::uint64_t Channel::recv_u64() { return recv_ring(1)[0]; }
 
-void Channel::close() {
-  {
+// ---------------------------------------------------------------------------
+// In-process pair backend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Message {
+  std::vector<std::uint8_t> data;
+  Clock::time_point due;  // in-flight deadline: enqueue time + round_delay
+};
+
+/// The historical simulated pair: two endpoints over a shared pair of
+/// bounded byte queues plus one shared meter.
+class LocalChannel final : public Channel {
+ public:
+  struct Shared {
+    std::mutex m;
+    // Per-direction queues and wakeups; inbox[p] holds messages addressed
+    // to party p.  not_empty[p] wakes party p's blocked recv, not_full[p]
+    // wakes a sender blocked on party p's full inbox.
+    std::deque<Message> inbox[2];
+    std::condition_variable not_empty[2];
+    std::condition_variable not_full[2];
+    ChannelMode mode = ChannelMode::lockstep;
+    std::size_t capacity = kDefaultCapacity;
+    std::chrono::milliseconds timeout{kDefaultTimeout};
+    std::chrono::microseconds round_delay{0};
+    bool closed = false;
+    int last_sender = -1;   // for round counting outside brackets
+    bool in_round = false;  // begin_round/end_round bracket open
+    bool round_counted = false;
+  };
+
+  LocalChannel(int party, std::shared_ptr<Shared> shared, std::shared_ptr<TrafficStats> stats)
+      : party_(party), shared_(std::move(shared)) {
+    stats_ = std::move(stats);
+  }
+
+  void begin_round() override {
     std::lock_guard<std::mutex> lk(shared_->m);
-    shared_->closed = true;
+    shared_->in_round = true;
+    shared_->round_counted = false;
   }
-  for (int p = 0; p < 2; ++p) {
-    shared_->not_empty[p].notify_all();
-    shared_->not_full[p].notify_all();
+
+  void end_round() override {
+    std::lock_guard<std::mutex> lk(shared_->m);
+    shared_->in_round = false;
+    shared_->round_counted = false;
+    // The next message starts a fresh round whatever its direction.
+    shared_->last_sender = -1;
   }
+
+  void close() override {
+    {
+      std::lock_guard<std::mutex> lk(shared_->m);
+      shared_->closed = true;
+    }
+    for (int p = 0; p < 2; ++p) {
+      shared_->not_empty[p].notify_all();
+      shared_->not_full[p].notify_all();
+    }
+  }
+
+  [[nodiscard]] TrafficStats stats_snapshot() const override {
+    std::lock_guard<std::mutex> lk(shared_->m);
+    return *stats_;
+  }
+
+  void reset_stats() noexcept override {
+    std::lock_guard<std::mutex> lk(shared_->m);
+    stats_->reset();
+    shared_->last_sender = -1;
+    shared_->round_counted = false;
+  }
+
+  [[nodiscard]] ChannelMode mode() const noexcept override { return shared_->mode; }
+
+ protected:
+  void do_send(std::vector<std::uint8_t>&& data, std::uint64_t wire_bytes) override {
+    const int peer = 1 - party_;
+    std::unique_lock<std::mutex> lk(shared_->m);
+    if (shared_->mode == ChannelMode::threaded) {
+      const bool ok = shared_->not_full[peer].wait_for(lk, shared_->timeout, [&] {
+        return shared_->closed || shared_->inbox[peer].size() < shared_->capacity;
+      });
+      if (shared_->closed) throw ChannelClosed("Channel::send: channel closed");
+      if (!ok) throw ChannelTimeout("Channel::send: peer inbox full past timeout (deadlock?)");
+    } else if (shared_->closed) {
+      throw ChannelClosed("Channel::send: channel closed");
+    }
+    // Stamp the in-flight deadline: the message becomes receivable one
+    // modeled one-way delay after it is sent.  The sender never sleeps, so
+    // all messages of one round share (roughly) one deadline and overlap.
+    Message msg;
+    msg.data = std::move(data);
+    msg.due = shared_->round_delay.count() > 0 ? Clock::now() + shared_->round_delay
+                                               : Clock::time_point{};
+    shared_->inbox[peer].push_back(std::move(msg));
+    if (party_ == 0) {
+      stats_->bytes_p0_to_p1 += wire_bytes;
+    } else {
+      stats_->bytes_p1_to_p0 += wire_bytes;
+    }
+    ++stats_->messages;
+    if (shared_->in_round) {
+      // All messages of a bracketed symmetric exchange are one round.
+      if (!shared_->round_counted) {
+        ++stats_->rounds;
+        shared_->round_counted = true;
+      }
+      shared_->last_sender = party_;
+    } else if (shared_->last_sender != party_) {
+      ++stats_->rounds;
+      shared_->last_sender = party_;
+    }
+    lk.unlock();
+    shared_->not_empty[peer].notify_one();
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> do_recv() override {
+    std::unique_lock<std::mutex> lk(shared_->m);
+    auto& inbox = shared_->inbox[party_];
+    if (shared_->mode == ChannelMode::lockstep) {
+      if (shared_->closed && inbox.empty()) {
+        throw ChannelClosed("Channel::recv_bytes: channel closed");
+      }
+      if (inbox.empty()) {
+        throw std::logic_error("Channel::recv_bytes: no pending message (protocol ordering bug)");
+      }
+    } else {
+      const bool ok = shared_->not_empty[party_].wait_for(
+          lk, shared_->timeout, [&] { return shared_->closed || !inbox.empty(); });
+      if (inbox.empty()) {
+        if (shared_->closed) throw ChannelClosed("Channel::recv_bytes: channel closed");
+        if (!ok) throw ChannelTimeout("Channel::recv_bytes: no message past timeout (deadlock?)");
+      }
+    }
+    auto msg = std::move(inbox.front());
+    inbox.pop_front();
+    lk.unlock();
+    shared_->not_full[party_].notify_one();
+    // Honour the in-flight deadline off the lock: the receiver cannot
+    // observe a message before its modeled wire delay has elapsed, but
+    // concurrent traffic (the other direction, other worker pairs) keeps
+    // flowing.
+    if (msg.due != Clock::time_point{}) {
+      const auto now = Clock::now();
+      if (now < msg.due) std::this_thread::sleep_until(msg.due);
+    }
+    return msg.data;
+  }
+
+ private:
+  int party_ = 0;
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair(
+    ChannelMode mode, std::size_t capacity, std::chrono::milliseconds timeout) {
+  ChannelOptions options;
+  options.mode = mode;
+  options.capacity = capacity;
+  options.timeout = timeout;
+  return make_pair(options);
 }
 
-TrafficStats Channel::stats_snapshot() const {
-  std::lock_guard<std::mutex> lk(shared_->m);
-  return *stats_;
-}
-
-void Channel::reset_stats() noexcept {
-  std::lock_guard<std::mutex> lk(shared_->m);
-  stats_->reset();
-  shared_->last_sender = -1;
-  shared_->round_counted = false;
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> Channel::make_pair(
+    const ChannelOptions& options) {
+  auto shared = std::make_shared<LocalChannel::Shared>();
+  shared->mode = options.mode;
+  shared->capacity = options.capacity > 0 ? options.capacity : 1;
+  shared->timeout = options.timeout;
+  shared->round_delay = options.round_delay;
+  auto stats = std::make_shared<TrafficStats>();
+  auto c0 = std::unique_ptr<Channel>(new LocalChannel(0, shared, stats));
+  auto c1 = std::unique_ptr<Channel>(new LocalChannel(1, shared, stats));
+  return {std::move(c0), std::move(c1)};
 }
 
 }  // namespace pasnet::crypto

@@ -1,23 +1,32 @@
 #pragma once
-// Simulated duplex channel between the two computing parties.
+// Duplex channel endpoints between the two computing parties.
 //
-// A channel pair is two endpoints over a shared pair of bounded byte queues
-// plus a traffic meter.  The meter records every byte, message, and
-// communication round, which lets integration tests cross-check the measured
-// traffic of the real protocol stack against the analytical communication
-// model of src/perf (DESIGN.md E6).
+// `Channel` is the endpoint API every protocol talks to: framed byte
+// messages, ring-vector conveniences, round bracketing, and a TrafficStats
+// meter that records every byte, message, and communication round.  The
+// meter is what lets integration tests cross-check the measured traffic of
+// the real protocol stack against the analytical communication model of
+// src/perf (DESIGN.md E6) — and, since PR 5, what makes bytes/rounds
+// measured over a real TCP connection directly comparable to the
+// simulation.
 //
-// Two modes:
-//  - lockstep: the historical single-threaded mode.  Both parties run on one
-//    thread in protocol order; `recv` on an empty inbox is a protocol
-//    ordering bug and throws immediately.  Fully deterministic (used by the
-//    analytical-model cross-check tests).
-//  - threaded: the concurrent runtime mode.  `recv` blocks until the peer's
-//    message arrives and `send` blocks while the peer's inbox is at
-//    capacity (bounded queue, mutex + condition variable).  Endpoints may be
-//    driven from different threads; all queue and stats updates are guarded
-//    by one shared mutex.  A watchdog timeout turns a deadlocked protocol
-//    into a loud ChannelTimeout instead of a hang.
+// Two backends:
+//  - the in-process pair (Channel::make_pair): two endpoints over a shared
+//    pair of bounded byte queues.  Modes:
+//     * lockstep: the historical single-threaded mode.  Both parties run on
+//       one thread in protocol order; `recv` on an empty inbox is a protocol
+//       ordering bug and throws immediately.  Fully deterministic (used by
+//       the analytical-model cross-check tests).
+//     * threaded: the concurrent runtime mode.  `recv` blocks until the
+//       peer's message arrives and `send` blocks while the peer's inbox is
+//       at capacity (bounded queue, mutex + condition variable).  Endpoints
+//       may be driven from different threads; a watchdog timeout turns a
+//       deadlocked protocol into a loud ChannelTimeout instead of a hang.
+//  - net::TransportChannel (src/net): the same endpoint API over a real
+//    socket transport, one endpoint per OS process.  Each endpoint's meter
+//    accounts both directions (own sends at send time, the peer's at recv
+//    time), so a remote endpoint's TrafficStats equal the simulated pair's
+//    for the same protocol run.
 
 #include <chrono>
 #include <cstdint>
@@ -51,48 +60,54 @@ struct TrafficStats {
   void reset() noexcept { *this = TrafficStats{}; }
 };
 
-/// Queueing discipline of a channel pair (see file comment).
+/// Queueing discipline of a channel endpoint (see file comment).  Transport
+/// endpoints report `threaded` — their recv blocks on the wire.
 enum class ChannelMode { lockstep, threaded };
 
 struct ChannelOptions;
 
-/// Thrown when a blocking send/recv outlives the watchdog timeout — in the
-/// in-process simulation that means the protocol deadlocked or the peer died.
+/// Thrown when a blocking send/recv outlives the watchdog timeout — the
+/// protocol deadlocked or the peer died.
 class ChannelTimeout : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
 
-/// Thrown by blocked/later operations after close() — the simulation's
-/// "peer hung up" signal, used to unwind a party thread whose peer failed.
+/// Thrown by blocked/later operations after close() — the "peer hung up"
+/// signal, used to unwind a party thread whose peer failed.
 class ChannelClosed : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
 
-/// One endpoint of a duplex channel pair.
+/// One endpoint of a duplex channel.  The convenience send/recv helpers are
+/// implemented over the backend primitives do_send/do_recv; backends also
+/// own round bracketing, close semantics, and the stats meter.
 class Channel {
  public:
-  /// Default bounded-queue depth and watchdog timeout for a channel pair —
-  /// the single canonical pair (ChannelOptions defaults to them too).
+  /// Default bounded-queue depth and watchdog timeout for an in-process
+  /// channel pair — the single canonical pair (ChannelOptions defaults to
+  /// them too; net::TransportOptions carries the socket analogs).
   static constexpr std::size_t kDefaultCapacity = 1024;
   static constexpr std::chrono::milliseconds kDefaultTimeout{30000};
 
-  /// Sends a raw byte message to the peer.  Threaded mode blocks while the
-  /// peer's inbox is full; lockstep mode never blocks.
+  virtual ~Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Sends a raw byte message to the peer.  Blocking backends may block
+  /// (full peer inbox / socket back-pressure); the lockstep in-process mode
+  /// never blocks.
   void send_bytes(const std::vector<std::uint8_t>& data);
-  /// Receives the oldest pending byte message.  Lockstep mode throws
-  /// std::logic_error if the inbox is empty (protocol ordering bug);
-  /// threaded mode blocks until a message arrives.  Either way, delivery
-  /// waits until the message's in-flight deadline (enqueue time + the
-  /// pair's round_delay) has passed — the modeled wire latency holds back
-  /// the message itself, so a symmetric exchange pays one delay total with
-  /// both directions overlapping, in both modes.
+  /// Receives the oldest pending byte message.  The in-process lockstep
+  /// mode throws std::logic_error if the inbox is empty (protocol ordering
+  /// bug); blocking backends wait for the message (honouring any modeled
+  /// in-flight deadline — see ChannelOptions::round_delay).
   [[nodiscard]] std::vector<std::uint8_t> recv_bytes();
 
-  /// Convenience: send/recv a vector of ring elements, 8 bytes each in the
-  /// simulation.  `wire_bytes_per_elem` models the on-wire width (e.g. 4
-  /// for a 32-bit ring) for traffic accounting while keeping u64 storage.
+  /// Convenience: send/recv a vector of ring elements, 8 bytes each in
+  /// memory.  `wire_bytes_per_elem` models the on-wire width (e.g. 4 for a
+  /// 32-bit ring) for traffic accounting while keeping u64 storage.
   void send_ring(const RingVec& v, int wire_bytes_per_elem = 8);
   [[nodiscard]] RingVec recv_ring(std::size_t n, int wire_bytes_per_elem = 8);
 
@@ -102,46 +117,52 @@ class Channel {
 
   /// Brackets one symmetric communication round: every message either
   /// endpoint enqueues between begin_round and end_round counts as a single
-  /// round (both directions are concurrently in flight).  Brackets are
-  /// shared pair state — they are driven by the coordinating thread
-  /// (TwoPartyContext::exchange), never by a party closure.  After
-  /// end_round the next message starts a fresh round regardless of
-  /// direction.
-  void begin_round();
-  void end_round();
+  /// round (both directions are concurrently in flight).  Driven by the
+  /// coordinating thread (TwoPartyContext::exchange), never by a party
+  /// closure.  After end_round the next message starts a fresh round
+  /// regardless of direction.
+  virtual void begin_round() = 0;
+  virtual void end_round() = 0;
 
-  /// Marks the pair closed: blocked senders/receivers wake and throw
+  /// Marks the endpoint closed: blocked senders/receivers wake and throw
   /// ChannelClosed, as do later blocking operations that would wait.
-  void close();
+  virtual void close() = 0;
 
-  /// Traffic stats shared by both endpoints of the pair.  The reference is
-  /// stable; read it only while no transfer is in flight (use
-  /// stats_snapshot() for a consistent copy during concurrent traffic).
+  /// Traffic stats of the endpoint (shared by both endpoints of an
+  /// in-process pair).  The reference is stable; read it only while no
+  /// transfer is in flight (use stats_snapshot() for a consistent copy
+  /// during concurrent traffic).
   [[nodiscard]] const TrafficStats& stats() const noexcept { return *stats_; }
   /// Locked copy of the stats, safe to take concurrently with transfers.
-  [[nodiscard]] TrafficStats stats_snapshot() const;
-  void reset_stats() noexcept;
+  [[nodiscard]] virtual TrafficStats stats_snapshot() const = 0;
+  virtual void reset_stats() noexcept = 0;
 
-  [[nodiscard]] ChannelMode mode() const noexcept;
+  [[nodiscard]] virtual ChannelMode mode() const noexcept = 0;
 
-  /// Creates a connected pair of endpoints: first element is party 0's.
+  /// Creates a connected in-process pair of endpoints: first element is
+  /// party 0's.
   static std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_pair(
       ChannelMode mode = ChannelMode::lockstep, std::size_t capacity = kDefaultCapacity,
       std::chrono::milliseconds timeout = kDefaultTimeout);
   static std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_pair(
       const ChannelOptions& options);
 
- private:
+ protected:
   Channel() = default;
-  void enqueue(std::vector<std::uint8_t>&& data, std::uint64_t wire_bytes);
 
-  struct Shared;
-  int party_ = 0;
-  std::shared_ptr<Shared> shared_;
+  /// Backend primitive: delivers one framed message to the peer, crediting
+  /// `wire_bytes` (the modeled on-wire size, which may differ from
+  /// data.size()) to the meter.
+  virtual void do_send(std::vector<std::uint8_t>&& data, std::uint64_t wire_bytes) = 0;
+  /// Backend primitive: receives the next framed message.
+  [[nodiscard]] virtual std::vector<std::uint8_t> do_recv() = 0;
+
+  /// The endpoint's meter; backends allocate it (pair-shared in process,
+  /// per-endpoint over a transport).
   std::shared_ptr<TrafficStats> stats_;
 };
 
-/// Construction knobs for a channel pair.
+/// Construction knobs for an in-process channel pair.
 struct ChannelOptions {
   ChannelMode mode = ChannelMode::lockstep;
   std::size_t capacity = Channel::kDefaultCapacity;

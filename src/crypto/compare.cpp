@@ -110,17 +110,24 @@ void BitOpenBuffer::open_batch(const Pending* batch, std::size_t count) {
                 [&] { ctx_.chan(1).send_bytes(msg1); },
                 [&] { from1 = ctx_.chan(0).recv_bytes(); },
                 [&] { from0 = ctx_.chan(1).recv_bytes(); });
-  if (from0.size() != msg0.size() || from1.size() != msg1.size()) {
+  // Reconstruct from the local share and the peer's received packed bits.
+  // In the in-process modes both closures ran, so either pairing works and
+  // we keep the historical (b0, from1) one; a remote context only has its
+  // own half live.
+  const bool local_is_1 = ctx_.local_party() == 1;
+  const std::vector<std::uint8_t>& peer_msg = local_is_1 ? from0 : from1;
+  if (peer_msg.size() != msg0.size()) {
     throw std::logic_error("BitOpenBuffer::flush: transcript size mismatch");
   }
   std::size_t byte_off = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t n = batch[i].x.size();
     const std::vector<std::uint8_t> peer =
-        unpack_bits(slice_bytes(from1, byte_off, byte_off + (n + 7) / 8), n);
+        unpack_bits(slice_bytes(peer_msg, byte_off, byte_off + (n + 7) / 8), n);
+    const std::vector<std::uint8_t>& own = local_is_1 ? batch[i].x.b1 : batch[i].x.b0;
     std::vector<std::uint8_t>& out = *batch[i].out;
     out.resize(n);
-    for (std::size_t j = 0; j < n; ++j) out[j] = batch[i].x.b0[j] ^ peer[j];
+    for (std::size_t j = 0; j < n; ++j) out[j] = own[j] ^ peer[j];
     byte_off += (n + 7) / 8;
   }
 }
@@ -453,33 +460,26 @@ void StagedDreluMux::step(TwoPartyContext& ctx) {
   }
 }
 
-BitShared msb(TwoPartyContext& ctx, const Shared& x, OtMode mode) {
-  const RingConfig& rc = ctx.ring();
-  const std::size_t n = x.size();
-  const int lo_bits = rc.bits - 1;
-  const std::uint64_t lo_mask = (1ULL << lo_bits) - 1;
-
-  // carry = [lo(x0) + lo(x1) >= 2^(b-1)] = [lo(x0) > 2^(b-1)-1 - lo(x1)]
-  std::vector<std::uint64_t> a(n), b(n);
-  std::vector<std::uint8_t> m0(n), m1(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    a[i] = x.s0[i] & lo_mask;
-    b[i] = lo_mask - (x.s1[i] & lo_mask);
-    m0[i] = static_cast<std::uint8_t>((x.s0[i] >> lo_bits) & 1);
-    m1[i] = static_cast<std::uint8_t>((x.s1[i] >> lo_bits) & 1);
+BitShared drelu(TwoPartyContext& ctx, const Shared& x, OtMode mode) {
+  // One millionaire code path: the free function is the staged phase
+  // machine run as a one-instance group (begin + flush-whatever-it-waits-on
+  // + step, exactly what the IR executor does for a grouped instance).
+  // The material draw order — leaf masks, then one bit triple per AND
+  // level — matches the historical blocking protocol's, so the dealer
+  // request stream is unchanged.
+  StagedDrelu d;
+  d.begin(ctx, x, mode, draw_drelu_material(ctx, x.size()));
+  while (d.waiting() != CompareWait::done) {
+    flush_compare_buffers(ctx, d.waiting());
+    d.step(ctx);
   }
-  BitShared carry = millionaire_gt(ctx, a, b, lo_bits, mode);
-
-  // msb(x) = msb(x0) ^ msb(x1) ^ carry — each party folds its own top bit.
-  for (std::size_t i = 0; i < n; ++i) {
-    carry.b0[i] ^= m0[i];
-    carry.b1[i] ^= m1[i];
-  }
-  return carry;
+  return std::move(d.result());
 }
 
-BitShared drelu(TwoPartyContext& ctx, const Shared& x, OtMode mode) {
-  return not_bits(msb(ctx, x, mode));
+BitShared msb(TwoPartyContext& ctx, const Shared& x, OtMode mode) {
+  // DReLU = NOT msb, so msb = NOT DReLU; the double negation costs one
+  // local share flip and keeps a single comparison implementation.
+  return not_bits(drelu(ctx, x, mode));
 }
 
 void B2aRound::stage(TwoPartyContext& ctx, const BitShared& v, ElemTriple t) {

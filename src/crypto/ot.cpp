@@ -54,6 +54,14 @@ std::vector<std::uint64_t> unpack_u64s(const std::vector<std::uint8_t>& buf) {
 // protocol order.  That schedule is valid under both channel modes: in
 // threaded mode each recv finds its message already enqueued and never
 // blocks, so OT composes with the concurrent runtime without changes.
+//
+// In a remote (two-process) context only the local role's sends/recvs and
+// compute run — the gates below — while BOTH roles' PRNG draws stay
+// unconditional: the per-party PRNGs are seeded from the shared context
+// seed in both processes (the simulation's trusted-setup model), and any
+// role-gated draw would desynchronize the streams every later protocol
+// step depends on.  The non-local role's output slots hold garbage a
+// remote process never reads.
 std::vector<std::uint8_t> ot_dh(TwoPartyContext& ctx, int sender,
                                 const std::vector<std::array<std::uint8_t, kOtFanIn>>& tables,
                                 const std::vector<std::uint8_t>& choices) {
@@ -68,40 +76,50 @@ std::vector<std::uint8_t> ot_dh(TwoPartyContext& ctx, int sender,
     const std::uint64_t gx = dh::powmod(dh::kGenerator, secret_x[t]);
     blinded[t] = dh::mulmod(gx, dh::powmod(dh::kPublicC, choices[t]));
   }
-  ctx.chan(receiver).send_bytes(pack_u64s(blinded));
+  if (ctx.runs(receiver)) ctx.chan(receiver).send_bytes(pack_u64s(blinded));
 
-  // Sender: one ephemeral r per batch keeps cost linear; derive per-entry
-  // pads key_{t,i} = H((B_t * C^{-i})^r, t, i) and mask the table.
-  const std::vector<std::uint64_t> b_list = unpack_u64s(ctx.chan(sender).recv_bytes());
-  if (b_list.size() != n) throw std::logic_error("ot_1of4: batch size mismatch");
-  const std::uint64_t r = 1 + ctx.prng(sender).next_below(dh::kPrime - 1);
-  const std::uint64_t a_val = dh::powmod(dh::kGenerator, r);
-  const std::uint64_t c_inv = dh::invmod(dh::kPublicC);
+  if (ctx.runs(sender)) {
+    // Sender: one ephemeral r per batch keeps cost linear; derive per-entry
+    // pads key_{t,i} = H((B_t * C^{-i})^r, t, i) and mask the table.
+    const std::vector<std::uint64_t> b_list = unpack_u64s(ctx.chan(sender).recv_bytes());
+    if (b_list.size() != n) throw std::logic_error("ot_1of4: batch size mismatch");
+    const std::uint64_t r = 1 + ctx.prng(sender).next_below(dh::kPrime - 1);
+    const std::uint64_t a_val = dh::powmod(dh::kGenerator, r);
+    const std::uint64_t c_inv = dh::invmod(dh::kPublicC);
 
-  std::vector<std::uint8_t> payload(8 + n * kOtFanIn);
-  std::memcpy(payload.data(), &a_val, 8);
-  for (std::size_t t = 0; t < n; ++t) {
-    std::uint64_t pk = b_list[t];
-    for (int i = 0; i < kOtFanIn; ++i) {
-      const std::uint64_t shared_key = dh::powmod(pk, r);
-      const std::uint64_t pad = splitmix64(shared_key ^ (t * kOtFanIn + i));
-      payload[8 + t * kOtFanIn + i] =
-          tables[t][i] ^ static_cast<std::uint8_t>(pad & 0xFF);
-      pk = dh::mulmod(pk, c_inv);  // PK_{i+1} = B * C^{-(i+1)}
+    std::vector<std::uint8_t> payload(8 + n * kOtFanIn);
+    std::memcpy(payload.data(), &a_val, 8);
+    for (std::size_t t = 0; t < n; ++t) {
+      std::uint64_t pk = b_list[t];
+      for (int i = 0; i < kOtFanIn; ++i) {
+        const std::uint64_t shared_key = dh::powmod(pk, r);
+        const std::uint64_t pad = splitmix64(shared_key ^ (t * kOtFanIn + i));
+        payload[8 + t * kOtFanIn + i] =
+            tables[t][i] ^ static_cast<std::uint8_t>(pad & 0xFF);
+        pk = dh::mulmod(pk, c_inv);  // PK_{i+1} = B * C^{-(i+1)}
+      }
     }
+    ctx.chan(sender).send_bytes(payload);
+  } else {
+    // Keep the sender-side PRNG stream aligned with the sender's process.
+    (void)ctx.prng(sender).next_below(dh::kPrime - 1);
   }
-  ctx.chan(sender).send_bytes(payload);
 
-  // Receiver: unmask its entry with key = H(A^{x_t}, t, c_t).
-  const std::vector<std::uint8_t> reply = ctx.chan(receiver).recv_bytes();
-  std::uint64_t a_recv = 0;
-  std::memcpy(&a_recv, reply.data(), 8);
   std::vector<std::uint8_t> out(n);
-  for (std::size_t t = 0; t < n; ++t) {
-    const std::uint64_t shared_key = dh::powmod(a_recv, secret_x[t]);
-    const std::uint64_t pad = splitmix64(shared_key ^ (t * kOtFanIn + choices[t]));
-    out[t] = reply[8 + t * kOtFanIn + choices[t]] ^
-             static_cast<std::uint8_t>(pad & 0xFF);
+  if (ctx.runs(receiver)) {
+    // Receiver: unmask its entry with key = H(A^{x_t}, t, c_t).
+    const std::vector<std::uint8_t> reply = ctx.chan(receiver).recv_bytes();
+    if (reply.size() != 8 + n * kOtFanIn) {
+      throw std::logic_error("ot_1of4: reply size mismatch");
+    }
+    std::uint64_t a_recv = 0;
+    std::memcpy(&a_recv, reply.data(), 8);
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::uint64_t shared_key = dh::powmod(a_recv, secret_x[t]);
+      const std::uint64_t pad = splitmix64(shared_key ^ (t * kOtFanIn + choices[t]));
+      out[t] = reply[8 + t * kOtFanIn + choices[t]] ^
+               static_cast<std::uint8_t>(pad & 0xFF);
+    }
   }
   return out;
 }
@@ -111,14 +129,37 @@ std::vector<std::uint8_t> ot_ideal(TwoPartyContext& ctx, int sender,
                                    const std::vector<std::uint8_t>& choices) {
   const int receiver = 1 - sender;
   const std::size_t n = tables.size();
-  // Same transcript shape and sizes as the DH mode so traffic accounting is
-  // identical; contents are placeholder zeros (ideal functionality).
-  ctx.chan(receiver).send_bytes(std::vector<std::uint8_t>(n * 8, 0));
-  (void)ctx.chan(sender).recv_bytes();
-  ctx.chan(sender).send_bytes(std::vector<std::uint8_t>(8 + n * kOtFanIn, 0));
-  (void)ctx.chan(receiver).recv_bytes();
+  // Ideal functionality with the DH mode's exact transcript shape and
+  // sizes, so traffic accounting is identical.  The receiver's message
+  // carries its choices in the clear (one byte of each 8-byte slot) and
+  // the sender places each chosen entry unmasked at its table slot: no
+  // obliviousness — that is the point of the fast path — but the dance
+  // works across two processes, where the receiver's process does not
+  // know the sender's tables.
   std::vector<std::uint8_t> out(n);
-  for (std::size_t t = 0; t < n; ++t) out[t] = tables[t][choices[t]];
+  if (ctx.runs(receiver)) {
+    std::vector<std::uint8_t> msg(n * 8, 0);
+    for (std::size_t t = 0; t < n; ++t) msg[t * 8] = choices[t];
+    ctx.chan(receiver).send_bytes(msg);
+  }
+  if (ctx.runs(sender)) {
+    const std::vector<std::uint8_t> msg = ctx.chan(sender).recv_bytes();
+    if (msg.size() != n * 8) throw std::logic_error("ot_1of4: batch size mismatch");
+    std::vector<std::uint8_t> reply(8 + n * kOtFanIn, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::uint8_t c = msg[t * 8];
+      if (c >= kOtFanIn) throw std::logic_error("ot_1of4: choice out of range on the wire");
+      reply[8 + t * kOtFanIn + c] = tables[t][c];
+    }
+    ctx.chan(sender).send_bytes(reply);
+  }
+  if (ctx.runs(receiver)) {
+    const std::vector<std::uint8_t> reply = ctx.chan(receiver).recv_bytes();
+    if (reply.size() != 8 + n * kOtFanIn) {
+      throw std::logic_error("ot_1of4: reply size mismatch");
+    }
+    for (std::size_t t = 0; t < n; ++t) out[t] = reply[8 + t * kOtFanIn + choices[t]];
+  }
   return out;
 }
 

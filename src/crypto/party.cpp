@@ -127,13 +127,36 @@ TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, ExecMode mod
   if (mode == ExecMode::threaded) runtime_ = std::make_unique<TwoPartyRuntime>();
 }
 
+TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, int local_party,
+                                 Channel& channel)
+    : rc_(rc), mode_(ExecMode::lockstep), local_party_(local_party), remote_chan_(&channel),
+      round_delay_(0), dealer_(rc, splitmix64(seed)), dealer_source_(dealer_, rc),
+      prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)), opens_(*this),
+      ots_(std::make_unique<OtBuffer>(*this)), bit_opens_(std::make_unique<BitOpenBuffer>(*this)) {
+  if (local_party != 0 && local_party != 1) {
+    throw std::invalid_argument("TwoPartyContext: local_party must be 0 or 1");
+  }
+  // Only the borrowed local endpoint is addressable; chan() on the peer
+  // slot throws.  Both parties' PRNGs and the dealer are still constructed
+  // from the shared seed — the simulation's trusted-setup model — so the
+  // two processes' randomness streams coincide and only their channel
+  // traffic is real.
+}
+
 TwoPartyContext::~TwoPartyContext() {
   // Wake any party thread still blocked on the channels before the runtime
-  // destructor joins them.
-  if (chan0_) chan0_->close();
+  // destructor joins them.  A remote context borrows its endpoint — the
+  // connection outlives the per-query context, so it is left open.
+  if (remote_chan_ == nullptr) chan0_->close();
 }
 
 void TwoPartyContext::exec(const std::function<void()>& f0, const std::function<void()>& f1) {
+  if (local_party_ >= 0) {
+    // Remote context: this process IS one party; its peer runs the other
+    // closure in its own process.
+    (local_party_ == 0 ? f0 : f1)();
+    return;
+  }
   if (!runtime_) {
     f0();
     f1();
@@ -170,9 +193,19 @@ void TwoPartyContext::exchange(const std::function<void()>& send0,
   // Both directions are concurrently in flight: the whole exchange is one
   // latency-critical round (matching perf::OpCost::rounds), however many
   // messages it carries.
-  chan0_->begin_round();
+  local_chan().begin_round();
   try {
-    if (runtime_) {
+    if (local_party_ >= 0) {
+      // Remote: run the local party's half; the peer's half executes in the
+      // other process, its messages arriving over the transport.
+      if (local_party_ == 0) {
+        send0();
+        recv0();
+      } else {
+        send1();
+        recv1();
+      }
+    } else if (runtime_) {
       exec(
           [&] {
             send0();
@@ -189,10 +222,10 @@ void TwoPartyContext::exchange(const std::function<void()>& send0,
       recv1();
     }
   } catch (...) {
-    chan0_->end_round();
+    local_chan().end_round();
     throw;
   }
-  chan0_->end_round();
+  local_chan().end_round();
 }
 
 // ---------------------------------------------------------------------------
@@ -249,12 +282,16 @@ void OpenBuffer::set_coalescing(bool on) {
 RingVec open(TwoPartyContext& ctx, const Shared& x) {
   const int wb = ctx.wire_bytes();
   // Both directions in one parallel round; under the threaded runtime the
-  // two parties' send+recv halves execute concurrently.
+  // two parties' send+recv halves execute concurrently.  In a remote
+  // context only the local half runs: the local share goes out, the peer's
+  // arrives, and the sum is the same public value either process computes.
   RingVec from0, from1;
   ctx.exchange([&] { ctx.chan(0).send_ring(x.s0, wb); },
                [&] { ctx.chan(1).send_ring(x.s1, wb); },
                [&] { from1 = ctx.chan(0).recv_ring(x.size(), wb); },
                [&] { from0 = ctx.chan(1).recv_ring(x.size(), wb); });
+  if (ctx.local_party() == 0) return add_vec(x.s0, from1, ctx.ring());
+  if (ctx.local_party() == 1) return add_vec(from0, x.s1, ctx.ring());
   return add_vec(from0, from1, ctx.ring());
 }
 

@@ -28,6 +28,19 @@
 // pending in ONE symmetric exchange — same values, same dealer/PRNG draw
 // order, fewer rounds.  That is what keeps the coalesced executor's logits
 // bit-identical to the eager path while its round count drops.
+//
+// Remote (two-process) deployment: a context constructed with a local
+// party id and a single channel endpoint (src/net's TransportChannel over
+// TCP) drives ONE party; the peer party runs the same program in another
+// process.  exec/exchange run only the local closure, joint openings
+// combine the local share with the received peer share, and the per-party
+// PRNG and dealer streams keep advancing identically in both processes
+// (they are seeded from the shared context seed — the simulation's
+// trusted-setup model), which is what keeps a two-process run's transcript
+// and logits bit-identical to the in-process modes.  Peer-share slots of
+// local `Shared` values are garbage in a remote process; protocol code
+// never mixes shares across parties outside channel exchanges, so they
+// are never read.
 
 #include <cstdint>
 #include <functional>
@@ -120,6 +133,15 @@ class TwoPartyContext {
   explicit TwoPartyContext(RingConfig rc = RingConfig{}, std::uint64_t seed = 42,
                            ExecMode mode = ExecMode::lockstep,
                            std::chrono::microseconds round_delay = std::chrono::microseconds{0});
+  /// Remote (two-process) context: drives `local_party` only, over the
+  /// given channel endpoint (the peer party runs in another process on the
+  /// other end).  The channel is borrowed, not owned — a deployment keeps
+  /// one connection per party pair and runs a fresh per-query context over
+  /// it, mirroring the in-process batch path's fresh per-query contexts.
+  /// Both processes must construct with the same ring and seed so their
+  /// PRNG/dealer streams — the simulation's shared trusted setup — stay
+  /// aligned.
+  TwoPartyContext(RingConfig rc, std::uint64_t seed, int local_party, Channel& channel);
   ~TwoPartyContext();
   TwoPartyContext(const TwoPartyContext&) = delete;
   TwoPartyContext& operator=(const TwoPartyContext&) = delete;
@@ -137,10 +159,30 @@ class TwoPartyContext {
   void set_triple_source(TripleSource* source) noexcept {
     triple_source_ = source != nullptr ? source : &dealer_source_;
   }
-  [[nodiscard]] Channel& chan(int party) { return party == 0 ? *chan0_ : *chan1_; }
+  [[nodiscard]] Channel& chan(int party) {
+    if (remote_chan_ != nullptr) {
+      if (party != local_party_) {
+        throw std::logic_error("TwoPartyContext::chan: peer channel not addressable in a "
+                               "remote (single-party) context");
+      }
+      return *remote_chan_;
+    }
+    return party == 0 ? *chan0_ : *chan1_;
+  }
   [[nodiscard]] Prng& prng(int party) noexcept { return party == 0 ? prng0_ : prng1_; }
   [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
   [[nodiscard]] std::chrono::microseconds round_delay() const noexcept { return round_delay_; }
+
+  /// The party this context drives: -1 when both run in-process (the
+  /// simulation modes), 0 or 1 for a remote two-process context.
+  [[nodiscard]] int local_party() const noexcept { return local_party_; }
+  /// Whether this context executes `party`'s side of the protocol.  The
+  /// protocol implementations gate channel operations and role-specific
+  /// compute on this; PRNG and dealer draws stay ungated so both
+  /// processes' randomness streams remain aligned.
+  [[nodiscard]] bool runs(int party) const noexcept {
+    return local_party_ < 0 || local_party_ == party;
+  }
 
   /// The context's open staging buffer (see OpenBuffer).
   [[nodiscard]] OpenBuffer& opens() noexcept { return opens_; }
@@ -173,12 +215,21 @@ class TwoPartyContext {
   /// Modeled on-wire bytes per ring element (4 for the paper's 32-bit ring).
   [[nodiscard]] int wire_bytes() const noexcept { return (rc_.wire_bits + 7) / 8; }
 
-  [[nodiscard]] const TrafficStats& stats() const noexcept { return chan0_->stats(); }
-  void reset_stats() { chan0_->reset_stats(); }
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return local_chan().stats(); }
+  void reset_stats() { local_chan().reset_stats(); }
 
  private:
+  /// The endpoint this context meters: party 0's for the in-process modes
+  /// (the pair shares one meter), the borrowed endpoint for a remote
+  /// context.
+  [[nodiscard]] Channel& local_chan() const noexcept {
+    return remote_chan_ != nullptr ? *remote_chan_ : *chan0_;
+  }
+
   RingConfig rc_;
   ExecMode mode_;
+  int local_party_ = -1;
+  Channel* remote_chan_ = nullptr;  // borrowed (remote contexts only)
   std::chrono::microseconds round_delay_;
   std::unique_ptr<Channel> chan0_;
   std::unique_ptr<Channel> chan1_;

@@ -230,7 +230,8 @@ ExecResult execute(const SecureProgram& p, const CompiledParams& params,
     if (opts.layer_hook) opts.layer_hook(op.layer);
     switch (op.kind) {
       case OpKind::input:
-        deliver(i, proto::share_tensor(input, input_prng, rc));
+        deliver(i, opts.input_shares != nullptr ? *opts.input_shares
+                                                : proto::share_tensor(input, input_prng, rc));
         break;
       case OpKind::avgpool:
         deliver(i, proto::secure_avgpool(ctx, in(), op.kernel, op.stride, op.pad));

@@ -1,0 +1,249 @@
+#include "net/dealer.hpp"
+
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "net/wire.hpp"
+
+namespace pasnet::net {
+
+namespace {
+
+// Dealer-layer status and op codes.
+constexpr std::uint8_t kStatusOk = 0;
+constexpr std::uint8_t kStatusRefill = 1;
+constexpr std::uint8_t kStatusExhausted = 2;
+constexpr std::uint8_t kStatusError = 3;
+constexpr std::uint8_t kOpClaim = 1;
+constexpr std::uint8_t kOpBye = 2;
+
+std::vector<std::uint8_t> serialize_bundle(const offline::QueryBundle& b) {
+  std::ostringstream os(std::ios::binary);
+  offline::write_bundle(os, b);
+  const std::string s = os.str();
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+offline::QueryBundle deserialize_bundle(const std::vector<std::uint8_t>& bytes) {
+  std::istringstream is(std::string(bytes.begin(), bytes.end()), std::ios::binary);
+  try {
+    return offline::read_bundle(is);
+  } catch (const std::runtime_error& e) {
+    // Normalize store-codec failures on the wire into the transport's
+    // typed error space.
+    throw WireError(std::string("dealer: malformed bundle payload: ") + e.what());
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+class DealerServer::Impl {
+ public:
+  std::mutex m;
+  // claimed[p][q]: party p already took bundle q.  A party-2 (both-halves)
+  // client consumes both slots — it IS both parties material-wise.
+  std::vector<std::uint8_t> claimed[2];
+  std::uint64_t served = 0;
+};
+
+DealerServer::DealerServer(offline::TripleStore store, offline::ExhaustionPolicy policy,
+                           bool allow_both_halves)
+    : store_(std::move(store)), policy_(policy), allow_both_halves_(allow_both_halves),
+      impl_(std::make_unique<Impl>()) {
+  impl_->claimed[0].assign(store_.num_queries(), 0);
+  impl_->claimed[1].assign(store_.num_queries(), 0);
+}
+
+DealerServer::~DealerServer() = default;
+
+void DealerServer::serve(Listener& listener, int sessions, TransportOptions opts) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    // Accept on the caller's thread (sequential, simple); serve each
+    // accepted session on its own thread so the two parties' claims
+    // interleave freely.
+    std::unique_ptr<TcpTransport> t;
+    try {
+      t = TcpTransport::handshake(listener.accept(opts.connect_timeout), /*local_party=*/2,
+                                  SessionKind::dealer, opts, /*expect_any_party=*/true);
+    } catch (const NetError&) {
+      continue;  // a misdialed or hostile client consumed its slot
+    }
+    threads.emplace_back([this, t = std::move(t)]() mutable {
+      try {
+        serve_session(std::move(t));
+      } catch (const NetError&) {
+        // A client that violates the protocol mid-session only loses its
+        // own session; the daemon keeps serving the other party.
+      } catch (const std::runtime_error&) {
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::lock_guard<std::mutex> lk(impl_->m);
+  bundles_served_ = impl_->served;
+}
+
+void DealerServer::serve_session(std::unique_ptr<TcpTransport> transport) {
+  // HELLO: party + plan fingerprint.
+  const std::vector<std::uint8_t> hello = transport->recv_frame();
+  WireReader hr(hello);
+  const int party = hr.get_u8();
+  const std::uint64_t fingerprint = hr.get_u64();
+  hr.expect_end();
+
+  WireWriter info;
+  if (party != 0 && party != 1 && party != 2) {
+    info.put_u8(kStatusError);
+    info.put_string("dealer: invalid party id in hello");
+    transport->send_frame(info.take());
+    return;
+  }
+  if (party == 2 && !allow_both_halves_) {
+    // A network client's party id is self-declared; handing a computing
+    // party BOTH halves would let it reconstruct every mask.
+    info.put_u8(kStatusError);
+    info.put_string("dealer: both-halves (party 2) claims are disabled on this daemon");
+    transport->send_frame(info.take());
+    return;
+  }
+  if (fingerprint != store_.plan_fingerprint()) {
+    info.put_u8(kStatusError);
+    info.put_string("dealer: plan fingerprint mismatch (store was generated for a "
+                    "different model/plan)");
+    transport->send_frame(info.take());
+    return;
+  }
+  info.put_u8(kStatusOk);
+  info.put_u64(store_.plan_fingerprint());
+  info.put_u64(static_cast<std::uint64_t>(store_.ring().bits));
+  info.put_u64(static_cast<std::uint64_t>(store_.ring().frac_bits));
+  info.put_u64(static_cast<std::uint64_t>(store_.ring().wire_bits));
+  info.put_u64(store_.num_queries());
+  info.put_u8(static_cast<std::uint8_t>(policy_));
+  transport->send_frame(info.take());
+
+  for (;;) {
+    // A clean disconnect at a frame boundary is a silent goodbye; a frame
+    // cut mid-message still propagates as FrameError (hostile/broken peer).
+    const std::optional<std::vector<std::uint8_t>> req = transport->try_recv_frame();
+    if (!req.has_value()) return;
+    WireReader rr(*req);
+    const std::uint8_t op = rr.get_u8();
+    if (op == kOpBye) return;
+    if (op != kOpClaim) throw WireError("dealer: unknown op from client");
+    const std::uint64_t index = rr.get_u64();
+    rr.expect_end();
+
+    WireWriter resp;
+    if (index >= store_.num_queries()) {
+      // Past the pregenerated material: the store's exhaustion policy
+      // decides, exactly like the in-process StoreTripleSource.
+      if (policy_ == offline::ExhaustionPolicy::Refill) {
+        resp.put_u8(kStatusRefill);
+      } else {
+        resp.put_u8(kStatusExhausted);
+        resp.put_string("TripleStore exhausted: pregenerate more queries or serve with "
+                        "ExhaustionPolicy::Refill");
+      }
+      transport->send_frame(resp.take());
+      continue;
+    }
+    {
+      // Atomic claim: each (party, index) is handed out exactly once.
+      std::lock_guard<std::mutex> lk(impl_->m);
+      const bool taken = party == 2
+                             ? (impl_->claimed[0][index] != 0 || impl_->claimed[1][index] != 0)
+                             : impl_->claimed[party][index] != 0;
+      if (taken) {
+        resp.put_u8(kStatusError);
+        resp.put_string("dealer: bundle " + std::to_string(index) +
+                        " already claimed for this party");
+        transport->send_frame(resp.take());
+        continue;
+      }
+      if (party == 2) {
+        impl_->claimed[0][index] = impl_->claimed[1][index] = 1;
+      } else {
+        impl_->claimed[party][index] = 1;
+      }
+      ++impl_->served;
+    }
+    resp.put_u8(kStatusOk);
+    resp.put_u64(index);
+    resp.put_bytes(serialize_bundle(
+        offline::slice_bundle_for_party(store_.bundle(static_cast<std::size_t>(index)), party)));
+    transport->send_frame(resp.take());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+DealerClient::DealerClient(const std::string& host, std::uint16_t port, int party,
+                           std::uint64_t plan_fingerprint, TransportOptions opts) {
+  transport_ = TcpTransport::connect(host, port, party, SessionKind::dealer, opts);
+  WireWriter hello;
+  hello.put_u8(static_cast<std::uint8_t>(party));
+  hello.put_u64(plan_fingerprint);
+  transport_->send_frame(hello.take());
+
+  const std::vector<std::uint8_t> info = transport_->recv_frame();
+  WireReader ir(info);
+  const std::uint8_t status = ir.get_u8();
+  if (status != kStatusOk) throw DealerError(ir.get_string());
+  info_.fingerprint = ir.get_u64();
+  info_.ring.bits = static_cast<int>(ir.get_u64());
+  info_.ring.frac_bits = static_cast<int>(ir.get_u64());
+  info_.ring.wire_bits = static_cast<int>(ir.get_u64());
+  info_.num_queries = ir.get_u64();
+  info_.policy = static_cast<offline::ExhaustionPolicy>(ir.get_u8());
+  ir.expect_end();
+}
+
+DealerClient::~DealerClient() { bye(); }
+
+std::optional<offline::QueryBundle> DealerClient::claim(std::uint64_t index) {
+  WireWriter req;
+  req.put_u8(kOpClaim);
+  req.put_u64(index);
+  transport_->send_frame(req.take());
+
+  const std::vector<std::uint8_t> resp = transport_->recv_frame();
+  WireReader rr(resp);
+  const std::uint8_t status = rr.get_u8();
+  switch (status) {
+    case kStatusOk: {
+      const std::uint64_t got = rr.get_u64();
+      if (got != index) throw DealerError("dealer: claim index mismatch in response");
+      return deserialize_bundle(rr.get_bytes());
+    }
+    case kStatusRefill:
+      return std::nullopt;
+    case kStatusExhausted:
+      throw offline::TripleStoreExhausted(rr.get_string());
+    default:
+      throw DealerError(rr.get_string());
+  }
+}
+
+void DealerClient::bye() noexcept {
+  if (said_bye_ || transport_ == nullptr) return;
+  said_bye_ = true;
+  try {
+    WireWriter req;
+    req.put_u8(kOpBye);
+    transport_->send_frame(req.take());
+  } catch (...) {
+  }
+  transport_->close();
+}
+
+}  // namespace pasnet::net

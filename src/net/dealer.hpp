@@ -1,0 +1,129 @@
+#pragma once
+// Networked dealer service: a daemon that loads a serialized TripleStore
+// and serves bundle claims over the framed transport — the deployment
+// shape the store's file format was built for (ROADMAP: "a networked
+// dealer service … would complete the deployment story").
+//
+// Session flow (all messages are transport frames with
+// SessionKind::dealer; the TCP-level handshake has already pinned magic
+// and protocol version):
+//
+//   client HELLO   u8 party (0 / 1 / 2 = both halves) | u64 plan_fingerprint
+//   server INFO    u8 status | on ok: u64 fingerprint, u64 ring bits,
+//                  u64 frac_bits, u64 wire_bits, u64 num_queries,
+//                  u8 policy | on error: string reason
+//   client CLAIM   u8 op=1 | u64 query_index
+//   server BUNDLE  u8 status | u64 index | bundle bytes   (status ok)
+//                  u8 status                              (refill: client
+//                  falls back to its canonically-seeded local dealer)
+//                  u8 status | string reason              (error/exhausted)
+//   client BYE     u8 op=2  (or clean EOF)
+//
+// Claims are atomic by (party, index): each party may claim each bundle
+// exactly once — party 0's k-th query and party 1's k-th query both map to
+// bundle k, which is what keeps a two-process store-served run's dealer
+// stream identical to the in-process claim_next() order.  The served
+// bytes are party-sliced (slice_bundle_for_party), so neither party ever
+// receives the other's share halves.  The store's Throw/Refill exhaustion
+// policies are preserved: a claim past the last pregenerated bundle is a
+// typed TripleStoreExhausted under Throw and a "refill" verdict under
+// Refill (the client regenerates from the query's canonical seed, exactly
+// like the in-process fallback).
+//
+// The fingerprint in HELLO is checked against the store's — a client
+// compiled for a different model/plan (including the label-only classify
+// plan, which fingerprints differently) is refused before any material
+// moves.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "offline/triple_store.hpp"
+
+namespace pasnet::net {
+
+/// Raised on dealer-protocol violations and refusals (fingerprint
+/// mismatch, double claim, server-reported errors).
+class DealerError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+/// What the dealer advertises after a successful hello.
+struct DealerInfo {
+  crypto::RingConfig ring;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t num_queries = 0;
+  offline::ExhaustionPolicy policy = offline::ExhaustionPolicy::Throw;
+};
+
+/// Serves one TripleStore to party clients.  Thread-safe claim bookkeeping;
+/// one thread per accepted session (serve() joins them all).
+class DealerServer {
+ public:
+  /// `allow_both_halves` gates party-2 claims (the full, unsliced bundle).
+  /// OFF by default: a networked client self-declares its party id, so a
+  /// both-halves claim would let one computing party pull the other's
+  /// share halves and reconstruct every mask.  Enable only for trusted
+  /// single-process consumers (e.g. an in-process serving tier drawing
+  /// from a remote dealer).
+  DealerServer(offline::TripleStore store, offline::ExhaustionPolicy policy,
+               bool allow_both_halves = false);
+  ~DealerServer();
+
+  /// Accepts and serves exactly `sessions` client sessions (a two-party
+  /// deployment is 2), then returns.  Sessions are served concurrently —
+  /// the two parties interleave their claims.  A session that fails its
+  /// handshake or hello still counts (the slot was consumed); the first
+  /// transport-level listener error propagates.
+  void serve(Listener& listener, int sessions, TransportOptions opts = TransportOptions{});
+
+  [[nodiscard]] const offline::TripleStore& store() const noexcept { return store_; }
+  /// Bundles actually shipped (post-serve reporting).
+  [[nodiscard]] std::uint64_t bundles_served() const noexcept { return bundles_served_; }
+
+ private:
+  class Impl;
+  void serve_session(std::unique_ptr<TcpTransport> transport);
+
+  offline::TripleStore store_;
+  offline::ExhaustionPolicy policy_;
+  bool allow_both_halves_;
+  std::uint64_t bundles_served_ = 0;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One party's connection to the dealer daemon.
+class DealerClient {
+ public:
+  /// Dials the daemon, runs the transport handshake and the dealer hello.
+  /// `party` is 0/1 for a remote party process or 2 for an in-process
+  /// consumer wanting both halves.  Throws DealerError if the daemon's
+  /// store was generated for a different plan fingerprint.
+  DealerClient(const std::string& host, std::uint16_t port, int party,
+               std::uint64_t plan_fingerprint, TransportOptions opts = TransportOptions{});
+  ~DealerClient();
+
+  [[nodiscard]] const DealerInfo& info() const noexcept { return info_; }
+
+  /// Claims bundle `index`.  Returns the party-sliced bundle, or
+  /// std::nullopt when the store is exhausted under Refill (the caller
+  /// falls back to its canonically-seeded local dealer).  Under Throw,
+  /// exhaustion raises offline::TripleStoreExhausted; a double claim or
+  /// other refusal raises DealerError.
+  [[nodiscard]] std::optional<offline::QueryBundle> claim(std::uint64_t index);
+
+  /// Polite goodbye (also sent by the destructor).
+  void bye() noexcept;
+
+ private:
+  std::unique_ptr<TcpTransport> transport_;
+  DealerInfo info_;
+  bool said_bye_ = false;
+};
+
+}  // namespace pasnet::net

@@ -1,0 +1,153 @@
+#include "net/party_session.hpp"
+
+#include "net/wire.hpp"
+#include "proto/secure_network.hpp"
+
+namespace pasnet::net {
+
+std::unique_ptr<TransportChannel> serve_party_channel(Listener& listener, int local_party,
+                                                      TransportOptions opts) {
+  return std::make_unique<TransportChannel>(
+      TcpTransport::accept(listener, local_party, SessionKind::party_channel, opts),
+      local_party);
+}
+
+std::unique_ptr<TransportChannel> dial_party_channel(const std::string& host,
+                                                     std::uint16_t port, int local_party,
+                                                     TransportOptions opts) {
+  return std::make_unique<TransportChannel>(
+      TcpTransport::connect(host, port, local_party, SessionKind::party_channel, opts),
+      local_party);
+}
+
+void send_tensor_share(crypto::Channel& chan, const proto::SecureTensor& t, int for_party) {
+  WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(t.shape.size()));
+  for (const int d : t.shape) w.put_u32(static_cast<std::uint32_t>(d));
+  w.put_ring_vec(for_party == 0 ? t.shares.s0 : t.shares.s1);
+  chan.send_bytes(w.take());
+}
+
+proto::SecureTensor recv_tensor_share(crypto::Channel& chan, int local_party) {
+  const std::vector<std::uint8_t> msg = chan.recv_bytes();
+  WireReader r(msg);
+  const std::uint32_t ndims = r.get_u32();
+  if (ndims > 8) throw WireError("tensor share: implausible rank");
+  proto::SecureTensor t;
+  std::size_t elems = 1;
+  for (std::uint32_t i = 0; i < ndims; ++i) {
+    const std::uint32_t d = r.get_u32();
+    if (d == 0 || d > (1U << 24)) throw WireError("tensor share: implausible dimension");
+    t.shape.push_back(static_cast<int>(d));
+    // Cap the running product BEFORE multiplying: a hostile shape like
+    // {2^24, 2^24, 2^16} must raise a typed error, not wrap std::size_t
+    // around to a small value that slips past the length check below.
+    if (elems > (std::size_t{1} << 28) / d) {
+      throw WireError("tensor share: implausible element count");
+    }
+    elems *= d;
+  }
+  crypto::RingVec half = r.get_ring_vec();
+  r.expect_end();
+  if (half.size() != elems) throw WireError("tensor share: element count mismatch");
+  // The peer half stays zero-filled at the same size: protocol math walks
+  // both halves positionally, and a remote process never reads the peer's
+  // values.
+  (local_party == 0 ? t.shares.s0 : t.shares.s1) = std::move(half);
+  (local_party == 0 ? t.shares.s1 : t.shares.s0).assign(elems, 0);
+  return t;
+}
+
+void PartySession::verify_plan(const offline::PreprocessingPlan& plan) {
+  WireWriter w;
+  w.put_u64(plan.fingerprint());
+  w.put_u32(static_cast<std::uint32_t>(rc_.bits));
+  w.put_u32(static_cast<std::uint32_t>(rc_.frac_bits));
+  w.put_u32(static_cast<std::uint32_t>(rc_.wire_bits));
+  // Symmetric exchange: both send, both receive (the channel is duplex).
+  chan_.send_bytes(w.bytes());
+  const std::vector<std::uint8_t> msg = chan_.recv_bytes();
+  WireReader r(msg);
+  const std::uint64_t peer_fp = r.get_u64();
+  const auto peer_bits = r.get_u32();
+  const auto peer_frac = r.get_u32();
+  const auto peer_wire = r.get_u32();
+  r.expect_end();
+  if (peer_fp != plan.fingerprint()) {
+    throw HandshakeError("session: peer compiled a different program (plan fingerprint "
+                         "mismatch)");
+  }
+  if (peer_bits != static_cast<std::uint32_t>(rc_.bits) ||
+      peer_frac != static_cast<std::uint32_t>(rc_.frac_bits) ||
+      peer_wire != static_cast<std::uint32_t>(rc_.wire_bits)) {
+    throw HandshakeError("session: ring configuration mismatch between the parties");
+  }
+}
+
+ir::ExecResult PartySession::run_query(const ir::SecureProgram& program,
+                                       const ir::CompiledParams& params, std::size_t q,
+                                       const nn::Tensor* input,
+                                       const RemoteSessionOptions& opts,
+                                       crypto::TrafficStats* stats_out) {
+  // --- setup frames (outside the metered window) ---------------------------
+  proto::SecureTensor input_shares;
+  if (party_ == 0) {
+    if (input == nullptr) {
+      throw std::invalid_argument("PartySession::run_query: party 0 owns the input");
+    }
+    // The executor's canonical client PRG: identical share values to the
+    // in-process input op, so logits stay bit-identical.
+    crypto::Prng input_prng(0xC11E47ULL);
+    input_shares = proto::share_tensor(*input, input_prng, rc_);
+    send_tensor_share(chan_, input_shares, /*for_party=*/1);
+  } else {
+    input_shares = recv_tensor_share(chan_, /*local_party=*/1);
+  }
+
+  // --- triple sourcing ------------------------------------------------------
+  // The per-query context seed follows the canonical batch/store path:
+  // store claims decide the index under TripleSourceKind::store, the
+  // explicit claim index under dealer, the stream position under fused.
+  std::optional<offline::QueryBundle> dealer_bundle;
+  offline::QueryBundle* bundle = nullptr;
+  std::size_t seed_idx = q;
+  switch (opts.source) {
+    case TripleSourceKind::fused:
+      break;
+    case TripleSourceKind::store: {
+      if (opts.store == nullptr) {
+        throw std::invalid_argument("PartySession::run_query: store source without a store");
+      }
+      const auto [idx, b] = opts.store->claim_next();
+      seed_idx = idx;
+      bundle = b;
+      break;
+    }
+    case TripleSourceKind::dealer: {
+      if (opts.dealer == nullptr) {
+        throw std::invalid_argument("PartySession::run_query: dealer source without a client");
+      }
+      dealer_bundle = opts.dealer->claim(q);
+      if (dealer_bundle.has_value()) bundle = &*dealer_bundle;
+      break;
+    }
+  }
+
+  // --- the metered query ----------------------------------------------------
+  chan_.reset_stats();
+  crypto::TwoPartyContext ctx(rc_, proto::SecureNetwork::query_context_seed(seed_idx), party_,
+                              chan_);
+  std::unique_ptr<offline::StoreTripleSource> source;
+  if (opts.source != TripleSourceKind::fused) {
+    source = std::make_unique<offline::StoreTripleSource>(bundle, ctx.dealer(), opts.policy);
+    ctx.set_triple_source(source.get());
+  }
+  ir::ExecOptions eopts;
+  eopts.cfg = opts.cfg;
+  eopts.input_shares = &input_shares;
+  ir::ExecResult res = ir::execute(program, params, ctx, nn::Tensor{}, eopts);
+  if (stats_out != nullptr) *stats_out = chan_.stats_snapshot();
+  return res;
+}
+
+}  // namespace pasnet::net

@@ -1,0 +1,91 @@
+#pragma once
+// Two-process inference sessions: the orchestration layer both the
+// examples (party_server / party_client) and the loopback self-tests
+// drive, so the tested path IS the deployed path.
+//
+// Topology: party 1 (the model-serving side) listens, party 0 (the input-
+// owning client) dials.  One TCP connection carries the whole session;
+// each query runs on a fresh remote TwoPartyContext borrowed over it,
+// seeded with the SAME canonical per-query seeds the in-process batch and
+// store paths use — which is what makes two-process logits bit-identical
+// to the in-process transcripts, query for query.
+//
+// Per query: party 0 computes the input sharing with the executor's
+// canonical client PRG and ships party 1's half as a setup frame (party 1
+// never sees the plaintext input); channel stats reset; the IR program
+// executes over the wire; the terminal opening reveals logits (or argmax
+// labels) to both sides.  Setup frames ride outside the metered window,
+// so TrafficStats cover exactly what the in-process meter covers.
+
+#include <optional>
+
+#include "ir/executor.hpp"
+#include "net/dealer.hpp"
+#include "net/transport_channel.hpp"
+#include "offline/preprocessing_plan.hpp"
+#include "offline/triple_store.hpp"
+
+namespace pasnet::net {
+
+/// Party 1 side: accept the peer and wrap the connection as a channel.
+[[nodiscard]] std::unique_ptr<TransportChannel> serve_party_channel(
+    Listener& listener, int local_party, TransportOptions opts = TransportOptions{});
+
+/// Party 0 side: dial the peer and wrap the connection as a channel.
+[[nodiscard]] std::unique_ptr<TransportChannel> dial_party_channel(
+    const std::string& host, std::uint16_t port, int local_party,
+    TransportOptions opts = TransportOptions{});
+
+/// Setup-frame transfer of one party's half of a shared tensor (shape +
+/// that half; the other half arrives zero-filled so share vectors stay
+/// size-aligned).  Runs over the channel BEFORE the metered window.
+void send_tensor_share(crypto::Channel& chan, const proto::SecureTensor& t, int for_party);
+[[nodiscard]] proto::SecureTensor recv_tensor_share(crypto::Channel& chan, int local_party);
+
+/// Where a remote session's correlated randomness comes from.
+enum class TripleSourceKind {
+  fused,   ///< per-query context dealer (the canonical shared-seed setup)
+  store,   ///< a locally loaded TripleStore file (claim_next order)
+  dealer,  ///< bundle claims from a pasnet_dealer daemon
+};
+
+/// Per-session execution knobs.
+struct RemoteSessionOptions {
+  proto::SecureConfig cfg;
+  TripleSourceKind source = TripleSourceKind::fused;
+  offline::TripleStore* store = nullptr;  ///< TripleSourceKind::store (borrowed)
+  DealerClient* dealer = nullptr;         ///< TripleSourceKind::dealer (borrowed)
+  offline::ExhaustionPolicy policy = offline::ExhaustionPolicy::Throw;
+};
+
+/// One party's side of a two-process inference session.
+class PartySession {
+ public:
+  PartySession(int local_party, crypto::Channel& chan, crypto::RingConfig rc)
+      : party_(local_party), chan_(chan), rc_(rc) {}
+
+  /// Cross-checks that both processes compiled the same program for the
+  /// same ring: exchanges the preprocessing-plan fingerprint and ring
+  /// parameters and raises HandshakeError on any disagreement.  Run once
+  /// before the first query.
+  void verify_plan(const offline::PreprocessingPlan& plan);
+
+  /// Runs query `q`.  Party 0 passes the plaintext input; party 1 passes
+  /// nullptr and receives its input-share half over the session.  Returns
+  /// the jointly opened result (logits, or labels for argmax programs);
+  /// `stats_out`, when set, receives the query's metered traffic.
+  [[nodiscard]] ir::ExecResult run_query(const ir::SecureProgram& program,
+                                         const ir::CompiledParams& params, std::size_t q,
+                                         const nn::Tensor* input,
+                                         const RemoteSessionOptions& opts,
+                                         crypto::TrafficStats* stats_out = nullptr);
+
+  [[nodiscard]] int party() const noexcept { return party_; }
+
+ private:
+  int party_;
+  crypto::Channel& chan_;
+  crypto::RingConfig rc_;
+};
+
+}  // namespace pasnet::net

@@ -1,0 +1,243 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+namespace pasnet::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw SocketError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Polls fd for `events` up to the deadline; SocketTimeout on expiry.
+void poll_or_throw(int fd, short events, std::chrono::steady_clock::time_point deadline,
+                   const char* what) {
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) throw SocketTimeout(std::string(what) + ": timed out");
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left > 0 ? left : 1));
+    if (rc > 0) return;
+    if (rc == 0) throw SocketTimeout(std::string(what) + ": timed out");
+    if (errno != EINTR) throw_errno(what);
+  }
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const std::uint8_t* data, std::size_t len,
+                      std::chrono::milliseconds timeout) {
+  if (fd_ < 0) throw SocketError("send: socket closed");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::size_t off = 0;
+  while (off < len) {
+    const auto n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      poll_or_throw(fd_, POLLOUT, deadline, "send");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+std::size_t Socket::send_some(const std::uint8_t* data, std::size_t len) {
+  if (fd_ < 0) throw SocketError("send: socket closed");
+  for (;;) {
+    const auto n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+std::ptrdiff_t Socket::recv_some(std::uint8_t* data, std::size_t len) {
+  if (fd_ < 0) throw SocketError("recv: socket closed");
+  for (;;) {
+    const auto n = ::recv(fd_, data, len, 0);
+    if (n > 0) return n;
+    if (n == 0) return -1;  // clean EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+Socket::Ready Socket::wait_ready(bool want_read, bool want_write,
+                                 std::chrono::steady_clock::time_point deadline,
+                                 const char* what) {
+  if (fd_ < 0) throw SocketError("poll: socket closed");
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) throw SocketTimeout(std::string(what) + ": timed out");
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = static_cast<short>((want_read ? POLLIN : 0) | (want_write ? POLLOUT : 0));
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left > 0 ? left : 1));
+    if (rc > 0) {
+      Ready r;
+      r.readable = (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+      r.writable = (pfd.revents & (POLLOUT | POLLHUP | POLLERR)) != 0;
+      return r;
+    }
+    if (rc == 0) throw SocketTimeout(std::string(what) + ": timed out");
+    if (errno != EINTR) throw_errno(what);
+  }
+}
+
+bool Socket::recv_all(std::uint8_t* data, std::size_t len, std::chrono::milliseconds timeout,
+                      bool eof_ok) {
+  if (fd_ < 0) throw SocketError("recv: socket closed");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::size_t off = 0;
+  while (off < len) {
+    const auto n = ::recv(fd_, data + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (off == 0 && eof_ok) return false;
+      throw FrameError("recv: peer closed the stream mid-message (short read)");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      poll_or_throw(fd_, POLLIN, deadline, "recv");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+  return true;
+}
+
+Listener::Listener(std::uint16_t port, const std::string& bind_addr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sock_ = Socket(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("bind: invalid address " + bind_addr);
+  }
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd, 8) < 0) throw_errno("listen");
+  socklen_t alen = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &alen) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(fd);
+}
+
+Socket Listener::accept(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      set_nonblocking(fd);
+      return Socket(fd);
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      poll_or_throw(sock_.fd(), POLLIN, deadline, "accept");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 || res == nullptr) {
+    throw ConnectError("connect: cannot resolve host " + host);
+  }
+  std::string last_error = "no address";
+  for (;;) {
+    for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        ::freeaddrinfo(res);
+        set_nodelay(fd);
+        set_nonblocking(fd);
+        return Socket(fd);
+      }
+      last_error = std::strerror(errno);
+      ::close(fd);
+    }
+    // The peer may simply not be listening yet (a party process racing its
+    // server); retry until the connect timeout runs out.
+    if (std::chrono::steady_clock::now() + std::chrono::milliseconds(50) >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ::freeaddrinfo(res);
+  throw ConnectError("connect to " + host + ":" + port_str + " failed: " + last_error);
+}
+
+}  // namespace pasnet::net

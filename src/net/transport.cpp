@@ -1,0 +1,164 @@
+#include "net/transport.hpp"
+
+#include <cstring>
+
+#include "net/errors.hpp"
+#include "net/wire.hpp"
+
+namespace pasnet::net {
+
+namespace {
+
+/// 8-byte hello payload: magic, version, party, kind.
+std::vector<std::uint8_t> hello_payload(int party, SessionKind kind) {
+  std::vector<std::uint8_t> h(8, 0);
+  put_u32_le(h.data(), kMagic);
+  h[4] = static_cast<std::uint8_t>(kProtocolVersion & 0xFF);
+  h[5] = static_cast<std::uint8_t>(kProtocolVersion >> 8);
+  h[6] = static_cast<std::uint8_t>(party);
+  h[7] = static_cast<std::uint8_t>(kind);
+  return h;
+}
+
+}  // namespace
+
+std::unique_ptr<TcpTransport> TcpTransport::connect(const std::string& host, std::uint16_t port,
+                                                    int local_party, SessionKind kind,
+                                                    TransportOptions opts) {
+  return handshake(connect_tcp(host, port, opts.connect_timeout), local_party, kind, opts);
+}
+
+std::unique_ptr<TcpTransport> TcpTransport::accept(Listener& listener, int local_party,
+                                                   SessionKind kind, TransportOptions opts) {
+  return handshake(listener.accept(opts.connect_timeout), local_party, kind, opts);
+}
+
+std::unique_ptr<TcpTransport> TcpTransport::handshake(Socket socket, int local_party,
+                                                      SessionKind kind, TransportOptions opts,
+                                                      bool expect_any_party) {
+  auto t = std::unique_ptr<TcpTransport>(new TcpTransport(std::move(socket), opts));
+  // Both sides send their hello first, then validate the peer's — a
+  // symmetric dance that cannot deadlock (both frames are tiny).
+  t->send_frame(hello_payload(local_party, kind));
+  const std::vector<std::uint8_t> peer = t->recv_frame();
+  if (peer.size() != 8) throw HandshakeError("handshake: malformed hello frame");
+  if (get_u32_le(peer.data()) != kMagic) {
+    throw HandshakeError("handshake: bad magic (not a pasnet peer)");
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(peer[4] | (static_cast<std::uint16_t>(peer[5]) << 8));
+  if (version != kProtocolVersion) {
+    throw HandshakeError("handshake: protocol version skew (peer v" + std::to_string(version) +
+                         ", local v" + std::to_string(kProtocolVersion) + ")");
+  }
+  const int peer_party = peer[6];
+  if (peer[7] != static_cast<std::uint8_t>(kind)) {
+    throw HandshakeError("handshake: session kind mismatch (wrong port?)");
+  }
+  // Dealer sessions are client->service, not party->party: the daemon
+  // presents itself as party 2 ("both") and learns the client's party from
+  // the hello, so only validity — not complementarity — is enforced.
+  if (expect_any_party || kind == SessionKind::dealer) {
+    if (peer_party != 0 && peer_party != 1 && peer_party != 2) {
+      throw HandshakeError("handshake: invalid peer party id " + std::to_string(peer_party));
+    }
+  } else if (peer_party != 1 - local_party) {
+    throw HandshakeError("handshake: wrong party id on the other end (peer says party " +
+                         std::to_string(peer_party) + ", expected party " +
+                         std::to_string(1 - local_party) + ")");
+  }
+  t->peer_party_ = peer_party;
+  return t;
+}
+
+void TcpTransport::parse_available() {
+  std::size_t off = 0;
+  for (;;) {
+    if (rx_buf_.size() - off < 4) break;
+    const std::uint32_t len = get_u32_le(rx_buf_.data() + off);
+    // Validate the prefix as soon as it is known — an oversized claim is a
+    // typed error before its payload could ever accumulate.
+    if (len > opts_.max_frame_bytes) {
+      throw FrameError("recv_frame: oversized length prefix (" + std::to_string(len) +
+                       " bytes; limit " + std::to_string(opts_.max_frame_bytes) + ")");
+    }
+    if (rx_buf_.size() - off - 4 < len) break;
+    inbox_.emplace_back(rx_buf_.begin() + static_cast<long>(off + 4),
+                        rx_buf_.begin() + static_cast<long>(off + 4 + len));
+    off += 4 + len;
+  }
+  if (off > 0) rx_buf_.erase(rx_buf_.begin(), rx_buf_.begin() + static_cast<long>(off));
+}
+
+void TcpTransport::pump_inbound() {
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const std::ptrdiff_t n = sock_.recv_some(chunk, sizeof(chunk));
+    if (n == 0) break;  // would block: drained everything available
+    if (n < 0) {
+      // Peer hung up while we still hold outbound data; remember the EOF
+      // for the recv paths and let the send fail naturally (EPIPE) if it
+      // cannot complete.
+      rx_eof_ = true;
+      break;
+    }
+    rx_buf_.insert(rx_buf_.end(), chunk, chunk + n);
+  }
+  parse_available();
+}
+
+void TcpTransport::send_frame(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > opts_.max_frame_bytes) {
+    throw FrameError("send_frame: payload exceeds max_frame_bytes");
+  }
+  std::vector<std::uint8_t> buf(4 + payload.size());
+  put_u32_le(buf.data(), static_cast<std::uint32_t>(payload.size()));
+  if (!payload.empty()) std::memcpy(buf.data() + 4, payload.data(), payload.size());
+  // Duplex pump: push bytes while the socket accepts them; when it would
+  // block, wait for writability OR readability and drain whatever inbound
+  // bytes are available in the meantime.  The drain is strictly
+  // non-blocking — two peers mid-symmetric-exchange whose frames exceed
+  // the socket buffers each make receive progress exactly as fast as the
+  // other sends, so neither can wedge.
+  const auto deadline = std::chrono::steady_clock::now() + opts_.io_timeout;
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const std::size_t n = sock_.send_some(buf.data() + off, buf.size() - off);
+    if (n > 0) {
+      off += n;
+      continue;
+    }
+    const Socket::Ready ready =
+        sock_.wait_ready(/*want_read=*/true, /*want_write=*/true, deadline, "send_frame");
+    if (ready.readable) pump_inbound();
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> TcpTransport::read_frame(bool eof_ok) {
+  const auto deadline = std::chrono::steady_clock::now() + opts_.io_timeout;
+  for (;;) {
+    if (!inbox_.empty()) {
+      std::vector<std::uint8_t> frame = std::move(inbox_.front());
+      inbox_.pop_front();
+      return frame;
+    }
+    if (rx_eof_) {
+      if (rx_buf_.empty() && eof_ok) return std::nullopt;
+      if (rx_buf_.empty()) throw FrameError("recv_frame: peer closed the connection");
+      throw FrameError("recv_frame: peer closed the stream mid-message (short read)");
+    }
+    (void)sock_.wait_ready(/*want_read=*/true, /*want_write=*/false, deadline, "recv");
+    pump_inbound();
+  }
+}
+
+std::vector<std::uint8_t> TcpTransport::recv_frame() {
+  std::optional<std::vector<std::uint8_t>> frame = read_frame(/*eof_ok=*/false);
+  return std::move(*frame);
+}
+
+std::optional<std::vector<std::uint8_t>> TcpTransport::try_recv_frame() {
+  return read_frame(/*eof_ok=*/true);
+}
+
+}  // namespace pasnet::net

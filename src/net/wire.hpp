@@ -1,0 +1,147 @@
+#pragma once
+// Little-endian payload codec for the transport subsystem's typed
+// messages (dealer protocol, channel sub-headers, share transfers).
+//
+// WireWriter appends primitives to a byte buffer; WireReader consumes them
+// with bounds checks that raise net::WireError on truncated or oversized
+// fields — the decoding half of the hostile-input contract (errors.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/ring.hpp"
+#include "net/errors.hpp"
+
+namespace pasnet::net {
+
+// Raw little-endian primitives over byte pointers — the single codec the
+// framing layer (transport.cpp) and the channel sub-header
+// (transport_channel.cpp) share with the message-level reader/writer.
+
+inline void put_u32_le(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+[[nodiscard]] inline std::uint32_t get_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+inline void put_u64_le(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+[[nodiscard]] inline std::uint64_t get_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Append-only little-endian encoder.
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  /// Length-prefixed byte blob.
+  void put_bytes(const std::vector<std::uint8_t>& v) {
+    put_u64(v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+  /// Length-prefixed UTF-8 string (diagnostics only).
+  void put_string(const std::string& s) {
+    put_u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Length-prefixed ring vector, 8 bytes per element.
+  void put_ring_vec(const crypto::RingVec& v) {
+    put_u64(v.size());
+    for (const std::uint64_t e : v) put_u64(e);
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a received payload.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  [[nodiscard]] std::uint8_t get_u8() { return need(1), buf_[pos_++]; }
+  [[nodiscard]] std::uint16_t get_u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> get_bytes() {
+    const std::uint64_t n = get_len();
+    need(n);
+    std::vector<std::uint8_t> v(buf_.begin() + static_cast<long>(pos_),
+                                buf_.begin() + static_cast<long>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return v;
+  }
+  [[nodiscard]] std::string get_string() {
+    const std::uint64_t n = get_len();
+    need(n);
+    std::string s(buf_.begin() + static_cast<long>(pos_),
+                  buf_.begin() + static_cast<long>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  [[nodiscard]] crypto::RingVec get_ring_vec() {
+    const std::uint64_t n = get_len();
+    need(n * 8);
+    crypto::RingVec v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(get_u64());
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+  /// Raises WireError unless the payload was consumed exactly.
+  void expect_end() const {
+    if (pos_ != buf_.size()) throw WireError("wire: trailing bytes after message");
+  }
+
+ private:
+  /// A length field may not promise more than the payload can hold — this
+  /// is what turns a hostile length into a typed error instead of a giant
+  /// allocation.
+  [[nodiscard]] std::uint64_t get_len() {
+    const std::uint64_t n = get_u64();
+    if (n > buf_.size() - pos_) throw WireError("wire: length field exceeds payload");
+    return n;
+  }
+  void need(std::uint64_t n) const {
+    if (n > buf_.size() - pos_) throw WireError("wire: truncated message");
+  }
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pasnet::net

@@ -147,6 +147,143 @@ std::uint64_t TripleStore::material_bytes() const noexcept {
   return total;
 }
 
+void write_bundle(std::ostream& os, const QueryBundle& b) {
+  write_u64(os, b.elem.size());
+  write_u64(os, b.square.size());
+  write_u64(os, b.matmul.size());
+  write_u64(os, b.bit.size());
+  write_u64(os, b.bilinear.size());
+  for (const auto& t : b.elem) {
+    write_shared(os, t.a);
+    write_shared(os, t.b);
+    write_shared(os, t.z);
+  }
+  for (const auto& p : b.square) {
+    write_shared(os, p.a);
+    write_shared(os, p.z);
+  }
+  for (const auto& t : b.matmul) {
+    write_u64(os, t.m);
+    write_u64(os, t.k);
+    write_u64(os, t.n);
+    write_shared(os, t.a);
+    write_shared(os, t.b);
+    write_shared(os, t.z);
+  }
+  for (const auto& t : b.bit) {
+    write_bytes(os, t.a0);
+    write_bytes(os, t.a1);
+    write_bytes(os, t.b0);
+    write_bytes(os, t.b1);
+    write_bytes(os, t.c0);
+    write_bytes(os, t.c1);
+  }
+  for (const auto& t : b.bilinear) {
+    write_shared(os, t.a);
+    write_shared(os, t.b);
+    write_shared(os, t.z);
+  }
+}
+
+QueryBundle read_bundle(std::istream& is) {
+  QueryBundle b;
+  const std::uint64_t n_elem = read_u64(is);
+  const std::uint64_t n_square = read_u64(is);
+  const std::uint64_t n_matmul = read_u64(is);
+  const std::uint64_t n_bit = read_u64(is);
+  const std::uint64_t n_bilinear = read_u64(is);
+  if (n_elem > kMaxVecElems || n_square > kMaxVecElems || n_matmul > kMaxVecElems ||
+      n_bit > kMaxVecElems || n_bilinear > kMaxVecElems) {
+    throw std::runtime_error("TripleStore: implausible pool size");
+  }
+  b.elem.resize(static_cast<std::size_t>(n_elem));
+  for (auto& t : b.elem) {
+    t.a = read_shared(is, kMaxVecElems);
+    t.b = read_shared(is, kMaxVecElems);
+    t.z = read_shared(is, kMaxVecElems);
+  }
+  b.square.resize(static_cast<std::size_t>(n_square));
+  for (auto& p : b.square) {
+    p.a = read_shared(is, kMaxVecElems);
+    p.z = read_shared(is, kMaxVecElems);
+  }
+  b.matmul.resize(static_cast<std::size_t>(n_matmul));
+  for (auto& t : b.matmul) {
+    t.m = static_cast<std::size_t>(read_u64(is));
+    t.k = static_cast<std::size_t>(read_u64(is));
+    t.n = static_cast<std::size_t>(read_u64(is));
+    t.a = read_shared(is, kMaxVecElems);
+    t.b = read_shared(is, kMaxVecElems);
+    t.z = read_shared(is, kMaxVecElems);
+    if (t.a.size() != t.m * t.k || t.b.size() != t.k * t.n || t.z.size() != t.m * t.n) {
+      throw std::runtime_error("TripleStore: matmul triple shape mismatch");
+    }
+  }
+  b.bit.resize(static_cast<std::size_t>(n_bit));
+  for (auto& t : b.bit) {
+    t.a0 = read_bytes(is, kMaxVecElems);
+    t.a1 = read_bytes(is, kMaxVecElems);
+    t.b0 = read_bytes(is, kMaxVecElems);
+    t.b1 = read_bytes(is, kMaxVecElems);
+    t.c0 = read_bytes(is, kMaxVecElems);
+    t.c1 = read_bytes(is, kMaxVecElems);
+    const std::size_t n = t.a0.size();
+    if (t.a1.size() != n || t.b0.size() != n || t.b1.size() != n || t.c0.size() != n ||
+        t.c1.size() != n) {
+      throw std::runtime_error("TripleStore: bit triple shape mismatch");
+    }
+  }
+  b.bilinear.resize(static_cast<std::size_t>(n_bilinear));
+  for (auto& t : b.bilinear) {
+    t.a = read_shared(is, kMaxVecElems);
+    t.b = read_shared(is, kMaxVecElems);
+    t.z = read_shared(is, kMaxVecElems);
+  }
+  return b;
+}
+
+QueryBundle slice_bundle_for_party(const QueryBundle& bundle, int party) {
+  if (party != 0 && party != 1 && party != 2) {
+    throw std::invalid_argument("slice_bundle_for_party: party must be 0, 1, or 2 (both)");
+  }
+  QueryBundle out = bundle;
+  if (party == 2) return out;
+  const auto wipe = [party](crypto::Shared& s) {
+    crypto::RingVec& peer = party == 0 ? s.s1 : s.s0;
+    std::fill(peer.begin(), peer.end(), 0);
+  };
+  const auto wipe_bits = [party](crypto::BitTriple& t) {
+    std::vector<std::uint8_t>* peer[3] = {&t.a1, &t.b1, &t.c1};
+    if (party == 1) {
+      peer[0] = &t.a0;
+      peer[1] = &t.b0;
+      peer[2] = &t.c0;
+    }
+    for (auto* v : peer) std::fill(v->begin(), v->end(), 0);
+  };
+  for (auto& t : out.elem) {
+    wipe(t.a);
+    wipe(t.b);
+    wipe(t.z);
+  }
+  for (auto& p : out.square) {
+    wipe(p.a);
+    wipe(p.z);
+  }
+  for (auto& t : out.matmul) {
+    wipe(t.a);
+    wipe(t.b);
+    wipe(t.z);
+  }
+  for (auto& t : out.bit) wipe_bits(t);
+  for (auto& t : out.bilinear) {
+    wipe(t.a);
+    wipe(t.b);
+    wipe(t.z);
+  }
+  return out;
+}
+
 void TripleStore::save(std::ostream& os) const {
   write_u64(os, kMagic);
   write_u64(os, kVersion);
@@ -155,43 +292,7 @@ void TripleStore::save(std::ostream& os) const {
   write_u64(os, static_cast<std::uint64_t>(rc_.wire_bits));
   write_u64(os, fingerprint_);
   write_u64(os, bundles_.size());
-  for (const QueryBundle& b : bundles_) {
-    write_u64(os, b.elem.size());
-    write_u64(os, b.square.size());
-    write_u64(os, b.matmul.size());
-    write_u64(os, b.bit.size());
-    write_u64(os, b.bilinear.size());
-    for (const auto& t : b.elem) {
-      write_shared(os, t.a);
-      write_shared(os, t.b);
-      write_shared(os, t.z);
-    }
-    for (const auto& p : b.square) {
-      write_shared(os, p.a);
-      write_shared(os, p.z);
-    }
-    for (const auto& t : b.matmul) {
-      write_u64(os, t.m);
-      write_u64(os, t.k);
-      write_u64(os, t.n);
-      write_shared(os, t.a);
-      write_shared(os, t.b);
-      write_shared(os, t.z);
-    }
-    for (const auto& t : b.bit) {
-      write_bytes(os, t.a0);
-      write_bytes(os, t.a1);
-      write_bytes(os, t.b0);
-      write_bytes(os, t.b1);
-      write_bytes(os, t.c0);
-      write_bytes(os, t.c1);
-    }
-    for (const auto& t : b.bilinear) {
-      write_shared(os, t.a);
-      write_shared(os, t.b);
-      write_shared(os, t.z);
-    }
-  }
+  for (const QueryBundle& b : bundles_) write_bundle(os, b);
   if (!os) throw std::runtime_error("TripleStore: write failed");
 }
 
@@ -218,59 +319,7 @@ TripleStore TripleStore::load(std::istream& is) {
 
   TripleStore store(rc, fingerprint, static_cast<std::size_t>(queries));
   for (std::uint64_t q = 0; q < queries; ++q) {
-    QueryBundle& b = store.bundles_[static_cast<std::size_t>(q)];
-    const std::uint64_t n_elem = read_u64(is);
-    const std::uint64_t n_square = read_u64(is);
-    const std::uint64_t n_matmul = read_u64(is);
-    const std::uint64_t n_bit = read_u64(is);
-    const std::uint64_t n_bilinear = read_u64(is);
-    if (n_elem > kMaxVecElems || n_square > kMaxVecElems || n_matmul > kMaxVecElems ||
-        n_bit > kMaxVecElems || n_bilinear > kMaxVecElems) {
-      throw std::runtime_error("TripleStore: implausible pool size");
-    }
-    b.elem.resize(static_cast<std::size_t>(n_elem));
-    for (auto& t : b.elem) {
-      t.a = read_shared(is, kMaxVecElems);
-      t.b = read_shared(is, kMaxVecElems);
-      t.z = read_shared(is, kMaxVecElems);
-    }
-    b.square.resize(static_cast<std::size_t>(n_square));
-    for (auto& p : b.square) {
-      p.a = read_shared(is, kMaxVecElems);
-      p.z = read_shared(is, kMaxVecElems);
-    }
-    b.matmul.resize(static_cast<std::size_t>(n_matmul));
-    for (auto& t : b.matmul) {
-      t.m = static_cast<std::size_t>(read_u64(is));
-      t.k = static_cast<std::size_t>(read_u64(is));
-      t.n = static_cast<std::size_t>(read_u64(is));
-      t.a = read_shared(is, kMaxVecElems);
-      t.b = read_shared(is, kMaxVecElems);
-      t.z = read_shared(is, kMaxVecElems);
-      if (t.a.size() != t.m * t.k || t.b.size() != t.k * t.n || t.z.size() != t.m * t.n) {
-        throw std::runtime_error("TripleStore: matmul triple shape mismatch");
-      }
-    }
-    b.bit.resize(static_cast<std::size_t>(n_bit));
-    for (auto& t : b.bit) {
-      t.a0 = read_bytes(is, kMaxVecElems);
-      t.a1 = read_bytes(is, kMaxVecElems);
-      t.b0 = read_bytes(is, kMaxVecElems);
-      t.b1 = read_bytes(is, kMaxVecElems);
-      t.c0 = read_bytes(is, kMaxVecElems);
-      t.c1 = read_bytes(is, kMaxVecElems);
-      const std::size_t n = t.a0.size();
-      if (t.a1.size() != n || t.b0.size() != n || t.b1.size() != n || t.c0.size() != n ||
-          t.c1.size() != n) {
-        throw std::runtime_error("TripleStore: bit triple shape mismatch");
-      }
-    }
-    b.bilinear.resize(static_cast<std::size_t>(n_bilinear));
-    for (auto& t : b.bilinear) {
-      t.a = read_shared(is, kMaxVecElems);
-      t.b = read_shared(is, kMaxVecElems);
-      t.z = read_shared(is, kMaxVecElems);
-    }
+    store.bundles_[static_cast<std::size_t>(q)] = read_bundle(is);
   }
   return store;
 }

@@ -51,6 +51,21 @@ struct QueryBundle {
   std::vector<crypto::BilinearTriple> bilinear;
 };
 
+/// Binary (de)serialization of one bundle — the unit the networked dealer
+/// service ships per claim.  Same little-endian layout the whole-store
+/// format uses (TripleStore::save/load are built on these); read_bundle
+/// applies the same structural validation and throws std::runtime_error on
+/// malformed input.
+void write_bundle(std::ostream& os, const QueryBundle& bundle);
+[[nodiscard]] QueryBundle read_bundle(std::istream& is);
+
+/// A copy of `bundle` holding only `party`'s share halves (the peer's are
+/// zeroed), or the full bundle for party 2 ("both", the in-process modes).
+/// Online recombination only ever touches a party's own halves, so a
+/// party-sliced bundle serves a remote process bit-identically while the
+/// dealer never ships one party's randomness to the other.
+[[nodiscard]] QueryBundle slice_bundle_for_party(const QueryBundle& bundle, int party);
+
 /// Typed pools of pregenerated material for N queries of one plan.
 class TripleStore {
  public:

@@ -88,6 +88,99 @@ OpCost ir_op_cost(const LatencyModel& m, const ir::Op& op, int ring_bits) {
 
 namespace {
 
+/// Exact wire bytes of one DReLU over n values: the two OT messages
+/// (8-byte blinded key per leaf instance; one 8-byte ephemeral sender key
+/// plus kOtFanIn one-byte masked entries per leaf) and the AND tree's
+/// per-level packed (d, e) bit opens, both directions.
+std::uint64_t drelu_wire_bytes(std::uint64_t n, int ring_bits) {
+  const auto digits = static_cast<std::uint64_t>(crypto::millionaire_digits(ring_bits - 1));
+  const std::uint64_t leaves = n * digits;
+  std::uint64_t bytes = leaves * 8            // receiver -> sender: blinded keys
+                        + 8 + leaves * crypto::kOtFanIn;  // sender -> receiver
+  for (const int mult : crypto::millionaire_and_level_multipliers(ring_bits - 1)) {
+    // One AND over mult·n bits: the 2·mult·n masked (d, e) bits pack to a
+    // byte boundary per stage, each direction.
+    bytes += 2 * ((2 * static_cast<std::uint64_t>(mult) * n + 7) / 8);
+  }
+  return bytes;
+}
+
+/// One Beaver-multiply opening pair (E and F, n elements each, both
+/// directions) at the modeled wire width.
+std::uint64_t mul_open_wire_bytes(std::uint64_t n, std::uint64_t wire) {
+  return 2 * 2 * n * wire;
+}
+
+/// DReLU + B2A multiply + mux multiply — the v·DReLU(v) flow of ReLU and
+/// each max/argmax tournament level.
+std::uint64_t drelu_mux_wire_bytes(std::uint64_t n, int ring_bits, std::uint64_t wire) {
+  return drelu_wire_bytes(n, ring_bits) + 2 * mul_open_wire_bytes(n, wire);
+}
+
+}  // namespace
+
+std::uint64_t ir_op_wire_bytes(const ir::Op& op, int ring_bits, int wire_bits) {
+  using ir::OpKind;
+  const auto wire = static_cast<std::uint64_t>((wire_bits + 7) / 8);
+  switch (op.kind) {
+    case OpKind::conv:
+    case OpKind::depthwise_conv: {
+      // E opens weight-shaped (nb), F input-shaped (na); both directions.
+      const auto k2 = static_cast<std::uint64_t>(op.kernel) * op.kernel;
+      const auto na = static_cast<std::uint64_t>(op.input_elems());
+      const std::uint64_t nb = op.kind == OpKind::depthwise_conv
+                                   ? static_cast<std::uint64_t>(op.in_ch) * k2
+                                   : static_cast<std::uint64_t>(op.out_ch) * op.in_ch * k2;
+      return 2 * wire * (na + nb);
+    }
+    case OpKind::linear:
+      // W·xᵀ per query sample: E is weight-shaped (out·in), F input-shaped.
+      return 2 * wire *
+             (static_cast<std::uint64_t>(op.out_features) * op.in_features +
+              static_cast<std::uint64_t>(op.in_features));
+    case OpKind::x2act:
+      // One square-pair E opening.
+      return 2 * wire * static_cast<std::uint64_t>(op.input_elems());
+    case OpKind::relu:
+      return drelu_mux_wire_bytes(static_cast<std::uint64_t>(op.input_elems()), ring_bits,
+                                  wire);
+    case OpKind::maxpool: {
+      const auto out_elems = static_cast<std::uint64_t>(op.output_elems());
+      std::uint64_t bytes = 0;
+      int taps = op.kernel * op.kernel;
+      while (taps > 1) {
+        const int pairs = taps / 2;
+        bytes += drelu_mux_wire_bytes(static_cast<std::uint64_t>(pairs) * out_elems,
+                                      ring_bits, wire);
+        taps = pairs + taps % 2;
+      }
+      return bytes;
+    }
+    case OpKind::argmax: {
+      // Per tournament level: DReLU on the value difference plus B2A and
+      // the two selector multiplies (value and index).
+      std::uint64_t bytes = 0;
+      int entries = op.in_features;
+      while (entries > 1) {
+        const auto n = static_cast<std::uint64_t>(entries / 2);
+        bytes += drelu_wire_bytes(n, ring_bits) + 3 * mul_open_wire_bytes(n, wire);
+        entries = entries / 2 + entries % 2;
+      }
+      return bytes;
+    }
+    case OpKind::input:
+    case OpKind::flatten:
+    case OpKind::batchnorm:
+    case OpKind::avgpool:
+    case OpKind::global_avgpool:
+    case OpKind::add:
+      return 0;  // local ops move no protocol bytes
+  }
+  return 0;
+}
+
+namespace {
+
 /// Phase tokens of a staged comparison op, mirroring the executor's
 /// lockstep walk: ot = the two-message OT leaf dance, bit = one AND-tree
 /// level exchange, open = one ring-open exchange (B2A or mux).
@@ -114,22 +207,30 @@ std::vector<PhaseTok> compare_tokens(const ir::Op& op, int ring_bits) {
   return toks;
 }
 
+struct GroupWalk {
+  int rounds = 0;
+  /// Bytes the coalesced schedule saves versus eager: merging k pending OT
+  /// batches into one flush ships one ephemeral sender key instead of k.
+  std::uint64_t ot_merge_savings = 0;
+};
+
 /// Replays the executor's lockstep phase walk over one round group: each
 /// iteration costs 2 rounds if any instance's head token is an OT, plus 1
 /// per bit-open / ring-open flush any instance waits on; every instance
 /// advances one token.  Identical comparisons therefore cost the same
 /// rounds whether the group holds one instance or four thousand.
-int simulate_group_rounds(const std::vector<std::vector<PhaseTok>>& streams,
-                          bool has_single_round_member) {
+GroupWalk simulate_group_rounds(const std::vector<std::vector<PhaseTok>>& streams,
+                                bool has_single_round_member) {
   std::vector<std::size_t> pos(streams.size(), 0);
-  int rounds = 0;
+  GroupWalk walk;
   for (;;) {
-    bool ot = false, bit = false, open = false;
+    bool bit = false, open = false;
+    int ot_count = 0;
     for (std::size_t i = 0; i < streams.size(); ++i) {
       if (pos[i] >= streams[i].size()) continue;
       switch (streams[i][pos[i]]) {
         case PhaseTok::ot:
-          ot = true;
+          ++ot_count;
           break;
         case PhaseTok::bit:
           bit = true;
@@ -139,22 +240,23 @@ int simulate_group_rounds(const std::vector<std::vector<PhaseTok>>& streams,
           break;
       }
     }
-    if (!ot && !bit && !open) break;
-    rounds += (ot ? 2 : 0) + (bit ? 1 : 0) + (open ? 1 : 0);
+    if (ot_count == 0 && !bit && !open) break;
+    walk.rounds += (ot_count > 0 ? 2 : 0) + (bit ? 1 : 0) + (open ? 1 : 0);
+    if (ot_count > 1) walk.ot_merge_savings += 8ULL * (static_cast<std::uint64_t>(ot_count) - 1);
     for (std::size_t i = 0; i < streams.size(); ++i) {
       if (pos[i] < streams[i].size()) ++pos[i];
     }
   }
   // A group whose comparisons never open (degenerate 1x1 pools) still pays
   // one exchange for its pending single-round openings.
-  if (rounds == 0 && has_single_round_member) rounds = 1;
-  return rounds;
+  if (walk.rounds == 0 && has_single_round_member) walk.rounds = 1;
+  return walk;
 }
 
 }  // namespace
 
 ProgramCost profile_program(const LatencyModel& m, const ir::SecureProgram& p,
-                            int ring_bits) {
+                            int ring_bits, int wire_bits) {
   ProgramCost pc;
   pc.per_op.reserve(p.ops.size());
 
@@ -172,10 +274,15 @@ ProgramCost profile_program(const LatencyModel& m, const ir::SecureProgram& p,
     }
   }
   std::map<int, int> group_rounds;
+  std::uint64_t ot_merge_savings = 0;
   for (const auto& [g, streams] : group_streams) {
-    group_rounds[g] = streams.empty()
-                          ? 1  // single-round members only: one merged open
-                          : simulate_group_rounds(streams, group_has_single[g]);
+    if (streams.empty()) {
+      group_rounds[g] = 1;  // single-round members only: one merged open
+      continue;
+    }
+    const GroupWalk walk = simulate_group_rounds(streams, group_has_single[g]);
+    group_rounds[g] = walk.rounds;
+    ot_merge_savings += walk.ot_merge_savings;
   }
 
   std::set<int> groups_counted;
@@ -193,14 +300,20 @@ ProgramCost profile_program(const LatencyModel& m, const ir::SecureProgram& p,
     }
     pc.total += c;
     pc.per_op.push_back(c);
+    pc.wire_bytes_eager += ir_op_wire_bytes(op, ring_bits, wire_bits);
   }
   pc.round_groups = static_cast<int>(groups_counted.size());
   // Terminal joint opening: the logits (or the argmax index vector, whose
   // final reveal replaces it).
   pc.total.rounds += 1;
-  const double out_elems = static_cast<double>(
+  const auto wire = static_cast<std::uint64_t>((wire_bits + 7) / 8);
+  const auto out_elems = static_cast<std::uint64_t>(
       p.output >= 0 ? p.ops[static_cast<std::size_t>(p.output)].output_elems() : 0);
-  pc.total.comm_bytes += 2.0 * 4.0 * out_elems;  // both directions, 32-bit wire
+  pc.total.comm_bytes += 2.0 * static_cast<double>(wire) * static_cast<double>(out_elems);
+  pc.wire_bytes_eager += 2 * wire * out_elems;
+  // The coalesced schedule moves the same openings and bit packs; only
+  // merged OT flushes shed their extra ephemeral sender keys.
+  pc.wire_bytes = pc.wire_bytes_eager - ot_merge_savings;
   return pc;
 }
 

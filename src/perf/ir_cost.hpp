@@ -35,15 +35,33 @@ namespace pasnet::perf {
 [[nodiscard]] OpCost ir_op_cost(const LatencyModel& model, const ir::Op& op,
                                 int ring_bits = 64);
 
+/// EXACT on-wire bytes one op's online protocol moves (both directions)
+/// under the per-op (eager) schedule: every opening at `wire_bits` per
+/// ring element, the OT leaf dance's blinded-key and masked-table
+/// messages (8 bytes/key + 1 byte/table entry + one 8-byte ephemeral
+/// sender key per batch), and the AND-tree's per-level packed bit opens.
+/// This is the figure the channel meter measures — OpCost::comm_bytes
+/// stays the paper's Eq. 5-16 estimate used by the NAS latency model.
+[[nodiscard]] std::uint64_t ir_op_wire_bytes(const ir::Op& op, int ring_bits = 64,
+                                             int wire_bits = 32);
+
 /// Whole-program analytic profile.
 struct ProgramCost {
   OpCost total;                ///< includes the terminal opening round
   std::vector<OpCost> per_op;  ///< aligned with program.ops
   int round_groups = 0;        ///< coalesced open groups counted once
+  /// Exact wire bytes of the whole program (terminal opening included)
+  /// under each schedule.  They differ only by the merged-OT flushes of
+  /// the coalesced schedule: merging k pending OT batches into one dance
+  /// ships ONE ephemeral sender key instead of k, saving 8·(k-1) bytes
+  /// per merged flush.  The CI guard asserts the measured channel bytes
+  /// equal these figures exactly.
+  std::uint64_t wire_bytes = 0;        ///< coalesced schedule
+  std::uint64_t wire_bytes_eager = 0;  ///< per-op schedule
 };
 
 [[nodiscard]] ProgramCost profile_program(const LatencyModel& model,
                                           const ir::SecureProgram& program,
-                                          int ring_bits = 64);
+                                          int ring_bits = 64, int wire_bits = 32);
 
 }  // namespace pasnet::perf

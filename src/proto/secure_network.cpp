@@ -56,10 +56,40 @@ offline::TripleStore SecureNetwork::preprocess(std::size_t queries, int threads,
       plan(), queries, [](std::size_t q) { return query_dealer_seed(q); }, report);
 }
 
+void SecureNetwork::ensure_classify_compiled() {
+  if (argmax_program_) return;
+  argmax_program_ = std::make_unique<ir::SecureProgram>(program_);
+  ir::append_argmax(*argmax_program_);
+  classify_plan_ = std::make_unique<offline::PreprocessingPlan>(
+      ir::derive_plan(*argmax_program_, ctx_.ring()));
+}
+
+const ir::SecureProgram& SecureNetwork::classify_program() {
+  ensure_classify_compiled();
+  return *argmax_program_;
+}
+
+const offline::PreprocessingPlan& SecureNetwork::classify_plan() {
+  ensure_classify_compiled();
+  return *classify_plan_;
+}
+
+offline::TripleStore SecureNetwork::preprocess_classify(std::size_t queries, int threads,
+                                                        offline::GenerationReport* report) {
+  return offline::OfflineGenerator(threads).generate(
+      classify_plan(), queries, [](std::size_t q) { return query_dealer_seed(q); }, report);
+}
+
 void SecureNetwork::use_store(offline::TripleStore* store, offline::ExhaustionPolicy policy) {
-  if (store != nullptr && store->plan_fingerprint() != plan().fingerprint()) {
-    throw std::invalid_argument(
-        "SecureNetwork::use_store: store was generated for a different model/plan");
+  if (store != nullptr) {
+    if (store->plan_fingerprint() == plan().fingerprint()) {
+      store_is_classify_ = false;
+    } else if (store->plan_fingerprint() == classify_plan().fingerprint()) {
+      store_is_classify_ = true;
+    } else {
+      throw std::invalid_argument(
+          "SecureNetwork::use_store: store was generated for a different model/plan");
+    }
   }
   store_ = store;
   policy_ = policy;
@@ -67,6 +97,11 @@ void SecureNetwork::use_store(offline::TripleStore* store, offline::ExhaustionPo
 
 nn::Tensor SecureNetwork::infer(const nn::Tensor& input) {
   batch_stats_.clear();
+  if (store_ != nullptr && store_is_classify_) {
+    throw std::logic_error(
+        "SecureNetwork::infer: the attached store holds label-only (classify) material; "
+        "detach it or call classify()");
+  }
   if (store_ == nullptr) return run_query(ctx_, input, stats_);
   // Store-backed: claim the next bundle and serve on a fresh context seeded
   // with that bundle's canonical seed — the transcript the offline
@@ -80,29 +115,43 @@ nn::Tensor SecureNetwork::infer(const nn::Tensor& input) {
 }
 
 std::vector<int> SecureNetwork::classify(const nn::Tensor& input) {
-  if (store_ != nullptr) {
+  if (store_ != nullptr && !store_is_classify_) {
     throw std::logic_error(
-        "SecureNetwork::classify: label-only inference consumes a different triple stream; "
-        "detach the store first");
+        "SecureNetwork::classify: the attached store holds logits material; label-only "
+        "inference consumes a different triple stream (preprocess_classify)");
   }
-  if (!argmax_program_) {
-    argmax_program_ = std::make_unique<ir::SecureProgram>(program_);
-    ir::append_argmax(*argmax_program_);
-  }
+  ensure_classify_compiled();
   batch_stats_.clear();
-  ctx_.reset_stats();
-  const crypto::TripleCounters before = ctx_.triples().counters();
-  ir::ExecOptions opts;
-  opts.cfg = cfg_;
-  // The argmax terminal carries no parameters, so the logits program's
-  // shared parameters apply unchanged (the extra op never indexes them).
-  const ir::ExecResult res = ir::execute(*argmax_program_, params_, ctx_, input, opts);
-  fill_stats(ctx_, before, stats_);
-  return res.labels;
+  const auto run = [&](crypto::TwoPartyContext& ctx) {
+    ctx.reset_stats();
+    const crypto::TripleCounters before = ctx.triples().counters();
+    ir::ExecOptions opts;
+    opts.cfg = cfg_;
+    // The argmax terminal carries no parameters, so the logits program's
+    // shared parameters apply unchanged (the extra op never indexes them).
+    const ir::ExecResult res = ir::execute(*argmax_program_, params_, ctx, input, opts);
+    fill_stats(ctx, before, stats_);
+    return res.labels;
+  };
+  if (store_ == nullptr) return run(ctx_);
+  // Store-backed label-only serving mirrors the infer() store path: claim
+  // the next bundle, run on a fresh context with that bundle's canonical
+  // seed — the transcript preprocess_classify() replayed.
+  const auto [idx, bundle] = store_->claim_next();
+  crypto::TwoPartyContext qctx(ctx_.ring(), query_context_seed(idx), crypto::ExecMode::lockstep,
+                               ctx_.round_delay());
+  offline::StoreTripleSource source(bundle, qctx.dealer(), policy_);
+  qctx.set_triple_source(&source);
+  return run(qctx);
 }
 
 std::vector<nn::Tensor> SecureNetwork::infer_batch(const std::vector<nn::Tensor>& inputs,
                                                    int worker_pairs) {
+  if (store_ != nullptr && store_is_classify_) {
+    throw std::logic_error(
+        "SecureNetwork::infer_batch: the attached store holds label-only (classify) "
+        "material; detach it or call classify()");
+  }
   const std::size_t n = inputs.size();
   batch_stats_.assign(n, InferenceStats{});
   stats_ = InferenceStats{};

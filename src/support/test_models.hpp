@@ -152,16 +152,22 @@ inline ir::SecureProgram parallel_relu_program(int k) {
   return p;
 }
 
-/// Measured rounds of one execution of `p` on a fresh context, zero input.
-inline std::uint64_t measured_program_rounds(const ir::SecureProgram& p,
-                                             proto::RoundSchedule schedule) {
+/// Measured traffic of one execution of `p` on a fresh context, zero input.
+inline crypto::TrafficStats measured_program_traffic(const ir::SecureProgram& p,
+                                                     proto::RoundSchedule schedule) {
   crypto::TwoPartyContext ctx;
   crypto::Prng wprng(1);
   const ir::CompiledParams params = ir::share_parameters(p, wprng, ctx.ring());
   ir::ExecOptions opts;
   opts.cfg.schedule = schedule;
   (void)ir::execute(p, params, ctx, nn::Tensor({1, p.input_ch, p.input_h, p.input_w}), opts);
-  return ctx.stats().rounds;
+  return ctx.stats();
+}
+
+/// Measured rounds of one execution of `p` on a fresh context, zero input.
+inline std::uint64_t measured_program_rounds(const ir::SecureProgram& p,
+                                             proto::RoundSchedule schedule) {
+  return measured_program_traffic(p, schedule).rounds;
 }
 
 /// A few steps of training so BN has meaningful running statistics.

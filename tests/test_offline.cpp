@@ -264,3 +264,130 @@ TEST(OfflineGenerator, ReportSizesMatchPlanArithmetic) {
   EXPECT_EQ(rep.bit_triples, 2 * snet.plan().bit_triples_per_query());
   EXPECT_EQ(rep.store_bytes, store.material_bytes());
 }
+
+// ---------------------------------------------------------------------------
+// Label-only (classify) store serving — the argmax program's own plan
+// fingerprint and preprocess entry point.
+// ---------------------------------------------------------------------------
+
+TEST(ClassifyStore, ClassifyPlanFingerprintsDifferentlyFromLogitsPlan) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  // The argmax terminal consumes extra comparisons and selector triples,
+  // so a logits store must never serve a classify workload (or vice versa).
+  EXPECT_NE(snet.plan().fingerprint(), snet.classify_plan().fingerprint());
+  EXPECT_GT(snet.classify_plan().requests.size(), snet.plan().requests.size());
+}
+
+TEST(ClassifyStore, StoreBackedClassifyMatchesDealerPathBitIdentically) {
+  SecureFixture f;
+  pc::TwoPartyContext c_store;
+  proto::SecureNetwork served(f.md, *f.graph, f.node_of_layer, c_store);
+  off::TripleStore store = served.preprocess_classify(3);
+  EXPECT_EQ(store.plan_fingerprint(), served.classify_plan().fingerprint());
+  served.use_store(&store);
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    // The dealer-path reference transcript of a store-served classify is a
+    // fresh context with the bundle's canonical seed — replicate it.
+    pc::TwoPartyContext qctx(pc::RingConfig{}, proto::SecureNetwork::query_context_seed(q));
+    proto::SecureNetwork ref_q(f.md, *f.graph, f.node_of_layer, qctx);
+    EXPECT_EQ(served.classify(f.queries[q]), ref_q.classify(f.queries[q])) << "query " << q;
+  }
+}
+
+TEST(ClassifyStore, StoreKindsRefuseTheWrongEntryPoint) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  off::TripleStore classify_store = snet.preprocess_classify(1);
+  snet.use_store(&classify_store);
+  EXPECT_THROW((void)snet.infer(f.queries[0]), std::logic_error);
+  EXPECT_THROW((void)snet.infer_batch(f.queries, 1), std::logic_error);
+  off::TripleStore logits_store = snet.preprocess(1);
+  snet.use_store(&logits_store);
+  EXPECT_THROW((void)snet.classify(f.queries[0]), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile/truncated store files: typed errors, never hangs or UB (run under
+// the ASan leg).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A small serialized store to corrupt.
+std::string serialized_tiny_store() {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  std::ostringstream os(std::ios::binary);
+  snet.preprocess(1).save(os);
+  return os.str();
+}
+
+}  // namespace
+
+TEST(TripleStoreHostile, LoadRejectsBadMagic) {
+  std::string bytes = serialized_tiny_store();
+  bytes[0] ^= 0x5A;  // flip magic bits
+  std::istringstream is(bytes, std::ios::binary);
+  EXPECT_THROW((void)off::TripleStore::load(is), std::runtime_error);
+}
+
+TEST(TripleStoreHostile, LoadRejectsVersionSkew) {
+  std::string bytes = serialized_tiny_store();
+  bytes[8] = 0x7F;  // version field (little-endian u64 at offset 8)
+  std::istringstream is(bytes, std::ios::binary);
+  EXPECT_THROW((void)off::TripleStore::load(is), std::runtime_error);
+}
+
+TEST(TripleStoreHostile, LoadRejectsTruncatedBundle) {
+  const std::string bytes = serialized_tiny_store();
+  // Cut the stream mid-bundle at several depths: every truncation must be
+  // a typed runtime_error, never a hang, crash, or giant allocation.
+  for (const double frac : {0.30, 0.60, 0.90, 0.99}) {
+    const auto cut = static_cast<std::size_t>(static_cast<double>(bytes.size()) * frac);
+    std::istringstream is(bytes.substr(0, cut), std::ios::binary);
+    EXPECT_THROW((void)off::TripleStore::load(is), std::runtime_error) << "cut at " << cut;
+  }
+}
+
+TEST(TripleStoreHostile, BundleCodecRoundTripsAndRejectsTruncation) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  off::TripleStore store = snet.preprocess(1);
+  std::ostringstream os(std::ios::binary);
+  off::write_bundle(os, store.bundle(0));
+  const std::string bytes = os.str();
+  {
+    std::istringstream is(bytes, std::ios::binary);
+    const off::QueryBundle rt = off::read_bundle(is);
+    EXPECT_EQ(rt.elem.size(), store.bundle(0).elem.size());
+    EXPECT_EQ(rt.bit.size(), store.bundle(0).bit.size());
+    EXPECT_EQ(rt.bilinear.size(), store.bundle(0).bilinear.size());
+  }
+  std::istringstream is(bytes.substr(0, bytes.size() / 2), std::ios::binary);
+  EXPECT_THROW((void)off::read_bundle(is), std::runtime_error);
+}
+
+TEST(TripleStoreHostile, PartySlicingZeroesExactlyThePeerHalves) {
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  off::TripleStore store = snet.preprocess(1);
+  const off::QueryBundle& full = store.bundle(0);
+  const off::QueryBundle p0 = off::slice_bundle_for_party(full, 0);
+  const off::QueryBundle p1 = off::slice_bundle_for_party(full, 1);
+  ASSERT_FALSE(full.elem.empty());
+  // Own halves survive verbatim; peer halves are zero at equal length.
+  EXPECT_EQ(p0.elem[0].a.s0, full.elem[0].a.s0);
+  EXPECT_EQ(p1.elem[0].a.s1, full.elem[0].a.s1);
+  EXPECT_EQ(p0.elem[0].a.s1.size(), full.elem[0].a.s1.size());
+  for (const auto v : p0.elem[0].a.s1) EXPECT_EQ(v, 0u);
+  for (const auto v : p1.elem[0].a.s0) EXPECT_EQ(v, 0u);
+  ASSERT_FALSE(full.bit.empty());
+  EXPECT_EQ(p0.bit[0].a0, full.bit[0].a0);
+  for (const auto v : p0.bit[0].c1) EXPECT_EQ(v, 0);
+}

@@ -1,0 +1,267 @@
+// Loopback self-test of the two-process deployment: both parties run as
+// independent threads, each with its OWN remote TwoPartyContext over a
+// real localhost TCP connection — the same code path the party_server /
+// party_client binaries drive across OS processes.  The acceptance bar:
+// logits bit-identical to the in-process modes (threaded AND lockstep)
+// and TrafficStats bytes/rounds equal to the simulated channel's, for the
+// fused, store-served, and networked-dealer serving modes.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "net/party_session.hpp"
+#include "proto/secure_network.hpp"
+#include "support/test_models.hpp"
+
+namespace ir = pasnet::ir;
+namespace net = pasnet::net;
+namespace nn = pasnet::nn;
+namespace off = pasnet::offline;
+namespace pc = pasnet::crypto;
+namespace proto = pasnet::proto;
+
+namespace {
+
+net::TransportOptions test_opts() {
+  net::TransportOptions o;
+  o.connect_timeout = std::chrono::milliseconds(5000);
+  o.io_timeout = std::chrono::milliseconds(20000);
+  return o;
+}
+
+/// A compiled tiny model shared by every case.
+struct RemoteFixture {
+  nn::ModelDescriptor md;
+  std::unique_ptr<nn::Graph> graph;
+  std::vector<int> node_of_layer;
+  std::unique_ptr<pc::TwoPartyContext> compile_ctx;
+  std::unique_ptr<proto::SecureNetwork> snet;
+  std::vector<nn::Tensor> queries;
+
+  explicit RemoteFixture(nn::OpKind act = nn::OpKind::relu,
+                         nn::OpKind pool = nn::OpKind::maxpool, int num_queries = 2,
+                         proto::SecureConfig cfg = proto::SecureConfig{})
+      : md(pasnet::testing::tiny_cnn(act, pool)) {
+    pc::Prng wprng(91);
+    graph = nn::build_graph(md, wprng, &node_of_layer);
+    pasnet::testing::warm_up(*graph, 2, 8, 92);
+    compile_ctx = std::make_unique<pc::TwoPartyContext>();
+    snet = std::make_unique<proto::SecureNetwork>(md, *graph, node_of_layer, *compile_ctx, cfg);
+    pc::Prng qprng(93);
+    for (int q = 0; q < num_queries; ++q) {
+      queries.push_back(nn::Tensor::randn({1, 2, 8, 8}, qprng, 0.5f));
+    }
+  }
+};
+
+struct PartyOutcome {
+  std::vector<ir::ExecResult> results;
+  std::vector<pc::TrafficStats> stats;
+};
+
+/// Runs both parties over localhost TCP.  `make_opts(party)` builds each
+/// side's serving options (store/dealer handles must be per party, like
+/// two real processes each owning their own resources).
+std::pair<PartyOutcome, PartyOutcome> run_remote(
+    const RemoteFixture& f, const ir::SecureProgram& program,
+    const std::function<net::RemoteSessionOptions(int)>& make_opts) {
+  net::Listener listener(0);
+  const std::uint16_t port = listener.port();
+  const auto run_side = [&](int party) {
+    PartyOutcome out;
+    std::unique_ptr<net::TransportChannel> chan =
+        party == 1 ? net::serve_party_channel(listener, 1, test_opts())
+                   : net::dial_party_channel("127.0.0.1", port, 0, test_opts());
+    net::PartySession session(party, *chan, pc::RingConfig{});
+    const net::RemoteSessionOptions ropts = make_opts(party);
+    for (std::size_t q = 0; q < f.queries.size(); ++q) {
+      pc::TrafficStats stats;
+      out.results.push_back(session.run_query(program, f.snet->params(), q,
+                                              party == 0 ? &f.queries[q] : nullptr, ropts,
+                                              &stats));
+      out.stats.push_back(stats);
+    }
+    return out;
+  };
+  auto side1 = std::async(std::launch::async, run_side, 1);
+  PartyOutcome p0 = run_side(0);
+  return {std::move(p0), side1.get()};
+}
+
+/// In-process reference transcript: fresh per-query context with the
+/// canonical seed, in the requested exec mode.
+ir::ExecResult reference_query(const RemoteFixture& f, const ir::SecureProgram& program,
+                               std::size_t q, pc::ExecMode mode, proto::SecureConfig cfg,
+                               pc::TrafficStats* stats_out) {
+  pc::TwoPartyContext qctx(pc::RingConfig{}, proto::SecureNetwork::query_context_seed(q), mode);
+  ir::ExecOptions opts;
+  opts.cfg = cfg;
+  ir::ExecResult res = ir::execute(program, f.snet->params(), qctx, f.queries[q], opts);
+  if (stats_out != nullptr) *stats_out = qctx.stats();
+  return res;
+}
+
+void expect_same_logits(const nn::Tensor& a, const nn::Tensor& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " element " << i;
+  }
+}
+
+void expect_remote_matches_reference(const RemoteFixture& f, const ir::SecureProgram& program,
+                                     proto::SecureConfig cfg,
+                                     const std::pair<PartyOutcome, PartyOutcome>& outcome) {
+  const auto& [p0, p1] = outcome;
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    pc::TrafficStats ref_stats;
+    const ir::ExecResult ref =
+        reference_query(f, program, q, pc::ExecMode::threaded, cfg, &ref_stats);
+    // Both processes reveal the same result...
+    expect_same_logits(p0.results[q].logits, ref.logits, "party0 vs threaded reference");
+    expect_same_logits(p1.results[q].logits, ref.logits, "party1 vs threaded reference");
+    EXPECT_EQ(p0.results[q].labels, ref.labels);
+    EXPECT_EQ(p1.results[q].labels, ref.labels);
+    // ...and both endpoints' meters equal the simulated pair's.
+    for (const pc::TrafficStats* s : {&p0.stats[q], &p1.stats[q]}) {
+      EXPECT_EQ(s->total_bytes(), ref_stats.total_bytes()) << "query " << q;
+      EXPECT_EQ(s->bytes_p0_to_p1, ref_stats.bytes_p0_to_p1) << "query " << q;
+      EXPECT_EQ(s->bytes_p1_to_p0, ref_stats.bytes_p1_to_p0) << "query " << q;
+      EXPECT_EQ(s->rounds, ref_stats.rounds) << "query " << q;
+      EXPECT_EQ(s->messages, ref_stats.messages) << "query " << q;
+    }
+    // Lockstep reference agrees too (threaded == lockstep bit-identity is
+    // re-pinned here on the same transcript).
+    const ir::ExecResult lockstep =
+        reference_query(f, program, q, pc::ExecMode::lockstep, cfg, nullptr);
+    expect_same_logits(lockstep.logits, ref.logits, "lockstep vs threaded");
+  }
+}
+
+net::RemoteSessionOptions fused_opts(proto::SecureConfig cfg) {
+  net::RemoteSessionOptions o;
+  o.cfg = cfg;
+  return o;
+}
+
+}  // namespace
+
+TEST(RemoteInference, FusedTwoProcessLogitsBitIdenticalAndTrafficEqual) {
+  RemoteFixture f;
+  const proto::SecureConfig cfg;
+  const auto outcome =
+      run_remote(f, f.snet->program(), [&](int) { return fused_opts(cfg); });
+  expect_remote_matches_reference(f, f.snet->program(), cfg, outcome);
+}
+
+TEST(RemoteInference, EagerScheduleMatchesToo) {
+  proto::SecureConfig cfg;
+  cfg.schedule = proto::RoundSchedule::eager;
+  RemoteFixture f(nn::OpKind::relu, nn::OpKind::maxpool, 1, cfg);
+  const auto outcome =
+      run_remote(f, f.snet->program(), [&](int) { return fused_opts(cfg); });
+  expect_remote_matches_reference(f, f.snet->program(), cfg, outcome);
+}
+
+TEST(RemoteInference, DhMaskedOtRunsOverTheRealWire) {
+  // The full cryptographic OT path (blinded keys, masked tables) across
+  // the transport — not just the correlated fast path.
+  proto::SecureConfig cfg;
+  cfg.ot_mode = pc::OtMode::dh_masked;
+  RemoteFixture f(nn::OpKind::relu, nn::OpKind::maxpool, 1, cfg);
+  const auto outcome =
+      run_remote(f, f.snet->program(), [&](int) { return fused_opts(cfg); });
+  expect_remote_matches_reference(f, f.snet->program(), cfg, outcome);
+}
+
+TEST(RemoteInference, PolynomialModelMatches) {
+  RemoteFixture f(nn::OpKind::x2act, nn::OpKind::avgpool, 1);
+  const proto::SecureConfig cfg;
+  const auto outcome =
+      run_remote(f, f.snet->program(), [&](int) { return fused_opts(cfg); });
+  expect_remote_matches_reference(f, f.snet->program(), cfg, outcome);
+}
+
+TEST(RemoteInference, StoreServedTwoProcessMatches) {
+  RemoteFixture f;
+  const proto::SecureConfig cfg;
+  // Each party process loads its own copy of the same store file — here,
+  // via serialize + reload, exactly what the binaries do with --store.
+  std::stringstream file(std::ios::in | std::ios::out | std::ios::binary);
+  f.snet->preprocess(2).save(file);
+  off::TripleStore copy[2];
+  for (int p = 0; p < 2; ++p) {
+    file.clear();
+    file.seekg(0);
+    copy[p] = off::TripleStore::load(file);
+  }
+  const auto outcome = run_remote(f, f.snet->program(), [&](int party) {
+    net::RemoteSessionOptions o;
+    o.cfg = cfg;
+    o.source = net::TripleSourceKind::store;
+    o.store = &copy[party];
+    return o;
+  });
+  expect_remote_matches_reference(f, f.snet->program(), cfg, outcome);
+}
+
+TEST(RemoteInference, DealerServedTwoProcessMatchesIncludingRefillFallback) {
+  RemoteFixture f;  // 2 queries; the dealer only pregenerated 1 -> query 1 refills
+  const proto::SecureConfig cfg;
+  net::DealerServer server(f.snet->preprocess(1), off::ExhaustionPolicy::Refill);
+  net::Listener dealer_listener(0);
+  const std::uint16_t dealer_port = dealer_listener.port();
+  std::thread dealer_thread([&] { server.serve(dealer_listener, 2, test_opts()); });
+  {
+    const std::uint64_t fp = f.snet->plan().fingerprint();
+    // Each party owns its dealer connection, like a real process; the
+    // clients must outlive the session queries and say goodbye before the
+    // daemon's serve() can return.
+    net::DealerClient clients[2] = {
+        net::DealerClient("127.0.0.1", dealer_port, 0, fp, test_opts()),
+        net::DealerClient("127.0.0.1", dealer_port, 1, fp, test_opts())};
+    const auto outcome = run_remote(f, f.snet->program(), [&](int party) {
+      net::RemoteSessionOptions o;
+      o.cfg = cfg;
+      o.source = net::TripleSourceKind::dealer;
+      o.dealer = &clients[party];
+      o.policy = off::ExhaustionPolicy::Refill;
+      return o;
+    });
+    expect_remote_matches_reference(f, f.snet->program(), cfg, outcome);
+  }
+  dealer_thread.join();
+  EXPECT_EQ(server.bundles_served(), 2u);  // bundle 0 to each party; query 1 refilled
+}
+
+TEST(RemoteInference, LabelOnlyClassifyProgramMatches) {
+  RemoteFixture f(nn::OpKind::relu, nn::OpKind::maxpool, 2);
+  const proto::SecureConfig cfg;
+  const ir::SecureProgram& program = f.snet->classify_program();
+  const auto outcome = run_remote(f, program, [&](int) { return fused_opts(cfg); });
+  expect_remote_matches_reference(f, program, cfg, outcome);
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    ASSERT_EQ(outcome.first.results[q].labels.size(), 1u);
+    EXPECT_EQ(outcome.first.results[q].labels, outcome.second.results[q].labels);
+  }
+}
+
+TEST(RemoteInference, SessionRefusesMismatchedPrograms) {
+  // Party 0 compiles the logits program, party 1 the classify program:
+  // verify_plan must fail the session before any protocol byte flows.
+  RemoteFixture f;
+  net::Listener listener(0);
+  const std::uint16_t port = listener.port();
+  auto side1 = std::async(std::launch::async, [&] {
+    auto chan = net::serve_party_channel(listener, 1, test_opts());
+    net::PartySession session(1, *chan, pc::RingConfig{});
+    session.verify_plan(f.snet->classify_plan());
+  });
+  auto chan = net::dial_party_channel("127.0.0.1", port, 0, test_opts());
+  net::PartySession session(0, *chan, pc::RingConfig{});
+  EXPECT_THROW(session.verify_plan(f.snet->plan()), net::HandshakeError);
+  EXPECT_THROW(side1.get(), net::HandshakeError);
+}

@@ -47,13 +47,19 @@ void expect_measured_equals_analytic(nn::ModelDescriptor md, std::uint64_t seed)
   const auto x = nn::Tensor::randn({1, md.input_ch, md.input_h, md.input_w}, dprng, 0.5f);
   (void)snet.infer(x);
   const std::uint64_t measured = snet.stats().rounds;
+  const std::uint64_t measured_bytes = snet.stats().comm_bytes;
 
   const auto m = model();
   const perf::ProgramCost cost =
-      perf::profile_program(m, snet.program(), ctx.ring().bits);
+      perf::profile_program(m, snet.program(), ctx.ring().bits, ctx.ring().wire_bits);
   ASSERT_GT(measured, 0u) << md.name;
   EXPECT_EQ(measured, static_cast<std::uint64_t>(cost.total.rounds))
       << md.name << ": measured rounds diverge from the analytic prediction";
+  // Byte regression guard: the analytic wire-byte model prices every
+  // opening, OT message and packed bit open exactly — including the one
+  // ephemeral sender key per merged OT batch the coalesced flush ships.
+  EXPECT_EQ(measured_bytes, cost.wire_bytes)
+      << md.name << ": measured bytes diverge from the analytic prediction";
 }
 
 }  // namespace
@@ -96,15 +102,28 @@ TEST(RoundGuard, ParallelReluRoundsIndependentOfInstanceCount) {
         EXPECT_EQ(op.round_group, 0) << p.name;
       }
     }
-    const std::uint64_t coalesced = measured_program_rounds(p, proto::RoundSchedule::coalesced);
-    const perf::ProgramCost cost = perf::profile_program(m, p, pc::RingConfig{}.bits);
+    const pc::TrafficStats coalesced_traffic =
+        pasnet::testing::measured_program_traffic(p, proto::RoundSchedule::coalesced);
+    const std::uint64_t coalesced = coalesced_traffic.rounds;
+    const perf::ProgramCost cost =
+        perf::profile_program(m, p, pc::RingConfig{}.bits, pc::RingConfig{}.wire_bits);
     EXPECT_EQ(coalesced, static_cast<std::uint64_t>(cost.total.rounds)) << p.name;
+    // The merged-OT byte asymmetry, priced exactly: one ephemeral sender
+    // key per merged flush means the coalesced schedule moves 8·(K-1)
+    // fewer bytes than eager for K merged ReLUs — both figures analytic.
+    const pc::TrafficStats eager_traffic =
+        pasnet::testing::measured_program_traffic(p, proto::RoundSchedule::eager);
+    EXPECT_EQ(coalesced_traffic.total_bytes(), cost.wire_bytes) << p.name;
+    EXPECT_EQ(eager_traffic.total_bytes(), cost.wire_bytes_eager) << p.name;
+    EXPECT_EQ(cost.wire_bytes_eager - cost.wire_bytes,
+              8u * static_cast<std::uint64_t>(k - 1))
+        << p.name;
     if (k == 1) {
       shared_rounds = coalesced;
     } else {
       EXPECT_EQ(coalesced, shared_rounds)
           << p.name << ": grouped comparison rounds must not depend on K";
-      EXPECT_GT(measured_program_rounds(p, proto::RoundSchedule::eager), coalesced) << p.name;
+      EXPECT_GT(eager_traffic.rounds, coalesced) << p.name;
     }
   }
 }
