@@ -18,6 +18,7 @@
 #include "perf/ir_cost.hpp"
 #include "perf/latency_model.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 #include "support/test_models.hpp"
 
 namespace ir = pasnet::ir;
@@ -71,13 +72,17 @@ void print_table() {
               m.relu(s56 * 64).total_s() / m.x2act(s56 * 64).total_s());
 }
 
-/// Measured rounds of one secure query under both open schedules, plus the
-/// analytic prediction for the coalesced one.
+/// Measured rounds of one secure query under both open schedules, the
+/// analytic prediction for the coalesced one, and the measured + analytic
+/// rounds of one K=4 single-context batched chunk (all four lanes share
+/// every round group, so rounds/query is a quarter of the chunk figure).
 struct RoundRow {
   const char* name;
   std::uint64_t eager;
   std::uint64_t coalesced;
   int analytic;
+  std::uint64_t batched4;
+  int batched4_analytic;
 };
 
 RoundRow measure_rounds(const char* name, nn::ModelDescriptor md, std::uint64_t seed) {
@@ -92,11 +97,22 @@ RoundRow measure_rounds(const char* name, nn::ModelDescriptor md, std::uint64_t 
   proto::SecureNetwork eager(md, *g, node_of_layer, ctx_e, eager_cfg);
   pc::Prng dprng(seed + 2);
   const auto x = nn::Tensor::randn({1, md.input_ch, md.input_h, md.input_w}, dprng, 0.5f);
-  (void)coalesced.infer(x);
-  (void)eager.infer(x);
+  proto::Workload wl_c(coalesced);
+  proto::Workload wl_e(eager);
+  (void)wl_c.run({x});
+  (void)wl_e.run({x});
+  proto::Workload wl_b(coalesced, {proto::WorkloadKind::logits, /*batch=*/4, /*worker_pairs=*/1});
+  (void)wl_b.run({x, x, x, x});
   const auto m = model();
   const auto cost = perf::profile_program(m, coalesced.program(), ctx_c.ring().bits);
-  return RoundRow{name, eager.stats().rounds, coalesced.stats().rounds, cost.total.rounds};
+  const auto bcost = perf::profile_program(m, coalesced.program(), ctx_c.ring().bits,
+                                           /*wire_bits=*/32, /*batch=*/4);
+  return RoundRow{name,
+                  wl_e.stats().rounds,
+                  wl_c.stats().rounds,
+                  cost.total.rounds,
+                  wl_b.chunk_stats().front().totals.rounds,
+                  bcost.total.rounds};
 }
 
 void print_round_table() {
@@ -124,16 +140,19 @@ void print_round_table() {
           100),
   };
   std::printf("== IR round scheduler: measured rounds before/after coalescing ==\n\n");
-  std::printf("%-24s %8s %10s %6s %10s\n", "model", "eager", "coalesced", "drop", "analytic");
+  std::printf("%-24s %8s %10s %6s %10s %8s %8s\n", "model", "eager", "coalesced", "drop",
+              "analytic", "K=4", "K=4 anl");
   for (const auto& r : rows) {
-    std::printf("%-24s %8llu %10llu %5.1f%% %10d\n", r.name,
+    std::printf("%-24s %8llu %10llu %5.1f%% %10d %8llu %8d\n", r.name,
                 static_cast<unsigned long long>(r.eager),
                 static_cast<unsigned long long>(r.coalesced),
                 100.0 * (1.0 - static_cast<double>(r.coalesced) / static_cast<double>(r.eager)),
-                r.analytic);
+                r.analytic, static_cast<unsigned long long>(r.batched4), r.batched4_analytic);
   }
-  std::printf("\n(analytic = perf::profile_program on the same IR; the CI round guard\n"
-              " fails unless measured coalesced rounds equal it exactly)\n\n");
+  std::printf("\n(analytic = perf::profile_program on the same IR; K=4 = measured rounds of\n"
+              " ONE 4-lane single-context chunk — its lanes share every round group, so\n"
+              " rounds/query is a quarter of it.  The CI round guard fails unless both\n"
+              " measured columns equal the analytic model exactly)\n\n");
 }
 
 void print_staged_comparison_table() {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 #include "support/test_models.hpp"
 
 namespace nn = pasnet::nn;
@@ -64,11 +65,11 @@ void bm_offline_generate(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-  (void)snet.plan();  // compile outside the timed region
+  proto::Workload wl(snet);  // compiles the plan outside the timed region
 
   off::GenerationReport rep;
   for (auto _ : state) {
-    const off::TripleStore store = snet.preprocess(kBatch, threads, &rep);
+    const off::TripleStore store = wl.preprocess(kBatch, threads, &rep);
     benchmark::DoNotOptimize(store.num_queries());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rep.ring_material_elems));
@@ -88,24 +89,25 @@ void bm_serve_batch(benchmark::State& state) {
   pc::TwoPartyContext ctx(pc::RingConfig{}, 42, pc::ExecMode::lockstep, delay);
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
 
+  proto::Workload wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, workers});
   std::uint64_t per_query_bytes = 0, online_bytes = 0;
   for (auto _ : state) {
     off::TripleStore store;
     if (store_backed) {
       state.PauseTiming();  // the offline phase happens ahead of serving
-      store = snet.preprocess(kBatch, 4);
-      snet.use_store(&store, off::ExhaustionPolicy::Throw);
+      store = wl.preprocess(kBatch, 4);
+      wl.use_store(&store, off::ExhaustionPolicy::Throw);
       state.ResumeTiming();
     }
-    const auto out = snet.infer_batch(f.queries, workers);
-    benchmark::DoNotOptimize(out.front()[0]);
+    const auto out = wl.run(f.queries);
+    benchmark::DoNotOptimize(out.logits.front()[0]);
     if (store_backed) {
       state.PauseTiming();
-      snet.use_store(nullptr);
+      wl.use_store(nullptr);
       state.ResumeTiming();
     }
-    per_query_bytes = snet.per_query_stats().front().comm_bytes;
-    online_bytes = snet.per_query_stats().front().online_bytes();
+    per_query_bytes = wl.chunk_stats().front().totals.comm_bytes;
+    online_bytes = wl.chunk_stats().front().totals.online_bytes();
   }
   state.SetItemsProcessed(state.iterations() * kBatch);
   state.counters["qps"] = benchmark::Counter(
@@ -122,16 +124,16 @@ void bm_offline_online_smoke(benchmark::State& state) {
   for (auto _ : state) {
     pc::TwoPartyContext ctx;
     proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-    const auto fused = snet.infer_batch(queries, 1);
+    const auto fused = proto::Workload(snet).run(queries).logits;
 
+    proto::Workload wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/2});
     off::GenerationReport rep;
-    const off::TripleStore produced = snet.preprocess(queries.size(), 2, &rep);
+    const off::TripleStore produced = wl.preprocess(queries.size(), 2, &rep);
     std::stringstream wire;  // exercise the producer->server file format
     produced.save(wire);
     off::TripleStore store = off::TripleStore::load(wire);
-    snet.use_store(&store, off::ExhaustionPolicy::Throw);
-    const auto online = snet.infer_batch(queries, 2);
-    snet.use_store(nullptr);
+    wl.use_store(&store, off::ExhaustionPolicy::Throw);
+    const auto online = wl.run(queries).logits;
 
     for (std::size_t q = 0; q < queries.size(); ++q) {
       for (std::size_t i = 0; i < fused[q].size(); ++i) {
@@ -146,7 +148,7 @@ void bm_offline_online_smoke(benchmark::State& state) {
     }
     state.counters["offline_MB"] = static_cast<double>(rep.store_bytes) / (1024.0 * 1024.0);
     state.counters["online_KB_per_query"] =
-        static_cast<double>(snet.per_query_stats().front().online_bytes()) / 1024.0;
+        static_cast<double>(wl.chunk_stats().front().totals.online_bytes()) / 1024.0;
   }
 }
 

@@ -14,6 +14,7 @@
 #include "nn/serialize.hpp"
 #include "perf/report.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 
 namespace core = pasnet::core;
 namespace data = pasnet::data;
@@ -81,13 +82,14 @@ int main() {
 
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(descriptor, *served, node_of_layer, ctx);
+  proto::Workload workload(snet);
 
   // Label-only private inference on a few client queries.
   int correct = 0;
   const int queries = 5;
   for (int q = 0; q < queries; ++q) {
     const auto [qx, qy] = dataset.val.slice(q, 1);
-    (void)snet.infer(qx);  // executes the network; logits stay shared
+    (void)workload.run({qx});  // executes the network; logits stay shared
     // Re-run the head as a shared tensor to feed secure_argmax directly.
     const auto logits_plain = served->forward(qx, false);
     pc::Prng share_rng(1000 + q);
@@ -97,7 +99,7 @@ int main() {
     std::printf("query %d -> private label %d (true %d)\n", q, label[0], qy[0]);
   }
   std::printf("\n%d/%d correct; per-query traffic %.1f KB online\n", correct, queries,
-              snet.stats().online_bytes() / 1024.0);
+              workload.stats().online_bytes() / 1024.0);
 
   // Deployment-side profile report for capacity planning.
   const auto profile = perf::profile_network(descriptor, lut);

@@ -4,7 +4,9 @@
 // TCP.  Each party receives only its own share halves; a client whose
 // plan fingerprint does not match the store is refused at hello.  The
 // store's Throw/Refill exhaustion policy applies to claims past the
-// pregenerated range exactly as it does in process.
+// pregenerated range exactly as it does in process.  Batched parties
+// (--batch=K) claim K bundles per chunk; claims are position-addressed,
+// so the daemon serves any lane layout without configuration.
 
 #include <cstdio>
 

@@ -3,17 +3,20 @@
 // query; both are secret-shared between two servers that run the 2PC
 // protocol stack.
 //
-//   build/examples/private_inference [--batch N] [--workers K] [--rtt-us U]
-//                                    [--preprocess] [--offline-file PATH]
+//   build/examples/private_inference [--batch N] [--lanes K] [--workers W]
+//                                    [--rtt-us U] [--preprocess]
+//                                    [--offline-file PATH]
 //
 // Reports measured protocol traffic next to the analytic ZCU104 latency
 // model, including the full-scale ImageNet projection of Table I.
 //
-// With --batch N the example also serves N queued queries through
-// SecureNetwork::infer_batch on K concurrent party-pair workers
-// (--workers, default 4), modeling U microseconds of wire latency per
-// protocol round (--rtt-us, default 50 = the paper's 1 GB/s LAN), and
-// prints the throughput next to the sequential baseline.
+// With --batch N the example serves N queued queries through a
+// proto::Workload: --lanes K runs them K at a time inside ONE context
+// (every comparison round is shared across the K lanes), --workers W
+// shards the chunks over W concurrent party-pair workers, and --rtt-us U
+// models U microseconds of wire latency per protocol round (default 50 =
+// the paper's 1 GB/s LAN).  The report prints single-context batching
+// next to the sequential baseline.
 //
 // With --preprocess the batch is served generate-then-online: the offline
 // phase pregenerates every triple into a TripleStore (optionally saved
@@ -31,6 +34,7 @@
 #include "example_flags.hpp"
 #include "perf/network_profile.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 
 namespace bl = pasnet::baselines;
 namespace core = pasnet::core;
@@ -44,7 +48,8 @@ namespace proto = pasnet::proto;
 int main(int argc, char** argv) {
   pasnet::examples::FlagSet flags(
       "private_inference — end-to-end 2PC inference in the paper's MLaaS deployment");
-  flags.define_int("batch", 0, "serve N queued queries through infer_batch");
+  flags.define_int("batch", 0, "serve N queued queries through a batched workload");
+  flags.define_int("lanes", 4, "queries per single-context chunk (K); lanes share rounds");
   flags.define_int("workers", 4, "concurrent party-pair workers for --batch");
   flags.define_int("rtt-us", 50, "simulated wire latency per protocol round (us)");
   flags.define_switch("preprocess", "pregenerate triples offline; serve online from the store");
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
                       "triple-store path: load if present, else generate and save");
   flags.parse(argc, argv);
   const int batch = std::max(0LL, flags.get_int("batch"));
+  const int lanes = std::max(1LL, flags.get_int("lanes"));
   const int workers = std::max(1LL, flags.get_int("workers"));
   const int rtt_us = std::max(0LL, flags.get_int("rtt-us"));
   const std::string offline_file = flags.get_string("offline-file");
@@ -96,22 +102,24 @@ int main(int argc, char** argv) {
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(arch.descriptor, *graph, node_of_layer, ctx);
   const auto [qx, qy] = dataset.val.slice(0, 1);
-  const auto logits = snet.infer(qx);
+  proto::Workload workload(snet);
+  const auto logits = std::move(workload.run({qx}).logits[0]);
   std::printf("functional 2PC run (scaled model, in-process simulation):\n");
   std::printf("  prediction: class %d (true label %d)\n", nn::argmax_rows(logits)[0], qy[0]);
   std::printf("  traffic:    %.1f KB total, %.1f KB online (weight openings amortize), %llu rounds\n",
-              snet.stats().comm_bytes / 1024.0, snet.stats().online_bytes() / 1024.0,
-              static_cast<unsigned long long>(snet.stats().rounds));
+              workload.stats().comm_bytes / 1024.0, workload.stats().online_bytes() / 1024.0,
+              static_cast<unsigned long long>(workload.stats().rounds));
   std::printf("  offline:    %llu matmul-triple elems, %llu square pairs, %llu bit triples\n\n",
-              static_cast<unsigned long long>(snet.stats().matmul_triple_elems),
-              static_cast<unsigned long long>(snet.stats().square_pairs),
-              static_cast<unsigned long long>(snet.stats().bit_triples));
+              static_cast<unsigned long long>(workload.stats().matmul_triple_elems),
+              static_cast<unsigned long long>(workload.stats().square_pairs),
+              static_cast<unsigned long long>(workload.stats().bit_triples));
 
   if (batch > 0) {
-    // Batched serving mode: a queue of client queries sharded across
-    // concurrent party-pair workers, each round paying the modeled wire
-    // latency.  Overlapping queries hides that latency.  A separate
-    // context carries the delay so the functional run above stays fast.
+    // Batched serving mode: a queue of client queries served in K-lane
+    // single-context chunks (lanes share every comparison round) and
+    // sharded across concurrent party-pair workers, each round paying the
+    // modeled wire latency.  A separate context carries the delay so the
+    // functional run above stays fast.
     pc::TwoPartyContext batch_ctx(pc::RingConfig{}, 42, pc::ExecMode::lockstep,
                                   std::chrono::microseconds(rtt_us));
     proto::SecureNetwork batch_snet(arch.descriptor, *graph, node_of_layer, batch_ctx);
@@ -122,21 +130,32 @@ int main(int argc, char** argv) {
     }
     std::printf("batched serving (%d queries, %d us wire latency per round flip):\n", batch,
                 rtt_us);
-    const auto run = [&](int worker_pairs) {
+    const auto run = [&](int k, int worker_pairs) {
+      proto::Workload wl(batch_snet, {proto::WorkloadKind::logits, k, worker_pairs});
       const auto t0 = std::chrono::steady_clock::now();
-      const auto out = batch_snet.infer_batch(queries, worker_pairs);
+      const auto out = wl.run(queries);
       const auto t1 = std::chrono::steady_clock::now();
       const double secs = std::chrono::duration<double>(t1 - t0).count();
-      std::printf("  %d worker pair%s: %6.1f queries/sec (%.0f ms total, %.1f KB/query)\n",
-                  worker_pairs, worker_pairs == 1 ? " " : "s", batch / secs, secs * 1e3,
-                  batch_snet.per_query_stats()[0].comm_bytes / 1024.0);
+      double rounds = 0;
+      for (const auto& cs : wl.chunk_stats()) rounds += static_cast<double>(cs.totals.rounds);
+      std::printf(
+          "  K=%-3d x %d worker pair%s: %6.1f queries/sec "
+          "(%.0f ms total, %.1f rounds/query, %.1f KB/query)\n",
+          k, worker_pairs, worker_pairs == 1 ? " " : "s", batch / secs, secs * 1e3,
+          rounds / batch, wl.stats().comm_bytes / 1024.0 / batch);
+      (void)out;
       return batch / secs;
     };
-    // infer_batch clamps to the batch size; report what actually ran.
     const int used_workers = std::min(workers, batch);
-    const double seq_qps = run(1);
-    const double par_qps = run(used_workers);
-    std::printf("  speedup with %d workers: %.2fx\n\n", used_workers, par_qps / seq_qps);
+    const int used_lanes = std::min(lanes, batch);
+    const double seq_qps = run(1, 1);
+    const double par_qps = run(1, used_workers);
+    const double lane_qps = run(used_lanes, 1);
+    std::printf("  %d independent workers: %.2fx over sequential\n", used_workers,
+                par_qps / seq_qps);
+    std::printf("  single-context batching at K=%d: %.2fx over sequential "
+                "(rounds shared across lanes)\n\n",
+                used_lanes, lane_qps / seq_qps);
 
     if (preprocess) {
       // Generate-then-serve: the offline phase runs once (or is loaded from
@@ -154,8 +173,10 @@ int main(int argc, char** argv) {
                       offline_file.c_str(), e.what());
         }
       }
+      proto::Workload online_wl(batch_snet,
+                                {proto::WorkloadKind::logits, used_lanes, used_workers});
       if (loaded) {
-        if (store.plan_fingerprint() != batch_snet.plan().fingerprint()) {
+        if (store.plan_fingerprint() != online_wl.plan().fingerprint()) {
           std::printf("offline phase: %s was generated for a different model; regenerating\n",
                       offline_file.c_str());
         } else if (store.num_queries() < static_cast<std::size_t>(batch)) {
@@ -170,8 +191,8 @@ int main(int argc, char** argv) {
       }
       if (!have_store) {
         off::GenerationReport rep;
-        store = batch_snet.preprocess(static_cast<std::size_t>(batch),
-                                      std::max(1, used_workers), &rep);
+        store = online_wl.preprocess(static_cast<std::size_t>(batch),
+                                     std::max(1, used_workers), &rep);
         std::printf(
             "offline phase: %zu queries on %d threads in %.0f ms "
             "(%.1f M triple-elems/s, %.1f MB of material)\n",
@@ -183,17 +204,18 @@ int main(int argc, char** argv) {
         }
       }
 
-      batch_snet.use_store(&store, off::ExhaustionPolicy::Throw);
+      online_wl.use_store(&store, off::ExhaustionPolicy::Throw);
       const auto t0 = std::chrono::steady_clock::now();
-      const auto online = batch_snet.infer_batch(queries, used_workers);
+      const auto online = online_wl.run(queries).logits;
       const auto t1 = std::chrono::steady_clock::now();
-      batch_snet.use_store(nullptr);
       const double secs = std::chrono::duration<double>(t1 - t0).count();
-      const auto& qs = batch_snet.per_query_stats()[0];
-      std::printf("online phase (%d workers, dealer never touched):\n", used_workers);
+      const auto& cs = online_wl.chunk_stats()[0];
+      std::printf("online phase (K=%d lanes, %d workers, dealer never touched):\n",
+                  used_lanes, used_workers);
       std::printf("  %6.1f queries/sec (%.0f ms total)\n", batch / secs, secs * 1e3);
-      std::printf("  per query: %.1f KB on the wire, of which %.1f KB is query-dependent\n",
-                  qs.comm_bytes / 1024.0, qs.online_bytes() / 1024.0);
+      std::printf("  first chunk (%zu lanes): %.1f KB on the wire, of which %.1f KB is "
+                  "query-dependent\n",
+                  cs.queries, cs.totals.comm_bytes / 1024.0, cs.totals.online_bytes() / 1024.0);
       std::printf("  sample prediction: class %d\n\n", nn::argmax_rows(online[0])[0]);
     }
   }

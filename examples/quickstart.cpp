@@ -12,6 +12,7 @@
 #include "data/synthetic.hpp"
 #include "perf/network_profile.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 
 namespace core = pasnet::core;
 namespace data = pasnet::data;
@@ -68,14 +69,15 @@ int main() {
   proto::SecureNetwork snet(arch.descriptor, *graph, node_of_layer, ctx);
   const auto [qx, qy] = dataset.val.slice(0, 1);
   const auto plain_logits = graph->forward(qx, false);
-  const auto secure_logits = snet.infer(qx);
+  proto::Workload workload(snet);
+  const auto secure_logits = std::move(workload.run({qx}).logits[0]);
   std::printf("\nprivate inference on one query:\n");
   std::printf("  plaintext argmax: %d   secure argmax: %d   (label: %d)\n",
               nn::argmax_rows(plain_logits)[0], nn::argmax_rows(secure_logits)[0], qy[0]);
   std::printf("  measured traffic: %.1f KB in %llu rounds (%llu messages)\n",
-              snet.stats().comm_bytes / 1024.0,
-              static_cast<unsigned long long>(snet.stats().rounds),
-              static_cast<unsigned long long>(snet.stats().messages));
+              workload.stats().comm_bytes / 1024.0,
+              static_cast<unsigned long long>(workload.stats().rounds),
+              static_cast<unsigned long long>(workload.stats().messages));
 
   // 5. What would this cost on the paper's ZCU104 + 1 GB/s LAN testbed?
   const auto profile = perf::profile_network(arch.descriptor, lut);

@@ -19,6 +19,7 @@
 #include "example_flags.hpp"
 #include "net/party_session.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 #include "support/test_models.hpp"
 
 namespace pasnet::examples {
@@ -115,6 +116,9 @@ inline int run_party(int party, int argc, char** argv) {
                       "reference model (tiny_relu, tiny_relu_avg, tiny_x2, tiny_x2_max)");
   flags.define_int("seed", 300, "deterministic training seed (must match on both parties)");
   flags.define_int("queries", 2, "queries to run (must match on both parties)");
+  flags.define_int("batch", 1,
+                   "lanes per chunk: run the queries K at a time inside ONE remote context, "
+                   "sharing every comparison round (must match on both parties)");
   flags.define_int("port", 7747, "party-channel TCP port");
   flags.define_string("host", "127.0.0.1", "party_server host (client only)");
   flags.define_string("bind", "127.0.0.1",
@@ -140,10 +144,16 @@ inline int run_party(int party, int argc, char** argv) {
   const long long seed = flags.get_int("seed");
   CompiledExample ex(flags.get_string("model"), seed, cfg);
   const bool label_only = flags.get_switch("label-only");
-  const ir::SecureProgram& program =
-      label_only ? ex.snet->classify_program() : ex.snet->program();
-  const offline::PreprocessingPlan& plan =
-      label_only ? ex.snet->classify_plan() : ex.snet->plan();
+  const int batch = flags.get_int("batch") > 0 ? static_cast<int>(flags.get_int("batch")) : 1;
+  // The workload is the single source of program + plan + preprocess for
+  // this (model, kind, K) triple — the same object an in-process deployment
+  // would serve from.
+  proto::WorkloadOptions wopts;
+  wopts.kind = label_only ? proto::WorkloadKind::classify : proto::WorkloadKind::logits;
+  wopts.batch = batch;
+  proto::Workload workload(*ex.snet, wopts);
+  const ir::SecureProgram& program = workload.program();
+  const offline::PreprocessingPlan& plan = workload.plan();
 
   if (flags.get_int("preprocess") > 0) {
     const std::string path = flags.get_string("store");
@@ -152,8 +162,7 @@ inline int run_party(int party, int argc, char** argv) {
       return 2;
     }
     const auto n = static_cast<std::size_t>(flags.get_int("preprocess"));
-    const offline::TripleStore store =
-        label_only ? ex.snet->preprocess_classify(n) : ex.snet->preprocess(n);
+    const offline::TripleStore store = workload.preprocess(n);
     store.save(path);
     std::printf("wrote %zu %s bundles (%llu bytes) to %s [fingerprint %016llx]\n", n,
                 label_only ? "classify" : "logits",
@@ -213,68 +222,94 @@ inline int run_party(int party, int argc, char** argv) {
   }
 
   const auto queries = static_cast<std::size_t>(flags.get_int("queries"));
+  const auto lanes_per_chunk = static_cast<std::size_t>(batch);
+
+  // --verify reference: an in-process workload with the SAME batch width
+  // walks the same chunk layout and canonical lane seeds, so its outputs
+  // and per-chunk stats are exactly what the remote session must produce.
+  proto::WorkloadResult ref;
+  std::vector<proto::ChunkStats> ref_chunks;
+  if (flags.get_switch("verify")) {
+    std::vector<nn::Tensor> all_inputs;
+    all_inputs.reserve(queries);
+    for (std::size_t q = 0; q < queries; ++q) all_inputs.push_back(query_input(ex.md, seed, q));
+    ref = workload.run(all_inputs);
+    ref_chunks = workload.chunk_stats();
+  }
+
   int drift = 0;
-  for (std::size_t q = 0; q < queries; ++q) {
-    const nn::Tensor input = query_input(ex.md, seed, q);
+  std::size_t chunk = 0;
+  for (std::size_t q0 = 0; q0 < queries; q0 += lanes_per_chunk, ++chunk) {
+    const std::size_t lanes = std::min(lanes_per_chunk, queries - q0);
+    std::vector<nn::Tensor> inputs;
+    inputs.reserve(lanes);
+    for (std::size_t j = 0; j < lanes; ++j) inputs.push_back(query_input(ex.md, seed, q0 + j));
     crypto::TrafficStats stats;
-    const ir::ExecResult res = session.run_query(
-        program, ex.snet->params(), q, party == 0 ? &input : nullptr, ropts, &stats);
-    if (label_only) {
-      std::printf("query %zu: label %d  [%llu bytes, %llu rounds, %llu messages]\n", q,
-                  res.labels.empty() ? -1 : res.labels[0],
-                  static_cast<unsigned long long>(stats.total_bytes()),
-                  static_cast<unsigned long long>(stats.rounds),
-                  static_cast<unsigned long long>(stats.messages));
-    } else {
-      std::printf("query %zu: logits [", q);
-      for (std::size_t i = 0; i < res.logits.size(); ++i) {
-        std::printf("%s%.6f", i > 0 ? ", " : "", static_cast<double>(res.logits[i]));
+    const ir::BatchExecResult res =
+        session.run_batch(program, ex.snet->params(), q0, party == 0 ? &inputs : nullptr,
+                          lanes, ropts, &stats);
+    for (std::size_t j = 0; j < lanes; ++j) {
+      const std::size_t q = q0 + j;
+      if (label_only) {
+        std::printf("query %zu: label %d\n", q,
+                    res.labels[j].empty() ? -1 : res.labels[j][0]);
+      } else {
+        std::printf("query %zu: logits [", q);
+        for (std::size_t i = 0; i < res.logits[j].size(); ++i) {
+          std::printf("%s%.6f", i > 0 ? ", " : "", static_cast<double>(res.logits[j][i]));
+        }
+        std::printf("]\n");
       }
-      std::printf("]  [%llu bytes, %llu rounds, %llu messages]\n",
-                  static_cast<unsigned long long>(stats.total_bytes()),
-                  static_cast<unsigned long long>(stats.rounds),
-                  static_cast<unsigned long long>(stats.messages));
     }
+    std::printf("chunk %zu (%zu lane%s): %llu bytes, %llu rounds, %llu messages\n", chunk,
+                lanes, lanes == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.total_bytes()),
+                static_cast<unsigned long long>(stats.rounds),
+                static_cast<unsigned long long>(stats.messages));
     std::fflush(stdout);
 
     if (flags.get_switch("verify")) {
-      // The in-process engine must agree bit for bit — same logits/labels,
-      // same bytes, same rounds.  Any serving mode reproduces the fused
-      // per-query-dealer transcript, so one reference covers them all.
-      crypto::TrafficStats ref_stats;
-      const ir::ExecResult ref =
-          reference_query(*ex.snet, program, q, input, cfg, &ref_stats);
+      // The in-process workload must agree bit for bit — same logits/labels
+      // lane by lane, same chunk bytes, same chunk rounds.  Every serving
+      // mode reproduces the canonical per-position transcripts, so one
+      // reference covers fused, store and networked-dealer sourcing.
       bool ok = true;
-      if (label_only) {
-        ok = res.labels == ref.labels;
-      } else {
-        ok = res.logits.size() == ref.logits.size();
-        for (std::size_t i = 0; ok && i < ref.logits.size(); ++i) {
-          ok = res.logits[i] == ref.logits[i];  // bit-identical, not approximately
+      for (std::size_t j = 0; ok && j < lanes; ++j) {
+        if (label_only) {
+          ok = res.labels[j] == ref.labels[q0 + j];
+        } else {
+          ok = res.logits[j].size() == ref.logits[q0 + j].size();
+          for (std::size_t i = 0; ok && i < res.logits[j].size(); ++i) {
+            ok = res.logits[j][i] == ref.logits[q0 + j][i];  // bit-identical
+          }
+        }
+        if (!ok) {
+          std::fprintf(stderr, "query %zu: two-process result drifts from the in-process "
+                       "workload\n", q0 + j);
         }
       }
-      if (stats.total_bytes() != ref_stats.total_bytes() || stats.rounds != ref_stats.rounds ||
-          stats.messages != ref_stats.messages) {
+      const proto::InferenceStats& rc = ref_chunks[chunk].totals;
+      if (stats.total_bytes() != rc.comm_bytes || stats.rounds != rc.rounds ||
+          stats.messages != rc.messages) {
         std::fprintf(stderr,
-                     "query %zu: TrafficStats drift (tcp %llu B / %llu rds vs in-process "
+                     "chunk %zu: TrafficStats drift (tcp %llu B / %llu rds vs in-process "
                      "%llu B / %llu rds)\n",
-                     q, static_cast<unsigned long long>(stats.total_bytes()),
+                     chunk, static_cast<unsigned long long>(stats.total_bytes()),
                      static_cast<unsigned long long>(stats.rounds),
-                     static_cast<unsigned long long>(ref_stats.total_bytes()),
-                     static_cast<unsigned long long>(ref_stats.rounds));
+                     static_cast<unsigned long long>(rc.comm_bytes),
+                     static_cast<unsigned long long>(rc.rounds));
         ok = false;
       }
       if (!ok) {
-        std::fprintf(stderr, "query %zu: two-process result drifts from the in-process engine\n",
-                     q);
         drift = 1;
       } else {
-        std::printf("query %zu: verified bit-identical to the in-process engine\n", q);
+        std::printf("chunk %zu: verified bit-identical to the in-process workload\n", chunk);
       }
     }
   }
   if (drift == 0 && flags.get_switch("verify")) {
-    std::printf("all %zu queries verified: logits bit-identical, TrafficStats equal\n", queries);
+    std::printf("all %zu queries verified: outputs bit-identical, chunk TrafficStats equal\n",
+                queries);
   }
   return drift;
 }

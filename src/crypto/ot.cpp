@@ -72,7 +72,7 @@ std::vector<std::uint8_t> ot_dh(TwoPartyContext& ctx, int sender,
   std::vector<std::uint64_t> secret_x(n);
   std::vector<std::uint64_t> blinded(n);
   for (std::size_t t = 0; t < n; ++t) {
-    secret_x[t] = 1 + ctx.prng(receiver).next_below(dh::kPrime - 1);
+    secret_x[t] = 1 + ctx.ot_prng(receiver).next_below(dh::kPrime - 1);
     const std::uint64_t gx = dh::powmod(dh::kGenerator, secret_x[t]);
     blinded[t] = dh::mulmod(gx, dh::powmod(dh::kPublicC, choices[t]));
   }
@@ -83,7 +83,7 @@ std::vector<std::uint8_t> ot_dh(TwoPartyContext& ctx, int sender,
     // pads key_{t,i} = H((B_t * C^{-i})^r, t, i) and mask the table.
     const std::vector<std::uint64_t> b_list = unpack_u64s(ctx.chan(sender).recv_bytes());
     if (b_list.size() != n) throw std::logic_error("ot_1of4: batch size mismatch");
-    const std::uint64_t r = 1 + ctx.prng(sender).next_below(dh::kPrime - 1);
+    const std::uint64_t r = 1 + ctx.ot_prng(sender).next_below(dh::kPrime - 1);
     const std::uint64_t a_val = dh::powmod(dh::kGenerator, r);
     const std::uint64_t c_inv = dh::invmod(dh::kPublicC);
 
@@ -102,7 +102,7 @@ std::vector<std::uint8_t> ot_dh(TwoPartyContext& ctx, int sender,
     ctx.chan(sender).send_bytes(payload);
   } else {
     // Keep the sender-side PRNG stream aligned with the sender's process.
-    (void)ctx.prng(sender).next_below(dh::kPrime - 1);
+    (void)ctx.ot_prng(sender).next_below(dh::kPrime - 1);
   }
 
   std::vector<std::uint8_t> out(n);

@@ -116,6 +116,7 @@ TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, ExecMode mod
                                  std::chrono::microseconds round_delay)
     : rc_(rc), mode_(mode), round_delay_(round_delay), dealer_(rc, splitmix64(seed)),
       dealer_source_(dealer_, rc), prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)),
+      ot_prng0_(splitmix64(seed ^ 3)), ot_prng1_(splitmix64(seed ^ 4)),
       opens_(*this), ots_(std::make_unique<OtBuffer>(*this)),
       bit_opens_(std::make_unique<BitOpenBuffer>(*this)) {
   ChannelOptions options;
@@ -131,7 +132,8 @@ TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, int local_pa
                                  Channel& channel)
     : rc_(rc), mode_(ExecMode::lockstep), local_party_(local_party), remote_chan_(&channel),
       round_delay_(0), dealer_(rc, splitmix64(seed)), dealer_source_(dealer_, rc),
-      prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)), opens_(*this),
+      prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)),
+      ot_prng0_(splitmix64(seed ^ 3)), ot_prng1_(splitmix64(seed ^ 4)), opens_(*this),
       ots_(std::make_unique<OtBuffer>(*this)), bit_opens_(std::make_unique<BitOpenBuffer>(*this)) {
   if (local_party != 0 && local_party != 1) {
     throw std::invalid_argument("TwoPartyContext: local_party must be 0 or 1");

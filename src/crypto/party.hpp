@@ -159,6 +159,13 @@ class TwoPartyContext {
   void set_triple_source(TripleSource* source) noexcept {
     triple_source_ = source != nullptr ? source : &dealer_source_;
   }
+  /// The source installed via set_triple_source, or nullptr when the
+  /// context serves from its own dealer (the default).  Lets a caller
+  /// save/restore the installation around a scoped override — the batched
+  /// executor swaps per-lane sources around each op's randomness draws.
+  [[nodiscard]] TripleSource* installed_triple_source() const noexcept {
+    return triple_source_ == &dealer_source_ ? nullptr : triple_source_;
+  }
   [[nodiscard]] Channel& chan(int party) {
     if (remote_chan_ != nullptr) {
       if (party != local_party_) {
@@ -169,7 +176,38 @@ class TwoPartyContext {
     }
     return party == 0 ? *chan0_ : *chan1_;
   }
-  [[nodiscard]] Prng& prng(int party) noexcept { return party == 0 ? prng0_ : prng1_; }
+  /// The per-party share-randomness streams: every draw here lands in a
+  /// secret share (millionaire leaf masks and the like), so the sequence of
+  /// draws pins the share split — and with it the ±1-LSB truncation noise —
+  /// of everything downstream.  The batched executor overrides these with
+  /// per-lane streams (seeded exactly like a fresh per-query context) so
+  /// each lane of a single-context chunk replays the draw sequence of its
+  /// own independent run.
+  [[nodiscard]] Prng& prng(int party) noexcept {
+    Prng* const o = party == 0 ? prng_override0_ : prng_override1_;
+    if (o != nullptr) return *o;
+    return party == 0 ? prng0_ : prng1_;
+  }
+  /// Installs per-party replacement streams for prng() (non-owning; pass
+  /// nullptrs to restore the context's own streams).  Not thread-safe
+  /// against in-flight protocol steps — the batched executor swaps lanes
+  /// between staging calls on the coordinating thread.
+  void set_prng_override(Prng* p0, Prng* p1) noexcept {
+    prng_override0_ = p0;
+    prng_override1_ = p1;
+  }
+  [[nodiscard]] Prng* prng_override(int party) const noexcept {
+    return party == 0 ? prng_override0_ : prng_override1_;
+  }
+  /// Dedicated streams for the DH OT dance (receiver blinding exponents,
+  /// sender ephemerals).  Those values are transcript-only — the derived
+  /// pads cancel, so shares never depend on them — but the dance draws at
+  /// coalesced FLUSH time, where merged batches span comparison instances
+  /// (and, batched, lanes).  Keeping them off the share streams means flush
+  /// scheduling can never shift a share-affecting draw, which is what lets
+  /// eager/coalesced/batched transcripts stay share-identical in dh_masked
+  /// mode too.  Seeded from the context seed, so remote processes agree.
+  [[nodiscard]] Prng& ot_prng(int party) noexcept { return party == 0 ? ot_prng0_ : ot_prng1_; }
   [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
   [[nodiscard]] std::chrono::microseconds round_delay() const noexcept { return round_delay_; }
 
@@ -238,6 +276,10 @@ class TwoPartyContext {
   TripleSource* triple_source_ = &dealer_source_;
   Prng prng0_;
   Prng prng1_;
+  Prng ot_prng0_;
+  Prng ot_prng1_;
+  Prng* prng_override0_ = nullptr;  // non-owning; see set_prng_override
+  Prng* prng_override1_ = nullptr;
   OpenBuffer opens_;
   std::unique_ptr<OtBuffer> ots_;
   std::unique_ptr<BitOpenBuffer> bit_opens_;

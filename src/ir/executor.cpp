@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace pasnet::ir {
 
@@ -41,6 +42,47 @@ class CoalescingScope {
   bool prev_opens_, prev_ots_, prev_bits_;
 };
 
+/// Restores the context's installed triple source on scope exit — a lane
+/// switch interrupted by an exception (store exhaustion mid-group) must not
+/// leave a dangling per-lane source installed on a longer-lived context.
+class SourceScope {
+ public:
+  SourceScope(crypto::TwoPartyContext& ctx, bool active)
+      : ctx_(ctx), active_(active), prev_(active ? ctx.installed_triple_source() : nullptr) {}
+  ~SourceScope() {
+    if (active_) ctx_.set_triple_source(prev_);
+  }
+  SourceScope(const SourceScope&) = delete;
+  SourceScope& operator=(const SourceScope&) = delete;
+
+ private:
+  crypto::TwoPartyContext& ctx_;
+  bool active_;
+  crypto::TripleSource* prev_;
+};
+
+/// Restores the context's prng() override on scope exit — the per-lane
+/// share-randomness streams are owned by the caller's frame, so a thrown
+/// group must not leave them installed on a longer-lived context.
+class PrngScope {
+ public:
+  PrngScope(crypto::TwoPartyContext& ctx, bool active)
+      : ctx_(ctx), active_(active),
+        prev0_(active ? ctx.prng_override(0) : nullptr),
+        prev1_(active ? ctx.prng_override(1) : nullptr) {}
+  ~PrngScope() {
+    if (active_) ctx_.set_prng_override(prev0_, prev1_);
+  }
+  PrngScope(const PrngScope&) = delete;
+  PrngScope& operator=(const PrngScope&) = delete;
+
+ private:
+  crypto::TwoPartyContext& ctx_;
+  bool active_;
+  crypto::Prng* prev0_;
+  crypto::Prng* prev1_;
+};
+
 }  // namespace
 
 CompiledParams share_parameters(const SecureProgram& p, crypto::Prng& prng,
@@ -62,32 +104,67 @@ CompiledParams share_parameters(const SecureProgram& p, crypto::Prng& prng,
   return cp;
 }
 
-ExecResult execute(const SecureProgram& p, const CompiledParams& params,
-                   crypto::TwoPartyContext& ctx, const nn::Tensor& input,
-                   const ExecOptions& opts) {
+BatchExecResult execute_batch(const SecureProgram& p, const CompiledParams& params,
+                              crypto::TwoPartyContext& ctx, const std::vector<nn::Tensor>& inputs,
+                              const BatchExecOptions& opts) {
+  const std::size_t lanes = opts.input_shares.empty() ? inputs.size() : opts.input_shares.size();
+  if (lanes == 0) return BatchExecResult{};
+  if (!opts.input_shares.empty() && !inputs.empty() && inputs.size() != lanes) {
+    throw std::invalid_argument("ir::execute_batch: inputs/input_shares lane count mismatch");
+  }
+  if (!opts.lane_sources.empty() && opts.lane_sources.size() != lanes) {
+    throw std::invalid_argument("ir::execute_batch: lane_sources must cover every lane");
+  }
+  if (!opts.lane_prngs.empty() && opts.lane_prngs.size() != lanes) {
+    throw std::invalid_argument("ir::execute_batch: lane_prngs must cover every lane");
+  }
+
   const RingConfig& rc = ctx.ring();
   const bool coalesce = opts.cfg.schedule == proto::RoundSchedule::coalesced;
   crypto::OpenBuffer& opens = ctx.opens();
   CoalescingScope mode(ctx, coalesce);
+  SourceScope source_guard(ctx, !opts.lane_sources.empty());
+  PrngScope prng_guard(ctx, !opts.lane_prngs.empty());
+  const auto use_lane = [&](std::size_t q) {
+    if (!opts.lane_sources.empty()) ctx.set_triple_source(opts.lane_sources[q]);
+    if (!opts.lane_prngs.empty()) {
+      ctx.set_prng_override(opts.lane_prngs[q].first, opts.lane_prngs[q].second);
+    }
+  };
 
-  crypto::Prng input_prng(0xC11E47ULL);  // the client's share-generation PRG
-  std::vector<SecureTensor> acts(p.ops.size());
-  ExecResult result;
+  // One canonical client share-generation PRG per lane: lane q's input
+  // sharing (and therefore its truncation-noise trajectory) matches the
+  // independent single-query run of the same query exactly.
+  std::vector<crypto::Prng> input_prngs;
+  input_prngs.reserve(lanes);
+  for (std::size_t q = 0; q < lanes; ++q) input_prngs.emplace_back(0xC11E47ULL);
 
-  // The currently open round group: single-round staged ops whose openings
-  // flush in one exchange, plus staged comparison ops whose resumable
-  // phases advance in lockstep so every instance shares the group's OT,
-  // AND-level and open rounds.
-  std::vector<std::unique_ptr<proto::StagedSecureOp>> staged;
-  std::vector<std::size_t> staged_idx;
-  std::vector<std::unique_ptr<proto::StagedCompareOp>> comps;
-  std::vector<std::size_t> comp_idx;
+  std::vector<std::vector<SecureTensor>> acts(lanes,
+                                              std::vector<SecureTensor>(p.ops.size()));
+  BatchExecResult result;
+
+  // The currently open round group: single-round staged instances whose
+  // openings flush in one exchange, plus staged comparison instances whose
+  // resumable phases advance in lockstep so every instance — across ops
+  // AND lanes — shares the group's OT, AND-level and open rounds.
+  struct StagedInst {
+    std::unique_ptr<proto::StagedSecureOp> op;
+    std::size_t idx;
+    std::size_t lane;
+  };
+  struct CompInst {
+    std::unique_ptr<proto::StagedCompareOp> op;
+    std::size_t idx;
+    std::size_t lane;
+  };
+  std::vector<StagedInst> staged;
+  std::vector<CompInst> comps;
   std::vector<char> pending(p.ops.size(), 0);
   int staged_group = -1;
-  const auto deliver = [&](std::size_t idx, SecureTensor t) {
-    acts[idx] = std::move(t);
+  const auto deliver = [&](std::size_t lane, std::size_t idx, SecureTensor t) {
+    acts[lane][idx] = std::move(t);
     pending[idx] = 0;
-    if (opts.op_hook) opts.op_hook(idx, acts[idx]);
+    if (opts.op_hook) opts.op_hook(lane, idx, acts[lane][idx]);
   };
   const auto flush_group = [&] {
     if (staged.empty() && comps.empty()) return;
@@ -101,7 +178,7 @@ ExecResult execute(const SecureProgram& p, const CompiledParams& params,
       for (;;) {
         bool want_ot = false, want_bits = false, want_opens = false;
         for (const auto& c : comps) {
-          switch (c->waiting()) {
+          switch (c.op->waiting()) {
             case crypto::CompareWait::ot:
               want_ot = true;
               break;
@@ -120,28 +197,37 @@ ExecResult execute(const SecureProgram& p, const CompiledParams& params,
         if (want_bits) ctx.bit_opens().flush();
         if (want_opens) opens.flush();
         for (auto& c : comps) {
-          if (c->waiting() != crypto::CompareWait::done) c->step(ctx);
+          if (c.op->waiting() != crypto::CompareWait::done) {
+            use_lane(c.lane);
+            c.op->step(ctx);
+          }
         }
       }
       // Single-round stragglers whose group had no open phase to ride
       // (possible only when every comparison degenerates, e.g. 1x1 pools).
       opens.flush();
     }
-    // Deliver outputs in op order (both index lists are ascending).
+    // Deliver outputs in (op, lane) order — both instance lists were
+    // staged op-major, lane-minor, so each is already ascending.
     std::size_t si = 0, ci = 0;
     while (si < staged.size() || ci < comps.size()) {
-      if (ci >= comps.size() || (si < staged.size() && staged_idx[si] < comp_idx[ci])) {
-        deliver(staged_idx[si], staged[si]->finish(ctx));
+      const bool take_staged =
+          ci >= comps.size() ||
+          (si < staged.size() &&
+           std::make_pair(staged[si].idx, staged[si].lane) <
+               std::make_pair(comps[ci].idx, comps[ci].lane));
+      if (take_staged) {
+        use_lane(staged[si].lane);
+        deliver(staged[si].lane, staged[si].idx, staged[si].op->finish(ctx));
         ++si;
       } else {
-        deliver(comp_idx[ci], comps[ci]->take(ctx));
+        use_lane(comps[ci].lane);
+        deliver(comps[ci].lane, comps[ci].idx, comps[ci].op->take(ctx));
         ++ci;
       }
     }
     staged.clear();
-    staged_idx.clear();
     comps.clear();
-    comp_idx.clear();
     staged_group = -1;
   };
   const auto input_pending = [&](const Op& op) {
@@ -151,75 +237,79 @@ ExecResult execute(const SecureProgram& p, const CompiledParams& params,
 
   for (std::size_t i = 0; i < p.ops.size(); ++i) {
     const Op& op = p.ops[i];
-    const auto in = [&]() -> const SecureTensor& {
-      return acts[static_cast<std::size_t>(op.in0)];
+    const auto in = [&](std::size_t q) -> const SecureTensor& {
+      return acts[q][static_cast<std::size_t>(op.in0)];
     };
     if (op.stages_opens()) {
       if (staged_group != op.round_group || input_pending(op)) flush_group();
-      if (opts.layer_hook) opts.layer_hook(op.layer);
-      std::unique_ptr<proto::StagedSecureOp> sop;
-      switch (op.kind) {
-        case OpKind::conv:
-          sop = std::make_unique<proto::StagedConv2d>(
-              in(), params.weight[i], op.has_bias ? &params.bias[i] : nullptr, op.out_ch,
-              op.kernel, op.stride, op.pad, /*depthwise=*/false);
-          break;
-        case OpKind::depthwise_conv:
-          sop = std::make_unique<proto::StagedConv2d>(
-              in(), params.weight[i], op.has_bias ? &params.bias[i] : nullptr, op.out_ch,
-              op.kernel, op.stride, op.pad, /*depthwise=*/true);
-          break;
-        case OpKind::linear:
-          sop = std::make_unique<proto::StagedLinear>(
-              in(), params.weight[i], op.has_bias ? &params.bias[i] : nullptr,
-              op.out_features);
-          break;
-        case OpKind::x2act:
-          sop = std::make_unique<proto::StagedX2act>(in(), op.a_coeff, op.act_w2, op.act_b);
-          break;
-        default:
-          throw std::logic_error("ir::execute: unreachable staged kind");
-      }
-      sop->stage(ctx);
-      if (coalesce) {
-        staged.push_back(std::move(sop));
-        staged_idx.push_back(i);
-        staged_group = op.round_group;
-        pending[i] = 1;
-      } else {
-        // Eager schedule: every staged opening already ran its own
-        // exchange; the op completes on the spot.
-        opens.flush();
-        deliver(i, sop->finish(ctx));
+      for (std::size_t q = 0; q < lanes; ++q) {
+        if (opts.layer_hook) opts.layer_hook(q, op.layer);
+        use_lane(q);
+        std::unique_ptr<proto::StagedSecureOp> sop;
+        switch (op.kind) {
+          case OpKind::conv:
+            sop = std::make_unique<proto::StagedConv2d>(
+                in(q), params.weight[i], op.has_bias ? &params.bias[i] : nullptr, op.out_ch,
+                op.kernel, op.stride, op.pad, /*depthwise=*/false);
+            break;
+          case OpKind::depthwise_conv:
+            sop = std::make_unique<proto::StagedConv2d>(
+                in(q), params.weight[i], op.has_bias ? &params.bias[i] : nullptr, op.out_ch,
+                op.kernel, op.stride, op.pad, /*depthwise=*/true);
+            break;
+          case OpKind::linear:
+            sop = std::make_unique<proto::StagedLinear>(
+                in(q), params.weight[i], op.has_bias ? &params.bias[i] : nullptr,
+                op.out_features);
+            break;
+          case OpKind::x2act:
+            sop = std::make_unique<proto::StagedX2act>(in(q), op.a_coeff, op.act_w2, op.act_b);
+            break;
+          default:
+            throw std::logic_error("ir::execute: unreachable staged kind");
+        }
+        sop->stage(ctx);
+        if (coalesce) {
+          staged.push_back(StagedInst{std::move(sop), i, q});
+          staged_group = op.round_group;
+          pending[i] = 1;
+        } else {
+          // Eager schedule: every staged opening already ran its own
+          // exchange; the lane's instance completes on the spot.
+          opens.flush();
+          deliver(q, i, sop->finish(ctx));
+        }
       }
       continue;
     }
 
     if (op.stages_compare()) {
       if (coalesce && (staged_group != op.round_group || input_pending(op))) flush_group();
-      if (opts.layer_hook) opts.layer_hook(op.layer);
-      std::unique_ptr<proto::StagedCompareOp> cop;
-      switch (op.kind) {
-        case OpKind::relu:
-          cop = std::make_unique<proto::StagedRelu>(in(), opts.cfg.ot_mode);
-          break;
-        case OpKind::maxpool:
-          cop = std::make_unique<proto::StagedMaxPool>(in(), op.kernel, op.stride, op.pad,
-                                                       opts.cfg.ot_mode);
-          break;
-        default:
-          throw std::logic_error("ir::execute: unreachable compare kind");
-      }
-      if (coalesce) {
-        cop->begin(ctx);
-        comps.push_back(std::move(cop));
-        comp_idx.push_back(i);
-        staged_group = op.round_group;
-        pending[i] = 1;
-      } else {
-        // Eager schedule: the comparison's phases run their own exchanges
-        // back to back (immediate buffers make every flush a no-op).
-        deliver(i, proto::run_compare_op(ctx, *cop));
+      for (std::size_t q = 0; q < lanes; ++q) {
+        if (opts.layer_hook) opts.layer_hook(q, op.layer);
+        use_lane(q);
+        std::unique_ptr<proto::StagedCompareOp> cop;
+        switch (op.kind) {
+          case OpKind::relu:
+            cop = std::make_unique<proto::StagedRelu>(in(q), opts.cfg.ot_mode);
+            break;
+          case OpKind::maxpool:
+            cop = std::make_unique<proto::StagedMaxPool>(in(q), op.kernel, op.stride, op.pad,
+                                                         opts.cfg.ot_mode);
+            break;
+          default:
+            throw std::logic_error("ir::execute: unreachable compare kind");
+        }
+        if (coalesce) {
+          cop->begin(ctx);
+          comps.push_back(CompInst{std::move(cop), i, q});
+          staged_group = op.round_group;
+          pending[i] = 1;
+        } else {
+          // Eager schedule: the comparison's phases run their own exchanges
+          // back to back (immediate buffers make every flush a no-op).
+          deliver(q, i, proto::run_compare_op(ctx, *cop));
+        }
       }
       continue;
     }
@@ -227,35 +317,41 @@ ExecResult execute(const SecureProgram& p, const CompiledParams& params,
     // The argmax terminal runs its own exchanges; local ops may read group
     // outputs.  Either way any pending group finishes first.
     if (op.multi_round() || input_pending(op)) flush_group();
-    if (opts.layer_hook) opts.layer_hook(op.layer);
-    switch (op.kind) {
-      case OpKind::input:
-        deliver(i, opts.input_shares != nullptr ? *opts.input_shares
-                                                : proto::share_tensor(input, input_prng, rc));
-        break;
-      case OpKind::avgpool:
-        deliver(i, proto::secure_avgpool(ctx, in(), op.kernel, op.stride, op.pad));
-        break;
-      case OpKind::global_avgpool:
-        deliver(i, proto::secure_global_avgpool(ctx, in()));
-        break;
-      case OpKind::flatten:
-        deliver(i, proto::secure_flatten(in()));
-        break;
-      case OpKind::add:
-        deliver(i, proto::secure_add(ctx, acts[static_cast<std::size_t>(op.in0)],
-                                     acts[static_cast<std::size_t>(op.in1)]));
-        break;
-      case OpKind::argmax:
-        if (static_cast<int>(i) != p.output) {
-          throw std::logic_error("ir::execute: argmax must be the program output");
-        }
-        result.labels = proto::secure_argmax(ctx, in(), opts.cfg);
-        break;
-      case OpKind::batchnorm:
-        throw std::logic_error("ir::execute: unfolded batch-norm (run the pass pipeline)");
-      default:
-        throw std::logic_error("ir::execute: unreachable local kind");
+    for (std::size_t q = 0; q < lanes; ++q) {
+      if (opts.layer_hook) opts.layer_hook(q, op.layer);
+      use_lane(q);
+      switch (op.kind) {
+        case OpKind::input:
+          deliver(q, i,
+                  !opts.input_shares.empty()
+                      ? *opts.input_shares[q]
+                      : proto::share_tensor(inputs[q], input_prngs[q], rc));
+          break;
+        case OpKind::avgpool:
+          deliver(q, i, proto::secure_avgpool(ctx, in(q), op.kernel, op.stride, op.pad));
+          break;
+        case OpKind::global_avgpool:
+          deliver(q, i, proto::secure_global_avgpool(ctx, in(q)));
+          break;
+        case OpKind::flatten:
+          deliver(q, i, proto::secure_flatten(in(q)));
+          break;
+        case OpKind::add:
+          deliver(q, i,
+                  proto::secure_add(ctx, acts[q][static_cast<std::size_t>(op.in0)],
+                                    acts[q][static_cast<std::size_t>(op.in1)]));
+          break;
+        case OpKind::argmax:
+          if (static_cast<int>(i) != p.output) {
+            throw std::logic_error("ir::execute: argmax must be the program output");
+          }
+          result.labels.push_back(proto::secure_argmax(ctx, in(q), opts.cfg));
+          break;
+        case OpKind::batchnorm:
+          throw std::logic_error("ir::execute: unfolded batch-norm (run the pass pipeline)");
+        default:
+          throw std::logic_error("ir::execute: unreachable local kind");
+      }
     }
   }
   flush_group();
@@ -263,11 +359,43 @@ ExecResult execute(const SecureProgram& p, const CompiledParams& params,
   const Op& out_op = p.ops[static_cast<std::size_t>(p.output)];
   if (out_op.kind == OpKind::argmax) return result;
 
-  // Reveal the logits to the client: one final joint opening.
-  const SecureTensor& final_act = acts[static_cast<std::size_t>(p.output)];
-  const crypto::RingVec revealed = crypto::open(ctx, final_act.shares);
-  result.logits = nn::Tensor::from_doubles(crypto::decode_vec(revealed, rc),
-                                           std::vector<int>(final_act.shape));
+  // Reveal the logits to the client: every lane's terminal opening stages
+  // on the open buffer, so the coalesced schedule reveals the whole batch
+  // in ONE joint exchange (the eager schedule opens per lane).
+  std::vector<crypto::RingVec> revealed(lanes);
+  for (std::size_t q = 0; q < lanes; ++q) {
+    opens.stage(acts[q][static_cast<std::size_t>(p.output)].shares, &revealed[q]);
+  }
+  opens.flush();
+  result.logits.reserve(lanes);
+  for (std::size_t q = 0; q < lanes; ++q) {
+    const SecureTensor& final_act = acts[q][static_cast<std::size_t>(p.output)];
+    result.logits.push_back(nn::Tensor::from_doubles(crypto::decode_vec(revealed[q], rc),
+                                                     std::vector<int>(final_act.shape)));
+  }
+  return result;
+}
+
+ExecResult execute(const SecureProgram& p, const CompiledParams& params,
+                   crypto::TwoPartyContext& ctx, const nn::Tensor& input,
+                   const ExecOptions& opts) {
+  BatchExecOptions bopts;
+  bopts.cfg = opts.cfg;
+  if (opts.layer_hook) {
+    const auto& hook = opts.layer_hook;
+    bopts.layer_hook = [&hook](std::size_t, int layer) { hook(layer); };
+  }
+  if (opts.op_hook) {
+    const auto& hook = opts.op_hook;
+    bopts.op_hook = [&hook](std::size_t, std::size_t idx, const SecureTensor& t) {
+      hook(idx, t);
+    };
+  }
+  if (opts.input_shares != nullptr) bopts.input_shares = {opts.input_shares};
+  BatchExecResult batch = execute_batch(p, params, ctx, {input}, bopts);
+  ExecResult result;
+  if (!batch.logits.empty()) result.logits = std::move(batch.logits[0]);
+  if (!batch.labels.empty()) result.labels = std::move(batch.labels[0]);
   return result;
 }
 

@@ -137,9 +137,90 @@ int schedule_rounds(SecureProgram& p) {
   return groups;
 }
 
+int parallelize_instances(SecureProgram& p) {
+  // List-scheduling reorder: repeatedly emit every ready local/multi-round
+  // op (they stage nothing, so hoisting them costs no rounds), then emit
+  // ALL currently-ready stageable ops as one contiguous wave.  Ops on
+  // parallel branches that program order separated (the ResNet
+  // downsample-skip conv vs the main path's first conv, a skip x2act vs a
+  // main-path relu) become adjacent, so schedule_rounds afterwards grows
+  // one round group per wave and their openings/comparison phases share
+  // exchanges.  The reorder is purely topological — every edge still
+  // points backwards — so transcript values are unchanged op for op.
+  const std::size_t n = p.ops.size();
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<char> placed(n, 0);
+  const auto ready = [&](const Op& op) {
+    return (op.in0 < 0 || placed[static_cast<std::size_t>(op.in0)]) &&
+           (op.in1 < 0 || placed[static_cast<std::size_t>(op.in1)]);
+  };
+  const auto stageable = [](const Op& op) {
+    return op.stages_opens() || op.stages_compare();
+  };
+  while (order.size() < n) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!placed[i] && !stageable(p.ops[i]) && ready(p.ops[i])) {
+          placed[i] = 1;
+          order.push_back(i);
+          progress = true;
+        }
+      }
+    }
+    std::vector<std::size_t> wave;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!placed[i] && stageable(p.ops[i]) && ready(p.ops[i])) wave.push_back(i);
+    }
+    if (wave.empty()) {
+      if (order.size() < n) {
+        throw std::logic_error("ir::parallelize_instances: cyclic program edges");
+      }
+      break;
+    }
+    for (std::size_t i : wave) {
+      placed[i] = 1;
+      order.push_back(i);
+    }
+  }
+  // Count the hoists: ops now scheduled ahead of some originally-earlier
+  // op (i.e. positions whose original index exceeds a later position's).
+  int hoisted = 0;
+  std::size_t suffix_min = n;
+  for (std::size_t pos = n; pos-- > 0;) {
+    if (order[pos] > suffix_min) ++hoisted;
+    suffix_min = std::min(suffix_min, order[pos]);
+  }
+  if (hoisted > 0) {
+    std::vector<int> new_index(n, -1);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      new_index[order[pos]] = static_cast<int>(pos);
+    }
+    std::vector<Op> reordered;
+    reordered.reserve(n);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      reordered.push_back(std::move(p.ops[order[pos]]));
+    }
+    const auto follow = [&](int idx) {
+      return idx < 0 ? idx : new_index[static_cast<std::size_t>(idx)];
+    };
+    for (Op& op : reordered) {
+      op.in0 = follow(op.in0);
+      op.in1 = follow(op.in1);
+    }
+    p.output = follow(p.output);
+    p.ops = std::move(reordered);
+  }
+  p.passes_run.emplace_back("parallelize_instances");
+  return hoisted;
+}
+
 void run_standard_passes(SecureProgram& p) {
   (void)fold_batchnorm(p);
   (void)fuse_x2act_coeffs(p);
+  (void)parallelize_instances(p);
   (void)schedule_rounds(p);
 }
 

@@ -41,7 +41,19 @@ int fuse_x2act_coeffs(SecureProgram& program);
 /// round groups.
 int schedule_rounds(SecureProgram& program);
 
-/// fold_batchnorm + fuse_x2act_coeffs + schedule_rounds.
+/// Instance-parallelism reorder: a topological list-scheduling pass that
+/// makes independent stageable ops (openings and comparisons on parallel
+/// branches — e.g. a residual block's downsample-skip conv next to the
+/// main path's first conv) contiguous, so schedule_rounds afterwards
+/// merges them into shared round groups.  Local and multi-round ops are
+/// emitted as soon as they are ready; stageable ops are emitted in waves
+/// of everything simultaneously ready.  Purely a reorder — every edge
+/// still points backwards and transcript values are unchanged op for op.
+/// Returns the number of ops hoisted ahead of an originally-earlier op.
+int parallelize_instances(SecureProgram& program);
+
+/// fold_batchnorm + fuse_x2act_coeffs + parallelize_instances +
+/// schedule_rounds.
 void run_standard_passes(SecureProgram& program);
 
 }  // namespace pasnet::ir

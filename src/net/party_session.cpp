@@ -89,63 +89,120 @@ ir::ExecResult PartySession::run_query(const ir::SecureProgram& program,
                                        const nn::Tensor* input,
                                        const RemoteSessionOptions& opts,
                                        crypto::TrafficStats* stats_out) {
-  // --- setup frames (outside the metered window) ---------------------------
-  proto::SecureTensor input_shares;
+  std::vector<nn::Tensor> inputs;
   if (party_ == 0) {
     if (input == nullptr) {
       throw std::invalid_argument("PartySession::run_query: party 0 owns the input");
     }
-    // The executor's canonical client PRG: identical share values to the
-    // in-process input op, so logits stay bit-identical.
-    crypto::Prng input_prng(0xC11E47ULL);
-    input_shares = proto::share_tensor(*input, input_prng, rc_);
-    send_tensor_share(chan_, input_shares, /*for_party=*/1);
+    inputs.push_back(*input);
+  }
+  ir::BatchExecResult batch = run_batch(program, params, q, party_ == 0 ? &inputs : nullptr,
+                                        /*lanes=*/1, opts, stats_out);
+  ir::ExecResult res;
+  if (!batch.logits.empty()) res.logits = std::move(batch.logits[0]);
+  if (!batch.labels.empty()) res.labels = std::move(batch.labels[0]);
+  return res;
+}
+
+ir::BatchExecResult PartySession::run_batch(const ir::SecureProgram& program,
+                                            const ir::CompiledParams& params, std::size_t q,
+                                            const std::vector<nn::Tensor>* inputs,
+                                            std::size_t lanes,
+                                            const RemoteSessionOptions& opts,
+                                            crypto::TrafficStats* stats_out) {
+  if (lanes == 0) return ir::BatchExecResult{};
+  // --- setup frames (outside the metered window) ---------------------------
+  // One input-share frame per lane, each computed with the executor's
+  // canonical per-lane client PRG: identical share values to the
+  // in-process batched input op, so logits stay bit-identical.
+  std::vector<proto::SecureTensor> input_shares(lanes);
+  if (party_ == 0) {
+    if (inputs == nullptr || inputs->size() != lanes) {
+      throw std::invalid_argument("PartySession::run_batch: party 0 owns one input per lane");
+    }
+    for (std::size_t j = 0; j < lanes; ++j) {
+      crypto::Prng input_prng(0xC11E47ULL);
+      input_shares[j] = proto::share_tensor((*inputs)[j], input_prng, rc_);
+      send_tensor_share(chan_, input_shares[j], /*for_party=*/1);
+    }
   } else {
-    input_shares = recv_tensor_share(chan_, /*local_party=*/1);
-  }
-
-  // --- triple sourcing ------------------------------------------------------
-  // The per-query context seed follows the canonical batch/store path:
-  // store claims decide the index under TripleSourceKind::store, the
-  // explicit claim index under dealer, the stream position under fused.
-  std::optional<offline::QueryBundle> dealer_bundle;
-  offline::QueryBundle* bundle = nullptr;
-  std::size_t seed_idx = q;
-  switch (opts.source) {
-    case TripleSourceKind::fused:
-      break;
-    case TripleSourceKind::store: {
-      if (opts.store == nullptr) {
-        throw std::invalid_argument("PartySession::run_query: store source without a store");
-      }
-      const auto [idx, b] = opts.store->claim_next();
-      seed_idx = idx;
-      bundle = b;
-      break;
-    }
-    case TripleSourceKind::dealer: {
-      if (opts.dealer == nullptr) {
-        throw std::invalid_argument("PartySession::run_query: dealer source without a client");
-      }
-      dealer_bundle = opts.dealer->claim(q);
-      if (dealer_bundle.has_value()) bundle = &*dealer_bundle;
-      break;
+    for (std::size_t j = 0; j < lanes; ++j) {
+      input_shares[j] = recv_tensor_share(chan_, /*local_party=*/1);
     }
   }
 
-  // --- the metered query ----------------------------------------------------
+  // --- per-lane triple sourcing ---------------------------------------------
+  // Lane j's canonical stream position follows the in-process Workload
+  // path: store claims decide it under TripleSourceKind::store, the
+  // explicit claim index q + j under dealer, the stream position q + j
+  // under fused.  Both processes derive the same positions, so their
+  // per-lane dealer/PRNG streams — the shared trusted setup — coincide.
+  std::vector<std::optional<offline::QueryBundle>> dealer_bundles(lanes);
+  std::vector<offline::QueryBundle*> bundles(lanes, nullptr);
+  std::vector<std::size_t> seed_idx(lanes);
+  for (std::size_t j = 0; j < lanes; ++j) {
+    seed_idx[j] = q + j;
+    switch (opts.source) {
+      case TripleSourceKind::fused:
+        break;
+      case TripleSourceKind::store: {
+        if (opts.store == nullptr) {
+          throw std::invalid_argument("PartySession::run_batch: store source without a store");
+        }
+        const auto [idx, b] = opts.store->claim_next();
+        seed_idx[j] = idx;
+        bundles[j] = b;
+        break;
+      }
+      case TripleSourceKind::dealer: {
+        if (opts.dealer == nullptr) {
+          throw std::invalid_argument("PartySession::run_batch: dealer source without a client");
+        }
+        dealer_bundles[j] = opts.dealer->claim(q + j);
+        if (dealer_bundles[j].has_value()) bundles[j] = &*dealer_bundles[j];
+        break;
+      }
+    }
+  }
+
+  // --- the metered chunk ----------------------------------------------------
+  // One remote context for the whole chunk, seeded with lane 0's canonical
+  // context seed (matching Workload::run); every lane draws triples from
+  // its own canonically seeded dealer stream and share randomness from its
+  // own canonically seeded PRNG pair, exactly like the in-process batch.
   chan_.reset_stats();
-  crypto::TwoPartyContext ctx(rc_, proto::SecureNetwork::query_context_seed(seed_idx), party_,
-                              chan_);
-  std::unique_ptr<offline::StoreTripleSource> source;
-  if (opts.source != TripleSourceKind::fused) {
-    source = std::make_unique<offline::StoreTripleSource>(bundle, ctx.dealer(), opts.policy);
-    ctx.set_triple_source(source.get());
+  crypto::TwoPartyContext ctx(rc_, proto::SecureNetwork::query_context_seed(seed_idx[0]),
+                              party_, chan_);
+  std::vector<std::unique_ptr<crypto::TripleDealer>> lane_dealers;
+  std::vector<std::unique_ptr<crypto::TripleSource>> owned_sources;
+  std::vector<std::unique_ptr<crypto::Prng>> owned_prngs;
+  ir::BatchExecOptions bopts;
+  bopts.cfg = opts.cfg;
+  bopts.lane_sources.resize(lanes);
+  bopts.lane_prngs.resize(lanes);
+  bopts.input_shares.resize(lanes);
+  lane_dealers.reserve(lanes);
+  owned_sources.reserve(lanes);
+  owned_prngs.reserve(2 * lanes);
+  for (std::size_t j = 0; j < lanes; ++j) {
+    lane_dealers.push_back(std::make_unique<crypto::TripleDealer>(
+        rc_, proto::SecureNetwork::query_dealer_seed(seed_idx[j])));
+    if (opts.source == TripleSourceKind::fused) {
+      owned_sources.push_back(
+          std::make_unique<crypto::DealerTripleSource>(*lane_dealers.back(), rc_));
+    } else {
+      owned_sources.push_back(std::make_unique<offline::StoreTripleSource>(
+          bundles[j], *lane_dealers.back(), opts.policy));
+    }
+    bopts.lane_sources[j] = owned_sources.back().get();
+    const std::uint64_t cseed = proto::SecureNetwork::query_context_seed(seed_idx[j]);
+    owned_prngs.push_back(std::make_unique<crypto::Prng>(crypto::splitmix64(cseed ^ 1)));
+    bopts.lane_prngs[j].first = owned_prngs.back().get();
+    owned_prngs.push_back(std::make_unique<crypto::Prng>(crypto::splitmix64(cseed ^ 2)));
+    bopts.lane_prngs[j].second = owned_prngs.back().get();
+    bopts.input_shares[j] = &input_shares[j];
   }
-  ir::ExecOptions eopts;
-  eopts.cfg = opts.cfg;
-  eopts.input_shares = &input_shares;
-  ir::ExecResult res = ir::execute(program, params, ctx, nn::Tensor{}, eopts);
+  ir::BatchExecResult res = ir::execute_batch(program, params, ctx, {}, bopts);
   if (stats_out != nullptr) *stats_out = chan_.stats_snapshot();
   return res;
 }

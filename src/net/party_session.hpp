@@ -80,6 +80,22 @@ class PartySession {
                                          const RemoteSessionOptions& opts,
                                          crypto::TrafficStats* stats_out = nullptr);
 
+  /// Runs `lanes` queries batched inside ONE remote context (the
+  /// two-process face of ir::execute_batch): every round group is shared
+  /// across the lanes, so the chunk pays the comparison rounds of one
+  /// query.  Party 0 passes the inputs (inputs->size() == lanes); party 1
+  /// passes nullptr and the agreed lane count.  Both processes derive lane
+  /// j's canonical seeds from stream position q + j (store claims decide
+  /// positions under TripleSourceKind::store), so batched remote logits
+  /// are bit-identical to the same queries run one at a time — local or
+  /// remote.
+  [[nodiscard]] ir::BatchExecResult run_batch(const ir::SecureProgram& program,
+                                              const ir::CompiledParams& params, std::size_t q,
+                                              const std::vector<nn::Tensor>* inputs,
+                                              std::size_t lanes,
+                                              const RemoteSessionOptions& opts,
+                                              crypto::TrafficStats* stats_out = nullptr);
+
   [[nodiscard]] int party() const noexcept { return party_; }
 
  private:

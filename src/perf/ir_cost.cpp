@@ -256,18 +256,24 @@ GroupWalk simulate_group_rounds(const std::vector<std::vector<PhaseTok>>& stream
 }  // namespace
 
 ProgramCost profile_program(const LatencyModel& m, const ir::SecureProgram& p,
-                            int ring_bits, int wire_bits) {
+                            int ring_bits, int wire_bits, int batch) {
   ProgramCost pc;
   pc.per_op.reserve(p.ops.size());
+  const auto lanes = static_cast<std::uint64_t>(batch < 1 ? 1 : batch);
 
   // Group composition: token streams of the comparison members plus
-  // whether single-round members ride along.
+  // whether single-round members ride along.  A batched run stages every
+  // lane's instance into the same group, so each comparison contributes
+  // `lanes` identical streams — the walk's rounds stay K-invariant while
+  // the merged-OT savings grow with every extra lane.
   std::map<int, std::vector<std::vector<PhaseTok>>> group_streams;
   std::map<int, bool> group_has_single;
   for (const ir::Op& op : p.ops) {
     if (op.round_group < 0) continue;
     if (op.stages_compare()) {
-      group_streams[op.round_group].push_back(compare_tokens(op, ring_bits));
+      const std::vector<PhaseTok> toks = compare_tokens(op, ring_bits);
+      auto& streams = group_streams[op.round_group];
+      for (std::uint64_t q = 0; q < lanes; ++q) streams.push_back(toks);
     } else if (op.stages_opens()) {
       group_streams[op.round_group];  // ensure the group exists
       group_has_single[op.round_group] = true;
@@ -297,20 +303,34 @@ ProgramCost profile_program(const LatencyModel& m, const ir::SecureProgram& p,
         groups_counted.insert(op.round_group);
         c.rounds = group_rounds[op.round_group];
       }
+    } else if (op.multi_round()) {
+      // Argmax terminals are not staged: each lane's tournament runs its
+      // own exchanges back to back.
+      c.rounds *= static_cast<int>(lanes);
     }
-    pc.total += c;
+    // per_op stays the single-lane figure (rounds already group-shared);
+    // the total scales every additive field by the lane count.
     pc.per_op.push_back(c);
-    pc.wire_bytes_eager += ir_op_wire_bytes(op, ring_bits, wire_bits);
+    OpCost scaled = c;
+    scaled.cmp_s *= static_cast<double>(lanes);
+    scaled.comm_s *= static_cast<double>(lanes);
+    scaled.comm_bytes *= static_cast<double>(lanes);
+    pc.total += scaled;
+    pc.wire_bytes_eager += lanes * ir_op_wire_bytes(op, ring_bits, wire_bits);
   }
   pc.round_groups = static_cast<int>(groups_counted.size());
-  // Terminal joint opening: the logits (or the argmax index vector, whose
-  // final reveal replaces it).
-  pc.total.rounds += 1;
+  // Terminal joint opening: all lanes' logits reveal in ONE merged
+  // exchange under the coalesced schedule; an argmax terminal's index
+  // reveal instead happens inside each lane's tournament, once per lane.
+  const bool argmax_terminal =
+      p.output >= 0 && p.ops[static_cast<std::size_t>(p.output)].multi_round();
+  pc.total.rounds += argmax_terminal ? static_cast<int>(lanes) : 1;
   const auto wire = static_cast<std::uint64_t>((wire_bits + 7) / 8);
   const auto out_elems = static_cast<std::uint64_t>(
       p.output >= 0 ? p.ops[static_cast<std::size_t>(p.output)].output_elems() : 0);
-  pc.total.comm_bytes += 2.0 * static_cast<double>(wire) * static_cast<double>(out_elems);
-  pc.wire_bytes_eager += 2 * wire * out_elems;
+  pc.total.comm_bytes +=
+      2.0 * static_cast<double>(wire) * static_cast<double>(out_elems * lanes);
+  pc.wire_bytes_eager += 2 * wire * out_elems * lanes;
   // The coalesced schedule moves the same openings and bit packs; only
   // merged OT flushes shed their extra ephemeral sender keys.
   pc.wire_bytes = pc.wire_bytes_eager - ot_merge_savings;

@@ -60,8 +60,16 @@ struct ProgramCost {
   std::uint64_t wire_bytes_eager = 0;  ///< per-op schedule
 };
 
+/// `batch` prices a K-lane single-context batched run (ir::execute_batch):
+/// every comparison contributes K identical phase streams to its round
+/// group — so group rounds stay K-invariant while merged-OT savings grow —
+/// per-op compute/communication and eager wire bytes scale by K, the
+/// terminal logits opening stays ONE merged exchange, and argmax terminals
+/// (not staged) pay their tournament and reveal rounds per lane.  per_op
+/// entries remain single-lane figures.
 [[nodiscard]] ProgramCost profile_program(const LatencyModel& model,
                                           const ir::SecureProgram& program,
-                                          int ring_bits = 64, int wire_bits = 32);
+                                          int ring_bits = 64, int wire_bits = 32,
+                                          int batch = 1);
 
 }  // namespace pasnet::perf

@@ -53,7 +53,7 @@ std::uint64_t SecureNetwork::query_dealer_seed(std::size_t q) noexcept {
 offline::TripleStore SecureNetwork::preprocess(std::size_t queries, int threads,
                                                offline::GenerationReport* report) const {
   return offline::OfflineGenerator(threads).generate(
-      plan(), queries, [](std::size_t q) { return query_dealer_seed(q); }, report);
+      plan_, queries, [](std::size_t q) { return query_dealer_seed(q); }, report);
 }
 
 void SecureNetwork::ensure_classify_compiled() {
@@ -76,15 +76,17 @@ const offline::PreprocessingPlan& SecureNetwork::classify_plan() {
 
 offline::TripleStore SecureNetwork::preprocess_classify(std::size_t queries, int threads,
                                                         offline::GenerationReport* report) {
+  ensure_classify_compiled();
   return offline::OfflineGenerator(threads).generate(
-      classify_plan(), queries, [](std::size_t q) { return query_dealer_seed(q); }, report);
+      *classify_plan_, queries, [](std::size_t q) { return query_dealer_seed(q); }, report);
 }
 
 void SecureNetwork::use_store(offline::TripleStore* store, offline::ExhaustionPolicy policy) {
   if (store != nullptr) {
-    if (store->plan_fingerprint() == plan().fingerprint()) {
+    ensure_classify_compiled();
+    if (store->plan_fingerprint() == plan_.fingerprint()) {
       store_is_classify_ = false;
-    } else if (store->plan_fingerprint() == classify_plan().fingerprint()) {
+    } else if (store->plan_fingerprint() == classify_plan_->fingerprint()) {
       store_is_classify_ = true;
     } else {
       throw std::invalid_argument(

@@ -1,0 +1,125 @@
+#pragma once
+// The unified serving API: one Workload = one compiled model + one output
+// kind (logits or labels) + one batch width K, yielding ONE plan, ONE
+// preprocess entry point, ONE store fingerprint family and ONE run()
+// method — replacing the SecureNetwork infer/classify × plan/classify_plan
+// × preprocess/preprocess_classify method matrix (kept as deprecated
+// shims for one release).
+//
+// run() executes queries in K-lane chunks inside single contexts
+// (ir::execute_batch): all K lanes of a chunk advance each round group in
+// lockstep, so comparison rounds are shared batch-wide and a K-query chunk
+// costs the rounds of ONE query.  Chunk contexts and per-lane triple
+// streams follow the canonical per-query seeding
+// (SecureNetwork::query_context_seed / query_dealer_seed of the query's
+// stream position), which makes every lane's output bit-identical to an
+// independent single-query run of the same stream position — batched,
+// worker-sharded, store-backed and dealer-backed serving all produce the
+// same bits.
+
+#include <cstddef>
+#include <vector>
+
+#include "offline/triple_store.hpp"
+#include "proto/secure_network.hpp"
+
+namespace pasnet::proto {
+
+/// What a workload reveals per query.
+enum class WorkloadKind {
+  logits,    ///< reconstructed logit tensors
+  classify,  ///< argmax labels only (label-only serving)
+};
+
+struct WorkloadOptions {
+  WorkloadKind kind = WorkloadKind::logits;
+  /// Lanes per chunk context (K): run() executes ceil(n/K) chunks, each a
+  /// single-context batched execution of up to K queries.  A trailing
+  /// partial chunk runs with fewer lanes (heterogeneous K) — per-query
+  /// results do not depend on the chunking.
+  int batch = 1;
+  /// Concurrent chunk workers; chunks are independent (own context, own
+  /// per-lane triple streams), so any worker count produces the same bits.
+  int worker_pairs = 1;
+};
+
+/// Per-query outcomes of one run() call.
+struct WorkloadResult {
+  std::vector<nn::Tensor> logits;        ///< one per query (logits workloads)
+  std::vector<std::vector<int>> labels;  ///< one per query (classify workloads)
+};
+
+/// Per-chunk statistics: communication/round totals are chunk-level (the
+/// chunk's lanes share every exchange — that is the point), triple
+/// counters are exact sums over the chunk's per-lane sources.
+struct ChunkStats {
+  std::size_t first_query = 0;  ///< canonical stream position of lane 0
+  std::size_t queries = 0;      ///< lanes in this chunk
+  InferenceStats totals;
+};
+
+class Workload {
+ public:
+  /// Binds a compiled network to an output kind and batch width.  The
+  /// classify kind compiles the argmax-terminated program on first use;
+  /// the plan is derived here from that program, so logits and classify
+  /// workloads of the same model carry distinct fingerprints (they consume
+  /// different triple streams).
+  explicit Workload(SecureNetwork& net, WorkloadOptions opts = WorkloadOptions{});
+
+  [[nodiscard]] WorkloadKind kind() const noexcept { return opts_.kind; }
+  [[nodiscard]] int batch() const noexcept { return opts_.batch; }
+  [[nodiscard]] int worker_pairs() const noexcept { return opts_.worker_pairs; }
+  [[nodiscard]] SecureNetwork& network() const noexcept { return net_; }
+
+  /// The program this workload executes (argmax-terminated for classify).
+  [[nodiscard]] const ir::SecureProgram& program() const noexcept { return *program_; }
+
+  /// The workload's ONE preprocessing plan: what one query consumes, with
+  /// the fingerprint its stores must match.
+  [[nodiscard]] const offline::PreprocessingPlan& plan() const noexcept { return plan_; }
+
+  /// Pregenerates `queries` queries' worth of correlated randomness on
+  /// `threads` workers, canonically seeded so serving from the store is
+  /// bit-identical to the dealer path.
+  [[nodiscard]] offline::TripleStore preprocess(
+      std::size_t queries, int threads = 1,
+      offline::GenerationReport* report = nullptr) const;
+
+  /// Serves subsequent run() calls from pregenerated material (non-owning;
+  /// the store must outlive serving).  The store fingerprint must match
+  /// plan() — there is exactly one fingerprint family per workload.  Pass
+  /// nullptr to detach and serve the dealer path again.
+  void use_store(offline::TripleStore* store,
+                 offline::ExhaustionPolicy policy = offline::ExhaustionPolicy::Throw);
+  [[nodiscard]] offline::TripleStore* store() const noexcept { return store_; }
+
+  /// Runs the queries in K-lane batched chunks, sharded across
+  /// worker_pairs.  Query stream positions continue across run() calls
+  /// (the q-th query ever submitted uses the canonical seeds of position
+  /// q), so splitting a query list over several run() calls returns the
+  /// same bits as one call.
+  [[nodiscard]] WorkloadResult run(const std::vector<nn::Tensor>& inputs);
+
+  /// Merged totals across the last run() call's chunks.
+  [[nodiscard]] const InferenceStats& stats() const noexcept { return stats_; }
+  /// Per-chunk breakdown of the last run() call.
+  [[nodiscard]] const std::vector<ChunkStats>& chunk_stats() const noexcept {
+    return chunk_stats_;
+  }
+  /// Queries submitted so far (the next query's canonical stream position).
+  [[nodiscard]] std::size_t queries_served() const noexcept { return next_query_; }
+
+ private:
+  SecureNetwork& net_;
+  WorkloadOptions opts_;
+  const ir::SecureProgram* program_;  // owned by net_
+  offline::PreprocessingPlan plan_;
+  offline::TripleStore* store_ = nullptr;  // non-owning; see use_store
+  offline::ExhaustionPolicy policy_ = offline::ExhaustionPolicy::Throw;
+  std::size_t next_query_ = 0;
+  InferenceStats stats_;
+  std::vector<ChunkStats> chunk_stats_;
+};
+
+}  // namespace pasnet::proto

@@ -16,6 +16,7 @@
 #include "ir/passes.hpp"
 #include "offline/triple_store.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 #include "support/test_models.hpp"
 
 namespace ir = pasnet::ir;
@@ -176,9 +177,12 @@ TEST(CompareStaged, StoreBackedStagedServingBitIdenticalAcrossSchedules) {
     proto::SecureNetwork coalesced(t.md, *t.graph, t.node_of_layer, ctx_c);
     proto::SecureNetwork eager(t.md, *t.graph, t.node_of_layer, ctx_e, eager_cfg);
     proto::SecureNetwork dealer(t.md, *t.graph, t.node_of_layer, ctx_d);
+    proto::Workload wl_c(coalesced, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/2});
+    proto::Workload wl_e(eager, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/2});
+    proto::Workload wl_d(dealer);
     // The staged comparison phases consume the identical request stream,
     // so one plan fingerprint covers both schedules.
-    ASSERT_EQ(coalesced.plan().fingerprint(), eager.plan().fingerprint()) << t.md.name;
+    ASSERT_EQ(wl_c.plan().fingerprint(), wl_e.plan().fingerprint()) << t.md.name;
 
     pc::Prng dprng(641);
     std::vector<nn::Tensor> queries;
@@ -186,15 +190,13 @@ TEST(CompareStaged, StoreBackedStagedServingBitIdenticalAcrossSchedules) {
       queries.push_back(
           nn::Tensor::randn({1, t.md.input_ch, t.md.input_h, t.md.input_w}, dprng, 0.8f));
     }
-    off::TripleStore store_c = coalesced.preprocess(queries.size());
-    off::TripleStore store_e = eager.preprocess(queries.size());
-    coalesced.use_store(&store_c);
-    eager.use_store(&store_e);
-    const auto out_c = coalesced.infer_batch(queries, 2);
-    const auto out_e = eager.infer_batch(queries, 2);
-    const auto out_d = dealer.infer_batch(queries, 1);  // fused dealer path
-    coalesced.use_store(nullptr);
-    eager.use_store(nullptr);
+    off::TripleStore store_c = wl_c.preprocess(queries.size());
+    off::TripleStore store_e = wl_e.preprocess(queries.size());
+    wl_c.use_store(&store_c);
+    wl_e.use_store(&store_e);
+    const auto out_c = wl_c.run(queries).logits;
+    const auto out_e = wl_e.run(queries).logits;
+    const auto out_d = wl_d.run(queries).logits;  // fused dealer path
     for (std::size_t q = 0; q < queries.size(); ++q) {
       expect_bit_identical(out_c[q], out_e[q], "store coalesced vs eager");
       expect_bit_identical(out_c[q], out_d[q], "store vs dealer");

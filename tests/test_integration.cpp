@@ -9,6 +9,7 @@
 #include "data/synthetic.hpp"
 #include "perf/report.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 
 namespace core = pasnet::core;
 namespace data = pasnet::data;
@@ -83,10 +84,11 @@ TEST(Pipeline, SearchDeriveFinetuneSecureInfer) {
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(arch.descriptor, *graph, node_of_layer, ctx);
   const auto [qx, qy] = ds.val.slice(0, 1);
-  const auto secure = snet.infer(qx);
+  proto::Workload workload(snet);
+  const auto secure = std::move(workload.run({qx}).logits[0]);
   const auto plain = graph->forward(qx, false);
   EXPECT_EQ(nn::argmax_rows(secure), nn::argmax_rows(plain));
-  EXPECT_GT(snet.stats().comm_bytes, 0u);
+  EXPECT_GT(workload.stats().comm_bytes, 0u);
 }
 
 TEST(Pipeline, MeasuredOnlineBytesTrackAnalyticModel) {
@@ -111,10 +113,11 @@ TEST(Pipeline, MeasuredOnlineBytesTrackAnalyticModel) {
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(arch.descriptor, *graph, node_of_layer, ctx);
   const auto [qx, qy] = ds.val.slice(0, 1);
-  (void)snet.infer(qx);
+  proto::Workload workload(snet);
+  (void)workload.run({qx});
 
   const double modeled = perf::profile_network(arch.descriptor, lut).total.comm_bytes;
-  const double measured = static_cast<double>(snet.stats().online_bytes());
+  const double measured = static_cast<double>(workload.stats().online_bytes());
   EXPECT_GT(measured, 0.4 * modeled);
   EXPECT_LT(measured, 2.5 * modeled);
 }

@@ -13,6 +13,7 @@
 #include "ir/plan.hpp"
 #include "offline/preprocessing_plan.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 #include "support/test_models.hpp"
 
 namespace ir = pasnet::ir;
@@ -50,6 +51,16 @@ void expect_bit_identical(const nn::Tensor& a, const nn::Tensor& b, const char* 
   for (std::size_t i = 0; i < a.size(); ++i) {
     ASSERT_EQ(a[i], b[i]) << what << " logit " << i;
   }
+}
+
+/// One query through the unified Workload API (batch 1), returning the
+/// logits and optionally the run's merged statistics.
+nn::Tensor infer_one(proto::SecureNetwork& snet, const nn::Tensor& x,
+                     proto::InferenceStats* stats = nullptr) {
+  proto::Workload w(snet);
+  proto::WorkloadResult res = w.run({x});
+  if (stats != nullptr) *stats = w.stats();
+  return std::move(res.logits[0]);
 }
 
 }  // namespace
@@ -119,6 +130,90 @@ TEST(IrPasses, SchedulerGroupsResidualBranches) {
   EXPECT_LT(max_group + 1, staging_ops);
 }
 
+TEST(IrPasses, ParallelizeInstancesHoistsIndependentBranchOps) {
+  // Two independent two-deep ReLU towers, laid out tower-major: program
+  // order separates the towers' first levels, so the greedy scheduler can
+  // only group tower B's first relu with tower A's SECOND (3 groups).  The
+  // instance-parallelism pass reorders into depth-major waves — both first
+  // levels adjacent, both second levels adjacent — and the scheduler then
+  // needs only 2 groups, with measurably fewer rounds.
+  const auto build = [] {
+    ir::SecureProgram p;
+    p.name = "TwoTowers";
+    p.input_ch = 2;
+    p.input_h = p.input_w = 4;
+    const auto geom = [](ir::Op& op) {
+      op.in_ch = op.out_ch = 2;
+      op.in_h = op.in_w = op.out_h = op.out_w = 4;
+    };
+    ir::Op input;
+    input.kind = ir::OpKind::input;
+    geom(input);
+    p.ops.push_back(input);
+    for (const int tower_input : {0, 0}) {
+      ir::Op r1;
+      r1.kind = ir::OpKind::relu;
+      r1.in0 = tower_input;
+      geom(r1);
+      p.ops.push_back(r1);
+      ir::Op r2;
+      r2.kind = ir::OpKind::relu;
+      r2.in0 = static_cast<int>(p.ops.size()) - 1;
+      geom(r2);
+      p.ops.push_back(r2);
+    }
+    ir::Op a;
+    a.kind = ir::OpKind::add;
+    a.in0 = 2;
+    a.in1 = 4;
+    geom(a);
+    p.ops.push_back(a);
+    p.output = static_cast<int>(p.ops.size()) - 1;
+    return p;
+  };
+
+  ir::SecureProgram unhoisted = build();
+  const int groups_before = ir::schedule_rounds(unhoisted);
+  ir::SecureProgram p = build();
+  const int hoisted = ir::parallelize_instances(p);
+  EXPECT_GT(hoisted, 0) << "tower-major order must offer hoistable instances";
+  const int groups_after = ir::schedule_rounds(p);
+  EXPECT_LT(groups_after, groups_before)
+      << "hoisting must merge round groups, not just reorder";
+
+  // Purely topological: every edge still points backwards.
+  ASSERT_EQ(p.ops.size(), unhoisted.ops.size());
+  for (std::size_t i = 0; i < p.ops.size(); ++i) {
+    if (p.ops[i].in0 >= 0) EXPECT_LT(p.ops[i].in0, static_cast<int>(i));
+    if (p.ops[i].in1 >= 0) EXPECT_LT(p.ops[i].in1, static_cast<int>(i));
+  }
+  EXPECT_NE(std::find(p.passes_run.begin(), p.passes_run.end(), "parallelize_instances"),
+            p.passes_run.end());
+
+  // The merged schedule spends measurably fewer exchanges on the same
+  // program (all-relu towers are truncation-free, so both orders open the
+  // same values).
+  using pasnet::testing::measured_program_rounds;
+  EXPECT_LT(measured_program_rounds(p, proto::RoundSchedule::coalesced),
+            measured_program_rounds(unhoisted, proto::RoundSchedule::coalesced));
+}
+
+TEST(IrPasses, ParallelizeInstancesIsANoOpOnAChain) {
+  // A straight-line model has nothing to hoist: the pass must leave the
+  // order untouched (and report zero hoists).
+  auto t = train(tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool), 16);
+  ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
+  ir::fold_batchnorm(p);
+  const std::vector<ir::Op> before = p.ops;
+  EXPECT_EQ(ir::parallelize_instances(p), 0);
+  ASSERT_EQ(p.ops.size(), before.size());
+  for (std::size_t i = 0; i < p.ops.size(); ++i) {
+    EXPECT_EQ(p.ops[i].kind, before[i].kind) << "op " << i;
+    EXPECT_EQ(p.ops[i].in0, before[i].in0) << "op " << i;
+    EXPECT_EQ(p.ops[i].in1, before[i].in1) << "op " << i;
+  }
+}
+
 TEST(IrPasses, ScheduleRejectsUnfoldedBatchnorm) {
   auto t = train(tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool), 14);
   ir::SecureProgram p = ir::lower(t.md, *t.graph, t.node_of_layer);
@@ -142,13 +237,14 @@ TEST(IrExecutor, CoalescedLogitsBitIdenticalToEagerOnAllModels) {
     pc::Prng dprng(seed + 1);
     const auto x =
         nn::Tensor::randn({1, t.md.input_ch, t.md.input_h, t.md.input_w}, dprng, 0.5f);
-    const auto logits_c = coalesced.infer(x);
-    const auto logits_e = eager.infer(x);
+    proto::InferenceStats stats_c, stats_e;
+    const auto logits_c = infer_one(coalesced, x, &stats_c);
+    const auto logits_e = infer_one(eager, x, &stats_e);
     expect_bit_identical(logits_c, logits_e, t.md.name.c_str());
     // Identical payloads, fewer exchanges.
-    EXPECT_EQ(coalesced.stats().comm_bytes, eager.stats().comm_bytes) << t.md.name;
-    EXPECT_LT(coalesced.stats().rounds, eager.stats().rounds) << t.md.name;
-    EXPECT_LT(coalesced.stats().messages, eager.stats().messages) << t.md.name;
+    EXPECT_EQ(stats_c.comm_bytes, stats_e.comm_bytes) << t.md.name;
+    EXPECT_LT(stats_c.rounds, stats_e.rounds) << t.md.name;
+    EXPECT_LT(stats_c.messages, stats_e.messages) << t.md.name;
   }
 }
 
@@ -159,24 +255,24 @@ TEST(IrExecutor, CoalescedStoreBackedServingBitIdenticalToEager) {
   eager_cfg.schedule = proto::RoundSchedule::eager;
   proto::SecureNetwork coalesced(t.md, *t.graph, t.node_of_layer, ctx_c);
   proto::SecureNetwork eager(t.md, *t.graph, t.node_of_layer, ctx_e, eager_cfg);
+  proto::Workload wl_c(coalesced);
+  proto::Workload wl_e(eager);
   // Both schedules consume the identical request stream, so one plan feeds
   // both stores.
-  EXPECT_EQ(coalesced.plan().fingerprint(), eager.plan().fingerprint());
+  EXPECT_EQ(wl_c.plan().fingerprint(), wl_e.plan().fingerprint());
 
   pc::Prng dprng(41);
   std::vector<nn::Tensor> queries;
   for (int q = 0; q < 3; ++q) queries.push_back(nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f));
 
-  off::TripleStore store_c = coalesced.preprocess(queries.size());
-  off::TripleStore store_e = eager.preprocess(queries.size());
-  coalesced.use_store(&store_c);
-  eager.use_store(&store_e);
-  const auto out_c = coalesced.infer_batch(queries, 1);
-  const auto out_e = eager.infer_batch(queries, 1);
-  coalesced.use_store(nullptr);
-  eager.use_store(nullptr);
+  off::TripleStore store_c = wl_c.preprocess(queries.size());
+  off::TripleStore store_e = wl_e.preprocess(queries.size());
+  wl_c.use_store(&store_c);
+  wl_e.use_store(&store_e);
+  const auto out_c = wl_c.run(queries);
+  const auto out_e = wl_e.run(queries);
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    expect_bit_identical(out_c[q], out_e[q], "store-backed");
+    expect_bit_identical(out_c.logits[q], out_e.logits[q], "store-backed");
   }
 }
 
@@ -192,10 +288,11 @@ TEST(IrExecutor, RoundsDropAtLeast25PercentOnResidualReluModel) {
 
   pc::Prng dprng(51);
   const auto x = nn::Tensor::randn({1, 3, 8, 8}, dprng, 0.5f);
-  (void)coalesced.infer(x);
-  (void)eager.infer(x);
-  const auto measured = coalesced.stats().rounds;
-  const auto baseline = eager.stats().rounds;
+  proto::InferenceStats stats_c, stats_e;
+  (void)infer_one(coalesced, x, &stats_c);
+  (void)infer_one(eager, x, &stats_e);
+  const auto measured = stats_c.rounds;
+  const auto baseline = stats_e.rounds;
   EXPECT_LE(4 * measured, 3 * baseline)
       << "coalesced " << measured << " vs eager " << baseline << " rounds";
 }
@@ -208,12 +305,13 @@ TEST(IrExecutor, ThreadedCoalescedMatchesLockstepBitForBit) {
   proto::SecureNetwork snet_thr(t.md, *t.graph, t.node_of_layer, threaded);
   pc::Prng dprng(61);
   const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
-  const auto a = snet_lock.infer(x);
-  const auto b = snet_thr.infer(x);
+  proto::InferenceStats stats_lock, stats_thr;
+  const auto a = infer_one(snet_lock, x, &stats_lock);
+  const auto b = infer_one(snet_thr, x, &stats_thr);
   expect_bit_identical(a, b, "threaded");
   // Coalesced round counting is exchange-bracketed, hence deterministic in
   // threaded mode too.
-  EXPECT_EQ(snet_lock.stats().rounds, snet_thr.stats().rounds);
+  EXPECT_EQ(stats_lock.rounds, stats_thr.rounds);
 }
 
 // ---------------------------------------------------------------------------
@@ -282,23 +380,29 @@ TEST(IrExecutor, ClassifyMatchesPlaintextArgmax) {
   auto t = train(tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool), 100);
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(t.md, *t.graph, t.node_of_layer, ctx);
+  proto::WorkloadOptions copts;
+  copts.kind = proto::WorkloadKind::classify;
+  proto::Workload classify(snet, copts);
   pc::Prng dprng(101);
   for (int trial = 0; trial < 3; ++trial) {
     const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 0.8f);
-    const auto labels = snet.classify(x);
-    ASSERT_EQ(labels.size(), 1u);
-    EXPECT_EQ(labels[0], nn::argmax_rows(t.graph->forward(x, false))[0]);
+    const auto res = classify.run({x});
+    ASSERT_EQ(res.labels.size(), 1u);
+    ASSERT_EQ(res.labels[0].size(), 1u);
+    EXPECT_EQ(res.labels[0][0], nn::argmax_rows(t.graph->forward(x, false))[0]);
   }
 }
 
-TEST(IrExecutor, ClassifyRefusesStoreBackedServing) {
+TEST(IrExecutor, ClassifyRefusesLogitsStore) {
+  // A logits-plan store offered to a classify workload must be rejected at
+  // attach time: label-only programs consume a different triple stream, so
+  // the fingerprints differ (one fingerprint family per workload kind).
   auto t = train(tiny_cnn(nn::OpKind::x2act, nn::OpKind::avgpool), 110);
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(t.md, *t.graph, t.node_of_layer, ctx);
-  off::TripleStore store = snet.preprocess(1);
-  snet.use_store(&store);
-  pc::Prng dprng(111);
-  EXPECT_THROW((void)snet.classify(nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f)),
-               std::logic_error);
-  snet.use_store(nullptr);
+  off::TripleStore store = proto::Workload(snet).preprocess(1);
+  proto::WorkloadOptions copts;
+  copts.kind = proto::WorkloadKind::classify;
+  proto::Workload classify(snet, copts);
+  EXPECT_THROW(classify.use_store(&store), std::invalid_argument);
 }

@@ -13,6 +13,7 @@
 #include "net/transport_channel.hpp"
 #include "net/wire.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 #include "support/test_models.hpp"
 
 namespace net = pasnet::net;
@@ -346,7 +347,7 @@ struct DealerFixture {
     pasnet::testing::warm_up(*g, 2, 8, 32);
     pc::TwoPartyContext ctx;
     proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
-    store = snet.preprocess(queries);
+    store = proto::Workload(snet).preprocess(queries);
     fingerprint = store.plan_fingerprint();
   }
 };

@@ -13,6 +13,7 @@
 #include "offline/preprocessing_plan.hpp"
 #include "offline/triple_store.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 #include "support/test_models.hpp"
 
 namespace nn = pasnet::nn;
@@ -59,12 +60,13 @@ TEST(PreprocessingPlan, CountsMatchDealerConsumption) {
   SecureFixture f;
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-  const off::PreprocessingPlan& plan = snet.plan();
+  proto::Workload workload(snet);
+  const off::PreprocessingPlan& plan = workload.plan();
   ASSERT_FALSE(plan.requests.empty());
 
   // A real dealer-backed query must consume exactly what the plan predicts.
-  (void)snet.infer(f.queries[0]);
-  const proto::InferenceStats& st = snet.stats();
+  (void)workload.run({f.queries[0]});
+  const proto::InferenceStats& st = workload.stats();
   std::uint64_t elem = 0, square = 0, matmul = 0, bilinear = 0, bits = 0;
   for (const auto& s : plan.layer_summaries()) {
     elem += s.elem_triples;
@@ -92,8 +94,9 @@ TEST(PreprocessingPlan, FingerprintDiscriminatesModels) {
   pc::TwoPartyContext c1, c2;
   proto::SecureNetwork s1(relu.md, *relu.graph, relu.node_of_layer, c1);
   proto::SecureNetwork s2(poly.md, *poly.graph, poly.node_of_layer, c2);
-  EXPECT_NE(s1.plan().fingerprint(), s2.plan().fingerprint());
-  EXPECT_EQ(s1.plan().fingerprint(), s1.plan().fingerprint());
+  proto::Workload w1(s1), w2(s2);
+  EXPECT_NE(w1.plan().fingerprint(), w2.plan().fingerprint());
+  EXPECT_EQ(w1.plan().fingerprint(), proto::Workload(s1).plan().fingerprint());
 }
 
 TEST(TripleStore, StoreBackedBatchMatchesDealerPathAcrossWorkerCounts) {
@@ -102,19 +105,20 @@ TEST(TripleStore, StoreBackedBatchMatchesDealerPathAcrossWorkerCounts) {
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
 
   // Fused dealer baseline.
-  const auto dealer_logits = snet.infer_batch(f.queries, 1);
-  const auto dealer_stats = snet.per_query_stats();
+  proto::Workload dealer_wl(snet);
+  const auto dealer_logits = dealer_wl.run(f.queries).logits;
+  const auto dealer_stats = dealer_wl.chunk_stats();
 
   for (const int workers : {1, 4}) {
-    off::TripleStore store = snet.preprocess(f.queries.size(), /*threads=*/2);
-    snet.use_store(&store, off::ExhaustionPolicy::Throw);
-    const auto store_logits = snet.infer_batch(f.queries, workers);
-    snet.use_store(nullptr);
+    proto::Workload wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, workers});
+    off::TripleStore store = wl.preprocess(f.queries.size(), /*threads=*/2);
+    wl.use_store(&store, off::ExhaustionPolicy::Throw);
+    const auto store_logits = wl.run(f.queries).logits;
     expect_bit_identical(dealer_logits, store_logits);
     // The online phase consumed exactly the same correlated randomness.
     for (std::size_t q = 0; q < f.queries.size(); ++q) {
-      EXPECT_EQ(snet.per_query_stats()[q].comm_bytes, dealer_stats[q].comm_bytes);
-      EXPECT_EQ(snet.per_query_stats()[q].bit_triples, dealer_stats[q].bit_triples);
+      EXPECT_EQ(wl.chunk_stats()[q].totals.comm_bytes, dealer_stats[q].totals.comm_bytes);
+      EXPECT_EQ(wl.chunk_stats()[q].totals.bit_triples, dealer_stats[q].totals.bit_triples);
     }
     EXPECT_EQ(store.remaining_queries(), 0u);
   }
@@ -127,14 +131,14 @@ TEST(TripleStore, StoreBackedServingOnThreadedMasterContextMatchesDealerPath) {
   SecureFixture f;
   pc::TwoPartyContext lockstep_ctx;
   proto::SecureNetwork baseline(f.md, *f.graph, f.node_of_layer, lockstep_ctx);
-  const auto dealer_logits = baseline.infer_batch(f.queries, 1);
+  const auto dealer_logits = proto::Workload(baseline).run(f.queries).logits;
 
   pc::TwoPartyContext threaded_ctx(pc::RingConfig{}, 42, pc::ExecMode::threaded);
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, threaded_ctx);
-  off::TripleStore store = snet.preprocess(f.queries.size(), 2);
-  snet.use_store(&store, off::ExhaustionPolicy::Throw);
-  const auto store_logits = snet.infer_batch(f.queries, 4);
-  snet.use_store(nullptr);
+  proto::Workload wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/4});
+  off::TripleStore store = wl.preprocess(f.queries.size(), 2);
+  wl.use_store(&store, off::ExhaustionPolicy::Throw);
+  const auto store_logits = wl.run(f.queries).logits;
   expect_bit_identical(dealer_logits, store_logits);
 }
 
@@ -146,7 +150,7 @@ TEST(TripleStore, LoadRejectsHugeLengthFieldWithoutAllocating) {
     SecureFixture f(nn::OpKind::x2act, nn::OpKind::avgpool, 1);
     pc::TwoPartyContext ctx;
     proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-    snet.preprocess(1).save(buf);
+    proto::Workload(snet).preprocess(1).save(buf);
   }
   std::string bytes = buf.str();
   // Overwrite the first bundle's first vector length (right after the
@@ -162,41 +166,43 @@ TEST(TripleStore, StoreBackedSingleInfersMatchDealerBatch) {
   SecureFixture f;
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-  const auto dealer_logits = snet.infer_batch(f.queries, 1);
+  const auto dealer_logits = proto::Workload(snet).run(f.queries).logits;
 
-  off::TripleStore store = snet.preprocess(f.queries.size());
-  snet.use_store(&store);
+  // Stream positions continue across run() calls, so submitting the
+  // queries one at a time replays the same canonical per-query transcripts.
+  proto::Workload wl(snet);
+  off::TripleStore store = wl.preprocess(f.queries.size());
+  wl.use_store(&store);
   for (std::size_t q = 0; q < f.queries.size(); ++q) {
-    const nn::Tensor logits = snet.infer(f.queries[q]);
+    const nn::Tensor logits = std::move(wl.run({f.queries[q]}).logits[0]);
     ASSERT_EQ(logits.size(), dealer_logits[q].size());
     for (std::size_t i = 0; i < logits.size(); ++i) EXPECT_EQ(logits[i], dealer_logits[q][i]);
   }
-  snet.use_store(nullptr);
 }
 
 TEST(TripleStore, ThrowPolicyRaisesOnExhaustion) {
   SecureFixture f;
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-  off::TripleStore store = snet.preprocess(1);
-  snet.use_store(&store, off::ExhaustionPolicy::Throw);
-  EXPECT_THROW((void)snet.infer_batch(f.queries, 1), off::TripleStoreExhausted);
-  snet.use_store(nullptr);
+  proto::Workload wl(snet);
+  off::TripleStore store = wl.preprocess(1);
+  wl.use_store(&store, off::ExhaustionPolicy::Throw);
+  EXPECT_THROW((void)wl.run(f.queries), off::TripleStoreExhausted);
 }
 
 TEST(TripleStore, RefillPolicyFallsBackToDealerBitIdentically) {
   SecureFixture f;
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-  const auto dealer_logits = snet.infer_batch(f.queries, 1);
+  const auto dealer_logits = proto::Workload(snet).run(f.queries).logits;
 
   // Only 1 of 3 queries pregenerated: the rest refill from each query
   // context's canonically seeded dealer, so even the fallback reproduces
   // the dealer path exactly.
-  off::TripleStore store = snet.preprocess(1);
-  snet.use_store(&store, off::ExhaustionPolicy::Refill);
-  const auto mixed_logits = snet.infer_batch(f.queries, 2);
-  snet.use_store(nullptr);
+  proto::Workload wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/2});
+  off::TripleStore store = wl.preprocess(1);
+  wl.use_store(&store, off::ExhaustionPolicy::Refill);
+  const auto mixed_logits = wl.run(f.queries).logits;
   expect_bit_identical(dealer_logits, mixed_logits);
 }
 
@@ -204,9 +210,10 @@ TEST(TripleStore, SerializationRoundTripServesIdentically) {
   SecureFixture f;
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-  const auto dealer_logits = snet.infer_batch(f.queries, 1);
+  const auto dealer_logits = proto::Workload(snet).run(f.queries).logits;
 
-  const off::TripleStore produced = snet.preprocess(f.queries.size());
+  proto::Workload wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/4});
+  const off::TripleStore produced = wl.preprocess(f.queries.size());
   std::stringstream buf;
   produced.save(buf);
   EXPECT_EQ(static_cast<std::uint64_t>(buf.str().size()), produced.material_bytes());
@@ -215,9 +222,8 @@ TEST(TripleStore, SerializationRoundTripServesIdentically) {
   EXPECT_EQ(loaded.plan_fingerprint(), produced.plan_fingerprint());
   EXPECT_EQ(loaded.num_queries(), produced.num_queries());
 
-  snet.use_store(&loaded, off::ExhaustionPolicy::Throw);
-  const auto logits = snet.infer_batch(f.queries, 4);
-  snet.use_store(nullptr);
+  wl.use_store(&loaded, off::ExhaustionPolicy::Throw);
+  const auto logits = wl.run(f.queries).logits;
   expect_bit_identical(dealer_logits, logits);
 }
 
@@ -232,17 +238,19 @@ TEST(TripleStore, UseStoreRejectsForeignFingerprint) {
   pc::TwoPartyContext c1, c2;
   proto::SecureNetwork s1(relu.md, *relu.graph, relu.node_of_layer, c1);
   proto::SecureNetwork s2(poly.md, *poly.graph, poly.node_of_layer, c2);
-  off::TripleStore store = s2.preprocess(1);
-  EXPECT_THROW(s1.use_store(&store), std::invalid_argument);
+  off::TripleStore store = proto::Workload(s2).preprocess(1);
+  proto::Workload w1(s1);
+  EXPECT_THROW(w1.use_store(&store), std::invalid_argument);
 }
 
 TEST(OfflineGenerator, ThreadedGenerationMatchesSequential) {
   SecureFixture f;
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  proto::Workload wl(snet);
   off::GenerationReport seq_rep, par_rep;
-  const off::TripleStore seq = snet.preprocess(4, /*threads=*/1, &seq_rep);
-  const off::TripleStore par = snet.preprocess(4, /*threads=*/4, &par_rep);
+  const off::TripleStore seq = wl.preprocess(4, /*threads=*/1, &seq_rep);
+  const off::TripleStore par = wl.preprocess(4, /*threads=*/4, &par_rep);
   EXPECT_EQ(seq_rep.ring_material_elems, par_rep.ring_material_elems);
   EXPECT_GT(seq_rep.ring_material_elems, 0u);
   EXPECT_EQ(par_rep.threads, 4);
@@ -257,11 +265,12 @@ TEST(OfflineGenerator, ReportSizesMatchPlanArithmetic) {
   SecureFixture f;
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  proto::Workload wl(snet);
   off::GenerationReport rep;
-  const off::TripleStore store = snet.preprocess(2, 1, &rep);
+  const off::TripleStore store = wl.preprocess(2, 1, &rep);
   EXPECT_EQ(rep.queries, 2u);
-  EXPECT_EQ(rep.ring_material_elems, 2 * snet.plan().material_elems_per_query());
-  EXPECT_EQ(rep.bit_triples, 2 * snet.plan().bit_triples_per_query());
+  EXPECT_EQ(rep.ring_material_elems, 2 * wl.plan().material_elems_per_query());
+  EXPECT_EQ(rep.bit_triples, 2 * wl.plan().bit_triples_per_query());
   EXPECT_EQ(rep.store_bytes, store.material_bytes());
 }
 
@@ -276,23 +285,30 @@ TEST(ClassifyStore, ClassifyPlanFingerprintsDifferentlyFromLogitsPlan) {
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
   // The argmax terminal consumes extra comparisons and selector triples,
   // so a logits store must never serve a classify workload (or vice versa).
-  EXPECT_NE(snet.plan().fingerprint(), snet.classify_plan().fingerprint());
-  EXPECT_GT(snet.classify_plan().requests.size(), snet.plan().requests.size());
+  proto::Workload logits_wl(snet);
+  proto::Workload classify_wl(snet, {proto::WorkloadKind::classify});
+  EXPECT_NE(logits_wl.plan().fingerprint(), classify_wl.plan().fingerprint());
+  EXPECT_GT(classify_wl.plan().requests.size(), logits_wl.plan().requests.size());
 }
 
 TEST(ClassifyStore, StoreBackedClassifyMatchesDealerPathBitIdentically) {
   SecureFixture f;
   pc::TwoPartyContext c_store;
   proto::SecureNetwork served(f.md, *f.graph, f.node_of_layer, c_store);
-  off::TripleStore store = served.preprocess_classify(3);
-  EXPECT_EQ(store.plan_fingerprint(), served.classify_plan().fingerprint());
-  served.use_store(&store);
+  proto::Workload served_wl(served, {proto::WorkloadKind::classify});
+  off::TripleStore store = served_wl.preprocess(3);
+  EXPECT_EQ(store.plan_fingerprint(), served_wl.plan().fingerprint());
+  served_wl.use_store(&store);
+  // The dealer-path reference: an independent classify workload walks the
+  // same canonical stream positions, so its labels are the transcript the
+  // store-served run must replay.
+  pc::TwoPartyContext c_ref;
+  proto::SecureNetwork ref(f.md, *f.graph, f.node_of_layer, c_ref);
+  proto::Workload ref_wl(ref, {proto::WorkloadKind::classify});
+  const auto served_labels = served_wl.run(f.queries).labels;
+  const auto ref_labels = ref_wl.run(f.queries).labels;
   for (std::size_t q = 0; q < f.queries.size(); ++q) {
-    // The dealer-path reference transcript of a store-served classify is a
-    // fresh context with the bundle's canonical seed — replicate it.
-    pc::TwoPartyContext qctx(pc::RingConfig{}, proto::SecureNetwork::query_context_seed(q));
-    proto::SecureNetwork ref_q(f.md, *f.graph, f.node_of_layer, qctx);
-    EXPECT_EQ(served.classify(f.queries[q]), ref_q.classify(f.queries[q])) << "query " << q;
+    EXPECT_EQ(served_labels[q], ref_labels[q]) << "query " << q;
   }
 }
 
@@ -300,13 +316,12 @@ TEST(ClassifyStore, StoreKindsRefuseTheWrongEntryPoint) {
   SecureFixture f;
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-  off::TripleStore classify_store = snet.preprocess_classify(1);
-  snet.use_store(&classify_store);
-  EXPECT_THROW((void)snet.infer(f.queries[0]), std::logic_error);
-  EXPECT_THROW((void)snet.infer_batch(f.queries, 1), std::logic_error);
-  off::TripleStore logits_store = snet.preprocess(1);
-  snet.use_store(&logits_store);
-  EXPECT_THROW((void)snet.classify(f.queries[0]), std::logic_error);
+  proto::Workload logits_wl(snet);
+  proto::Workload classify_wl(snet, {proto::WorkloadKind::classify});
+  off::TripleStore classify_store = classify_wl.preprocess(1);
+  EXPECT_THROW(logits_wl.use_store(&classify_store), std::invalid_argument);
+  off::TripleStore logits_store = logits_wl.preprocess(1);
+  EXPECT_THROW(classify_wl.use_store(&logits_store), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------
@@ -322,7 +337,7 @@ std::string serialized_tiny_store() {
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
   std::ostringstream os(std::ios::binary);
-  snet.preprocess(1).save(os);
+  proto::Workload(snet).preprocess(1).save(os);
   return os.str();
 }
 
@@ -357,7 +372,7 @@ TEST(TripleStoreHostile, BundleCodecRoundTripsAndRejectsTruncation) {
   SecureFixture f;
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-  off::TripleStore store = snet.preprocess(1);
+  off::TripleStore store = proto::Workload(snet).preprocess(1);
   std::ostringstream os(std::ios::binary);
   off::write_bundle(os, store.bundle(0));
   const std::string bytes = os.str();
@@ -376,7 +391,7 @@ TEST(TripleStoreHostile, PartySlicingZeroesExactlyThePeerHalves) {
   SecureFixture f;
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
-  off::TripleStore store = snet.preprocess(1);
+  off::TripleStore store = proto::Workload(snet).preprocess(1);
   const off::QueryBundle& full = store.bundle(0);
   const off::QueryBundle p0 = off::slice_bundle_for_party(full, 0);
   const off::QueryBundle p1 = off::slice_bundle_for_party(full, 1);

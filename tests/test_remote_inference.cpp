@@ -15,6 +15,7 @@
 
 #include "net/party_session.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 #include "support/test_models.hpp"
 
 namespace ir = pasnet::ir;
@@ -191,7 +192,7 @@ TEST(RemoteInference, StoreServedTwoProcessMatches) {
   // Each party process loads its own copy of the same store file — here,
   // via serialize + reload, exactly what the binaries do with --store.
   std::stringstream file(std::ios::in | std::ios::out | std::ios::binary);
-  f.snet->preprocess(2).save(file);
+  proto::Workload(*f.snet).preprocess(2).save(file);
   off::TripleStore copy[2];
   for (int p = 0; p < 2; ++p) {
     file.clear();
@@ -211,12 +212,13 @@ TEST(RemoteInference, StoreServedTwoProcessMatches) {
 TEST(RemoteInference, DealerServedTwoProcessMatchesIncludingRefillFallback) {
   RemoteFixture f;  // 2 queries; the dealer only pregenerated 1 -> query 1 refills
   const proto::SecureConfig cfg;
-  net::DealerServer server(f.snet->preprocess(1), off::ExhaustionPolicy::Refill);
+  net::DealerServer server(proto::Workload(*f.snet).preprocess(1),
+                           off::ExhaustionPolicy::Refill);
   net::Listener dealer_listener(0);
   const std::uint16_t dealer_port = dealer_listener.port();
   std::thread dealer_thread([&] { server.serve(dealer_listener, 2, test_opts()); });
   {
-    const std::uint64_t fp = f.snet->plan().fingerprint();
+    const std::uint64_t fp = proto::Workload(*f.snet).plan().fingerprint();
     // Each party owns its dealer connection, like a real process; the
     // clients must outlive the session queries and say goodbye before the
     // daemon's serve() can return.
@@ -249,19 +251,126 @@ TEST(RemoteInference, LabelOnlyClassifyProgramMatches) {
   }
 }
 
+/// Runs both parties over localhost TCP with ONE batched chunk covering
+/// every fixture query.
+std::pair<std::pair<ir::BatchExecResult, pc::TrafficStats>,
+          std::pair<ir::BatchExecResult, pc::TrafficStats>>
+run_remote_batch(const RemoteFixture& f, const ir::SecureProgram& program,
+                 const std::function<net::RemoteSessionOptions(int)>& make_opts) {
+  net::Listener listener(0);
+  const std::uint16_t port = listener.port();
+  const auto run_side = [&](int party) {
+    std::unique_ptr<net::TransportChannel> chan =
+        party == 1 ? net::serve_party_channel(listener, 1, test_opts())
+                   : net::dial_party_channel("127.0.0.1", port, 0, test_opts());
+    net::PartySession session(party, *chan, pc::RingConfig{});
+    const net::RemoteSessionOptions ropts = make_opts(party);
+    pc::TrafficStats stats;
+    ir::BatchExecResult res =
+        session.run_batch(program, f.snet->params(), 0, party == 0 ? &f.queries : nullptr,
+                          f.queries.size(), ropts, &stats);
+    return std::make_pair(std::move(res), stats);
+  };
+  auto side1 = std::async(std::launch::async, run_side, 1);
+  auto p0 = run_side(0);
+  return {std::move(p0), side1.get()};
+}
+
+TEST(RemoteInference, BatchedRemoteChunkBitIdenticalToPerQueryRunsWithFewerRounds) {
+  RemoteFixture f(nn::OpKind::relu, nn::OpKind::maxpool, /*num_queries=*/3);
+  const proto::SecureConfig cfg;
+  const auto [p0, p1] = run_remote_batch(f, f.snet->program(),
+                                         [&](int) { return fused_opts(cfg); });
+  ASSERT_EQ(p0.first.logits.size(), f.queries.size());
+  std::uint64_t per_query_rounds = 0;
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    pc::TrafficStats ref_stats;
+    const ir::ExecResult ref =
+        reference_query(f, f.snet->program(), q, pc::ExecMode::lockstep, cfg, &ref_stats);
+    expect_same_logits(p0.first.logits[q], ref.logits, "party0 batched vs independent");
+    expect_same_logits(p1.first.logits[q], ref.logits, "party1 batched vs independent");
+    per_query_rounds += ref_stats.rounds;
+  }
+  // The chunk's round count is shared across lanes: well under the summed
+  // per-query rounds, and equal on both endpoints' meters.
+  EXPECT_EQ(p0.second.rounds, p1.second.rounds);
+  EXPECT_LT(p0.second.rounds, per_query_rounds);
+}
+
+TEST(RemoteInference, BatchedRemoteStoreServedMatchesIndependentRuns) {
+  RemoteFixture f(nn::OpKind::relu, nn::OpKind::maxpool, /*num_queries=*/2);
+  const proto::SecureConfig cfg;
+  std::stringstream file(std::ios::in | std::ios::out | std::ios::binary);
+  proto::Workload(*f.snet).preprocess(2).save(file);
+  off::TripleStore copy[2];
+  for (int p = 0; p < 2; ++p) {
+    file.clear();
+    file.seekg(0);
+    copy[p] = off::TripleStore::load(file);
+  }
+  const auto [p0, p1] = run_remote_batch(f, f.snet->program(), [&](int party) {
+    net::RemoteSessionOptions o;
+    o.cfg = cfg;
+    o.source = net::TripleSourceKind::store;
+    o.store = &copy[party];
+    return o;
+  });
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    const ir::ExecResult ref =
+        reference_query(f, f.snet->program(), q, pc::ExecMode::lockstep, cfg, nullptr);
+    expect_same_logits(p0.first.logits[q], ref.logits, "party0 store batched");
+    expect_same_logits(p1.first.logits[q], ref.logits, "party1 store batched");
+  }
+}
+
+TEST(RemoteInference, BatchedRemoteDealerServedMatchesIndependentRuns) {
+  RemoteFixture f(nn::OpKind::relu, nn::OpKind::maxpool, /*num_queries=*/2);
+  const proto::SecureConfig cfg;
+  net::DealerServer server(proto::Workload(*f.snet).preprocess(2),
+                           off::ExhaustionPolicy::Throw);
+  net::Listener dealer_listener(0);
+  const std::uint16_t dealer_port = dealer_listener.port();
+  std::thread dealer_thread([&] { server.serve(dealer_listener, 2, test_opts()); });
+  {
+    const std::uint64_t fp = proto::Workload(*f.snet).plan().fingerprint();
+    net::DealerClient clients[2] = {
+        net::DealerClient("127.0.0.1", dealer_port, 0, fp, test_opts()),
+        net::DealerClient("127.0.0.1", dealer_port, 1, fp, test_opts())};
+    const auto [p0, p1] = run_remote_batch(f, f.snet->program(), [&](int party) {
+      net::RemoteSessionOptions o;
+      o.cfg = cfg;
+      o.source = net::TripleSourceKind::dealer;
+      o.dealer = &clients[party];
+      return o;
+    });
+    for (std::size_t q = 0; q < f.queries.size(); ++q) {
+      const ir::ExecResult ref =
+          reference_query(f, f.snet->program(), q, pc::ExecMode::lockstep, cfg, nullptr);
+      expect_same_logits(p0.first.logits[q], ref.logits, "party0 dealer batched");
+      expect_same_logits(p1.first.logits[q], ref.logits, "party1 dealer batched");
+    }
+  }
+  dealer_thread.join();
+  EXPECT_EQ(server.bundles_served(), 4u);  // 2 lanes x both parties
+}
+
 TEST(RemoteInference, SessionRefusesMismatchedPrograms) {
   // Party 0 compiles the logits program, party 1 the classify program:
   // verify_plan must fail the session before any protocol byte flows.
   RemoteFixture f;
   net::Listener listener(0);
   const std::uint16_t port = listener.port();
+  proto::WorkloadOptions classify_opts;
+  classify_opts.kind = proto::WorkloadKind::classify;
+  proto::Workload classify_workload(*f.snet, classify_opts);
+  proto::Workload logits_workload(*f.snet);
   auto side1 = std::async(std::launch::async, [&] {
     auto chan = net::serve_party_channel(listener, 1, test_opts());
     net::PartySession session(1, *chan, pc::RingConfig{});
-    session.verify_plan(f.snet->classify_plan());
+    session.verify_plan(classify_workload.plan());
   });
   auto chan = net::dial_party_channel("127.0.0.1", port, 0, test_opts());
   net::PartySession session(0, *chan, pc::RingConfig{});
-  EXPECT_THROW(session.verify_plan(f.snet->plan()), net::HandshakeError);
+  EXPECT_THROW(session.verify_plan(logits_workload.plan()), net::HandshakeError);
   EXPECT_THROW(side1.get(), net::HandshakeError);
 }

@@ -12,6 +12,7 @@
 
 #include "nn/layers.hpp"
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 #include "support/test_models.hpp"
 
 namespace nn = pasnet::nn;
@@ -323,15 +324,16 @@ TEST(SecureRuntime, ThreadedInferMatchesLockstepBitForBit) {
 
   pc::Prng dprng(23);
   const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
-  const auto logits_lock = snet_lock.infer(x);
-  const auto logits_thr = snet_thr.infer(x);
+  proto::Workload wl_lock(snet_lock), wl_thr(snet_thr);
+  const auto logits_lock = std::move(wl_lock.run({x}).logits[0]);
+  const auto logits_thr = std::move(wl_thr.run({x}).logits[0]);
   ASSERT_EQ(logits_lock.size(), logits_thr.size());
   for (std::size_t i = 0; i < logits_lock.size(); ++i) {
     EXPECT_EQ(logits_lock[i], logits_thr[i]) << "logit " << i;
   }
   // Same protocol, same transcript sizes; only round interleaving differs.
-  EXPECT_EQ(snet_lock.stats().comm_bytes, snet_thr.stats().comm_bytes);
-  EXPECT_EQ(snet_lock.stats().messages, snet_thr.stats().messages);
+  EXPECT_EQ(wl_lock.stats().comm_bytes, wl_thr.stats().comm_bytes);
+  EXPECT_EQ(wl_lock.stats().messages, wl_thr.stats().messages);
 }
 
 TEST(SecureRuntime, ThreadedInferWithComparisonOpsMatchesLockstep) {
@@ -350,8 +352,8 @@ TEST(SecureRuntime, ThreadedInferWithComparisonOpsMatchesLockstep) {
 
   pc::Prng dprng(33);
   const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
-  const auto logits_lock = snet_lock.infer(x);
-  const auto logits_thr = snet_thr.infer(x);
+  const auto logits_lock = std::move(proto::Workload(snet_lock).run({x}).logits[0]);
+  const auto logits_thr = std::move(proto::Workload(snet_thr).run({x}).logits[0]);
   for (std::size_t i = 0; i < logits_lock.size(); ++i) {
     EXPECT_EQ(logits_lock[i], logits_thr[i]) << "logit " << i;
   }
@@ -371,9 +373,11 @@ TEST(SecureRuntime, InferBatchMatchesSequentialBaselineExactly) {
   std::vector<nn::Tensor> queries;
   for (int q = 0; q < 6; ++q) queries.push_back(nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f));
 
-  const auto sequential = snet.infer_batch(queries, 1);
-  const auto seq_stats = snet.per_query_stats();
-  const auto parallel = snet.infer_batch(queries, 4);
+  proto::Workload seq_wl(snet);
+  const auto sequential = seq_wl.run(queries).logits;
+  const auto seq_stats = seq_wl.chunk_stats();
+  proto::Workload par_wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/4});
+  const auto parallel = par_wl.run(queries).logits;
   ASSERT_EQ(sequential.size(), queries.size());
   ASSERT_EQ(parallel.size(), queries.size());
   for (std::size_t q = 0; q < queries.size(); ++q) {
@@ -381,8 +385,8 @@ TEST(SecureRuntime, InferBatchMatchesSequentialBaselineExactly) {
       EXPECT_EQ(sequential[q][i], parallel[q][i]) << "query " << q << " logit " << i;
     }
     // Per-query protocol transcript is identical at any worker count.
-    EXPECT_EQ(seq_stats[q].comm_bytes, snet.per_query_stats()[q].comm_bytes);
-    EXPECT_EQ(seq_stats[q].rounds, snet.per_query_stats()[q].rounds);
+    EXPECT_EQ(seq_stats[q].totals.comm_bytes, par_wl.chunk_stats()[q].totals.comm_bytes);
+    EXPECT_EQ(seq_stats[q].totals.rounds, par_wl.chunk_stats()[q].totals.rounds);
   }
 }
 
@@ -400,19 +404,21 @@ TEST(SecureRuntime, InferBatchMatchesSingleInferUpToTruncationNoise) {
   std::vector<nn::Tensor> queries;
   for (int q = 0; q < 3; ++q) queries.push_back(nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f));
 
-  const auto batched = snet.infer_batch(queries, 2);
-  const auto batch_comm = snet.stats().comm_bytes;
-  const auto per_query = snet.per_query_stats();
+  proto::Workload batched_wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/2});
+  const auto batched = batched_wl.run(queries).logits;
+  const auto batch_comm = batched_wl.stats().comm_bytes;
+  const auto per_query = batched_wl.chunk_stats();
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    const auto single = snet.infer(queries[q]);
+    proto::Workload single_wl(snet);  // fresh workload: stream position 0
+    const auto single = std::move(single_wl.run({queries[q]}).logits[0]);
     // Different dealer randomness => only ±1-LSB local truncation noise.
     EXPECT_LT(max_abs_diff(batched[q], single), 0.05f) << "query " << q;
     // Per-query traffic is shape-deterministic: batching changes nothing.
-    EXPECT_EQ(per_query[q].comm_bytes, snet.stats().comm_bytes) << "query " << q;
+    EXPECT_EQ(per_query[q].totals.comm_bytes, single_wl.stats().comm_bytes) << "query " << q;
   }
   // Merged totals are the sum of the per-query stats.
   std::uint64_t sum = 0;
-  for (const auto& qs : per_query) sum += qs.comm_bytes;
+  for (const auto& qs : per_query) sum += qs.totals.comm_bytes;
   EXPECT_EQ(batch_comm, sum);
 }
 
@@ -426,12 +432,20 @@ TEST(SecureRuntime, InferBatchHandlesEdgeCases) {
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
 
-  EXPECT_TRUE(snet.infer_batch({}, 4).empty());
-  EXPECT_TRUE(snet.per_query_stats().empty());
+  proto::Workload wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/4});
+  EXPECT_TRUE(wl.run({}).logits.empty());
+  EXPECT_TRUE(wl.chunk_stats().empty());
 
   pc::Prng dprng(63);
   const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
-  // More workers than queries (and a nonsense worker count) both clamp.
-  EXPECT_EQ(snet.infer_batch({x}, 16).size(), 1u);
-  EXPECT_EQ(snet.infer_batch({x}, 0).size(), 1u);
+  // More workers than chunks clamps internally; nonsense widths are typed
+  // construction errors under the workload API instead of silent clamps.
+  proto::Workload wide(snet, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/16});
+  EXPECT_EQ(wide.run({x}).logits.size(), 1u);
+  EXPECT_THROW(
+      proto::Workload(snet, {proto::WorkloadKind::logits, /*batch=*/1, /*worker_pairs=*/0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      proto::Workload(snet, {proto::WorkloadKind::logits, /*batch=*/0, /*worker_pairs=*/1}),
+      std::invalid_argument);
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
 #include "support/test_models.hpp"
 
 namespace nn = pasnet::nn;
@@ -12,6 +13,19 @@ namespace proto = pasnet::proto;
 using pasnet::testing::max_abs_diff;
 using pasnet::testing::tiny_cnn;
 using pasnet::testing::warm_up;
+
+namespace {
+
+/// One-query run through the workload API; fills `stats` when given.
+nn::Tensor infer_one(proto::SecureNetwork& snet, const nn::Tensor& x,
+                     proto::InferenceStats* stats = nullptr) {
+  proto::Workload workload(snet);
+  proto::WorkloadResult res = workload.run({x});
+  if (stats != nullptr) *stats = workload.stats();
+  return std::move(res.logits[0]);
+}
+
+}  // namespace
 
 TEST(SecureNetwork, MatchesPlaintextWithReluAndMaxpool) {
   const auto md = tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool);
@@ -26,7 +40,7 @@ TEST(SecureNetwork, MatchesPlaintextWithReluAndMaxpool) {
   pc::Prng dprng(3);
   const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
   const auto plain = g->forward(x, false);
-  const auto secure = snet.infer(x);
+  const auto secure = infer_one(snet, x);
   EXPECT_EQ(secure.shape(), plain.shape());
   EXPECT_LT(max_abs_diff(secure, plain), 0.1f);
   EXPECT_EQ(nn::argmax_rows(secure), nn::argmax_rows(plain));
@@ -45,7 +59,7 @@ TEST(SecureNetwork, MatchesPlaintextWithPolynomialOperators) {
   pc::Prng dprng(6);
   const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
   const auto plain = g->forward(x, false);
-  const auto secure = snet.infer(x);
+  const auto secure = infer_one(snet, x);
   EXPECT_LT(max_abs_diff(secure, plain), 0.1f);
   EXPECT_EQ(nn::argmax_rows(secure), nn::argmax_rows(plain));
 }
@@ -68,10 +82,11 @@ TEST(SecureNetwork, PolynomialVariantUsesFarLessCommunication) {
 
   pc::Prng dprng(10);
   const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f);
-  (void)snet_relu.infer(x);
-  (void)snet_poly.infer(x);
-  EXPECT_GT(snet_relu.stats().comm_bytes, 5 * snet_poly.stats().comm_bytes);
-  EXPECT_GT(snet_relu.stats().rounds, snet_poly.stats().rounds);
+  proto::InferenceStats relu_stats, poly_stats;
+  (void)infer_one(snet_relu, x, &relu_stats);
+  (void)infer_one(snet_poly, x, &poly_stats);
+  EXPECT_GT(relu_stats.comm_bytes, 5 * poly_stats.comm_bytes);
+  EXPECT_GT(relu_stats.rounds, poly_stats.rounds);
 }
 
 TEST(SecureNetwork, BatchNormFoldingIsExactAtInference) {
@@ -88,7 +103,7 @@ TEST(SecureNetwork, BatchNormFoldingIsExactAtInference) {
   pc::Prng dprng(13);
   for (int trial = 0; trial < 3; ++trial) {
     const auto x = nn::Tensor::randn({1, 2, 8, 8}, dprng, 0.8f);
-    EXPECT_LT(max_abs_diff(snet.infer(x), g->forward(x, false)), 0.1f);
+    EXPECT_LT(max_abs_diff(infer_one(snet, x), g->forward(x, false)), 0.1f);
   }
 }
 
@@ -102,11 +117,12 @@ TEST(SecureNetwork, StatsArepopulated) {
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
   pc::Prng dprng(16);
-  (void)snet.infer(nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f));
-  EXPECT_GT(snet.stats().comm_bytes, 0u);
-  EXPECT_GT(snet.stats().rounds, 0u);
-  EXPECT_GT(snet.stats().matmul_triple_elems, 0u);  // conv consumed triples
-  EXPECT_GT(snet.stats().bit_triples, 0u);          // relu/maxpool comparisons
+  proto::InferenceStats stats;
+  (void)infer_one(snet, nn::Tensor::randn({1, 2, 8, 8}, dprng, 1.0f), &stats);
+  EXPECT_GT(stats.comm_bytes, 0u);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.matmul_triple_elems, 0u);  // conv consumed triples
+  EXPECT_GT(stats.bit_triples, 0u);          // relu/maxpool comparisons
 }
 
 TEST(SecureNetwork, ResidualNetworkEndToEnd) {
@@ -128,7 +144,7 @@ TEST(SecureNetwork, ResidualNetworkEndToEnd) {
   pc::Prng dprng(19);
   const auto x = nn::Tensor::randn({1, 3, 8, 8}, dprng, 0.5f);
   const auto plain = g->forward(x, false);
-  const auto secure = snet.infer(x);
+  const auto secure = infer_one(snet, x);
   EXPECT_EQ(nn::argmax_rows(secure), nn::argmax_rows(plain));
   EXPECT_LT(max_abs_diff(secure, plain), 0.25f);
 }
