@@ -2,10 +2,21 @@
 // Shared helpers for the figure-regeneration benches: the scaled-proxy
 // search + finetune pipeline (DESIGN.md substitution 2 — accuracy comes
 // from width/input-scaled backbones trained on synthetic data, while
-// latency is always computed on the full-size CIFAR/ImageNet descriptors).
+// latency is always computed on the full-size CIFAR/ImageNet descriptors),
+// plus the `--json=PATH` machine-readable output mode every bench shares
+// (take_json_flag / run_benchmarks_with_json_flag / JsonReport) so the
+// perf trajectory can be tracked across commits.
+
+#include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
 
 #include "core/darts.hpp"
 #include "core/derive.hpp"
@@ -127,6 +138,110 @@ inline double cifar_latency_ms(nn::Backbone backbone, const nn::ArchChoices& cho
 inline const nn::Backbone kAllBackbones[] = {
     nn::Backbone::vgg16, nn::Backbone::mobilenet_v2, nn::Backbone::resnet18,
     nn::Backbone::resnet34, nn::Backbone::resnet50,
+};
+
+// -- machine-readable output (--json=PATH) ----------------------------------
+
+/// Removes every `--json=PATH` argument from argv (compacting in place and
+/// decrementing argc) and returns the last PATH seen ("" if absent), so the
+/// remaining argv can go straight to benchmark::Initialize.
+inline std::string take_json_flag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return path;
+}
+
+/// Drop-in BENCHMARK_MAIN() body with `--json=PATH` support: the flag is
+/// translated into google-benchmark's own
+/// `--benchmark_out=PATH --benchmark_out_format=json` pair, so the emitted
+/// file is the standard google-benchmark JSON schema.
+inline int run_benchmarks_with_json_flag(int argc, char** argv) {
+  const std::string path = take_json_flag(argc, argv);
+  std::vector<std::string> storage(argv, argv + argc);
+  if (!path.empty()) {
+    storage.push_back("--benchmark_out=" + path);
+    storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+/// Append-only JSON document builder for the benches' hand-rolled tables
+/// (the figures that are printed, not timed): one top-level object of named
+/// row arrays, each row a flat object of string/number fields.  Emits
+/// nothing the tables don't already print — it is the same data, parseable.
+class JsonReport {
+ public:
+  void begin_section(const char* name) {
+    body_ += sections_++ > 0 ? ",\n  \"" : "  \"";
+    body_ += name;
+    body_ += "\": [";
+    rows_ = 0;
+  }
+  void end_section() { body_ += rows_ > 0 ? "\n  ]" : "]"; }
+
+  void begin_row() {
+    body_ += rows_++ > 0 ? ",\n    {" : "\n    {";
+    fields_ = 0;
+  }
+  void end_row() { body_ += "}"; }
+
+  void field(const char* key, const char* v) { field_raw(key, quote(v)); }
+  void field(const char* key, const std::string& v) { field_raw(key, quote(v)); }
+  template <typename T, typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  void field(const char* key, T v) {
+    char buf[40];
+    if constexpr (std::is_integral_v<T>) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.17g", static_cast<double>(v));
+    }
+    field_raw(key, buf);
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw std::runtime_error("JsonReport: cannot open " + path);
+    out << "{\n" << body_ << "\n}\n";
+    if (!out) throw std::runtime_error("JsonReport: write to " + path + " failed");
+  }
+
+ private:
+  static std::string quote(const std::string& v) {
+    std::string q = "\"";
+    for (const char c : v) {
+      if (c == '"' || c == '\\') q += '\\';
+      q += c;
+    }
+    q += '"';
+    return q;
+  }
+  void field_raw(const char* key, const std::string& value) {
+    body_ += fields_++ > 0 ? ", \"" : "\"";
+    body_ += key;
+    body_ += "\": ";
+    body_ += value;
+  }
+
+  std::string body_;
+  int sections_ = 0;
+  int rows_ = 0;
+  int fields_ = 0;
 };
 
 }  // namespace pasnet::benchutil

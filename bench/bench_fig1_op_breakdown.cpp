@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "ir/executor.hpp"
 #include "perf/ir_cost.hpp"
 #include "perf/latency_model.hpp"
@@ -34,7 +35,7 @@ perf::LatencyModel model() {
   return perf::LatencyModel(perf::HardwareConfig::zcu104(), perf::NetworkConfig::lan_1gbps());
 }
 
-void print_table() {
+void print_table(pasnet::benchutil::JsonReport* json) {
   const auto m = model();
   // First bottleneck of stage 1 (Fig. 1b): input is the 56x56x64 stem
   // output; Conv1 1x1 64->64, Conv2 3x3 64->64, Conv3 1x1 64->256 and the
@@ -59,17 +60,35 @@ void print_table() {
   std::printf("   (network: 1 GB/s, device: ZCU104, dataset: ImageNet)\n\n");
   std::printf("%-16s %12s %12s %8s\n", "operator", "ours (ms)", "paper (ms)", "ratio");
   double total = 0, relu_total = 0;
+  if (json != nullptr) json->begin_section("fig1c_op_latency");
   for (const auto& r : rows) {
     std::printf("%-16s %12.1f %12.1f %8.2f\n", r.name, r.ours_ms, r.paper_ms,
                 r.ours_ms / r.paper_ms);
     total += r.ours_ms;
     if (r.name[0] == 'R') relu_total += r.ours_ms;
+    if (json != nullptr) {
+      json->begin_row();
+      json->field("operator", r.name);
+      json->field("ours_ms", r.ours_ms);
+      json->field("paper_ms", r.paper_ms);
+      json->end_row();
+    }
   }
-  std::printf("\nReLU share of block latency: %.1f%% (paper: >99%%)\n",
-              100.0 * relu_total / total);
+  const double relu_share_pct = 100.0 * relu_total / total;
+  const double x2act_speedup = m.relu(s56 * 64).total_s() / m.x2act(s56 * 64).total_s();
+  std::printf("\nReLU share of block latency: %.1f%% (paper: >99%%)\n", relu_share_pct);
   std::printf("Operator-level ReLU -> X2act speedup at 56x56x64: %.0fx "
               "(paper Sec. I: ~50x)\n\n",
-              m.relu(s56 * 64).total_s() / m.x2act(s56 * 64).total_s());
+              x2act_speedup);
+  if (json != nullptr) {
+    json->end_section();
+    json->begin_section("fig1c_summary");
+    json->begin_row();
+    json->field("relu_share_pct", relu_share_pct);
+    json->field("relu_to_x2act_speedup", x2act_speedup);
+    json->end_row();
+    json->end_section();
+  }
 }
 
 /// Measured rounds of one secure query under both open schedules, the
@@ -115,7 +134,7 @@ RoundRow measure_rounds(const char* name, nn::ModelDescriptor md, std::uint64_t 
                   bcost.total.rounds};
 }
 
-void print_round_table() {
+void print_round_table(pasnet::benchutil::JsonReport* json) {
   // Measured on the real protocol stack (scaled proxies: 8x8 inputs so a
   // full secure inference runs in milliseconds; round counts depend only on
   // the architecture, not the widths).
@@ -142,34 +161,54 @@ void print_round_table() {
   std::printf("== IR round scheduler: measured rounds before/after coalescing ==\n\n");
   std::printf("%-24s %8s %10s %6s %10s %8s %8s\n", "model", "eager", "coalesced", "drop",
               "analytic", "K=4", "K=4 anl");
+  if (json != nullptr) json->begin_section("round_coalescing");
   for (const auto& r : rows) {
     std::printf("%-24s %8llu %10llu %5.1f%% %10d %8llu %8d\n", r.name,
                 static_cast<unsigned long long>(r.eager),
                 static_cast<unsigned long long>(r.coalesced),
                 100.0 * (1.0 - static_cast<double>(r.coalesced) / static_cast<double>(r.eager)),
                 r.analytic, static_cast<unsigned long long>(r.batched4), r.batched4_analytic);
+    if (json != nullptr) {
+      json->begin_row();
+      json->field("model", r.name);
+      json->field("eager_rounds", r.eager);
+      json->field("coalesced_rounds", r.coalesced);
+      json->field("analytic_rounds", r.analytic);
+      json->field("batched4_rounds", r.batched4);
+      json->field("batched4_analytic_rounds", r.batched4_analytic);
+      json->end_row();
+    }
   }
+  if (json != nullptr) json->end_section();
   std::printf("\n(analytic = perf::profile_program on the same IR; K=4 = measured rounds of\n"
               " ONE 4-lane single-context chunk — its lanes share every round group, so\n"
               " rounds/query is a quarter of it.  The CI round guard fails unless both\n"
               " measured columns equal the analytic model exactly)\n\n");
 }
 
-void print_staged_comparison_table() {
+void print_staged_comparison_table(pasnet::benchutil::JsonReport* json) {
   using pasnet::testing::measured_program_rounds;
   const auto m = model();
   std::printf("== Staged comparison coalescing: K independent ReLUs, one round group ==\n\n");
   std::printf("%-6s %8s %10s %10s\n", "K", "eager", "coalesced", "analytic");
+  if (json != nullptr) json->begin_section("staged_comparison");
   for (const int k : {1, 4, 16, 64}) {
     const ir::SecureProgram p = pasnet::testing::parallel_relu_program(k);
     const auto cost = perf::profile_program(m, p, pc::RingConfig{}.bits);
-    std::printf(
-        "%-6d %8llu %10llu %10d\n", k,
-        static_cast<unsigned long long>(measured_program_rounds(p, proto::RoundSchedule::eager)),
-        static_cast<unsigned long long>(
-            measured_program_rounds(p, proto::RoundSchedule::coalesced)),
-        cost.total.rounds);
+    const std::uint64_t eager = measured_program_rounds(p, proto::RoundSchedule::eager);
+    const std::uint64_t coalesced = measured_program_rounds(p, proto::RoundSchedule::coalesced);
+    std::printf("%-6d %8llu %10llu %10d\n", k, static_cast<unsigned long long>(eager),
+                static_cast<unsigned long long>(coalesced), cost.total.rounds);
+    if (json != nullptr) {
+      json->begin_row();
+      json->field("k", k);
+      json->field("eager_rounds", eager);
+      json->field("coalesced_rounds", coalesced);
+      json->field("analytic_rounds", cost.total.rounds);
+      json->end_row();
+    }
   }
+  if (json != nullptr) json->end_section();
   std::printf("\n(coalesced rounds are independent of K: all instances share the per-digit\n"
               " OT round, each AND-tree level and the B2A/mux openings; eager pays the\n"
               " full millionaire + AND-tree stack per instance)\n\n");
@@ -195,9 +234,19 @@ BENCHMARK(bm_ot_flow_model_eval)->Arg(1 << 16);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  print_round_table();
-  print_staged_comparison_table();
+  // --json=PATH captures the custom tables as one JSON object of named row
+  // arrays; the google-benchmark microbenches below still accept the
+  // harness's own --benchmark_* flags.
+  const std::string json_path = pasnet::benchutil::take_json_flag(argc, argv);
+  pasnet::benchutil::JsonReport json;
+  pasnet::benchutil::JsonReport* jp = json_path.empty() ? nullptr : &json;
+  print_table(jp);
+  print_round_table(jp);
+  print_staged_comparison_table(jp);
+  if (jp != nullptr) {
+    json.write(json_path);
+    std::printf("wrote table JSON to %s\n\n", json_path.c_str());
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -11,7 +11,10 @@
 // the chunk pays the comparison rounds of one query, so rounds/query drops
 // by K.
 //
-//   build/bench/bench_throughput
+//   build/bench/bench_throughput [--json=PATH]
+//
+// --json=PATH writes the run as google-benchmark JSON (the standard
+// --benchmark_out schema) so the throughput trajectory is machine-readable.
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "proto/secure_network.hpp"
 #include "proto/workload.hpp"
 #include "support/test_models.hpp"
@@ -152,4 +156,6 @@ BENCHMARK(bm_single_context_batch)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pasnet::benchutil::run_benchmarks_with_json_flag(argc, argv);
+}

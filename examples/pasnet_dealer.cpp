@@ -8,13 +8,18 @@
 // (--batch=K) claim K bundles per chunk; claims are position-addressed,
 // so the daemon serves any lane layout without configuration.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "example_flags.hpp"
 #include "net/dealer.hpp"
+#include "obs/tracer.hpp"
 
 namespace ex = pasnet::examples;
 namespace net = pasnet::net;
+namespace obs = pasnet::obs;
 namespace offline = pasnet::offline;
 
 int main(int argc, char** argv) {
@@ -28,6 +33,12 @@ int main(int argc, char** argv) {
                       "exhaustion policy for claims past the store (throw, refill)");
   flags.define_int("sessions", 2, "client sessions to serve before exiting (a two-party run is 2)");
   flags.define_int("timeout-ms", 30000, "socket accept/io timeout");
+  flags.define_int("stats-interval", 0,
+                   "print a serving stats line (claims, bytes, open sessions, claim "
+                   "latency p50/p99) every S seconds (0 = off)");
+  flags.define_string("trace", "",
+                      "write the daemon's serving timeline (Chrome trace event JSON, "
+                      "loads in Perfetto) to this path");
   flags.parse(argc, argv);
 
   const std::string path = flags.get_string("store");
@@ -58,6 +69,43 @@ int main(int argc, char** argv) {
   const std::uint64_t queries = store.num_queries();
   const std::uint64_t fingerprint = store.plan_fingerprint();
   net::DealerServer server(std::move(store), policy);
+
+  // Claim-latency percentiles come from the tracer's sample stream, so the
+  // tracer is live whenever either observability flag is set.
+  const std::string trace_path = flags.get_string("trace");
+  const long long stats_interval = std::max(0LL, flags.get_int("stats-interval"));
+  obs::Tracer tracer(!trace_path.empty() || stats_interval > 0);
+  if (tracer.enabled()) server.set_tracer(&tracer);
+
+  // serve() blocks the main thread; a detached printer polls the server's
+  // stats snapshot on the chosen cadence until serving finishes.
+  std::atomic<bool> serving{true};
+  std::thread printer;
+  if (stats_interval > 0) {
+    printer = std::thread([&] {
+      while (serving.load(std::memory_order_relaxed)) {
+        for (long long tick = 0; tick < 10 * stats_interval; ++tick) {
+          if (!serving.load(std::memory_order_relaxed)) return;
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        const net::DealerStats s = server.stats_snapshot();
+        std::printf("pasnet_dealer: %llu claims served, %llu bundle bytes, %d open "
+                    "sessions, claim latency p50 %llu us / p99 %llu us\n",
+                    static_cast<unsigned long long>(s.claims),
+                    static_cast<unsigned long long>(s.bundle_bytes), s.open_sessions,
+                    static_cast<unsigned long long>(
+                        tracer.percentile(obs::Sample::dealer_claim_us, 0.5)),
+                    static_cast<unsigned long long>(
+                        tracer.percentile(obs::Sample::dealer_claim_us, 0.99)));
+        std::fflush(stdout);
+      }
+    });
+  }
+  const auto stop_printer = [&] {
+    serving.store(false, std::memory_order_relaxed);
+    if (printer.joinable()) printer.join();
+  };
+
   try {
     net::Listener listener(static_cast<std::uint16_t>(flags.get_int("port")),
                            flags.get_string("bind"));
@@ -69,8 +117,15 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     server.serve(listener, static_cast<int>(flags.get_int("sessions")), topts);
   } catch (const std::exception& e) {
+    stop_printer();
     std::fprintf(stderr, "pasnet_dealer: %s\n", e.what());
     return 1;
+  }
+  stop_printer();
+  if (!trace_path.empty()) {
+    tracer.write_chrome_trace_file(trace_path);
+    std::printf("pasnet_dealer: wrote %zu trace spans to %s\n", tracer.event_count(),
+                trace_path.c_str());
   }
   std::printf("pasnet_dealer: done (%llu bundles served)\n",
               static_cast<unsigned long long>(server.bundles_served()));

@@ -32,6 +32,7 @@
 #include "core/derive.hpp"
 #include "data/synthetic.hpp"
 #include "example_flags.hpp"
+#include "obs/tracer.hpp"
 #include "perf/network_profile.hpp"
 #include "proto/secure_network.hpp"
 #include "proto/workload.hpp"
@@ -40,6 +41,7 @@ namespace bl = pasnet::baselines;
 namespace core = pasnet::core;
 namespace data = pasnet::data;
 namespace nn = pasnet::nn;
+namespace obs = pasnet::obs;
 namespace off = pasnet::offline;
 namespace pc = pasnet::crypto;
 namespace perf = pasnet::perf;
@@ -55,6 +57,9 @@ int main(int argc, char** argv) {
   flags.define_switch("preprocess", "pregenerate triples offline; serve online from the store");
   flags.define_string("offline-file", "",
                       "triple-store path: load if present, else generate and save");
+  flags.define_string("trace", "",
+                      "write the whole run's protocol timeline (Chrome trace event JSON, "
+                      "loads in Perfetto) to this path");
   flags.parse(argc, argv);
   const int batch = std::max(0LL, flags.get_int("batch"));
   const int lanes = std::max(1LL, flags.get_int("lanes"));
@@ -99,10 +104,18 @@ int main(int argc, char** argv) {
     return core::Batch{std::move(x), std::move(y)};
   }, fcfg, &node_of_layer);
 
+  // One tracer spans the whole process: every workload below merges its
+  // chunk timelines into it, so the exported file shows the functional run,
+  // the batched sweeps and the offline phase on one clock.
+  const std::string trace_path = flags.get_string("trace");
+  const bool tracing = !trace_path.empty();
+  obs::Tracer tracer(tracing);
+
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(arch.descriptor, *graph, node_of_layer, ctx);
   const auto [qx, qy] = dataset.val.slice(0, 1);
   proto::Workload workload(snet);
+  if (tracing) workload.set_tracer(&tracer);
   const auto logits = std::move(workload.run({qx}).logits[0]);
   std::printf("functional 2PC run (scaled model, in-process simulation):\n");
   std::printf("  prediction: class %d (true label %d)\n", nn::argmax_rows(logits)[0], qy[0]);
@@ -132,6 +145,7 @@ int main(int argc, char** argv) {
                 rtt_us);
     const auto run = [&](int k, int worker_pairs) {
       proto::Workload wl(batch_snet, {proto::WorkloadKind::logits, k, worker_pairs});
+      if (tracing) wl.set_tracer(&tracer);
       const auto t0 = std::chrono::steady_clock::now();
       const auto out = wl.run(queries);
       const auto t1 = std::chrono::steady_clock::now();
@@ -175,6 +189,7 @@ int main(int argc, char** argv) {
       }
       proto::Workload online_wl(batch_snet,
                                 {proto::WorkloadKind::logits, used_lanes, used_workers});
+      if (tracing) online_wl.set_tracer(&tracer);
       if (loaded) {
         if (store.plan_fingerprint() != online_wl.plan().fingerprint()) {
           std::printf("offline phase: %s was generated for a different model; regenerating\n",
@@ -241,5 +256,11 @@ int main(int argc, char** argv) {
   const auto gpu = bl::cryptgpu_resnet50();
   std::printf("  vs %s: %.0fx faster, %.0fx less traffic\n", gpu.name,
               gpu.latency_s / profile.total.total_s(), gpu.comm_gb / profile.comm_gb());
+
+  if (tracing) {
+    tracer.write_chrome_trace_file(trace_path);
+    std::printf("\nwrote %zu trace spans to %s (open in https://ui.perfetto.dev)\n",
+                tracer.event_count(), trace_path.c_str());
+  }
   return 0;
 }

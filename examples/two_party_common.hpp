@@ -18,6 +18,9 @@
 
 #include "example_flags.hpp"
 #include "net/party_session.hpp"
+#include "obs/tracer.hpp"
+#include "obs/witness.hpp"
+#include "perf/ir_cost.hpp"
 #include "proto/secure_network.hpp"
 #include "proto/workload.hpp"
 #include "support/test_models.hpp"
@@ -138,6 +141,10 @@ inline int run_party(int party, int argc, char** argv) {
   flags.define_int("preprocess", 0,
                    "instead of serving: pregenerate N query bundles into --store and exit");
   flags.define_int("timeout-ms", 30000, "socket connect/io timeout");
+  flags.define_string("trace", "",
+                      "write this party's protocol timeline (Chrome trace event JSON, loads "
+                      "in Perfetto) to this path; every chunk is also cross-checked against "
+                      "TrafficStats and the analytic cost model (exit 1 on mismatch)");
   flags.parse(argc, argv);
 
   const proto::SecureConfig cfg = config_from_flags(flags);
@@ -190,6 +197,14 @@ inline int run_party(int party, int argc, char** argv) {
                                    static_cast<std::uint16_t>(flags.get_int("port")), 0, topts);
   }
   net::PartySession session(party, *chan, crypto::RingConfig{});
+  // --trace: one tracer for the whole session; each chunk merges its
+  // per-chunk records in, and the chunk's counter totals are checked
+  // against BOTH the channel meter and the analytic cost model (the
+  // three-witness invariant) before anything is written out.
+  const std::string trace_path = flags.get_string("trace");
+  const bool tracing = !trace_path.empty();
+  obs::Tracer tracer(tracing);
+  if (tracing) session.set_tracer(&tracer);
   session.verify_plan(plan);
 
   // Correlated-randomness source.
@@ -245,9 +260,10 @@ inline int run_party(int party, int argc, char** argv) {
     inputs.reserve(lanes);
     for (std::size_t j = 0; j < lanes; ++j) inputs.push_back(query_input(ex.md, seed, q0 + j));
     crypto::TrafficStats stats;
+    obs::CounterSnapshot chunk_trace;
     const ir::BatchExecResult res =
         session.run_batch(program, ex.snet->params(), q0, party == 0 ? &inputs : nullptr,
-                          lanes, ropts, &stats);
+                          lanes, ropts, &stats, tracing ? &chunk_trace : nullptr);
     for (std::size_t j = 0; j < lanes; ++j) {
       const std::size_t q = q0 + j;
       if (label_only) {
@@ -267,6 +283,21 @@ inline int run_party(int party, int argc, char** argv) {
                 static_cast<unsigned long long>(stats.rounds),
                 static_cast<unsigned long long>(stats.messages));
     std::fflush(stdout);
+
+    if (tracing) {
+      // Three-witness self-check: the tracer's independently mirrored
+      // counters, the channel meter, and the static cost model must agree
+      // on this chunk's rounds and wire bytes exactly.
+      const perf::LatencyModel lat(perf::HardwareConfig::zcu104(),
+                                   perf::NetworkConfig::lan_1gbps());
+      const perf::ProgramCost cost =
+          perf::profile_program(lat, program, crypto::RingConfig{}.bits,
+                                crypto::RingConfig{}.wire_bits, static_cast<int>(lanes));
+      const obs::WitnessReport report = obs::three_witness(
+          chunk_trace, stats, static_cast<std::uint64_t>(cost.total.rounds), cost.wire_bytes);
+      std::printf("chunk %zu: %s\n", chunk, report.describe().c_str());
+      if (!report.ok()) drift = 1;
+    }
 
     if (flags.get_switch("verify")) {
       // The in-process workload must agree bit for bit — same logits/labels
@@ -310,6 +341,10 @@ inline int run_party(int party, int argc, char** argv) {
   if (drift == 0 && flags.get_switch("verify")) {
     std::printf("all %zu queries verified: outputs bit-identical, chunk TrafficStats equal\n",
                 queries);
+  }
+  if (tracing) {
+    tracer.write_chrome_trace_file(trace_path, /*pid=*/party);
+    std::printf("wrote %zu trace spans to %s\n", tracer.event_count(), trace_path.c_str());
   }
   return drift;
 }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "crypto/ring.hpp"
+#include "obs/tracer.hpp"
 
 namespace pasnet::crypto {
 
@@ -139,6 +140,16 @@ class Channel {
 
   [[nodiscard]] virtual ChannelMode mode() const noexcept = 0;
 
+  /// Attaches a tracer (nullptr detaches).  The endpoint mirrors every
+  /// meter update into the tracer's counters — rounds, per-direction wire
+  /// bytes, messages — and accumulates blocked send/recv time, which is
+  /// what makes the trace an independent witness of TrafficStats.  For an
+  /// in-process pair the tracer is shared pair-wide (attaching through
+  /// either endpoint covers both), matching the shared meter.  The caller
+  /// keeps ownership; the tracer must outlive the attachment.
+  virtual void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
   /// Creates a connected in-process pair of endpoints: first element is
   /// party 0's.
   static std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_pair(
@@ -160,6 +171,9 @@ class Channel {
   /// The endpoint's meter; backends allocate it (pair-shared in process,
   /// per-endpoint over a transport).
   std::shared_ptr<TrafficStats> stats_;
+  /// Attached tracer, or nullptr.  Backends test it at their accounting
+  /// sites; when attached and enabled they mirror the meter update.
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Construction knobs for an in-process channel pair.

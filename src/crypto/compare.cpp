@@ -98,6 +98,10 @@ void BitOpenBuffer::open_batch(const Pending* batch, std::size_t count) {
   // One symmetric exchange for every stage of the batch; each stage's bits
   // pack into their own byte-aligned chunk so coalescing never changes the
   // transcript size, only the exchange count.
+  //
+  // Each batch is one coalesced AND-tree level opening (or one immediate
+  // bit opening) — the protocol event the and_levels counter tracks.
+  if (obs::Tracer* const t = ctx_.tracer()) t->add(obs::Counter::and_levels, 1);
   std::vector<std::uint8_t> msg0, msg1;
   for (std::size_t i = 0; i < count; ++i) {
     const auto p0 = pack_bits(batch[i].x.b0);

@@ -195,6 +195,7 @@ void TwoPartyContext::exchange(const std::function<void()>& send0,
   // Both directions are concurrently in flight: the whole exchange is one
   // latency-critical round (matching perf::OpCost::rounds), however many
   // messages it carries.
+  const obs::SpanGuard span(tracer_, "crypto", "round");
   local_chan().begin_round();
   try {
     if (local_party_ >= 0) {
@@ -236,6 +237,10 @@ void TwoPartyContext::exchange(const std::function<void()>& send0,
 
 void OpenBuffer::stage(Shared x, RingVec* out) {
   if (!coalescing_) {
+    if (obs::Tracer* const t = ctx_.tracer()) {
+      t->add(obs::Counter::openings, 1);
+      t->add(obs::Counter::open_flushes, 1);
+    }
     *out = open(ctx_, x);
     return;
   }
@@ -244,6 +249,10 @@ void OpenBuffer::stage(Shared x, RingVec* out) {
 
 void OpenBuffer::flush() {
   if (pending_.empty()) return;
+  if (obs::Tracer* const t = ctx_.tracer()) {
+    t->add(obs::Counter::openings, pending_.size());
+    t->add(obs::Counter::open_flushes, 1);
+  }
   if (pending_.size() == 1) {
     *pending_[0].out = open(ctx_, pending_[0].x);
     pending_.clear();

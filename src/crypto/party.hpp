@@ -158,6 +158,10 @@ class TwoPartyContext {
   /// against in-flight protocol steps — set it between queries.
   void set_triple_source(TripleSource* source) noexcept {
     triple_source_ = source != nullptr ? source : &dealer_source_;
+    // A traced context traces whatever source is installed on it — this is
+    // what keeps per-lane sources (swapped in by the batched executor)
+    // feeding the same tracer.
+    if (tracer_ != nullptr) triple_source_->set_tracer(tracer_);
   }
   /// The source installed via set_triple_source, or nullptr when the
   /// context serves from its own dealer (the default).  Lets a caller
@@ -256,6 +260,19 @@ class TwoPartyContext {
   [[nodiscard]] const TrafficStats& stats() const noexcept { return local_chan().stats(); }
   void reset_stats() { local_chan().reset_stats(); }
 
+  /// Attaches a tracer (nullptr detaches): the context records exchange
+  /// round spans and the staged buffers their flush counters, and the
+  /// attachment is forwarded to the metered channel so wire bytes, rounds
+  /// and wait time land in the same tracer.  Non-owning; the tracer must
+  /// outlive the attachment and is shared with every protocol layer on
+  /// this context — obs::Tracer is thread-safe.
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    local_chan().set_tracer(tracer);
+    triple_source_->set_tracer(tracer);
+  }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   /// The endpoint this context meters: party 0's for the in-process modes
   /// (the pair shares one meter), the borrowed endpoint for a remote
@@ -284,6 +301,7 @@ class TwoPartyContext {
   std::unique_ptr<OtBuffer> ots_;
   std::unique_ptr<BitOpenBuffer> bit_opens_;
   std::unique_ptr<TwoPartyRuntime> runtime_;  // threaded mode only
+  obs::Tracer* tracer_ = nullptr;             // non-owning; see set_tracer
 };
 
 /// Jointly reconstruct a shared vector: both parties exchange their shares

@@ -25,6 +25,7 @@
 
 #include "crypto/beaver.hpp"
 #include "crypto/ring.hpp"
+#include "obs/tracer.hpp"
 
 namespace pasnet::crypto {
 
@@ -84,27 +85,39 @@ class TripleSource {
 
   [[nodiscard]] ElemTriple elem_triple(std::size_t n) {
     counters_.elem_triples += n;
+    claimed();
     return do_elem_triple(n);
   }
   [[nodiscard]] SquarePair square_pair(std::size_t n) {
     counters_.square_pairs += n;
+    claimed();
     return do_square_pair(n);
   }
   [[nodiscard]] MatmulTriple matmul_triple(std::size_t m, std::size_t k, std::size_t n) {
     counters_.matmul_triple_elems += m * k + k * n + m * n;
+    claimed();
     return do_matmul_triple(m, k, n);
   }
   [[nodiscard]] BitTriple bit_triple(std::size_t n) {
     counters_.bit_triples += n;
+    claimed();
     return do_bit_triple(n);
   }
   [[nodiscard]] BilinearTriple bilinear_triple(const BilinearSpec& spec) {
     counters_.bilinear_triple_elems += spec.na() + spec.nb() + spec.nz();
+    claimed();
     return do_bilinear_triple(spec);
   }
 
   [[nodiscard]] const TripleCounters& counters() const noexcept { return counters_; }
   void reset_counters() noexcept { counters_.reset(); }
+
+  /// Attaches a tracer that counts every correlated-randomness request
+  /// (obs::Counter::triple_claims).  Non-owning; nullptr detaches.
+  /// TwoPartyContext::set_triple_source propagates its own attachment, so
+  /// sources installed on a traced context are traced automatically.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
 
  protected:
   virtual ElemTriple do_elem_triple(std::size_t n) = 0;
@@ -114,7 +127,12 @@ class TripleSource {
   virtual BilinearTriple do_bilinear_triple(const BilinearSpec& spec) = 0;
 
  private:
+  void claimed() noexcept {
+    if (tracer_) tracer_->add(obs::Counter::triple_claims, 1);
+  }
+
   TripleCounters counters_;
+  obs::Tracer* tracer_ = nullptr;  // non-owning; see set_tracer
 };
 
 /// The fused offline+online baseline: every request generated inline by the

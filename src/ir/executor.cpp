@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/tracer.hpp"
+
 namespace pasnet::ir {
 
 namespace {
@@ -121,6 +123,9 @@ BatchExecResult execute_batch(const SecureProgram& p, const CompiledParams& para
 
   const RingConfig& rc = ctx.ring();
   const bool coalesce = opts.cfg.schedule == proto::RoundSchedule::coalesced;
+  obs::Tracer* const tracer = ctx.tracer();
+  const obs::SpanGuard run_span(tracer, "ir", "execute_batch",
+                                static_cast<std::int64_t>(lanes));
   crypto::OpenBuffer& opens = ctx.opens();
   CoalescingScope mode(ctx, coalesce);
   SourceScope source_guard(ctx, !opts.lane_sources.empty());
@@ -168,6 +173,12 @@ BatchExecResult execute_batch(const SecureProgram& p, const CompiledParams& para
   };
   const auto flush_group = [&] {
     if (staged.empty() && comps.empty()) return;
+    // One span per round-group flush: OT dances, AND levels and the
+    // coalesced openings of the whole group — across ops AND lanes — land
+    // inside it, which is where a latency profile shows the round
+    // structure the scheduler bought.
+    const obs::SpanGuard flush_span(tracer, "ir", "flush_group",
+                                    static_cast<std::int64_t>(lanes));
     if (comps.empty()) {
       opens.flush();
     } else {
@@ -237,6 +248,10 @@ BatchExecResult execute_batch(const SecureProgram& p, const CompiledParams& para
 
   for (std::size_t i = 0; i < p.ops.size(); ++i) {
     const Op& op = p.ops[i];
+    // Per-op span covering all K lanes' instances of this op: staging (and
+    // under the eager schedule the whole execution) of the op's work.
+    const obs::SpanGuard op_span(tracer, "ir", op_kind_name(op.kind),
+                                 static_cast<std::int64_t>(lanes));
     const auto in = [&](std::size_t q) -> const SecureTensor& {
       return acts[q][static_cast<std::size_t>(op.in0)];
     };
@@ -362,6 +377,8 @@ BatchExecResult execute_batch(const SecureProgram& p, const CompiledParams& para
   // Reveal the logits to the client: every lane's terminal opening stages
   // on the open buffer, so the coalesced schedule reveals the whole batch
   // in ONE joint exchange (the eager schedule opens per lane).
+  const obs::SpanGuard reveal_span(tracer, "ir", "reveal_logits",
+                                   static_cast<std::int64_t>(lanes));
   std::vector<crypto::RingVec> revealed(lanes);
   for (std::size_t q = 0; q < lanes; ++q) {
     opens.stage(acts[q][static_cast<std::size_t>(p.output)].shares, &revealed[q]);

@@ -49,6 +49,8 @@ class DealerServer::Impl {
   // client consumes both slots — it IS both parties material-wise.
   std::vector<std::uint8_t> claimed[2];
   std::uint64_t served = 0;
+  std::uint64_t bundle_bytes = 0;
+  int open_sessions = 0;
 };
 
 DealerServer::DealerServer(offline::TripleStore store, offline::ExhaustionPolicy policy,
@@ -76,6 +78,10 @@ void DealerServer::serve(Listener& listener, int sessions, TransportOptions opts
       continue;  // a misdialed or hostile client consumed its slot
     }
     threads.emplace_back([this, t = std::move(t)]() mutable {
+      {
+        std::lock_guard<std::mutex> lk(impl_->m);
+        ++impl_->open_sessions;
+      }
       try {
         serve_session(std::move(t));
       } catch (const NetError&) {
@@ -83,6 +89,8 @@ void DealerServer::serve(Listener& listener, int sessions, TransportOptions opts
         // own session; the daemon keeps serving the other party.
       } catch (const std::runtime_error&) {
       }
+      std::lock_guard<std::mutex> lk(impl_->m);
+      --impl_->open_sessions;
     });
   }
   for (auto& th : threads) th.join();
@@ -90,7 +98,13 @@ void DealerServer::serve(Listener& listener, int sessions, TransportOptions opts
   bundles_served_ = impl_->served;
 }
 
+DealerStats DealerServer::stats_snapshot() const {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  return DealerStats{impl_->served, impl_->bundle_bytes, impl_->open_sessions};
+}
+
 void DealerServer::serve_session(std::unique_ptr<TcpTransport> transport) {
+  const obs::SpanGuard session_span(tracer_, "net", "dealer_session");
   // HELLO: party + plan fingerprint.
   const std::vector<std::uint8_t> hello = transport->recv_frame();
   WireReader hr(hello);
@@ -140,6 +154,8 @@ void DealerServer::serve_session(std::unique_ptr<TcpTransport> transport) {
     if (op != kOpClaim) throw WireError("dealer: unknown op from client");
     const std::uint64_t index = rr.get_u64();
     rr.expect_end();
+    const bool timed = tracer_ != nullptr && tracer_->enabled();
+    const std::uint64_t claim_begin = timed ? obs::Tracer::now_us() : 0;
 
     WireWriter resp;
     if (index >= store_.num_queries()) {
@@ -177,9 +193,21 @@ void DealerServer::serve_session(std::unique_ptr<TcpTransport> transport) {
     }
     resp.put_u8(kStatusOk);
     resp.put_u64(index);
-    resp.put_bytes(serialize_bundle(
-        offline::slice_bundle_for_party(store_.bundle(static_cast<std::size_t>(index)), party)));
+    const std::vector<std::uint8_t> payload = serialize_bundle(
+        offline::slice_bundle_for_party(store_.bundle(static_cast<std::size_t>(index)), party));
+    resp.put_bytes(payload);
     transport->send_frame(resp.take());
+    {
+      std::lock_guard<std::mutex> lk(impl_->m);
+      impl_->bundle_bytes += payload.size();
+    }
+    if (timed) {
+      // Latency covers claim bookkeeping + slicing + serialization + the
+      // send — what a waiting party actually experiences past its request.
+      tracer_->add(obs::Counter::dealer_claims, 1);
+      tracer_->add(obs::Counter::dealer_bytes, payload.size());
+      tracer_->sample(obs::Sample::dealer_claim_us, obs::Tracer::now_us() - claim_begin);
+    }
   }
 }
 

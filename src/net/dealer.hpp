@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/tracer.hpp"
 #include "offline/triple_store.hpp"
 
 namespace pasnet::net {
@@ -59,6 +60,14 @@ struct DealerInfo {
   std::uint64_t fingerprint = 0;
   std::uint64_t num_queries = 0;
   offline::ExhaustionPolicy policy = offline::ExhaustionPolicy::Throw;
+};
+
+/// Live serving statistics, safe to read from any thread while serve()
+/// runs (the pasnet_dealer --stats-interval printer polls this).
+struct DealerStats {
+  std::uint64_t claims = 0;        ///< bundles shipped so far
+  std::uint64_t bundle_bytes = 0;  ///< serialized bundle payload bytes shipped
+  int open_sessions = 0;           ///< sessions currently being served
 };
 
 /// Serves one TripleStore to party clients.  Thread-safe claim bookkeeping;
@@ -86,6 +95,17 @@ class DealerServer {
   /// Bundles actually shipped (post-serve reporting).
   [[nodiscard]] std::uint64_t bundles_served() const noexcept { return bundles_served_; }
 
+  /// Point-in-time serving totals; safe while serve() is running.
+  [[nodiscard]] DealerStats stats_snapshot() const;
+
+  /// Attaches a tracer (non-owning; nullptr detaches; attach before
+  /// serve()).  Each served claim adds obs::Counter::dealer_claims /
+  /// dealer_bytes and one obs::Sample::dealer_claim_us latency sample
+  /// (request parsed -> response on the wire); each session records a
+  /// "net"/"dealer_session" span.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   class Impl;
   void serve_session(std::unique_ptr<TcpTransport> transport);
@@ -95,6 +115,7 @@ class DealerServer {
   bool allow_both_halves_;
   std::uint64_t bundles_served_ = 0;
   std::unique_ptr<Impl> impl_;
+  obs::Tracer* tracer_ = nullptr;  // non-owning; see set_tracer
 };
 
 /// One party's connection to the dealer daemon.

@@ -59,6 +59,7 @@ proto::SecureTensor recv_tensor_share(crypto::Channel& chan, int local_party) {
 }
 
 void PartySession::verify_plan(const offline::PreprocessingPlan& plan) {
+  const obs::SpanGuard span(tracer_, "net", "verify_plan");
   WireWriter w;
   w.put_u64(plan.fingerprint());
   w.put_u32(static_cast<std::uint32_t>(rc_.bits));
@@ -109,8 +110,14 @@ ir::BatchExecResult PartySession::run_batch(const ir::SecureProgram& program,
                                             const std::vector<nn::Tensor>* inputs,
                                             std::size_t lanes,
                                             const RemoteSessionOptions& opts,
-                                            crypto::TrafficStats* stats_out) {
+                                            crypto::TrafficStats* stats_out,
+                                            obs::CounterSnapshot* trace_out) {
   if (lanes == 0) return ir::BatchExecResult{};
+  // Per-chunk tracer: counters recorded here become the chunk's trace
+  // witness; merged into the session tracer at the end.
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  obs::Tracer chunk_tracer(tracing);
+  const std::uint64_t chunk_begin = tracing ? obs::Tracer::now_us() : 0;
   // --- setup frames (outside the metered window) ---------------------------
   // One input-share frame per lane, each computed with the executor's
   // canonical per-lane client PRG: identical share values to the
@@ -158,7 +165,13 @@ ir::BatchExecResult PartySession::run_batch(const ir::SecureProgram& program,
         if (opts.dealer == nullptr) {
           throw std::invalid_argument("PartySession::run_batch: dealer source without a client");
         }
+        const std::uint64_t claim_begin = tracing ? obs::Tracer::now_us() : 0;
         dealer_bundles[j] = opts.dealer->claim(q + j);
+        if (tracing) {
+          chunk_tracer.add(obs::Counter::dealer_claims, 1);
+          chunk_tracer.sample(obs::Sample::dealer_claim_us,
+                              obs::Tracer::now_us() - claim_begin);
+        }
         if (dealer_bundles[j].has_value()) bundles[j] = &*dealer_bundles[j];
         break;
       }
@@ -173,6 +186,16 @@ ir::BatchExecResult PartySession::run_batch(const ir::SecureProgram& program,
   chan_.reset_stats();
   crypto::TwoPartyContext ctx(rc_, proto::SecureNetwork::query_context_seed(seed_idx[0]),
                               party_, chan_);
+  // Attach the chunk tracer only now — the metered window — and make sure
+  // the borrowed (session-persistent) channel never outlives it with a
+  // dangling attachment, even if execution throws.
+  struct DetachChanTracer {
+    crypto::Channel* chan;
+    ~DetachChanTracer() {
+      if (chan != nullptr) chan->set_tracer(nullptr);
+    }
+  } detach{tracing ? &chan_ : nullptr};
+  if (tracing) ctx.set_tracer(&chunk_tracer);
   std::vector<std::unique_ptr<crypto::TripleDealer>> lane_dealers;
   std::vector<std::unique_ptr<crypto::TripleSource>> owned_sources;
   std::vector<std::unique_ptr<crypto::Prng>> owned_prngs;
@@ -204,6 +227,12 @@ ir::BatchExecResult PartySession::run_batch(const ir::SecureProgram& program,
   }
   ir::BatchExecResult res = ir::execute_batch(program, params, ctx, {}, bopts);
   if (stats_out != nullptr) *stats_out = chan_.stats_snapshot();
+  if (tracing) {
+    chunk_tracer.complete_span("net", "run_batch", chunk_begin,
+                               static_cast<std::int64_t>(lanes));
+    if (trace_out != nullptr) *trace_out = chunk_tracer.snapshot();
+    tracer_->merge_from(chunk_tracer);
+  }
   return res;
 }
 

@@ -22,6 +22,7 @@
 #include "ir/executor.hpp"
 #include "net/dealer.hpp"
 #include "net/transport_channel.hpp"
+#include "obs/tracer.hpp"
 #include "offline/preprocessing_plan.hpp"
 #include "offline/triple_store.hpp"
 
@@ -89,19 +90,33 @@ class PartySession {
   /// positions under TripleSourceKind::store), so batched remote logits
   /// are bit-identical to the same queries run one at a time — local or
   /// remote.
+  /// `trace_out`, when set and a tracer is attached, receives the chunk's
+  /// trace-counter totals — recorded over exactly the metered window, so
+  /// its rounds/bytes must equal `stats_out`'s.
   [[nodiscard]] ir::BatchExecResult run_batch(const ir::SecureProgram& program,
                                               const ir::CompiledParams& params, std::size_t q,
                                               const std::vector<nn::Tensor>* inputs,
                                               std::size_t lanes,
                                               const RemoteSessionOptions& opts,
-                                              crypto::TrafficStats* stats_out = nullptr);
+                                              crypto::TrafficStats* stats_out = nullptr,
+                                              obs::CounterSnapshot* trace_out = nullptr);
 
   [[nodiscard]] int party() const noexcept { return party_; }
+
+  /// Attaches a tracer (non-owning; nullptr detaches).  Each run_batch
+  /// chunk records under its own per-chunk tracer — attached to the
+  /// channel only inside the metered window, so trace rounds/bytes mirror
+  /// the chunk's TrafficStats exactly (setup frames stay outside both) —
+  /// then merges spans, samples and counters into the attached tracer.
+  /// Dealer claims are timed as obs::Sample::dealer_claim_us.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
 
  private:
   int party_;
   crypto::Channel& chan_;
   crypto::RingConfig rc_;
+  obs::Tracer* tracer_ = nullptr;  // non-owning; see set_tracer
 };
 
 }  // namespace pasnet::net

@@ -1,5 +1,6 @@
 #include "net/transport_channel.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #include "net/errors.hpp"
@@ -19,15 +20,19 @@ TransportChannel::TransportChannel(std::unique_ptr<Transport> transport, int loc
 }
 
 void TransportChannel::note_message(int sender) noexcept {
+  // Mirror every round increment into the tracer at the exact meter site,
+  // so the trace witness stays an independent copy of TrafficStats.
   if (in_round_) {
     if (!round_counted_) {
       ++stats_->rounds;
       round_counted_ = true;
+      if (tracer_ != nullptr) tracer_->add(obs::Counter::rounds, 1);
     }
     last_sender_ = sender;
   } else if (last_sender_ != sender) {
     ++stats_->rounds;
     last_sender_ = sender;
+    if (tracer_ != nullptr) tracer_->add(obs::Counter::rounds, 1);
   }
 }
 
@@ -46,6 +51,12 @@ void TransportChannel::do_send(std::vector<std::uint8_t>&& data, std::uint64_t w
   std::lock_guard<std::mutex> lk(m_);
   (local_party_ == 0 ? stats_->bytes_p0_to_p1 : stats_->bytes_p1_to_p0) += wire_bytes;
   ++stats_->messages;
+  if (tracer_ != nullptr) {
+    tracer_->add(local_party_ == 0 ? obs::Counter::bytes_p0_to_p1
+                                   : obs::Counter::bytes_p1_to_p0,
+                 wire_bytes);
+    tracer_->add(obs::Counter::messages, 1);
+  }
   note_message(local_party_);
 }
 
@@ -54,7 +65,19 @@ std::vector<std::uint8_t> TransportChannel::do_recv() {
     std::lock_guard<std::mutex> lk(m_);
     if (closed_) throw crypto::ChannelClosed("TransportChannel::recv: channel closed");
   }
+  // Time the blocking wire wait: over TCP every recv is a wait, so the
+  // whole recv_frame call counts as recv_wait_us (deserialization above
+  // the channel is negligible next to the wire).
+  const bool timed = tracer_ != nullptr && tracer_->enabled();
+  const auto wait_begin =
+      timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
   const std::vector<std::uint8_t> frame = transport_->recv_frame();
+  if (timed) {
+    tracer_->add(obs::Counter::recv_wait_us,
+                 static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                                std::chrono::steady_clock::now() - wait_begin)
+                                                .count()));
+  }
   if (frame.size() < 8) {
     throw FrameError("TransportChannel::recv: frame shorter than its sub-header");
   }
@@ -70,6 +93,11 @@ std::vector<std::uint8_t> TransportChannel::do_recv() {
   std::lock_guard<std::mutex> lk(m_);
   (peer == 0 ? stats_->bytes_p0_to_p1 : stats_->bytes_p1_to_p0) += wire_bytes;
   ++stats_->messages;
+  if (tracer_ != nullptr) {
+    tracer_->add(peer == 0 ? obs::Counter::bytes_p0_to_p1 : obs::Counter::bytes_p1_to_p0,
+                 wire_bytes);
+    tracer_->add(obs::Counter::messages, 1);
+  }
   note_message(peer);
   return data;
 }

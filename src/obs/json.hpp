@@ -1,0 +1,97 @@
+#pragma once
+// A minimal JSON reader — just enough to validate the trace files the
+// Tracer emits (tests and the CI smoke check) without an external
+// dependency.  Full JSON value model, recursive-descent parser, strict on
+// structure, no writer (the Tracer streams its own output).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pasnet::obs::json {
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// One JSON value.  Numbers keep double precision (the trace writer only
+/// emits unsigned integers, which doubles hold exactly up to 2^53 — far
+/// beyond any realistic counter).
+class Value {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  Value() : kind_(Kind::null) {}
+  explicit Value(bool b) : kind_(Kind::boolean), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::number), num_(d) {}
+  explicit Value(std::string s) : kind_(Kind::string), str_(std::move(s)) {}
+  explicit Value(Array a) : kind_(Kind::array), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o) : kind_(Kind::object), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::null; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::number; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::string; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::array; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::object; }
+
+  [[nodiscard]] bool as_bool() const {
+    require(Kind::boolean);
+    return bool_;
+  }
+  [[nodiscard]] double as_number() const {
+    require(Kind::number);
+    return num_;
+  }
+  [[nodiscard]] std::uint64_t as_u64() const {
+    require(Kind::number);
+    if (num_ < 0) throw ParseError("json: negative value where unsigned expected");
+    return static_cast<std::uint64_t>(num_);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    require(Kind::string);
+    return str_;
+  }
+  [[nodiscard]] const Array& as_array() const {
+    require(Kind::array);
+    return *arr_;
+  }
+  [[nodiscard]] const Object& as_object() const {
+    require(Kind::object);
+    return *obj_;
+  }
+
+  /// Object member access; throws ParseError if absent or not an object.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && obj_->count(key) > 0;
+  }
+
+ private:
+  void require(Kind k) const {
+    if (kind_ != k) throw ParseError("json: wrong value kind");
+  }
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+[[nodiscard]] Value parse(const std::string& text);
+
+/// Loads and parses a file; throws std::runtime_error on I/O failure.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace pasnet::obs::json

@@ -1,0 +1,210 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+namespace pasnet::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One steady-clock zero for every tracer in the process, taken at first
+/// use: per-chunk worker tracers and the workload tracer share a timeline.
+Clock::time_point process_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+constexpr const char* kCounterNames[kCounterCount] = {
+    "rounds",       "bytes_p0_to_p1", "bytes_p1_to_p0", "messages",
+    "ot_batches",   "ot_messages",    "and_levels",     "openings",
+    "open_flushes", "triple_claims",  "store_claims",   "dealer_claims",
+    "dealer_bytes", "recv_wait_us",   "send_wait_us",
+};
+
+constexpr const char* kSampleNames[kSampleCount] = {
+    "dealer_claim_us",
+};
+
+/// JSON string escaping for event names (categories are static literals
+/// under our control, but escape uniformly anyway).
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(ch >> 4) & 0xF] << hex[ch & 0xF];
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+const char* counter_name(Counter c) noexcept { return kCounterNames[static_cast<int>(c)]; }
+
+const char* sample_name(Sample s) noexcept { return kSampleNames[static_cast<int>(s)]; }
+
+CounterSnapshot Tracer::snapshot() const noexcept {
+  CounterSnapshot s;
+  for (int i = 0; i < kCounterCount; ++i) {
+    s.values[i] = counters_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::uint64_t Tracer::now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - process_epoch())
+          .count());
+}
+
+std::uint32_t Tracer::thread_tid() {
+  // Small stable per-thread ids: assigned on first use, process-wide, so
+  // merged tracers keep distinct thread lanes in the trace viewer.
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void Tracer::complete_span(const char* cat, const char* name, std::uint64_t begin_us,
+                           std::int64_t lanes) {
+  complete_span(cat, std::string(name), begin_us, lanes);
+}
+
+void Tracer::complete_span(const char* cat, std::string name, std::uint64_t begin_us,
+                           std::int64_t lanes) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.cat = cat;
+  ev.name = std::move(name);
+  ev.ts_us = begin_us;
+  ev.dur_us = now_us() - begin_us;
+  ev.tid = thread_tid();
+  ev.lanes = lanes;
+  std::lock_guard<std::mutex> lk(m_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return events_.size();
+}
+
+void Tracer::sample(Sample s, std::uint64_t value_us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(m_);
+  samples_[static_cast<int>(s)].push_back(value_us);
+}
+
+std::uint64_t Tracer::percentile(Sample s, double q) const {
+  std::lock_guard<std::mutex> lk(m_);
+  auto values = samples_[static_cast<int>(s)];
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+std::size_t Tracer::sample_count(Sample s) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return samples_[static_cast<int>(s)].size();
+}
+
+void Tracer::merge_from(const Tracer& other) {
+  const CounterSnapshot cs = other.snapshot();
+  for (int i = 0; i < kCounterCount; ++i) {
+    counters_[i].fetch_add(cs.values[i], std::memory_order_relaxed);
+  }
+  // Copy the other tracer's records under its lock, then append under ours
+  // (never hold both: callers may merge in either direction).
+  std::vector<TraceEvent> evs;
+  std::array<std::vector<std::uint64_t>, kSampleCount> smp;
+  {
+    std::lock_guard<std::mutex> lk(other.m_);
+    evs = other.events_;
+    smp = other.samples_;
+  }
+  std::lock_guard<std::mutex> lk(m_);
+  events_.insert(events_.end(), std::make_move_iterator(evs.begin()),
+                 std::make_move_iterator(evs.end()));
+  for (int i = 0; i < kSampleCount; ++i) {
+    samples_[i].insert(samples_[i].end(), smp[i].begin(), smp[i].end());
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& out, int pid) const {
+  std::vector<TraceEvent> evs;
+  std::array<std::vector<std::uint64_t>, kSampleCount> smp;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    evs = events_;
+    smp = samples_;
+  }
+  const CounterSnapshot cs = snapshot();
+
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  for (const auto& ev : evs) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    out << "{\"name\": ";
+    write_json_string(out, ev.name);
+    out << ", \"cat\": ";
+    write_json_string(out, ev.cat);
+    out << ", \"ph\": \"X\", \"ts\": " << ev.ts_us << ", \"dur\": " << ev.dur_us
+        << ", \"pid\": " << pid << ", \"tid\": " << ev.tid;
+    if (ev.lanes >= 0) out << ", \"args\": {\"lanes\": " << ev.lanes << "}";
+    out << "}";
+  }
+  out << "\n  ],\n  \"pasnetCounters\": {";
+  for (int i = 0; i < kCounterCount; ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(out, kCounterNames[i]);
+    out << ": " << cs.values[i];
+  }
+  out << "\n  },\n  \"pasnetSamples\": {";
+  for (int i = 0; i < kSampleCount; ++i) {
+    auto values = smp[i];
+    std::sort(values.begin(), values.end());
+    const auto pick = [&](double q) -> std::uint64_t {
+      if (values.empty()) return 0;
+      const auto idx = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1) + 0.5);
+      return values[std::min(idx, values.size() - 1)];
+    };
+    out << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(out, kSampleNames[i]);
+    out << ": {\"count\": " << values.size() << ", \"p50\": " << pick(0.5)
+        << ", \"p99\": " << pick(0.99) << "}";
+  }
+  out << "\n  }\n}\n";
+}
+
+void Tracer::write_chrome_trace_file(const std::string& path, int pid) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("Tracer::write_chrome_trace_file: cannot open " + path);
+  write_chrome_trace(f, pid);
+  f.flush();
+  if (!f) throw std::runtime_error("Tracer::write_chrome_trace_file: write failed: " + path);
+}
+
+}  // namespace pasnet::obs

@@ -1,0 +1,198 @@
+#pragma once
+// Protocol tracing and metrics (the observability layer).
+//
+// obs::Tracer is a thread-safe recorder the protocol stack reports into:
+// timestamped *spans* (a named interval with a category and an optional
+// lane count — one round, one IR op, one dealer claim), monotonic
+// *counters* (rounds, wire bytes, OT messages, AND levels, openings,
+// triple/store/dealer claims, accumulated socket-wait time) and *samples*
+// (latency values a percentile can be taken over, e.g. dealer claim
+// latency p50/p99).
+//
+// Attachment is a raw pointer threaded through the existing objects
+// (TwoPartyContext::set_tracer, Channel::set_tracer, Workload, dealer,
+// PartySession): a nullptr means "not attached" and every hot-path hook is
+// a single pointer test.  An attached-but-disabled tracer records nothing
+// and allocates nothing — the overhead-guard test pins that a disabled
+// tracer adds zero heap allocations to a secure inference.
+//
+// Two export shapes:
+//  - write_chrome_trace(): the Chrome trace event format (a JSON object
+//    with a `traceEvents` array of "X" complete events) that
+//    Perfetto / chrome://tracing load directly, plus `pasnetCounters` and
+//    `pasnetSamples` objects carrying the counter totals and latency
+//    percentiles for machine consumption.
+//  - snapshot(): the raw counter totals, compared by obs::three_witness
+//    (src/obs/witness) against TrafficStats and the analytic cost model.
+//
+// All tracers share one process-wide steady-clock epoch, so spans recorded
+// by different tracer instances (per-chunk workers) stay on one timeline
+// and merge_from() can aggregate them without timestamp fixups.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pasnet::obs {
+
+/// The fixed counter set.  Wire/round counters are incremented at the same
+/// program points that update crypto::TrafficStats, which is what makes
+/// the trace an independent witness of the same quantities.
+enum class Counter : int {
+  rounds = 0,          ///< communication rounds (same rule as TrafficStats)
+  bytes_p0_to_p1,      ///< accounted wire bytes, party 0 -> party 1
+  bytes_p1_to_p0,      ///< accounted wire bytes, party 1 -> party 0
+  messages,            ///< framed channel messages
+  ot_batches,          ///< merged (1,4)-OT dances (one per OtBuffer flush batch)
+  ot_messages,         ///< staged OT instances inside those batches
+  and_levels,          ///< coalesced AND-tree level openings (BitOpenBuffer flushes)
+  openings,            ///< staged ring-share openings delivered (OpenBuffer stages)
+  open_flushes,        ///< coalesced opening exchanges (OpenBuffer flushes)
+  triple_claims,       ///< TripleSource draws (any backend)
+  store_claims,        ///< TripleStore bundle claims (claim_next / claim)
+  dealer_claims,       ///< bundle claims served by a DealerServer
+  dealer_bytes,        ///< bundle payload bytes served by a DealerServer
+  recv_wait_us,        ///< accumulated microseconds blocked in recv (socket/queue wait)
+  send_wait_us,        ///< accumulated microseconds blocked in send (back-pressure)
+  count_  // sentinel
+};
+
+inline constexpr int kCounterCount = static_cast<int>(Counter::count_);
+
+[[nodiscard]] const char* counter_name(Counter c) noexcept;
+
+/// Plain copy of all counter totals at one instant.
+struct CounterSnapshot {
+  std::array<std::uint64_t, kCounterCount> values{};
+
+  [[nodiscard]] std::uint64_t operator[](Counter c) const noexcept {
+    return values[static_cast<int>(c)];
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return (*this)[Counter::bytes_p0_to_p1] + (*this)[Counter::bytes_p1_to_p0];
+  }
+  CounterSnapshot& operator+=(const CounterSnapshot& o) noexcept {
+    for (int i = 0; i < kCounterCount; ++i) values[i] += o.values[i];
+    return *this;
+  }
+};
+
+/// Latency-value streams percentiles are taken over.
+enum class Sample : int {
+  dealer_claim_us = 0,  ///< one dealer bundle claim, request to reply
+  count_
+};
+
+inline constexpr int kSampleCount = static_cast<int>(Sample::count_);
+
+[[nodiscard]] const char* sample_name(Sample s) noexcept;
+
+/// One recorded span: a Chrome-trace "X" (complete) event.
+struct TraceEvent {
+  const char* cat;     ///< static category string: "crypto", "ir", "offline", "net"
+  std::string name;    ///< span name (op kind, "round", "claim", ...)
+  std::uint64_t ts_us; ///< start, microseconds since the process trace epoch
+  std::uint64_t dur_us;
+  std::uint32_t tid;   ///< small per-thread id (stable within the process)
+  std::int64_t lanes;  ///< batched-lane annotation; -1 = not applicable
+};
+
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Cheap global switch; hot paths test it before taking timestamps.
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+
+  // -- counters (atomic; safe from any thread; no allocation) --------------
+
+  void add(Counter c, std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    counters_[static_cast<int>(c)].fetch_add(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total(Counter c) const noexcept {
+    return counters_[static_cast<int>(c)].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] CounterSnapshot snapshot() const noexcept;
+
+  // -- spans ----------------------------------------------------------------
+
+  /// Microseconds since the process-wide trace epoch.
+  [[nodiscard]] static std::uint64_t now_us() noexcept;
+
+  /// Records a completed span; `begin_us` from an earlier now_us().
+  void complete_span(const char* cat, const char* name, std::uint64_t begin_us,
+                     std::int64_t lanes = -1);
+  /// Same, with a caller-built name (allocates; enabled paths only).
+  void complete_span(const char* cat, std::string name, std::uint64_t begin_us,
+                     std::int64_t lanes = -1);
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t event_count() const;
+
+  // -- samples --------------------------------------------------------------
+
+  void sample(Sample s, std::uint64_t value_us);
+  /// q in [0, 1]; 0 with no samples recorded.
+  [[nodiscard]] std::uint64_t percentile(Sample s, double q) const;
+  [[nodiscard]] std::size_t sample_count(Sample s) const;
+
+  // -- aggregation / export -------------------------------------------------
+
+  /// Folds another tracer's records into this one (chunk-worker tracers
+  /// into the workload tracer).  Timestamps share the process epoch, so
+  /// events append unchanged.
+  void merge_from(const Tracer& other);
+
+  /// Writes the Chrome trace event JSON (see file comment).  `pid` tags
+  /// every event (use the party id for two-process runs).
+  void write_chrome_trace(std::ostream& out, int pid = 0) const;
+  /// Convenience: writes to `path`, throwing std::runtime_error on I/O
+  /// failure.
+  void write_chrome_trace_file(const std::string& path, int pid = 0) const;
+
+ private:
+  [[nodiscard]] static std::uint32_t thread_tid();
+
+  std::atomic<bool> enabled_;
+  std::array<std::atomic<std::uint64_t>, kCounterCount> counters_{};
+
+  mutable std::mutex m_;
+  std::vector<TraceEvent> events_;
+  std::array<std::vector<std::uint64_t>, kSampleCount> samples_;
+};
+
+/// RAII span: stamps the start time at construction when the tracer is
+/// attached and enabled, records a complete event at destruction, and is
+/// two pointer-sized loads of overhead otherwise.  The name must be a
+/// static string (op kind names, literal phase names).
+class SpanGuard {
+ public:
+  SpanGuard(Tracer* t, const char* cat, const char* name, std::int64_t lanes = -1) noexcept
+      : t_(t && t->enabled() ? t : nullptr), cat_(cat), name_(name), lanes_(lanes),
+        begin_us_(t_ ? Tracer::now_us() : 0) {}
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard() {
+    if (t_) t_->complete_span(cat_, name_, begin_us_, lanes_);
+  }
+
+ private:
+  Tracer* t_;
+  const char* cat_;
+  const char* name_;
+  std::int64_t lanes_;
+  std::uint64_t begin_us_;
+};
+
+}  // namespace pasnet::obs

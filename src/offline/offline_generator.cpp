@@ -48,6 +48,8 @@ TripleStore OfflineGenerator::generate(const PreprocessingPlan& plan, std::size_
                                        const DealerSeedFn& dealer_seed,
                                        GenerationReport* report) const {
   TripleStore store(plan.ring, plan.fingerprint(), queries);
+  const obs::SpanGuard span(tracer_, "offline", "generate",
+                            static_cast<std::int64_t>(queries));
   const auto t0 = std::chrono::steady_clock::now();
 
   const int workers =

@@ -1,14 +1,6 @@
 #include "proto/secure_network.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <stdexcept>
-#include <thread>
-
 #include "ir/passes.hpp"
-#include "ir/plan.hpp"
 
 namespace pasnet::proto {
 
@@ -22,7 +14,6 @@ SecureNetwork::SecureNetwork(const nn::ModelDescriptor& md, nn::Graph& trained,
   ir::run_standard_passes(program_);
   crypto::Prng weight_prng(0x5EC0DEULL);
   params_ = ir::share_parameters(program_, weight_prng, ctx.ring());
-  plan_ = ir::derive_plan(program_, ctx.ring());
   // Everything downstream (executor, plan, costing) works from shapes and
   // the shared params; drop the plaintext copy.
   ir::release_parameters(program_);
@@ -50,201 +41,15 @@ std::uint64_t SecureNetwork::query_dealer_seed(std::size_t q) noexcept {
   return crypto::splitmix64(query_context_seed(q));
 }
 
-offline::TripleStore SecureNetwork::preprocess(std::size_t queries, int threads,
-                                               offline::GenerationReport* report) const {
-  return offline::OfflineGenerator(threads).generate(
-      plan_, queries, [](std::size_t q) { return query_dealer_seed(q); }, report);
-}
-
 void SecureNetwork::ensure_classify_compiled() {
   if (argmax_program_) return;
   argmax_program_ = std::make_unique<ir::SecureProgram>(program_);
   ir::append_argmax(*argmax_program_);
-  classify_plan_ = std::make_unique<offline::PreprocessingPlan>(
-      ir::derive_plan(*argmax_program_, ctx_.ring()));
 }
 
 const ir::SecureProgram& SecureNetwork::classify_program() {
   ensure_classify_compiled();
   return *argmax_program_;
-}
-
-const offline::PreprocessingPlan& SecureNetwork::classify_plan() {
-  ensure_classify_compiled();
-  return *classify_plan_;
-}
-
-offline::TripleStore SecureNetwork::preprocess_classify(std::size_t queries, int threads,
-                                                        offline::GenerationReport* report) {
-  ensure_classify_compiled();
-  return offline::OfflineGenerator(threads).generate(
-      *classify_plan_, queries, [](std::size_t q) { return query_dealer_seed(q); }, report);
-}
-
-void SecureNetwork::use_store(offline::TripleStore* store, offline::ExhaustionPolicy policy) {
-  if (store != nullptr) {
-    ensure_classify_compiled();
-    if (store->plan_fingerprint() == plan_.fingerprint()) {
-      store_is_classify_ = false;
-    } else if (store->plan_fingerprint() == classify_plan_->fingerprint()) {
-      store_is_classify_ = true;
-    } else {
-      throw std::invalid_argument(
-          "SecureNetwork::use_store: store was generated for a different model/plan");
-    }
-  }
-  store_ = store;
-  policy_ = policy;
-}
-
-nn::Tensor SecureNetwork::infer(const nn::Tensor& input) {
-  batch_stats_.clear();
-  if (store_ != nullptr && store_is_classify_) {
-    throw std::logic_error(
-        "SecureNetwork::infer: the attached store holds label-only (classify) material; "
-        "detach it or call classify()");
-  }
-  if (store_ == nullptr) return run_query(ctx_, input, stats_);
-  // Store-backed: claim the next bundle and serve on a fresh context seeded
-  // with that bundle's canonical seed — the transcript the offline
-  // generator replayed.
-  const auto [idx, bundle] = store_->claim_next();
-  crypto::TwoPartyContext qctx(ctx_.ring(), query_context_seed(idx), crypto::ExecMode::lockstep,
-                               ctx_.round_delay());
-  offline::StoreTripleSource source(bundle, qctx.dealer(), policy_);
-  qctx.set_triple_source(&source);
-  return run_query(qctx, input, stats_);
-}
-
-std::vector<int> SecureNetwork::classify(const nn::Tensor& input) {
-  if (store_ != nullptr && !store_is_classify_) {
-    throw std::logic_error(
-        "SecureNetwork::classify: the attached store holds logits material; label-only "
-        "inference consumes a different triple stream (preprocess_classify)");
-  }
-  ensure_classify_compiled();
-  batch_stats_.clear();
-  const auto run = [&](crypto::TwoPartyContext& ctx) {
-    ctx.reset_stats();
-    const crypto::TripleCounters before = ctx.triples().counters();
-    ir::ExecOptions opts;
-    opts.cfg = cfg_;
-    // The argmax terminal carries no parameters, so the logits program's
-    // shared parameters apply unchanged (the extra op never indexes them).
-    const ir::ExecResult res = ir::execute(*argmax_program_, params_, ctx, input, opts);
-    fill_stats(ctx, before, stats_);
-    return res.labels;
-  };
-  if (store_ == nullptr) return run(ctx_);
-  // Store-backed label-only serving mirrors the infer() store path: claim
-  // the next bundle, run on a fresh context with that bundle's canonical
-  // seed — the transcript preprocess_classify() replayed.
-  const auto [idx, bundle] = store_->claim_next();
-  crypto::TwoPartyContext qctx(ctx_.ring(), query_context_seed(idx), crypto::ExecMode::lockstep,
-                               ctx_.round_delay());
-  offline::StoreTripleSource source(bundle, qctx.dealer(), policy_);
-  qctx.set_triple_source(&source);
-  return run(qctx);
-}
-
-std::vector<nn::Tensor> SecureNetwork::infer_batch(const std::vector<nn::Tensor>& inputs,
-                                                   int worker_pairs) {
-  if (store_ != nullptr && store_is_classify_) {
-    throw std::logic_error(
-        "SecureNetwork::infer_batch: the attached store holds label-only (classify) "
-        "material; detach it or call classify()");
-  }
-  const std::size_t n = inputs.size();
-  batch_stats_.assign(n, InferenceStats{});
-  stats_ = InferenceStats{};
-  std::vector<nn::Tensor> results(n);
-  if (n == 0) return results;
-  const int workers =
-      std::max(1, std::min(worker_pairs, static_cast<int>(n)));
-
-  // Each worker pair drains the shared query queue; every query gets a
-  // fresh party-pair context whose dealer/PRNG seeds depend only on the
-  // query index, so the transcript — and with it the ±1-LSB local
-  // truncation noise — is pinned per query regardless of which worker (or
-  // how many workers) runs it.
-  //
-  // Store-backed serving claims one bundle per query up front (claims are
-  // ordered, so batch position q maps to the store's next-unclaimed index)
-  // and seeds each query context with its bundle's canonical seed; on a
-  // fresh store that is exactly the dealer path's seeding, so the logits
-  // are bit-identical to it.
-  std::vector<std::pair<std::size_t, offline::QueryBundle*>> claims;
-  if (store_ != nullptr) {
-    claims.reserve(n);
-    for (std::size_t q = 0; q < n; ++q) claims.push_back(store_->claim_next());
-  }
-  std::atomic<std::size_t> next{0};
-  std::mutex err_mutex;
-  std::exception_ptr first_error;
-  auto drain = [&] {
-    for (;;) {
-      const std::size_t q = next.fetch_add(1);
-      if (q >= n) break;
-      try {
-        const std::size_t seed_idx = store_ != nullptr ? claims[q].first : q;
-        crypto::TwoPartyContext qctx(ctx_.ring(), query_context_seed(seed_idx),
-                                     crypto::ExecMode::lockstep, ctx_.round_delay());
-        std::unique_ptr<offline::StoreTripleSource> source;
-        if (store_ != nullptr) {
-          source = std::make_unique<offline::StoreTripleSource>(claims[q].second,
-                                                                qctx.dealer(), policy_);
-          qctx.set_triple_source(source.get());
-        }
-        results[q] = run_query(qctx, inputs[q], batch_stats_[q]);
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(err_mutex);
-        if (!first_error) first_error = std::current_exception();
-        next.store(n);  // drain the queue so other workers stop promptly
-        break;
-      }
-    }
-  };
-
-  if (workers == 1) {
-    drain();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(drain);
-    for (auto& t : pool) t.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
-  for (const auto& qs : batch_stats_) stats_.merge(qs);
-  return results;
-}
-
-nn::Tensor SecureNetwork::run_query(crypto::TwoPartyContext& ctx, const nn::Tensor& input,
-                                    InferenceStats& out,
-                                    const std::function<void(int)>& layer_hook) const {
-  ctx.reset_stats();
-  const crypto::TripleCounters triples_before = ctx.triples().counters();
-  ir::ExecOptions opts;
-  opts.cfg = cfg_;
-  opts.layer_hook = layer_hook;
-  ir::ExecResult res = ir::execute(program_, params_, ctx, input, opts);
-  fill_stats(ctx, triples_before, out);
-  return std::move(res.logits);
-}
-
-void SecureNetwork::fill_stats(crypto::TwoPartyContext& ctx,
-                               const crypto::TripleCounters& before,
-                               InferenceStats& out) const {
-  const auto& chan = ctx.stats();
-  out.comm_bytes = chan.total_bytes();
-  out.weight_open_bytes = weight_open_bytes_;
-  out.messages = chan.messages;
-  out.rounds = chan.rounds;
-  const crypto::TripleCounters& after = ctx.triples().counters();
-  out.elem_triples = after.elem_triples - before.elem_triples;
-  out.square_pairs = after.square_pairs - before.square_pairs;
-  out.matmul_triple_elems = after.matmul_triple_elems - before.matmul_triple_elems;
-  out.bilinear_triple_elems = after.bilinear_triple_elems - before.bilinear_triple_elems;
-  out.bit_triples = after.bit_triples - before.bit_triples;
 }
 
 }  // namespace pasnet::proto

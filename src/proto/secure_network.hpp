@@ -1,20 +1,17 @@
 #pragma once
-// Secure inference executor: compiles a trained plaintext network into a
-// 2PC program via the secure-inference IR (src/ir) — lowering, batch-norm
+// Secure inference compiler: lowers a trained plaintext network into a 2PC
+// program via the secure-inference IR (src/ir) — lowering, batch-norm
 // folding, x2act coefficient fusion and open-coalescing round scheduling
-// all run as IR passes — then evaluates it under the 2PC protocol stack,
-// recording real communication statistics.
+// all run as IR passes — and secret-shares its parameters once.  Serving
+// (batched execution, preprocessing, stores) lives in proto::Workload; the
+// old infer/classify/preprocess method matrix on this class is gone.
 
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "ir/executor.hpp"
 #include "ir/program.hpp"
 #include "nn/models.hpp"
-#include "offline/offline_generator.hpp"
-#include "offline/preprocessing_plan.hpp"
-#include "offline/triple_store.hpp"
 #include "proto/secure_ops.hpp"
 
 namespace pasnet::proto {
@@ -67,45 +64,6 @@ class SecureNetwork {
                 const std::vector<int>& node_of_layer, crypto::TwoPartyContext& ctx,
                 SecureConfig cfg = SecureConfig{});
 
-  /// Runs private inference; the plaintext input is shared, the scheduled
-  /// IR program executes, and the reconstructed logits are returned.  With
-  /// cfg.schedule == RoundSchedule::coalesced (default) independent
-  /// openings batch per round group; the eager schedule opens one at a
-  /// time.  Logits are bit-identical between the two schedules.
-  [[deprecated("use proto::Workload (WorkloadKind::logits) and run()")]]
-  [[nodiscard]] nn::Tensor infer(const nn::Tensor& input);
-
-  /// Label-only private inference: the program ends in a secure argmax and
-  /// the client learns nothing but the winning class index (ties break to
-  /// the lowest index).  Serves the dealer path by default; attach a store
-  /// generated by preprocess_classify() (label-only programs consume a
-  /// different triple stream than logits programs, so the two plans carry
-  /// distinct fingerprints) to serve store-backed — bit-identical to the
-  /// dealer path, like infer().
-  [[deprecated("use proto::Workload (WorkloadKind::classify) and run()")]]
-  [[nodiscard]] std::vector<int> classify(const nn::Tensor& input);
-
-  /// Batched private inference: shards the query list across `worker_pairs`
-  /// concurrent party-pair workers.  Each query runs on a fresh independent
-  /// context (own TripleDealer and channel pair) seeded by the query index,
-  /// so results and per-query statistics are bit-identical for every worker
-  /// count — including worker_pairs == 1, the sequential baseline.  After
-  /// the call stats() holds the merged totals and per_query_stats() the
-  /// per-query breakdown.
-  [[deprecated("use proto::Workload (worker_pairs option) and run()")]]
-  [[nodiscard]] std::vector<nn::Tensor> infer_batch(const std::vector<nn::Tensor>& inputs,
-                                                    int worker_pairs);
-
-  /// Statistics of the most recent infer() call (or, after infer_batch, the
-  /// merged totals across the batch).
-  [[nodiscard]] const InferenceStats& stats() const noexcept { return stats_; }
-
-  /// Per-query statistics of the most recent infer_batch() call.
-  [[deprecated("use proto::Workload::chunk_stats()")]]
-  [[nodiscard]] const std::vector<InferenceStats>& per_query_stats() const noexcept {
-    return batch_stats_;
-  }
-
   [[nodiscard]] const nn::ModelDescriptor& descriptor() const noexcept { return md_; }
 
   /// The scheduled IR program this network executes (post pass pipeline).
@@ -132,49 +90,6 @@ class SecureNetwork {
   /// generator must use for query q's bundle to replay the dealer path.
   [[nodiscard]] static std::uint64_t query_dealer_seed(std::size_t q) noexcept;
 
-  /// The per-layer correlated-randomness requirements of one query, derived
-  /// statically from the IR (no dry run).
-  [[deprecated("use proto::Workload::plan() — one plan per workload kind")]]
-  [[nodiscard]] const offline::PreprocessingPlan& plan() const noexcept { return plan_; }
-
-  /// The label-only plan: what one classify() query consumes.  The argmax
-  /// terminal adds tournament comparisons and selector triples, so this
-  /// plan fingerprints differently from plan() — a store generated for one
-  /// cannot serve the other (use_store checks).
-  [[deprecated("use proto::Workload::plan() on a classify workload")]]
-  [[nodiscard]] const offline::PreprocessingPlan& classify_plan();
-
-  /// Pregenerates `queries` queries' worth of material on `threads` worker
-  /// threads, canonically seeded so serving from it is bit-identical to the
-  /// dealer path.
-  [[deprecated("use proto::Workload::preprocess()")]]
-  [[nodiscard]] offline::TripleStore preprocess(std::size_t queries, int threads = 1,
-                                                offline::GenerationReport* report = nullptr) const;
-
-  /// Same, for label-only serving: bundles follow the classify plan's
-  /// request stream, fingerprinted with classify_plan().  Attach via
-  /// use_store and call classify() — the dealer daemon serves these stores
-  /// to classify-only workloads exactly like logits stores.
-  [[deprecated("use proto::Workload::preprocess() on a classify workload")]]
-  [[nodiscard]] offline::TripleStore preprocess_classify(
-      std::size_t queries, int threads = 1, offline::GenerationReport* report = nullptr);
-
-  /// Serves subsequent infer()/infer_batch() (logits stores) or classify()
-  /// (classify stores) calls from pregenerated material: each query claims
-  /// the store's next bundle and runs on a fresh lockstep context seeded
-  /// with that bundle's canonical seed, so results match the dealer-backed
-  /// transcripts bit for bit.  The store must outlive serving
-  /// (non-owning); its fingerprint must match plan() or classify_plan(),
-  /// and the call kind must match the store kind.  Pass nullptr to detach.
-  [[deprecated("use proto::Workload::use_store() — one fingerprint family per workload")]]
-  void use_store(offline::TripleStore* store,
-                 offline::ExhaustionPolicy policy = offline::ExhaustionPolicy::Throw);
-
-  /// The store currently attached via use_store (nullptr when serving the
-  /// fused dealer path).
-  [[deprecated("use proto::Workload::store()")]]
-  [[nodiscard]] offline::TripleStore* store() const noexcept { return store_; }
-
   // --- Accessors the Workload serving layer builds on ----------------------
 
   [[nodiscard]] const crypto::RingConfig& ring() const noexcept { return ctx_.ring(); }
@@ -191,19 +106,7 @@ class SecureNetwork {
   [[nodiscard]] std::uint64_t weight_open_bytes() const noexcept { return weight_open_bytes_; }
 
  private:
-  /// Runs one query on the given context, recording its statistics.  The
-  /// program and shared parameters are read-only here, so any number of
-  /// workers may call this concurrently on distinct contexts.
-  /// `layer_hook`, when set, is invoked with each op's descriptor-layer tag
-  /// before that op draws randomness (the plan-oracle hook).
-  [[nodiscard]] nn::Tensor run_query(crypto::TwoPartyContext& ctx, const nn::Tensor& input,
-                                     InferenceStats& out,
-                                     const std::function<void(int)>& layer_hook = {}) const;
-
-  void fill_stats(crypto::TwoPartyContext& ctx, const crypto::TripleCounters& before,
-                  InferenceStats& out) const;
-
-  /// Builds the lazy argmax program + classify plan (idempotent).
+  /// Builds the lazy argmax program (idempotent).
   void ensure_classify_compiled();
 
   nn::ModelDescriptor md_;
@@ -213,14 +116,6 @@ class SecureNetwork {
   ir::CompiledParams params_;
   std::uint64_t weight_open_bytes_ = 0;  // model constant, computed once
   std::unique_ptr<ir::SecureProgram> argmax_program_;  // lazy (classify)
-  offline::PreprocessingPlan plan_;
-  std::unique_ptr<offline::PreprocessingPlan> classify_plan_;  // lazy
-  InferenceStats stats_;
-  std::vector<InferenceStats> batch_stats_;
-
-  offline::TripleStore* store_ = nullptr;  // non-owning; see use_store
-  bool store_is_classify_ = false;         // which plan the store matched
-  offline::ExhaustionPolicy policy_ = offline::ExhaustionPolicy::Throw;
 };
 
 }  // namespace pasnet::proto

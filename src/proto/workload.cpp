@@ -26,7 +26,9 @@ Workload::Workload(SecureNetwork& net, WorkloadOptions opts) : net_(net), opts_(
 
 offline::TripleStore Workload::preprocess(std::size_t queries, int threads,
                                           offline::GenerationReport* report) const {
-  return offline::OfflineGenerator(threads).generate(
+  offline::OfflineGenerator gen(threads);
+  gen.set_tracer(tracer_);  // the offline phase shares the workload timeline
+  return gen.generate(
       plan_, queries, [](std::size_t q) { return SecureNetwork::query_dealer_seed(q); },
       report);
 }
@@ -56,10 +58,12 @@ WorkloadResult Workload::run(const std::vector<nn::Tensor>& inputs) {
   // ordered, so the q-th query of this call maps to the store's next
   // unclaimed index — on a fresh store that is exactly the canonical
   // stream position the dealer path would use.
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
   std::vector<std::pair<std::size_t, offline::QueryBundle*>> claims;
   if (store_ != nullptr) {
     claims.reserve(n);
     for (std::size_t q = 0; q < n; ++q) claims.push_back(store_->claim_next());
+    if (tracing) tracer_->add(obs::Counter::store_claims, n);
   }
   const auto stream_position = [&](std::size_t q) {
     return store_ != nullptr ? claims[q].first : base + q;
@@ -83,6 +87,12 @@ WorkloadResult Workload::run(const std::vector<nn::Tensor>& inputs) {
     crypto::TwoPartyContext cctx(net_.ring(),
                                  SecureNetwork::query_context_seed(stream_position(lo)),
                                  net_.exec_mode(), net_.round_delay());
+    // Per-chunk tracer: the chunk's counters become its ChunkStats::trace
+    // witness, then merge into the workload tracer (concurrent chunk
+    // workers each own their tracer, so there is no cross-chunk tearing).
+    obs::Tracer chunk_tracer(tracing);
+    if (tracing) cctx.set_tracer(&chunk_tracer);
+    const std::uint64_t chunk_begin = tracing ? obs::Tracer::now_us() : 0;
     std::vector<std::unique_ptr<crypto::TripleDealer>> lane_dealers;
     std::vector<std::unique_ptr<crypto::TripleSource>> owned_sources;
     std::vector<crypto::TripleSource*> lane_sources(lanes);
@@ -146,6 +156,12 @@ WorkloadResult Workload::run(const std::vector<nn::Tensor>& inputs) {
       cs.totals.matmul_triple_elems += tc.matmul_triple_elems;
       cs.totals.bilinear_triple_elems += tc.bilinear_triple_elems;
       cs.totals.bit_triples += tc.bit_triples;
+    }
+    if (tracing) {
+      chunk_tracer.complete_span("proto", "chunk", chunk_begin,
+                                 static_cast<std::int64_t>(lanes));
+      cs.trace = chunk_tracer.snapshot();
+      tracer_->merge_from(chunk_tracer);
     }
   };
 

@@ -3,8 +3,8 @@
 // kind (logits or labels) + one batch width K, yielding ONE plan, ONE
 // preprocess entry point, ONE store fingerprint family and ONE run()
 // method — replacing the SecureNetwork infer/classify × plan/classify_plan
-// × preprocess/preprocess_classify method matrix (kept as deprecated
-// shims for one release).
+// × preprocess/preprocess_classify method matrix (the deprecated shims are
+// now deleted; SecureNetwork is compile-and-share only).
 //
 // run() executes queries in K-lane chunks inside single contexts
 // (ir::execute_batch): all K lanes of a chunk advance each round group in
@@ -20,6 +20,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/tracer.hpp"
+#include "offline/offline_generator.hpp"
+#include "offline/preprocessing_plan.hpp"
 #include "offline/triple_store.hpp"
 #include "proto/secure_network.hpp"
 
@@ -56,6 +59,10 @@ struct ChunkStats {
   std::size_t first_query = 0;  ///< canonical stream position of lane 0
   std::size_t queries = 0;      ///< lanes in this chunk
   InferenceStats totals;
+  /// Trace-counter totals of this chunk (all zero unless a tracer was
+  /// attached) — the chunk's independently recorded witness of `totals`:
+  /// trace rounds/bytes must equal the channel meter's exactly.
+  obs::CounterSnapshot trace;
 };
 
 class Workload {
@@ -110,6 +117,15 @@ class Workload {
   /// Queries submitted so far (the next query's canonical stream position).
   [[nodiscard]] std::size_t queries_served() const noexcept { return next_query_; }
 
+  /// Attaches a tracer (non-owning; nullptr detaches).  Each chunk runs
+  /// under its own per-chunk tracer (attached to the chunk context, its
+  /// channel and its per-lane triple sources), whose counter totals land
+  /// in that chunk's ChunkStats::trace; spans, samples and counters are
+  /// then merged into the attached tracer, so concurrent chunk workers
+  /// aggregate into one timeline.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   SecureNetwork& net_;
   WorkloadOptions opts_;
@@ -120,6 +136,7 @@ class Workload {
   std::size_t next_query_ = 0;
   InferenceStats stats_;
   std::vector<ChunkStats> chunk_stats_;
+  obs::Tracer* tracer_ = nullptr;  // non-owning; see set_tracer
 };
 
 }  // namespace pasnet::proto

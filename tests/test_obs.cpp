@@ -1,0 +1,286 @@
+// The observability layer itself: counter/span/sample recording, merge
+// aggregation, the Chrome-trace JSON schema (validated with the in-tree
+// obs::json reader), span nesting over a real secure inference, counter
+// determinism across exec modes, and the overhead guard — an attached but
+// DISABLED tracer must add zero heap allocations to a secure inference
+// (the hot-path hooks are a pointer test and nothing else).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/tracer.hpp"
+#include "obs/witness.hpp"
+#include "proto/secure_network.hpp"
+#include "proto/workload.hpp"
+#include "support/test_models.hpp"
+
+namespace nn = pasnet::nn;
+namespace obs = pasnet::obs;
+namespace pc = pasnet::crypto;
+namespace proto = pasnet::proto;
+
+// -- global allocation counting (for the overhead guard) ---------------------
+// Counting is gated so gtest bookkeeping outside the measured window does
+// not pollute the totals.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+/// Shared tiny trained model.
+struct ObsFixture {
+  nn::ModelDescriptor md;
+  std::unique_ptr<nn::Graph> graph;
+  std::vector<int> node_of_layer;
+
+  ObsFixture() : md(pasnet::testing::tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool)) {
+    pc::Prng wprng(61);
+    graph = nn::build_graph(md, wprng, &node_of_layer);
+    pasnet::testing::warm_up(*graph, 2, 8, 62);
+  }
+
+  [[nodiscard]] std::vector<nn::Tensor> queries(int n, std::uint64_t seed = 63) const {
+    pc::Prng qprng(seed);
+    std::vector<nn::Tensor> qs;
+    for (int i = 0; i < n; ++i) qs.push_back(nn::Tensor::randn({1, 2, 8, 8}, qprng, 0.5f));
+    return qs;
+  }
+};
+
+/// Wait-time counters are the only timing-dependent entries; zero them so
+/// snapshots can be compared exactly across exec modes and endpoints.
+obs::CounterSnapshot normalized(obs::CounterSnapshot s) {
+  s.values[static_cast<int>(obs::Counter::recv_wait_us)] = 0;
+  s.values[static_cast<int>(obs::Counter::send_wait_us)] = 0;
+  return s;
+}
+
+}  // namespace
+
+TEST(ObsTracer, CountersAccumulateAndDisabledRecordsNothing) {
+  obs::Tracer t;
+  t.add(obs::Counter::rounds, 3);
+  t.add(obs::Counter::rounds, 2);
+  t.add(obs::Counter::bytes_p0_to_p1, 10);
+  t.add(obs::Counter::bytes_p1_to_p0, 7);
+  EXPECT_EQ(t.total(obs::Counter::rounds), 5u);
+  const obs::CounterSnapshot s = t.snapshot();
+  EXPECT_EQ(s[obs::Counter::rounds], 5u);
+  EXPECT_EQ(s.total_bytes(), 17u);
+
+  obs::Tracer off(false);
+  off.add(obs::Counter::rounds, 9);
+  off.complete_span("crypto", "round", 0);
+  off.sample(obs::Sample::dealer_claim_us, 123);
+  { const obs::SpanGuard g(&off, "crypto", "round"); }
+  { const obs::SpanGuard g(nullptr, "crypto", "round"); }
+  EXPECT_EQ(off.total(obs::Counter::rounds), 0u);
+  EXPECT_EQ(off.event_count(), 0u);
+  EXPECT_EQ(off.sample_count(obs::Sample::dealer_claim_us), 0u);
+}
+
+TEST(ObsTracer, MergeFoldsCountersSpansAndSamples) {
+  obs::Tracer chunk_a, chunk_b, total;
+  chunk_a.add(obs::Counter::rounds, 4);
+  chunk_a.complete_span("proto", "chunk", obs::Tracer::now_us(), 2);
+  chunk_a.sample(obs::Sample::dealer_claim_us, 10);
+  chunk_b.add(obs::Counter::rounds, 6);
+  chunk_b.complete_span("proto", "chunk", obs::Tracer::now_us(), 1);
+  total.merge_from(chunk_a);
+  total.merge_from(chunk_b);
+  EXPECT_EQ(total.total(obs::Counter::rounds), 10u);
+  EXPECT_EQ(total.event_count(), 2u);
+  EXPECT_EQ(total.sample_count(obs::Sample::dealer_claim_us), 1u);
+}
+
+TEST(ObsTracer, PercentilesOverKnownSampleStream) {
+  obs::Tracer t;
+  for (std::uint64_t v = 100; v >= 1; --v) t.sample(obs::Sample::dealer_claim_us, v);
+  EXPECT_EQ(t.sample_count(obs::Sample::dealer_claim_us), 100u);
+  EXPECT_EQ(t.percentile(obs::Sample::dealer_claim_us, 0.0), 1u);
+  EXPECT_EQ(t.percentile(obs::Sample::dealer_claim_us, 1.0), 100u);
+  const std::uint64_t p50 = t.percentile(obs::Sample::dealer_claim_us, 0.5);
+  EXPECT_GE(p50, 50u);
+  EXPECT_LE(p50, 51u);
+  EXPECT_EQ(obs::Tracer(true).percentile(obs::Sample::dealer_claim_us, 0.5), 0u);
+}
+
+TEST(ObsTracer, ChromeTraceJsonMatchesSchema) {
+  obs::Tracer t;
+  const std::uint64_t outer = obs::Tracer::now_us();
+  {
+    const obs::SpanGuard inner(&t, "ir", "conv", 4);
+  }
+  t.complete_span("proto", "chunk", outer, 4);
+  t.add(obs::Counter::rounds, 11);
+  t.add(obs::Counter::bytes_p0_to_p1, 256);
+  t.sample(obs::Sample::dealer_claim_us, 42);
+
+  std::ostringstream out;
+  t.write_chrome_trace(out, /*pid=*/7);
+  const obs::json::Value doc = obs::json::parse(out.str());
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const obs::json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const obs::json::Value& ev : events) {
+    EXPECT_EQ(ev.at("ph").as_string(), "X");
+    EXPECT_FALSE(ev.at("name").as_string().empty());
+    EXPECT_FALSE(ev.at("cat").as_string().empty());
+    EXPECT_TRUE(ev.at("ts").is_number());
+    EXPECT_TRUE(ev.at("dur").is_number());
+    EXPECT_EQ(ev.at("pid").as_u64(), 7u);
+    EXPECT_GT(ev.at("tid").as_u64(), 0u);
+    EXPECT_EQ(ev.at("args").at("lanes").as_u64(), 4u);
+  }
+
+  // Counter totals ride along under pasnetCounters, one key per counter.
+  const obs::json::Value& counters = doc.at("pasnetCounters");
+  const obs::CounterSnapshot snap = t.snapshot();
+  for (int i = 0; i < obs::kCounterCount; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    ASSERT_TRUE(counters.has(obs::counter_name(c))) << obs::counter_name(c);
+    EXPECT_EQ(counters.at(obs::counter_name(c)).as_u64(), snap[c]) << obs::counter_name(c);
+  }
+  const obs::json::Value& claim = doc.at("pasnetSamples").at("dealer_claim_us");
+  EXPECT_EQ(claim.at("count").as_u64(), 1u);
+  EXPECT_EQ(claim.at("p50").as_u64(), 42u);
+  EXPECT_EQ(claim.at("p99").as_u64(), 42u);
+}
+
+TEST(ObsTracer, SecureInferenceSpansNestPerThread) {
+  ObsFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  proto::WorkloadOptions wopts;
+  wopts.batch = 2;
+  proto::Workload wl(snet, wopts);
+  obs::Tracer tracer;
+  wl.set_tracer(&tracer);
+  (void)wl.run(f.queries(3));
+
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_FALSE(events.empty());
+  bool saw_chunk = false, saw_execute = false, saw_round = false;
+  std::map<std::uint32_t, std::vector<obs::TraceEvent>> by_tid;
+  for (const obs::TraceEvent& ev : events) {
+    const std::string cat = ev.cat;
+    EXPECT_TRUE(cat == "crypto" || cat == "ir" || cat == "proto" || cat == "offline" ||
+                cat == "net")
+        << cat;
+    if (ev.name == "chunk") {
+      saw_chunk = true;
+      EXPECT_GT(ev.lanes, 0);
+    }
+    if (ev.name == "execute_batch") saw_execute = true;
+    if (ev.name == "round") saw_round = true;
+    by_tid[ev.tid].push_back(ev);
+  }
+  EXPECT_TRUE(saw_chunk);
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(saw_round);
+
+  // Nesting invariant: within one thread, spans form a forest — any two
+  // either nest or are disjoint.  (Parents destruct after children, so a
+  // parent interval always contains its children's exactly.)
+  for (auto& [tid, evs] : by_tid) {
+    std::sort(evs.begin(), evs.end(), [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+      if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+      return a.dur_us > b.dur_us;
+    });
+    std::vector<std::uint64_t> open_ends;  // stack of enclosing span ends
+    for (const obs::TraceEvent& ev : evs) {
+      const std::uint64_t end = ev.ts_us + ev.dur_us;
+      while (!open_ends.empty() && open_ends.back() <= ev.ts_us) open_ends.pop_back();
+      if (!open_ends.empty()) {
+        EXPECT_LE(end, open_ends.back())
+            << "span '" << ev.name << "' on tid " << tid << " partially overlaps its parent";
+      }
+      open_ends.push_back(end);
+    }
+  }
+}
+
+TEST(ObsTracer, CounterTotalsDeterministicAcrossExecModes) {
+  ObsFixture f;
+  const auto run_mode = [&](pc::ExecMode mode) {
+    pc::TwoPartyContext ctx(pc::RingConfig{}, 42, mode);
+    proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+    proto::WorkloadOptions wopts;
+    wopts.batch = 2;
+    proto::Workload wl(snet, wopts);
+    obs::Tracer tracer;
+    wl.set_tracer(&tracer);
+    (void)wl.run(f.queries(3));
+    return tracer.snapshot();
+  };
+  const obs::CounterSnapshot lockstep = normalized(run_mode(pc::ExecMode::lockstep));
+  const obs::CounterSnapshot threaded = normalized(run_mode(pc::ExecMode::threaded));
+  ASSERT_GT(lockstep[obs::Counter::rounds], 0u);
+  ASSERT_GT(lockstep[obs::Counter::ot_batches], 0u);
+  ASSERT_GT(lockstep[obs::Counter::and_levels], 0u);
+  ASSERT_GT(lockstep[obs::Counter::openings], 0u);
+  ASSERT_GT(lockstep[obs::Counter::triple_claims], 0u);
+  for (int i = 0; i < obs::kCounterCount; ++i) {
+    EXPECT_EQ(lockstep.values[i], threaded.values[i])
+        << obs::counter_name(static_cast<obs::Counter>(i));
+  }
+}
+
+TEST(ObsTracer, DisabledTracerAddsZeroAllocationsToSecureInference) {
+  ObsFixture f;
+  pc::TwoPartyContext ctx;  // lockstep: one thread, deterministic allocation stream
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  const std::vector<nn::Tensor> queries = f.queries(1);
+
+  const auto run_counting = [&](obs::Tracer* t) {
+    proto::Workload wl(snet);
+    if (t != nullptr) wl.set_tracer(t);
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    (void)wl.run(queries);
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    return g_allocs.load(std::memory_order_relaxed);
+  };
+
+  // Warm-up run to take one-time static/lazy allocations out of the window.
+  (void)run_counting(nullptr);
+  const std::uint64_t baseline = run_counting(nullptr);
+  obs::Tracer disabled(false);
+  const std::uint64_t with_disabled = run_counting(&disabled);
+  ASSERT_GT(baseline, 0u);
+  EXPECT_EQ(with_disabled, baseline)
+      << "an attached-but-disabled tracer must not allocate on the protocol hot path";
+  EXPECT_EQ(disabled.event_count(), 0u);
+  EXPECT_EQ(disabled.total(obs::Counter::rounds), 0u);
+}
