@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "crypto/ring_kernels.hpp"
+
 namespace pasnet::crypto {
 
 namespace {
@@ -80,20 +82,8 @@ RingVec ring_matmul(const RingVec& a, const RingVec& b, std::size_t m, std::size
   if (a.size() != m * k || b.size() != k * n) {
     throw std::invalid_argument("ring_matmul: shape mismatch");
   }
-  RingVec out(m * n, 0);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const std::uint64_t aip = a[i * k + p];
-      if (aip == 0) continue;
-      const std::uint64_t* brow = &b[p * n];
-      std::uint64_t* orow = &out[i * n];
-      for (std::size_t j = 0; j < n; ++j) {
-        orow[j] += aip * brow[j];  // lazy reduction; masked below
-      }
-    }
-    std::uint64_t* orow = &out[i * n];
-    for (std::size_t j = 0; j < n; ++j) orow[j] &= rc.mask();
-  }
+  RingVec out(m * n);
+  kern::gemm(out.data(), a.data(), b.data(), m, k, n, rc.mask());
   return out;
 }
 

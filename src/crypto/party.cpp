@@ -2,6 +2,7 @@
 
 #include "crypto/compare.hpp"
 #include "crypto/ot.hpp"
+#include "crypto/ring_kernels.hpp"
 
 #include <condition_variable>
 #include <exception>
@@ -325,12 +326,17 @@ void MulRound::stage(TwoPartyContext& ctx, Shared x, Shared y, ElemTriple t) {
 }
 
 Shared MulRound::finish(const RingConfig& rc) {
-  // R_Si = -i·E⊙F + X_Si⊙F + E⊙Y_Si + Z_Si  (paper Eq. 2)
+  // R_Si = -i·E⊙F + X_Si⊙F + E⊙Y_Si + Z_Si  (paper Eq. 2), one fused
+  // kernel pass per share plus the E⊙F correction on party 1's.
+  const std::size_t n = x_.size();
   Shared r;
-  r.s0 = add_vec(add_vec(mul_vec(x_.s0, f_, rc), mul_vec(e_, y_.s0, rc), rc), t_.z.s0, rc);
-  RingVec ef = mul_vec(e_, f_, rc);
-  r.s1 = add_vec(add_vec(mul_vec(x_.s1, f_, rc), mul_vec(e_, y_.s1, rc), rc), t_.z.s1, rc);
-  r.s1 = sub_vec(r.s1, ef, rc);
+  r.s0.resize(n);
+  r.s1.resize(n);
+  kern::beaver_combine(r.s0.data(), x_.s0.data(), f_.data(), e_.data(), y_.s0.data(),
+                       t_.z.s0.data(), n, rc.mask());
+  kern::beaver_combine(r.s1.data(), x_.s1.data(), f_.data(), e_.data(), y_.s1.data(),
+                       t_.z.s1.data(), n, rc.mask());
+  kern::mul_sub(r.s1.data(), e_.data(), f_.data(), n, rc.mask());
   return r;
 }
 
@@ -342,11 +348,14 @@ void SquareRound::stage(TwoPartyContext& ctx, const Shared& x) {
 Shared SquareRound::finish(const RingConfig& rc) {
   // R = Z + 2·E⊙A + E⊙E  (paper Eq. 3); the public E⊙E term is added by
   // exactly one party so reconstruction counts it once.
-  const std::uint64_t two = 2;
+  const std::size_t n = e_.size();
   Shared r;
-  r.s0 = add_vec(p_.z.s0, scale_vec(mul_vec(e_, p_.a.s0, rc), two, rc), rc);
-  r.s0 = add_vec(r.s0, mul_vec(e_, e_, rc), rc);
-  r.s1 = add_vec(p_.z.s1, scale_vec(mul_vec(e_, p_.a.s1, rc), two, rc), rc);
+  r.s0.resize(n);
+  r.s1.resize(n);
+  kern::square_combine(r.s0.data(), p_.z.s0.data(), e_.data(), p_.a.s0.data(),
+                       /*add_e2=*/true, n, rc.mask());
+  kern::square_combine(r.s1.data(), p_.z.s1.data(), e_.data(), p_.a.s1.data(),
+                       /*add_e2=*/false, n, rc.mask());
   return r;
 }
 
@@ -367,15 +376,20 @@ void MatmulRound::stage(TwoPartyContext& ctx, Shared x, Shared y, std::size_t m,
 }
 
 Shared MatmulRound::finish(const RingConfig& rc) {
-  const RingVec ef = ring_matmul(e_, f_, m_, k_, n_, rc);
+  // R_Si = Z_Si + X_Si·F + E·Y_Si [- E·F on party 1]: seed the accumulator
+  // with Z, fuse both GEMMs unreduced into it, and mask once at the end.
+  const std::size_t out = m_ * n_;
   Shared r;
-  r.s0 = add_vec(add_vec(ring_matmul(x_.s0, f_, m_, k_, n_, rc),
-                         ring_matmul(e_, y_.s0, m_, k_, n_, rc), rc),
-                 t_.z.s0, rc);
-  r.s1 = add_vec(add_vec(ring_matmul(x_.s1, f_, m_, k_, n_, rc),
-                         ring_matmul(e_, y_.s1, m_, k_, n_, rc), rc),
-                 t_.z.s1, rc);
-  r.s1 = sub_vec(r.s1, ef, rc);
+  r.s0 = t_.z.s0;
+  kern::gemm_acc(r.s0.data(), x_.s0.data(), f_.data(), m_, k_, n_);
+  kern::gemm_acc(r.s0.data(), e_.data(), y_.s0.data(), m_, k_, n_);
+  kern::reduce(r.s0.data(), r.s0.data(), out, rc.mask());
+  r.s1 = t_.z.s1;
+  kern::gemm_acc(r.s1.data(), x_.s1.data(), f_.data(), m_, k_, n_);
+  kern::gemm_acc(r.s1.data(), e_.data(), y_.s1.data(), m_, k_, n_);
+  RingVec ef(out);
+  kern::gemm(ef.data(), e_.data(), f_.data(), m_, k_, n_, rc.mask());
+  kern::sub(r.s1.data(), r.s1.data(), ef.data(), out, rc.mask());
   return r;
 }
 

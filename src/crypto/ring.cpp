@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "crypto/ring_kernels.hpp"
+
 namespace pasnet::crypto {
 
 std::int64_t to_signed(std::uint64_t v, const RingConfig& rc) noexcept {
@@ -54,27 +56,27 @@ void check_same_size(const RingVec& a, const RingVec& b) {
 RingVec add_vec(const RingVec& a, const RingVec& b, const RingConfig& rc) {
   check_same_size(a, b);
   RingVec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = ring_add(a[i], b[i], rc);
+  kern::add(out.data(), a.data(), b.data(), a.size(), rc.mask());
   return out;
 }
 
 RingVec sub_vec(const RingVec& a, const RingVec& b, const RingConfig& rc) {
   check_same_size(a, b);
   RingVec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = ring_sub(a[i], b[i], rc);
+  kern::sub(out.data(), a.data(), b.data(), a.size(), rc.mask());
   return out;
 }
 
 RingVec mul_vec(const RingVec& a, const RingVec& b, const RingConfig& rc) {
   check_same_size(a, b);
   RingVec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = ring_mul(a[i], b[i], rc);
+  kern::mul(out.data(), a.data(), b.data(), a.size(), rc.mask());
   return out;
 }
 
 RingVec scale_vec(const RingVec& a, std::uint64_t c, const RingConfig& rc) {
   RingVec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = ring_mul(a[i], c, rc);
+  kern::scale(out.data(), a.data(), c, a.size(), rc.mask());
   return out;
 }
 

@@ -2,17 +2,20 @@
 
 #include <stdexcept>
 
+#include "crypto/ring_kernels.hpp"
+
 namespace pasnet::crypto {
 
 Shared share(const RingVec& x, Prng& prng, const RingConfig& rc) {
   Shared out;
   out.s0.resize(x.size());
   out.s1.resize(x.size());
+  // The PRNG draw order is part of the protocol transcript — keep the
+  // sequential loop, then form s1 = x - s0 in one kernel pass.
   for (std::size_t i = 0; i < x.size(); ++i) {
-    const std::uint64_t r = prng.next_u64() & rc.mask();
-    out.s0[i] = r;
-    out.s1[i] = ring_sub(x[i], r, rc);
+    out.s0[i] = prng.next_u64() & rc.mask();
   }
+  kern::sub(out.s1.data(), x.data(), out.s0.data(), x.size(), rc.mask());
   return out;
 }
 
@@ -80,10 +83,8 @@ Shared truncate_shares(const Shared& x, const RingConfig& rc) {
   Shared out;
   out.s0.resize(x.size());
   out.s1.resize(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    out.s0[i] = truncate(x.s0[i], rc);
-    out.s1[i] = ring_neg(truncate(ring_neg(x.s1[i], rc), rc), rc);
-  }
+  kern::trunc(out.s0.data(), x.s0.data(), x.size(), rc.bits, rc.frac_bits, rc.mask());
+  kern::trunc_neg(out.s1.data(), x.s1.data(), x.size(), rc.bits, rc.frac_bits, rc.mask());
   return out;
 }
 

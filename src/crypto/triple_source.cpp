@@ -1,37 +1,8 @@
 #include "crypto/triple_source.hpp"
 
+#include "crypto/ring_kernels.hpp"
+
 namespace pasnet::crypto {
-
-namespace {
-
-/// im2col on one share vector (a pure data gather, hence share-local).
-RingVec im2col_ring(const RingVec& data, int c, int h, int w, int sample, int kernel,
-                    int stride, int pad, int oh, int ow) {
-  RingVec cols(static_cast<std::size_t>(c) * kernel * kernel * oh * ow, 0);
-  const auto at = [&](int ch, int y, int x) -> std::uint64_t {
-    return data[((static_cast<std::size_t>(sample) * c + ch) * h + y) * w + x];
-  };
-  std::size_t row = 0;
-  for (int ch = 0; ch < c; ++ch) {
-    for (int kh = 0; kh < kernel; ++kh) {
-      for (int kw = 0; kw < kernel; ++kw, ++row) {
-        std::size_t col = 0;
-        for (int y = 0; y < oh; ++y) {
-          const int in_y = y * stride + kh - pad;
-          for (int x = 0; x < ow; ++x, ++col) {
-            const int in_x = x * stride + kw - pad;
-            if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
-              cols[row * (static_cast<std::size_t>(oh) * ow) + col] = at(ch, in_y, in_x);
-            }
-          }
-        }
-      }
-    }
-  }
-  return cols;
-}
-
-}  // namespace
 
 BilinearMap build_bilinear_map(const BilinearSpec& spec, const RingConfig& rc) {
   const int n = spec.batch, c = spec.in_ch, h = spec.in_h, w = spec.in_w;
@@ -41,36 +12,32 @@ BilinearMap build_bilinear_map(const BilinearSpec& spec, const RingConfig& rc) {
   const std::size_t k2 = static_cast<std::size_t>(kernel) * kernel;
 
   if (spec.kind == BilinearKind::depthwise_conv2d) {
-    // Per sample and channel: weight_row(ch) · im2col_channel(input, ch).
+    // Per sample and channel: weight_row(ch) · im2col_channel(input, ch) —
+    // a 1 × k2 × spatial GEMM over the channel's slice of the patch matrix.
     return [=](const RingVec& input, const RingVec& wmat) {
-      RingVec out(static_cast<std::size_t>(n) * c * spatial, 0);
+      RingVec out(static_cast<std::size_t>(n) * c * spatial);
+      RingVec cols(static_cast<std::size_t>(c) * k2 * spatial);
       for (int s = 0; s < n; ++s) {
-        const RingVec cols = im2col_ring(input, c, h, w, s, kernel, stride, pad, oh, ow);
+        kern::im2col(cols.data(), input.data(), c, h, w, s, kernel, stride, pad, oh, ow);
         for (int ch = 0; ch < c; ++ch) {
-          const std::size_t base = (static_cast<std::size_t>(s) * c + ch) * spatial;
-          for (std::size_t i = 0; i < spatial; ++i) {
-            std::uint64_t acc = 0;
-            for (std::size_t kk = 0; kk < k2; ++kk) {
-              acc += wmat[ch * k2 + kk] * cols[(ch * k2 + kk) * spatial + i];
-            }
-            out[base + i] = acc & rc.mask();
-          }
+          kern::gemm(out.data() + (static_cast<std::size_t>(s) * c + ch) * spatial,
+                     wmat.data() + ch * k2, cols.data() + ch * k2 * spatial, 1, k2, spatial,
+                     rc.mask());
         }
       }
       return out;
     };
   }
 
-  // Full convolution: per sample, wmat · im2col(input_s).
+  // Full convolution: per sample, wmat · im2col(input_s) as a blocked GEMM.
   const std::size_t k_dim = static_cast<std::size_t>(c) * k2;
   return [=](const RingVec& input, const RingVec& wmat) {
-    RingVec out;
-    out.reserve(static_cast<std::size_t>(n) * out_ch * spatial);
+    RingVec out(static_cast<std::size_t>(n) * out_ch * spatial);
+    RingVec cols(k_dim * spatial);
     for (int s = 0; s < n; ++s) {
-      const RingVec cols = im2col_ring(input, c, h, w, s, kernel, stride, pad, oh, ow);
-      const RingVec y =
-          ring_matmul(wmat, cols, static_cast<std::size_t>(out_ch), k_dim, spatial, rc);
-      out.insert(out.end(), y.begin(), y.end());
+      kern::im2col(cols.data(), input.data(), c, h, w, s, kernel, stride, pad, oh, ow);
+      kern::gemm(out.data() + static_cast<std::size_t>(s) * out_ch * spatial, wmat.data(),
+                 cols.data(), static_cast<std::size_t>(out_ch), k_dim, spatial, rc.mask());
     }
     return out;
   };

@@ -169,6 +169,12 @@ BatchExecResult execute_batch(const SecureProgram& p, const CompiledParams& para
   const auto deliver = [&](std::size_t lane, std::size_t idx, SecureTensor t) {
     acts[lane][idx] = std::move(t);
     pending[idx] = 0;
+    // Output elements produced by the op's kernelized share arithmetic — a
+    // pure function of (program, lane count), so the counter is identical
+    // across lockstep/threaded/remote and sums exactly across chunks.
+    if (tracer != nullptr) {
+      tracer->add(obs::Counter::kernel_elems, acts[lane][idx].size());
+    }
     if (opts.op_hook) opts.op_hook(lane, idx, acts[lane][idx]);
   };
   const auto flush_group = [&] {

@@ -22,7 +22,7 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "rounds",       "bytes_p0_to_p1", "bytes_p1_to_p0", "messages",
     "ot_batches",   "ot_messages",    "and_levels",     "openings",
     "open_flushes", "triple_claims",  "store_claims",   "dealer_claims",
-    "dealer_bytes", "recv_wait_us",   "send_wait_us",
+    "dealer_bytes", "recv_wait_us",   "send_wait_us",   "kernel_elems",
 };
 
 constexpr const char* kSampleNames[kSampleCount] = {

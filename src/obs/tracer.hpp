@@ -59,6 +59,7 @@ enum class Counter : int {
   dealer_bytes,        ///< bundle payload bytes served by a DealerServer
   recv_wait_us,        ///< accumulated microseconds blocked in recv (socket/queue wait)
   send_wait_us,        ///< accumulated microseconds blocked in send (back-pressure)
+  kernel_elems,        ///< ring elements produced by kernelized ops (executor deliveries)
   count_  // sentinel
 };
 

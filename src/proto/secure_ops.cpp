@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/party.hpp"
+#include "crypto/ring_kernels.hpp"
 
 namespace pasnet::proto {
 
@@ -24,9 +25,10 @@ RingVec slice_ring(const RingVec& v, std::size_t lo, std::size_t hi) {
 }
 
 /// Gathers a strided window tap into a flat share vector (for pooling).
+/// The valid output-x range is computed once per tap so the inner copy is a
+/// bounds-free strided gather (a memcpy when stride == 1).
 Shared gather_window_tap(const SecureTensor& x, int kh, int kw, int kernel, int stride,
                          int pad, long long* valid_mask_out) {
-  (void)kernel;
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int oh = nn::conv_out_size(h, kernel, stride, pad);
   const int ow = nn::conv_out_size(w, kernel, stride, pad);
@@ -35,18 +37,25 @@ Shared gather_window_tap(const SecureTensor& x, int kh, int kw, int kernel, int 
   tap.s0.assign(out_n, 0);
   tap.s1.assign(out_n, 0);
   if (valid_mask_out != nullptr) *valid_mask_out = 1;
-  std::size_t o = 0;
+  // Valid x range [x0, x1): 0 <= x*stride + kw - pad < w.
+  const int off = kw - pad;
+  const int x0 = off >= 0 ? 0 : (-off + stride - 1) / stride;
+  int x1 = w - off <= 0 ? 0 : (w - off + stride - 1) / stride;
+  if (x1 > ow) x1 = ow;
+  if (x1 <= x0) return tap;
+  const std::size_t run = static_cast<std::size_t>(x1 - x0);
   for (int s = 0; s < n; ++s) {
     for (int ch = 0; ch < c; ++ch) {
+      const std::size_t plane = static_cast<std::size_t>(s) * c + ch;
       for (int y = 0; y < oh; ++y) {
-        for (int z = 0; z < ow; ++z, ++o) {
-          const int in_y = y * stride + kh - pad;
-          const int in_x = z * stride + kw - pad;
-          if (in_y < 0 || in_y >= h || in_x < 0 || in_x >= w) continue;
-          const std::size_t idx = ((static_cast<std::size_t>(s) * c + ch) * h + in_y) * w + in_x;
-          tap.s0[o] = x.shares.s0[idx];
-          tap.s1[o] = x.shares.s1[idx];
-        }
+        const int in_y = y * stride + kh - pad;
+        if (in_y < 0 || in_y >= h) continue;
+        const std::size_t src = (plane * h + in_y) * w + x0 * stride + off;
+        const std::size_t dst = (plane * oh + y) * ow + x0;
+        crypto::kern::copy_strided(tap.s0.data() + dst, x.shares.s0.data() + src, run,
+                                   static_cast<std::size_t>(stride));
+        crypto::kern::copy_strided(tap.s1.data() + dst, x.shares.s1.data() + src, run,
+                                   static_cast<std::size_t>(stride));
       }
     }
   }
@@ -117,13 +126,14 @@ SecureTensor StagedConv2d::finish(TwoPartyContext& ctx) {
   if (bias_ != nullptr) {
     // Broadcast-add the per-channel bias over the spatial output.
     const std::size_t spatial = static_cast<std::size_t>(oh) * ow;
+    const std::uint64_t mask = rc.mask();
     for (int s = 0; s < n; ++s) {
       for (int oc = 0; oc < out_ch_; ++oc) {
-        for (std::size_t i = 0; i < spatial; ++i) {
-          const std::size_t idx = (static_cast<std::size_t>(s) * out_ch_ + oc) * spatial + i;
-          y.s0[idx] = crypto::ring_add(y.s0[idx], bias_->s0[static_cast<std::size_t>(oc)], rc);
-          y.s1[idx] = crypto::ring_add(y.s1[idx], bias_->s1[static_cast<std::size_t>(oc)], rc);
-        }
+        const std::size_t base = (static_cast<std::size_t>(s) * out_ch_ + oc) * spatial;
+        crypto::kern::add_const(y.s0.data() + base, y.s0.data() + base,
+                                bias_->s0[static_cast<std::size_t>(oc)], spatial, mask);
+        crypto::kern::add_const(y.s1.data() + base, y.s1.data() + base,
+                                bias_->s1[static_cast<std::size_t>(oc)], spatial, mask);
       }
     }
   }
@@ -144,7 +154,10 @@ StagedLinear::StagedLinear(const SecureTensor& x, const crypto::Shared& weight,
 }
 
 void StagedLinear::stage(TwoPartyContext& ctx) {
-  // y = x·Wᵀ: compute as W·xᵀ then transpose, sample-by-sample for clarity.
+  // y = x·Wᵀ as per-sample W·xₛ products.  The per-sample matmul triple and
+  // opening stream is part of the pinned transcript (the round/byte guards
+  // assert it exactly), so the rounds stay sample-shaped; the actual share
+  // arithmetic runs through the blocked GEMM kernel in MatmulRound::finish.
   const int n = x_.dim(0);
   const std::size_t in_f = x_.size() / static_cast<std::size_t>(n);
   rounds_.resize(static_cast<std::size_t>(n));
@@ -165,17 +178,18 @@ SecureTensor StagedLinear::finish(TwoPartyContext& ctx) {
   out.shape = {n, out_features_};
   out.shares.s0.resize(static_cast<std::size_t>(n) * out_features_);
   out.shares.s1.resize(out.shares.s0.size());
+  const std::size_t of = static_cast<std::size_t>(out_features_);
   for (int s = 0; s < n; ++s) {
-    Shared y = crypto::truncate_shares(rounds_[static_cast<std::size_t>(s)].finish(rc), rc);
-    for (int j = 0; j < out_features_; ++j) {
-      std::uint64_t y0 = y.s0[static_cast<std::size_t>(j)];
-      std::uint64_t y1 = y.s1[static_cast<std::size_t>(j)];
-      if (bias_ != nullptr) {
-        y0 = crypto::ring_add(y0, bias_->s0[static_cast<std::size_t>(j)], rc);
-        y1 = crypto::ring_add(y1, bias_->s1[static_cast<std::size_t>(j)], rc);
-      }
-      out.shares.s0[static_cast<std::size_t>(s) * out_features_ + j] = y0;
-      out.shares.s1[static_cast<std::size_t>(s) * out_features_ + j] = y1;
+    const Shared y = crypto::truncate_shares(rounds_[static_cast<std::size_t>(s)].finish(rc), rc);
+    const std::size_t base = static_cast<std::size_t>(s) * of;
+    if (bias_ != nullptr) {
+      crypto::kern::add(out.shares.s0.data() + base, y.s0.data(), bias_->s0.data(), of,
+                        rc.mask());
+      crypto::kern::add(out.shares.s1.data() + base, y.s1.data(), bias_->s1.data(), of,
+                        rc.mask());
+    } else {
+      std::memcpy(out.shares.s0.data() + base, y.s0.data(), of * sizeof(std::uint64_t));
+      std::memcpy(out.shares.s1.data() + base, y.s1.data(), of * sizeof(std::uint64_t));
     }
   }
   return out;
@@ -381,8 +395,11 @@ SecureTensor secure_avgpool(TwoPartyContext& ctx, const SecureTensor& x, int ker
       taps.push_back(gather_window_tap(x, kh, kw, kernel, stride, pad, nullptr));
     }
   }
-  Shared sum = taps[0];
-  for (std::size_t i = 1; i < taps.size(); ++i) sum = crypto::add(sum, taps[i], rc);
+  Shared sum = std::move(taps[0]);
+  for (std::size_t i = 1; i < taps.size(); ++i) {
+    crypto::kern::add(sum.s0.data(), sum.s0.data(), taps[i].s0.data(), sum.s0.size(), rc.mask());
+    crypto::kern::add(sum.s1.data(), sum.s1.data(), taps[i].s1.data(), sum.s1.size(), rc.mask());
+  }
   const std::uint64_t inv = crypto::encode(1.0 / (kernel * kernel), rc);
   SecureTensor out;
   const int n = x.dim(0), c = x.dim(1);
@@ -399,18 +416,21 @@ SecureTensor secure_global_avgpool(TwoPartyContext& ctx, const SecureTensor& x) 
   out.shape = {n, c, 1, 1};
   out.shares.s0.resize(static_cast<std::size_t>(n) * c);
   out.shares.s1.resize(out.shares.s0.size());
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
   for (int s = 0; s < n; ++s) {
     for (int ch = 0; ch < c; ++ch) {
+      // Lazy reduction: accumulate mod 2^64 over the plane, mask once.
+      const std::uint64_t* const p0 =
+          x.shares.s0.data() + (static_cast<std::size_t>(s) * c + ch) * plane;
+      const std::uint64_t* const p1 =
+          x.shares.s1.data() + (static_cast<std::size_t>(s) * c + ch) * plane;
       std::uint64_t acc0 = 0, acc1 = 0;
-      for (int y = 0; y < h; ++y) {
-        for (int z = 0; z < w; ++z) {
-          const std::size_t idx = ((static_cast<std::size_t>(s) * c + ch) * h + y) * w + z;
-          acc0 = crypto::ring_add(acc0, x.shares.s0[idx], rc);
-          acc1 = crypto::ring_add(acc1, x.shares.s1[idx], rc);
-        }
+      for (std::size_t i = 0; i < plane; ++i) {
+        acc0 += p0[i];
+        acc1 += p1[i];
       }
-      out.shares.s0[static_cast<std::size_t>(s) * c + ch] = acc0;
-      out.shares.s1[static_cast<std::size_t>(s) * c + ch] = acc1;
+      out.shares.s0[static_cast<std::size_t>(s) * c + ch] = acc0 & rc.mask();
+      out.shares.s1[static_cast<std::size_t>(s) * c + ch] = acc1 & rc.mask();
     }
   }
   const std::uint64_t inv = crypto::encode(1.0 / (h * w), rc);
