@@ -19,6 +19,7 @@
 #include "example_flags.hpp"
 #include "net/party_session.hpp"
 #include "obs/tracer.hpp"
+#include "offline/ot_triple_source.hpp"
 #include "obs/witness.hpp"
 #include "perf/ir_cost.hpp"
 #include "proto/secure_network.hpp"
@@ -50,8 +51,10 @@ inline proto::SecureConfig config_from_flags(const FlagSet& flags) {
   const std::string ot = flags.get_string("ot");
   if (ot == "dh") {
     cfg.ot_mode = crypto::OtMode::dh_masked;
-  } else if (ot != "correlated") {
-    std::fprintf(stderr, "unknown --ot '%s' (correlated, dh)\n", ot.c_str());
+  } else if (ot == "correlated") {
+    cfg.ot_mode = crypto::OtMode::correlated;
+  } else {
+    std::fprintf(stderr, "unknown --ot '%s' (dh, correlated)\n", ot.c_str());
     std::exit(2);
   }
   return cfg;
@@ -127,9 +130,21 @@ inline int run_party(int party, int argc, char** argv) {
   flags.define_string("bind", "127.0.0.1",
                       "listen address (server only; 0.0.0.0 accepts cross-machine peers)");
   flags.define_string("schedule", "coalesced", "round schedule (coalesced, eager)");
-  flags.define_string("ot", "correlated", "OT instantiation (correlated, dh)");
+  flags.define_string("ot", "dh",
+                      "online OT instantiation (dh: real masked-DH OT; correlated: ideal-"
+                      "functionality simulation, refused across processes without "
+                      "--allow-ideal-ot)");
+  flags.define_switch("allow-ideal-ot",
+                      "test-only escape hatch: let --ot=correlated run across two real "
+                      "processes despite its dealer-grade trust assumption");
+  flags.define_string("triples", "dealer",
+                      "who produces the correlated randomness: 'dealer' trusts a third party "
+                      "(--source picks fused/store/dealer-daemon delivery), 'ot-ext' makes the "
+                      "two parties generate their own triples in-session over IKNP OT "
+                      "extension — no dealer daemon, no shared-seed triple stream");
   flags.define_string("source", "fused",
-                      "correlated-randomness source (fused, store, dealer)");
+                      "dealer-trust delivery path (fused, store, dealer); ignored under "
+                      "--triples=ot-ext");
   flags.define_string("store", "", "TripleStore file (--source=store, or --preprocess output)");
   flags.define_string("dealer-host", "127.0.0.1", "pasnet_dealer host (--source=dealer)");
   flags.define_int("dealer-port", 7748, "pasnet_dealer port (--source=dealer)");
@@ -211,10 +226,21 @@ inline int run_party(int party, int argc, char** argv) {
   net::RemoteSessionOptions ropts;
   ropts.cfg = cfg;
   ropts.policy = policy_from_flags(flags);
+  ropts.allow_ideal_ot = flags.get_switch("allow-ideal-ot");
   offline::TripleStore store;
   std::unique_ptr<net::DealerClient> dealer;
+  const std::string triples = flags.get_string("triples");
+  const bool ot_ext = triples == "ot-ext";
+  if (!ot_ext && triples != "dealer") {
+    std::fprintf(stderr, "unknown --triples '%s' (dealer, ot-ext)\n", triples.c_str());
+    return 2;
+  }
   const std::string source = flags.get_string("source");
-  if (source == "store") {
+  if (ot_ext) {
+    ropts.source = net::TripleSourceKind::ot_ext;
+    ropts.plan = &plan;
+    std::printf("triples: in-session IKNP OT extension (no dealer trust)\n");
+  } else if (source == "store") {
     ropts.source = net::TripleSourceKind::store;
     store = offline::TripleStore::load(flags.get_string("store"));
     if (store.plan_fingerprint() != plan.fingerprint()) {
@@ -260,10 +286,36 @@ inline int run_party(int party, int argc, char** argv) {
     inputs.reserve(lanes);
     for (std::size_t j = 0; j < lanes; ++j) inputs.push_back(query_input(ex.md, seed, q0 + j));
     crypto::TrafficStats stats;
+    crypto::TrafficStats offline_stats;
     obs::CounterSnapshot chunk_trace;
+    if (ot_ext) ropts.offline_stats_out = &offline_stats;
     const ir::BatchExecResult res =
         session.run_batch(program, ex.snet->params(), q0, party == 0 ? &inputs : nullptr,
                           lanes, ropts, &stats, tracing ? &chunk_trace : nullptr);
+    if (ot_ext) {
+      // Offline witness: the OT-extension generation runs in its own
+      // metered window, and its measured traffic must EXACTLY equal the
+      // analytic offline cost model — the offline analog of the online
+      // three-witness check.
+      const offline::OtExtCost ocost = offline::ot_ext_generation_cost(plan, lanes);
+      std::printf("chunk %zu offline (ot-ext): %llu bytes, %llu rounds, %llu base OTs, "
+                  "%llu ext COTs\n",
+                  chunk, static_cast<unsigned long long>(offline_stats.total_bytes()),
+                  static_cast<unsigned long long>(offline_stats.rounds),
+                  static_cast<unsigned long long>(ocost.base_ots),
+                  static_cast<unsigned long long>(ocost.ext_cots));
+      if (offline_stats.total_bytes() != ocost.total_bytes() ||
+          offline_stats.rounds != ocost.rounds || offline_stats.messages != ocost.messages) {
+        std::fprintf(stderr,
+                     "chunk %zu: offline witness drift (measured %llu B / %llu rds vs "
+                     "analytic %llu B / %llu rds)\n",
+                     chunk, static_cast<unsigned long long>(offline_stats.total_bytes()),
+                     static_cast<unsigned long long>(offline_stats.rounds),
+                     static_cast<unsigned long long>(ocost.total_bytes()),
+                     static_cast<unsigned long long>(ocost.rounds));
+        drift = 1;
+      }
+    }
     for (std::size_t j = 0; j < lanes; ++j) {
       const std::size_t q = q0 + j;
       if (label_only) {

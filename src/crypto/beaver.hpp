@@ -1,12 +1,29 @@
 #pragma once
 // Beaver-triple machinery (paper §II-B).
 //
-// Multiplicative 2PC operations consume correlated randomness produced by a
-// trusted dealer in an offline phase: elementwise triples Z = A ⊙ B,
-// square pairs Z = A ⊙ A, matrix triples Z = A · B, and boolean AND
-// triples over Z2.  The dealer here is a local object (the simulation plays
-// all three roles); `TripleCounters` records how much offline material the
-// online protocols consumed so experiments can report offline cost.
+// Multiplicative 2PC operations consume correlated randomness produced in an
+// offline phase: elementwise triples Z = A ⊙ B, square pairs Z = A ⊙ A,
+// matrix triples Z = A · B, and boolean AND triples over Z2.
+//
+// Canonical two-stream construction.  Every triple kind is assembled from
+// two *role-private half streams*: party p draws its own mask halves
+// (a_p, b_p) and its cross-term sender share x_p from
+// Prng(half_stream_seed(seed, p)), and the completed shares are
+//
+//   z_p = a_p ⊙ b_p + x_p + o_p,   o_p = a_peer ⊙ b_p − x_peer,
+//
+// i.e. z0 = (a0+a1) ⊙ b0 + x0 − x1 and symmetrically for z1 (matrix /
+// bilinear kinds substitute the appropriate product for ⊙).  The point of
+// this factoring is that o_p is exactly what a correlated-OT cross-term
+// protocol hands the receiver, so the genuine 2PC OT-extension generator
+// (src/crypto/ot_ext, src/offline/ot_triple_source) reproduces *identical*
+// triple values with no third party — dealer-served and OT-ext-served runs
+// stay bit-identical all the way to the logits.  TripleDealer is the
+// trusted-dealer *simulation* of that functionality: it holds both half
+// streams and evaluates the cross terms directly.
+//
+// `TripleCounters` records how much offline material the online protocols
+// consumed so experiments can report offline cost.
 
 #include <cstdint>
 #include <vector>
@@ -57,31 +74,83 @@ struct TripleCounters {
   void reset() noexcept { *this = TripleCounters{}; }
 };
 
-/// Trusted dealer: generates correlated randomness for both parties.
+// --- Role-private half streams -------------------------------------------
+//
+// The draw helpers below define the *canonical draw order* of each party's
+// half of every triple kind.  Both the dealer simulation and the 2PC
+// OT-extension generator go through these exact functions, which is the
+// bit-identity contract between the two backends: party p's (a_p, b_p, x_p)
+// depend only on Prng(half_stream_seed(seed, p)) and the request sequence.
+
+/// Seed of party p's half stream for a dealer stream seeded with `seed`.
+[[nodiscard]] inline std::uint64_t half_stream_seed(std::uint64_t seed, int party) noexcept {
+  return splitmix64(seed ^ (party == 0 ? 0x9E3779B97F4A7C15ULL : 0xC2B2AE3D27D4EB4FULL));
+}
+
+/// Party p's half of an elementwise triple: masks a_p, b_p and cross-term
+/// sender share x_p (draw order a, b, x).
+struct ElemHalf {
+  RingVec a, b, x;
+};
+[[nodiscard]] ElemHalf draw_elem_half(Prng& prng, std::size_t n, const RingConfig& rc);
+
+/// Party p's half of a square pair.  Only party 0 holds a cross-term share
+/// (one OT direction suffices for z = a² cross terms): x is empty for
+/// party 1.
+struct SquareHalf {
+  RingVec a, x;
+};
+[[nodiscard]] SquareHalf draw_square_half(Prng& prng, int party, std::size_t n,
+                                          const RingConfig& rc);
+
+/// Party p's half of a matmul triple (draw order a (m·k), b (k·n), x (m·n)).
+struct MatmulHalf {
+  RingVec a, b, x;
+};
+[[nodiscard]] MatmulHalf draw_matmul_half(Prng& prng, std::size_t m, std::size_t k,
+                                          std::size_t n, const RingConfig& rc);
+
+/// Party p's half of a bilinear triple (draw order a (na), b (nb), x (nz)).
+struct BilinearHalf {
+  RingVec a, b, x;
+};
+[[nodiscard]] BilinearHalf draw_bilinear_half(Prng& prng, std::size_t na, std::size_t nb,
+                                              std::size_t nz, const RingConfig& rc);
+
+/// Party p's half of n AND triples: per instance one u64 draw whose bits
+/// 0/1/2 are a_p / b_p / x_p.
+struct BitHalf {
+  std::vector<std::uint8_t> a, b, x;
+};
+[[nodiscard]] BitHalf draw_bit_half(Prng& prng, std::size_t n);
+
+/// Trusted dealer: simulates the two-party triple functionality by holding
+/// both half streams and evaluating the cross terms directly.
 class TripleDealer {
  public:
   explicit TripleDealer(RingConfig rc, std::uint64_t seed = 0xDEA1E5ULL)
-      : rc_(rc), prng_(seed) {}
+      : rc_(rc), prng0_(half_stream_seed(seed, 0)), prng1_(half_stream_seed(seed, 1)) {}
 
   [[nodiscard]] ElemTriple elem_triple(std::size_t n);
   [[nodiscard]] SquarePair square_pair(std::size_t n);
   [[nodiscard]] MatmulTriple matmul_triple(std::size_t m, std::size_t k, std::size_t n);
   [[nodiscard]] BitTriple bit_triple(std::size_t n);
 
-  /// Samples A (na elems, "input"-shaped) and B (nb elems, "weight"-shaped)
-  /// and shares Z = f(A, B), where `f` is any bilinear map returning a
-  /// RingVec (e.g. B convolved over A).
+  /// Shares Z = f(A, B) for any bilinear map `f` (e.g. B convolved over A),
+  /// where A has na elems ("input"-shaped), B has nb ("weight"-shaped) and
+  /// the result has nz.  `nz` must match f's output size; it is explicit so
+  /// each party can draw its x_p half without evaluating f.
   template <typename F>
-  [[nodiscard]] BilinearTriple bilinear_triple(std::size_t na, std::size_t nb, F&& f) {
-    RingVec a(na), b(nb);
-    for (auto& e : a) e = prng_.next_u64() & rc_.mask();
-    for (auto& e : b) e = prng_.next_u64() & rc_.mask();
-    const RingVec z = f(a, b);
-    BilinearTriple t;
-    t.a = share(a, prng_, rc_);
-    t.b = share(b, prng_, rc_);
-    t.z = share(z, prng_, rc_);
-    counters_.bilinear_triple_elems += na + nb + z.size();
+  [[nodiscard]] BilinearTriple bilinear_triple(std::size_t na, std::size_t nb,
+                                               std::size_t nz, F&& f) {
+    const BilinearHalf h0 = draw_bilinear_half(prng0_, na, nb, nz, rc_);
+    const BilinearHalf h1 = draw_bilinear_half(prng1_, na, nb, nz, rc_);
+    RingVec a(na);
+    for (std::size_t i = 0; i < na; ++i) a[i] = (h0.a[i] + h1.a[i]) & rc_.mask();
+    const RingVec f0 = f(a, h0.b);
+    const RingVec f1 = f(a, h1.b);
+    BilinearTriple t = assemble_bilinear(h0, h1, f0, f1, nz);
+    counters_.bilinear_triple_elems += na + nb + nz;
     return t;
   }
 
@@ -90,8 +159,14 @@ class TripleDealer {
   [[nodiscard]] const RingConfig& ring() const noexcept { return rc_; }
 
  private:
+  /// z_p = f(A, b_p) + x_p − x_peer for both parties, with shape checks.
+  [[nodiscard]] BilinearTriple assemble_bilinear(const BilinearHalf& h0,
+                                                 const BilinearHalf& h1, const RingVec& f0,
+                                                 const RingVec& f1, std::size_t nz) const;
+
   RingConfig rc_;
-  Prng prng_;
+  Prng prng0_;
+  Prng prng1_;
   TripleCounters counters_;
 };
 

@@ -56,12 +56,14 @@ std::vector<std::uint64_t> unpack_u64s(const std::vector<std::uint8_t>& buf) {
 // blocks, so OT composes with the concurrent runtime without changes.
 //
 // In a remote (two-process) context only the local role's sends/recvs and
-// compute run — the gates below — while BOTH roles' PRNG draws stay
-// unconditional: the per-party PRNGs are seeded from the shared context
-// seed in both processes (the simulation's trusted-setup model), and any
-// role-gated draw would desynchronize the streams every later protocol
-// step depends on.  The non-local role's output slots hold garbage a
-// remote process never reads.
+// compute run — the gates below.  Role SECRETS (the receiver's blinding
+// exponents x_t, the sender's ephemeral r) are drawn from the context's
+// role_prng(), which is a private entropy-seeded stream in a remote
+// process: each process draws only its own role's secrets and the peer
+// never learns (or can re-derive) them.  In the in-process simulation
+// modes role_prng() aliases the shared ot_prng() streams, so those
+// transcripts are unchanged.  The non-local role's output slots hold
+// garbage a remote process never reads.
 std::vector<std::uint8_t> ot_dh(TwoPartyContext& ctx, int sender,
                                 const std::vector<std::array<std::uint8_t, kOtFanIn>>& tables,
                                 const std::vector<std::uint8_t>& choices) {
@@ -70,20 +72,22 @@ std::vector<std::uint8_t> ot_dh(TwoPartyContext& ctx, int sender,
 
   // Receiver: blind each choice into B_t = g^{x_t} * C^{c_t}.
   std::vector<std::uint64_t> secret_x(n);
-  std::vector<std::uint64_t> blinded(n);
-  for (std::size_t t = 0; t < n; ++t) {
-    secret_x[t] = 1 + ctx.ot_prng(receiver).next_below(dh::kPrime - 1);
-    const std::uint64_t gx = dh::powmod(dh::kGenerator, secret_x[t]);
-    blinded[t] = dh::mulmod(gx, dh::powmod(dh::kPublicC, choices[t]));
+  if (ctx.runs(receiver)) {
+    std::vector<std::uint64_t> blinded(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      secret_x[t] = 1 + ctx.role_prng(receiver).next_below(dh::kPrime - 1);
+      const std::uint64_t gx = dh::powmod(dh::kGenerator, secret_x[t]);
+      blinded[t] = dh::mulmod(gx, dh::powmod(dh::kPublicC, choices[t]));
+    }
+    ctx.chan(receiver).send_bytes(pack_u64s(blinded));
   }
-  if (ctx.runs(receiver)) ctx.chan(receiver).send_bytes(pack_u64s(blinded));
 
   if (ctx.runs(sender)) {
     // Sender: one ephemeral r per batch keeps cost linear; derive per-entry
     // pads key_{t,i} = H((B_t * C^{-i})^r, t, i) and mask the table.
     const std::vector<std::uint64_t> b_list = unpack_u64s(ctx.chan(sender).recv_bytes());
     if (b_list.size() != n) throw std::logic_error("ot_1of4: batch size mismatch");
-    const std::uint64_t r = 1 + ctx.ot_prng(sender).next_below(dh::kPrime - 1);
+    const std::uint64_t r = 1 + ctx.role_prng(sender).next_below(dh::kPrime - 1);
     const std::uint64_t a_val = dh::powmod(dh::kGenerator, r);
     const std::uint64_t c_inv = dh::invmod(dh::kPublicC);
 
@@ -100,9 +104,6 @@ std::vector<std::uint8_t> ot_dh(TwoPartyContext& ctx, int sender,
       }
     }
     ctx.chan(sender).send_bytes(payload);
-  } else {
-    // Keep the sender-side PRNG stream aligned with the sender's process.
-    (void)ctx.ot_prng(sender).next_below(dh::kPrime - 1);
   }
 
   std::vector<std::uint8_t> out(n);
@@ -127,6 +128,13 @@ std::vector<std::uint8_t> ot_dh(TwoPartyContext& ctx, int sender,
 std::vector<std::uint8_t> ot_ideal(TwoPartyContext& ctx, int sender,
                                    const std::vector<std::array<std::uint8_t, kOtFanIn>>& tables,
                                    const std::vector<std::uint8_t>& choices) {
+  if (!ctx.ideal_ot_allowed()) {
+    // Backstop for callers that bypassed the context-construction refusal
+    // (e.g. a remote context declared dh_masked but handed correlated-mode
+    // requests): the simulation must never run between real endpoints.
+    throw IdealOtError("ot_1of4: OtMode::correlated refused in a remote context "
+                       "(construct with allow_ideal_ot to override in tests)");
+  }
   const int receiver = 1 - sender;
   const std::size_t n = tables.size();
   // Ideal functionality with the DH mode's exact transcript shape and

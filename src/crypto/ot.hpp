@@ -10,9 +10,13 @@
 //    Functionally correct; toy-strength parameters (DESIGN.md §3.4).
 //  * `correlated` — an ideal-functionality fast path that produces the same
 //    transcript sizes (for traffic accounting) without the modular
-//    exponentiation; used when simulating large tensors.
+//    exponentiation; used when simulating large tensors.  Refused in a
+//    remote two-process context unless the context was constructed with
+//    the allow_ideal_ot escape hatch (see RemoteContextOptions).
 //
 // Both modes produce identical protocol results and identical byte counts.
+// The OtMode selector itself lives in crypto/party.hpp so the context can
+// enforce the remote refusal at construction time.
 
 #include <array>
 #include <cstdint>
@@ -21,9 +25,6 @@
 #include "crypto/party.hpp"
 
 namespace pasnet::crypto {
-
-/// OT instantiation selector.
-enum class OtMode { dh_masked, correlated };
 
 /// Number of OT table entries (2-bit parts -> 1-of-4).
 inline constexpr int kOtFanIn = 4;

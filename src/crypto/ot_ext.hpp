@@ -1,0 +1,169 @@
+#pragma once
+// IKNP-style OT extension (base OTs + bit-matrix transpose +
+// correlation-robust hashing).
+//
+// This is the primitive that closes the remote-mode trust gap: a batch of m
+// correlated OTs costs 128 base OTs (public-key crypto) plus symmetric-key
+// work linear in m, and the two parties' secrets come from their
+// role-private streams — nothing here is derivable from the shared context
+// seed.  The offline triple generator (src/offline/ot_triple_source) builds
+// Beaver/bilinear/bit triples on top.
+//
+// Layering: this file is CHANNEL-FREE.  ExtSender/ExtReceiver are pure
+// frame makers/takers — the caller ferries the four byte frames
+//
+//   sender  -> receiver : chooser frame   (128 blinded base-OT keys)
+//   receiver-> sender   : setup reply     (masked base-OT seed pairs)
+//   receiver-> sender   : u frame         (the IKNP column masks)
+//   sender  -> receiver : corrections     (built by the caller from pads())
+//
+// over whatever transport it has (TransportChannel in deployment, byte
+// vectors in tests), and every take_* validates exact frame sizes with a
+// typed OtExtError so hostile/truncated frames die loudly under ASan.
+//
+// Protocol sketch (ext-SENDER = the party who will know both pads of every
+// extended OT; ext-RECEIVER = the party with the choice bits b_j):
+//  1. The sender draws a secret s ∈ {0,1}^128 and plays base-OT *chooser*
+//     with choice bits s_i: Bellare–Micali over the dh:: group, B_i =
+//     g^{x_i}·C^{s_i}.  The receiver plays base-OT *sender* with 128 fresh
+//     seed pairs (k_i^0, k_i^1) and replies with both seeds masked.
+//  2. The receiver expands each seed pair over m̂ = roundup(m, 64) bits and
+//     sends u_i = PRG(k_i^0) ⊕ PRG(k_i^1) ⊕ r, where r packs its choice
+//     bits.  Its matrix T (rows t_i = PRG(k_i^0)) transposes into per-OT
+//     columns t_j.
+//  3. The sender expands q_i = PRG(k_i^{s_i}) ⊕ s_i·u_i and transposes into
+//     q_j, which satisfy q_j = t_j ⊕ b_j·s.
+//  4. Pads: the sender derives pad0_j / pad1_j from H(j, q_j) / H(j, q_j⊕s)
+//     (correlation-robust hash), the receiver derives its chosen pad from
+//     H(j, t_j) — a random OT, derandomized by the caller's corrections.
+//
+// Toy-strength parameters throughout (the 61-bit DH group and splitmix64-
+// based hashing match the repo's existing ot.cpp instantiation); the
+// *structure* — who draws what from which stream, what crosses the wire —
+// is the faithful part.
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/prng.hpp"
+#include "crypto/ring.hpp"
+
+namespace pasnet::crypto::otx {
+
+/// Width of the base-OT phase == the extension's security parameter.
+inline constexpr std::size_t kBaseOts = 128;
+
+/// One 128-bit column/seed/secret.
+struct Block128 {
+  std::uint64_t w[2] = {0, 0};
+
+  [[nodiscard]] Block128 operator^(const Block128& o) const noexcept {
+    return Block128{{w[0] ^ o.w[0], w[1] ^ o.w[1]}};
+  }
+  [[nodiscard]] bool operator==(const Block128& o) const noexcept {
+    return w[0] == o.w[0] && w[1] == o.w[1];
+  }
+  [[nodiscard]] bool bit(std::size_t i) const noexcept {
+    return ((w[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+};
+
+/// Malformed / truncated extension traffic (exact-size frame validation).
+class OtExtError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Correlation-robust hash H(j, x) -> 128 bits (splitmix64 chains; toy
+/// strength, same family as the DH-OT pad derivation).
+[[nodiscard]] Block128 cr_hash(std::uint64_t j, const Block128& x) noexcept;
+
+/// Counter-mode PRG: expands a 128-bit seed into n words.
+void prg_expand(const Block128& seed, std::uint64_t* out, std::size_t n) noexcept;
+
+/// Bit-matrix transpose: `in` is rows×cols bits, row-major, each row packed
+/// LSB-first into cols/8 bytes; `out` receives the cols×rows transpose in
+/// the same packing.  rows and cols must be multiples of 8.
+void transpose_bits(const std::uint8_t* in, std::size_t rows, std::size_t cols,
+                    std::uint8_t* out);
+
+/// Exact frame sizes (callers and the analytic cost model share these).
+[[nodiscard]] inline constexpr std::size_t chooser_frame_bytes() noexcept {
+  return kBaseOts * 8;
+}
+[[nodiscard]] inline constexpr std::size_t setup_reply_bytes() noexcept {
+  return 8 + kBaseOts * 2 * 16;
+}
+/// m rounded up to the word-aligned column count the PRG rows use.
+[[nodiscard]] inline constexpr std::size_t padded_count(std::size_t m) noexcept {
+  return (m + 63) / 64 * 64;
+}
+[[nodiscard]] inline constexpr std::size_t u_frame_bytes(std::size_t m) noexcept {
+  return kBaseOts * padded_count(m) / 8;
+}
+
+/// The ext-sender side: holds the 128-bit secret s, ends up with q_j and
+/// both pads of every extended OT.
+class ExtSender {
+ public:
+  /// Draws s from the caller's ROLE-PRIVATE stream (TwoPartyContext::
+  /// role_prng in protocol code): s is exactly the secret whose knowledge
+  /// by the peer would break every extended OT.
+  explicit ExtSender(Prng& role_prng);
+
+  /// Base-OT chooser message: B_i = g^{x_i}·C^{s_i} (x_i role-private).
+  [[nodiscard]] std::vector<std::uint8_t> make_chooser_frame(Prng& role_prng);
+  /// Recovers k_i^{s_i} from the receiver's masked seed pairs.
+  void take_setup_reply(const std::vector<std::uint8_t>& frame);
+  /// Expands and transposes the extension for m OTs given the u frame.
+  void extend(const std::vector<std::uint8_t>& u_frame, std::size_t m);
+
+  [[nodiscard]] std::size_t count() const noexcept { return m_; }
+  [[nodiscard]] Block128 q(std::size_t j) const;
+  [[nodiscard]] const Block128& delta() const noexcept { return s_; }
+
+  /// Both pads of extended OT j, expanded to `len` ring words:
+  /// pad0 = PRG(H(j, q_j)), pad1 = PRG(H(j, q_j ⊕ s)).
+  void pads(std::size_t j, std::size_t len, RingVec* pad0, RingVec* pad1) const;
+
+ private:
+  Block128 s_;
+  std::array<std::uint64_t, kBaseOts> x_{};  // base chooser exponents
+  std::array<Block128, kBaseOts> seed_{};    // k_i^{s_i}
+  bool have_seeds_ = false;
+  std::size_t m_ = 0;
+  std::vector<std::uint8_t> q_cols_;  // padded_count(m) × 16 bytes
+};
+
+/// The ext-receiver side: supplies the base-OT seed pairs, ends up with t_j
+/// and the pad of its chosen message.
+class ExtReceiver {
+ public:
+  /// Base-OT sender reply: masks 128 fresh role-private seed pairs against
+  /// the chooser frame.
+  [[nodiscard]] std::vector<std::uint8_t> make_setup_reply(
+      const std::vector<std::uint8_t>& chooser_frame, Prng& role_prng);
+
+  /// The IKNP column masks for these choice bits (one byte per bit, 0/1);
+  /// the padding bits above m come from the role-private stream.  Also
+  /// computes and stores the transposed t_j columns.
+  [[nodiscard]] std::vector<std::uint8_t> make_u_frame(const std::vector<std::uint8_t>& choices,
+                                                       Prng& role_prng);
+
+  [[nodiscard]] std::size_t count() const noexcept { return m_; }
+  [[nodiscard]] Block128 t(std::size_t j) const;
+
+  /// The receiver's pad for OT j: PRG(H(j, t_j)) — equals the sender's
+  /// pad0_j when b_j = 0 and pad1_j when b_j = 1.
+  void pad(std::size_t j, std::size_t len, RingVec* out) const;
+
+ private:
+  std::array<Block128, kBaseOts> seed0_{}, seed1_{};
+  bool have_seeds_ = false;
+  std::size_t m_ = 0;
+  std::vector<std::uint8_t> t_cols_;  // padded_count(m) × 16 bytes
+};
+
+}  // namespace pasnet::crypto::otx

@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <random>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -129,21 +130,41 @@ TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, ExecMode mod
   if (mode == ExecMode::threaded) runtime_ = std::make_unique<TwoPartyRuntime>();
 }
 
+namespace {
+
+/// Seed material for a remote context's role-private stream: OS entropy,
+/// never derived from anything the peer knows.
+std::uint64_t entropy_seed() {
+  std::random_device rd;
+  const std::uint64_t hi = rd();
+  const std::uint64_t lo = rd();
+  return splitmix64((hi << 32) ^ lo ^ splitmix64(hi));
+}
+
+}  // namespace
+
 TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, int local_party,
-                                 Channel& channel)
+                                 Channel& channel, RemoteContextOptions options)
     : rc_(rc), mode_(ExecMode::lockstep), local_party_(local_party), remote_chan_(&channel),
       round_delay_(0), dealer_(rc, splitmix64(seed)), dealer_source_(dealer_, rc),
       prng0_(splitmix64(seed ^ 1)), prng1_(splitmix64(seed ^ 2)),
-      ot_prng0_(splitmix64(seed ^ 3)), ot_prng1_(splitmix64(seed ^ 4)), opens_(*this),
+      ot_prng0_(splitmix64(seed ^ 3)), ot_prng1_(splitmix64(seed ^ 4)),
+      role_prng_(entropy_seed()), allow_ideal_ot_(options.allow_ideal_ot), opens_(*this),
       ots_(std::make_unique<OtBuffer>(*this)), bit_opens_(std::make_unique<BitOpenBuffer>(*this)) {
   if (local_party != 0 && local_party != 1) {
     throw std::invalid_argument("TwoPartyContext: local_party must be 0 or 1");
   }
+  if (options.ot_mode == OtMode::correlated && !options.allow_ideal_ot) {
+    throw IdealOtError(
+        "TwoPartyContext: OtMode::correlated is an ideal-functionality simulation "
+        "(choices cross the wire in the clear) and is refused between two real "
+        "processes; use OtMode::dh_masked, or set allow_ideal_ot in tests");
+  }
   // Only the borrowed local endpoint is addressable; chan() on the peer
-  // slot throws.  Both parties' PRNGs and the dealer are still constructed
-  // from the shared seed — the simulation's trusted-setup model — so the
-  // two processes' randomness streams coincide and only their channel
-  // traffic is real.
+  // slot throws.  Both parties' transcript-shaping PRNGs and the dealer
+  // are still constructed from the shared seed so the two processes'
+  // shared streams coincide; role-secret draws come from role_prng_,
+  // which only this process holds.
 }
 
 TwoPartyContext::~TwoPartyContext() {

@@ -35,9 +35,14 @@
 // process.  exec/exchange run only the local closure, joint openings
 // combine the local share with the received peer share, and the per-party
 // PRNG and dealer streams keep advancing identically in both processes
-// (they are seeded from the shared context seed — the simulation's
-// trusted-setup model), which is what keeps a two-process run's transcript
-// and logits bit-identical to the in-process modes.  Peer-share slots of
+// (they are seeded from the shared context seed), which is what keeps a
+// two-process run's transcript and logits bit-identical to the in-process
+// modes.  Genuinely secret values — the DH-OT receiver's blinding
+// exponents and sender ephemerals, and the OT-extension base secrets —
+// do NOT come from those shared streams: they are drawn from role_prng(),
+// which in a remote process is a private entropy-seeded stream the peer
+// never sees (in the simulation modes it aliases the shared ot_prng
+// streams, keeping the historical transcripts).  Peer-share slots of
 // local `Shared` values are garbage in a remote process; protocol code
 // never mixes shares across parties outside channel exchanges, so they
 // are never read.
@@ -45,6 +50,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "crypto/beaver.hpp"
@@ -62,6 +68,34 @@ class BitOpenBuffer;   // crypto/compare.hpp — staged XOR-share openings
 
 /// How a TwoPartyContext schedules the two parties (see file comment).
 enum class ExecMode { lockstep, threaded };
+
+/// OT instantiation selector (crypto/ot.hpp implements both):
+///  * dh_masked  — Bellare–Micali-style OT over Z_{2^61-1}: a real
+///    (toy-strength) cryptographic instantiation that works across two
+///    mutually distrusting processes.
+///  * correlated — an ideal-functionality simulation with the DH mode's
+///    exact transcript shape and byte counts; choices cross the wire in
+///    the clear, so it is only meaningful when one process plays both
+///    parties (or in tests that opt in explicitly).
+enum class OtMode { dh_masked, correlated };
+
+/// Thrown when an ideal-functionality simulation path (OtMode::correlated)
+/// is requested in a remote two-process context without the explicit
+/// test-only escape hatch: the simulation provides no obliviousness, so
+/// running it between real endpoints would silently void the threat model.
+class IdealOtError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Security-relevant knobs of a remote (two-process) context.  The OT mode
+/// the protocols will run with must be declared up front so the context can
+/// refuse ideal-functionality simulation between real endpoints at
+/// construction time (`allow_ideal_ot` is the test-only escape hatch).
+struct RemoteContextOptions {
+  OtMode ot_mode = OtMode::dh_masked;
+  bool allow_ideal_ot = false;
+};
 
 /// A pair of long-lived party executor threads.  `run` dispatches one
 /// closure to each party thread and waits for both to finish; protocol
@@ -139,9 +173,12 @@ class TwoPartyContext {
   /// one connection per party pair and runs a fresh per-query context over
   /// it, mirroring the in-process batch path's fresh per-query contexts.
   /// Both processes must construct with the same ring and seed so their
-  /// PRNG/dealer streams — the simulation's shared trusted setup — stay
-  /// aligned.
-  TwoPartyContext(RingConfig rc, std::uint64_t seed, int local_party, Channel& channel);
+  /// transcript-shaping PRNG/dealer streams stay aligned; role-secret
+  /// draws go through role_prng(), which is private per process.  Throws
+  /// IdealOtError when `options` declares OtMode::correlated without the
+  /// allow_ideal_ot escape hatch (see RemoteContextOptions).
+  TwoPartyContext(RingConfig rc, std::uint64_t seed, int local_party, Channel& channel,
+                  RemoteContextOptions options = {});
   ~TwoPartyContext();
   TwoPartyContext(const TwoPartyContext&) = delete;
   TwoPartyContext& operator=(const TwoPartyContext&) = delete;
@@ -212,6 +249,28 @@ class TwoPartyContext {
   /// eager/coalesced/batched transcripts stay share-identical in dh_masked
   /// mode too.  Seeded from the context seed, so remote processes agree.
   [[nodiscard]] Prng& ot_prng(int party) noexcept { return party == 0 ? ot_prng0_ : ot_prng1_; }
+  /// The stream ROLE-SECRET values are drawn from: DH-OT blinding
+  /// exponents / sender ephemerals and OT-extension base secrets — values
+  /// whose secrecy against the *peer* is what the protocol's security
+  /// rests on.  In the simulation modes (both parties in one process) this
+  /// aliases ot_prng(party), so transcripts are unchanged there; in a
+  /// remote process it is a private entropy-seeded stream, and asking for
+  /// the PEER's role stream throws — the peer's secrets do not exist in
+  /// this process.
+  [[nodiscard]] Prng& role_prng(int party) {
+    if (local_party_ < 0) return ot_prng(party);
+    if (party != local_party_) {
+      throw std::logic_error("TwoPartyContext::role_prng: peer role secrets are not "
+                             "available in a remote (single-party) context");
+    }
+    return role_prng_;
+  }
+  /// Whether the ideal-functionality OT simulation may run on this
+  /// context: always in the in-process simulation modes, only with the
+  /// explicit RemoteContextOptions::allow_ideal_ot hatch in a remote one.
+  [[nodiscard]] bool ideal_ot_allowed() const noexcept {
+    return local_party_ < 0 || allow_ideal_ot_;
+  }
   [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
   [[nodiscard]] std::chrono::microseconds round_delay() const noexcept { return round_delay_; }
 
@@ -220,8 +279,9 @@ class TwoPartyContext {
   [[nodiscard]] int local_party() const noexcept { return local_party_; }
   /// Whether this context executes `party`'s side of the protocol.  The
   /// protocol implementations gate channel operations and role-specific
-  /// compute on this; PRNG and dealer draws stay ungated so both
-  /// processes' randomness streams remain aligned.
+  /// compute on this; transcript-shaping PRNG and dealer draws stay
+  /// ungated so both processes' shared randomness streams remain aligned,
+  /// while role_prng() draws are gated with the compute they feed.
   [[nodiscard]] bool runs(int party) const noexcept {
     return local_party_ < 0 || local_party_ == party;
   }
@@ -295,6 +355,8 @@ class TwoPartyContext {
   Prng prng1_;
   Prng ot_prng0_;
   Prng ot_prng1_;
+  Prng role_prng_{0};  // remote contexts only: entropy-seeded, peer-private
+  bool allow_ideal_ot_ = false;
   Prng* prng_override0_ = nullptr;  // non-owning; see set_prng_override
   Prng* prng_override1_ = nullptr;
   OpenBuffer opens_;

@@ -149,7 +149,8 @@ class DealerTripleSource final : public TripleSource {
   }
   BitTriple do_bit_triple(std::size_t n) override { return dealer_.bit_triple(n); }
   BilinearTriple do_bilinear_triple(const BilinearSpec& spec) override {
-    return dealer_.bilinear_triple(spec.na(), spec.nb(), build_bilinear_map(spec, rc_));
+    return dealer_.bilinear_triple(spec.na(), spec.nb(), spec.nz(),
+                                   build_bilinear_map(spec, rc_));
   }
 
  private:

@@ -1,9 +1,23 @@
 #include "net/party_session.hpp"
 
 #include "net/wire.hpp"
+#include "offline/ot_triple_source.hpp"
 #include "proto/secure_network.hpp"
 
 namespace pasnet::net {
+
+namespace {
+
+/// Scope guard: a borrowed (session-persistent) channel must never outlive
+/// a metered window with a dangling tracer attachment, even on throw.
+struct DetachChanTracer {
+  crypto::Channel* chan;
+  ~DetachChanTracer() {
+    if (chan != nullptr) chan->set_tracer(nullptr);
+  }
+};
+
+}  // namespace
 
 std::unique_ptr<TransportChannel> serve_party_channel(Listener& listener, int local_party,
                                                       TransportOptions opts) {
@@ -151,6 +165,7 @@ ir::BatchExecResult PartySession::run_batch(const ir::SecureProgram& program,
     seed_idx[j] = q + j;
     switch (opts.source) {
       case TripleSourceKind::fused:
+      case TripleSourceKind::ot_ext:
         break;
       case TripleSourceKind::store: {
         if (opts.store == nullptr) {
@@ -178,23 +193,57 @@ ir::BatchExecResult PartySession::run_batch(const ir::SecureProgram& program,
     }
   }
 
+  // --- the offline window (TripleSourceKind::ot_ext only) -------------------
+  // The two endpoints generate every lane's bundle themselves over IKNP OT
+  // extension: no dealer daemon, no shared-seed triple stream — each
+  // process draws only its own role-private halves and the cross terms
+  // arrive through correlated OTs.  The window is metered separately
+  // (stats reset on both sides of it) so the ONLINE window's traffic and
+  // trace witnesses are exactly what the other serving modes measure; the
+  // offline traffic has its own analytic witness, ot_ext_generation_cost.
+  std::vector<offline::QueryBundle> ot_bundles;
+  if (opts.source == TripleSourceKind::ot_ext) {
+    if (opts.plan == nullptr) {
+      throw std::invalid_argument("PartySession::run_batch: ot_ext source without a plan");
+    }
+    chan_.reset_stats();
+    obs::Tracer offline_tracer(tracing);
+    const std::uint64_t offline_begin = tracing ? obs::Tracer::now_us() : 0;
+    {
+      const DetachChanTracer offline_detach{tracing ? &chan_ : nullptr};
+      crypto::TwoPartyContext gen_ctx(
+          rc_, proto::SecureNetwork::query_context_seed(seed_idx[0]), party_, chan_);
+      if (tracing) gen_ctx.set_tracer(&offline_tracer);
+      std::vector<std::uint64_t> seeds(lanes);
+      for (std::size_t j = 0; j < lanes; ++j) {
+        seeds[j] = proto::SecureNetwork::query_dealer_seed(seed_idx[j]);
+      }
+      ot_bundles.resize(lanes);
+      offline::generate_bundles_ot_ext(*opts.plan, gen_ctx, seeds, ot_bundles.data());
+      for (std::size_t j = 0; j < lanes; ++j) bundles[j] = &ot_bundles[j];
+    }
+    if (opts.offline_stats_out != nullptr) *opts.offline_stats_out = chan_.stats_snapshot();
+    if (tracing) {
+      offline_tracer.complete_span("offline", "ot_ext_generate", offline_begin,
+                                   static_cast<std::int64_t>(lanes));
+      if (opts.offline_trace_out != nullptr) *opts.offline_trace_out = offline_tracer.snapshot();
+      tracer_->merge_from(offline_tracer);
+    }
+  }
+
   // --- the metered chunk ----------------------------------------------------
   // One remote context for the whole chunk, seeded with lane 0's canonical
   // context seed (matching Workload::run); every lane draws triples from
   // its own canonically seeded dealer stream and share randomness from its
   // own canonically seeded PRNG pair, exactly like the in-process batch.
   chan_.reset_stats();
+  crypto::RemoteContextOptions ctx_opts;
+  ctx_opts.ot_mode = opts.cfg.ot_mode;
+  ctx_opts.allow_ideal_ot = opts.allow_ideal_ot;
   crypto::TwoPartyContext ctx(rc_, proto::SecureNetwork::query_context_seed(seed_idx[0]),
-                              party_, chan_);
-  // Attach the chunk tracer only now — the metered window — and make sure
-  // the borrowed (session-persistent) channel never outlives it with a
-  // dangling attachment, even if execution throws.
-  struct DetachChanTracer {
-    crypto::Channel* chan;
-    ~DetachChanTracer() {
-      if (chan != nullptr) chan->set_tracer(nullptr);
-    }
-  } detach{tracing ? &chan_ : nullptr};
+                              party_, chan_, ctx_opts);
+  // Attach the chunk tracer only now — the metered window.
+  const DetachChanTracer detach{tracing ? &chan_ : nullptr};
   if (tracing) ctx.set_tracer(&chunk_tracer);
   std::vector<std::unique_ptr<crypto::TripleDealer>> lane_dealers;
   std::vector<std::unique_ptr<crypto::TripleSource>> owned_sources;

@@ -48,6 +48,8 @@ enum class TripleSourceKind {
   fused,   ///< per-query context dealer (the canonical shared-seed setup)
   store,   ///< a locally loaded TripleStore file (claim_next order)
   dealer,  ///< bundle claims from a pasnet_dealer daemon
+  ot_ext,  ///< generated in-session by the two parties over IKNP OT
+           ///< extension — no dealer daemon, no shared-seed triple stream
 };
 
 /// Per-session execution knobs.
@@ -57,6 +59,22 @@ struct RemoteSessionOptions {
   offline::TripleStore* store = nullptr;  ///< TripleSourceKind::store (borrowed)
   DealerClient* dealer = nullptr;         ///< TripleSourceKind::dealer (borrowed)
   offline::ExhaustionPolicy policy = offline::ExhaustionPolicy::Throw;
+  /// TripleSourceKind::ot_ext: the compiled preprocessing plan whose
+  /// request sequence the per-lane OT-extension offline phase replays
+  /// (borrowed; both processes must hold the same plan — verify_plan
+  /// checks the fingerprint).
+  const offline::PreprocessingPlan* plan = nullptr;
+  /// Test-only escape hatch: lets cfg.ot_mode == correlated (an ideal-
+  /// functionality simulation) run across two real processes.  Without it
+  /// the per-query remote context refuses with crypto::IdealOtError.
+  bool allow_ideal_ot = false;
+  /// TripleSourceKind::ot_ext out-params (optional, borrowed).  The offline
+  /// generation runs in its OWN metered window — stats reset before and
+  /// after — so the online window's three-witness is untouched; these
+  /// receive the offline window's traffic and trace counters, which tests
+  /// pin against offline::ot_ext_generation_cost (the offline witness).
+  crypto::TrafficStats* offline_stats_out = nullptr;
+  obs::CounterSnapshot* offline_trace_out = nullptr;
 };
 
 /// One party's side of a two-process inference session.

@@ -23,6 +23,7 @@ constexpr const char* kCounterNames[kCounterCount] = {
     "ot_batches",   "ot_messages",    "and_levels",     "openings",
     "open_flushes", "triple_claims",  "store_claims",   "dealer_claims",
     "dealer_bytes", "recv_wait_us",   "send_wait_us",   "kernel_elems",
+    "ot_ext_base",  "ot_ext_cots",
 };
 
 constexpr const char* kSampleNames[kSampleCount] = {

@@ -60,6 +60,8 @@ enum class Counter : int {
   recv_wait_us,        ///< accumulated microseconds blocked in recv (socket/queue wait)
   send_wait_us,        ///< accumulated microseconds blocked in send (back-pressure)
   kernel_elems,        ///< ring elements produced by kernelized ops (executor deliveries)
+  ot_ext_base,         ///< base OTs run by the OT-extension setup (128 per direction)
+  ot_ext_cots,         ///< extended correlated OTs produced by the offline generator
   count_  // sentinel
 };
 

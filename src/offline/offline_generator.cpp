@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "crypto/party.hpp"
+#include "offline/ot_triple_source.hpp"
+
 namespace pasnet::offline {
 
 namespace {
@@ -35,8 +38,9 @@ void generate_bundle(const PreprocessingPlan& plan, QueryBundle& bundle,
         bundle.bit.push_back(dealer.bit_triple(static_cast<std::size_t>(r.n)));
         break;
       case TripleKind::bilinear:
-        bundle.bilinear.push_back(dealer.bilinear_triple(
-            r.bilinear.na(), r.bilinear.nb(), crypto::build_bilinear_map(r.bilinear, plan.ring)));
+        bundle.bilinear.push_back(
+            dealer.bilinear_triple(r.bilinear.na(), r.bilinear.nb(), r.bilinear.nz(),
+                                   crypto::build_bilinear_map(r.bilinear, plan.ring)));
         break;
     }
   }
@@ -48,6 +52,8 @@ TripleStore OfflineGenerator::generate(const PreprocessingPlan& plan, std::size_
                                        const DealerSeedFn& dealer_seed,
                                        GenerationReport* report) const {
   TripleStore store(plan.ring, plan.fingerprint(), queries);
+  store.set_provenance(backend_ == GeneratorBackend::ot_ext ? TripleProvenance::ot_ext
+                                                            : TripleProvenance::dealer);
   const obs::SpanGuard span(tracer_, "offline", "generate",
                             static_cast<std::int64_t>(queries));
   const auto t0 = std::chrono::steady_clock::now();
@@ -62,7 +68,16 @@ TripleStore OfflineGenerator::generate(const PreprocessingPlan& plan, std::size_
       const std::size_t q = next.fetch_add(1);
       if (q >= queries) break;
       try {
-        generate_bundle(plan, store.bundle(q), dealer_seed(q));
+        if (backend_ == GeneratorBackend::ot_ext) {
+          // A fresh in-process party pair per query: the two roles run the
+          // genuine OT-extension protocol on this worker thread.  Queries
+          // stay embarrassingly parallel — contexts never share state, and
+          // the bundle values depend only on the canonical dealer seed.
+          crypto::TwoPartyContext ctx(plan.ring);
+          generate_bundles_ot_ext(plan, ctx, {dealer_seed(q)}, &store.bundle(q));
+        } else {
+          generate_bundle(plan, store.bundle(q), dealer_seed(q));
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lk(err_mutex);
         if (!first_error) first_error = std::current_exception();

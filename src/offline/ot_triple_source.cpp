@@ -1,0 +1,693 @@
+#include "offline/ot_triple_source.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/ot_ext.hpp"
+#include "crypto/ring_kernels.hpp"
+
+namespace pasnet::offline {
+
+namespace {
+
+using crypto::Prng;
+using crypto::RingConfig;
+using crypto::RingVec;
+
+// ---------------------------------------------------------------------------
+// COT enumeration geometry
+//
+// Every arithmetic triple kind decomposes, per direction, into
+// derandomization GROUPS: one group per output slice (element / output
+// column / output channel), containing one COT per (choice element t, ring
+// bit i).  Both parties must enumerate the exact same groups in the exact
+// same order — lanes outermost, then plan requests, then the kind's
+// canonical nesting — so the geometry below is the single source of truth
+// shared by the choice-collection, correction-building and output passes
+// (and, in aggregate form, by the analytic cost model).
+// ---------------------------------------------------------------------------
+
+/// One derandomization group, fully resolved against the local party's
+/// data.  Pointers are populated per the pass's needs: recv-side (choice,
+/// z) only when the context runs the receiver, send-side (corr, x) only
+/// when it runs the sender.
+struct GroupCtx {
+  std::size_t len = 1;  ///< ring elements per COT message
+  std::size_t sub = 1;  ///< choice elements in the group (J = sub * nbits)
+  int nbits = 0;
+  int shift0 = 0;   ///< extra correlation shift (square: the folded ×2)
+  int x_shift = 0;  ///< X_group scale shift (square: the folded ×2)
+  // Receiver: choice element t lives at choice[choice_base + t*choice_step].
+  const std::uint64_t* choice = nullptr;
+  std::size_t choice_base = 0, choice_step = 0;
+  // Sender: correlation slice of choice element t starts at
+  // corr_base + t*corr_step and spans corr_rows × corr_len with corr_stride.
+  const std::uint64_t* corr = nullptr;
+  std::size_t corr_base = 0, corr_step = 0;
+  std::size_t corr_rows = 1, corr_len = 1, corr_stride = 0;
+  // Output/X slice (identical geometry on both sides): t_rows × t_len rows
+  // starting at t_start with t_stride between rows.
+  const std::uint64_t* x = nullptr;  // sender's cross-term share source
+  std::uint64_t* z = nullptr;        // receiver's accumulation target
+  std::size_t t_start = 0, t_rows = 1, t_len = 1, t_stride = 0;
+};
+
+/// One run of boolean AND-triple OT instances (1 COT per instance).
+struct BitCtx {
+  std::size_t n = 0;
+  const std::uint8_t* recv_b = nullptr;
+  std::uint8_t* recv_c = nullptr;
+  const std::uint8_t* send_a = nullptr;
+  const std::uint8_t* send_x = nullptr;
+};
+
+/// Party-local cross-term shares (x_p) retained per request — they enter
+/// the completed z but are not part of the bundle itself.
+struct PartyLaneMat {
+  std::vector<RingVec> x;
+  std::vector<std::vector<std::uint8_t>> xbit;
+};
+
+struct WalkIo {
+  const PreprocessingPlan* plan = nullptr;
+  std::size_t lanes = 0;
+  int sender = 0;
+  QueryBundle* bundles = nullptr;
+  std::vector<PartyLaneMat>* mats = nullptr;  // [2] arrays, per lane
+  bool need_recv = false;
+  bool need_send = false;
+};
+
+/// Walks every COT group of one direction in canonical order.  `on_group`
+/// runs once per arithmetic derandomization group, `on_bits` once per bit
+/// request.
+template <typename FGroup, typename FBits>
+void walk_direction(const WalkIo& io, FGroup&& on_group, FBits&& on_bits) {
+  const PreprocessingPlan& plan = *io.plan;
+  const int bits = plan.ring.bits;
+  const int S = io.sender, R = 1 - io.sender;
+  for (std::size_t l = 0; l < io.lanes; ++l) {
+    QueryBundle& b = io.bundles[l];
+    std::size_t elem_i = 0, square_i = 0, matmul_i = 0, bit_i = 0, bil_i = 0;
+    for (std::size_t ri = 0; ri < plan.requests.size(); ++ri) {
+      const TripleRequest& r = plan.requests[ri];
+      GroupCtx g;
+      g.nbits = bits;
+      switch (r.kind) {
+        case TripleKind::elem: {
+          crypto::ElemTriple& t = b.elem[elem_i++];
+          if (io.need_recv) {
+            g.choice = t.b.share(R).data();
+            g.z = t.z.share(R).data();
+          }
+          if (io.need_send) {
+            g.corr = t.a.share(S).data();
+            g.x = io.mats[S][l].x[ri].data();
+          }
+          for (std::size_t e = 0; e < r.n; ++e) {
+            g.choice_base = e;
+            g.corr_base = e;
+            g.t_start = e;
+            on_group(g);
+          }
+          break;
+        }
+        case TripleKind::square: {
+          crypto::SquarePair& t = b.square[square_i++];
+          if (S != 0) break;  // one direction suffices: P0 sends, P1 receives
+          g.shift0 = 1;
+          g.x_shift = 1;
+          if (io.need_recv) {
+            g.choice = t.a.share(1).data();
+            g.z = t.z.share(1).data();
+          }
+          if (io.need_send) {
+            g.corr = t.a.share(0).data();
+            g.x = io.mats[0][l].x[ri].data();
+          }
+          for (std::size_t e = 0; e < r.n; ++e) {
+            g.choice_base = e;
+            g.corr_base = e;
+            g.t_start = e;
+            on_group(g);
+          }
+          break;
+        }
+        case TripleKind::matmul: {
+          crypto::MatmulTriple& t = b.matmul[matmul_i++];
+          g.len = r.m;
+          g.sub = r.k;
+          if (io.need_recv) {
+            g.choice = t.b.share(R).data();
+            g.z = t.z.share(R).data();
+          }
+          if (io.need_send) {
+            g.corr = t.a.share(S).data();
+            g.x = io.mats[S][l].x[ri].data();
+          }
+          g.choice_step = r.cols;
+          g.corr_step = 1;  // A column t: elements t, t+k, ...
+          g.corr_rows = r.m;
+          g.corr_stride = r.k;
+          g.t_rows = r.m;
+          g.t_stride = r.cols;
+          for (std::size_t j = 0; j < r.cols; ++j) {
+            g.choice_base = j;
+            g.corr_base = 0;
+            g.t_start = j;
+            on_group(g);
+          }
+          break;
+        }
+        case TripleKind::bilinear: {
+          crypto::BilinearTriple& t = b.bilinear[bil_i++];
+          const crypto::BilinearSpec& sp = r.bilinear;
+          const auto spatial = static_cast<std::size_t>(sp.out_h()) * sp.out_w();
+          const auto k2 = static_cast<std::size_t>(sp.kernel) * sp.kernel;
+          const std::size_t k_dim = static_cast<std::size_t>(sp.in_ch) * k2;
+          const auto batch = static_cast<std::size_t>(sp.batch);
+          const bool dw = sp.kind == crypto::BilinearKind::depthwise_conv2d;
+          g.len = batch * spatial;
+          g.sub = dw ? k2 : k_dim;
+          if (io.need_recv) {
+            g.choice = t.b.share(R).data();
+            g.z = t.z.share(R).data();
+          }
+          // The correlation source is the im2col lowering of the SENDER's
+          // input-mask half — exactly the patch matrix build_bilinear_map
+          // multiplies, so Σ_j b_j·c_j reproduces f(a_S, b_R) slice for
+          // slice.  Laid out [sample][k_dim][spatial].
+          RingVec colall;
+          if (io.need_send) {
+            const RingVec& a_s = t.a.share(S);
+            colall.resize(batch * k_dim * spatial);
+            for (std::size_t s = 0; s < batch; ++s) {
+              crypto::kern::im2col(colall.data() + s * k_dim * spatial, a_s.data(), sp.in_ch,
+                                   sp.in_h, sp.in_w, static_cast<int>(s), sp.kernel, sp.stride,
+                                   sp.pad, sp.out_h(), sp.out_w());
+            }
+            g.corr = colall.data();
+            g.x = io.mats[S][l].x[ri].data();
+          }
+          g.choice_step = 1;
+          g.corr_step = spatial;
+          g.corr_rows = batch;
+          g.corr_len = spatial;
+          g.corr_stride = k_dim * spatial;
+          g.t_rows = batch;
+          g.t_len = spatial;
+          const std::size_t out_ch = dw ? static_cast<std::size_t>(sp.in_ch)
+                                        : static_cast<std::size_t>(sp.out_ch);
+          g.t_stride = out_ch * spatial;
+          for (std::size_t oc = 0; oc < out_ch; ++oc) {
+            g.choice_base = oc * g.sub;
+            g.corr_base = dw ? oc * k2 * spatial : 0;
+            g.t_start = oc * spatial;
+            on_group(g);
+          }
+          break;
+        }
+        case TripleKind::bit: {
+          crypto::BitTriple& t = b.bit[bit_i++];
+          BitCtx bc;
+          bc.n = r.n;
+          if (io.need_recv) {
+            bc.recv_b = (R == 0 ? t.b0 : t.b1).data();
+            bc.recv_c = (R == 0 ? t.c0 : t.c1).data();
+          }
+          if (io.need_send) {
+            bc.send_a = (S == 0 ? t.a0 : t.a1).data();
+            bc.send_x = io.mats[S][l].xbit[ri].data();
+          }
+          on_bits(bc);
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// Per-lane COT totals of one direction — the aggregate view of the walker
+/// above, shared by the protocol driver and the analytic cost model.
+struct DirTotals {
+  std::uint64_t arith_cots = 0;
+  std::uint64_t arith_elems = 0;  ///< correction-stream ring elements: Σ (J+1)·len
+  std::uint64_t bit_cots = 0;
+};
+
+DirTotals direction_totals(const PreprocessingPlan& plan, int sender) {
+  const auto bits = static_cast<std::uint64_t>(plan.ring.bits);
+  DirTotals t;
+  for (const TripleRequest& r : plan.requests) {
+    switch (r.kind) {
+      case TripleKind::elem:
+        t.arith_cots += r.n * bits;
+        t.arith_elems += r.n * (bits + 1);
+        break;
+      case TripleKind::square:
+        if (sender == 0) {
+          t.arith_cots += r.n * bits;
+          t.arith_elems += r.n * (bits + 1);
+        }
+        break;
+      case TripleKind::matmul:
+        t.arith_cots += r.cols * r.k * bits;
+        t.arith_elems += r.cols * (r.k * bits + 1) * r.m;
+        break;
+      case TripleKind::bilinear: {
+        const crypto::BilinearSpec& sp = r.bilinear;
+        const auto spatial = static_cast<std::uint64_t>(sp.out_h()) * sp.out_w();
+        const auto k2 = static_cast<std::uint64_t>(sp.kernel) * sp.kernel;
+        const bool dw = sp.kind == crypto::BilinearKind::depthwise_conv2d;
+        const std::uint64_t groups = static_cast<std::uint64_t>(dw ? sp.in_ch : sp.out_ch);
+        const std::uint64_t sub = dw ? k2 : static_cast<std::uint64_t>(sp.in_ch) * k2;
+        const std::uint64_t len = static_cast<std::uint64_t>(sp.batch) * spatial;
+        t.arith_cots += groups * sub * bits;
+        t.arith_elems += groups * (sub * bits + 1) * len;
+        break;
+      }
+      case TripleKind::bit:
+        t.bit_cots += r.n;
+        break;
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Bundle shaping and half-stream fills
+// ---------------------------------------------------------------------------
+
+void shape_bundle(const PreprocessingPlan& plan, QueryBundle& b) {
+  for (const TripleRequest& r : plan.requests) {
+    switch (r.kind) {
+      case TripleKind::elem: {
+        crypto::ElemTriple t;
+        for (RingVec* v : {&t.a.s0, &t.a.s1, &t.b.s0, &t.b.s1, &t.z.s0, &t.z.s1}) {
+          v->assign(r.n, 0);
+        }
+        b.elem.push_back(std::move(t));
+        break;
+      }
+      case TripleKind::square: {
+        crypto::SquarePair t;
+        for (RingVec* v : {&t.a.s0, &t.a.s1, &t.z.s0, &t.z.s1}) v->assign(r.n, 0);
+        b.square.push_back(std::move(t));
+        break;
+      }
+      case TripleKind::matmul: {
+        crypto::MatmulTriple t;
+        t.m = r.m;
+        t.k = r.k;
+        t.n = r.cols;
+        t.a.s0.assign(r.m * r.k, 0);
+        t.a.s1.assign(r.m * r.k, 0);
+        t.b.s0.assign(r.k * r.cols, 0);
+        t.b.s1.assign(r.k * r.cols, 0);
+        t.z.s0.assign(r.m * r.cols, 0);
+        t.z.s1.assign(r.m * r.cols, 0);
+        b.matmul.push_back(std::move(t));
+        break;
+      }
+      case TripleKind::bilinear: {
+        crypto::BilinearTriple t;
+        t.a.s0.assign(r.bilinear.na(), 0);
+        t.a.s1.assign(r.bilinear.na(), 0);
+        t.b.s0.assign(r.bilinear.nb(), 0);
+        t.b.s1.assign(r.bilinear.nb(), 0);
+        t.z.s0.assign(r.bilinear.nz(), 0);
+        t.z.s1.assign(r.bilinear.nz(), 0);
+        b.bilinear.push_back(std::move(t));
+        break;
+      }
+      case TripleKind::bit: {
+        crypto::BitTriple t;
+        for (std::vector<std::uint8_t>* v : {&t.a0, &t.a1, &t.b0, &t.b1, &t.c0, &t.c1}) {
+          v->assign(r.n, 0);
+        }
+        b.bit.push_back(std::move(t));
+        break;
+      }
+    }
+  }
+}
+
+/// Draws party p's canonical halves for every request and initializes its
+/// bundle shares to the LOCAL part of each triple: masks (a_p, b_p) plus
+/// the base z_p = f(a_p, b_p) + x_p — the cross terms o_p are added by the
+/// direction runs.  x_p is retained in `mat` for the correction pass.
+void fill_halves(const PreprocessingPlan& plan, int p, std::uint64_t dealer_seed,
+                 QueryBundle& b, PartyLaneMat& mat) {
+  const RingConfig& rc = plan.ring;
+  const std::uint64_t mask = rc.mask();
+  Prng prng(crypto::half_stream_seed(dealer_seed, p));
+  mat.x.assign(plan.requests.size(), RingVec{});
+  mat.xbit.assign(plan.requests.size(), {});
+  std::size_t elem_i = 0, square_i = 0, matmul_i = 0, bit_i = 0, bil_i = 0;
+  for (std::size_t ri = 0; ri < plan.requests.size(); ++ri) {
+    const TripleRequest& r = plan.requests[ri];
+    switch (r.kind) {
+      case TripleKind::elem: {
+        crypto::ElemHalf h = crypto::draw_elem_half(prng, r.n, rc);
+        crypto::ElemTriple& t = b.elem[elem_i++];
+        RingVec& z = t.z.share(p);
+        for (std::size_t i = 0; i < r.n; ++i) z[i] = (h.a[i] * h.b[i] + h.x[i]) & mask;
+        t.a.share(p) = std::move(h.a);
+        t.b.share(p) = std::move(h.b);
+        mat.x[ri] = std::move(h.x);
+        break;
+      }
+      case TripleKind::square: {
+        crypto::SquareHalf h = crypto::draw_square_half(prng, p, r.n, rc);
+        crypto::SquarePair& t = b.square[square_i++];
+        RingVec& z = t.z.share(p);
+        for (std::size_t i = 0; i < r.n; ++i) {
+          z[i] = (h.a[i] * h.a[i] + (p == 0 ? 2 * h.x[i] : 0)) & mask;
+        }
+        t.a.share(p) = std::move(h.a);
+        mat.x[ri] = std::move(h.x);
+        break;
+      }
+      case TripleKind::matmul: {
+        crypto::MatmulHalf h = crypto::draw_matmul_half(prng, r.m, r.k, r.cols, rc);
+        crypto::MatmulTriple& t = b.matmul[matmul_i++];
+        RingVec z = crypto::ring_matmul(h.a, h.b, r.m, r.k, r.cols, rc);
+        for (std::size_t i = 0; i < z.size(); ++i) z[i] = (z[i] + h.x[i]) & mask;
+        t.z.share(p) = std::move(z);
+        t.a.share(p) = std::move(h.a);
+        t.b.share(p) = std::move(h.b);
+        mat.x[ri] = std::move(h.x);
+        break;
+      }
+      case TripleKind::bilinear: {
+        const crypto::BilinearSpec& sp = r.bilinear;
+        crypto::BilinearHalf h =
+            crypto::draw_bilinear_half(prng, sp.na(), sp.nb(), sp.nz(), rc);
+        crypto::BilinearTriple& t = b.bilinear[bil_i++];
+        const crypto::BilinearMap f = crypto::build_bilinear_map(sp, rc);
+        RingVec z = f(h.a, h.b);
+        for (std::size_t i = 0; i < z.size(); ++i) z[i] = (z[i] + h.x[i]) & mask;
+        t.z.share(p) = std::move(z);
+        t.a.share(p) = std::move(h.a);
+        t.b.share(p) = std::move(h.b);
+        mat.x[ri] = std::move(h.x);
+        break;
+      }
+      case TripleKind::bit: {
+        crypto::BitHalf h = crypto::draw_bit_half(prng, r.n);
+        crypto::BitTriple& t = b.bit[bit_i++];
+        std::vector<std::uint8_t>& c = p == 0 ? t.c0 : t.c1;
+        for (std::size_t i = 0; i < r.n; ++i) c[i] = (h.a[i] & h.b[i]) ^ h.x[i];
+        (p == 0 ? t.a0 : t.a1) = std::move(h.a);
+        (p == 0 ? t.b0 : t.b1) = std::move(h.b);
+        mat.xbit[ri] = std::move(h.x);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The three role passes
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> collect_choices(WalkIo io) {
+  io.need_recv = true;
+  io.need_send = false;
+  std::vector<std::uint8_t> choices;
+  walk_direction(
+      io,
+      [&](const GroupCtx& g) {
+        for (std::size_t t = 0; t < g.sub; ++t) {
+          const std::uint64_t v = g.choice[g.choice_base + t * g.choice_step];
+          for (int i = 0; i < g.nbits; ++i) {
+            choices.push_back(static_cast<std::uint8_t>((v >> i) & 1));
+          }
+        }
+      },
+      [&](const BitCtx& bc) {
+        for (std::size_t e = 0; e < bc.n; ++e) choices.push_back(bc.recv_b[e] & 1);
+      });
+  return choices;
+}
+
+/// Derandomization (sender side).  Per group the x_j of all COTs but the
+/// last reuse the uniform pad0_j (keeping them secret costs no traffic);
+/// the last pins Σ_j x_j = −X_group so the receiver's outputs sum to
+/// exactly o_R = Σ b_j·c_j − X_group.  Per COT the wire carries
+/// e1_j = x_j + c_j − pad1_j, plus e0_last = x_last − pad0_last per group.
+void build_corrections(WalkIo io, const crypto::otx::ExtSender& es, std::uint64_t mask,
+                       RingVec* arith, std::vector<std::uint8_t>* bitcorr) {
+  io.need_recv = false;
+  io.need_send = true;
+  std::size_t cot = 0;
+  RingVec pad0, pad1, xg, run, c;
+  walk_direction(
+      io,
+      [&](const GroupCtx& g) {
+        const std::size_t J = g.sub * static_cast<std::size_t>(g.nbits);
+        xg.resize(g.len);
+        for (std::size_t rr = 0, u = 0; rr < g.t_rows; ++rr) {
+          for (std::size_t cc = 0; cc < g.t_len; ++cc, ++u) {
+            xg[u] = (g.x[g.t_start + rr * g.t_stride + cc] << g.x_shift) & mask;
+          }
+        }
+        run.assign(g.len, 0);
+        std::size_t jj = 0;
+        for (std::size_t t = 0; t < g.sub; ++t) {
+          const std::size_t cstart = g.corr_base + t * g.corr_step;
+          for (int i = 0; i < g.nbits; ++i, ++jj, ++cot) {
+            es.pads(cot, g.len, &pad0, &pad1);
+            c.resize(g.len);
+            // The folded scale can push the top bit's correlation past the
+            // word: 2^{i+shift0} ≡ 0 then (shifting by >= 64 would be UB).
+            const int shift = i + g.shift0;
+            for (std::size_t rr = 0, u = 0; rr < g.corr_rows; ++rr) {
+              for (std::size_t cc = 0; cc < g.corr_len; ++cc, ++u) {
+                c[u] = shift < 64 ? (g.corr[cstart + rr * g.corr_stride + cc] << shift) & mask : 0;
+              }
+            }
+            const bool last = jj + 1 == J;
+            for (std::size_t u = 0; u < g.len; ++u) {
+              const std::uint64_t x_j =
+                  last ? (0 - (xg[u] + run[u])) & mask : pad0[u] & mask;
+              if (!last) run[u] = (run[u] + x_j) & mask;
+              arith->push_back((x_j + c[u] - (pad1[u] & mask)) & mask);
+            }
+            if (last) {
+              for (std::size_t u = 0; u < g.len; ++u) {
+                const std::uint64_t x_j = (0 - (xg[u] + run[u])) & mask;
+                arith->push_back((x_j - (pad0[u] & mask)) & mask);
+              }
+            }
+          }
+        }
+      },
+      [&](const BitCtx& bc) {
+        // 1-of-2 OT per AND instance: m0 = x_S, m1 = x_S ⊕ a_S, both masked
+        // with the pads' low bits.  Both corrections always cross the wire
+        // (the choice is what stays private, not the message count).
+        for (std::size_t e = 0; e < bc.n; ++e, ++cot) {
+          es.pads(cot, 1, &pad0, &pad1);
+          bitcorr->push_back((bc.send_x[e] ^ static_cast<std::uint8_t>(pad0[0] & 1)) & 1);
+          bitcorr->push_back(
+              ((bc.send_x[e] ^ bc.send_a[e]) ^ static_cast<std::uint8_t>(pad1[0] & 1)) & 1);
+        }
+      });
+}
+
+void apply_outputs(WalkIo io, const crypto::otx::ExtReceiver& er, std::uint64_t mask,
+                   const RingVec& arith, const std::vector<std::uint8_t>& bitcorr) {
+  io.need_recv = true;
+  io.need_send = false;
+  std::size_t cot = 0, acur = 0, bcur = 0;
+  RingVec padv;
+  walk_direction(
+      io,
+      [&](const GroupCtx& g) {
+        const std::size_t J = g.sub * static_cast<std::size_t>(g.nbits);
+        const std::size_t base = acur;
+        acur += (J + 1) * g.len;
+        std::size_t jj = 0;
+        for (std::size_t t = 0; t < g.sub; ++t) {
+          const std::uint64_t v = g.choice[g.choice_base + t * g.choice_step];
+          for (int i = 0; i < g.nbits; ++i, ++jj, ++cot) {
+            er.pad(cot, g.len, &padv);
+            const bool bsel = ((v >> i) & 1) != 0;
+            const bool last = jj + 1 == J;
+            for (std::size_t rr = 0, u = 0; rr < g.t_rows; ++rr) {
+              for (std::size_t cc = 0; cc < g.t_len; ++cc, ++u) {
+                std::uint64_t o = padv[u] & mask;
+                if (bsel) o = (o + arith[base + jj * g.len + u]) & mask;
+                if (last && !bsel) o = (o + arith[base + J * g.len + u]) & mask;
+                std::uint64_t& zt = g.z[g.t_start + rr * g.t_stride + cc];
+                zt = (zt + o) & mask;
+              }
+            }
+          }
+        }
+      },
+      [&](const BitCtx& bc) {
+        for (std::size_t e = 0; e < bc.n; ++e, ++cot) {
+          er.pad(cot, 1, &padv);
+          const std::uint8_t b = bc.recv_b[e] & 1;
+          const std::uint8_t d = bitcorr[bcur + 2 * e + b];
+          bc.recv_c[e] ^= (d ^ static_cast<std::uint8_t>(padv[0] & 1)) & 1;
+        }
+        bcur += 2 * bc.n;
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Direction driver: one IKNP dance, three rounds
+// ---------------------------------------------------------------------------
+
+void run_direction(crypto::TwoPartyContext& ctx, const WalkIo& io) {
+  const PreprocessingPlan& plan = *io.plan;
+  const DirTotals tot = direction_totals(plan, io.sender);
+  const std::size_t m =
+      static_cast<std::size_t>((tot.arith_cots + tot.bit_cots) * io.lanes);
+  if (m == 0) return;
+  const int S = io.sender, R = 1 - io.sender;
+  const int wire = (plan.ring.wire_bits + 7) / 8;
+  const std::uint64_t mask = plan.ring.mask();
+  if (obs::Tracer* tr = ctx.tracer(); tr != nullptr && tr->enabled()) {
+    tr->add(obs::Counter::ot_ext_base, crypto::otx::kBaseOts);
+    tr->add(obs::Counter::ot_ext_cots, m);
+  }
+  std::optional<crypto::otx::ExtSender> es;
+  std::optional<crypto::otx::ExtReceiver> er;
+  // Round 1: S's base-OT chooser frame (S plays base-OT chooser with its
+  // role-private secret bits; R plays base-OT sender with fresh
+  // role-private seed pairs — neither is derivable from the shared seeds).
+  if (ctx.runs(S)) {
+    es.emplace(ctx.role_prng(S));
+    ctx.chan(S).send_bytes(es->make_chooser_frame(ctx.role_prng(S)));
+  }
+  // Round 2: R's base-OT reply + the IKNP u frame.
+  if (ctx.runs(R)) {
+    er.emplace();
+    ctx.chan(R).send_bytes(
+        er->make_setup_reply(ctx.chan(R).recv_bytes(), ctx.role_prng(R)));
+    const std::vector<std::uint8_t> choices = collect_choices(io);
+    if (choices.size() != m) {
+      throw std::logic_error("ot_triple_source: choice enumeration disagrees with totals");
+    }
+    ctx.chan(R).send_bytes(er->make_u_frame(choices, ctx.role_prng(R)));
+  }
+  // Round 3: S extends and derandomizes.
+  if (ctx.runs(S)) {
+    es->take_setup_reply(ctx.chan(S).recv_bytes());
+    es->extend(ctx.chan(S).recv_bytes(), m);
+    RingVec arith;
+    arith.reserve(static_cast<std::size_t>(tot.arith_elems * io.lanes));
+    std::vector<std::uint8_t> bitcorr;
+    build_corrections(io, *es, mask, &arith, &bitcorr);
+    if (tot.arith_cots > 0) ctx.chan(S).send_ring(arith, wire);
+    if (tot.bit_cots > 0) ctx.chan(S).send_bytes(bitcorr);
+  }
+  if (ctx.runs(R)) {
+    RingVec arith;
+    std::vector<std::uint8_t> bitcorr;
+    if (tot.arith_cots > 0) {
+      arith = ctx.chan(R).recv_ring(static_cast<std::size_t>(tot.arith_elems * io.lanes), wire);
+    }
+    if (tot.bit_cots > 0) {
+      bitcorr = ctx.chan(R).recv_bytes();
+      if (bitcorr.size() != 2 * tot.bit_cots * io.lanes) {
+        throw crypto::otx::OtExtError("ot_triple_source: bit correction frame has wrong size");
+      }
+    }
+    apply_outputs(io, *er, mask, arith, bitcorr);
+  }
+}
+
+}  // namespace
+
+OtExtCost ot_ext_generation_cost(const PreprocessingPlan& plan, std::size_t lanes) {
+  OtExtCost c;
+  if (lanes == 0) return c;
+  const int wire = (plan.ring.wire_bits + 7) / 8;
+  int last = -1;  // matches a freshly reset channel meter
+  const auto bump = [&](int dir) {
+    if (dir != last) {
+      ++c.rounds;
+      last = dir;
+    }
+  };
+  for (int sender = 0; sender < 2; ++sender) {
+    const DirTotals tot = direction_totals(plan, sender);
+    const std::uint64_t m = (tot.arith_cots + tot.bit_cots) * lanes;
+    if (m == 0) continue;
+    c.base_ots += crypto::otx::kBaseOts;
+    c.ext_cots += m;
+    std::uint64_t& s2r = sender == 0 ? c.bytes_p0_to_p1 : c.bytes_p1_to_p0;
+    std::uint64_t& r2s = sender == 0 ? c.bytes_p1_to_p0 : c.bytes_p0_to_p1;
+    s2r += crypto::otx::chooser_frame_bytes();
+    r2s += crypto::otx::setup_reply_bytes() + crypto::otx::u_frame_bytes(m);
+    c.messages += 3;
+    if (tot.arith_cots > 0) {
+      s2r += tot.arith_elems * lanes * static_cast<std::uint64_t>(wire);
+      ++c.messages;
+    }
+    if (tot.bit_cots > 0) {
+      s2r += 2 * tot.bit_cots * lanes;
+      ++c.messages;
+    }
+    bump(sender);      // chooser frame
+    bump(1 - sender);  // reply + u frame (one direction, one round)
+    bump(sender);      // correction frame(s)
+  }
+  return c;
+}
+
+void generate_bundles_ot_ext(const PreprocessingPlan& plan, crypto::TwoPartyContext& ctx,
+                             const std::vector<std::uint64_t>& dealer_seeds,
+                             QueryBundle* bundles) {
+  const std::size_t lanes = dealer_seeds.size();
+  if (lanes == 0) return;
+  for (std::size_t l = 0; l < lanes; ++l) shape_bundle(plan, bundles[l]);
+  std::vector<PartyLaneMat> mats[2];
+  for (int p = 0; p < 2; ++p) {
+    mats[p].resize(lanes);
+    if (!ctx.runs(p)) continue;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      fill_halves(plan, p, dealer_seeds[l], bundles[l], mats[p][l]);
+    }
+  }
+  WalkIo io;
+  io.plan = &plan;
+  io.lanes = lanes;
+  io.bundles = bundles;
+  io.mats = mats;
+  io.sender = 0;
+  run_direction(ctx, io);
+  io.sender = 1;
+  run_direction(ctx, io);
+}
+
+OtExtTripleSource::OtExtTripleSource(const PreprocessingPlan& plan,
+                                     crypto::TwoPartyContext& ctx, std::uint64_t dealer_seed)
+    : serve_(&bundle_, ctx.dealer(), ExhaustionPolicy::Throw) {
+  generate_bundles_ot_ext(plan, ctx, {dealer_seed}, &bundle_);
+}
+
+crypto::ElemTriple OtExtTripleSource::do_elem_triple(std::size_t n) {
+  return serve_.elem_triple(n);
+}
+crypto::SquarePair OtExtTripleSource::do_square_pair(std::size_t n) {
+  return serve_.square_pair(n);
+}
+crypto::MatmulTriple OtExtTripleSource::do_matmul_triple(std::size_t m, std::size_t k,
+                                                         std::size_t n) {
+  return serve_.matmul_triple(m, k, n);
+}
+crypto::BitTriple OtExtTripleSource::do_bit_triple(std::size_t n) {
+  return serve_.bit_triple(n);
+}
+crypto::BilinearTriple OtExtTripleSource::do_bilinear_triple(const crypto::BilinearSpec& spec) {
+  return serve_.bilinear_triple(spec);
+}
+
+}  // namespace pasnet::offline

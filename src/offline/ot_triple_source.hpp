@@ -1,0 +1,94 @@
+#pragma once
+// Two-party triple generation over IKNP OT extension — the offline phase
+// with NO third party.
+//
+// The dealer path simulates the triple functionality by holding both
+// role-private half streams (crypto/beaver.hpp); this generator realizes
+// the same functionality as a genuine 2PC protocol: each party draws ONLY
+// its own half (a_p, b_p, x_p) from Prng(half_stream_seed(seed, p)) and the
+// cross terms o_p = a_peer ⊙ b_p − x_peer arrive through correlated OTs
+// built on crypto/ot_ext.  Because the canonical construction makes z_p a
+// deterministic function of the two half streams alone, the bundles this
+// generator produces are BIT-IDENTICAL to TripleDealer's for the same
+// dealer seed — which is what keeps OT-ext-served logits equal to
+// dealer-served logits on every serving mode.
+//
+// Per direction (sender S, receiver R) the cross term decomposes into one
+// correlated OT per (choice element, ring bit): R's choice bit is bit i of
+// its mask half, S's correlation is 2^i times a slice of its mask half,
+// and a derandomization group per output slice pins Σ_j x_j = −X_group so
+// the OT outputs sum to exactly o_R.  Boolean AND triples use one 1-of-2
+// OT per instance (messages x_S and x_S ⊕ a_S).  The wire schedule is two
+// sequential IKNP dances (direction A: P0 sends, direction B: P1 sends),
+// three rounds each:
+//
+//   S -> R : base-OT chooser frame                     (round 1)
+//   R -> S : base-OT reply, then the IKNP u frame      (round 2)
+//   S -> R : arithmetic + boolean correction frames    (round 3)
+//
+// Everything here is replayable from a PreprocessingPlan, so both the
+// online PartySession path and the OfflineGenerator backend drive one
+// implementation; ot_ext_generation_cost() is the analytic witness the
+// three-way traffic cross-check tests pin against measured stats/trace.
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/party.hpp"
+#include "offline/preprocessing_plan.hpp"
+#include "offline/triple_store.hpp"
+
+namespace pasnet::offline {
+
+/// Analytic traffic/cost model of one generate_bundles_ot_ext() run —
+/// computed from the plan alone, matching the channel meter byte for byte.
+struct OtExtCost {
+  std::uint64_t rounds = 0;
+  std::uint64_t bytes_p0_to_p1 = 0;
+  std::uint64_t bytes_p1_to_p0 = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t base_ots = 0;  ///< 128 per active direction
+  std::uint64_t ext_cots = 0;  ///< extended correlated OTs, both directions
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes_p0_to_p1 + bytes_p1_to_p0;
+  }
+};
+
+/// Exact traffic of generating `lanes` bundles of `plan`'s material.
+[[nodiscard]] OtExtCost ot_ext_generation_cost(const PreprocessingPlan& plan,
+                                               std::size_t lanes);
+
+/// Generates `dealer_seeds.size()` query bundles of `plan`'s material into
+/// `bundles` (a caller-owned array of that length) by running the two
+/// IKNP directions over `ctx`'s channel(s).  In the in-process simulation
+/// modes both roles run on the calling thread; in a remote context only the
+/// local party's halves are filled (peer share slots stay zero, exactly
+/// like slice_bundle_for_party).  The produced bundles equal
+/// TripleDealer(plan.ring, dealer_seeds[j])'s draws, value for value.
+/// Counts obs::Counter::ot_ext_base / ot_ext_cots on ctx's tracer.
+void generate_bundles_ot_ext(const PreprocessingPlan& plan, crypto::TwoPartyContext& ctx,
+                             const std::vector<std::uint64_t>& dealer_seeds,
+                             QueryBundle* bundles);
+
+/// Online-capable TripleSource: generates one query's bundle through the
+/// OT-extension protocol at construction, then serves requests from it in
+/// plan order (strict accounting — a draw past the plan throws).
+class OtExtTripleSource final : public crypto::TripleSource {
+ public:
+  OtExtTripleSource(const PreprocessingPlan& plan, crypto::TwoPartyContext& ctx,
+                    std::uint64_t dealer_seed);
+
+ protected:
+  crypto::ElemTriple do_elem_triple(std::size_t n) override;
+  crypto::SquarePair do_square_pair(std::size_t n) override;
+  crypto::MatmulTriple do_matmul_triple(std::size_t m, std::size_t k, std::size_t n) override;
+  crypto::BitTriple do_bit_triple(std::size_t n) override;
+  crypto::BilinearTriple do_bilinear_triple(const crypto::BilinearSpec& spec) override;
+
+ private:
+  QueryBundle bundle_;
+  StoreTripleSource serve_;
+};
+
+}  // namespace pasnet::offline

@@ -9,7 +9,9 @@ namespace pasnet::offline {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x5041534E54525031ULL;  // "PASNTRP1"
-constexpr std::uint32_t kVersion = 1;
+// Version 2 adds the provenance word after the version; version-1 files
+// still load (their material predates the OT-ext generator: dealer).
+constexpr std::uint32_t kVersion = 2;
 
 // --- little-endian primitives ---------------------------------------------
 
@@ -119,6 +121,10 @@ std::uint64_t shared_bytes(const crypto::Shared& s) noexcept {
 
 }  // namespace
 
+const char* provenance_name(TripleProvenance p) noexcept {
+  return p == TripleProvenance::ot_ext ? "ot-ext" : "dealer";
+}
+
 std::size_t TripleStore::remaining_queries() const {
   std::lock_guard<std::mutex> lk(mu_);
   return next_ >= bundles_.size() ? 0 : bundles_.size() - next_;
@@ -131,7 +137,8 @@ std::pair<std::size_t, QueryBundle*> TripleStore::claim_next() {
 }
 
 std::uint64_t TripleStore::material_bytes() const noexcept {
-  std::uint64_t total = 7 * 8;  // header: magic, version, ring (3), fingerprint, count
+  // Header: magic, version, provenance, ring (3), fingerprint, count.
+  std::uint64_t total = 8 * 8;
   for (const QueryBundle& b : bundles_) {
     total += 5 * 8;
     for (const auto& t : b.elem) total += shared_bytes(t.a) + shared_bytes(t.b) + shared_bytes(t.z);
@@ -287,6 +294,7 @@ QueryBundle slice_bundle_for_party(const QueryBundle& bundle, int party) {
 void TripleStore::save(std::ostream& os) const {
   write_u64(os, kMagic);
   write_u64(os, kVersion);
+  write_u64(os, static_cast<std::uint64_t>(provenance_));
   write_u64(os, static_cast<std::uint64_t>(rc_.bits));
   write_u64(os, static_cast<std::uint64_t>(rc_.frac_bits));
   write_u64(os, static_cast<std::uint64_t>(rc_.wire_bits));
@@ -304,7 +312,18 @@ void TripleStore::save(const std::string& path) const {
 
 TripleStore TripleStore::load(std::istream& is) {
   if (read_u64(is) != kMagic) throw std::runtime_error("TripleStore: bad magic");
-  if (read_u64(is) != kVersion) throw std::runtime_error("TripleStore: unsupported version");
+  const std::uint64_t version = read_u64(is);
+  if (version != 1 && version != kVersion) {
+    throw std::runtime_error("TripleStore: unsupported version");
+  }
+  TripleProvenance provenance = TripleProvenance::dealer;
+  if (version >= 2) {
+    const std::uint64_t p = read_u64(is);
+    if (p > static_cast<std::uint64_t>(TripleProvenance::ot_ext)) {
+      throw std::runtime_error("TripleStore: unknown provenance tag");
+    }
+    provenance = static_cast<TripleProvenance>(p);
+  }
   crypto::RingConfig rc;
   rc.bits = static_cast<int>(read_u64(is));
   rc.frac_bits = static_cast<int>(read_u64(is));
@@ -318,6 +337,7 @@ TripleStore TripleStore::load(std::istream& is) {
   if (queries > (1ULL << 24)) throw std::runtime_error("TripleStore: implausible query count");
 
   TripleStore store(rc, fingerprint, static_cast<std::size_t>(queries));
+  store.set_provenance(provenance);
   for (std::uint64_t q = 0; q < queries; ++q) {
     store.bundles_[static_cast<std::size_t>(q)] = read_bundle(is);
   }

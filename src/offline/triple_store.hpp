@@ -66,6 +66,16 @@ void write_bundle(std::ostream& os, const QueryBundle& bundle);
 /// dealer never ships one party's randomness to the other.
 [[nodiscard]] QueryBundle slice_bundle_for_party(const QueryBundle& bundle, int party);
 
+/// Which machinery realized the triple functionality that filled a store:
+/// the trusted-dealer simulation (one process holds both half streams) or
+/// the genuine 2PC OT-extension generator.  Recorded in the file header
+/// from format version 2 on; version-1 files load as `dealer`.  Both
+/// produce bit-identical material — the tag documents the trust
+/// assumption, not the values.
+enum class TripleProvenance : std::uint8_t { dealer = 0, ot_ext = 1 };
+
+[[nodiscard]] const char* provenance_name(TripleProvenance p) noexcept;
+
 /// Typed pools of pregenerated material for N queries of one plan.
 class TripleStore {
  public:
@@ -83,6 +93,8 @@ class TripleStore {
 
   [[nodiscard]] const crypto::RingConfig& ring() const noexcept { return rc_; }
   [[nodiscard]] std::uint64_t plan_fingerprint() const noexcept { return fingerprint_; }
+  [[nodiscard]] TripleProvenance provenance() const noexcept { return provenance_; }
+  void set_provenance(TripleProvenance p) noexcept { provenance_ = p; }
   [[nodiscard]] std::size_t num_queries() const noexcept { return bundles_.size(); }
   [[nodiscard]] std::size_t remaining_queries() const;
 
@@ -116,6 +128,7 @@ class TripleStore {
     std::lock_guard<std::mutex> lk(other.mu_);
     rc_ = other.rc_;
     fingerprint_ = other.fingerprint_;
+    provenance_ = other.provenance_;
     bundles_ = std::move(other.bundles_);
     next_ = other.next_;
     other.next_ = 0;
@@ -123,6 +136,7 @@ class TripleStore {
 
   crypto::RingConfig rc_{};
   std::uint64_t fingerprint_ = 0;
+  TripleProvenance provenance_ = TripleProvenance::dealer;
   std::vector<QueryBundle> bundles_;
   std::size_t next_ = 0;
   mutable std::mutex mu_;

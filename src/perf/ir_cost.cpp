@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "crypto/compare.hpp"
+#include "ir/plan.hpp"
+#include "offline/ot_triple_source.hpp"
 
 namespace pasnet::perf {
 
@@ -335,6 +337,23 @@ ProgramCost profile_program(const LatencyModel& m, const ir::SecureProgram& p,
   // merged OT flushes shed their extra ephemeral sender keys.
   pc.wire_bytes = pc.wire_bytes_eager - ot_merge_savings;
   return pc;
+}
+
+OfflinePhaseCost profile_offline_phase(const ir::SecureProgram& program,
+                                       const crypto::RingConfig& ring, int batch) {
+  const offline::PreprocessingPlan plan = ir::derive_plan(program, ring);
+  const auto lanes = static_cast<std::size_t>(batch < 0 ? 0 : batch);
+  const offline::OtExtCost ot = offline::ot_ext_generation_cost(plan, lanes);
+  OfflinePhaseCost c;
+  c.ot_ext_wire_bytes = ot.total_bytes();
+  c.ot_ext_rounds = ot.rounds;
+  c.ot_ext_messages = ot.messages;
+  c.base_ots = ot.base_ots;
+  c.ext_cots = ot.ext_cots;
+  c.store_bytes_shipped = plan.material_bytes_per_query() * lanes;
+  c.material_elems = plan.material_elems_per_query() * lanes;
+  c.bit_triples = plan.bit_triples_per_query() * lanes;
+  return c;
 }
 
 }  // namespace pasnet::perf

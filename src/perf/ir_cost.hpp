@@ -16,6 +16,7 @@
 // The CI round-regression guard asserts the coalesced executor's measured
 // rounds exactly equal this model's prediction on the reference models.
 
+#include "crypto/ring.hpp"
 #include "ir/program.hpp"
 #include "perf/latency_model.hpp"
 
@@ -59,6 +60,32 @@ struct ProgramCost {
   std::uint64_t wire_bytes = 0;        ///< coalesced schedule
   std::uint64_t wire_bytes_eager = 0;  ///< per-op schedule
 };
+
+/// Analytic profile of the OFFLINE phase: what it costs the two parties to
+/// produce one batch's correlated randomness themselves via the IKNP
+/// OT-extension generator (`--triples=ot-ext`), versus shipping the same
+/// material from a pregenerated dealer store.  All figures are exact: the
+/// ot_ext fields reproduce offline::ot_ext_generation_cost on the
+/// program's derived plan (the analytic witness the generation-traffic
+/// tests pin channel stats against), and store_bytes_shipped is the
+/// serialized bundle payload a dealer daemon would move for `batch`
+/// claims.
+struct OfflinePhaseCost {
+  std::uint64_t ot_ext_wire_bytes = 0;  ///< both directions, `batch` lanes
+  std::uint64_t ot_ext_rounds = 0;
+  std::uint64_t ot_ext_messages = 0;
+  std::uint64_t base_ots = 0;            ///< public-key base OTs (128/direction)
+  std::uint64_t ext_cots = 0;            ///< extended correlated OTs, all lanes
+  std::uint64_t store_bytes_shipped = 0; ///< dealer-store alternative, `batch` bundles
+  std::uint64_t material_elems = 0;      ///< ring elements generated, all lanes
+  std::uint64_t bit_triples = 0;         ///< AND triples generated, all lanes
+};
+
+/// Prices the offline phase of `batch` queries of `program` (derives the
+/// preprocessing plan internally; `ring` must match the serving ring).
+[[nodiscard]] OfflinePhaseCost profile_offline_phase(const ir::SecureProgram& program,
+                                                     const crypto::RingConfig& ring,
+                                                     int batch = 1);
 
 /// `batch` prices a K-lane single-context batched run (ir::execute_batch):
 /// every comparison contributes K identical phase streams to its round

@@ -2,9 +2,8 @@
 // The unified serving API: one Workload = one compiled model + one output
 // kind (logits or labels) + one batch width K, yielding ONE plan, ONE
 // preprocess entry point, ONE store fingerprint family and ONE run()
-// method — replacing the SecureNetwork infer/classify × plan/classify_plan
-// × preprocess/preprocess_classify method matrix (the deprecated shims are
-// now deleted; SecureNetwork is compile-and-share only).
+// method.  SecureNetwork is compile-and-share only; serving always goes
+// through a Workload.
 //
 // run() executes queries in K-lane chunks inside single contexts
 // (ir::execute_batch): all K lanes of a chunk advance each round group in

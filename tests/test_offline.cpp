@@ -274,6 +274,46 @@ TEST(OfflineGenerator, ReportSizesMatchPlanArithmetic) {
   EXPECT_EQ(rep.store_bytes, store.material_bytes());
 }
 
+TEST(OfflineGenerator, OtExtBackendProducesIdenticalMaterialTaggedWithItsProvenance) {
+  // The OT-extension backend runs the genuine 2PC generation protocol per
+  // query (an in-process party pair per worker) yet fills the store with
+  // byte-identical material — only the provenance word in the header
+  // differs, recording the trust assumption.
+  SecureFixture f;
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
+  proto::Workload wl(snet);
+  const off::PreprocessingPlan plan = wl.plan();
+  const auto seed_fn = [](std::size_t q) {
+    return proto::SecureNetwork::query_dealer_seed(q);
+  };
+  const off::TripleStore dealer = off::OfflineGenerator(2).generate(plan, 3, seed_fn);
+  const off::TripleStore otext =
+      off::OfflineGenerator(2, off::GeneratorBackend::ot_ext).generate(plan, 3, seed_fn);
+  EXPECT_EQ(dealer.provenance(), off::TripleProvenance::dealer);
+  EXPECT_EQ(otext.provenance(), off::TripleProvenance::ot_ext);
+  EXPECT_STREQ(off::provenance_name(otext.provenance()), "ot-ext");
+  std::stringstream a, b;
+  dealer.save(a);
+  otext.save(b);
+  // Header layout: magic(8) version(8) provenance(8) ...; everything but
+  // the provenance word is byte-identical.
+  ASSERT_EQ(a.str().size(), b.str().size());
+  EXPECT_EQ(a.str().substr(0, 16), b.str().substr(0, 16));
+  EXPECT_NE(a.str().substr(16, 8), b.str().substr(16, 8));
+  EXPECT_EQ(a.str().substr(24), b.str().substr(24));
+
+  // Provenance survives the save/load round trip, and the ot-ext store
+  // serves the workload bit-identically to the fused dealer path.
+  b.clear();
+  b.seekg(0);
+  off::TripleStore loaded = off::TripleStore::load(b);
+  EXPECT_EQ(loaded.provenance(), off::TripleProvenance::ot_ext);
+  const auto dealer_logits = proto::Workload(snet).run(f.queries).logits;
+  wl.use_store(&loaded, off::ExhaustionPolicy::Throw);
+  expect_bit_identical(dealer_logits, wl.run(f.queries).logits);
+}
+
 // ---------------------------------------------------------------------------
 // Label-only (classify) store serving — the argmax program's own plan
 // fingerprint and preprocess entry point.

@@ -1,0 +1,463 @@
+// IKNP OT extension and the 2PC triple generator built on it: transpose
+// and frame-level properties, COT correlation after derandomization,
+// malformed-frame rejection, dealer-equality of generated bundles (the
+// bit-identity contract), the analytic traffic witness, and the remote
+// trust-gap fixes (role-private randomness, ideal-OT refusal).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "crypto/channel.hpp"
+#include "crypto/ot_ext.hpp"
+#include "crypto/party.hpp"
+#include "crypto/prng.hpp"
+#include "obs/tracer.hpp"
+#include "offline/ot_triple_source.hpp"
+#include "offline/preprocessing_plan.hpp"
+#include "offline/triple_store.hpp"
+
+namespace pc = pasnet::crypto;
+namespace otx = pasnet::crypto::otx;
+namespace off = pasnet::offline;
+namespace obs = pasnet::obs;
+
+namespace {
+
+/// Naive reference transpose over unpacked bits.
+std::vector<std::uint8_t> naive_transpose(const std::vector<std::uint8_t>& in,
+                                          std::size_t rows, std::size_t cols) {
+  std::vector<std::uint8_t> out(cols * rows / 8, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const int bit = (in[r * (cols / 8) + c / 8] >> (c % 8)) & 1;
+      if (bit) out[c * (rows / 8) + r / 8] |= static_cast<std::uint8_t>(1u << (r % 8));
+    }
+  }
+  return out;
+}
+
+/// A synthetic plan touching every triple kind (both bilinear variants).
+off::PreprocessingPlan all_kinds_plan() {
+  off::PreprocessingPlan plan;
+  plan.ring = pc::RingConfig{};
+  off::TripleRequest r;
+  r.kind = off::TripleKind::elem;
+  r.n = 5;
+  plan.requests.push_back(r);
+  r = {};
+  r.kind = off::TripleKind::square;
+  r.n = 4;
+  plan.requests.push_back(r);
+  r = {};
+  r.kind = off::TripleKind::matmul;
+  r.m = 3;
+  r.k = 2;
+  r.cols = 4;
+  plan.requests.push_back(r);
+  r = {};
+  r.kind = off::TripleKind::bit;
+  r.n = 9;
+  plan.requests.push_back(r);
+  r = {};
+  r.kind = off::TripleKind::bilinear;
+  r.bilinear.kind = pc::BilinearKind::conv2d;
+  r.bilinear.batch = 2;
+  r.bilinear.in_ch = 2;
+  r.bilinear.in_h = 4;
+  r.bilinear.in_w = 4;
+  r.bilinear.out_ch = 3;
+  r.bilinear.kernel = 3;
+  r.bilinear.stride = 1;
+  r.bilinear.pad = 1;
+  plan.requests.push_back(r);
+  r = {};
+  r.kind = off::TripleKind::bilinear;
+  r.bilinear.kind = pc::BilinearKind::depthwise_conv2d;
+  r.bilinear.batch = 1;
+  r.bilinear.in_ch = 2;
+  r.bilinear.in_h = 4;
+  r.bilinear.in_w = 4;
+  r.bilinear.out_ch = 2;
+  r.bilinear.kernel = 2;
+  r.bilinear.stride = 2;
+  r.bilinear.pad = 0;
+  plan.requests.push_back(r);
+  return plan;
+}
+
+/// Dealer reference: replays the plan against a canonically seeded
+/// TripleDealer, mirroring the OfflineGenerator's request replay.
+off::QueryBundle dealer_bundle(const off::PreprocessingPlan& plan, std::uint64_t seed) {
+  pc::TripleDealer dealer(plan.ring, seed);
+  off::QueryBundle b;
+  for (const off::TripleRequest& r : plan.requests) {
+    switch (r.kind) {
+      case off::TripleKind::elem:
+        b.elem.push_back(dealer.elem_triple(r.n));
+        break;
+      case off::TripleKind::square:
+        b.square.push_back(dealer.square_pair(r.n));
+        break;
+      case off::TripleKind::matmul:
+        b.matmul.push_back(dealer.matmul_triple(r.m, r.k, r.cols));
+        break;
+      case off::TripleKind::bit:
+        b.bit.push_back(dealer.bit_triple(r.n));
+        break;
+      case off::TripleKind::bilinear:
+        b.bilinear.push_back(dealer.bilinear_triple(
+            r.bilinear.na(), r.bilinear.nb(), r.bilinear.nz(),
+            pc::build_bilinear_map(r.bilinear, plan.ring)));
+        break;
+    }
+  }
+  return b;
+}
+
+void expect_bundle_eq(const off::QueryBundle& a, const off::QueryBundle& b) {
+  ASSERT_EQ(a.elem.size(), b.elem.size());
+  for (std::size_t i = 0; i < a.elem.size(); ++i) {
+    EXPECT_EQ(a.elem[i].a.s0, b.elem[i].a.s0) << "elem " << i;
+    EXPECT_EQ(a.elem[i].a.s1, b.elem[i].a.s1) << "elem " << i;
+    EXPECT_EQ(a.elem[i].b.s0, b.elem[i].b.s0) << "elem " << i;
+    EXPECT_EQ(a.elem[i].b.s1, b.elem[i].b.s1) << "elem " << i;
+    EXPECT_EQ(a.elem[i].z.s0, b.elem[i].z.s0) << "elem " << i;
+    EXPECT_EQ(a.elem[i].z.s1, b.elem[i].z.s1) << "elem " << i;
+  }
+  ASSERT_EQ(a.square.size(), b.square.size());
+  for (std::size_t i = 0; i < a.square.size(); ++i) {
+    EXPECT_EQ(a.square[i].a.s0, b.square[i].a.s0) << "square " << i;
+    EXPECT_EQ(a.square[i].a.s1, b.square[i].a.s1) << "square " << i;
+    EXPECT_EQ(a.square[i].z.s0, b.square[i].z.s0) << "square " << i;
+    EXPECT_EQ(a.square[i].z.s1, b.square[i].z.s1) << "square " << i;
+  }
+  ASSERT_EQ(a.matmul.size(), b.matmul.size());
+  for (std::size_t i = 0; i < a.matmul.size(); ++i) {
+    EXPECT_EQ(a.matmul[i].a.s0, b.matmul[i].a.s0) << "matmul " << i;
+    EXPECT_EQ(a.matmul[i].a.s1, b.matmul[i].a.s1) << "matmul " << i;
+    EXPECT_EQ(a.matmul[i].b.s0, b.matmul[i].b.s0) << "matmul " << i;
+    EXPECT_EQ(a.matmul[i].b.s1, b.matmul[i].b.s1) << "matmul " << i;
+    EXPECT_EQ(a.matmul[i].z.s0, b.matmul[i].z.s0) << "matmul " << i;
+    EXPECT_EQ(a.matmul[i].z.s1, b.matmul[i].z.s1) << "matmul " << i;
+  }
+  ASSERT_EQ(a.bit.size(), b.bit.size());
+  for (std::size_t i = 0; i < a.bit.size(); ++i) {
+    EXPECT_EQ(a.bit[i].a0, b.bit[i].a0) << "bit " << i;
+    EXPECT_EQ(a.bit[i].a1, b.bit[i].a1) << "bit " << i;
+    EXPECT_EQ(a.bit[i].b0, b.bit[i].b0) << "bit " << i;
+    EXPECT_EQ(a.bit[i].b1, b.bit[i].b1) << "bit " << i;
+    EXPECT_EQ(a.bit[i].c0, b.bit[i].c0) << "bit " << i;
+    EXPECT_EQ(a.bit[i].c1, b.bit[i].c1) << "bit " << i;
+  }
+  ASSERT_EQ(a.bilinear.size(), b.bilinear.size());
+  for (std::size_t i = 0; i < a.bilinear.size(); ++i) {
+    EXPECT_EQ(a.bilinear[i].a.s0, b.bilinear[i].a.s0) << "bilinear " << i;
+    EXPECT_EQ(a.bilinear[i].a.s1, b.bilinear[i].a.s1) << "bilinear " << i;
+    EXPECT_EQ(a.bilinear[i].b.s0, b.bilinear[i].b.s0) << "bilinear " << i;
+    EXPECT_EQ(a.bilinear[i].b.s1, b.bilinear[i].b.s1) << "bilinear " << i;
+    EXPECT_EQ(a.bilinear[i].z.s0, b.bilinear[i].z.s0) << "bilinear " << i;
+    EXPECT_EQ(a.bilinear[i].z.s1, b.bilinear[i].z.s1) << "bilinear " << i;
+  }
+}
+
+/// Runs the base-OT + extension dance between an ExtSender and ExtReceiver
+/// over plain byte vectors for `m` OTs with the given choice bits.
+struct ExtPair {
+  otx::ExtSender sender;
+  otx::ExtReceiver receiver;
+
+  ExtPair(pc::Prng& sprng, pc::Prng& rprng, const std::vector<std::uint8_t>& choices)
+      : sender(sprng) {
+    const auto chooser = sender.make_chooser_frame(sprng);
+    sender.take_setup_reply(receiver.make_setup_reply(chooser, rprng));
+    sender.extend(receiver.make_u_frame(choices, rprng), choices.size());
+  }
+};
+
+}  // namespace
+
+TEST(OtExt, TransposeMatchesNaive) {
+  pc::Prng prng(7);
+  for (const auto& [rows, cols] :
+       {std::pair<std::size_t, std::size_t>{8, 8}, {128, 64}, {16, 256}, {128, 192}}) {
+    std::vector<std::uint8_t> in(rows * cols / 8);
+    for (auto& byte : in) byte = static_cast<std::uint8_t>(prng.next_u64());
+    std::vector<std::uint8_t> out(in.size());
+    otx::transpose_bits(in.data(), rows, cols, out.data());
+    EXPECT_EQ(out, naive_transpose(in, rows, cols)) << rows << "x" << cols;
+    // Involution: transposing back recovers the input.
+    std::vector<std::uint8_t> back(in.size());
+    otx::transpose_bits(out.data(), cols, rows, back.data());
+    EXPECT_EQ(back, in);
+  }
+  std::vector<std::uint8_t> buf(16);
+  EXPECT_THROW(otx::transpose_bits(buf.data(), 3, 8, buf.data()), std::invalid_argument);
+}
+
+TEST(OtExt, ColumnRelationAndPads) {
+  // q_j = t_j ⊕ b_j·s, and the receiver's pad equals the sender's pad of
+  // its choice bit — for every extended OT, including the padding tail.
+  pc::Prng sprng(11), rprng(13), cprng(17);
+  const std::size_t m = 200;  // not a multiple of 64: exercises padding
+  std::vector<std::uint8_t> choices(m);
+  for (auto& c : choices) c = static_cast<std::uint8_t>(cprng.next_u64() & 1);
+  ExtPair pair(sprng, rprng, choices);
+  ASSERT_EQ(pair.sender.count(), m);
+  ASSERT_EQ(pair.receiver.count(), m);
+  pc::RingVec pad0, pad1, rpad;
+  for (std::size_t j = 0; j < m; ++j) {
+    const otx::Block128 q = pair.sender.q(j);
+    const otx::Block128 t = pair.receiver.t(j);
+    const otx::Block128 expect = choices[j] ? (t ^ pair.sender.delta()) : t;
+    EXPECT_TRUE(q == expect) << "column relation broken at " << j;
+    pair.sender.pads(j, 3, &pad0, &pad1);
+    pair.receiver.pad(j, 3, &rpad);
+    EXPECT_EQ(rpad, choices[j] ? pad1 : pad0) << "pad mismatch at " << j;
+    // The unchosen pad must differ (otherwise nothing is oblivious).
+    EXPECT_NE(pad0, pad1) << j;
+  }
+  EXPECT_THROW((void)pair.sender.q(m), otx::OtExtError);
+  EXPECT_THROW((void)pair.receiver.t(m), otx::OtExtError);
+}
+
+TEST(OtExt, MalformedFramesThrowTyped) {
+  pc::Prng sprng(3), rprng(5);
+  otx::ExtSender sender(sprng);
+  const auto chooser = sender.make_chooser_frame(sprng);
+
+  otx::ExtReceiver receiver;
+  // Truncated / oversized / hostile chooser frames.
+  std::vector<std::uint8_t> bad(chooser.begin(), chooser.end() - 1);
+  EXPECT_THROW((void)receiver.make_setup_reply(bad, rprng), otx::OtExtError);
+  bad = chooser;
+  bad.push_back(0);
+  EXPECT_THROW((void)receiver.make_setup_reply(bad, rprng), otx::OtExtError);
+  bad = chooser;
+  for (int i = 0; i < 8; ++i) bad[i] = 0;  // group element 0 is invalid
+  EXPECT_THROW((void)receiver.make_setup_reply(bad, rprng), otx::OtExtError);
+
+  // Valid reply accepted; truncated or corrupted replies rejected.
+  otx::ExtReceiver fresh;
+  auto reply = fresh.make_setup_reply(chooser, rprng);
+  std::vector<std::uint8_t> short_reply(reply.begin(), reply.end() - 4);
+  EXPECT_THROW(sender.take_setup_reply(short_reply), otx::OtExtError);
+  auto zero_a = reply;
+  for (int i = 0; i < 8; ++i) zero_a[i] = 0;
+  EXPECT_THROW(sender.take_setup_reply(zero_a), otx::OtExtError);
+  sender.take_setup_reply(reply);
+
+  // Extension guards: no u frame before setup, wrong u frame size, m = 0.
+  otx::ExtSender cold(sprng);
+  EXPECT_THROW(cold.extend(std::vector<std::uint8_t>(otx::u_frame_bytes(64)), 64),
+               otx::OtExtError);
+  EXPECT_THROW(sender.extend(std::vector<std::uint8_t>(otx::u_frame_bytes(64) - 1), 64),
+               otx::OtExtError);
+  otx::ExtReceiver unset;
+  EXPECT_THROW((void)unset.make_u_frame(std::vector<std::uint8_t>(4, 0), rprng),
+               otx::OtExtError);
+  EXPECT_THROW((void)fresh.make_u_frame({}, rprng), otx::OtExtError);
+}
+
+TEST(OtExtTriples, BundlesMatchDealerBitForBit) {
+  const off::PreprocessingPlan plan = all_kinds_plan();
+  const std::vector<std::uint64_t> seeds = {0xABCDEF12ULL, 0x5EED5EEDULL};
+  pc::TwoPartyContext ctx;
+  std::vector<off::QueryBundle> bundles(seeds.size());
+  off::generate_bundles_ot_ext(plan, ctx, seeds, bundles.data());
+  for (std::size_t l = 0; l < seeds.size(); ++l) {
+    SCOPED_TRACE(l);
+    expect_bundle_eq(bundles[l], dealer_bundle(plan, seeds[l]));
+  }
+}
+
+TEST(OtExtTriples, TripleRelationsHold) {
+  // Independent of dealer equality: the generated material satisfies the
+  // algebraic triple relations after reconstruction.
+  const off::PreprocessingPlan plan = all_kinds_plan();
+  const pc::RingConfig rc = plan.ring;
+  const std::uint64_t mask = rc.mask();
+  pc::TwoPartyContext ctx;
+  off::QueryBundle b;
+  off::generate_bundles_ot_ext(plan, ctx, {0x715EEDULL}, &b);
+  const auto rec = [&](const pc::Shared& s, std::size_t i) {
+    return (s.s0[i] + s.s1[i]) & mask;
+  };
+  for (const auto& t : b.elem) {
+    for (std::size_t i = 0; i < t.a.size(); ++i) {
+      EXPECT_EQ(rec(t.z, i), (rec(t.a, i) * rec(t.b, i)) & mask);
+    }
+  }
+  for (const auto& t : b.square) {
+    for (std::size_t i = 0; i < t.a.size(); ++i) {
+      EXPECT_EQ(rec(t.z, i), (rec(t.a, i) * rec(t.a, i)) & mask);
+    }
+  }
+  for (const auto& t : b.matmul) {
+    const pc::RingVec a = pc::reconstruct(t.a, rc);
+    const pc::RingVec bb = pc::reconstruct(t.b, rc);
+    const pc::RingVec z = pc::ring_matmul(a, bb, t.m, t.k, t.n, rc);
+    for (std::size_t i = 0; i < z.size(); ++i) EXPECT_EQ(rec(t.z, i), z[i]);
+  }
+  for (const auto& t : b.bit) {
+    for (std::size_t i = 0; i < t.a0.size(); ++i) {
+      EXPECT_EQ(t.c0[i] ^ t.c1[i], (t.a0[i] ^ t.a1[i]) & (t.b0[i] ^ t.b1[i]));
+    }
+  }
+  std::size_t bi = 0;
+  for (const off::TripleRequest& r : plan.requests) {
+    if (r.kind != off::TripleKind::bilinear) continue;
+    const auto& t = b.bilinear[bi++];
+    const auto f = pc::build_bilinear_map(r.bilinear, rc);
+    const pc::RingVec z = f(pc::reconstruct(t.a, rc), pc::reconstruct(t.b, rc));
+    for (std::size_t i = 0; i < z.size(); ++i) EXPECT_EQ(rec(t.z, i), z[i]);
+  }
+  EXPECT_EQ(bi, b.bilinear.size());
+}
+
+TEST(OtExtTriples, MeasuredTrafficMatchesAnalyticCost) {
+  const off::PreprocessingPlan plan = all_kinds_plan();
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{3}}) {
+    SCOPED_TRACE(lanes);
+    pc::TwoPartyContext ctx;
+    obs::Tracer tracer(true);
+    ctx.set_tracer(&tracer);
+    std::vector<off::QueryBundle> bundles(lanes);
+    std::vector<std::uint64_t> seeds(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) seeds[l] = 0x9000 + l;
+    off::generate_bundles_ot_ext(plan, ctx, seeds, bundles.data());
+    const off::OtExtCost cost = off::ot_ext_generation_cost(plan, lanes);
+    const pc::TrafficStats& st = ctx.stats();
+    EXPECT_EQ(st.bytes_p0_to_p1, cost.bytes_p0_to_p1);
+    EXPECT_EQ(st.bytes_p1_to_p0, cost.bytes_p1_to_p0);
+    EXPECT_EQ(st.messages, cost.messages);
+    EXPECT_EQ(st.rounds, cost.rounds);
+    // The trace is an independent witness of the same quantities, plus the
+    // OT-extension work counters.
+    const obs::CounterSnapshot tr = tracer.snapshot();
+    EXPECT_EQ(tr[obs::Counter::bytes_p0_to_p1], cost.bytes_p0_to_p1);
+    EXPECT_EQ(tr[obs::Counter::bytes_p1_to_p0], cost.bytes_p1_to_p0);
+    EXPECT_EQ(tr[obs::Counter::rounds], cost.rounds);
+    EXPECT_EQ(tr[obs::Counter::ot_ext_base], cost.base_ots);
+    EXPECT_EQ(tr[obs::Counter::ot_ext_cots], cost.ext_cots);
+    EXPECT_EQ(cost.base_ots, 2u * otx::kBaseOts);  // both directions active
+    EXPECT_GT(cost.ext_cots, 0u);
+  }
+}
+
+TEST(OtExtTriples, RemoteEndpointsProduceDealerHalvesWithPrivateRandomness) {
+  // Two "processes" (remote contexts over a threaded channel pair) generate
+  // jointly: each ends with exactly its dealer-path halves, the peer slots
+  // stay zero, and no shared-seed triple stream exists anywhere.
+  const off::PreprocessingPlan plan = all_kinds_plan();
+  const std::uint64_t seed = 0xFACEFEEDULL;
+  auto chans = pc::Channel::make_pair(pc::ChannelMode::threaded);
+  pc::Channel& c0 = *chans.first;
+  pc::Channel& c1 = *chans.second;
+  off::QueryBundle b0, b1;
+  std::thread t0([&] {
+    pc::TwoPartyContext ctx(plan.ring, 42, 0, c0);
+    off::generate_bundles_ot_ext(plan, ctx, {seed}, &b0);
+  });
+  std::thread t1([&] {
+    pc::TwoPartyContext ctx(plan.ring, 42, 1, c1);
+    off::generate_bundles_ot_ext(plan, ctx, {seed}, &b1);
+  });
+  t0.join();
+  t1.join();
+  const off::QueryBundle want = dealer_bundle(plan, seed);
+  // Party 0's halves match the dealer stream; party 1 slots are zero.
+  for (std::size_t i = 0; i < want.elem.size(); ++i) {
+    EXPECT_EQ(b0.elem[i].a.s0, want.elem[i].a.s0);
+    EXPECT_EQ(b0.elem[i].z.s0, want.elem[i].z.s0);
+    EXPECT_EQ(b0.elem[i].a.s1, pc::RingVec(want.elem[i].a.s1.size(), 0));
+    EXPECT_EQ(b1.elem[i].a.s1, want.elem[i].a.s1);
+    EXPECT_EQ(b1.elem[i].z.s1, want.elem[i].z.s1);
+    EXPECT_EQ(b1.elem[i].a.s0, pc::RingVec(want.elem[i].a.s0.size(), 0));
+  }
+  for (std::size_t i = 0; i < want.matmul.size(); ++i) {
+    EXPECT_EQ(b0.matmul[i].z.s0, want.matmul[i].z.s0);
+    EXPECT_EQ(b1.matmul[i].z.s1, want.matmul[i].z.s1);
+  }
+  for (std::size_t i = 0; i < want.bilinear.size(); ++i) {
+    EXPECT_EQ(b0.bilinear[i].z.s0, want.bilinear[i].z.s0);
+    EXPECT_EQ(b1.bilinear[i].z.s1, want.bilinear[i].z.s1);
+  }
+  for (std::size_t i = 0; i < want.square.size(); ++i) {
+    EXPECT_EQ(b0.square[i].z.s0, want.square[i].z.s0);
+    EXPECT_EQ(b1.square[i].z.s1, want.square[i].z.s1);
+  }
+  for (std::size_t i = 0; i < want.bit.size(); ++i) {
+    EXPECT_EQ(b0.bit[i].c0, want.bit[i].c0);
+    EXPECT_EQ(b1.bit[i].c1, want.bit[i].c1);
+  }
+}
+
+TEST(RolePrivateRandomness, RemoteStreamsDifferAcrossProcessesAndFromSharedStreams) {
+  // Two remote contexts built with the SAME shared seed must still have
+  // different role-private streams (they are entropy-seeded per process) —
+  // this is the loopback form of "my OT secrets are not derivable from
+  // anything the peer knows".
+  auto [c0, c1] = pc::Channel::make_pair();
+  pc::TwoPartyContext ctx0(pc::RingConfig{}, 42, 0, *c0);
+  pc::TwoPartyContext ctx1(pc::RingConfig{}, 42, 1, *c1);
+  std::vector<std::uint64_t> draws0, draws1;
+  for (int i = 0; i < 8; ++i) {
+    draws0.push_back(ctx0.role_prng(0).next_u64());
+    draws1.push_back(ctx1.role_prng(1).next_u64());
+  }
+  EXPECT_NE(draws0, draws1);
+  // And they must differ from the shared (seed-derived) OT streams both
+  // processes can compute.
+  pc::TwoPartyContext sim(pc::RingConfig{}, 42);
+  std::vector<std::uint64_t> shared0, shared1;
+  for (int i = 0; i < 8; ++i) {
+    shared0.push_back(sim.ot_prng(0).next_u64());
+    shared1.push_back(sim.ot_prng(1).next_u64());
+  }
+  EXPECT_NE(draws0, shared0);
+  EXPECT_NE(draws1, shared1);
+  // Asking a remote context for the PEER's role stream is a logic error.
+  EXPECT_THROW((void)ctx0.role_prng(1), std::logic_error);
+  EXPECT_THROW((void)ctx1.role_prng(0), std::logic_error);
+  // In-process simulation contexts alias the shared streams (transcript
+  // compatibility with the historical modes).
+  pc::TwoPartyContext sim2(pc::RingConfig{}, 42);
+  EXPECT_EQ(sim2.role_prng(0).next_u64(), shared0[0]);
+}
+
+TEST(IdealOtRefusal, RemoteContextRefusesCorrelatedModeWithoutHatch) {
+  auto [c0, c1] = pc::Channel::make_pair();
+  pc::RemoteContextOptions opts;
+  opts.ot_mode = pc::OtMode::correlated;
+  EXPECT_THROW(pc::TwoPartyContext(pc::RingConfig{}, 42, 0, *c0, opts), pc::IdealOtError);
+  EXPECT_THROW(pc::TwoPartyContext(pc::RingConfig{}, 42, 1, *c1, opts), pc::IdealOtError);
+  // The test-only hatch lets it through, and dh_masked is always fine.
+  opts.allow_ideal_ot = true;
+  EXPECT_NO_THROW(pc::TwoPartyContext(pc::RingConfig{}, 42, 0, *c0, opts));
+  pc::RemoteContextOptions dh;
+  EXPECT_NO_THROW(pc::TwoPartyContext(pc::RingConfig{}, 42, 1, *c1, dh));
+  // In-process contexts are simulations by definition: always allowed.
+  pc::TwoPartyContext sim;
+  EXPECT_TRUE(sim.ideal_ot_allowed());
+}
+
+TEST(OtExtTriples, OnlineSourceServesPlanOrderAndThrowsWhenDry) {
+  const off::PreprocessingPlan plan = all_kinds_plan();
+  pc::TwoPartyContext ctx;
+  off::OtExtTripleSource src(plan, ctx, 0xD00DULL);
+  const off::QueryBundle want = dealer_bundle(plan, 0xD00DULL);
+  const pc::ElemTriple e = src.elem_triple(5);
+  EXPECT_EQ(e.z.s0, want.elem[0].z.s0);
+  const pc::SquarePair sq = src.square_pair(4);
+  EXPECT_EQ(sq.z.s1, want.square[0].z.s1);
+  const pc::MatmulTriple mm = src.matmul_triple(3, 2, 4);
+  EXPECT_EQ(mm.z.s0, want.matmul[0].z.s0);
+  const pc::BitTriple bt = src.bit_triple(9);
+  EXPECT_EQ(bt.c0, want.bit[0].c0);
+  // The pool is sized for exactly one query's plan: a second elem draw is
+  // strict-accounting exhaustion.
+  EXPECT_THROW((void)src.elem_triple(5), off::TripleStoreExhausted);
+}

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "net/party_session.hpp"
+#include "offline/ot_triple_source.hpp"
 #include "proto/secure_network.hpp"
 #include "proto/workload.hpp"
 #include "support/test_models.hpp"
@@ -145,6 +146,10 @@ void expect_remote_matches_reference(const RemoteFixture& f, const ir::SecurePro
 net::RemoteSessionOptions fused_opts(proto::SecureConfig cfg) {
   net::RemoteSessionOptions o;
   o.cfg = cfg;
+  // These loopback suites default to the ideal-functionality OT fast path
+  // (both "processes" live in this test binary); real deployments use
+  // dh_masked or must opt in explicitly.
+  o.allow_ideal_ot = true;
   return o;
 }
 
@@ -202,11 +207,73 @@ TEST(RemoteInference, StoreServedTwoProcessMatches) {
   const auto outcome = run_remote(f, f.snet->program(), [&](int party) {
     net::RemoteSessionOptions o;
     o.cfg = cfg;
+    o.allow_ideal_ot = true;
     o.source = net::TripleSourceKind::store;
     o.store = &copy[party];
     return o;
   });
   expect_remote_matches_reference(f, f.snet->program(), cfg, outcome);
+}
+
+TEST(RemoteInference, OtExtServedTwoProcessMatchesWithNoIdealOtHatch) {
+  // The trust-gap acceptance case: two endpoints, --triples=ot-ext, NO
+  // dealer daemon, NO shared-seed triple stream, NO ideal-OT escape hatch —
+  // the full dh_masked + OT-extension stack — and the logits still equal
+  // the dealer-served reference bit for bit, with the online meter
+  // untouched by the offline window.
+  proto::SecureConfig cfg;
+  cfg.ot_mode = pc::OtMode::dh_masked;
+  RemoteFixture f(nn::OpKind::relu, nn::OpKind::maxpool, 2, cfg);
+  const off::PreprocessingPlan plan = proto::Workload(*f.snet).plan();
+  pc::TrafficStats offline_stats[2];
+  const auto outcome = run_remote(f, f.snet->program(), [&](int party) {
+    net::RemoteSessionOptions o;
+    o.cfg = cfg;
+    o.source = net::TripleSourceKind::ot_ext;
+    o.plan = &plan;
+    o.offline_stats_out = &offline_stats[party];
+    return o;
+  });
+  expect_remote_matches_reference(f, f.snet->program(), cfg, outcome);
+  // Offline witness: both endpoints metered the generation window, and it
+  // matches the analytic model exactly.
+  const off::OtExtCost cost = off::ot_ext_generation_cost(plan, /*lanes=*/1);
+  for (const pc::TrafficStats& s : offline_stats) {
+    EXPECT_EQ(s.bytes_p0_to_p1, cost.bytes_p0_to_p1);
+    EXPECT_EQ(s.bytes_p1_to_p0, cost.bytes_p1_to_p0);
+    EXPECT_EQ(s.rounds, cost.rounds);
+    EXPECT_EQ(s.messages, cost.messages);
+  }
+}
+
+TEST(RemoteInference, OtExtInProcessLockstepAndThreadedMatchDealerPath) {
+  // The same OT-ext material serves the in-process execution modes too:
+  // per-query contexts with an OtExtTripleSource installed reproduce the
+  // fused dealer path's logits in lockstep AND threaded mode, for both the
+  // ReLU and the polynomial test models.
+  for (const bool poly : {false, true}) {
+    RemoteFixture f(poly ? nn::OpKind::x2act : nn::OpKind::relu,
+                    poly ? nn::OpKind::avgpool : nn::OpKind::maxpool, 2);
+    const proto::SecureConfig cfg;
+    const off::PreprocessingPlan plan = proto::Workload(*f.snet).plan();
+    for (std::size_t q = 0; q < f.queries.size(); ++q) {
+      const ir::ExecResult ref =
+          reference_query(f, f.snet->program(), q, pc::ExecMode::lockstep, cfg, nullptr);
+      for (const pc::ExecMode mode : {pc::ExecMode::lockstep, pc::ExecMode::threaded}) {
+        pc::TwoPartyContext qctx(pc::RingConfig{}, proto::SecureNetwork::query_context_seed(q),
+                                 mode);
+        off::OtExtTripleSource src(plan, qctx,
+                                   proto::SecureNetwork::query_dealer_seed(q));
+        qctx.set_triple_source(&src);
+        ir::ExecOptions opts;
+        opts.cfg = cfg;
+        const ir::ExecResult res =
+            ir::execute(f.snet->program(), f.snet->params(), qctx, f.queries[q], opts);
+        expect_same_logits(res.logits, ref.logits,
+                           poly ? "ot-ext poly model" : "ot-ext relu model");
+      }
+    }
+  }
 }
 
 TEST(RemoteInference, DealerServedTwoProcessMatchesIncludingRefillFallback) {
@@ -228,6 +295,7 @@ TEST(RemoteInference, DealerServedTwoProcessMatchesIncludingRefillFallback) {
     const auto outcome = run_remote(f, f.snet->program(), [&](int party) {
       net::RemoteSessionOptions o;
       o.cfg = cfg;
+      o.allow_ideal_ot = true;
       o.source = net::TripleSourceKind::dealer;
       o.dealer = &clients[party];
       o.policy = off::ExhaustionPolicy::Refill;
@@ -311,6 +379,7 @@ TEST(RemoteInference, BatchedRemoteStoreServedMatchesIndependentRuns) {
   const auto [p0, p1] = run_remote_batch(f, f.snet->program(), [&](int party) {
     net::RemoteSessionOptions o;
     o.cfg = cfg;
+    o.allow_ideal_ot = true;
     o.source = net::TripleSourceKind::store;
     o.store = &copy[party];
     return o;
@@ -339,6 +408,7 @@ TEST(RemoteInference, BatchedRemoteDealerServedMatchesIndependentRuns) {
     const auto [p0, p1] = run_remote_batch(f, f.snet->program(), [&](int party) {
       net::RemoteSessionOptions o;
       o.cfg = cfg;
+      o.allow_ideal_ot = true;
       o.source = net::TripleSourceKind::dealer;
       o.dealer = &clients[party];
       return o;
@@ -352,6 +422,36 @@ TEST(RemoteInference, BatchedRemoteDealerServedMatchesIndependentRuns) {
   }
   dealer_thread.join();
   EXPECT_EQ(server.bundles_served(), 4u);  // 2 lanes x both parties
+}
+
+TEST(RemoteInference, BatchedRemoteOtExtServedMatchesIndependentRuns) {
+  proto::SecureConfig cfg;
+  cfg.ot_mode = pc::OtMode::dh_masked;
+  RemoteFixture f(nn::OpKind::relu, nn::OpKind::maxpool, /*num_queries=*/2, cfg);
+  const off::PreprocessingPlan plan = proto::Workload(*f.snet).plan();
+  pc::TrafficStats offline_stats[2];
+  const auto [p0, p1] = run_remote_batch(f, f.snet->program(), [&](int party) {
+    net::RemoteSessionOptions o;
+    o.cfg = cfg;
+    o.source = net::TripleSourceKind::ot_ext;
+    o.plan = &plan;
+    o.offline_stats_out = &offline_stats[party];
+    return o;
+  });
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    const ir::ExecResult ref =
+        reference_query(f, f.snet->program(), q, pc::ExecMode::lockstep, cfg, nullptr);
+    expect_same_logits(p0.first.logits[q], ref.logits, "party0 ot-ext batched");
+    expect_same_logits(p1.first.logits[q], ref.logits, "party1 ot-ext batched");
+  }
+  // One offline window generated both lanes' bundles; both meters agree
+  // with the two-lane analytic witness.
+  const off::OtExtCost cost = off::ot_ext_generation_cost(plan, f.queries.size());
+  for (const pc::TrafficStats& s : offline_stats) {
+    EXPECT_EQ(s.total_bytes(), cost.total_bytes());
+    EXPECT_EQ(s.rounds, cost.rounds);
+  }
+  EXPECT_EQ(p0.second.rounds, p1.second.rounds);
 }
 
 TEST(RemoteInference, SessionRefusesMismatchedPrograms) {

@@ -12,6 +12,8 @@
 #include <memory>
 
 #include "ir/passes.hpp"
+#include "ir/plan.hpp"
+#include "offline/ot_triple_source.hpp"
 #include "perf/ir_cost.hpp"
 #include "proto/secure_network.hpp"
 #include "proto/workload.hpp"
@@ -280,4 +282,40 @@ TEST(RoundGuard, AnalyticPerOpRoundsMatchProtocolStructure) {
   // Four tournament levels; per level the two selector multiplies share
   // one opening: drelu + b2a + selectors = 9.
   EXPECT_EQ(perf::ir_op_cost(m, argmax, 64).rounds, 4 * 9);
+}
+
+TEST(RoundGuard, OfflinePhaseProfileMatchesMeasuredOtExtGeneration) {
+  // The offline-phase analog of the online guard: the measured traffic of
+  // the two-party OT-extension generation run must EXACTLY equal
+  // perf::profile_offline_phase's figures, for a single query and a
+  // two-lane batch.
+  auto md = tiny_cnn(nn::OpKind::relu, nn::OpKind::maxpool);
+  pc::Prng wprng(77);
+  std::vector<int> node_of_layer;
+  auto g = nn::build_graph(md, wprng, &node_of_layer);
+  warm_up(*g, md.input_ch, md.input_h, 78);
+  pc::TwoPartyContext ctx;
+  proto::SecureNetwork snet(md, *g, node_of_layer, ctx);
+  const pasnet::offline::PreprocessingPlan plan =
+      ir::derive_plan(snet.program(), ctx.ring());
+  for (const int batch : {1, 2}) {
+    const perf::OfflinePhaseCost c =
+        perf::profile_offline_phase(snet.program(), ctx.ring(), batch);
+    pc::TwoPartyContext gctx;
+    std::vector<pasnet::offline::QueryBundle> bundles(static_cast<std::size_t>(batch));
+    std::vector<std::uint64_t> seeds;
+    for (int q = 0; q < batch; ++q) {
+      seeds.push_back(proto::SecureNetwork::query_dealer_seed(static_cast<std::size_t>(q)));
+    }
+    pasnet::offline::generate_bundles_ot_ext(plan, gctx, seeds, bundles.data());
+    EXPECT_EQ(gctx.stats().total_bytes(), c.ot_ext_wire_bytes) << "batch " << batch;
+    EXPECT_EQ(gctx.stats().rounds, c.ot_ext_rounds) << "batch " << batch;
+    EXPECT_EQ(gctx.stats().messages, c.ot_ext_messages) << "batch " << batch;
+    EXPECT_EQ(c.store_bytes_shipped,
+              plan.material_bytes_per_query() * static_cast<std::uint64_t>(batch));
+    EXPECT_EQ(c.material_elems,
+              plan.material_elems_per_query() * static_cast<std::uint64_t>(batch));
+    EXPECT_GT(c.ext_cots, 0u);
+    EXPECT_EQ(c.base_ots, 2u * 128u * static_cast<std::uint64_t>(1));  // both directions, once
+  }
 }

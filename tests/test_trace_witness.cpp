@@ -138,9 +138,11 @@ TEST(TraceWitness, RemoteLoopbackBatchSatisfiesThreeWitnessOnBothEndpoints) {
     net::PartySession session(party, *chan, pc::RingConfig{});
     obs::Tracer tracer;
     session.set_tracer(&tracer);
+    net::RemoteSessionOptions ropts;
+    ropts.allow_ideal_ot = true;  // loopback test: both parties in-process
     side.res = session.run_batch(f.snet->program(), f.snet->params(), 0,
                                  party == 0 ? &f.queries : nullptr, f.queries.size(),
-                                 net::RemoteSessionOptions{}, &side.stats, &side.trace);
+                                 ropts, &side.stats, &side.trace);
     return side;
   };
   auto side1 = std::async(std::launch::async, run_side, 1);
