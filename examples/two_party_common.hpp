@@ -11,8 +11,12 @@
 // generates the query inputs and ships only party 1's input-share halves;
 // --verify recomputes each query with the in-process engine and demands
 // bit-identical outputs and equal TrafficStats — the acceptance bar of
-// the transport subsystem.
+// the transport subsystem.  Under --triples=ot-ext the triple halves come
+// from each party's own private entropy, so --verify relaxes the VALUE
+// check to the fixed-point truncation tolerance (the transcript-shape
+// checks — bytes, rounds, messages — stay exact).
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -141,7 +145,8 @@ inline int run_party(int party, int argc, char** argv) {
                       "who produces the correlated randomness: 'dealer' trusts a third party "
                       "(--source picks fused/store/dealer-daemon delivery), 'ot-ext' makes the "
                       "two parties generate their own triples in-session over IKNP OT "
-                      "extension — no dealer daemon, no shared-seed triple stream");
+                      "extension — no dealer daemon, each party's triple halves drawn from "
+                      "its own private entropy");
   flags.define_string("source", "fused",
                       "dealer-trust delivery path (fused, store, dealer); ignored under "
                       "--triples=ot-ext");
@@ -152,7 +157,8 @@ inline int run_party(int party, int argc, char** argv) {
   flags.define_switch("label-only", "run the argmax-terminated classify program");
   flags.define_switch("verify",
                       "recompute every query in-process and require bit-identical outputs "
-                      "and equal TrafficStats (exit 1 on drift)");
+                      "and equal TrafficStats (exit 1 on drift); under --triples=ot-ext the "
+                      "output check uses the truncation tolerance instead of bit-identity");
   flags.define_int("preprocess", 0,
                    "instead of serving: pregenerate N query bundles into --store and exit");
   flags.define_int("timeout-ms", 30000, "socket connect/io timeout");
@@ -237,9 +243,15 @@ inline int run_party(int party, int argc, char** argv) {
   }
   const std::string source = flags.get_string("source");
   if (ot_ext) {
+    if (ropts.policy == offline::ExhaustionPolicy::Refill) {
+      std::fprintf(stderr, "--policy=refill is incompatible with --triples=ot-ext (the "
+                   "refill path serves shared-seed dealer triples); use --policy=throw\n");
+      return 2;
+    }
     ropts.source = net::TripleSourceKind::ot_ext;
     ropts.plan = &plan;
-    std::printf("triples: in-session IKNP OT extension (no dealer trust)\n");
+    std::printf("triples: in-session IKNP OT extension (no dealer trust, "
+                "role-private randomness)\n");
   } else if (source == "store") {
     ropts.source = net::TripleSourceKind::store;
     store = offline::TripleStore::load(flags.get_string("store"));
@@ -353,9 +365,14 @@ inline int run_party(int party, int argc, char** argv) {
 
     if (flags.get_switch("verify")) {
       // The in-process workload must agree bit for bit — same logits/labels
-      // lane by lane, same chunk bytes, same chunk rounds.  Every serving
-      // mode reproduces the canonical per-position transcripts, so one
-      // reference covers fused, store and networked-dealer sourcing.
+      // lane by lane, same chunk bytes, same chunk rounds.  Every dealer-
+      // trust serving mode reproduces the canonical per-position
+      // transcripts, so one reference covers fused, store and networked-
+      // dealer sourcing.  ot-ext triples are role-private entropy, so its
+      // value check allows the SecureML truncation's share-split noise
+      // (the chunk TrafficStats comparison below stays exact: message
+      // sizes depend on plan geometry, not triple values).
+      const float tol = ot_ext ? 0.05f : 0.0f;
       bool ok = true;
       for (std::size_t j = 0; ok && j < lanes; ++j) {
         if (label_only) {
@@ -363,7 +380,7 @@ inline int run_party(int party, int argc, char** argv) {
         } else {
           ok = res.logits[j].size() == ref.logits[q0 + j].size();
           for (std::size_t i = 0; ok && i < res.logits[j].size(); ++i) {
-            ok = res.logits[j][i] == ref.logits[q0 + j][i];  // bit-identical
+            ok = std::fabs(res.logits[j][i] - ref.logits[q0 + j][i]) <= tol;
           }
         }
         if (!ok) {
@@ -385,14 +402,22 @@ inline int run_party(int party, int argc, char** argv) {
       }
       if (!ok) {
         drift = 1;
+      } else if (ot_ext) {
+        std::printf("chunk %zu: verified within truncation tolerance, TrafficStats "
+                    "bit-equal to the in-process workload\n", chunk);
       } else {
         std::printf("chunk %zu: verified bit-identical to the in-process workload\n", chunk);
       }
     }
   }
   if (drift == 0 && flags.get_switch("verify")) {
-    std::printf("all %zu queries verified: outputs bit-identical, chunk TrafficStats equal\n",
-                queries);
+    if (ot_ext) {
+      std::printf("all %zu queries verified: outputs within truncation tolerance "
+                  "(role-private triples), chunk TrafficStats equal\n", queries);
+    } else {
+      std::printf("all %zu queries verified: outputs bit-identical, chunk TrafficStats "
+                  "equal\n", queries);
+    }
   }
   if (tracing) {
     tracer.write_chrome_trace_file(trace_path, /*pid=*/party);

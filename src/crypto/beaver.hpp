@@ -6,7 +6,7 @@
 // matrix triples Z = A · B, and boolean AND triples over Z2.
 //
 // Canonical two-stream construction.  Every triple kind is assembled from
-// two *role-private half streams*: party p draws its own mask halves
+// two *per-party half streams*: party p draws its own mask halves
 // (a_p, b_p) and its cross-term sender share x_p from
 // Prng(half_stream_seed(seed, p)), and the completed shares are
 //
@@ -15,12 +15,16 @@
 // i.e. z0 = (a0+a1) ⊙ b0 + x0 − x1 and symmetrically for z1 (matrix /
 // bilinear kinds substitute the appropriate product for ⊙).  The point of
 // this factoring is that o_p is exactly what a correlated-OT cross-term
-// protocol hands the receiver, so the genuine 2PC OT-extension generator
+// protocol hands the receiver, so the 2PC OT-extension generator
 // (src/crypto/ot_ext, src/offline/ot_triple_source) reproduces *identical*
-// triple values with no third party — dealer-served and OT-ext-served runs
-// stay bit-identical all the way to the logits.  TripleDealer is the
-// trusted-dealer *simulation* of that functionality: it holds both half
-// streams and evaluates the cross terms directly.
+// triple values with no third party whenever both sides draw from the
+// canonical half seeds — which in-process simulation contexts do, keeping
+// dealer-served and OT-ext-served runs bit-identical there.  Remote
+// contexts seed their halves from role-private entropy instead (the
+// canonical seeds are public between the endpoints), trading that
+// bit-identity for genuine secrecy.  TripleDealer is the trusted-dealer
+// *simulation* of the functionality: it holds both half streams and
+// evaluates the cross terms directly.
 //
 // `TripleCounters` records how much offline material the online protocols
 // consumed so experiments can report offline cost.

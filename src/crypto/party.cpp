@@ -4,13 +4,22 @@
 #include "crypto/ot.hpp"
 #include "crypto/ring_kernels.hpp"
 
+#include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <random>
 #include <stdexcept>
 #include <thread>
 #include <utility>
+
+#if defined(__linux__)
+#include <cerrno>
+#include <sys/random.h>
+#elif defined(__APPLE__) || defined(__FreeBSD__) || defined(__OpenBSD__) || defined(__NetBSD__)
+#include <cstdlib>  // arc4random_buf
+#endif
 
 namespace pasnet::crypto {
 
@@ -132,13 +141,60 @@ TwoPartyContext::TwoPartyContext(RingConfig rc, std::uint64_t seed, ExecMode mod
 
 namespace {
 
-/// Seed material for a remote context's role-private stream: OS entropy,
-/// never derived from anything the peer knows.
+/// Fills `n` bytes from the OS CSPRNG.  Returns false when no OS source is
+/// available (then the caller falls back to best-effort mixing).
+bool os_random_bytes(void* out, std::size_t n) {
+#if defined(__linux__)
+  auto* p = static_cast<unsigned char*>(out);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::getrandom(p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;  // e.g. ENOSYS on pre-3.17 kernels
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+#elif defined(__APPLE__) || defined(__FreeBSD__) || defined(__OpenBSD__) || defined(__NetBSD__)
+  arc4random_buf(out, n);
+  return true;
+#else
+  (void)out;
+  (void)n;
+  return false;
+#endif
+}
+
+/// Seed material for a remote context's role-private stream: 64 bytes of
+/// OS CSPRNG output folded through splitmix64.  std::random_device alone is
+/// not enough — the standard permits it to be deterministic (historically
+/// true on some MinGW toolchains), and a predictable seed here would make
+/// every "role-private" OT secret derivable by the peer.  When no OS source
+/// exists we still mix random_device with clocks, ASLR-dependent addresses
+/// and the thread id, so even a deterministic random_device cannot make two
+/// endpoints' streams collide or be precomputable from the binary alone.
 std::uint64_t entropy_seed() {
-  std::random_device rd;
-  const std::uint64_t hi = rd();
-  const std::uint64_t lo = rd();
-  return splitmix64((hi << 32) ^ lo ^ splitmix64(hi));
+  std::uint64_t words[8] = {};
+  std::uint64_t acc = 0x9E3779B97F4A7C15ULL;
+  if (!os_random_bytes(words, sizeof(words))) {
+    std::random_device rd;
+    for (std::uint64_t& w : words) {
+      w = (static_cast<std::uint64_t>(rd()) << 32) ^ static_cast<std::uint64_t>(rd());
+    }
+    acc ^= splitmix64(static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count()));
+    acc = splitmix64(acc ^ static_cast<std::uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count()));
+    acc = splitmix64(acc ^ static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(&words)));  // stack ASLR
+    acc = splitmix64(acc ^ static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(&splitmix64)));  // text/code ASLR
+    acc = splitmix64(acc ^ static_cast<std::uint64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  }
+  for (const std::uint64_t w : words) acc = splitmix64(acc ^ w);
+  return acc;
 }
 
 }  // namespace

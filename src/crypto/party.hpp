@@ -38,14 +38,25 @@
 // (they are seeded from the shared context seed), which is what keeps a
 // two-process run's transcript and logits bit-identical to the in-process
 // modes.  Genuinely secret values — the DH-OT receiver's blinding
-// exponents and sender ephemerals, and the OT-extension base secrets —
-// do NOT come from those shared streams: they are drawn from role_prng(),
-// which in a remote process is a private entropy-seeded stream the peer
-// never sees (in the simulation modes it aliases the shared ot_prng
-// streams, keeping the historical transcripts).  Peer-share slots of
-// local `Shared` values are garbage in a remote process; protocol code
-// never mixes shares across parties outside channel exchanges, so they
-// are never read.
+// exponents and sender ephemerals, the OT-extension base secrets, and the
+// OT-extension triple-generation half streams — do NOT come from those
+// shared streams: they are drawn from role_prng(), which in a remote
+// process is a private entropy-seeded stream the peer never sees (in the
+// simulation modes it aliases the shared ot_prng streams, keeping the
+// historical transcripts).  Peer-share slots of local `Shared` values are
+// garbage in a remote process; protocol code never mixes shares across
+// parties outside channel exchanges, so they are never read.
+//
+// Honest scope of the remote mode: the share-splitting streams prng(0)/
+// prng(1) and the canonical client input PRG are STILL derived from the
+// shared context seed in remote contexts — both endpoints can recompute
+// them, which is precisely what keeps the two processes' transcripts
+// aligned without extra traffic.  A peer that logs openings can therefore
+// unmask intermediate sharings, so a remote run is a transcript-faithful
+// simulation of the deployment, NOT yet a confidential 2PC execution
+// between mutually distrusting endpoints — even under --triples=ot-ext,
+// which closes the correlated-randomness (triple) side of that gap but
+// not the share-randomness side.  See README "Threat model" and ROADMAP.
 
 #include <cstdint>
 #include <functional>
@@ -250,9 +261,9 @@ class TwoPartyContext {
   /// mode too.  Seeded from the context seed, so remote processes agree.
   [[nodiscard]] Prng& ot_prng(int party) noexcept { return party == 0 ? ot_prng0_ : ot_prng1_; }
   /// The stream ROLE-SECRET values are drawn from: DH-OT blinding
-  /// exponents / sender ephemerals and OT-extension base secrets — values
-  /// whose secrecy against the *peer* is what the protocol's security
-  /// rests on.  In the simulation modes (both parties in one process) this
+  /// exponents / sender ephemerals, OT-extension base secrets, and the
+  /// OT-extension triple-generation half-stream seeds — values whose
+  /// secrecy against the *peer* is what the protocol's security rests on.  In the simulation modes (both parties in one process) this
   /// aliases ot_prng(party), so transcripts are unchanged there; in a
   /// remote process it is a private entropy-seeded stream, and asking for
   /// the PEER's role stream throws — the peer's secrets do not exist in

@@ -195,16 +195,27 @@ ir::BatchExecResult PartySession::run_batch(const ir::SecureProgram& program,
 
   // --- the offline window (TripleSourceKind::ot_ext only) -------------------
   // The two endpoints generate every lane's bundle themselves over IKNP OT
-  // extension: no dealer daemon, no shared-seed triple stream — each
-  // process draws only its own role-private halves and the cross terms
-  // arrive through correlated OTs.  The window is metered separately
-  // (stats reset on both sides of it) so the ONLINE window's traffic and
-  // trace witnesses are exactly what the other serving modes measure; the
-  // offline traffic has its own analytic witness, ot_ext_generation_cost.
+  // extension: no dealer daemon, and in this remote context each process
+  // draws its halves from role_prng (process-local entropy the peer cannot
+  // reconstruct) — so unlike every other serving mode the triple material
+  // here is NOT the canonical shared-seed stream, and logits match the
+  // dealer path only up to truncation-LSB noise.  The window is metered
+  // separately (stats reset on both sides of it) so the ONLINE window's
+  // traffic and trace witnesses are exactly what the other serving modes
+  // measure; the offline traffic has its own analytic witness,
+  // ot_ext_generation_cost.
   std::vector<offline::QueryBundle> ot_bundles;
   if (opts.source == TripleSourceKind::ot_ext) {
     if (opts.plan == nullptr) {
       throw std::invalid_argument("PartySession::run_batch: ot_ext source without a plan");
+    }
+    if (opts.policy == offline::ExhaustionPolicy::Refill) {
+      // Refill regenerates exhausted bundles from the canonical shared-seed
+      // dealer stream — silently swapping role-private material for
+      // peer-derivable material.  Refuse rather than void the trust model.
+      throw std::invalid_argument(
+          "PartySession::run_batch: ExhaustionPolicy::Refill is incompatible with "
+          "ot_ext (the refill path serves shared-seed dealer triples); use Throw");
     }
     chan_.reset_stats();
     obs::Tracer offline_tracer(tracing);
@@ -214,6 +225,9 @@ ir::BatchExecResult PartySession::run_batch(const ir::SecureProgram& program,
       crypto::TwoPartyContext gen_ctx(
           rc_, proto::SecureNetwork::query_context_seed(seed_idx[0]), party_, chan_);
       if (tracing) gen_ctx.set_tracer(&offline_tracer);
+      // The per-lane seeds only size the generation in a remote context
+      // (halves come from role_prng there); passing the canonical values
+      // keeps the call shape identical to the simulation paths.
       std::vector<std::uint64_t> seeds(lanes);
       for (std::size_t j = 0; j < lanes; ++j) {
         seeds[j] = proto::SecureNetwork::query_dealer_seed(seed_idx[j]);

@@ -8,7 +8,11 @@
 // each query runs on a fresh remote TwoPartyContext borrowed over it,
 // seeded with the SAME canonical per-query seeds the in-process batch and
 // store paths use — which is what makes two-process logits bit-identical
-// to the in-process transcripts, query for query.
+// to the in-process transcripts, query for query, for the fused / store /
+// dealer sources.  The ot_ext source is the exception by design: its
+// triple halves come from role-private entropy, so its logits match the
+// canonical transcripts only up to truncation-LSB noise (see
+// offline/ot_triple_source.hpp).
 //
 // Per query: party 0 computes the input sharing with the executor's
 // canonical client PRG and ships party 1's half as a setup frame (party 1
@@ -49,7 +53,9 @@ enum class TripleSourceKind {
   store,   ///< a locally loaded TripleStore file (claim_next order)
   dealer,  ///< bundle claims from a pasnet_dealer daemon
   ot_ext,  ///< generated in-session by the two parties over IKNP OT
-           ///< extension — no dealer daemon, no shared-seed triple stream
+           ///< extension — no dealer daemon; triple halves are drawn from
+           ///< role-private entropy (not any shared seed), so logits match
+           ///< the other sources only up to truncation-LSB noise
 };
 
 /// Per-session execution knobs.

@@ -333,15 +333,18 @@ void shape_bundle(const PreprocessingPlan& plan, QueryBundle& b) {
   }
 }
 
-/// Draws party p's canonical halves for every request and initializes its
-/// bundle shares to the LOCAL part of each triple: masks (a_p, b_p) plus
-/// the base z_p = f(a_p, b_p) + x_p — the cross terms o_p are added by the
-/// direction runs.  x_p is retained in `mat` for the correction pass.
-void fill_halves(const PreprocessingPlan& plan, int p, std::uint64_t dealer_seed,
+/// Draws party p's halves for every request from Prng(half_seed) and
+/// initializes its bundle shares to the LOCAL part of each triple: masks
+/// (a_p, b_p) plus the base z_p = f(a_p, b_p) + x_p — the cross terms o_p
+/// are added by the direction runs.  x_p is retained in `mat` for the
+/// correction pass.  The caller picks half_seed: canonical
+/// half_stream_seed(dealer_seed, p) in the simulation modes (dealer
+/// bit-identity), a role_prng draw in a remote process (peer-private).
+void fill_halves(const PreprocessingPlan& plan, int p, std::uint64_t half_seed,
                  QueryBundle& b, PartyLaneMat& mat) {
   const RingConfig& rc = plan.ring;
   const std::uint64_t mask = rc.mask();
-  Prng prng(crypto::half_stream_seed(dealer_seed, p));
+  Prng prng(half_seed);
   mat.x.assign(plan.requests.size(), RingVec{});
   mat.xbit.assign(plan.requests.size(), {});
   std::size_t elem_i = 0, square_i = 0, matmul_i = 0, bit_i = 0, bil_i = 0;
@@ -648,12 +651,28 @@ void generate_bundles_ot_ext(const PreprocessingPlan& plan, crypto::TwoPartyCont
   const std::size_t lanes = dealer_seeds.size();
   if (lanes == 0) return;
   for (std::size_t l = 0; l < lanes; ++l) shape_bundle(plan, bundles[l]);
+  // Half-stream seeding is the trust boundary of this generator.  In the
+  // in-process simulation modes both halves come from the canonical
+  // half_stream_seed(dealer_seed, p) so the bundles stay bit-identical to
+  // TripleDealer's — the verification contract the differential tests pin.
+  // In a remote (two-process) context that canonical seed is PUBLIC (both
+  // endpoints derive it from the query index), so using it would let the
+  // peer recompute this party's halves and with them every triple in the
+  // clear.  There each lane's half seed is drawn from role_prng instead:
+  // process-local entropy the peer cannot reconstruct.  That deliberately
+  // gives up dealer bit-identity for remote ot-ext runs — logits then agree
+  // with the dealer path only up to truncation-LSB noise — in exchange for
+  // triples that are genuinely secret between the two endpoints.
+  const bool remote = ctx.local_party() >= 0;
   std::vector<PartyLaneMat> mats[2];
   for (int p = 0; p < 2; ++p) {
     mats[p].resize(lanes);
     if (!ctx.runs(p)) continue;
     for (std::size_t l = 0; l < lanes; ++l) {
-      fill_halves(plan, p, dealer_seeds[l], bundles[l], mats[p][l]);
+      const std::uint64_t half_seed = remote
+                                          ? ctx.role_prng(p).next_u64()
+                                          : crypto::half_stream_seed(dealer_seeds[l], p);
+      fill_halves(plan, p, half_seed, bundles[l], mats[p][l]);
     }
   }
   WalkIo io;

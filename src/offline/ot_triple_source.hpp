@@ -3,15 +3,24 @@
 // with NO third party.
 //
 // The dealer path simulates the triple functionality by holding both
-// role-private half streams (crypto/beaver.hpp); this generator realizes
-// the same functionality as a genuine 2PC protocol: each party draws ONLY
-// its own half (a_p, b_p, x_p) from Prng(half_stream_seed(seed, p)) and the
-// cross terms o_p = a_peer ⊙ b_p − x_peer arrive through correlated OTs
-// built on crypto/ot_ext.  Because the canonical construction makes z_p a
-// deterministic function of the two half streams alone, the bundles this
-// generator produces are BIT-IDENTICAL to TripleDealer's for the same
-// dealer seed — which is what keeps OT-ext-served logits equal to
-// dealer-served logits on every serving mode.
+// half streams (crypto/beaver.hpp); this generator realizes the same
+// functionality as a genuine 2PC protocol: each party draws ONLY its own
+// half (a_p, b_p, x_p) and the cross terms o_p = a_peer ⊙ b_p − x_peer
+// arrive through correlated OTs built on crypto/ot_ext.  Where the half
+// seeds come from is the trust boundary:
+//
+//  - In-process simulation contexts seed party p's half from the canonical
+//    half_stream_seed(dealer_seed, p).  z_p is then a deterministic
+//    function of the two half streams alone, so the bundles are
+//    BIT-IDENTICAL to TripleDealer's for the same dealer seed — the
+//    verification contract the dealer-differential tests pin.
+//  - Remote (two-process) contexts seed each half from role_prng —
+//    process-local entropy — because the canonical seed is public and
+//    would let the peer recompute this party's halves (and thus every
+//    triple) offline.  Remote ot-ext bundles are therefore role-private
+//    and NOT dealer-identical; logits agree with dealer-served runs only
+//    up to fixed-point truncation-LSB noise (the share split differs, and
+//    SecureML local truncation noise rides on the share split).
 //
 // Per direction (sender S, receiver R) the cross term decomposes into one
 // correlated OT per (choice element, ring bit): R's choice bit is bit i of
@@ -62,10 +71,13 @@ struct OtExtCost {
 /// Generates `dealer_seeds.size()` query bundles of `plan`'s material into
 /// `bundles` (a caller-owned array of that length) by running the two
 /// IKNP directions over `ctx`'s channel(s).  In the in-process simulation
-/// modes both roles run on the calling thread; in a remote context only the
-/// local party's halves are filled (peer share slots stay zero, exactly
-/// like slice_bundle_for_party).  The produced bundles equal
-/// TripleDealer(plan.ring, dealer_seeds[j])'s draws, value for value.
+/// modes both roles run on the calling thread and the produced bundles
+/// equal TripleDealer(plan.ring, dealer_seeds[j])'s draws, value for
+/// value.  In a remote context only the local party's halves are filled
+/// (peer share slots stay zero, exactly like slice_bundle_for_party), and
+/// they are drawn from role_prng — dealer_seeds then only sets the lane
+/// count; see the file comment for why remote bundles are role-private
+/// rather than dealer-identical.
 /// Counts obs::Counter::ot_ext_base / ot_ext_cots on ctx's tracer.
 void generate_bundles_ot_ext(const PreprocessingPlan& plan, crypto::TwoPartyContext& ctx,
                              const std::vector<std::uint64_t>& dealer_seeds,

@@ -1,8 +1,9 @@
 // IKNP OT extension and the 2PC triple generator built on it: transpose
 // and frame-level properties, COT correlation after derandomization,
-// malformed-frame rejection, dealer-equality of generated bundles (the
-// bit-identity contract), the analytic traffic witness, and the remote
-// trust-gap fixes (role-private randomness, ideal-OT refusal).
+// malformed-frame rejection, dealer-equality of SIMULATION-mode bundles
+// (the bit-identity verification contract), the analytic traffic witness,
+// and the remote trust-gap fixes (role-private half streams and OT
+// secrets, ideal-OT refusal).
 
 #include <gtest/gtest.h>
 
@@ -347,12 +348,12 @@ TEST(OtExtTriples, MeasuredTrafficMatchesAnalyticCost) {
   }
 }
 
-TEST(OtExtTriples, RemoteEndpointsProduceDealerHalvesWithPrivateRandomness) {
-  // Two "processes" (remote contexts over a threaded channel pair) generate
-  // jointly: each ends with exactly its dealer-path halves, the peer slots
-  // stay zero, and no shared-seed triple stream exists anywhere.
-  const off::PreprocessingPlan plan = all_kinds_plan();
-  const std::uint64_t seed = 0xFACEFEEDULL;
+namespace {
+
+/// One joint generation across two remote contexts over a threaded
+/// loopback pair — the in-test stand-in for two OS processes.
+std::pair<off::QueryBundle, off::QueryBundle> remote_generate(
+    const off::PreprocessingPlan& plan, std::uint64_t seed) {
   auto chans = pc::Channel::make_pair(pc::ChannelMode::threaded);
   pc::Channel& c0 = *chans.first;
   pc::Channel& c1 = *chans.second;
@@ -367,32 +368,110 @@ TEST(OtExtTriples, RemoteEndpointsProduceDealerHalvesWithPrivateRandomness) {
   });
   t0.join();
   t1.join();
+  return {std::move(b0), std::move(b1)};
+}
+
+/// Merges party 0's halves of `b0` with party 1's halves of `b1` — what an
+/// outside verifier holding both processes' outputs would reassemble.
+off::QueryBundle merge_remote(const off::QueryBundle& b0, const off::QueryBundle& b1) {
+  off::QueryBundle m = b0;
+  for (std::size_t i = 0; i < m.elem.size(); ++i) {
+    m.elem[i].a.s1 = b1.elem[i].a.s1;
+    m.elem[i].b.s1 = b1.elem[i].b.s1;
+    m.elem[i].z.s1 = b1.elem[i].z.s1;
+  }
+  for (std::size_t i = 0; i < m.square.size(); ++i) {
+    m.square[i].a.s1 = b1.square[i].a.s1;
+    m.square[i].z.s1 = b1.square[i].z.s1;
+  }
+  for (std::size_t i = 0; i < m.matmul.size(); ++i) {
+    m.matmul[i].a.s1 = b1.matmul[i].a.s1;
+    m.matmul[i].b.s1 = b1.matmul[i].b.s1;
+    m.matmul[i].z.s1 = b1.matmul[i].z.s1;
+  }
+  for (std::size_t i = 0; i < m.bilinear.size(); ++i) {
+    m.bilinear[i].a.s1 = b1.bilinear[i].a.s1;
+    m.bilinear[i].b.s1 = b1.bilinear[i].b.s1;
+    m.bilinear[i].z.s1 = b1.bilinear[i].z.s1;
+  }
+  for (std::size_t i = 0; i < m.bit.size(); ++i) {
+    m.bit[i].a1 = b1.bit[i].a1;
+    m.bit[i].b1 = b1.bit[i].b1;
+    m.bit[i].c1 = b1.bit[i].c1;
+  }
+  return m;
+}
+
+/// Asserts the algebraic triple relations on a reconstructed bundle.
+void expect_relations_hold(const off::PreprocessingPlan& plan, const off::QueryBundle& b) {
+  const pc::RingConfig rc = plan.ring;
+  const std::uint64_t mask = rc.mask();
+  const auto rec = [&](const pc::Shared& s, std::size_t i) {
+    return (s.s0[i] + s.s1[i]) & mask;
+  };
+  for (const auto& t : b.elem) {
+    for (std::size_t i = 0; i < t.a.size(); ++i) {
+      EXPECT_EQ(rec(t.z, i), (rec(t.a, i) * rec(t.b, i)) & mask);
+    }
+  }
+  for (const auto& t : b.square) {
+    for (std::size_t i = 0; i < t.a.size(); ++i) {
+      EXPECT_EQ(rec(t.z, i), (rec(t.a, i) * rec(t.a, i)) & mask);
+    }
+  }
+  for (const auto& t : b.matmul) {
+    const pc::RingVec a = pc::reconstruct(t.a, rc);
+    const pc::RingVec bb = pc::reconstruct(t.b, rc);
+    const pc::RingVec z = pc::ring_matmul(a, bb, t.m, t.k, t.n, rc);
+    for (std::size_t i = 0; i < z.size(); ++i) EXPECT_EQ(rec(t.z, i), z[i]);
+  }
+  for (const auto& t : b.bit) {
+    for (std::size_t i = 0; i < t.a0.size(); ++i) {
+      EXPECT_EQ(t.c0[i] ^ t.c1[i], (t.a0[i] ^ t.a1[i]) & (t.b0[i] ^ t.b1[i]));
+    }
+  }
+  std::size_t bi = 0;
+  for (const off::TripleRequest& r : plan.requests) {
+    if (r.kind != off::TripleKind::bilinear) continue;
+    const auto& t = b.bilinear[bi++];
+    const auto f = pc::build_bilinear_map(r.bilinear, rc);
+    const pc::RingVec z = f(pc::reconstruct(t.a, rc), pc::reconstruct(t.b, rc));
+    for (std::size_t i = 0; i < z.size(); ++i) EXPECT_EQ(rec(t.z, i), z[i]);
+  }
+  EXPECT_EQ(bi, b.bilinear.size());
+}
+
+}  // namespace
+
+TEST(OtExtTriples, RemoteEndpointsGenerateRolePrivateTriples) {
+  // Two "processes" (remote contexts over a threaded channel pair) generate
+  // jointly.  Unlike the simulation modes, their halves must come from
+  // role-private entropy: correct triples, peer slots zero, and NOT the
+  // canonical dealer stream — a peer holding the public dealer seed must
+  // not be able to precompute this party's material.
+  const off::PreprocessingPlan plan = all_kinds_plan();
+  const std::uint64_t seed = 0xFACEFEEDULL;
+  const auto [b0, b1] = remote_generate(plan, seed);
+  // Peer slots stay zero in each process.
+  for (std::size_t i = 0; i < b0.elem.size(); ++i) {
+    EXPECT_EQ(b0.elem[i].a.s1, pc::RingVec(b0.elem[i].a.s1.size(), 0));
+    EXPECT_EQ(b1.elem[i].a.s0, pc::RingVec(b1.elem[i].a.s0.size(), 0));
+  }
+  // The reassembled material is a correct triple set...
+  expect_relations_hold(plan, merge_remote(b0, b1));
+  // ...but no half equals the canonical (publicly derivable) dealer draw:
+  // with 64-bit elements a collision is overwhelmingly unlikely.
   const off::QueryBundle want = dealer_bundle(plan, seed);
-  // Party 0's halves match the dealer stream; party 1 slots are zero.
-  for (std::size_t i = 0; i < want.elem.size(); ++i) {
-    EXPECT_EQ(b0.elem[i].a.s0, want.elem[i].a.s0);
-    EXPECT_EQ(b0.elem[i].z.s0, want.elem[i].z.s0);
-    EXPECT_EQ(b0.elem[i].a.s1, pc::RingVec(want.elem[i].a.s1.size(), 0));
-    EXPECT_EQ(b1.elem[i].a.s1, want.elem[i].a.s1);
-    EXPECT_EQ(b1.elem[i].z.s1, want.elem[i].z.s1);
-    EXPECT_EQ(b1.elem[i].a.s0, pc::RingVec(want.elem[i].a.s0.size(), 0));
-  }
-  for (std::size_t i = 0; i < want.matmul.size(); ++i) {
-    EXPECT_EQ(b0.matmul[i].z.s0, want.matmul[i].z.s0);
-    EXPECT_EQ(b1.matmul[i].z.s1, want.matmul[i].z.s1);
-  }
-  for (std::size_t i = 0; i < want.bilinear.size(); ++i) {
-    EXPECT_EQ(b0.bilinear[i].z.s0, want.bilinear[i].z.s0);
-    EXPECT_EQ(b1.bilinear[i].z.s1, want.bilinear[i].z.s1);
-  }
-  for (std::size_t i = 0; i < want.square.size(); ++i) {
-    EXPECT_EQ(b0.square[i].z.s0, want.square[i].z.s0);
-    EXPECT_EQ(b1.square[i].z.s1, want.square[i].z.s1);
-  }
-  for (std::size_t i = 0; i < want.bit.size(); ++i) {
-    EXPECT_EQ(b0.bit[i].c0, want.bit[i].c0);
-    EXPECT_EQ(b1.bit[i].c1, want.bit[i].c1);
-  }
+  EXPECT_NE(b0.elem[0].a.s0, want.elem[0].a.s0);
+  EXPECT_NE(b1.elem[0].a.s1, want.elem[0].a.s1);
+  EXPECT_NE(b0.matmul[0].a.s0, want.matmul[0].a.s0);
+  EXPECT_NE(b1.bilinear[0].b.s1, want.bilinear[0].b.s1);
+  // Fresh entropy per context: a second joint run yields different halves
+  // (no replayable stream exists for this material anywhere).
+  const auto [c0run, c1run] = remote_generate(plan, seed);
+  EXPECT_NE(c0run.elem[0].a.s0, b0.elem[0].a.s0);
+  EXPECT_NE(c1run.elem[0].a.s1, b1.elem[0].a.s1);
+  expect_relations_hold(plan, merge_remote(c0run, c1run));
 }
 
 TEST(RolePrivateRandomness, RemoteStreamsDifferAcrossProcessesAndFromSharedStreams) {

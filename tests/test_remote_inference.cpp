@@ -4,7 +4,11 @@
 // party_client binaries drive across OS processes.  The acceptance bar:
 // logits bit-identical to the in-process modes (threaded AND lockstep)
 // and TrafficStats bytes/rounds equal to the simulated channel's, for the
-// fused, store-served, and networked-dealer serving modes.
+// fused, store-served, and networked-dealer serving modes.  The ot-ext
+// serving mode is the deliberate exception: its triples come from
+// role-private entropy, so both endpoints must agree exactly with EACH
+// OTHER but only match the canonical reference within truncation
+// tolerance (transcript shape stays exactly equal).
 
 #include <gtest/gtest.h>
 
@@ -114,6 +118,20 @@ void expect_same_logits(const nn::Tensor& a, const nn::Tensor& b, const char* wh
   }
 }
 
+/// ot-ext remote runs draw their triple halves from role-private entropy,
+/// so their share splits — and with them SecureML truncation's ±1-LSB
+/// noise — differ from the canonical transcripts: logits agree with the
+/// dealer-served reference only within the repo's secure-vs-plain
+/// fixed-point tolerance, not bit for bit.
+constexpr float kTruncNoiseTol = 0.05f;
+
+void expect_close_logits(const nn::Tensor& a, const nn::Tensor& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], kTruncNoiseTol) << what << " element " << i;
+  }
+}
+
 void expect_remote_matches_reference(const RemoteFixture& f, const ir::SecureProgram& program,
                                      proto::SecureConfig cfg,
                                      const std::pair<PartyOutcome, PartyOutcome>& outcome) {
@@ -218,9 +236,12 @@ TEST(RemoteInference, StoreServedTwoProcessMatches) {
 TEST(RemoteInference, OtExtServedTwoProcessMatchesWithNoIdealOtHatch) {
   // The trust-gap acceptance case: two endpoints, --triples=ot-ext, NO
   // dealer daemon, NO shared-seed triple stream, NO ideal-OT escape hatch —
-  // the full dh_masked + OT-extension stack — and the logits still equal
-  // the dealer-served reference bit for bit, with the online meter
-  // untouched by the offline window.
+  // the full dh_masked + OT-extension stack.  The triple halves are
+  // role-private entropy, so the logits are NOT bit-identical to the
+  // dealer-served reference: both endpoints must reveal the SAME result,
+  // within truncation tolerance of the reference, with the transcript
+  // SHAPE (bytes/rounds/messages) still exactly equal and the online
+  // meter untouched by the offline window.
   proto::SecureConfig cfg;
   cfg.ot_mode = pc::OtMode::dh_masked;
   RemoteFixture f(nn::OpKind::relu, nn::OpKind::maxpool, 2, cfg);
@@ -234,7 +255,25 @@ TEST(RemoteInference, OtExtServedTwoProcessMatchesWithNoIdealOtHatch) {
     o.offline_stats_out = &offline_stats[party];
     return o;
   });
-  expect_remote_matches_reference(f, f.snet->program(), cfg, outcome);
+  const auto& [p0, p1] = outcome;
+  for (std::size_t q = 0; q < f.queries.size(); ++q) {
+    pc::TrafficStats ref_stats;
+    const ir::ExecResult ref =
+        reference_query(f, f.snet->program(), q, pc::ExecMode::threaded, cfg, &ref_stats);
+    // The joint opening reveals one value: both endpoints agree exactly.
+    expect_same_logits(p0.results[q].logits, p1.results[q].logits, "party0 vs party1");
+    EXPECT_EQ(p0.results[q].labels, p1.results[q].labels) << "query " << q;
+    // Role-private triples shift the share split, so vs the canonical
+    // reference only truncation-level closeness holds.
+    expect_close_logits(p0.results[q].logits, ref.logits, "ot-ext vs dealer reference");
+    // Message sizes depend on shapes, not values: the online transcript
+    // shape is unchanged by the randomness swap.
+    for (const pc::TrafficStats* s : {&p0.stats[q], &p1.stats[q]}) {
+      EXPECT_EQ(s->total_bytes(), ref_stats.total_bytes()) << "query " << q;
+      EXPECT_EQ(s->rounds, ref_stats.rounds) << "query " << q;
+      EXPECT_EQ(s->messages, ref_stats.messages) << "query " << q;
+    }
+  }
   // Offline witness: both endpoints metered the generation window, and it
   // matches the analytic model exactly.
   const off::OtExtCost cost = off::ot_ext_generation_cost(plan, /*lanes=*/1);
@@ -441,8 +480,11 @@ TEST(RemoteInference, BatchedRemoteOtExtServedMatchesIndependentRuns) {
   for (std::size_t q = 0; q < f.queries.size(); ++q) {
     const ir::ExecResult ref =
         reference_query(f, f.snet->program(), q, pc::ExecMode::lockstep, cfg, nullptr);
-    expect_same_logits(p0.first.logits[q], ref.logits, "party0 ot-ext batched");
-    expect_same_logits(p1.first.logits[q], ref.logits, "party1 ot-ext batched");
+    // Endpoints reveal identically; role-private triples keep the result
+    // only truncation-close to the canonical independent runs.
+    expect_same_logits(p0.first.logits[q], p1.first.logits[q],
+                       "party0 vs party1 ot-ext batched");
+    expect_close_logits(p0.first.logits[q], ref.logits, "ot-ext batched vs reference");
   }
   // One offline window generated both lanes' bundles; both meters agree
   // with the two-lane analytic witness.
