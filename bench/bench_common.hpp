@@ -21,12 +21,14 @@
 #include "core/darts.hpp"
 #include "core/derive.hpp"
 #include "data/synthetic.hpp"
+#include "obs/tracer.hpp"
 
 namespace pasnet::benchutil {
 
 namespace core = pasnet::core;
 namespace data = pasnet::data;
 namespace nn = pasnet::nn;
+namespace obs = pasnet::obs;
 namespace pc = pasnet::crypto;
 namespace perf = pasnet::perf;
 
@@ -133,6 +135,30 @@ inline double cifar_latency_ms(nn::Backbone backbone, const nn::ArchChoices& cho
   auto lut = make_lut();
   const auto md = nn::apply_choices(cifar_backbone(backbone), choices);
   return perf::profile_network(md, lut).latency_ms();
+}
+
+/// Folds a run's obs::Tracer totals into the bench's counter row, so the
+/// --json report carries the protocol shape next to the wall time: rounds
+/// and accounted wire bytes per iteration, the accumulated socket-wait
+/// microseconds, and the chunk-latency percentiles from the log-bucketed
+/// histogram.  Attach the tracer (e.g. Workload::set_tracer) before the
+/// timed loop and call this after it.
+inline void report_tracer_counters(benchmark::State& state, const obs::Tracer& tracer) {
+  const obs::CounterSnapshot cs = tracer.snapshot();
+  const double per_iter =
+      state.iterations() > 0 ? static_cast<double>(state.iterations()) : 1.0;
+  state.counters["rounds_per_iter"] =
+      static_cast<double>(cs[obs::Counter::rounds]) / per_iter;
+  state.counters["wire_B_per_iter"] = static_cast<double>(cs.total_bytes()) / per_iter;
+  state.counters["recv_wait_us_per_iter"] =
+      static_cast<double>(cs[obs::Counter::recv_wait_us]) / per_iter;
+  state.counters["send_wait_us_per_iter"] =
+      static_cast<double>(cs[obs::Counter::send_wait_us]) / per_iter;
+  const obs::Histogram h = tracer.histogram(obs::Sample::chunk_us);
+  if (h.count() > 0) {
+    state.counters["chunk_us_p50"] = static_cast<double>(h.percentile(0.5));
+    state.counters["chunk_us_p99"] = static_cast<double>(h.percentile(0.99));
+  }
 }
 
 inline const nn::Backbone kAllBackbones[] = {

@@ -23,6 +23,7 @@
 #include <sstream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "proto/secure_network.hpp"
 #include "proto/workload.hpp"
 #include "support/test_models.hpp"
@@ -90,6 +91,8 @@ void bm_serve_batch(benchmark::State& state) {
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
 
   proto::Workload wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, workers});
+  pasnet::obs::Tracer tracer(true);
+  wl.set_tracer(&tracer);
   std::uint64_t per_query_bytes = 0, online_bytes = 0;
   for (auto _ : state) {
     off::TripleStore store;
@@ -114,6 +117,7 @@ void bm_serve_batch(benchmark::State& state) {
       static_cast<double>(state.iterations() * kBatch), benchmark::Counter::kIsRate);
   state.counters["comm_KB_per_query"] = static_cast<double>(per_query_bytes) / 1024.0;
   state.counters["online_KB_per_query"] = static_cast<double>(online_bytes) / 1024.0;
+  pasnet::benchutil::report_tracer_counters(state, tracer);
 }
 
 /// End-to-end smoke pass for CI: tiny model, 2 queries, generate → save →

@@ -68,6 +68,8 @@ void bm_infer_batch(benchmark::State& state) {
   proto::SecureNetwork snet(f.md, *f.graph, f.node_of_layer, ctx);
 
   proto::Workload wl(snet, {proto::WorkloadKind::logits, /*batch=*/1, workers});
+  pasnet::obs::Tracer tracer(true);
+  wl.set_tracer(&tracer);
   std::uint64_t per_query_bytes = 0;
   for (auto _ : state) {
     const auto out = wl.run(f.queries);
@@ -80,6 +82,7 @@ void bm_infer_batch(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
   // Per-query traffic must not depend on the worker count.
   state.counters["comm_B_per_query"] = static_cast<double>(per_query_bytes);
+  pasnet::benchutil::report_tracer_counters(state, tracer);
 }
 
 BENCHMARK(bm_infer_batch)
@@ -119,6 +122,8 @@ void bm_single_context_batch(benchmark::State& state) {
   }
 
   proto::Workload wl(snet, {proto::WorkloadKind::logits, k, /*worker_pairs=*/1});
+  pasnet::obs::Tracer tracer(true);
+  wl.set_tracer(&tracer);
   std::uint64_t chunk_rounds = 0, chunk_bytes = 0;
   for (auto _ : state) {
     const auto out = wl.run(queries);
@@ -134,6 +139,7 @@ void bm_single_context_batch(benchmark::State& state) {
       static_cast<double>(chunk_rounds) / static_cast<double>(k);
   state.counters["comm_B_per_query"] =
       static_cast<double>(chunk_bytes) / static_cast<double>(k);
+  pasnet::benchutil::report_tracer_counters(state, tracer);
 }
 
 BENCHMARK(bm_single_context_batch)

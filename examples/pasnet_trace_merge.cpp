@@ -1,0 +1,58 @@
+// pasnet_trace_merge — folds the per-process Chrome trace files one
+// deployment emits (party 0 + party 1 + dealer) into ONE Perfetto-loadable
+// timeline with per-process lanes, validating that every input carries the
+// same run trace id and aligning each file's clock onto the run reference
+// axis (see src/obs/trace_merge.hpp).
+//
+//   pasnet_trace_merge --inputs=p0.json,p1.json,dealer.json --out=merged.json
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "example_flags.hpp"
+#include "obs/trace_merge.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pasnet;
+
+  examples::FlagSet flags("Merge per-process pasnet Chrome traces into one correlated timeline");
+  flags.define_string("inputs", "", "comma-separated per-process trace JSON files (>= 1)");
+  flags.define_string("out", "merged_trace.json", "merged Chrome trace output path");
+  flags.parse(argc, argv);
+
+  std::vector<std::string> inputs;
+  const std::string& arg = flags.get_string("inputs");
+  std::size_t pos = 0;
+  while (pos <= arg.size() && !arg.empty()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string item =
+        arg.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!item.empty()) inputs.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "error: --inputs needs at least one trace file\n");
+    return 2;
+  }
+
+  try {
+    const obs::MergeResult r = obs::merge_chrome_trace_files(inputs, flags.get_string("out"));
+    std::printf("merged %zu process lanes, %zu spans, trace id %s, span %.3f ms -> %s\n",
+                r.processes.size(), r.events, r.trace_id.to_hex().c_str(),
+                static_cast<double>(r.span_us) / 1000.0, flags.get_string("out").c_str());
+    for (const obs::MergedProcess& p : r.processes) {
+      std::printf("  pid %d  %-12s offset %+8lld us  %6zu spans  (%s)\n", p.pid,
+                  p.name.empty() ? "(unnamed)" : p.name.c_str(),
+                  static_cast<long long>(p.clock_offset_us), p.events, p.path.c_str());
+    }
+  } catch (const obs::TraceMergeError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -110,6 +110,10 @@ int main(int argc, char** argv) {
   const std::string trace_path = flags.get_string("trace");
   const bool tracing = !trace_path.empty();
   obs::Tracer tracer(tracing);
+  // Standalone runs have no transport handshake to mint the run id, so
+  // mint one here — the exported file stays mergeable (pasnet_trace_merge
+  // refuses the zero id).
+  if (tracing) tracer.set_trace_id(obs::TraceId::mint());
 
   pc::TwoPartyContext ctx;
   proto::SecureNetwork snet(arch.descriptor, *graph, node_of_layer, ctx);

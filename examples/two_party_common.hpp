@@ -16,12 +16,17 @@
 // check to the fixed-point truncation tolerance (the transcript-shape
 // checks — bytes, rounds, messages — stay exact).
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "example_flags.hpp"
 #include "net/party_session.hpp"
+#include "obs/expose.hpp"
 #include "obs/tracer.hpp"
 #include "offline/ot_triple_source.hpp"
 #include "obs/witness.hpp"
@@ -166,6 +171,16 @@ inline int run_party(int party, int argc, char** argv) {
                       "write this party's protocol timeline (Chrome trace event JSON, loads "
                       "in Perfetto) to this path; every chunk is also cross-checked against "
                       "TrafficStats and the analytic cost model (exit 1 on mismatch)");
+  flags.define_int("metrics-port", 0,
+                   "serve live /metrics (Prometheus text) and /healthz (JSON) on this port "
+                   "while the party runs (0 = off); with --verify the scraped totals become "
+                   "a fourth witness that must equal trace/TrafficStats/analytic");
+  flags.define_string("metrics-bind", "127.0.0.1",
+                      "metrics listen address (loopback by default: the endpoints expose "
+                      "unauthenticated operational metadata)");
+  flags.define_int("metrics-linger-ms", 0,
+                   "keep the metrics endpoints up this long after the last query finishes "
+                   "(lets an external scraper collect the final totals)");
   flags.parse(argc, argv);
 
   const proto::SecureConfig cfg = config_from_flags(flags);
@@ -218,14 +233,26 @@ inline int run_party(int party, int argc, char** argv) {
                                    static_cast<std::uint16_t>(flags.get_int("port")), 0, topts);
   }
   net::PartySession session(party, *chan, crypto::RingConfig{});
-  // --trace: one tracer for the whole session; each chunk merges its
-  // per-chunk records in, and the chunk's counter totals are checked
-  // against BOTH the channel meter and the analytic cost model (the
-  // three-witness invariant) before anything is written out.
+  // Observability: one tracer for the whole session, live whenever --trace
+  // or --metrics-port asks for it; each chunk merges its per-chunk records
+  // in, and under --trace the chunk's counter totals are checked against
+  // BOTH the channel meter and the analytic cost model (the three-witness
+  // invariant) before anything is written out.
   const std::string trace_path = flags.get_string("trace");
   const bool tracing = !trace_path.empty();
-  obs::Tracer tracer(tracing);
-  if (tracing) session.set_tracer(&tracer);
+  const long long metrics_port_flag = flags.get_int("metrics-port");
+  const bool metrics = metrics_port_flag != 0;
+  obs::Tracer tracer(tracing || metrics);
+  if (tracer.enabled()) session.set_tracer(&tracer);
+  // The party-channel handshake minted (party 0) or adopted (party 1) the
+  // run's trace id and estimated this process's trace-clock offset against
+  // the reference clock.  Stamp both into the tracer, and present them
+  // when dialing the dealer so the daemon's trace correlates and aligns
+  // without any shared configuration.
+  tracer.set_trace_id(chan->session_trace_id());
+  tracer.set_clock_offset_us(chan->session_clock_offset_us());
+  topts.trace_id = chan->session_trace_id();
+  topts.local_clock_offset_us = chan->session_clock_offset_us();
   session.verify_plan(plan);
 
   // Correlated-randomness source.
@@ -276,6 +303,45 @@ inline int run_party(int party, int argc, char** argv) {
 
   const auto queries = static_cast<std::size_t>(flags.get_int("queries"));
   const auto lanes_per_chunk = static_cast<std::size_t>(batch);
+
+  // Live exposition endpoints: /metrics + /healthz served from one
+  // hardened thread while the queries run.  The health atomics below are
+  // written by the serving loop and polled per scrape.
+  std::atomic<std::uint64_t> chunks_done{0};
+  std::atomic<std::uint64_t> claims_done{0};
+  std::atomic<int> last_witness{-1};
+  const std::uint64_t claim_capacity =
+      ropts.source == net::TripleSourceKind::store    ? store.num_queries()
+      : ropts.source == net::TripleSourceKind::dealer ? dealer->info().num_queries
+                                                      : 0;
+  std::unique_ptr<obs::ExpositionServer> metrics_server;
+  if (metrics) {
+    obs::ExpositionServer::Options mopts;
+    mopts.bind_addr = flags.get_string("metrics-bind");
+    mopts.port = static_cast<std::uint16_t>(metrics_port_flag);
+    mopts.job = "party";
+    mopts.instance = party == 0 ? "party0" : "party1";
+    metrics_server = std::make_unique<obs::ExpositionServer>(
+        tracer, mopts, [&chunks_done, &claims_done, &last_witness, claim_capacity] {
+          obs::HealthFields hf;
+          hf.sessions_served = chunks_done.load(std::memory_order_relaxed);
+          hf.witness = last_witness.load(std::memory_order_relaxed);
+          hf.store_total = claim_capacity;
+          hf.store_claimed = claims_done.load(std::memory_order_relaxed);
+          return hf;
+        });
+    metrics_server->start();
+    std::printf("party %d: serving /metrics and /healthz on %s:%u\n", party,
+                mopts.bind_addr.c_str(), metrics_server->port());
+    std::fflush(stdout);
+  }
+
+  // Four-witness accumulators: whole-run totals of the channel meter and
+  // the analytic model (ot-ext offline windows included — the session
+  // tracer absorbs those too), compared after the last chunk against the
+  // tracer counters AND a real scrape of our own /metrics endpoint.
+  std::uint64_t meter_rounds = 0, meter_bytes = 0;
+  std::uint64_t analytic_rounds = 0, analytic_bytes = 0;
 
   // --verify reference: an in-process workload with the SAME batch width
   // walks the same chunk layout and canonical lane seeds, so its outputs
@@ -348,20 +414,36 @@ inline int run_party(int party, int argc, char** argv) {
                 static_cast<unsigned long long>(stats.messages));
     std::fflush(stdout);
 
-    if (tracing) {
-      // Three-witness self-check: the tracer's independently mirrored
-      // counters, the channel meter, and the static cost model must agree
-      // on this chunk's rounds and wire bytes exactly.
+    if (tracing || metrics) {
       const perf::LatencyModel lat(perf::HardwareConfig::zcu104(),
                                    perf::NetworkConfig::lan_1gbps());
       const perf::ProgramCost cost =
           perf::profile_program(lat, program, crypto::RingConfig{}.bits,
                                 crypto::RingConfig{}.wire_bits, static_cast<int>(lanes));
-      const obs::WitnessReport report = obs::three_witness(
-          chunk_trace, stats, static_cast<std::uint64_t>(cost.total.rounds), cost.wire_bytes);
-      std::printf("chunk %zu: %s\n", chunk, report.describe().c_str());
-      if (!report.ok()) drift = 1;
+      meter_rounds += stats.rounds;
+      meter_bytes += stats.total_bytes();
+      analytic_rounds += static_cast<std::uint64_t>(cost.total.rounds);
+      analytic_bytes += cost.wire_bytes;
+      if (ot_ext) {
+        const offline::OtExtCost ocost = offline::ot_ext_generation_cost(plan, lanes);
+        meter_rounds += offline_stats.rounds;
+        meter_bytes += offline_stats.total_bytes();
+        analytic_rounds += ocost.rounds;
+        analytic_bytes += ocost.total_bytes();
+      }
+      if (tracing) {
+        // Three-witness self-check: the tracer's independently mirrored
+        // counters, the channel meter, and the static cost model must
+        // agree on this chunk's rounds and wire bytes exactly.
+        const obs::WitnessReport report = obs::three_witness(
+            chunk_trace, stats, static_cast<std::uint64_t>(cost.total.rounds), cost.wire_bytes);
+        std::printf("chunk %zu: %s\n", chunk, report.describe().c_str());
+        last_witness.store(report.ok() ? 1 : 0, std::memory_order_relaxed);
+        if (!report.ok()) drift = 1;
+      }
     }
+    chunks_done.fetch_add(1, std::memory_order_relaxed);
+    if (claim_capacity > 0) claims_done.fetch_add(lanes, std::memory_order_relaxed);
 
     if (flags.get_switch("verify")) {
       // The in-process workload must agree bit for bit — same logits/labels
@@ -419,9 +501,67 @@ inline int run_party(int party, int argc, char** argv) {
                   "equal\n", queries);
     }
   }
+  // Hang up on the dealer daemon BEFORE the trace/metrics epilogue: the
+  // daemon only writes its own trace and opens its linger window once its
+  // last session closes, so holding this connection through our linger
+  // would serialize the fleet's shutdown.
+  dealer.reset();
   if (tracing) {
-    tracer.write_chrome_trace_file(trace_path, /*pid=*/party);
+    tracer.write_chrome_trace_file(trace_path, /*pid=*/party,
+                                   party == 0 ? "party0" : "party1");
     std::printf("wrote %zu trace spans to %s\n", tracer.event_count(), trace_path.c_str());
+  }
+  if (metrics) {
+    if (flags.get_switch("verify")) {
+      // Fourth witness: scrape our own /metrics endpoint over a real HTTP
+      // GET and require the exported round/byte totals to equal the tracer
+      // counters, the TrafficStats meter and the analytic model — whole-run
+      // totals, ot-ext offline windows included.
+      const obs::CounterSnapshot totals = tracer.snapshot();
+      const std::uint64_t trace_rounds = totals[obs::Counter::rounds];
+      const std::uint64_t trace_bytes = totals.total_bytes();
+      std::uint64_t scraped_rounds = 0, scraped_bytes = 0;
+      bool scraped = false;
+      const std::string bind = flags.get_string("metrics-bind");
+      const std::string scrape_host = bind == "0.0.0.0" ? "127.0.0.1" : bind;
+      try {
+        const std::string body = obs::http_get(scrape_host, metrics_server->port(), "/metrics",
+                                               std::chrono::milliseconds(2000));
+        const auto r = obs::prom_value(body, "pasnet_rounds_total");
+        const auto b01 = obs::prom_value(body, "pasnet_bytes_p0_to_p1_total");
+        const auto b10 = obs::prom_value(body, "pasnet_bytes_p1_to_p0_total");
+        if (r.has_value() && b01.has_value() && b10.has_value()) {
+          scraped_rounds = static_cast<std::uint64_t>(*r);
+          scraped_bytes = static_cast<std::uint64_t>(*b01) + static_cast<std::uint64_t>(*b10);
+          scraped = true;
+        } else {
+          std::fprintf(stderr, "metrics self-scrape: round/byte families missing\n");
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "metrics self-scrape failed: %s\n", e.what());
+      }
+      const bool four_ok = scraped && scraped_rounds == trace_rounds &&
+                           scraped_bytes == trace_bytes && trace_rounds == meter_rounds &&
+                           trace_bytes == meter_bytes && meter_rounds == analytic_rounds &&
+                           meter_bytes == analytic_bytes;
+      std::printf("four-witness: scrape %llu rds / %llu B, trace %llu / %llu, stats %llu / "
+                  "%llu, analytic %llu / %llu -> %s\n",
+                  static_cast<unsigned long long>(scraped_rounds),
+                  static_cast<unsigned long long>(scraped_bytes),
+                  static_cast<unsigned long long>(trace_rounds),
+                  static_cast<unsigned long long>(trace_bytes),
+                  static_cast<unsigned long long>(meter_rounds),
+                  static_cast<unsigned long long>(meter_bytes),
+                  static_cast<unsigned long long>(analytic_rounds),
+                  static_cast<unsigned long long>(analytic_bytes),
+                  four_ok ? "all equal" : "MISMATCH");
+      last_witness.store(four_ok ? 1 : 0, std::memory_order_relaxed);
+      if (!four_ok) drift = 1;
+    }
+    std::fflush(stdout);
+    const long long linger = flags.get_int("metrics-linger-ms");
+    if (linger > 0) std::this_thread::sleep_for(std::chrono::milliseconds(linger));
+    metrics_server->stop();
   }
   return drift;
 }

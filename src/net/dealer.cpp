@@ -77,7 +77,15 @@ void DealerServer::serve(Listener& listener, int sessions, TransportOptions opts
     } catch (const NetError&) {
       continue;  // a misdialed or hostile client consumed its slot
     }
-    threads.emplace_back([this, t = std::move(t)]() mutable {
+    if (tracer_ != nullptr && !t->trace_id().is_zero()) {
+      // Adopt the connecting party's run id and chained clock offset: the
+      // daemon's trace lane aligns with the parties' without shared config.
+      tracer_->set_trace_id(t->trace_id());
+      tracer_->set_clock_offset_us(t->clock_offset_us());
+    }
+    const int session_party = t->peer_party();
+    if (session_hook_) session_hook_("session_open", session_party);
+    threads.emplace_back([this, t = std::move(t), session_party]() mutable {
       {
         std::lock_guard<std::mutex> lk(impl_->m);
         ++impl_->open_sessions;
@@ -89,8 +97,11 @@ void DealerServer::serve(Listener& listener, int sessions, TransportOptions opts
         // own session; the daemon keeps serving the other party.
       } catch (const std::runtime_error&) {
       }
-      std::lock_guard<std::mutex> lk(impl_->m);
-      --impl_->open_sessions;
+      {
+        std::lock_guard<std::mutex> lk(impl_->m);
+        --impl_->open_sessions;
+      }
+      if (session_hook_) session_hook_("session_close", session_party);
     });
   }
   for (auto& th : threads) th.join();

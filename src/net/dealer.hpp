@@ -36,6 +36,7 @@
 // moves.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -102,9 +103,20 @@ class DealerServer {
   /// serve()).  Each served claim adds obs::Counter::dealer_claims /
   /// dealer_bytes and one obs::Sample::dealer_claim_us latency sample
   /// (request parsed -> response on the wire); each session records a
-  /// "net"/"dealer_session" span.
+  /// "net"/"dealer_session" span.  The run trace id and clock offset each
+  /// connecting party presents at handshake are adopted into the tracer,
+  /// so the daemon's exported trace correlates and aligns with the
+  /// parties' without any shared configuration.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// Session lifecycle hook (non-owning; set before serve()): called with
+  /// "session_open" / "session_close" and the client's handshake-verified
+  /// party id, from the accept loop / session threads — the callback must
+  /// be thread-safe.  Drives pasnet_dealer's --log-json event lines and
+  /// the /healthz sessions-served count.
+  using SessionHook = std::function<void(const char* event, int party)>;
+  void set_session_hook(SessionHook hook) { session_hook_ = std::move(hook); }
 
  private:
   class Impl;
@@ -116,6 +128,7 @@ class DealerServer {
   std::uint64_t bundles_served_ = 0;
   std::unique_ptr<Impl> impl_;
   obs::Tracer* tracer_ = nullptr;  // non-owning; see set_tracer
+  SessionHook session_hook_;
 };
 
 /// One party's connection to the dealer daemon.

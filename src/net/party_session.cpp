@@ -293,6 +293,7 @@ ir::BatchExecResult PartySession::run_batch(const ir::SecureProgram& program,
   if (tracing) {
     chunk_tracer.complete_span("net", "run_batch", chunk_begin,
                                static_cast<std::int64_t>(lanes));
+    chunk_tracer.sample(obs::Sample::chunk_us, obs::Tracer::now_us() - chunk_begin);
     if (trace_out != nullptr) *trace_out = chunk_tracer.snapshot();
     tracer_->merge_from(chunk_tracer);
   }

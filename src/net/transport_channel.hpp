@@ -43,6 +43,14 @@ class TransportChannel final : public crypto::Channel {
     return crypto::ChannelMode::threaded;
   }
 
+  /// Run correlation id / clock offset the underlying transport agreed at
+  /// handshake (zero when the transport carries none) — what the hosting
+  /// binary stamps into its obs::Tracer.
+  [[nodiscard]] obs::TraceId session_trace_id() const noexcept { return transport_->trace_id(); }
+  [[nodiscard]] std::int64_t session_clock_offset_us() const noexcept {
+    return transport_->clock_offset_us();
+  }
+
  protected:
   void do_send(std::vector<std::uint8_t>&& data, std::uint64_t wire_bytes) override;
   [[nodiscard]] std::vector<std::uint8_t> do_recv() override;

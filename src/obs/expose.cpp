@@ -1,0 +1,306 @@
+#include "obs/expose.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "net/errors.hpp"
+
+namespace pasnet::obs {
+
+namespace {
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xF]);
+          out.push_back(hex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string http_response(int code, const char* reason, const char* content_type,
+                          const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << code << ' ' << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace
+
+ExpositionServer::ExpositionServer(const Tracer& tracer, Options opts, HealthSource health)
+    : tracer_(tracer), opts_(std::move(opts)), health_(std::move(health)),
+      listener_(opts_.port, opts_.bind_addr), started_(std::chrono::steady_clock::now()) {}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+void ExpositionServer::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void ExpositionServer::stop() noexcept {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+void ExpositionServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    net::Socket sock;
+    try {
+      sock = listener_.accept(std::chrono::milliseconds(200));
+    } catch (const net::SocketTimeout&) {
+      continue;  // poll the stop flag
+    } catch (const net::NetError&) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    try {
+      handle_connection(std::move(sock));
+    } catch (const net::NetError&) {
+      // A hostile or timed-out client only loses its own connection; the
+      // serving thread moves on to the next accept.
+    }
+  }
+}
+
+void ExpositionServer::handle_connection(net::Socket sock) {
+  const auto deadline = std::chrono::steady_clock::now() + opts_.request_timeout;
+  std::string req;
+  bool oversized = false;
+  // Read until end-of-headers, the size cap, the deadline, or EOF —
+  // whichever comes first.  wait_ready throws SocketTimeout at the
+  // deadline, which the serve loop treats as "drop this client".
+  while (req.find("\r\n\r\n") == std::string::npos) {
+    if (req.size() > opts_.max_request_bytes) {
+      oversized = true;
+      break;
+    }
+    std::uint8_t chunk[1024];
+    const std::ptrdiff_t n = sock.recv_some(chunk, sizeof(chunk));
+    if (n < 0) return;  // EOF before a full request: nothing to answer
+    if (n == 0) {
+      (void)sock.wait_ready(/*want_read=*/true, /*want_write=*/false, deadline, "metrics request");
+      continue;
+    }
+    req.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+  }
+
+  std::string resp;
+  if (oversized) {
+    resp = http_response(400, "Bad Request", "text/plain; charset=utf-8",
+                         "request exceeds the size cap\n");
+  } else {
+    const std::size_t eol = req.find("\r\n");
+    const std::string line = req.substr(0, eol);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.rfind(' ');
+    const std::string method = sp1 == std::string::npos ? line : line.substr(0, sp1);
+    const std::string path =
+        (sp1 == std::string::npos || sp2 <= sp1) ? "" : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (method != "GET") {
+      resp = http_response(405, "Method Not Allowed", "text/plain; charset=utf-8",
+                           "only GET is served here\n");
+    } else if (path == "/metrics") {
+      resp = http_response(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                           render_metrics());
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    } else if (path == "/healthz") {
+      resp = http_response(200, "OK", "application/json; charset=utf-8", render_healthz());
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      resp = http_response(404, "Not Found", "text/plain; charset=utf-8",
+                           "try /metrics or /healthz\n");
+    }
+  }
+  sock.send_all(reinterpret_cast<const std::uint8_t*>(resp.data()), resp.size(),
+                opts_.request_timeout);
+  if (oversized) {
+    // The refused client is likely still mid-send; closing with unread
+    // bytes in the receive buffer turns into a TCP RST that destroys the
+    // queued 400 before the client reads it.  Drain — briefly, bounded —
+    // until the client hangs up or the grace window expires.
+    const auto drain_deadline = std::min(
+        deadline, std::chrono::steady_clock::now() + std::chrono::milliseconds(250));
+    try {
+      for (;;) {
+        std::uint8_t sink[4096];
+        const std::ptrdiff_t n = sock.recv_some(sink, sizeof(sink));
+        if (n < 0) break;  // EOF: the client has seen the response
+        if (n == 0) {
+          (void)sock.wait_ready(/*want_read=*/true, /*want_write=*/false, drain_deadline,
+                                "metrics drain");
+        }
+      }
+    } catch (const net::SocketTimeout&) {
+      // A dribbler that never stops sending only delays its own error.
+    }
+  }
+}
+
+std::string ExpositionServer::render_metrics() const {
+  std::ostringstream os;
+  std::string labels = "{job=\"" + prom_escape(opts_.job) + "\"";
+  if (!opts_.instance.empty()) labels += ",instance=\"" + prom_escape(opts_.instance) + "\"";
+  const std::string l = labels + "}";
+
+  const CounterSnapshot cs = tracer_.snapshot();
+  for (int i = 0; i < kCounterCount; ++i) {
+    const char* name = counter_name(static_cast<Counter>(i));
+    os << "# TYPE pasnet_" << name << "_total counter\n";
+    os << "pasnet_" << name << "_total" << l << ' ' << cs.values[i] << '\n';
+  }
+
+  for (int i = 0; i < kSampleCount; ++i) {
+    const char* name = sample_name(static_cast<Sample>(i));
+    const Histogram h = tracer_.histogram(static_cast<Sample>(i));
+    os << "# TYPE pasnet_" << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (int b = 0; b < Histogram::kBucketCount; ++b) {
+      const std::uint64_t c = h.bucket_count(b);
+      if (c == 0) continue;  // cumulative counts stay exact on the sparse emit
+      cum += c;
+      os << "pasnet_" << name << "_bucket" << labels << ",le=\"" << Histogram::bucket_upper(b)
+         << "\"} " << cum << '\n';
+    }
+    os << "pasnet_" << name << "_bucket" << labels << ",le=\"+Inf\"} " << h.count() << '\n';
+    os << "pasnet_" << name << "_sum" << l << ' ' << h.sum() << '\n';
+    os << "pasnet_" << name << "_count" << l << ' ' << h.count() << '\n';
+  }
+
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+                          std::chrono::steady_clock::now() - started_)
+                          .count();
+  os << "# TYPE pasnet_uptime_seconds gauge\n";
+  os << "pasnet_uptime_seconds" << l << ' ' << uptime << '\n';
+  if (health_) {
+    const HealthFields hf = health_();
+    os << "# TYPE pasnet_sessions_served gauge\n";
+    os << "pasnet_sessions_served" << l << ' ' << hf.sessions_served << '\n';
+    os << "# TYPE pasnet_witness_ok gauge\n";
+    os << "pasnet_witness_ok" << l << ' ' << hf.witness << '\n';
+    os << "# TYPE pasnet_store_claims gauge\n";
+    os << "pasnet_store_claims" << l << ' ' << hf.store_claimed << '\n';
+    os << "# TYPE pasnet_store_capacity gauge\n";
+    os << "pasnet_store_capacity" << l << ' ' << hf.store_total << '\n';
+  }
+  const TraceId tid = tracer_.trace_id();
+  os << "# TYPE pasnet_trace_info gauge\n";
+  os << "pasnet_trace_info" << labels << ",trace_id=\"" << tid.to_hex() << "\"} 1\n";
+  return os.str();
+}
+
+std::string ExpositionServer::render_healthz() const {
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+                          std::chrono::steady_clock::now() - started_)
+                          .count();
+  const HealthFields hf = health_ ? health_() : HealthFields{};
+  const char* witness = hf.witness < 0 ? "none" : (hf.witness == 0 ? "mismatch" : "ok");
+  const bool depleted = hf.store_total > 0 && hf.store_claimed >= hf.store_total;
+  const char* status = hf.witness == 0 ? "degraded" : "ok";
+  std::ostringstream os;
+  os << "{\"status\": \"" << status << "\", \"job\": \"" << json_escape(opts_.job)
+     << "\", \"instance\": \"" << json_escape(opts_.instance) << "\", \"uptime_s\": " << uptime
+     << ", \"sessions_served\": " << hf.sessions_served << ", \"last_witness\": \"" << witness
+     << "\", \"store\": {\"capacity\": " << hf.store_total
+     << ", \"claimed\": " << hf.store_claimed << ", \"depleted\": "
+     << (depleted ? "true" : "false") << "}, \"trace_id\": \"" << tracer_.trace_id().to_hex()
+     << "\", \"clock_offset_us\": " << tracer_.clock_offset_us() << "}\n";
+  return os.str();
+}
+
+std::string http_get(const std::string& host, std::uint16_t port, const std::string& path,
+                     std::chrono::milliseconds timeout) {
+  net::Socket sock = net::connect_tcp(host, port, timeout);
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  sock.send_all(reinterpret_cast<const std::uint8_t*>(req.data()), req.size(), timeout);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::string resp;
+  for (;;) {
+    std::uint8_t chunk[4096];
+    const std::ptrdiff_t n = sock.recv_some(chunk, sizeof(chunk));
+    if (n < 0) break;  // EOF: response complete (Connection: close)
+    if (n == 0) {
+      (void)sock.wait_ready(/*want_read=*/true, /*want_write=*/false, deadline, "http_get");
+      continue;
+    }
+    resp.append(reinterpret_cast<const char*>(chunk), static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = resp.find("\r\n");
+  if (eol == std::string::npos || resp.compare(0, 5, "HTTP/") != 0) {
+    throw ExposeError("http_get: malformed response from " + host + ":" + std::to_string(port));
+  }
+  const std::string status_line = resp.substr(0, eol);
+  const std::size_t sp = status_line.find(' ');
+  const int code = sp == std::string::npos ? 0 : std::atoi(status_line.c_str() + sp + 1);
+  if (code != 200) {
+    throw ExposeError("http_get: " + path + " returned " + status_line);
+  }
+  const std::size_t body_at = resp.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    throw ExposeError("http_get: response without header terminator");
+  }
+  return resp.substr(body_at + 4);
+}
+
+std::optional<double> prom_value(const std::string& body, const std::string& family) {
+  double sum = 0.0;
+  bool found = false;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.compare(0, family.size(), family) != 0) continue;
+    const char after = family.size() < line.size() ? line[family.size()] : '\0';
+    if (after != '{' && after != ' ') continue;  // a longer family name sharing the prefix
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    sum += std::strtod(line.c_str() + sp + 1, nullptr);
+    found = true;
+  }
+  if (!found) return std::nullopt;
+  return sum;
+}
+
+}  // namespace pasnet::obs

@@ -1,0 +1,37 @@
+#include "obs/histogram.hpp"
+
+namespace pasnet::obs {
+
+std::uint64_t Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile, 1-based: the smallest sample index such
+  // that at least ceil(q * count) samples are at or below it.  Matches the
+  // sorted-vector oracle sorted[ceil(q*n) - 1] to within one bucket width.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += counts_[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      const std::uint64_t upper = bucket_upper(i);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;  // unreachable with a consistent count_
+}
+
+void Histogram::merge_from(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBucketCount; ++i) {
+    counts_[static_cast<std::size_t>(i)] += other.counts_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace pasnet::obs

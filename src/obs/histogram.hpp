@@ -1,0 +1,107 @@
+#pragma once
+// Fixed-size log-bucketed latency histogram (HDR-style).
+//
+// The Tracer's Sample streams used to be raw std::vector<uint64_t> — fine
+// for a bench run, unbounded under a million-query serving load.  Histogram
+// replaces them with a constant-memory recorder:
+//
+//  - log-linear buckets: values below 2^kSubBucketBits are exact; above
+//    that, each power-of-two octave is split into 2^kSubBucketBits linear
+//    sub-buckets, so every bucket's width is at most value / 2^kSubBucketBits
+//    — percentiles are correct to within ~3% relative resolution while the
+//    whole structure is one fixed std::array (no heap, ever).
+//  - exact count/sum/min/max alongside the buckets (the buckets bound the
+//    distribution; the scalars are exact).
+//  - lossless merge: bucket-wise addition, so per-chunk tracers and worker
+//    pairs fold into the session histogram without resolution loss.
+//
+// record() never allocates and never throws — it is safe inside the
+// zero-allocation-when-disabled tracer guarantee (the Tracer checks
+// enabled() before calling; Histogram itself is allocation-free either way).
+
+#include <array>
+#include <cstdint>
+
+namespace pasnet::obs {
+
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per octave, i.e.
+  /// every reported quantile is within 1/32 (~3.1%) of the true value.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBucketCount = 1ULL << kSubBucketBits;
+  /// Index space: one linear region [0, 2^(B+1)) recorded exactly, then
+  /// one octave of 2^B sub-buckets per further power of two — covers the
+  /// full uint64 range (max index (64-B)*2^B + 2^B - 1).
+  static constexpr int kBucketCount = (64 - kSubBucketBits + 1) << kSubBucketBits;
+
+  /// Bucket index for a value (log-linear; total order preserved).
+  [[nodiscard]] static constexpr int bucket_index(std::uint64_t v) noexcept {
+    if (v < (kSubBucketCount << 1)) return static_cast<int>(v);
+    const int shift = bit_width_u64(v) - kSubBucketBits - 1;
+    return ((shift + 1) << kSubBucketBits) |
+           static_cast<int>((v >> shift) - kSubBucketCount);
+  }
+  /// Smallest value mapping into bucket `idx`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(int idx) noexcept {
+    const int octave = idx >> kSubBucketBits;
+    const std::uint64_t sub = static_cast<std::uint64_t>(idx) & (kSubBucketCount - 1);
+    if (octave == 0) return sub;
+    return (kSubBucketCount + sub) << (octave - 1);
+  }
+  /// Largest value mapping into bucket `idx`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(int idx) noexcept {
+    const int octave = idx >> kSubBucketBits;
+    if (octave == 0) return bucket_lower(idx);
+    return bucket_lower(idx) + ((1ULL << (octave - 1)) - 1);
+  }
+
+  void record(std::uint64_t value) noexcept { record(value, 1); }
+  void record(std::uint64_t value, std::uint64_t times) noexcept {
+    if (times == 0) return;
+    counts_[static_cast<std::size_t>(bucket_index(value))] += times;
+    count_ += times;
+    sum_ += value * times;
+    if (count_ == times || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t bucket_count(int idx) const noexcept {
+    return counts_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the rank-ceil(q*count) sample (clamped to the exact observed max), so
+  /// hist.percentile(q) >= oracle(q) and the two differ by at most one
+  /// bucket width.  0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
+  /// Bucket-wise addition — lossless (both sides share the fixed layout).
+  void merge_from(const Histogram& other) noexcept;
+
+ private:
+  [[nodiscard]] static constexpr int bit_width_u64(std::uint64_t v) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    return v == 0 ? 0 : 64 - __builtin_clzll(v);
+#else
+    int w = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++w;
+    }
+    return w;
+#endif
+  }
+
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace pasnet::obs

@@ -1,0 +1,260 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "obs/json.hpp"
+
+namespace pasnet::obs {
+
+namespace {
+
+/// Generic JSON re-serializer for parsed values (the reader has no writer;
+/// the merger must carry arbitrary event args through verbatim).
+void write_value(std::ostream& out, const json::Value& v) {
+  switch (v.kind()) {
+    case json::Value::Kind::null:
+      out << "null";
+      break;
+    case json::Value::Kind::boolean:
+      out << (v.as_bool() ? "true" : "false");
+      break;
+    case json::Value::Kind::number: {
+      const double d = v.as_number();
+      // Counters/timestamps round-trip as integers; anything else keeps
+      // double formatting.
+      if (std::floor(d) == d && std::abs(d) < 9.007199254740992e15) {
+        out << static_cast<std::int64_t>(d);
+      } else {
+        out << d;
+      }
+      break;
+    }
+    case json::Value::Kind::string: {
+      out << '"';
+      for (const char ch : v.as_string()) {
+        switch (ch) {
+          case '"': out << "\\\""; break;
+          case '\\': out << "\\\\"; break;
+          case '\n': out << "\\n"; break;
+          case '\r': out << "\\r"; break;
+          case '\t': out << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+              const char* hex = "0123456789abcdef";
+              out << "\\u00" << hex[(ch >> 4) & 0xF] << hex[ch & 0xF];
+            } else {
+              out << ch;
+            }
+        }
+      }
+      out << '"';
+      break;
+    }
+    case json::Value::Kind::array: {
+      out << '[';
+      bool first = true;
+      for (const json::Value& e : v.as_array()) {
+        if (!first) out << ", ";
+        first = false;
+        write_value(out, e);
+      }
+      out << ']';
+      break;
+    }
+    case json::Value::Kind::object: {
+      out << '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out << ", ";
+        first = false;
+        write_value(out, json::Value(k));
+        out << ": ";
+        write_value(out, e);
+      }
+      out << '}';
+      break;
+    }
+  }
+}
+
+struct InputTrace {
+  std::string path;
+  json::Value doc;
+  TraceId trace_id;
+  std::int64_t clock_offset_us = 0;
+  int pid = 0;           ///< lane (possibly remapped)
+  std::string name;      ///< process_name metadata, if present
+  std::size_t events = 0;
+};
+
+InputTrace load_input(const std::string& path) {
+  InputTrace in;
+  in.path = path;
+  try {
+    in.doc = json::parse_file(path);
+  } catch (const json::ParseError& e) {
+    throw TraceMergeError("trace merge: " + path + ": " + e.what());
+  }
+  if (!in.doc.is_object() || !in.doc.has("traceEvents") || !in.doc.at("traceEvents").is_array()) {
+    throw TraceMergeError("trace merge: " + path + ": not a Chrome trace (no traceEvents)");
+  }
+  if (!in.doc.has("pasnetTraceId") || !in.doc.at("pasnetTraceId").is_string()) {
+    throw TraceMergeError("trace merge: " + path +
+                          ": no pasnetTraceId (pre-correlation trace file?)");
+  }
+  const std::optional<TraceId> id = TraceId::from_hex(in.doc.at("pasnetTraceId").as_string());
+  if (!id.has_value() || id->is_zero()) {
+    throw TraceMergeError("trace merge: " + path +
+                          ": unusable trace id '" + in.doc.at("pasnetTraceId").as_string() +
+                          "' (zero = the process never joined a correlated run)");
+  }
+  in.trace_id = *id;
+  if (in.doc.has("pasnetClockOffsetUs")) {
+    in.clock_offset_us = static_cast<std::int64_t>(in.doc.at("pasnetClockOffsetUs").as_number());
+  }
+  bool pid_seen = false;
+  for (const json::Value& ev : in.doc.at("traceEvents").as_array()) {
+    if (!ev.is_object()) continue;
+    if (!pid_seen && ev.has("pid")) {
+      in.pid = static_cast<int>(ev.at("pid").as_number());
+      pid_seen = true;
+    }
+    if (ev.has("ph") && ev.at("ph").as_string() == "M" && ev.has("name") &&
+        ev.at("name").as_string() == "process_name" && ev.has("args")) {
+      const json::Value& args = ev.at("args");
+      if (args.has("name")) in.name = args.at("name").as_string();
+    }
+    if (ev.has("ph") && ev.at("ph").as_string() == "X") ++in.events;
+  }
+  return in;
+}
+
+}  // namespace
+
+MergeResult merge_chrome_traces(const std::vector<std::string>& input_paths, std::ostream& out) {
+  if (input_paths.empty()) throw TraceMergeError("trace merge: no input files");
+  std::vector<InputTrace> inputs;
+  inputs.reserve(input_paths.size());
+  for (const std::string& p : input_paths) inputs.push_back(load_input(p));
+
+  const TraceId run_id = inputs.front().trace_id;
+  for (const InputTrace& in : inputs) {
+    if (in.trace_id != run_id) {
+      throw TraceMergeError("trace merge: trace id mismatch: " + inputs.front().path + " has " +
+                            run_id.to_hex() + " but " + in.path + " has " +
+                            in.trace_id.to_hex() + " (different runs?)");
+    }
+  }
+
+  // One lane per input: keep each file's own pid unless it collides with a
+  // lane already taken by an earlier file.
+  std::set<int> taken;
+  for (InputTrace& in : inputs) {
+    int pid = in.pid;
+    while (taken.count(pid) > 0) ++pid;
+    in.pid = pid;
+    taken.insert(pid);
+  }
+
+  // Align: shift every event onto the reference clock, then normalize the
+  // earliest start to zero.
+  std::int64_t min_ts = 0;
+  bool any = false;
+  for (const InputTrace& in : inputs) {
+    for (const json::Value& ev : in.doc.at("traceEvents").as_array()) {
+      if (!ev.is_object() || !ev.has("ts")) continue;
+      const std::int64_t ts =
+          static_cast<std::int64_t>(ev.at("ts").as_number()) + in.clock_offset_us;
+      if (!any || ts < min_ts) min_ts = ts;
+      any = true;
+    }
+  }
+
+  MergeResult result;
+  result.trace_id = run_id;
+  std::int64_t max_end_norm = 0;  // latest normalized span end seen
+
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  for (const InputTrace& in : inputs) {
+    // Label the lane even when the source file had no metadata event.
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << in.pid
+        << ", \"tid\": 0, \"args\": {\"name\": ";
+    write_value(out, json::Value(in.name.empty() ? ("process " + std::to_string(in.pid))
+                                                 : in.name));
+    out << "}}";
+    for (const json::Value& ev : in.doc.at("traceEvents").as_array()) {
+      if (!ev.is_object()) continue;
+      if (ev.has("ph") && ev.at("ph").as_string() == "M") continue;  // re-emitted above
+      out << ",\n    {";
+      bool f2 = true;
+      for (const auto& [key, val] : ev.as_object()) {
+        if (!f2) out << ", ";
+        f2 = false;
+        write_value(out, json::Value(key));
+        out << ": ";
+        if (key == "ts") {
+          const std::int64_t ts =
+              static_cast<std::int64_t>(val.as_number()) + in.clock_offset_us - min_ts;
+          out << ts;
+          const std::int64_t dur =
+              ev.has("dur") ? static_cast<std::int64_t>(ev.at("dur").as_number()) : 0;
+          if (ts + dur > max_end_norm) max_end_norm = ts + dur;
+        } else if (key == "pid") {
+          out << in.pid;
+        } else {
+          write_value(out, val);
+        }
+      }
+      out << "}";
+      ++result.events;
+    }
+    MergedProcess mp;
+    mp.path = in.path;
+    mp.pid = in.pid;
+    mp.name = in.name;
+    mp.clock_offset_us = in.clock_offset_us;
+    mp.events = in.events;
+    result.processes.push_back(std::move(mp));
+  }
+  out << "\n  ],\n  \"pasnetTraceId\": \"" << run_id.to_hex() << "\"";
+  out << ",\n  \"pasnetProcesses\": [";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const InputTrace& in = inputs[i];
+    out << (i == 0 ? "\n    " : ",\n    ");
+    out << "{\"pid\": " << in.pid << ", \"name\": ";
+    write_value(out, json::Value(in.name));
+    out << ", \"clockOffsetUs\": " << in.clock_offset_us << ", \"events\": " << in.events;
+    if (in.doc.has("pasnetCounters")) {
+      out << ", \"counters\": ";
+      write_value(out, in.doc.at("pasnetCounters"));
+    }
+    if (in.doc.has("pasnetSamples")) {
+      out << ", \"samples\": ";
+      write_value(out, in.doc.at("pasnetSamples"));
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+
+  result.span_us = max_end_norm > 0 ? static_cast<std::uint64_t>(max_end_norm) : 0;
+  return result;
+}
+
+MergeResult merge_chrome_trace_files(const std::vector<std::string>& input_paths,
+                                     const std::string& out_path) {
+  std::ofstream f(out_path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("trace merge: cannot open " + out_path);
+  MergeResult r = merge_chrome_traces(input_paths, f);
+  f.flush();
+  if (!f) throw std::runtime_error("trace merge: write failed: " + out_path);
+  return r;
+}
+
+}  // namespace pasnet::obs

@@ -1,0 +1,69 @@
+#pragma once
+// Cross-process trace correlation: folds the N per-process Chrome trace
+// files one deployment emits (party 0, party 1, dealer) into ONE
+// Chrome/Perfetto timeline with per-process lanes.
+//
+// Each input file carries the run's 128-bit trace id (`pasnetTraceId`,
+// stamped by the transport handshake) and the process's trace-clock offset
+// against the run reference clock (`pasnetClockOffsetUs`, estimated by the
+// handshake's NTP-style ping).  merge_chrome_traces:
+//
+//  - refuses inputs whose trace ids are missing, zero, or disagree — a
+//    merged timeline across unrelated runs would be a lie (TraceMergeError);
+//  - shifts every event by its file's clock offset onto the reference
+//    axis, then normalizes so the earliest merged event sits at t=0
+//    (Perfetto dislikes negative timestamps);
+//  - keeps each process in its own lane (pid), remapping on collision, and
+//    labels lanes with Chrome "process_name" metadata;
+//  - carries each file's `pasnetCounters` through under `pasnetProcesses`
+//    so machine consumers (the CI smoke) can still check per-process
+//    totals after the merge.
+//
+// Offsets are ping estimates (uncertain by ±rtt/2, and clocks drift over
+// long runs): the merged axis is coherent to well under a millisecond on a
+// LAN — plenty to see party 0's round groups interleave with party 1's and
+// the dealer's claim spans — but it is an estimate, not PTP.
+
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace pasnet::obs {
+
+/// Raised on unusable inputs: malformed JSON shape, missing/zero trace
+/// ids, or inputs from different runs.
+class TraceMergeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-input summary of a merged file.
+struct MergedProcess {
+  std::string path;
+  int pid = 0;                       ///< lane in the merged timeline
+  std::string name;                  ///< process_name label ("" if unlabeled)
+  std::int64_t clock_offset_us = 0;  ///< shift applied to this file's events
+  std::size_t events = 0;            ///< "X" spans contributed
+};
+
+struct MergeResult {
+  TraceId trace_id;                    ///< the shared run id
+  std::vector<MergedProcess> processes;
+  std::size_t events = 0;              ///< total spans in the merged file
+  std::uint64_t span_us = 0;           ///< merged timeline extent
+};
+
+/// Merges the given per-process Chrome trace files into one timeline
+/// written to `out`.  Throws TraceMergeError (bad/mismatched inputs) or
+/// std::runtime_error (I/O).
+MergeResult merge_chrome_traces(const std::vector<std::string>& input_paths, std::ostream& out);
+
+/// Convenience: writes the merged trace to `out_path`.
+MergeResult merge_chrome_trace_files(const std::vector<std::string>& input_paths,
+                                     const std::string& out_path);
+
+}  // namespace pasnet::obs

@@ -34,11 +34,38 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace pasnet::obs {
+
+/// Per-run 128-bit correlation id shared by every process of one
+/// deployment.  Minted by the connecting side of the first transport
+/// handshake (party 0), adopted by every accepting peer, stamped into each
+/// TraceEvent and into the exported trace files so obs::merge_chrome_traces
+/// can prove N per-process files belong to one run.
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] bool is_zero() const noexcept { return hi == 0 && lo == 0; }
+  [[nodiscard]] bool operator==(const TraceId& o) const noexcept {
+    return hi == o.hi && lo == o.lo;
+  }
+  [[nodiscard]] bool operator!=(const TraceId& o) const noexcept { return !(*this == o); }
+
+  /// Fresh random id (OS entropy + clock/address mixing; a correlation
+  /// handle, not a secret).  Never returns the zero id.
+  [[nodiscard]] static TraceId mint();
+  /// 32 lowercase hex chars, hi word first.
+  [[nodiscard]] std::string to_hex() const;
+  /// Parses to_hex() output; nullopt on anything malformed.
+  [[nodiscard]] static std::optional<TraceId> from_hex(const std::string& s);
+};
 
 /// The fixed counter set.  Wire/round counters are incremented at the same
 /// program points that update crypto::TrafficStats, which is what makes
@@ -85,9 +112,12 @@ struct CounterSnapshot {
   }
 };
 
-/// Latency-value streams percentiles are taken over.
+/// Latency-value streams percentiles are taken over.  Backed by
+/// obs::Histogram — constant memory regardless of how many values are
+/// recorded, percentiles within bucket resolution, exact count/sum/max.
 enum class Sample : int {
   dealer_claim_us = 0,  ///< one dealer bundle claim, request to reply
+  chunk_us,             ///< one K-lane chunk end-to-end (secure phase)
   count_
 };
 
@@ -103,6 +133,7 @@ struct TraceEvent {
   std::uint64_t dur_us;
   std::uint32_t tid;   ///< small per-thread id (stable within the process)
   std::int64_t lanes;  ///< batched-lane annotation; -1 = not applicable
+  TraceId trace_id;    ///< run correlation id current when the span closed
 };
 
 class Tracer {
@@ -143,12 +174,30 @@ class Tracer {
   [[nodiscard]] std::vector<TraceEvent> events() const;
   [[nodiscard]] std::size_t event_count() const;
 
-  // -- samples --------------------------------------------------------------
+  // -- samples (histogram-backed; constant memory) --------------------------
 
   void sample(Sample s, std::uint64_t value_us);
-  /// q in [0, 1]; 0 with no samples recorded.
+  /// q in [0, 1]; 0 with no samples recorded.  Within one histogram bucket
+  /// (~3% relative) of the exact order statistic.
   [[nodiscard]] std::uint64_t percentile(Sample s, double q) const;
   [[nodiscard]] std::size_t sample_count(Sample s) const;
+  /// Copy of the backing histogram (exact count/sum/max, bucket counts) —
+  /// what the /metrics endpoint and the dealer stats line render.
+  [[nodiscard]] Histogram histogram(Sample s) const;
+
+  // -- run correlation -------------------------------------------------------
+
+  /// The per-run 128-bit correlation id (zero until a transport handshake
+  /// or the hosting binary assigns one).  Stamped into every subsequent
+  /// TraceEvent and into the exported trace file.
+  void set_trace_id(TraceId id);
+  [[nodiscard]] TraceId trace_id() const;
+  /// This process's trace-clock offset against the run's reference clock
+  /// (party 0's), in microseconds: t_reference ≈ t_local + offset.
+  /// Estimated by the handshake clock sync; exported with the trace so
+  /// merge_chrome_traces can align timelines.
+  void set_clock_offset_us(std::int64_t offset_us);
+  [[nodiscard]] std::int64_t clock_offset_us() const;
 
   // -- aggregation / export -------------------------------------------------
 
@@ -158,11 +207,15 @@ class Tracer {
   void merge_from(const Tracer& other);
 
   /// Writes the Chrome trace event JSON (see file comment).  `pid` tags
-  /// every event (use the party id for two-process runs).
-  void write_chrome_trace(std::ostream& out, int pid = 0) const;
+  /// every event (use the party id for two-process runs; the dealer uses
+  /// pid 2).  A non-null `process_name` adds the Chrome "process_name"
+  /// metadata event, labeling the lane in merged timelines.
+  void write_chrome_trace(std::ostream& out, int pid = 0,
+                          const char* process_name = nullptr) const;
   /// Convenience: writes to `path`, throwing std::runtime_error on I/O
   /// failure.
-  void write_chrome_trace_file(const std::string& path, int pid = 0) const;
+  void write_chrome_trace_file(const std::string& path, int pid = 0,
+                               const char* process_name = nullptr) const;
 
  private:
   [[nodiscard]] static std::uint32_t thread_tid();
@@ -172,7 +225,9 @@ class Tracer {
 
   mutable std::mutex m_;
   std::vector<TraceEvent> events_;
-  std::array<std::vector<std::uint64_t>, kSampleCount> samples_;
+  std::array<Histogram, kSampleCount> hists_;
+  TraceId trace_id_;
+  std::int64_t clock_offset_us_ = 0;
 };
 
 /// RAII span: stamps the start time at construction when the tracer is

@@ -160,6 +160,7 @@ WorkloadResult Workload::run(const std::vector<nn::Tensor>& inputs) {
     if (tracing) {
       chunk_tracer.complete_span("proto", "chunk", chunk_begin,
                                  static_cast<std::int64_t>(lanes));
+      chunk_tracer.sample(obs::Sample::chunk_us, obs::Tracer::now_us() - chunk_begin);
       cs.trace = chunk_tracer.snapshot();
       tracer_->merge_from(chunk_tracer);
     }

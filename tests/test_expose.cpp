@@ -1,0 +1,189 @@
+// The exposition endpoints (src/obs/expose): /metrics renders the
+// tracer's counters and log-bucketed histograms in Prometheus text form
+// and /healthz the host's health fields as JSON — scraped here over real
+// HTTP GETs against an ephemeral-port server.  The hostile-input half
+// pins the hardening guarantees: an oversized request line gets 400 and
+// the server survives, a slow-loris client dribbling a partial request is
+// cut off at the deadline without wedging the single serving thread, and
+// non-GET methods / unknown paths are refused with typed statuses.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "net/socket.hpp"
+#include "obs/expose.hpp"
+#include "obs/json.hpp"
+#include "obs/tracer.hpp"
+
+namespace net = pasnet::net;
+namespace obs = pasnet::obs;
+
+using std::chrono::milliseconds;
+
+namespace {
+
+/// Raw-socket read until the server closes (HTTP/1.0 responses end at
+/// EOF).  Throws net::SocketTimeout if the server never closes.
+std::string read_to_eof(net::Socket& sock, milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::string out;
+  for (;;) {
+    std::uint8_t buf[1024];
+    const std::ptrdiff_t n = sock.recv_some(buf, sizeof(buf));
+    if (n < 0) break;
+    if (n == 0) {
+      (void)sock.wait_ready(/*want_read=*/true, /*want_write=*/false, deadline, "test read");
+      continue;
+    }
+    out.append(reinterpret_cast<const char*>(buf), static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ObsExpose, MetricsAndHealthzServeLiveTotals) {
+  obs::Tracer tracer;
+  tracer.add(obs::Counter::rounds, 7);
+  tracer.add(obs::Counter::bytes_p0_to_p1, 100);
+  tracer.add(obs::Counter::bytes_p1_to_p0, 50);
+  tracer.sample(obs::Sample::dealer_claim_us, 10);
+  tracer.sample(obs::Sample::dealer_claim_us, 40);
+  const obs::TraceId id = obs::TraceId::mint();
+  tracer.set_trace_id(id);
+
+  obs::ExpositionServer::Options o;
+  o.job = "party";
+  o.instance = "party0";
+  obs::ExpositionServer srv(tracer, o, [] {
+    obs::HealthFields hf;
+    hf.sessions_served = 3;
+    hf.witness = 1;
+    hf.store_total = 8;
+    hf.store_claimed = 2;
+    return hf;
+  });
+  srv.start();
+  ASSERT_NE(srv.port(), 0);
+
+  const std::string body = obs::http_get("127.0.0.1", srv.port(), "/metrics", milliseconds(2000));
+  EXPECT_EQ(obs::prom_value(body, "pasnet_rounds_total").value_or(-1), 7.0);
+  EXPECT_EQ(obs::prom_value(body, "pasnet_bytes_p0_to_p1_total").value_or(-1), 100.0);
+  EXPECT_EQ(obs::prom_value(body, "pasnet_bytes_p1_to_p0_total").value_or(-1), 50.0);
+  EXPECT_EQ(obs::prom_value(body, "pasnet_dealer_claim_us_count").value_or(-1), 2.0);
+  EXPECT_EQ(obs::prom_value(body, "pasnet_dealer_claim_us_sum").value_or(-1), 50.0);
+  EXPECT_EQ(obs::prom_value(body, "pasnet_witness_ok").value_or(-1), 1.0);
+  EXPECT_EQ(obs::prom_value(body, "pasnet_sessions_served").value_or(-1), 3.0);
+  EXPECT_EQ(obs::prom_value(body, "pasnet_store_capacity").value_or(-1), 8.0);
+  EXPECT_NE(body.find("job=\"party\""), std::string::npos);
+  EXPECT_NE(body.find("instance=\"party0\""), std::string::npos);
+  EXPECT_NE(body.find(id.to_hex()), std::string::npos);
+
+  // A histogram family exposes cumulative buckets ending at +Inf == count.
+  EXPECT_NE(body.find("pasnet_dealer_claim_us_bucket"), std::string::npos);
+  EXPECT_NE(body.find("le=\"+Inf\"} 2"), std::string::npos);
+
+  const std::string health =
+      obs::http_get("127.0.0.1", srv.port(), "/healthz", milliseconds(2000));
+  const obs::json::Value doc = obs::json::parse(health);
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  EXPECT_EQ(doc.at("job").as_string(), "party");
+  EXPECT_EQ(doc.at("instance").as_string(), "party0");
+  EXPECT_EQ(doc.at("sessions_served").as_u64(), 3u);
+  EXPECT_EQ(doc.at("last_witness").as_string(), "ok");
+  EXPECT_EQ(doc.at("store").at("capacity").as_u64(), 8u);
+  EXPECT_EQ(doc.at("store").at("claimed").as_u64(), 2u);
+  EXPECT_FALSE(doc.at("store").at("depleted").as_bool());
+  EXPECT_EQ(doc.at("trace_id").as_string(), id.to_hex());
+
+  // Live semantics: counters recorded after start show on the next scrape.
+  tracer.add(obs::Counter::rounds, 1);
+  const std::string body2 =
+      obs::http_get("127.0.0.1", srv.port(), "/metrics", milliseconds(2000));
+  EXPECT_EQ(obs::prom_value(body2, "pasnet_rounds_total").value_or(-1), 8.0);
+  EXPECT_EQ(srv.requests_served(), 3u);
+  srv.stop();
+}
+
+TEST(ObsExpose, DegradedHealthOnWitnessMismatch) {
+  obs::Tracer tracer;
+  obs::ExpositionServer::Options o;
+  obs::ExpositionServer srv(tracer, o, [] {
+    obs::HealthFields hf;
+    hf.witness = 0;  // last witness check found drift
+    hf.store_total = 4;
+    hf.store_claimed = 4;
+    return hf;
+  });
+  srv.start();
+  const obs::json::Value doc = obs::json::parse(
+      obs::http_get("127.0.0.1", srv.port(), "/healthz", milliseconds(2000)));
+  EXPECT_EQ(doc.at("status").as_string(), "degraded");
+  EXPECT_EQ(doc.at("last_witness").as_string(), "mismatch");
+  EXPECT_TRUE(doc.at("store").at("depleted").as_bool());
+}
+
+TEST(ObsExpose, UnknownPathAndNonGetAreRefused) {
+  obs::Tracer tracer;
+  obs::ExpositionServer srv(tracer, obs::ExpositionServer::Options{});
+  srv.start();
+  EXPECT_THROW(
+      (void)obs::http_get("127.0.0.1", srv.port(), "/secrets", milliseconds(2000)),
+      obs::ExposeError);
+
+  net::Socket s = net::connect_tcp("127.0.0.1", srv.port(), milliseconds(2000));
+  const std::string req = "POST /metrics HTTP/1.0\r\nContent-Length: 0\r\n\r\n";
+  s.send_all(reinterpret_cast<const std::uint8_t*>(req.data()), req.size(), milliseconds(2000));
+  const std::string resp = read_to_eof(s, milliseconds(2000));
+  EXPECT_NE(resp.find("405"), std::string::npos);
+  // Refusals don't count as served requests.
+  EXPECT_EQ(srv.requests_served(), 0u);
+}
+
+TEST(ObsExpose, OversizedRequestGets400AndServerSurvives) {
+  obs::Tracer tracer;
+  obs::ExpositionServer::Options o;
+  o.max_request_bytes = 512;
+  obs::ExpositionServer srv(tracer, o);
+  srv.start();
+
+  net::Socket s = net::connect_tcp("127.0.0.1", srv.port(), milliseconds(2000));
+  const std::string big = "GET /" + std::string(4096, 'A') + " HTTP/1.0\r\n";
+  s.send_all(reinterpret_cast<const std::uint8_t*>(big.data()), big.size(), milliseconds(2000));
+  const std::string resp = read_to_eof(s, milliseconds(2000));
+  EXPECT_NE(resp.find("400"), std::string::npos);
+
+  // The size cap protected the thread, not just this connection: a normal
+  // scrape still works.
+  const std::string body = obs::http_get("127.0.0.1", srv.port(), "/metrics", milliseconds(2000));
+  EXPECT_NE(body.find("pasnet_uptime_seconds"), std::string::npos);
+}
+
+TEST(ObsExpose, SlowLorisClientIsCutOffWithoutWedgingTheEndpoint) {
+  obs::Tracer tracer;
+  obs::ExpositionServer::Options o;
+  o.request_timeout = milliseconds(300);
+  obs::ExpositionServer srv(tracer, o);
+  srv.start();
+
+  // Dribble a few bytes and then stall: the server must cut us off at its
+  // deadline (we observe EOF with no response bytes), not wait forever.
+  net::Socket loris = net::connect_tcp("127.0.0.1", srv.port(), milliseconds(2000));
+  const std::string partial = "GET /metr";
+  loris.send_all(reinterpret_cast<const std::uint8_t*>(partial.data()), partial.size(),
+                 milliseconds(1000));
+  std::string got;
+  try {
+    got = read_to_eof(loris, milliseconds(3000));
+  } catch (const net::SocketTimeout&) {
+    ADD_FAILURE() << "server never closed the dribbling connection";
+  }
+  EXPECT_TRUE(got.empty()) << got;
+
+  // The single serving thread is free again and answers real clients.
+  const std::string body = obs::http_get("127.0.0.1", srv.port(), "/metrics", milliseconds(2000));
+  EXPECT_NE(body.find("pasnet_uptime_seconds"), std::string::npos);
+  EXPECT_EQ(srv.requests_served(), 1u);
+}

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <future>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "net/dealer.hpp"
 #include "net/party_session.hpp"
@@ -56,10 +59,13 @@ void send_raw_frame(net::Socket& s, const std::vector<std::uint8_t>& payload) {
   if (!payload.empty()) s.send_all(payload.data(), payload.size(), kShortTimeout);
 }
 
-/// Handcrafted hello payload (magic/version/party/kind), corruptible.
+/// Handcrafted v2 hello payload (magic/version/party/kind/trace id),
+/// corruptible.  The default trace id is an arbitrary nonzero value — the
+/// connector must never present zero.
 std::vector<std::uint8_t> raw_hello(std::uint32_t magic, std::uint16_t version, std::uint8_t party,
-                                    std::uint8_t kind) {
-  std::vector<std::uint8_t> h(8);
+                                    std::uint8_t kind, std::uint64_t id_hi = 0xAB,
+                                    std::uint64_t id_lo = 0xCD) {
+  std::vector<std::uint8_t> h(net::kHelloBytes);
   for (int i = 0; i < 4; ++i) {
     h[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(magic >> (8 * i));
   }
@@ -67,7 +73,25 @@ std::vector<std::uint8_t> raw_hello(std::uint32_t magic, std::uint16_t version, 
   h[5] = static_cast<std::uint8_t>(version >> 8);
   h[6] = party;
   h[7] = kind;
+  for (int i = 0; i < 8; ++i) {
+    h[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(id_hi >> (8 * i));
+    h[static_cast<std::size_t>(16 + i)] = static_cast<std::uint8_t>(id_lo >> (8 * i));
+  }
   return h;
+}
+
+/// The victim's hello on the wire: 4-byte frame header + 24-byte payload.
+constexpr std::size_t kWireHelloBytes = 4 + net::kHelloBytes;
+
+/// Completes the connector side of the post-hello clock sync by hand:
+/// kClockSyncRounds ping/echo exchanges, then the 16-byte offset frame.
+void raw_clock_sync(net::Socket& raw) {
+  for (int k = 0; k < net::kClockSyncRounds; ++k) {
+    send_raw_frame(raw, std::vector<std::uint8_t>(8, static_cast<std::uint8_t>(k + 1)));
+    std::uint8_t echo[12];  // 4-byte header + u64 peer timestamp
+    ASSERT_TRUE(raw.recv_all(echo, sizeof(echo), kShortTimeout));
+  }
+  send_raw_frame(raw, std::vector<std::uint8_t>(16, 0));  // offset 0, rtt 0
 }
 
 /// Runs the victim handshake against a raw scripted peer; returns what the
@@ -81,6 +105,24 @@ void expect_handshake_error(RawPeer&& peer_script) {
   net::Socket raw = net::connect_tcp("127.0.0.1", listener.port(), kShortTimeout);
   peer_script(raw);
   EXPECT_THROW((void)victim.get(), net::HandshakeError);
+}
+
+/// Same, but also pins a substring of the typed error's message — hostile
+/// peers must get the RIGHT diagnosis, not just some rejection.
+template <typename RawPeer>
+void expect_handshake_error_containing(const char* needle, RawPeer&& peer_script) {
+  net::Listener listener(0);
+  auto victim = std::async(std::launch::async, [&] {
+    return net::TcpTransport::accept(listener, 1, net::SessionKind::party_channel, short_opts());
+  });
+  net::Socket raw = net::connect_tcp("127.0.0.1", listener.port(), kShortTimeout);
+  peer_script(raw);
+  try {
+    (void)victim.get();
+    ADD_FAILURE() << "handshake unexpectedly succeeded";
+  } catch (const net::HandshakeError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
 }
 
 }  // namespace
@@ -157,9 +199,11 @@ TEST(Transport, OversizedLengthPrefixRaisesFrameErrorWithoutAllocating) {
   });
   net::Socket raw = net::connect_tcp("127.0.0.1", listener.port(), kShortTimeout);
   send_raw_frame(raw, raw_hello(net::kMagic, net::kProtocolVersion, 0, 0));
-  // Consume the victim's hello (4-byte header + 8-byte payload).
-  std::uint8_t sink[12];
+  // Consume the victim's hello, then play the connector's clock-sync role
+  // so the victim reaches its frame loop.
+  std::uint8_t sink[kWireHelloBytes];
   ASSERT_TRUE(raw.recv_all(sink, sizeof(sink), kShortTimeout));
+  raw_clock_sync(raw);
   // Hostile length prefix: 0xFFFFFFFF, no payload.
   const std::uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
   raw.send_all(huge, 4, kShortTimeout);
@@ -174,8 +218,9 @@ TEST(Transport, ShortReadMidFrameRaisesFrameError) {
   });
   net::Socket raw = net::connect_tcp("127.0.0.1", listener.port(), kShortTimeout);
   send_raw_frame(raw, raw_hello(net::kMagic, net::kProtocolVersion, 0, 0));
-  std::uint8_t sink[12];
+  std::uint8_t sink[kWireHelloBytes];
   ASSERT_TRUE(raw.recv_all(sink, sizeof(sink), kShortTimeout));
+  raw_clock_sync(raw);
   // Promise 100 bytes, deliver 3, hang up.
   const std::uint8_t header[4] = {100, 0, 0, 0};
   raw.send_all(header, 4, kShortTimeout);
@@ -196,8 +241,9 @@ TEST(Transport, SilentPeerRaisesSocketTimeout) {
   });
   net::Socket raw = net::connect_tcp("127.0.0.1", listener.port(), kShortTimeout);
   send_raw_frame(raw, raw_hello(net::kMagic, net::kProtocolVersion, 0, 0));
-  std::uint8_t sink[12];
+  std::uint8_t sink[kWireHelloBytes];
   ASSERT_TRUE(raw.recv_all(sink, sizeof(sink), kShortTimeout));
+  raw_clock_sync(raw);
   // ... then say nothing.
   EXPECT_THROW((void)victim.get(), net::SocketTimeout);
 }
@@ -227,6 +273,68 @@ TEST(Handshake, RejectsSessionKindMismatch) {
     send_raw_frame(raw, raw_hello(net::kMagic, net::kProtocolVersion, 0,
                                   static_cast<std::uint8_t>(net::SessionKind::dealer)));
   });
+}
+
+TEST(Handshake, RejectsLegacyV1HelloAsVersionSkew) {
+  // An old 8-byte v1 hello clears the size floor and the magic check, so
+  // the peer must be told about the version skew — the actionable
+  // diagnosis — not handed a generic framing error.
+  expect_handshake_error_containing("version skew", [](net::Socket& raw) {
+    std::vector<std::uint8_t> v1 = raw_hello(net::kMagic, /*version=*/1, 0, 0);
+    v1.resize(8);
+    send_raw_frame(raw, v1);
+  });
+}
+
+TEST(Handshake, RejectsTruncatedTraceIdHello) {
+  // Right magic, right version, but the trace id is cut short: a v2 hello
+  // is exactly 24 bytes and anything else is malformed.
+  expect_handshake_error_containing("truncated trace id", [](net::Socket& raw) {
+    std::vector<std::uint8_t> cut = raw_hello(net::kMagic, net::kProtocolVersion, 0, 0);
+    cut.resize(16);
+    send_raw_frame(raw, cut);
+  });
+}
+
+TEST(Handshake, RejectsZeroTraceIdFromConnector) {
+  // The connector mints the run's trace id; presenting zero would leave
+  // every downstream event uncorrelatable, so the acceptor refuses.
+  expect_handshake_error_containing("zero trace id", [](net::Socket& raw) {
+    send_raw_frame(raw,
+                   raw_hello(net::kMagic, net::kProtocolVersion, 0, 0, /*id_hi=*/0, /*id_lo=*/0));
+  });
+}
+
+TEST(Handshake, ConnectorMintsTraceIdAcceptorAdopts) {
+  auto [c0, c1] = transport_pair();
+  EXPECT_FALSE(c0->trace_id().is_zero());
+  EXPECT_EQ(c0->trace_id(), c1->trace_id());
+  // The connector dialed with offset 0, so it stays the clock reference.
+  EXPECT_EQ(c0->clock_offset_us(), 0);
+  // Both clocks share the process (same steady epoch): the acceptor's
+  // estimated offset must be small — bounded by scheduling noise.
+  EXPECT_LT(std::llabs(c1->clock_offset_us()), 100000);
+}
+
+TEST(Handshake, CallerSuppliedTraceIdAndOffsetChainThrough) {
+  // A party dialing the dealer after its party-channel handshake passes
+  // along the id it already adopted plus its learned clock offset.
+  net::TransportOptions o = short_opts();
+  o.trace_id = pasnet::obs::TraceId{0x1111, 0x2222};
+  o.local_clock_offset_us = 5000;
+  net::Listener listener(0);
+  auto accepted = std::async(std::launch::async, [&] {
+    return net::TcpTransport::accept(listener, 1, net::SessionKind::party_channel, short_opts());
+  });
+  auto c0 = net::TcpTransport::connect("127.0.0.1", listener.port(), 0,
+                                       net::SessionKind::party_channel, o);
+  auto c1 = accepted.get();
+  EXPECT_EQ(c1->trace_id(), (pasnet::obs::TraceId{0x1111, 0x2222}));
+  EXPECT_EQ(c0->trace_id(), c1->trace_id());
+  // The connector keeps its own offset; the acceptor's estimate is chained
+  // onto it, so the acceptor lands near 5000us (within scheduling noise).
+  EXPECT_EQ(c0->clock_offset_us(), 5000);
+  EXPECT_LT(std::llabs(c1->clock_offset_us() - 5000), 100000);
 }
 
 // ---------------------------------------------------------------------------

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/tracer.hpp"
 #include "obs/witness.hpp"
@@ -255,6 +256,178 @@ TEST(ObsTracer, CounterTotalsDeterministicAcrossExecModes) {
     EXPECT_EQ(lockstep.values[i], threaded.values[i])
         << obs::counter_name(static_cast<obs::Counter>(i));
   }
+}
+
+TEST(ObsHistogram, SingletonBucketsBelow64AndBoundsRoundTrip) {
+  // Values below 2^(S+1) = 64 get singleton buckets: percentiles over a
+  // small-value stream are exact.
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    const int idx = obs::Histogram::bucket_index(v);
+    EXPECT_EQ(obs::Histogram::bucket_lower(idx), v);
+    EXPECT_EQ(obs::Histogram::bucket_upper(idx), v);
+  }
+  // Boundary exactness: every bucket's lower/upper map back to that
+  // bucket, and consecutive buckets tile the u64 axis with no gap.
+  for (int idx = 0; idx < obs::Histogram::kBucketCount; ++idx) {
+    const std::uint64_t lo = obs::Histogram::bucket_lower(idx);
+    const std::uint64_t hi = obs::Histogram::bucket_upper(idx);
+    EXPECT_LE(lo, hi) << idx;
+    EXPECT_EQ(obs::Histogram::bucket_index(lo), idx);
+    EXPECT_EQ(obs::Histogram::bucket_index(hi), idx);
+    if (idx + 1 < obs::Histogram::kBucketCount) {
+      EXPECT_EQ(obs::Histogram::bucket_index(hi + 1), idx + 1);
+    }
+  }
+  EXPECT_EQ(obs::Histogram::bucket_index(~0ULL), obs::Histogram::kBucketCount - 1);
+}
+
+TEST(ObsHistogram, ExactCountSumMinMax) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  h.record(1000000);
+  h.record(3);
+  h.record(3);
+  h.record(70, /*times=*/4);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 1000000u + 3 + 3 + 4 * 70);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 1000000u);
+  // The top percentile is clamped to the exact max, not the bucket bound.
+  EXPECT_EQ(h.percentile(1.0), 1000000u);
+  EXPECT_EQ(h.percentile(0.0), 3u);
+}
+
+TEST(ObsHistogram, MergeIsLosslessAndAssociative) {
+  pc::Prng prng(77);
+  obs::Histogram a, b, c, direct;
+  obs::Histogram* parts[] = {&a, &b, &c};
+  for (int i = 0; i < 3000; ++i) {
+    // Spread across magnitudes: uniform bit width 1..63.
+    const std::uint64_t v = prng.next_bits(1 + static_cast<int>(prng.next_below(63)));
+    parts[i % 3]->record(v);
+    direct.record(v);
+  }
+  // (a + b) + c
+  obs::Histogram left;
+  left.merge_from(a);
+  left.merge_from(b);
+  left.merge_from(c);
+  // a + (b + c)
+  obs::Histogram bc;
+  bc.merge_from(b);
+  bc.merge_from(c);
+  obs::Histogram right;
+  right.merge_from(a);
+  right.merge_from(bc);
+  for (const obs::Histogram* m : {&left, &right}) {
+    EXPECT_EQ(m->count(), direct.count());
+    EXPECT_EQ(m->sum(), direct.sum());
+    EXPECT_EQ(m->min(), direct.min());
+    EXPECT_EQ(m->max(), direct.max());
+    for (int idx = 0; idx < obs::Histogram::kBucketCount; ++idx) {
+      ASSERT_EQ(m->bucket_count(idx), direct.bucket_count(idx)) << idx;
+    }
+  }
+}
+
+TEST(ObsHistogram, PercentileTracksSortedOracleWithinOneBucket) {
+  pc::Prng prng(91);
+  obs::Histogram h;
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = prng.next_bits(1 + static_cast<int>(prng.next_below(40)));
+    h.record(v);
+    vals.push_back(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  const auto n = vals.size();
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    auto rank = static_cast<std::size_t>(q * static_cast<double>(n));
+    if (static_cast<double>(rank) < q * static_cast<double>(n)) ++rank;  // ceil
+    if (rank == 0) rank = 1;
+    const std::uint64_t oracle = vals[rank - 1];
+    const std::uint64_t p = h.percentile(q);
+    // The histogram answers with the upper bound of the oracle's bucket
+    // (clamped to the exact max): never below the true order statistic,
+    // never more than one bucket width above it.
+    EXPECT_GE(p, oracle) << "q=" << q;
+    EXPECT_LE(p, obs::Histogram::bucket_upper(obs::Histogram::bucket_index(oracle)))
+        << "q=" << q;
+  }
+  // Monotonicity over a fine q sweep.
+  std::uint64_t prev = 0;
+  for (int i = 0; i <= 1000; ++i) {
+    const std::uint64_t p = h.percentile(static_cast<double>(i) / 1000.0);
+    EXPECT_GE(p, prev) << "q=" << i / 1000.0;
+    prev = p;
+  }
+}
+
+TEST(ObsTraceId, MintHexRoundTripAndRejectsGarbage) {
+  const obs::TraceId id = obs::TraceId::mint();
+  EXPECT_FALSE(id.is_zero());
+  EXPECT_NE(obs::TraceId::mint(), id);
+  const std::string hex = id.to_hex();
+  EXPECT_EQ(hex.size(), 32u);
+  const auto back = obs::TraceId::from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, id);
+  EXPECT_FALSE(obs::TraceId::from_hex("").has_value());
+  EXPECT_FALSE(obs::TraceId::from_hex("not hex at all").has_value());
+  EXPECT_FALSE(obs::TraceId::from_hex(hex.substr(0, 31)).has_value());
+  EXPECT_FALSE(obs::TraceId::from_hex(hex + "0").has_value());
+  std::string bad = hex;
+  bad[5] = 'g';
+  EXPECT_FALSE(obs::TraceId::from_hex(bad).has_value());
+}
+
+TEST(ObsTracer, TraceIdAndClockOffsetExportedInChromeTrace) {
+  obs::Tracer t;
+  const obs::TraceId id = obs::TraceId::mint();
+  t.set_trace_id(id);
+  t.set_clock_offset_us(-1234);
+  t.complete_span("net", "round", obs::Tracer::now_us());
+  for (const obs::TraceEvent& ev : t.events()) EXPECT_EQ(ev.trace_id, id);
+
+  std::ostringstream out;
+  t.write_chrome_trace(out, /*pid=*/1, "party1");
+  const obs::json::Value doc = obs::json::parse(out.str());
+  EXPECT_EQ(doc.at("pasnetTraceId").as_string(), id.to_hex());
+  EXPECT_EQ(static_cast<std::int64_t>(doc.at("pasnetClockOffsetUs").as_number()), -1234);
+  bool saw_meta = false;
+  for (const obs::json::Value& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("ph").as_string() == "M") {
+      saw_meta = true;
+      EXPECT_EQ(ev.at("name").as_string(), "process_name");
+      EXPECT_EQ(ev.at("args").at("name").as_string(), "party1");
+      EXPECT_EQ(ev.at("pid").as_u64(), 1u);
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+}
+
+TEST(ObsTracer, DisabledRecordAndSnapshotAllocateNothing) {
+  // The zero-allocation guarantee extends to the histogram path: recording
+  // samples into a disabled tracer, recording into a raw Histogram, and
+  // taking counter/percentile snapshots allocate nothing.
+  obs::Tracer disabled(false);
+  obs::Histogram h;
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    disabled.sample(obs::Sample::chunk_us, i);
+    disabled.add(obs::Counter::rounds, 1);
+    h.record(i * 37);
+  }
+  const obs::CounterSnapshot snap = disabled.snapshot();
+  const std::uint64_t p50 = h.percentile(0.5);
+  const std::uint64_t dp = disabled.percentile(obs::Sample::chunk_us, 0.5);
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u);
+  EXPECT_EQ(snap[obs::Counter::rounds], 0u);
+  EXPECT_GT(p50, 0u);
+  EXPECT_EQ(dp, 0u);
 }
 
 TEST(ObsTracer, DisabledTracerAddsZeroAllocationsToSecureInference) {

@@ -1,0 +1,122 @@
+// merge_chrome_traces folds the N per-process trace files one deployment
+// emits into ONE Chrome/Perfetto timeline: per-process lanes (pid remap on
+// collision), events shifted by each file's handshake-estimated clock
+// offset onto the reference axis and normalized to t=0, per-process
+// counters carried through under pasnetProcesses.  Inputs that are not
+// from the same run — missing, zero, or disagreeing trace ids — are
+// refused with TraceMergeError: a merged timeline across unrelated runs
+// would be a lie.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace_merge.hpp"
+#include "obs/tracer.hpp"
+
+namespace obs = pasnet::obs;
+
+namespace {
+
+/// Writes a real tracer-exported file: one span, the given id and offset.
+std::string write_trace_file(const std::string& stem, const obs::TraceId& id,
+                             std::int64_t offset_us, int pid, const char* name,
+                             std::uint64_t rounds = 0) {
+  obs::Tracer t;
+  t.set_trace_id(id);
+  t.set_clock_offset_us(offset_us);
+  if (rounds > 0) t.add(obs::Counter::rounds, rounds);
+  const std::uint64_t begin = obs::Tracer::now_us();
+  t.complete_span("test", "work", begin, /*lanes=*/2);
+  const std::string path = ::testing::TempDir() + stem;
+  t.write_chrome_trace_file(path, pid, name);
+  return path;
+}
+
+}  // namespace
+
+TEST(TraceMerge, FoldsThreeProcessesOntoOneNormalizedAxis) {
+  const obs::TraceId id = obs::TraceId::mint();
+  const std::vector<std::string> inputs = {
+      write_trace_file("m_p0.json", id, 0, 0, "party0", /*rounds=*/5),
+      write_trace_file("m_p1.json", id, 1000000, 1, "party1", /*rounds=*/5),
+      write_trace_file("m_dealer.json", id, 0, 2, "dealer"),
+  };
+  std::ostringstream merged;
+  const obs::MergeResult res = obs::merge_chrome_traces(inputs, merged);
+
+  EXPECT_EQ(res.trace_id, id);
+  ASSERT_EQ(res.processes.size(), 3u);
+  EXPECT_EQ(res.events, 3u);
+  std::set<int> pids;
+  for (const obs::MergedProcess& p : res.processes) pids.insert(p.pid);
+  EXPECT_EQ(pids.size(), 3u);  // one lane per process
+  EXPECT_EQ(res.processes[1].name, "party1");
+  EXPECT_EQ(res.processes[1].clock_offset_us, 1000000);
+
+  const obs::json::Value doc = obs::json::parse(merged.str());
+  EXPECT_EQ(doc.at("pasnetTraceId").as_string(), id.to_hex());
+  ASSERT_TRUE(doc.at("pasnetProcesses").is_array());
+  EXPECT_EQ(doc.at("pasnetProcesses").as_array().size(), 3u);
+
+  // Every lane keeps its process_name label; spans are normalized (min ts
+  // == 0) and party 1's events land ~1s out on the shifted axis.
+  std::size_t labels = 0;
+  std::uint64_t min_ts = ~0ULL, max_ts = 0;
+  for (const obs::json::Value& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("ph").as_string() == "M" && ev.at("name").as_string() == "process_name") ++labels;
+    if (ev.at("ph").as_string() != "X") continue;
+    const std::uint64_t ts = static_cast<std::uint64_t>(ev.at("ts").as_number());
+    if (ts < min_ts) min_ts = ts;
+    if (ts > max_ts) max_ts = ts;
+  }
+  EXPECT_EQ(labels, 3u);
+  EXPECT_EQ(min_ts, 0u);
+  EXPECT_GT(max_ts, 900000u);
+  EXPECT_GE(res.span_us, max_ts);
+}
+
+TEST(TraceMerge, CollidingPidsGetDistinctLanes) {
+  const obs::TraceId id = obs::TraceId::mint();
+  const std::vector<std::string> inputs = {
+      write_trace_file("c_a.json", id, 0, 0, "a"),
+      write_trace_file("c_b.json", id, 0, 0, "b"),  // same pid 0
+  };
+  std::ostringstream merged;
+  const obs::MergeResult res = obs::merge_chrome_traces(inputs, merged);
+  ASSERT_EQ(res.processes.size(), 2u);
+  EXPECT_NE(res.processes[0].pid, res.processes[1].pid);
+}
+
+TEST(TraceMerge, RefusesInputsFromDifferentRuns) {
+  const std::vector<std::string> inputs = {
+      write_trace_file("d_a.json", obs::TraceId::mint(), 0, 0, "a"),
+      write_trace_file("d_b.json", obs::TraceId::mint(), 0, 1, "b"),
+  };
+  std::ostringstream merged;
+  EXPECT_THROW((void)obs::merge_chrome_traces(inputs, merged), obs::TraceMergeError);
+}
+
+TEST(TraceMerge, RefusesZeroTraceIdInputs) {
+  const std::vector<std::string> inputs = {
+      write_trace_file("z_a.json", obs::TraceId{}, 0, 0, "a"),
+  };
+  std::ostringstream merged;
+  EXPECT_THROW((void)obs::merge_chrome_traces(inputs, merged), obs::TraceMergeError);
+}
+
+TEST(TraceMerge, RefusesNonTraceJson) {
+  const std::string path = ::testing::TempDir() + "not_a_trace.json";
+  {
+    std::ofstream f(path);
+    f << "{\"hello\": 1}";
+  }
+  std::ostringstream merged;
+  EXPECT_THROW((void)obs::merge_chrome_traces({path}, merged), obs::TraceMergeError);
+}

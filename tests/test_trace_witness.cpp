@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <vector>
@@ -107,6 +108,34 @@ TEST(TraceWitness, InProcessChunksMatchMeterAndAnalyticExactly) {
     EXPECT_EQ(total.values[i], summed.values[i])
         << obs::counter_name(static_cast<obs::Counter>(i));
   }
+}
+
+TEST(TraceWitness, PartyChannelSharesOneMintedTraceIdAcrossEndpoints) {
+  // The wiring the party binaries lean on: the dial side mints the run's
+  // correlation id during the transport handshake, the serve side adopts
+  // it, and both surface it (plus the estimated clock offset) for the
+  // session tracer and any onward dealer connection.
+  net::Listener listener(0);
+  const std::uint16_t port = listener.port();
+  auto served = std::async(std::launch::async,
+                           [&] { return net::serve_party_channel(listener, 1, test_opts()); });
+  auto c0 = net::dial_party_channel("127.0.0.1", port, 0, test_opts());
+  auto c1 = served.get();
+
+  const obs::TraceId id = c0->session_trace_id();
+  EXPECT_FALSE(id.is_zero());
+  EXPECT_EQ(c1->session_trace_id(), id);
+  // Party 0 dialed with no upstream offset, so it is the run's reference
+  // clock; party 1's estimate is loopback noise, not seconds.
+  EXPECT_EQ(c0->session_clock_offset_us(), 0);
+  EXPECT_LT(std::llabs(c1->session_clock_offset_us()), 100000);
+
+  // A tracer seeded the way the binaries do it stamps the id into every
+  // span it closes from then on.
+  obs::Tracer tracer;
+  tracer.set_trace_id(id);
+  tracer.complete_span("test", "correlated", obs::Tracer::now_us());
+  for (const obs::TraceEvent& ev : tracer.events()) EXPECT_EQ(ev.trace_id, id);
 }
 
 TEST(TraceWitness, RemoteLoopbackBatchSatisfiesThreeWitnessOnBothEndpoints) {
